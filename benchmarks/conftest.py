@@ -1,0 +1,100 @@
+"""Shared benchmark fixtures.
+
+Heavy experiment runs are executed once per session (inside their own
+benchmark) and cached so the per-figure benchmarks aggregate from the same
+results instead of re-running the query engine five times.  Every benchmark
+prints the table/figure it regenerates and writes it under
+``benchmarks/_output/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.corpus import build_all_projects
+from repro.eval import (
+    EvalConfig,
+    run_argument_prediction,
+    run_assignment_prediction,
+    run_comparison_prediction,
+    run_method_prediction,
+)
+
+_OUTPUT_DIR = pathlib.Path(__file__).parent / "_output"
+
+#: cross-benchmark cache of experiment results
+_cache: dict = {}
+
+
+@pytest.fixture(scope="session")
+def projects():
+    return build_all_projects()
+
+
+@pytest.fixture(scope="session")
+def bench_cfg():
+    """Per-project site caps keep each family's run around a few seconds."""
+    return EvalConfig(
+        limit=60,
+        max_calls_per_project=60,
+        max_arguments_per_project=80,
+        max_assignments_per_project=40,
+        max_comparisons_per_project=25,
+    )
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table/figure and persist it."""
+    print()
+    print(text)
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+    (_OUTPUT_DIR / "{}.txt".format(name)).write_text(text + "\n")
+
+
+# ---------------------------------------------------------------------------
+# cached experiment runs
+# ---------------------------------------------------------------------------
+def cached_method_results(projects, cfg):
+    if "methods" not in _cache:
+        _cache["methods"] = run_method_prediction(projects, cfg)
+    return _cache["methods"]
+
+
+def cached_argument_results(projects, cfg):
+    if "arguments" not in _cache:
+        _cache["arguments"] = run_argument_prediction(projects, cfg)
+    return _cache["arguments"]
+
+
+def cached_assignment_results(projects, cfg):
+    if "assignments" not in _cache:
+        _cache["assignments"] = run_assignment_prediction(projects, cfg)
+    return _cache["assignments"]
+
+
+def cached_comparison_results(projects, cfg):
+    if "comparisons" not in _cache:
+        _cache["comparisons"] = run_comparison_prediction(projects, cfg)
+    return _cache["comparisons"]
+
+
+@pytest.fixture(scope="session")
+def method_results(projects, bench_cfg):
+    return cached_method_results(projects, bench_cfg)
+
+
+@pytest.fixture(scope="session")
+def argument_results(projects, bench_cfg):
+    return cached_argument_results(projects, bench_cfg)
+
+
+@pytest.fixture(scope="session")
+def assignment_results(projects, bench_cfg):
+    return cached_assignment_results(projects, bench_cfg)
+
+
+@pytest.fixture(scope="session")
+def comparison_results(projects, bench_cfg):
+    return cached_comparison_results(projects, bench_cfg)

@@ -1,0 +1,140 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Top-1 ranking ablation: at top-20 our 1/200-scale universes saturate
+   the Methods rows of Table 2; at top-1 the paper's finding (the two
+   type-distance terms carry method prediction) separates cleanly.
+2. Reachability-index pruning: the optional index of Sec. 4.2, measured as
+   end-to-end argument-prediction latency with and without pruning.
+3. Abstract types on/off: the contribution of the Lackwit analysis to
+   argument prediction (the paper's `a` term), as accuracy deltas.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.engine.completer import EngineConfig
+from repro.engine.ranking import RankingConfig
+from repro.eval import EvalConfig, proportion_top, run_method_prediction
+from repro.eval.experiments import run_argument_prediction
+
+
+def test_ablation_methods_top1(benchmark, projects):
+    """Table 2's Methods row at cutoff 1 instead of 20."""
+    configs = [
+        RankingConfig.all_features(),
+        RankingConfig.without("t"),
+        RankingConfig.without("a"),
+        RankingConfig.without("at"),
+        RankingConfig.only("d"),
+    ]
+
+    def run():
+        rows = {}
+        for ranking in configs:
+            cfg = EvalConfig(
+                ranking=ranking,
+                limit=30,
+                max_calls_per_project=12,
+                with_return_type=False,
+                with_intellisense=False,
+            )
+            results = run_method_prediction(projects, cfg)
+            rows[ranking.label()] = proportion_top(
+                (r.best_rank for r in results), 1
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Methods top-1 ablation"]
+    for label, value in rows.items():
+        lines.append("  {:<6s} {:.2f}".format(label, value))
+    emit("ablation_top1", "\n".join(lines))
+    # the paper's central sensitivity result: removing both type-distance
+    # terms collapses method prediction
+    assert rows["All"] > rows["-at"]
+
+
+def test_ablation_reachability_pruning(benchmark, projects):
+    """Query latency with and without the reachability index."""
+    project = projects[1]  # WiX: the largest universe
+    cfg_on = EvalConfig(
+        limit=40, max_arguments_per_project=40,
+        with_return_type=False, with_intellisense=False, abstypes="none",
+    )
+
+    def run_with(use_reachability):
+        import repro.eval.experiments as exp
+
+        original = EvalConfig.engine_config
+
+        def patched(self):
+            return EngineConfig(
+                ranking=self.ranking, use_reachability=use_reachability
+            )
+
+        EvalConfig.engine_config = patched
+        try:
+            started = time.perf_counter()
+            results = run_argument_prediction([project], cfg_on)
+            elapsed = time.perf_counter() - started
+        finally:
+            EvalConfig.engine_config = original
+        return elapsed, results
+
+    def run():
+        pruned_time, pruned = run_with(True)
+        unpruned_time, unpruned = run_with(False)
+        return pruned_time, unpruned_time, pruned, unpruned
+
+    pruned_time, unpruned_time, pruned, unpruned = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(
+        "ablation_reachability",
+        "Reachability pruning ablation (WiX argument queries)\n"
+        "  with index:    {:.2f}s\n  without index: {:.2f}s".format(
+            pruned_time, unpruned_time
+        ),
+    )
+    # pruning is an optimization, never a result change
+    assert [r.rank for r in pruned] == [r.rank for r in unpruned]
+
+
+def test_ablation_abstract_types(benchmark, projects):
+    """Accuracy of argument prediction across abstract-type modes.
+
+    ``exclude`` is the paper's protocol (inference sees only code before
+    the query); ``full`` quantifies the Sec. 5.5 maturity threat (the
+    completed project leaks information); ``none`` disables the oracle.
+    """
+
+    def run():
+        rows = {}
+        for mode in ("exclude", "full", "none"):
+            cfg = EvalConfig(
+                limit=40,
+                max_arguments_per_project=30,
+                with_return_type=False,
+                with_intellisense=False,
+                abstypes=mode,
+            )
+            results = [
+                r for r in run_argument_prediction(projects, cfg) if r.guessable
+            ]
+            rows[mode] = proportion_top((r.rank for r in results), 5)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_abstypes",
+        "Abstract types ablation (argument prediction, top-5)\n"
+        "  paper protocol (per-site exclude): {:.2f}\n"
+        "  completed project (maturity leak): {:.2f}\n"
+        "  without abstract types:            {:.2f}".format(
+            rows["exclude"], rows["full"], rows["none"]
+        ),
+    )
+    assert rows["exclude"] >= rows["none"] - 0.05
+    # the maturity leak can only add information
+    assert rows["full"] >= rows["exclude"] - 0.05

@@ -1,0 +1,13 @@
+"""Figure 10 — guessability by call arity, one vs two known arguments."""
+
+from conftest import emit
+
+from repro.eval import figure10, format_figure10
+
+
+def test_figure10(benchmark, method_results):
+    table = benchmark(figure10, method_results)
+    emit("figure10", format_figure10(table))
+    # two known arguments are never worse than one (best-over-subsets)
+    for row in table.values():
+        assert row["two_args"] >= row["one_arg"]

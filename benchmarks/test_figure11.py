@@ -1,0 +1,14 @@
+"""Figure 11 — rank difference against the Intellisense model."""
+
+from conftest import emit
+
+from repro.eval import figure11, format_figure11
+
+
+def test_figure11(benchmark, method_results):
+    summary = benchmark(figure11, method_results)
+    emit("figure11", format_figure11(summary, "Figure 11 (vs Intellisense)"))
+    shares = [v for k, v in summary.items() if k != "count"]
+    assert summary["count"] > 0
+    assert summary["we_win"] + summary["tie"] + summary["intellisense_wins"] == \
+        __import__("pytest").approx(1.0)

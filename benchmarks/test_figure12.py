@@ -1,0 +1,14 @@
+"""Figure 12 — rank difference vs. Intellisense with the return type known."""
+
+import pytest
+from conftest import emit
+
+from repro.eval import figure11, figure12, format_figure11
+
+
+def test_figure12(benchmark, method_results):
+    summary = benchmark(figure12, method_results)
+    emit("figure12", format_figure11(summary, "Figure 12 (known return type)"))
+    # knowing the return type must not reduce the win rate
+    unfiltered = figure11(method_results)
+    assert summary["we_win"] >= unfiltered["we_win"] - 1e-9

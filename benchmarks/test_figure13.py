@@ -1,0 +1,17 @@
+"""Figure 13 — argument prediction CDF (benchmarks the Sec. 5.2 run)."""
+
+from conftest import cached_argument_results, emit
+
+from repro.eval import figure13, format_cdf_series
+
+
+def test_figure13(benchmark, projects, bench_cfg):
+    results = benchmark.pedantic(
+        lambda: cached_argument_results(projects, bench_cfg),
+        rounds=1, iterations=1,
+    )
+    series = figure13(results)
+    emit("figure13", format_cdf_series("Figure 13", series))
+    # excluding the low-hanging locals can only lower the curve
+    for cutoff, value in series["Normal"].items():
+        assert value >= series["No variables"][cutoff] - 1e-9

@@ -1,0 +1,14 @@
+"""Figure 14 — census of how call arguments are written."""
+
+import pytest
+from conftest import emit
+
+from repro.eval import figure14, format_figure14
+
+
+def test_figure14(benchmark, argument_results):
+    census = benchmark(figure14, argument_results)
+    emit("figure14", format_figure14(census))
+    assert sum(census.values()) == pytest.approx(1.0)
+    # locals dominate real argument positions (and our corpus)
+    assert max(census, key=census.get) == "local"

@@ -1,0 +1,16 @@
+"""Figure 15 — assignments with trailing lookups removed (Sec. 5.3)."""
+
+from conftest import cached_assignment_results, emit
+
+from repro.eval import figure15, format_cdf_series
+
+
+def test_figure15(benchmark, projects, bench_cfg):
+    results = benchmark.pedantic(
+        lambda: cached_assignment_results(projects, bench_cfg),
+        rounds=1, iterations=1,
+    )
+    series = figure15(results)
+    emit("figure15", format_cdf_series("Figure 15", series))
+    # removing a lookup from both sides is strictly harder than one side
+    assert series["Both"][10] <= max(series["Target"][10], series["Source"][10])

@@ -1,0 +1,18 @@
+"""Figure 16 — comparisons with trailing lookups removed (Sec. 5.3)."""
+
+from conftest import cached_comparison_results, emit
+
+from repro.eval import figure16, format_cdf_series
+
+
+def test_figure16(benchmark, projects, bench_cfg):
+    results = benchmark.pedantic(
+        lambda: cached_comparison_results(projects, bench_cfg),
+        rounds=1, iterations=1,
+    )
+    series = figure16(results)
+    emit("figure16", format_cdf_series("Figure 16", series))
+    # one lookup on one side is the easy case (paper: ~100% in the top 10)
+    singles = [r for r in results if r.variant in ("Left", "Right")]
+    hit = sum(1 for r in singles if r.rank is not None and r.rank <= 10)
+    assert singles and hit / len(singles) > 0.7

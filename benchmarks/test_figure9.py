@@ -1,0 +1,14 @@
+"""Figure 9 — CDF of best rank, split all / instance / static."""
+
+from conftest import emit
+
+from repro.eval import figure9, format_cdf_series
+
+
+def test_figure9(benchmark, method_results):
+    series = benchmark(figure9, method_results)
+    emit("figure9", format_cdf_series("Figure 9", series))
+    # the CDFs must be monotone in the rank cut-off
+    for values in series.values():
+        points = list(values.values())
+        assert points == sorted(points)

@@ -1,0 +1,62 @@
+"""Abstract-type inference throughput.
+
+The paper: inference "could take as long as several minutes for a large
+codebase but can be done incrementally in the background".  This bench
+measures the three modes on the largest project (WiX): a full batch run,
+the per-site exclusion re-run the evaluation protocol uses, and the
+incremental ``extend`` path.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.analysis import AbstractTypeAnalysis
+
+
+def test_inference_throughput(benchmark, projects):
+    wix = projects[1]
+    statements = sum(len(impl.body) for impl in wix.impls)
+
+    def run():
+        started = time.perf_counter()
+        AbstractTypeAnalysis(wix)
+        batch = time.perf_counter() - started
+
+        impl = wix.impls[0]
+        started = time.perf_counter()
+        repetitions = 5
+        for index in range(repetitions):
+            AbstractTypeAnalysis(wix, exclude_from=(impl, index % 3))
+        per_site = (time.perf_counter() - started) / repetitions
+
+        # incremental: start empty, feed every impl
+        from repro.corpus.program import Project
+
+        empty = Project("inc", wix.ts)
+        analysis = AbstractTypeAnalysis(empty)
+        started = time.perf_counter()
+        for body in wix.impls:
+            analysis.extend(body)
+        incremental = time.perf_counter() - started
+        return batch, per_site, incremental
+
+    batch, per_site, incremental = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(
+        "inference",
+        "Abstract-type inference on WiX ({} impls, {} statements)\n"
+        "  batch analysis:        {:6.1f} ms\n"
+        "  per-site re-run:       {:6.1f} ms  (evaluation protocol)\n"
+        "  incremental (total):   {:6.1f} ms  ({:.2f} ms per impl)".format(
+            len(wix.impls), statements,
+            1000 * batch, 1000 * per_site, 1000 * incremental,
+            1000 * incremental / max(1, len(wix.impls)),
+        ),
+    )
+    # the incremental path processes the same constraints as the batch run
+    assert incremental < batch * 3
+    # per-site re-runs must stay interactive (well under the paper's
+    # half-second query budget)
+    assert per_site < 0.5

@@ -1,0 +1,76 @@
+"""Sec. 5.1–5.3 speed numbers: fraction of queries inside interactive
+budgets, plus micro-benchmarks of single queries."""
+
+import pytest
+from conftest import emit
+
+from repro import Context, CompletionEngine, TypeSystem, parse
+from repro.corpus.frameworks import build_geometry, build_paintdotnet
+from repro.eval import (
+    argument_query_times,
+    best_method_query_times,
+    format_speed,
+    lookup_query_times,
+    speed_summary,
+)
+
+
+def test_speed_summaries(
+    benchmark, method_results, argument_results, assignment_results,
+    comparison_results,
+):
+    lines = [
+        format_speed("method queries",
+                     speed_summary(best_method_query_times(method_results))),
+        format_speed("argument queries",
+                     speed_summary(argument_query_times(argument_results))),
+        format_speed("lookup queries",
+                     speed_summary(lookup_query_times(
+                         assignment_results + comparison_results))),
+    ]
+    benchmark(speed_summary, best_method_query_times(method_results))
+    emit("speed", "\n".join(lines))
+    summary = speed_summary(best_method_query_times(method_results))
+    # paper: 98.9% of method queries under half a second
+    assert summary["under_500ms"] > 0.95
+
+
+@pytest.fixture(scope="module")
+def paint_world():
+    ts = TypeSystem()
+    paint = build_paintdotnet(ts)
+    context = Context(ts, locals={"img": paint.document, "size": paint.size})
+    return CompletionEngine(ts), context
+
+
+@pytest.fixture(scope="module")
+def geometry_world():
+    ts = TypeSystem()
+    geo = build_geometry(ts)
+    context = Context(
+        ts,
+        locals={"point": geo.point, "shapeStyle": geo.shape_style},
+        this_type=geo.ellipse_arc,
+    )
+    return CompletionEngine(ts), context
+
+
+def test_unknown_call_query_latency(benchmark, paint_world):
+    engine, context = paint_world
+    pe = parse("?({img, size})", context)
+    result = benchmark(engine.complete, pe, context, 10)
+    assert len(result) == 10
+
+
+def test_argument_query_latency(benchmark, geometry_world):
+    engine, context = geometry_world
+    pe = parse("Distance(point, ?)", context)
+    result = benchmark(engine.complete, pe, context, 10)
+    assert len(result) == 10
+
+
+def test_comparison_query_latency(benchmark, geometry_world):
+    engine, context = geometry_world
+    pe = parse("point.?*m >= this.?*m", context)
+    result = benchmark(engine.complete, pe, context, 10)
+    assert len(result) == 10

@@ -1,0 +1,22 @@
+"""Table 1 — per-project method-prediction quality.
+
+Benchmarks the full Sec. 5.1 experiment run (the expensive part) and prints
+the regenerated table.
+"""
+
+import conftest
+from conftest import emit
+
+from repro.eval import format_table1, run_method_prediction, table1
+
+
+def test_table1(benchmark, projects, bench_cfg):
+    results = benchmark.pedantic(
+        lambda: run_method_prediction(projects, bench_cfg),
+        rounds=1, iterations=1,
+    )
+    conftest._cache["methods"] = results
+    emit("table1", format_table1(table1(results)))
+    found = [r for r in results if r.best_rank is not None and r.best_rank <= 10]
+    # paper: 84.5% of calls have the intended method in the top 10
+    assert len(found) / len(results) > 0.6

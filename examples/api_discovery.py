@@ -1,0 +1,69 @@
+"""API discovery shoot-out: partial expressions vs. Intellisense vs.
+Prospector (the Sec. 2 comparison, on the "shrink an image" story).
+
+Run:  python examples/api_discovery.py
+
+The user wants ``img.Shrink(size)``.  That method does not exist; the real
+API is ``PaintDotNet.Actions.CanvasSizeAction.ResizeDocument(Document,
+Size, AnchorEdge, ColorBgra)``.  Three tools attack the problem:
+
+* partial expressions: the query ``?({img, size})``;
+* our model of Intellisense: alphabetised member lists of each receiver the
+  user might try;
+* a Prospector-style jungloid search: "convert Document to Document" (its
+  closest encoding of resizing, as the paper notes).
+"""
+
+from repro import Context, CompletionEngine, TypeSystem, parse, to_source
+from repro.baselines import ProspectorSearch, member_names
+from repro.corpus.frameworks import build_paintdotnet
+
+
+def partial_expressions(paint, context, engine):
+    print("--- partial expressions: ?({img, size}) " + "-" * 30)
+    pe = parse("?({img, size})", context)
+    for rank, completion in enumerate(engine.complete(pe, context, n=5), 1):
+        print("  {:>2}. {}".format(rank, to_source(completion.expr)))
+    rank = engine.method_rank(pe, context, paint.resize_document, limit=50)
+    print("  -> ResizeDocument found at rank {}".format(rank))
+
+
+def intellisense(paint):
+    print("--- Intellisense on the receiver the user would try " + "-" * 17)
+    doc_members = sorted(
+        {m.name for m in paint.ts.instance_methods(paint.document)}
+        | {f.name for f in paint.ts.instance_lookups(paint.document)}
+    )
+    print("  img. lists {} members: {} ...".format(
+        len(doc_members), ", ".join(doc_members[:8])))
+    print("  -> no Shrink, no Resize: the user must browse namespaces")
+    action_type = paint.ts.get("PaintDotNet.Actions.CanvasSizeAction")
+    statics = sorted(m.name for m in action_type.methods if m.is_static)
+    print("  CanvasSizeAction. (once found) lists: {}".format(
+        ", ".join(statics)))
+
+
+def prospector(paint):
+    print("--- Prospector: convert Document -> Document " + "-" * 26)
+    search = ProspectorSearch(paint.ts)
+    results = search.query("img", paint.document, paint.document, n=6)
+    for rank, expr in enumerate(results, 1):
+        print("  {:>2}. {}".format(rank, to_source(expr)))
+    print("  -> the jungloid view cannot say 'use size too'; ResizeDocument")
+    print("     competes with every Document-to-Document chain")
+
+
+def main():
+    ts = TypeSystem()
+    paint = build_paintdotnet(ts)
+    context = Context(ts, locals={"img": paint.document, "size": paint.size})
+    engine = CompletionEngine(ts)
+    partial_expressions(paint, context, engine)
+    print()
+    intellisense(paint)
+    print()
+    prospector(paint)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: the paper's three running examples (Sec. 2).
+
+Run:  python examples/quickstart.py
+
+1. Synthesizing method names   — ?({img, size})          (Figure 2)
+2. Synthesizing arguments      — Distance(point, ?)      (Figure 3)
+3. Synthesizing field lookups  — point.?*m >= this.?*m   (Figure 4)
+"""
+
+from repro import Context, CompletionEngine, TypeSystem, parse, to_source
+from repro.corpus.frameworks import build_geometry, build_paintdotnet
+
+
+def show(title, engine, context, query, n=10):
+    print("=" * 72)
+    print("query: {}".format(query))
+    print("-" * 72)
+    pe = parse(query, context)
+    for rank, completion in enumerate(engine.complete(pe, context, n=n), 1):
+        print("{:>3}. (score {:>2})  {}".format(
+            rank, completion.score, to_source(completion.expr)))
+    print()
+
+
+def method_name_example():
+    """You want img.Shrink(size); the real API is ResizeDocument(...)."""
+    ts = TypeSystem()
+    paint = build_paintdotnet(ts)
+    context = Context(ts, locals={"img": paint.document, "size": paint.size})
+    engine = CompletionEngine(ts)
+    show("methods", engine, context, "?({img, size})")
+
+
+def argument_example():
+    """You know Distance but not where the other endpoint lives."""
+    ts = TypeSystem()
+    geo = build_geometry(ts)
+    context = Context(
+        ts,
+        locals={"point": geo.point, "shapeStyle": geo.shape_style},
+        this_type=geo.ellipse_arc,
+    )
+    engine = CompletionEngine(ts)
+    show("arguments", engine, context, "Distance(point, ?)")
+
+
+def field_lookup_example():
+    """Compare coordinates without remembering the field names."""
+    ts = TypeSystem()
+    geo = build_geometry(ts)
+    context = Context(
+        ts,
+        locals={"point": geo.point, "shapeStyle": geo.shape_style},
+        this_type=geo.ellipse_arc,
+    )
+    engine = CompletionEngine(ts)
+    show("lookups", engine, context, "point.?*m >= this.?*m")
+
+
+if __name__ == "__main__":
+    method_name_example()
+    argument_example()
+    field_lookup_example()

@@ -1,0 +1,110 @@
+"""repro — Type-Directed Completion of Partial Expressions (PLDI 2012).
+
+A from-scratch reproduction of Perelman, Gulwani, Ball & Grossman's partial
+expression completion system: a C#-like code model, the partial-expression
+language with parser and semantics, Lackwit-style abstract type inference,
+the type-distance ranking function, and the score-ordered completion engine
+— plus the corpora, baselines and harnesses that regenerate every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Context, CompletionEngine, TypeSystem, parse
+    from repro.corpus.frameworks.paintdotnet import build_paintdotnet
+
+    ts = TypeSystem()
+    universe = build_paintdotnet(ts)
+    context = Context(ts, locals={"img": universe.document,
+                                  "size": universe.size})
+    engine = CompletionEngine(ts)
+    for completion in engine.complete(parse("?({img, size})", context),
+                                      context, n=10):
+        print(completion.score, completion.expr)
+"""
+
+from .analysis.abstract_types import AbstractTypeAnalysis
+from .analysis.scope import Context
+from .codemodel import (
+    Field,
+    LibraryBuilder,
+    Method,
+    Parameter,
+    Property,
+    TypeDef,
+    TypeKind,
+    TypeSystem,
+)
+from .engine import (
+    Completion,
+    CompletionEngine,
+    EngineConfig,
+    MethodIndex,
+    Ranker,
+    RankingConfig,
+    ReachabilityIndex,
+)
+from .lang import (
+    Assign,
+    Call,
+    Compare,
+    Expr,
+    FieldAccess,
+    Hole,
+    KnownCall,
+    Literal,
+    ParseError,
+    PartialAssign,
+    PartialCompare,
+    SuffixHole,
+    TypeLiteral,
+    Unfilled,
+    UnknownCall,
+    Var,
+    derivable,
+    parse,
+    to_source,
+    well_typed,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractTypeAnalysis",
+    "Assign",
+    "Call",
+    "Compare",
+    "Completion",
+    "CompletionEngine",
+    "Context",
+    "EngineConfig",
+    "Expr",
+    "Field",
+    "FieldAccess",
+    "Hole",
+    "KnownCall",
+    "LibraryBuilder",
+    "Literal",
+    "Method",
+    "MethodIndex",
+    "ParseError",
+    "Parameter",
+    "PartialAssign",
+    "PartialCompare",
+    "Property",
+    "Ranker",
+    "RankingConfig",
+    "ReachabilityIndex",
+    "SuffixHole",
+    "TypeDef",
+    "TypeKind",
+    "TypeLiteral",
+    "TypeSystem",
+    "Unfilled",
+    "UnknownCall",
+    "Var",
+    "derivable",
+    "parse",
+    "to_source",
+    "well_typed",
+    "__version__",
+]

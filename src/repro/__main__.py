@@ -1,0 +1,190 @@
+"""Command-line entry point.
+
+    python -m repro repl --universe paint
+    python -m repro complete --universe paint \
+        --let img=PaintDotNet.Document --let size=System.Drawing.Size \
+        "?({img, size})"
+    python -m repro eval [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .ide.session import CompletionSession
+from .ide.workspace import Workspace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Type-directed completion of partial expressions "
+                    "(PLDI 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    repl = sub.add_parser("repl", help="interactive query loop")
+    repl.add_argument("--universe", default="paint",
+                      choices=sorted(Workspace.BUILTIN))
+
+    complete = sub.add_parser("complete", help="run one query and exit")
+    complete.add_argument("query", help="a partial expression")
+    complete.add_argument("--universe", default="paint",
+                          choices=sorted(Workspace.BUILTIN))
+    complete.add_argument("--let", action="append", default=[],
+                          metavar="NAME=TYPE",
+                          help="declare a local (repeatable)")
+    complete.add_argument("--this", default=None, metavar="TYPE")
+    complete.add_argument("--expect", default=None, metavar="TYPE",
+                          help="filter results by type ('void' allowed)")
+    complete.add_argument("--keyword", default=None,
+                          help="filter unknown-call methods by name")
+    complete.add_argument("-n", type=int, default=10)
+
+    census = sub.add_parser(
+        "census", help="print the corpus census for the seven projects"
+    )
+    census.add_argument("--scale", type=float, default=1.0)
+
+    dump = sub.add_parser(
+        "dump-universe", help="export a bundled universe as JSON"
+    )
+    dump.add_argument("--universe", default="paint",
+                      choices=sorted(Workspace.BUILTIN))
+    dump.add_argument("-o", "--output", required=True, metavar="PATH")
+
+    evaluate = sub.add_parser("eval", help="run the paper's evaluation")
+    evaluate.add_argument("--full", action="store_true",
+                          help="no per-project caps (several minutes)")
+    evaluate.add_argument("--markdown", default=None, metavar="PATH",
+                          help="write a markdown report instead of text")
+    evaluate.add_argument("--save", default=None, metavar="PATH",
+                          help="save raw results as JSON (for regression "
+                               "tracking)")
+    evaluate.add_argument("--compare", default=None, metavar="BASELINE",
+                          help="compare this run against a saved baseline")
+    return parser
+
+
+def _run_complete(args: argparse.Namespace, write) -> int:
+    workspace = Workspace.builtin(args.universe)
+    session = CompletionSession(workspace, n=args.n)
+    for binding in args.let:
+        if "=" not in binding:
+            write("bad --let {!r}; expected NAME=TYPE".format(binding))
+            return 2
+        name, _, type_name = binding.partition("=")
+        try:
+            session.declare(name.strip(), type_name.strip())
+        except ValueError as error:
+            write("error: {}".format(error))
+            return 2
+    if args.this:
+        session.set_this(args.this)
+    if args.expect:
+        session.set_expected(args.expect)
+    session.keyword = args.keyword
+    record = session.query(args.query)
+    if record.error is not None:
+        write("parse error: {}".format(record.error))
+        return 1
+    if not record.suggestions:
+        write("(no completions)")
+        return 0
+    for suggestion in record.suggestions:
+        write("{:>3}. (score {:>3}) {}".format(
+            suggestion.rank, suggestion.score, suggestion.text))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, write=print) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "repl":  # pragma: no cover - interactive
+        from .ide.repl import main as repl_main
+
+        repl_main(args.universe)
+        return 0
+    if args.command == "complete":
+        return _run_complete(args, write)
+    if args.command == "census":
+        from .corpus import build_all_projects
+        from .eval import corpus_census, format_census
+
+        write(format_census(corpus_census(build_all_projects(args.scale))))
+        return 0
+    if args.command == "dump-universe":
+        import json
+
+        from .serialize import dump_type_system
+
+        workspace = Workspace.builtin(args.universe)
+        with open(args.output, "w") as handle:
+            json.dump(dump_type_system(workspace.ts), handle)
+        write("wrote {}".format(args.output))
+        return 0
+    if args.command == "eval":
+        if args.save or args.compare:
+            from .corpus import build_all_projects
+            from .eval.experiments import EvalConfig
+            from .eval.persistence import compare_runs, format_comparison
+            from .eval.runner import ResultBundle, run_all
+
+            if args.full:
+                cfg = EvalConfig(with_intellisense=False,
+                                 with_return_type=False)
+            else:
+                cfg = EvalConfig(
+                    limit=60,
+                    max_calls_per_project=40,
+                    max_arguments_per_project=50,
+                    max_assignments_per_project=25,
+                    max_comparisons_per_project=15,
+                    with_intellisense=False,
+                    with_return_type=False,
+                )
+            bundle = run_all(build_all_projects(), cfg)
+            if args.save:
+                bundle.save(args.save)
+                write("saved {}".format(args.save))
+            if args.compare:
+                baseline = ResultBundle.load(args.compare)
+                report = compare_runs(baseline.families(), bundle.families())
+                write(format_comparison(report))
+            return 0
+        if args.markdown:
+            from .corpus import build_all_projects
+            from .eval.experiments import EvalConfig
+            from .eval.markdown import generate_report
+
+            if args.full:
+                cfg = EvalConfig()
+            else:
+                cfg = EvalConfig(
+                    limit=60,
+                    max_calls_per_project=40,
+                    max_arguments_per_project=50,
+                    max_assignments_per_project=25,
+                    max_comparisons_per_project=15,
+                )
+            report = generate_report(build_all_projects(), cfg)
+            with open(args.markdown, "w") as handle:
+                handle.write(report)
+            write("wrote {}".format(args.markdown))
+            return 0
+        import pathlib
+        import runpy
+
+        demo = (
+            pathlib.Path(__file__).parent.parent.parent
+            / "examples" / "evaluation_demo.py"
+        )
+        sys.argv = ["evaluation_demo.py"] + (["--full"] if args.full else [])
+        runpy.run_path(str(demo), run_name="__main__")
+        return 0
+    return 2  # pragma: no cover - argparse guards commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Static analyses: scope contexts, union-find, abstract type inference."""
+
+from .abstract_types import AbstractTypeAnalysis
+from .scope import Context
+from .unionfind import UnionFind
+
+__all__ = ["AbstractTypeAnalysis", "Context", "UnionFind"]

@@ -1,0 +1,248 @@
+"""Lackwit-style abstract type inference (Sec. 4.1 of the paper).
+
+An abstract-type variable is assigned to every local variable, formal
+parameter, formal return type and field; a type-equality constraint is added
+whenever a value is assigned or used as a method-call argument.  All
+constraints are equalities on atoms, solved by union-find.
+
+Two paper-specified refinements:
+
+* methods declared on ``Object`` (``ToString``, ``GetHashCode``, ...) are
+  treated as distinct methods for every receiver type, so that calling
+  ``.ToString()`` does not merge everything;
+* overriding methods share the formal parameter / return terms of the
+  method they override (via :meth:`Method.root_declaration`).
+
+The evaluation re-runs inference per query "eliminating the expression and
+all code that follows it in the enclosing method"; pass ``exclude_from`` for
+that.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from ..codemodel.members import Method
+from ..codemodel.types import TypeDef
+from ..corpus.program import (
+    AssignStatement,
+    ExprStatement,
+    IfStatement,
+    LocalDecl,
+    MethodImpl,
+    Project,
+    ReturnStatement,
+    Statement,
+)
+from ..lang.ast import (
+    Assign,
+    Call,
+    Compare,
+    Expr,
+    FieldAccess,
+    Literal,
+    TypeLiteral,
+    Unfilled,
+    Var,
+)
+from .unionfind import UnionFind
+
+TermKey = Hashable
+
+
+class AbstractTypeAnalysis:
+    """Runs inference over a project; answers abstract-type queries.
+
+    Parameters
+    ----------
+    project:
+        The corpus to analyse.
+    exclude_from:
+        ``(impl, statement_index)`` — skip that statement and everything
+        after it in that impl, recreating the "code being written" state.
+    """
+
+    def __init__(
+        self,
+        project: Project,
+        exclude_from: Optional[Tuple[MethodImpl, int]] = None,
+    ) -> None:
+        self.project = project
+        self.ts = project.ts
+        self.uf = UnionFind()
+        self._exclude = exclude_from
+        self._run()
+
+    # ------------------------------------------------------------------
+    # term keys
+    # ------------------------------------------------------------------
+    def _method_slot(
+        self, method: Method, receiver_type: Optional[TypeDef]
+    ) -> TermKey:
+        root = method.root_declaration()
+        if (
+            not root.is_static
+            and root.declaring_type is self.ts.object_type
+            and receiver_type is not None
+        ):
+            # Object-declared methods are split per receiver type
+            return ("objmethod", receiver_type.full_name, root.name, len(root.params))
+        return ("slot", id(root))
+
+    def param_key(
+        self,
+        method: Method,
+        index: int,
+        receiver_type: Optional[TypeDef] = None,
+    ) -> TermKey:
+        """Term of parameter ``index`` of ``method`` (``all_params`` index:
+        0 is the receiver for instance methods)."""
+        return ("param", self._method_slot(method, receiver_type), index)
+
+    def return_key(
+        self, method: Method, receiver_type: Optional[TypeDef] = None
+    ) -> TermKey:
+        return ("return", self._method_slot(method, receiver_type))
+
+    def local_key(self, impl: MethodImpl, name: str) -> TermKey:
+        return ("local", id(impl), name)
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        for impl in self.project.impls:
+            self._seed_impl(impl)
+        for impl in self.project.impls:
+            limit = None
+            if self._exclude is not None and self._exclude[0] is impl:
+                limit = self._exclude[1]
+            for index, stmt in enumerate(impl.body):
+                if limit is not None and index >= limit:
+                    break
+                self._process_statement(impl, stmt)
+
+    def extend(self, impl: MethodImpl) -> None:
+        """Incrementally add one implementation's constraints.
+
+        Union-find only ever merges, so feeding code in as it is written is
+        sound — the paper: inference "can be done incrementally in the
+        background".  The impl need not belong to the original project.
+        """
+        self._seed_impl(impl)
+        for stmt in impl.body:
+            self._process_statement(impl, stmt)
+
+    def _seed_impl(self, impl: MethodImpl) -> None:
+        """Link an impl's named parameters to its formal-parameter terms."""
+        method = impl.method
+        offset = 0 if method.is_static else 1
+        for position, param in enumerate(method.params):
+            self.uf.union(
+                self.local_key(impl, param.name),
+                self.param_key(method, position + offset, method.declaring_type),
+            )
+        if not method.is_static:
+            self.uf.union(
+                self.local_key(impl, "this"),
+                self.param_key(method, 0, method.declaring_type),
+            )
+
+    def _process_statement(self, impl: MethodImpl, stmt: Statement) -> None:
+        if isinstance(stmt, LocalDecl):
+            if stmt.init is not None:
+                init_term = self._process_expr(impl, stmt.init)
+                self._unify(self.local_key(impl, stmt.name), init_term)
+        elif isinstance(stmt, AssignStatement):
+            self._process_expr(impl, stmt.assign)
+        elif isinstance(stmt, IfStatement):
+            self._process_expr(impl, stmt.condition)
+        elif isinstance(stmt, ReturnStatement):
+            term = self._process_expr(impl, stmt.expr)
+            method = impl.method
+            self._unify(
+                self.return_key(method, method.declaring_type), term
+            )
+        elif isinstance(stmt, ExprStatement):
+            self._process_expr(impl, stmt.expr)
+
+    def _process_expr(self, impl: MethodImpl, expr: Expr) -> Optional[TermKey]:
+        """Walk an expression adding constraints; return its term, if any."""
+        if isinstance(expr, Var):
+            return self.local_key(impl, expr.name)
+        if isinstance(expr, (Literal, Unfilled, TypeLiteral)):
+            return None
+        if isinstance(expr, FieldAccess):
+            if not isinstance(expr.base, TypeLiteral):
+                self._process_expr(impl, expr.base)
+            return ("field", id(expr.member))
+        if isinstance(expr, Call):
+            receiver_type = None
+            if not expr.method.is_static:
+                receiver_type = expr.args[0].type
+            for index, arg in enumerate(expr.args):
+                arg_term = self._process_expr(impl, arg)
+                self._unify(
+                    self.param_key(expr.method, index, receiver_type), arg_term
+                )
+            if expr.method.return_type is None:
+                return None
+            return self.return_key(expr.method, receiver_type)
+        if isinstance(expr, Assign):
+            lhs = self._process_expr(impl, expr.lhs)
+            rhs = self._process_expr(impl, expr.rhs)
+            self._unify(lhs, rhs)
+            return lhs
+        if isinstance(expr, Compare):
+            # the paper adds constraints for assignments and argument
+            # passing only; comparisons do not unify their sides
+            self._process_expr(impl, expr.lhs)
+            self._process_expr(impl, expr.rhs)
+            return None
+        return None
+
+    def _unify(self, left: Optional[TermKey], right: Optional[TermKey]) -> None:
+        if left is None or right is None:
+            return
+        self.uf.union(left, right)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def term_of_expr(self, impl: MethodImpl, expr: Expr) -> Optional[TermKey]:
+        """The term key an expression *reads from* (no constraint added)."""
+        if isinstance(expr, Var):
+            return self.local_key(impl, expr.name)
+        if isinstance(expr, FieldAccess):
+            return ("field", id(expr.member))
+        if isinstance(expr, Call):
+            if expr.method.return_type is None:
+                return None
+            receiver_type = None
+            if not expr.method.is_static:
+                receiver_type = expr.args[0].type
+            return self.return_key(expr.method, receiver_type)
+        return None
+
+    def abstype_of_expr(self, impl: MethodImpl, expr: Expr) -> Optional[int]:
+        """Union-find root of the expression's abstract type, or ``None``."""
+        term = self.term_of_expr(impl, expr)
+        if term is None:
+            return None
+        return self.uf.find(term)
+
+    def abstype_of_param(
+        self,
+        method: Method,
+        index: int,
+        receiver_type: Optional[TypeDef] = None,
+    ) -> Optional[int]:
+        return self.uf.find(self.param_key(method, index, receiver_type))
+
+    def same_abstype(
+        self, impl: MethodImpl, left: Expr, right: Expr
+    ) -> bool:
+        """Do two expressions provably share an abstract type?"""
+        left_root = self.abstype_of_expr(impl, left)
+        right_root = self.abstype_of_expr(impl, right)
+        return left_root is not None and left_root == right_root

@@ -1,0 +1,81 @@
+"""Union-find (disjoint sets) keyed by arbitrary hashable values.
+
+The abstract-type inference of Sec. 4.1 reduces to unification of atomic
+terms: "As all constraints are equality on atoms, the standard unification
+algorithm can be implemented using union-find."  This is that union-find:
+path compression + union by rank, with a key registry so callers can use
+tuples like ``("local", impl_id, "appLocation")`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+
+class UnionFind:
+    """Disjoint-set forest over hashable keys."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._parent: List[int] = []
+        self._rank: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._ids
+
+    def add(self, key: Hashable) -> int:
+        """Ensure ``key`` has a set; return its element id."""
+        existing = self._ids.get(key)
+        if existing is not None:
+            return existing
+        element = len(self._parent)
+        self._ids[key] = element
+        self._parent.append(element)
+        self._rank.append(0)
+        return element
+
+    def find(self, key: Hashable) -> Optional[int]:
+        """Root id of ``key``'s set, or ``None`` if never added."""
+        element = self._ids.get(key)
+        if element is None:
+            return None
+        return self._find_root(element)
+
+    def _find_root(self, element: int) -> int:
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # path compression
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, left: Hashable, right: Hashable) -> int:
+        """Merge the sets of two keys (adding them if new); returns the new
+        root id."""
+        left_root = self._find_root(self.add(left))
+        right_root = self._find_root(self.add(right))
+        if left_root == right_root:
+            return left_root
+        if self._rank[left_root] < self._rank[right_root]:
+            left_root, right_root = right_root, left_root
+        self._parent[right_root] = left_root
+        if self._rank[left_root] == self._rank[right_root]:
+            self._rank[left_root] += 1
+        return left_root
+
+    def same(self, left: Hashable, right: Hashable) -> bool:
+        """True iff both keys exist and share a set."""
+        left_root = self.find(left)
+        right_root = self.find(right)
+        return left_root is not None and left_root == right_root
+
+    def groups(self) -> Dict[int, List[Hashable]]:
+        """Root id -> members, for inspection and tests."""
+        result: Dict[int, List[Hashable]] = {}
+        for key, element in self._ids.items():
+            result.setdefault(self._find_root(element), []).append(key)
+        return result

@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: Intellisense and Prospector."""
+
+from .intellisense import intellisense_rank, member_names
+from .prospector import ProspectorSearch
+
+__all__ = ["ProspectorSearch", "intellisense_rank", "member_names"]

@@ -1,0 +1,46 @@
+"""The Intellisense model of Sec. 5.1 (Figures 11 and 12).
+
+"We modeled Intellisense as being given the receiver (or receiver type for
+static calls) and listing its members in alphabetic order. [...] It was
+considered to list only instance members for instance receivers and only
+static members for static receivers."  The rank of the intended method is
+its position in that alphabetic member list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..codemodel.members import Method
+from ..codemodel.typesystem import TypeSystem
+from ..lang.ast import Call
+
+
+def member_names(ts: TypeSystem, method: Method) -> List[str]:
+    """The alphabetised member list Intellisense would display for the
+    intended call's receiver."""
+    declaring = method.declaring_type
+    assert declaring is not None
+    names = set()
+    if method.is_static:
+        static_fields, static_methods = ts.static_members(declaring)
+        for field in static_fields:
+            names.add(field.name)
+        for static_method in static_methods:
+            names.add(static_method.name)
+    else:
+        for field in ts.instance_lookups(declaring):
+            names.add(field.name)
+        for instance_method in ts.instance_methods(declaring):
+            names.add(instance_method.name)
+    return sorted(names)
+
+
+def intellisense_rank(ts: TypeSystem, call: Call) -> Optional[int]:
+    """1-based alphabetic rank of the called method in its receiver's
+    member list."""
+    names = member_names(ts, call.method)
+    try:
+        return names.index(call.method.name) + 1
+    except ValueError:  # pragma: no cover - method always lists itself
+        return None

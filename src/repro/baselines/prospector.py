@@ -1,0 +1,104 @@
+"""A Prospector-style jungloid search (Sec. 2.3's comparison system).
+
+Mandelin et al.'s Prospector answers "convert a value of type A into a value
+of type B" with a chain of lookups and calls (a *jungloid*).  The paper
+contrasts partial expressions with it; we include a faithful small version
+as a baseline: BFS over single-step conversions —
+
+* instance field / property lookup,
+* zero-argument instance method call,
+* one-argument static method call (the value as the argument),
+
+shortest chains first ("shorter jungloids tend to be more likely to be
+correct").  Chains crossing namespace boundaries rank after chains that stay
+within one namespace, Prospector's other ranking idea.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..codemodel.typesystem import TypeSystem
+from ..codemodel.types import TypeDef
+from ..lang.ast import Call, Expr, FieldAccess, Var
+
+
+class ProspectorSearch:
+    """Jungloid search over a library universe."""
+
+    def __init__(self, ts: TypeSystem, max_length: int = 4) -> None:
+        self.ts = ts
+        self.max_length = max_length
+        self._static_converters = self._collect_static_converters()
+
+    def _collect_static_converters(self):
+        converters = {}
+        for method in self.ts.all_methods():
+            if not method.is_static or len(method.params) != 1:
+                continue
+            if method.return_type is None:
+                continue
+            key = method.params[0].type.full_name
+            converters.setdefault(key, []).append(method)
+        return converters
+
+    def _steps(self, expr: Expr) -> Iterator[Expr]:
+        source = expr.type
+        if source is None:
+            return
+        for member in self.ts.instance_lookups(source):
+            yield FieldAccess(expr, member)
+        for method in self.ts.zero_arg_instance_methods(source):
+            if method.return_type is not None:
+                yield Call(method, (expr,))
+        seen = set()
+        for holder in self.ts.supertype_closure(source):
+            for method in self._static_converters.get(holder.full_name, ()):
+                if id(method) not in seen:
+                    seen.add(id(method))
+                    yield Call(method, (expr,))
+
+    def query(
+        self, source_name: str, source: TypeDef, target: TypeDef, n: int = 10
+    ) -> List[Expr]:
+        """Jungloids converting a ``source``-typed variable to ``target``,
+        shortest (then namespace-local) first."""
+        start = Var(source_name, source)
+        results: List[Tuple[int, int, int, Expr]] = []
+        frontier: List[Expr] = [start]
+        order = 0
+        for length in range(0, self.max_length + 1):
+            for expr in frontier:
+                expr_type = expr.type
+                if expr_type is not None and self.ts.implicitly_converts(
+                    expr_type, target
+                ):
+                    crossings = self._namespace_crossings(expr)
+                    results.append((length, crossings, order, expr))
+                    order += 1
+            if len(results) >= n * 3:
+                break
+            frontier = [
+                successor
+                for expr in frontier
+                for successor in self._steps(expr)
+            ]
+            if len(frontier) > 20000:  # defensive cap on fan-out
+                frontier = frontier[:20000]
+        results.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [expr for _l, _c, _o, expr in results[:n]]
+
+    def _namespace_crossings(self, expr: Expr) -> int:
+        namespaces = set()
+        node = expr
+        while True:
+            node_type = node.type
+            if node_type is not None and not node_type.is_primitive:
+                namespaces.add(node_type.namespace_parts[:1])
+            if isinstance(node, FieldAccess):
+                node = node.base
+            elif isinstance(node, Call) and node.args:
+                node = node.args[0]
+            else:
+                break
+        return max(0, len(namespaces) - 1)

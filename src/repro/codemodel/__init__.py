@@ -1,0 +1,22 @@
+"""C#-like code model: types, members, type system and a builder DSL.
+
+This subpackage is the metadata substrate the completion engine searches
+over.  It stands in for the .NET binaries + CCI stack the paper used.
+"""
+
+from .builder import LibraryBuilder
+from .members import Field, Member, Method, Parameter, Property
+from .types import TypeDef, TypeKind
+from .typesystem import TypeSystem
+
+__all__ = [
+    "Field",
+    "LibraryBuilder",
+    "Member",
+    "Method",
+    "Parameter",
+    "Property",
+    "TypeDef",
+    "TypeKind",
+    "TypeSystem",
+]

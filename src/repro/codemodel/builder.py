@@ -1,0 +1,208 @@
+"""A fluent DSL for declaring framework libraries.
+
+Hand-built frameworks (``repro.corpus.frameworks``) and the synthetic
+project generator both use this builder so the declaration code stays flat
+and readable::
+
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    doc = lib.cls("PaintDotNet.Document")
+    size = lib.struct("System.Drawing.Size", comparable=False)
+    lib.static_method(
+        "PaintDotNet.Actions.CanvasSizeAction", "ResizeDocument",
+        returns=doc, params=[("document", doc), ("newSize", size)])
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from .members import Field, Method, Parameter, Property
+from .types import TypeDef, TypeKind
+from .typesystem import TypeSystem
+
+ParamSpec = Union[Parameter, Tuple[str, TypeDef]]
+
+
+def _split_full_name(full_name: str) -> Tuple[str, str]:
+    """``"A.B.C"`` -> ``("A.B", "C")``; ``"C"`` -> ``("", "C")``."""
+    if "." in full_name:
+        namespace, _, name = full_name.rpartition(".")
+        return namespace, name
+    return "", full_name
+
+
+def _as_params(specs: Optional[Iterable[ParamSpec]]) -> Tuple[Parameter, ...]:
+    if not specs:
+        return ()
+    params = []
+    for spec in specs:
+        if isinstance(spec, Parameter):
+            params.append(spec)
+        else:
+            name, typedef = spec
+            params.append(Parameter(name, typedef))
+    return tuple(params)
+
+
+class LibraryBuilder:
+    """Declares types and members into a :class:`TypeSystem`.
+
+    Type-declaring methods take namespace-qualified names and are idempotent
+    on the *type system* only in the sense that re-declaring an existing name
+    raises — libraries are built once.
+    """
+
+    def __init__(self, type_system: TypeSystem) -> None:
+        self.ts = type_system
+
+    # ------------------------------------------------------------------
+    # type declarations
+    # ------------------------------------------------------------------
+    def cls(
+        self,
+        full_name: str,
+        base: Optional[TypeDef] = None,
+        interfaces: Sequence[TypeDef] = (),
+        comparable: bool = False,
+    ) -> TypeDef:
+        """Declare a class."""
+        namespace, name = _split_full_name(full_name)
+        return self.ts.register(
+            TypeDef(
+                name,
+                namespace,
+                kind=TypeKind.CLASS,
+                base=base,
+                interfaces=tuple(interfaces),
+                comparable=comparable,
+            )
+        )
+
+    def struct(
+        self,
+        full_name: str,
+        interfaces: Sequence[TypeDef] = (),
+        comparable: bool = False,
+    ) -> TypeDef:
+        """Declare a struct (value type; base is ``System.ValueType``)."""
+        namespace, name = _split_full_name(full_name)
+        return self.ts.register(
+            TypeDef(
+                name,
+                namespace,
+                kind=TypeKind.STRUCT,
+                base=self.ts.value_type,
+                interfaces=tuple(interfaces),
+                comparable=comparable,
+            )
+        )
+
+    def iface(
+        self, full_name: str, extends: Sequence[TypeDef] = ()
+    ) -> TypeDef:
+        """Declare an interface."""
+        namespace, name = _split_full_name(full_name)
+        return self.ts.register(
+            TypeDef(
+                name,
+                namespace,
+                kind=TypeKind.INTERFACE,
+                interfaces=tuple(extends),
+            )
+        )
+
+    def enum(self, full_name: str, values: Sequence[str] = ()) -> TypeDef:
+        """Declare an enum; its values become static fields of the enum."""
+        namespace, name = _split_full_name(full_name)
+        typedef = self.ts.register(
+            TypeDef(
+                name,
+                namespace,
+                kind=TypeKind.ENUM,
+                base=self.ts.enum_type,
+                comparable=True,
+            )
+        )
+        for value in values:
+            typedef.add_field(Field(value, typedef, is_static=True))
+        return typedef
+
+    # ------------------------------------------------------------------
+    # member declarations
+    # ------------------------------------------------------------------
+    def _resolve(self, owner: Union[TypeDef, str]) -> TypeDef:
+        if isinstance(owner, TypeDef):
+            return owner
+        existing = self.ts.try_get(owner)
+        if existing is not None:
+            return existing
+        return self.cls(owner)
+
+    def field(
+        self,
+        owner: Union[TypeDef, str],
+        name: str,
+        type: TypeDef,
+        static: bool = False,
+    ) -> Field:
+        return self._resolve(owner).add_field(Field(name, type, is_static=static))
+
+    def prop(
+        self,
+        owner: Union[TypeDef, str],
+        name: str,
+        type: TypeDef,
+        static: bool = False,
+    ) -> Property:
+        return self._resolve(owner).add_property(
+            Property(name, type, is_static=static)
+        )
+
+    def method(
+        self,
+        owner: Union[TypeDef, str],
+        name: str,
+        returns: Optional[TypeDef] = None,
+        params: Optional[Iterable[ParamSpec]] = None,
+        overrides: Optional[Method] = None,
+    ) -> Method:
+        """Declare an instance method (``returns=None`` means ``void``)."""
+        return self._resolve(owner).add_method(
+            Method(
+                name,
+                returns,
+                params=_as_params(params),
+                is_static=False,
+                overrides=overrides,
+            )
+        )
+
+    def static_method(
+        self,
+        owner: Union[TypeDef, str],
+        name: str,
+        returns: Optional[TypeDef] = None,
+        params: Optional[Iterable[ParamSpec]] = None,
+    ) -> Method:
+        """Declare a static method."""
+        return self._resolve(owner).add_method(
+            Method(name, returns, params=_as_params(params), is_static=True)
+        )
+
+    def ctor(
+        self,
+        owner: Union[TypeDef, str],
+        params: Optional[Iterable[ParamSpec]] = None,
+    ) -> Method:
+        """Declare a constructor (``new Owner(params)``)."""
+        typedef = self._resolve(owner)
+        return typedef.add_method(
+            Method(
+                typedef.name,
+                typedef,
+                params=_as_params(params),
+                is_static=True,
+                is_constructor=True,
+            )
+        )

@@ -1,0 +1,98 @@
+"""Universe exploration: render namespace trees and type hierarchies.
+
+The paper's motivation is that frameworks are too big to browse ("searching
+for a needle in a haystack"); these renderers are the browsing complement —
+the REPL's ``:types`` / ``:tree`` commands and the CLI census use them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .types import TypeDef
+from .typesystem import TypeSystem
+
+
+def namespace_tree(ts: TypeSystem, root: Optional[str] = None) -> str:
+    """An indented namespace → type listing.
+
+    ``root`` filters to namespaces under the given prefix.
+    """
+    by_namespace: Dict[str, List[TypeDef]] = {}
+    for typedef in ts.all_types():
+        namespace = typedef.namespace or "(global)"
+        if root is not None:
+            if not (namespace == root or namespace.startswith(root + ".")):
+                continue
+        by_namespace.setdefault(namespace, []).append(typedef)
+
+    lines: List[str] = []
+    for namespace in sorted(by_namespace):
+        lines.append(namespace)
+        for typedef in sorted(by_namespace[namespace], key=lambda t: t.name):
+            members = len(typedef.fields) + len(typedef.properties)
+            methods = len(typedef.methods)
+            lines.append(
+                "  {} {}  ({} lookups, {} methods)".format(
+                    typedef.kind.value, typedef.name, members, methods
+                )
+            )
+    return "\n".join(lines)
+
+
+def type_tree(ts: TypeSystem, typedef: TypeDef) -> str:
+    """One type's hierarchy and member listing::
+
+        class PaintDotNet.BitmapLayer : PaintDotNet.Layer
+          Surface : PaintDotNet.Surface
+          Name : System.String            (inherited from PaintDotNet.Layer)
+          ...
+    """
+    lines = ["{} {}".format(typedef.kind.value, typedef.full_name)]
+    parents = []
+    if typedef.base is not None:
+        parents.append(typedef.base.full_name)
+    parents.extend(i.full_name for i in typedef.interfaces)
+    if parents:
+        lines[0] += " : " + ", ".join(parents)
+
+    for member in ts.instance_lookups(typedef):
+        suffix = ""
+        if member.declaring_type is not typedef:
+            suffix = "    (from {})".format(member.declaring_type.full_name)
+        lines.append("  {} : {}{}".format(
+            member.name, member.type.full_name, suffix))
+    for method in ts.instance_methods(typedef):
+        suffix = ""
+        if method.declaring_type is not typedef:
+            suffix = "    (from {})".format(method.declaring_type.full_name)
+        lines.append("  {}{}".format(_short_signature(method), suffix))
+    static_fields, static_methods = ts.static_members(typedef)
+    for field in static_fields:
+        lines.append("  static {} : {}".format(field.name,
+                                               field.type.full_name))
+    for method in static_methods:
+        lines.append("  static {}".format(_short_signature(method)))
+    return "\n".join(lines)
+
+
+def _short_signature(method) -> str:
+    params = ", ".join(p.type.name for p in method.params)
+    returns = method.return_type.name if method.return_type else "void"
+    return "{}({}) : {}".format(method.name, params, returns)
+
+
+def subtype_tree(ts: TypeSystem, root: TypeDef, indent: str = "") -> str:
+    """The inheritance tree rooted at a type (direct subtypes, recursively)."""
+    lines = [indent + root.full_name]
+    children = sorted(
+        (
+            t
+            for t in ts.all_types()
+            if t.base is root or root in t.interfaces
+        ),
+        key=lambda t: t.full_name,
+    )
+    for child in children:
+        lines.append(subtype_tree(ts, child, indent + "  "))
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Type definitions for the C#-like code model.
+
+The paper's algorithm consumes static metadata about a .NET-style framework:
+classes, interfaces, structs, enums and primitive types arranged in
+namespaces, each carrying fields, properties and methods.  ``TypeDef`` is the
+single node type for all of these; the :class:`TypeKind` enum distinguishes
+the flavours.
+
+Types are created through :class:`repro.codemodel.builder.LibraryBuilder` or
+directly and registered with a :class:`repro.codemodel.typesystem.TypeSystem`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .members import Field, Method, Property
+
+
+class TypeKind(enum.Enum):
+    """The flavour of a :class:`TypeDef`."""
+
+    CLASS = "class"
+    INTERFACE = "interface"
+    STRUCT = "struct"
+    ENUM = "enum"
+    PRIMITIVE = "primitive"
+
+
+class TypeDef:
+    """A named type in the code model.
+
+    Parameters
+    ----------
+    name:
+        The simple (unqualified) name, e.g. ``"Document"``.
+    namespace:
+        The dotted namespace, e.g. ``"PaintDotNet.Actions"``.  The empty
+        string means the global namespace.
+    kind:
+        The :class:`TypeKind`.
+    base:
+        The declared base type (``None`` for ``Object``, interfaces without
+        an ``Object`` edge get one implicitly in the type system).
+    interfaces:
+        Interfaces this type declares it implements / extends.
+    comparable:
+        Whether values of this type can appear on either side of a
+        relational operator (``<``, ``>=``, ...).  Numeric primitives,
+        ``DateTime``-style types and enums set this.
+    treat_as_primitive:
+        The paper's namespace feature ignores "primitive types, including
+        string"; ``String`` sets this without being a ``PRIMITIVE`` kind.
+    """
+
+    __slots__ = (
+        "name",
+        "namespace",
+        "kind",
+        "base",
+        "interfaces",
+        "comparable",
+        "treat_as_primitive",
+        "fields",
+        "properties",
+        "methods",
+        "_member_cache",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        namespace: str = "",
+        kind: TypeKind = TypeKind.CLASS,
+        base: Optional["TypeDef"] = None,
+        interfaces: Tuple["TypeDef", ...] = (),
+        comparable: bool = False,
+        treat_as_primitive: bool = False,
+    ) -> None:
+        self.name = name
+        self.namespace = namespace
+        self.kind = kind
+        self.base = base
+        self.interfaces: Tuple[TypeDef, ...] = tuple(interfaces)
+        self.comparable = comparable
+        self.treat_as_primitive = treat_as_primitive
+        self.fields: List["Field"] = []
+        self.properties: List["Property"] = []
+        self.methods: List["Method"] = []
+        self._member_cache: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def full_name(self) -> str:
+        """The namespace-qualified name used for registry lookups."""
+        if self.namespace:
+            return "{}.{}".format(self.namespace, self.name)
+        return self.name
+
+    @property
+    def namespace_parts(self) -> Tuple[str, ...]:
+        """The namespace as a tuple of segments (empty for the global ns)."""
+        if not self.namespace:
+            return ()
+        return tuple(self.namespace.split("."))
+
+    @property
+    def is_primitive(self) -> bool:
+        """True for primitive kinds *and* primitive-like types (string).
+
+        This is the notion of "primitive" used by the ranking function's
+        common-namespace feature.
+        """
+        return self.kind is TypeKind.PRIMITIVE or self.treat_as_primitive
+
+    @property
+    def is_interface(self) -> bool:
+        return self.kind is TypeKind.INTERFACE
+
+    @property
+    def is_enum(self) -> bool:
+        return self.kind is TypeKind.ENUM
+
+    # ------------------------------------------------------------------
+    # member management
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._member_cache = None
+
+    def add_field(self, field: "Field") -> "Field":
+        field.declaring_type = self
+        self.fields.append(field)
+        self._invalidate()
+        return field
+
+    def add_property(self, prop: "Property") -> "Property":
+        prop.declaring_type = self
+        self.properties.append(prop)
+        self._invalidate()
+        return prop
+
+    def add_method(self, method: "Method") -> "Method":
+        method.declaring_type = self
+        self.methods.append(method)
+        self._invalidate()
+        return method
+
+    # ------------------------------------------------------------------
+    # member lookup (declared members only; inherited lookup lives in the
+    # TypeSystem which knows the full hierarchy)
+    # ------------------------------------------------------------------
+    def declared_lookups(self) -> Iterator[object]:
+        """Fields and properties declared directly on this type."""
+        yield from self.fields
+        yield from self.properties
+
+    def declared_methods_named(self, name: str) -> List["Method"]:
+        return [m for m in self.methods if m.name == name]
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<TypeDef {} {}>".format(self.kind.value, self.full_name)
+
+    def __str__(self) -> str:
+        return self.full_name

@@ -1,0 +1,367 @@
+"""The type system: registry, subtyping, implicit conversion, type distance.
+
+``type_distance`` implements the paper's ``td(alpha, beta)``:
+
+    td(a, b) = undefined   if there is no implicit conversion from a to b
+             = 0           if a == b
+             = 1 + td(s(a), b)   otherwise
+
+where ``s(a)`` is the *declared immediate supertype* of ``a`` that minimises
+``td(s(a), b)``; for primitive types the immediate supertypes are the
+single-step implicit widening conversions (``int -> long``, ``float ->
+double``, ...).  This makes ``td`` the shortest-path length from ``a`` to
+``b`` in the declared-supertype graph, which is how we compute it (BFS,
+memoised).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .members import Field, Method
+from .types import TypeDef, TypeKind
+
+#: Single-step implicit numeric widening conversions, C#-style.
+_PRIMITIVE_WIDENINGS: Dict[str, Tuple[str, ...]] = {
+    "byte": ("short",),
+    "char": ("int",),
+    "short": ("int",),
+    "int": ("long", "float"),
+    "long": ("float", "decimal"),
+    "float": ("double",),
+    "double": (),
+    "decimal": (),
+    "bool": (),
+}
+
+#: Numeric primitives, used for comparability checks.
+_NUMERIC_PRIMITIVES = frozenset(
+    ["byte", "char", "short", "int", "long", "float", "double", "decimal"]
+)
+
+
+class TypeSystem:
+    """A registry of :class:`TypeDef` plus subtyping and distance queries.
+
+    A fresh type system is seeded with the standard primitive types and the
+    roots ``System.Object``, ``System.ValueType`` and ``System.Enum``, which
+    every registered type ultimately derives from.
+    """
+
+    def __init__(self) -> None:
+        self._types: Dict[str, TypeDef] = {}
+        self._td_cache: Dict[Tuple[str, str], Optional[int]] = {}
+        self._supertype_cache: Dict[str, Tuple[TypeDef, ...]] = {}
+        self._lookup_cache: Dict[str, Tuple[Field, ...]] = {}
+        self._method_cache: Dict[str, Tuple[Method, ...]] = {}
+        self._install_core()
+
+    # ------------------------------------------------------------------
+    # core types
+    # ------------------------------------------------------------------
+    def _install_core(self) -> None:
+        self.object_type = self.register(TypeDef("Object", "System"))
+        self.value_type = self.register(
+            TypeDef("ValueType", "System", base=self.object_type)
+        )
+        self.enum_type = self.register(
+            TypeDef("Enum", "System", base=self.value_type)
+        )
+        self.void_type = self.register(
+            TypeDef("void", "", kind=TypeKind.PRIMITIVE)
+        )
+        self._primitives: Dict[str, TypeDef] = {}
+        for name in _PRIMITIVE_WIDENINGS:
+            comparable = name in _NUMERIC_PRIMITIVES
+            self._primitives[name] = self.register(
+                TypeDef(name, "", kind=TypeKind.PRIMITIVE, comparable=comparable)
+            )
+        self.string_type = self.register(
+            TypeDef(
+                "String",
+                "System",
+                base=self.object_type,
+                treat_as_primitive=True,
+            )
+        )
+
+    def primitive(self, name: str) -> TypeDef:
+        """Fetch a primitive by its C# keyword name (``"int"``, ...)."""
+        return self._primitives[name]
+
+    @property
+    def primitives(self) -> Tuple[TypeDef, ...]:
+        return tuple(self._primitives.values())
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def register(self, typedef: TypeDef) -> TypeDef:
+        """Register a type; full names must be unique."""
+        key = typedef.full_name
+        if key in self._types:
+            raise ValueError("duplicate type registration: {}".format(key))
+        self._types[key] = typedef
+        self._invalidate_caches()
+        return typedef
+
+    def get(self, full_name: str) -> TypeDef:
+        return self._types[full_name]
+
+    def try_get(self, full_name: str) -> Optional[TypeDef]:
+        return self._types.get(full_name)
+
+    def all_types(self) -> List[TypeDef]:
+        return list(self._types.values())
+
+    def all_methods(self) -> Iterator[Method]:
+        for typedef in self._types.values():
+            yield from typedef.methods
+
+    def _invalidate_caches(self) -> None:
+        self._td_cache.clear()
+        self._supertype_cache.clear()
+        self._lookup_cache.clear()
+        self._method_cache.clear()
+
+    # ------------------------------------------------------------------
+    # supertype structure
+    # ------------------------------------------------------------------
+    def immediate_supertypes(self, typedef: TypeDef) -> Tuple[TypeDef, ...]:
+        """Declared one-step supertypes of ``typedef``.
+
+        Classes/structs/enums: the base class (``Object`` implicitly when no
+        base is declared) plus declared interfaces.  Interfaces: extended
+        interfaces, or ``Object`` when they extend nothing (so that every
+        type reaches ``Object``).  Primitives: the one-step widenings.
+        """
+        key = typedef.full_name
+        cached = self._supertype_cache.get(key)
+        if cached is not None:
+            return cached
+
+        supers: List[TypeDef] = []
+        if typedef.kind is TypeKind.PRIMITIVE:
+            for target in _PRIMITIVE_WIDENINGS.get(typedef.name, ()):
+                supers.append(self._primitives[target])
+        else:
+            if typedef.base is not None:
+                supers.append(typedef.base)
+            elif typedef is not self.object_type:
+                # a class/struct/enum without a declared base derives
+                # Object; interfaces are convertible to Object too
+                supers.append(self.object_type)
+            supers.extend(
+                i for i in typedef.interfaces if i not in supers
+            )
+        result = tuple(supers)
+        self._supertype_cache[key] = result
+        return result
+
+    def supertype_closure(self, typedef: TypeDef) -> Set[TypeDef]:
+        """``typedef`` plus everything it implicitly converts to."""
+        seen: Set[TypeDef] = set()
+        queue = deque([typedef])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.immediate_supertypes(current))
+        return seen
+
+    def implicitly_converts(self, source: TypeDef, target: TypeDef) -> bool:
+        """True iff a value of ``source`` is usable where ``target`` is
+        expected (identity, widening, subclassing, interface implementation).
+        """
+        return self.type_distance(source, target) is not None
+
+    def is_subtype(self, source: TypeDef, target: TypeDef) -> bool:
+        """Alias of :meth:`implicitly_converts` for non-primitive intuition."""
+        return self.implicitly_converts(source, target)
+
+    # ------------------------------------------------------------------
+    # type distance (the paper's td)
+    # ------------------------------------------------------------------
+    def type_distance(self, source: TypeDef, target: TypeDef) -> Optional[int]:
+        """``td(source, target)``: BFS depth in the supertype graph.
+
+        Returns ``None`` when undefined (no implicit conversion).
+        """
+        key = (source.full_name, target.full_name)
+        if key in self._td_cache:
+            return self._td_cache[key]
+
+        distance: Optional[int] = None
+        if source is target:
+            distance = 0
+        else:
+            seen: Set[TypeDef] = {source}
+            frontier = [source]
+            depth = 0
+            while frontier and distance is None:
+                depth += 1
+                next_frontier: List[TypeDef] = []
+                for node in frontier:
+                    for parent in self.immediate_supertypes(node):
+                        if parent is target:
+                            distance = depth
+                            break
+                        if parent not in seen:
+                            seen.add(parent)
+                            next_frontier.append(parent)
+                    if distance is not None:
+                        break
+                frontier = next_frontier
+        self._td_cache[key] = distance
+        return distance
+
+    # ------------------------------------------------------------------
+    # comparability (for the `<` / `>=` operator)
+    # ------------------------------------------------------------------
+    def join(self, left: TypeDef, right: TypeDef) -> Optional[TypeDef]:
+        """The "more general type" of the two, per the paper's operator rule.
+
+        Returns the nearest common supertype reachable from both sides, or
+        ``None`` when the only common supertype is ``Object`` for reference
+        types (handled by callers deciding comparability).
+        """
+        if left is right:
+            return left
+        left_closure = self.supertype_closure(left)
+        if right in left_closure:
+            return right
+        if left in self.supertype_closure(right):
+            return left
+        # BFS from both; nearest common node by combined distance
+        common = left_closure & self.supertype_closure(right)
+        if not common:
+            return None
+        best: Optional[TypeDef] = None
+        best_cost = None
+        for candidate in common:
+            left_d = self.type_distance(left, candidate)
+            right_d = self.type_distance(right, candidate)
+            if left_d is None or right_d is None:
+                continue
+            cost = left_d + right_d
+            if best_cost is None or cost < best_cost or (
+                cost == best_cost and candidate.full_name < best.full_name
+            ):
+                best = candidate
+                best_cost = cost
+        return best
+
+    def comparable(self, left: TypeDef, right: TypeDef) -> bool:
+        """Can ``left < right`` type-check?
+
+        Numeric primitives compare with one another; other types compare
+        only when both sides are flagged ``comparable`` and one side
+        converts to the other (e.g. ``DateTime >= DateTime``, same enum).
+        """
+        if left.name in _NUMERIC_PRIMITIVES and right.name in _NUMERIC_PRIMITIVES:
+            if left.kind is TypeKind.PRIMITIVE and right.kind is TypeKind.PRIMITIVE:
+                return True
+        if not (left.comparable and right.comparable):
+            return False
+        return self.implicitly_converts(left, right) or self.implicitly_converts(
+            right, left
+        )
+
+    def comparison_distance(self, left: TypeDef, right: TypeDef) -> Optional[int]:
+        """Type distance between the two operands of a comparison.
+
+        The paper scores binary operators as methods with two parameters of
+        "the more general type, so the type distance between the two
+        arguments to the operator is used".
+        """
+        if not self.comparable(left, right):
+            return None
+        direct = self.type_distance(left, right)
+        if direct is None:
+            direct = self.type_distance(right, left)
+        if direct is not None:
+            return direct
+        general = self.join(left, right)
+        if general is None:
+            return None
+        left_d = self.type_distance(left, general)
+        right_d = self.type_distance(right, general)
+        if left_d is None or right_d is None:
+            return None
+        return left_d + right_d
+
+    # ------------------------------------------------------------------
+    # member lookup through the hierarchy
+    # ------------------------------------------------------------------
+    def instance_lookups(self, typedef: TypeDef) -> Tuple[Field, ...]:
+        """All instance fields/properties visible on ``typedef`` (declared
+        plus inherited through base classes and interfaces)."""
+        key = typedef.full_name
+        cached = self._lookup_cache.get(key)
+        if cached is not None:
+            return cached
+        seen_names: Set[str] = set()
+        result: List[Field] = []
+        for holder in self._mro(typedef):
+            for member in holder.declared_lookups():
+                assert isinstance(member, Field)
+                if member.is_static or member.name in seen_names:
+                    continue
+                seen_names.add(member.name)
+                result.append(member)
+        final = tuple(result)
+        self._lookup_cache[key] = final
+        return final
+
+    def instance_methods(self, typedef: TypeDef) -> Tuple[Method, ...]:
+        """All instance methods visible on ``typedef`` (incl. inherited)."""
+        key = typedef.full_name
+        cached = self._method_cache.get(key)
+        if cached is not None:
+            return cached
+        seen: Set[Tuple[str, int]] = set()
+        result: List[Method] = []
+        for holder in self._mro(typedef):
+            for method in holder.methods:
+                if method.is_static:
+                    continue
+                sig = (method.name, len(method.params))
+                if sig in seen:
+                    continue
+                seen.add(sig)
+                result.append(method)
+        final = tuple(result)
+        self._method_cache[key] = final
+        return final
+
+    def zero_arg_instance_methods(self, typedef: TypeDef) -> List[Method]:
+        return [m for m in self.instance_methods(typedef) if not m.params]
+
+    def static_members(self, typedef: TypeDef) -> Tuple[List[Field], List[Method]]:
+        """Static fields/properties and static methods declared on a type."""
+        fields = [f for f in typedef.fields if f.is_static]
+        fields += [p for p in typedef.properties if p.is_static]
+        methods = [m for m in typedef.methods if m.is_static]
+        return fields, methods
+
+    def _mro(self, typedef: TypeDef) -> List[TypeDef]:
+        """Deterministic linearisation: the type, base chain, then
+        interfaces breadth-first."""
+        order: List[TypeDef] = []
+        seen: Set[TypeDef] = set()
+        queue = deque([typedef])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            order.append(current)
+            if current.kind is not TypeKind.PRIMITIVE:
+                if current.base is not None:
+                    queue.append(current.base)
+                queue.extend(current.interfaces)
+                if current.base is None and current is not self.object_type:
+                    queue.append(self.object_type)
+        return order

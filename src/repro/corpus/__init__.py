@@ -1,0 +1,40 @@
+"""Corpora: client-code model, hand frameworks, synthesis, the 7 projects."""
+
+from .oracle import ImplAbstractTypes
+from .program import (
+    AssignStatement,
+    ExprStatement,
+    IfStatement,
+    LocalDecl,
+    MethodImpl,
+    Project,
+    ReturnStatement,
+    Statement,
+)
+from .projects import PROJECT_BUILDERS, build_all_projects
+from .synthesis import (
+    ArgumentMix,
+    StatementMix,
+    SynthesisSpec,
+    classify_expr,
+    synthesize_project,
+)
+
+__all__ = [
+    "ArgumentMix",
+    "AssignStatement",
+    "ExprStatement",
+    "IfStatement",
+    "ImplAbstractTypes",
+    "LocalDecl",
+    "MethodImpl",
+    "PROJECT_BUILDERS",
+    "Project",
+    "ReturnStatement",
+    "Statement",
+    "StatementMix",
+    "SynthesisSpec",
+    "build_all_projects",
+    "classify_expr",
+    "synthesize_project",
+]

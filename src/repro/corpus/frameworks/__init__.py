@@ -1,0 +1,25 @@
+"""Hand-modelled frameworks: the mini-BCL and the paper's example APIs."""
+
+from .familyshow import FamilyShow, build_familyshow
+from .geometry import Geometry, build_geometry
+from .media import Banshee, GnomeDo, build_banshee, build_gnomedo
+from .paintdotnet import PaintDotNet, build_paintdotnet
+from .system import SystemCore, build_system_core
+from .wix import Wix, build_wix
+
+__all__ = [
+    "Banshee",
+    "FamilyShow",
+    "Geometry",
+    "GnomeDo",
+    "PaintDotNet",
+    "SystemCore",
+    "Wix",
+    "build_banshee",
+    "build_familyshow",
+    "build_geometry",
+    "build_gnomedo",
+    "build_paintdotnet",
+    "build_system_core",
+    "build_wix",
+]

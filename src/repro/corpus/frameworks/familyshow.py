@@ -1,0 +1,80 @@
+"""A Family.Show-shaped anchor framework (the WPF genealogy sample app).
+
+Anchors the project that hosts the paper's Sec. 4.1 abstract-type example:
+people, relationships and the photo/story attachments whose file-path
+strings the analysis partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...codemodel.builder import LibraryBuilder
+from ...codemodel.types import TypeDef
+from ...codemodel.typesystem import TypeSystem
+from .system import SystemCore, build_system_core
+
+
+@dataclass
+class FamilyShow:
+    """Handles to the Family.Show universe."""
+
+    ts: TypeSystem
+    core: SystemCore
+    person: TypeDef
+    people: TypeDef
+    relationship: TypeDef
+
+
+def build_familyshow(ts: TypeSystem, core: SystemCore = None) -> FamilyShow:
+    if core is None:
+        core = build_system_core(ts)
+    lib = LibraryBuilder(ts)
+    string = ts.string_type
+    int_t = ts.primitive("int")
+    bool_t = ts.primitive("bool")
+
+    gender = lib.enum("FamilyShow.Gender", values=["Male", "Female"])
+
+    photo = lib.cls("FamilyShow.Photo")
+    lib.prop(photo, "FullyQualifiedPath", string)
+    lib.prop(photo, "IsAvatar", bool_t)
+
+    story = lib.cls("FamilyShow.Story")
+    lib.prop(story, "AbsolutePath", string)
+    lib.method(story, "Save", params=[("text", string)])
+
+    person = lib.cls("FamilyShow.Person")
+    lib.prop(person, "FirstName", string)
+    lib.prop(person, "LastName", string)
+    lib.prop(person, "FullName", string)
+    lib.prop(person, "Age", int_t)
+    lib.prop(person, "BirthDate", core.datetime)
+    lib.prop(person, "DeathDate", core.datetime)
+    lib.prop(person, "Gender", gender)
+    lib.prop(person, "IsLiving", bool_t)
+    lib.prop(person, "Avatar", photo)
+    lib.prop(person, "Story", story)
+
+    relationship = lib.cls("FamilyShow.Relationship")
+    lib.prop(relationship, "RelationTo", person)
+    lib.prop(relationship, "StartDate", core.datetime)
+
+    spouse_rel = lib.cls("FamilyShow.SpouseRelationship", base=relationship)
+    lib.prop(spouse_rel, "MarriageDate", core.datetime)
+
+    people = lib.cls("FamilyShow.PeopleCollection")
+    lib.prop(people, "Current", person)
+    lib.prop(people, "Count", int_t)
+    lib.method(people, "Add", params=[("person", person)])
+    lib.method(people, "Find", returns=person, params=[("id", string)])
+    lib.method(people, "GetParents", returns=people,
+               params=[("person", person)])
+
+    family = lib.cls("FamilyShow.App.Family")
+    lib.prop(family, "People", people, static=True)
+    lib.static_method(family, "LoadFamily", returns=people,
+                      params=[("path", string)])
+
+    return FamilyShow(ts=ts, core=core, person=person, people=people,
+                      relationship=relationship)

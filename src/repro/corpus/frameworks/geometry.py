@@ -1,0 +1,106 @@
+"""A DynamicGeometry/LiveGeometry-shaped framework.
+
+Models the APIs behind Figures 3 and 4: geometry ``Point`` values reachable
+from an ``EllipseArc``'s fields, ``Math.Distance(Point, Point)``, shapes
+with ``RenderTransformOrigin``, and line segments with same-named ``X``/``Y``
+coordinate lookups for the comparison experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...codemodel.builder import LibraryBuilder
+from ...codemodel.members import Method
+from ...codemodel.types import TypeDef
+from ...codemodel.typesystem import TypeSystem
+from .system import SystemCore, build_system_core
+
+
+@dataclass
+class Geometry:
+    """Handles to the geometry universe used by examples and tests."""
+
+    ts: TypeSystem
+    core: SystemCore
+    point: TypeDef
+    shape: TypeDef
+    ellipse_arc: TypeDef
+    line_segment: TypeDef
+    shape_style: TypeDef
+    distance: Method
+
+
+def build_geometry(ts: TypeSystem, core: SystemCore = None) -> Geometry:
+    """Install the geometry framework (plus the system core if needed)."""
+    if core is None:
+        core = build_system_core(ts)
+    lib = LibraryBuilder(ts)
+    string = ts.string_type
+    double_t = ts.primitive("double")
+    bool_t = ts.primitive("bool")
+
+    point = lib.struct("DynamicGeometry.Point")
+    lib.prop(point, "X", double_t)
+    lib.prop(point, "Y", double_t)
+    lib.prop(point, "Timestamp", core.datetime)
+
+    math = lib.cls("DynamicGeometry.Math")
+    distance = lib.static_method(math, "Distance", returns=double_t,
+                                 params=[("p1", point), ("p2", point)])
+    lib.static_method(math, "Midpoint", returns=point,
+                      params=[("p1", point), ("p2", point)])
+    lib.field(math, "InfinitePoint", point, static=True)
+
+    glyph = lib.cls("DynamicGeometry.Glyph")
+    lib.prop(glyph, "RenderTransformOrigin", point)
+    lib.prop(glyph, "Name", string)
+
+    shape_style = lib.cls("DynamicGeometry.ShapeStyle")
+    lib.method(shape_style, "GetSampleGlyph", returns=glyph)
+    lib.prop(shape_style, "StrokeWidth", double_t)
+
+    shape = lib.cls("DynamicGeometry.Shape")
+    lib.prop(shape, "RenderTransformOrigin", point)
+    lib.prop(shape, "Visible", bool_t)
+    lib.prop(shape, "Style", shape_style)
+
+    figure = lib.cls("DynamicGeometry.Figure", base=shape)
+    lib.prop(figure, "StartPoint", point)
+    lib.prop(figure, "EndPoint", point)
+
+    arc_shape = lib.cls("DynamicGeometry.ArcShape", base=shape)
+    lib.prop(arc_shape, "Point", point)
+    lib.prop(arc_shape, "SweepAngle", double_t)
+
+    line_segment = lib.cls("DynamicGeometry.LineSegment", base=shape)
+    lib.prop(line_segment, "P1", point)
+    lib.prop(line_segment, "P2", point)
+    lib.prop(line_segment, "Midpoint", point)
+    lib.prop(line_segment, "Length", double_t)
+    lib.method(line_segment, "FirstValidValue", returns=point)
+
+    ellipse_arc = lib.cls("DynamicGeometry.EllipseArc", base=shape)
+    lib.field(ellipse_arc, "BeginLocation", point)
+    lib.field(ellipse_arc, "Center", point)
+    lib.field(ellipse_arc, "EndLocation", point)
+    lib.prop(ellipse_arc, "ArcShape", arc_shape)
+    lib.prop(ellipse_arc, "Figure", figure)
+    lib.prop(ellipse_arc, "Shape", shape)
+    lib.field(ellipse_arc, "shape", shape)
+
+    canvas = lib.cls("DynamicGeometry.Drawing")
+    lib.method(canvas, "Add", params=[("shape", shape)])
+    lib.method(canvas, "Remove", params=[("shape", shape)])
+    lib.prop(canvas, "Scale", double_t)
+
+    return Geometry(
+        ts=ts,
+        core=core,
+        point=point,
+        shape=shape,
+        ellipse_arc=ellipse_arc,
+        line_segment=line_segment,
+        shape_style=shape_style,
+        distance=distance,
+    )

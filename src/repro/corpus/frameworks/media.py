@@ -1,0 +1,118 @@
+"""Banshee- and GNOME-Do-shaped anchor frameworks.
+
+Small hand-built cores for the two smallest Table 1 projects: a media
+player's track/album/playback model and an application launcher's
+item/action universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...codemodel.builder import LibraryBuilder
+from ...codemodel.types import TypeDef
+from ...codemodel.typesystem import TypeSystem
+from .system import SystemCore, build_system_core
+
+
+@dataclass
+class Banshee:
+    """Handles to the Banshee universe."""
+
+    ts: TypeSystem
+    core: SystemCore
+    track: TypeDef
+    album: TypeDef
+    artist: TypeDef
+    player: TypeDef
+
+
+def build_banshee(ts: TypeSystem, core: SystemCore = None) -> Banshee:
+    if core is None:
+        core = build_system_core(ts)
+    lib = LibraryBuilder(ts)
+    string = ts.string_type
+    int_t = ts.primitive("int")
+    bool_t = ts.primitive("bool")
+
+    artist = lib.cls("Banshee.Collection.ArtistInfo")
+    lib.prop(artist, "Name", string)
+    lib.prop(artist, "MusicBrainzId", string)
+
+    album = lib.cls("Banshee.Collection.AlbumInfo")
+    lib.prop(album, "Title", string)
+    lib.prop(album, "ArtistName", string)
+    lib.prop(album, "TrackCount", int_t)
+
+    track = lib.cls("Banshee.Collection.TrackInfo")
+    lib.prop(track, "TrackTitle", string)
+    lib.prop(track, "Album", album)
+    lib.prop(track, "Artist", artist)
+    lib.prop(track, "Duration", core.timespan)
+    lib.prop(track, "PlayCount", int_t)
+    lib.prop(track, "Rating", int_t)
+    lib.method(track, "IncrementPlayCount")
+
+    playback_state = lib.enum("Banshee.MediaEngine.PlayerState",
+                              values=["Idle", "Loading", "Playing", "Paused"])
+    player = lib.cls("Banshee.MediaEngine.PlayerEngine")
+    lib.prop(player, "CurrentTrack", track)
+    lib.prop(player, "CurrentState", playback_state)
+    lib.prop(player, "Volume", int_t)
+    lib.method(player, "Open", params=[("track", track)])
+    lib.method(player, "Play")
+    lib.method(player, "Pause")
+    lib.method(player, "SeekTo", params=[("position", int_t)])
+
+    service = lib.cls("Banshee.ServiceStack.ServiceManager")
+    lib.prop(service, "PlayerEngine", player, static=True)
+    lib.prop(service, "IsInitialized", bool_t, static=True)
+
+    return Banshee(ts=ts, core=core, track=track, album=album,
+                   artist=artist, player=player)
+
+
+@dataclass
+class GnomeDo:
+    """Handles to the GNOME Do universe."""
+
+    ts: TypeSystem
+    core: SystemCore
+    item: TypeDef
+    act: TypeDef
+    universe: TypeDef
+
+
+def build_gnomedo(ts: TypeSystem, core: SystemCore = None) -> GnomeDo:
+    if core is None:
+        core = build_system_core(ts)
+    lib = LibraryBuilder(ts)
+    string = ts.string_type
+    bool_t = ts.primitive("bool")
+
+    item = lib.iface("Do.Universe.Item")
+    element = lib.cls("Do.Universe.Element", interfaces=[item])
+    lib.prop(element, "Name", string)
+    lib.prop(element, "Description", string)
+    lib.prop(element, "Icon", string)
+    lib.method(element, "NameOrDescription", returns=string)
+
+    act = lib.cls("Do.Universe.Act", base=element)
+    lib.method(act, "SupportsItem", returns=bool_t, params=[("item", item)])
+
+    file_item = lib.cls("Do.Universe.FileItem", base=element)
+    lib.prop(file_item, "Path", string)
+    lib.method(file_item, "Open")
+
+    universe = lib.cls("Do.Core.UniverseManager")
+    lib.method(universe, "Search", returns=element,
+               params=[("query", string)])
+    lib.method(universe, "AddItem", params=[("item", item)])
+    lib.prop(universe, "ItemCount", ts.primitive("int"))
+
+    controller = lib.cls("Do.Core.Controller")
+    lib.method(controller, "Summon")
+    lib.method(controller, "PerformAction",
+               params=[("act", act), ("target", item)])
+
+    return GnomeDo(ts=ts, core=core, item=item, act=act, universe=universe)

@@ -1,0 +1,146 @@
+"""A Paint.NET-shaped framework — the paper's Sec. 2 running example.
+
+Models the APIs behind Figure 2: ``CanvasSizeAction.ResizeDocument``, the
+``Pair/Triple/Quadruple.Create`` tuple helpers, ``Func.Bind``, the property
+system, and enough surrounding image-editor surface (layers, surfaces,
+history) to give the ranking something to sift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...codemodel.builder import LibraryBuilder
+from ...codemodel.members import Method
+from ...codemodel.types import TypeDef
+from ...codemodel.typesystem import TypeSystem
+from .system import SystemCore, build_system_core
+
+
+@dataclass
+class PaintDotNet:
+    """Handles to the Paint.NET universe used by examples and tests."""
+
+    ts: TypeSystem
+    core: SystemCore
+    document: TypeDef
+    surface: TypeDef
+    layer: TypeDef
+    bitmap_layer: TypeDef
+    color_bgra: TypeDef
+    anchor_edge: TypeDef
+    size: TypeDef
+    resize_document: Method
+
+
+def build_paintdotnet(ts: TypeSystem, core: SystemCore = None) -> PaintDotNet:
+    """Install the Paint.NET-shaped framework (plus the system core if not
+    already present)."""
+    if core is None:
+        core = build_system_core(ts)
+    lib = LibraryBuilder(ts)
+    obj = ts.object_type
+    string = ts.string_type
+    int_t = ts.primitive("int")
+    bool_t = ts.primitive("bool")
+    size = core.size
+
+    color_bgra = lib.struct("PaintDotNet.ColorBgra")
+    lib.prop(color_bgra, "B", int_t)
+    lib.prop(color_bgra, "G", int_t)
+    lib.prop(color_bgra, "R", int_t)
+    lib.prop(color_bgra, "A", int_t)
+    lib.static_method(color_bgra, "FromBgra", returns=color_bgra,
+                      params=[("b", int_t), ("g", int_t),
+                              ("r", int_t), ("a", int_t)])
+    lib.field(color_bgra, "White", color_bgra, static=True)
+    lib.field(color_bgra, "Black", color_bgra, static=True)
+    lib.field(color_bgra, "Transparent", color_bgra, static=True)
+
+    anchor_edge = lib.enum(
+        "PaintDotNet.AnchorEdge",
+        values=["TopLeft", "Top", "TopRight", "Left", "Middle", "Right",
+                "BottomLeft", "Bottom", "BottomRight"],
+    )
+
+    surface = lib.cls("PaintDotNet.Surface")
+    lib.prop(surface, "Width", int_t)
+    lib.prop(surface, "Height", int_t)
+    lib.prop(surface, "Size", size)
+    lib.method(surface, "Clear", params=[("color", color_bgra)])
+    lib.method(surface, "GetPoint", returns=color_bgra,
+               params=[("x", int_t), ("y", int_t)])
+
+    layer = lib.cls("PaintDotNet.Layer")
+    lib.prop(layer, "Name", string)
+    lib.prop(layer, "Visible", bool_t)
+    lib.prop(layer, "Opacity", int_t)
+    bitmap_layer = lib.cls("PaintDotNet.BitmapLayer", base=layer)
+    lib.prop(bitmap_layer, "Surface", surface)
+
+    document = lib.cls("PaintDotNet.Document")
+    lib.prop(document, "Width", int_t)
+    lib.prop(document, "Height", int_t)
+    lib.prop(document, "Size", size)
+    lib.prop(document, "DpuX", int_t)
+    lib.method(document, "Flatten", returns=bitmap_layer)
+    lib.method(document, "Invalidate")
+    lib.method(document, "OnDeserialization", params=[("sender", obj)])
+    lib.static_method(document, "FromFile", returns=document,
+                      params=[("path", string)])
+
+    # the target of the Sec. 2 example query ?({img, size})
+    canvas_action = lib.cls("PaintDotNet.Actions.CanvasSizeAction")
+    resize_document = lib.static_method(
+        canvas_action, "ResizeDocument", returns=document,
+        params=[("document", document), ("newSize", size),
+                ("edge", anchor_edge), ("background", color_bgra)])
+    lib.static_method(canvas_action, "FlipDocument", returns=document,
+                      params=[("document", document), ("horizontal", bool_t)])
+
+    history = lib.cls("PaintDotNet.HistoryMemento")
+    lib.prop(history, "Name", string)
+    lib.prop(history, "SeqNumber", int_t)
+    history_stack = lib.cls("PaintDotNet.HistoryStack")
+    lib.method(history_stack, "PushNewMemento", params=[("memento", history)])
+    lib.method(history_stack, "StepBackward")
+
+    # the distractors of Figure 2: generic-ish helpers taking Objects
+    pair = lib.cls("PaintDotNet.Pair")
+    lib.static_method(pair, "Create", returns=pair,
+                      params=[("first", obj), ("second", obj)])
+    triple = lib.cls("PaintDotNet.Triple")
+    lib.static_method(triple, "Create", returns=triple,
+                      params=[("first", obj), ("second", obj), ("third", obj)])
+    quadruple = lib.cls("PaintDotNet.Quadruple")
+    lib.static_method(quadruple, "Create", returns=quadruple,
+                      params=[("first", obj), ("second", obj),
+                              ("third", obj), ("fourth", obj)])
+    func = lib.cls("PaintDotNet.Functional.Func")
+    lib.static_method(func, "Bind", returns=func,
+                      params=[("f", obj), ("arg1", obj), ("arg2", obj)])
+
+    prop_cls = lib.cls("PaintDotNet.PropertySystem.Property")
+    lib.prop(prop_cls, "Name", string)
+    lib.static_method(prop_cls, "Create", returns=prop_cls,
+                      params=[("name", obj), ("value", obj),
+                              ("extra", obj)])
+    static_list_prop = lib.cls(
+        "PaintDotNet.PropertySystem.StaticListChoiceProperty", base=prop_cls)
+    lib.static_method(static_list_prop, "CreateForEnum",
+                      returns=static_list_prop,
+                      params=[("enumType", obj), ("defaultValue", obj),
+                              ("readOnly", bool_t)])
+
+    return PaintDotNet(
+        ts=ts,
+        core=core,
+        document=document,
+        surface=surface,
+        layer=layer,
+        bitmap_layer=bitmap_layer,
+        color_bgra=color_bgra,
+        anchor_edge=anchor_edge,
+        size=size,
+        resize_document=resize_document,
+    )

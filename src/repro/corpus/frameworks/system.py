@@ -1,0 +1,233 @@
+"""A miniature .NET Base Class Library.
+
+Every project universe starts from this: core value types, strings,
+collections, IO, drawing and diagnostics APIs.  It is deliberately shaped
+like the real BCL — nested namespaces, inheritance, interfaces, enums,
+static helper classes — because the ranking features (namespace prefixes,
+type distance, in-scope statics) only discriminate on such structure.
+
+It also contains the exact APIs of the paper's Sec. 4.1 abstract-type
+example: ``Path.Combine``, ``Directory.Exists``/``CreateDirectory`` and
+``Environment.GetFolderPath(Environment.SpecialFolder...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...codemodel.builder import LibraryBuilder
+from ...codemodel.types import TypeDef
+from ...codemodel.typesystem import TypeSystem
+
+
+@dataclass
+class SystemCore:
+    """Handles to the core types examples and generators reference."""
+
+    ts: TypeSystem
+    datetime: TypeDef
+    timespan: TypeDef
+    point: TypeDef
+    size: TypeDef
+    rectangle: TypeDef
+    color: TypeDef
+    ienumerable: TypeDef
+    icollection: TypeDef
+    ilist: TypeDef
+    list_type: TypeDef
+    string_builder: TypeDef
+    file_mode: TypeDef
+    file_stream: TypeDef
+    special_folder: TypeDef
+    exception: TypeDef
+
+
+def build_system_core(ts: TypeSystem) -> SystemCore:
+    """Install the mini-BCL into a fresh type system."""
+    lib = LibraryBuilder(ts)
+    string = ts.string_type
+    obj = ts.object_type
+    int_t = ts.primitive("int")
+    long_t = ts.primitive("long")
+    double_t = ts.primitive("double")
+    bool_t = ts.primitive("bool")
+
+    # ------------------------------------------------------------------
+    # System
+    # ------------------------------------------------------------------
+    lib.method(obj, "ToString", returns=string)
+    lib.method(obj, "GetHashCode", returns=int_t)
+    lib.method(obj, "Equals", returns=bool_t, params=[("obj", obj)])
+    lib.static_method(obj, "ReferenceEquals", returns=bool_t,
+                      params=[("objA", obj), ("objB", obj)])
+
+    timespan = lib.struct("System.TimeSpan", comparable=True)
+    datetime = lib.struct("System.DateTime", comparable=True)
+    lib.prop(datetime, "Now", datetime, static=True)
+    lib.prop(datetime, "Today", datetime, static=True)
+    lib.prop(datetime, "Year", int_t)
+    lib.prop(datetime, "Month", int_t)
+    lib.prop(datetime, "Day", int_t)
+    lib.prop(datetime, "Ticks", long_t)
+    lib.method(datetime, "AddDays", returns=datetime, params=[("value", double_t)])
+    lib.method(datetime, "Subtract", returns=timespan, params=[("value", datetime)])
+    lib.prop(timespan, "TotalSeconds", double_t)
+    lib.prop(timespan, "TotalDays", double_t)
+    lib.prop(timespan, "Ticks", long_t)
+
+    exception = lib.cls("System.Exception")
+    lib.prop(exception, "Message", string)
+    lib.prop(exception, "StackTrace", string)
+    lib.prop(exception, "InnerException", exception)
+    lib.cls("System.ArgumentException", base=exception)
+    lib.cls("System.InvalidOperationException", base=exception)
+
+    special_folder = lib.enum(
+        "System.Environment.SpecialFolder",
+        values=["MyDocuments", "ApplicationData", "ProgramFiles", "Desktop"],
+    )
+    environment = lib.cls("System.Environment")
+    lib.static_method(environment, "GetFolderPath", returns=string,
+                      params=[("folder", special_folder)])
+    lib.prop(environment, "MachineName", string, static=True)
+    lib.prop(environment, "TickCount", int_t, static=True)
+
+    math = lib.cls("System.Math")
+    lib.static_method(math, "Min", returns=int_t,
+                      params=[("val1", int_t), ("val2", int_t)])
+    lib.static_method(math, "Max", returns=int_t,
+                      params=[("val1", int_t), ("val2", int_t)])
+    lib.static_method(math, "Abs", returns=double_t, params=[("value", double_t)])
+    lib.static_method(math, "Sqrt", returns=double_t, params=[("d", double_t)])
+    lib.field(math, "PI", double_t, static=True)
+
+    convert = lib.cls("System.Convert")
+    lib.static_method(convert, "ToInt32", returns=int_t, params=[("value", string)])
+    lib.static_method(convert, "ToString", returns=string, params=[("value", int_t)])
+
+    lib.method(string, "Substring", returns=string, params=[("startIndex", int_t)])
+    lib.method(string, "Trim", returns=string)
+    lib.method(string, "ToUpper", returns=string)
+    lib.method(string, "Contains", returns=bool_t, params=[("value", string)])
+    lib.prop(string, "Length", int_t)
+    lib.field(string, "Empty", string, static=True)
+    lib.static_method(string, "Concat", returns=string,
+                      params=[("str0", string), ("str1", string)])
+    lib.static_method(string, "IsNullOrEmpty", returns=bool_t,
+                      params=[("value", string)])
+    lib.static_method(string, "Format", returns=string,
+                      params=[("format", string), ("arg0", obj)])
+
+    # ------------------------------------------------------------------
+    # System.Collections
+    # ------------------------------------------------------------------
+    ienumerable = lib.iface("System.Collections.IEnumerable")
+    icollection = lib.iface("System.Collections.ICollection", extends=[ienumerable])
+    ilist = lib.iface("System.Collections.IList", extends=[icollection])
+    list_type = lib.cls("System.Collections.Generic.List", interfaces=[ilist])
+    lib.prop(list_type, "Count", int_t)
+    lib.method(list_type, "Add", params=[("item", obj)])
+    lib.method(list_type, "Contains", returns=bool_t, params=[("item", obj)])
+    lib.method(list_type, "IndexOf", returns=int_t, params=[("item", obj)])
+    lib.method(list_type, "Clear")
+
+    # ------------------------------------------------------------------
+    # System.Text
+    # ------------------------------------------------------------------
+    string_builder = lib.cls("System.Text.StringBuilder")
+    lib.method(string_builder, "Append", returns=string_builder,
+               params=[("value", string)])
+    lib.method(string_builder, "AppendLine", returns=string_builder,
+               params=[("value", string)])
+    lib.prop(string_builder, "Length", int_t)
+
+    # ------------------------------------------------------------------
+    # System.IO — the Sec. 4.1 abstract-type example APIs
+    # ------------------------------------------------------------------
+    file_mode = lib.enum("System.IO.FileMode",
+                         values=["Open", "Create", "Append"])
+    file_stream = lib.cls("System.IO.FileStream")
+    lib.prop(file_stream, "Position", long_t)
+    lib.prop(file_stream, "Length", long_t)
+    lib.method(file_stream, "Close")
+
+    path = lib.cls("System.IO.Path")
+    lib.static_method(path, "Combine", returns=string,
+                      params=[("path1", string), ("path2", string)])
+    lib.static_method(path, "GetFileName", returns=string,
+                      params=[("path", string)])
+    lib.static_method(path, "GetDirectoryName", returns=string,
+                      params=[("path", string)])
+
+    directory = lib.cls("System.IO.Directory")
+    lib.static_method(directory, "Exists", returns=bool_t,
+                      params=[("path", string)])
+    lib.static_method(directory, "CreateDirectory", returns=string,
+                      params=[("path", string)])
+
+    file_cls = lib.cls("System.IO.File")
+    lib.static_method(file_cls, "Exists", returns=bool_t,
+                      params=[("path", string)])
+    lib.static_method(file_cls, "Open", returns=file_stream,
+                      params=[("path", string), ("mode", file_mode)])
+    lib.static_method(file_cls, "ReadAllText", returns=string,
+                      params=[("path", string)])
+
+    # ------------------------------------------------------------------
+    # System.Drawing
+    # ------------------------------------------------------------------
+    point = lib.struct("System.Drawing.Point")
+    size = lib.struct("System.Drawing.Size")
+    rectangle = lib.struct("System.Drawing.Rectangle")
+    color = lib.struct("System.Drawing.Color")
+    lib.prop(point, "X", int_t)
+    lib.prop(point, "Y", int_t)
+    lib.prop(size, "Width", int_t)
+    lib.prop(size, "Height", int_t)
+    lib.method(size, "Equals", returns=bool_t, params=[("obj", obj)])
+    lib.prop(rectangle, "Location", point)
+    lib.prop(rectangle, "Size", size)
+    lib.prop(rectangle, "Width", int_t)
+    lib.prop(rectangle, "Height", int_t)
+    lib.static_method(rectangle, "Inflate", returns=rectangle,
+                      params=[("rect", rectangle), ("x", int_t), ("y", int_t)])
+    lib.prop(color, "R", int_t)
+    lib.prop(color, "G", int_t)
+    lib.prop(color, "B", int_t)
+    lib.static_method(color, "FromArgb", returns=color,
+                      params=[("r", int_t), ("g", int_t), ("b", int_t)])
+
+    # ------------------------------------------------------------------
+    # System.Diagnostics
+    # ------------------------------------------------------------------
+    debug = lib.cls("System.Diagnostics.Debug")
+    lib.static_method(debug, "WriteLine", params=[("message", string)])
+    lib.static_method(debug, "Assert", params=[("condition", bool_t)])
+    stopwatch = lib.cls("System.Diagnostics.Stopwatch")
+    lib.prop(stopwatch, "Elapsed", timespan)
+    lib.method(stopwatch, "Start")
+    lib.method(stopwatch, "Stop")
+    lib.static_method(stopwatch, "StartNew", returns=stopwatch)
+
+    console = lib.cls("System.Console")
+    lib.static_method(console, "WriteLine", params=[("value", string)])
+    lib.static_method(console, "ReadLine", returns=string)
+
+    return SystemCore(
+        ts=ts,
+        datetime=datetime,
+        timespan=timespan,
+        point=point,
+        size=size,
+        rectangle=rectangle,
+        color=color,
+        ienumerable=ienumerable,
+        icollection=icollection,
+        ilist=ilist,
+        list_type=list_type,
+        string_builder=string_builder,
+        file_mode=file_mode,
+        file_stream=file_stream,
+        special_folder=special_folder,
+        exception=exception,
+    )

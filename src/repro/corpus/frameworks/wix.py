@@ -1,0 +1,106 @@
+"""A WiX-shaped framework (Windows Installer XML toolset).
+
+Anchors the largest Table 1 project with realistic installer-toolchain
+APIs: compiler/linker/binder pipeline, symbol tables, rows and sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...codemodel.builder import LibraryBuilder
+from ...codemodel.types import TypeDef
+from ...codemodel.typesystem import TypeSystem
+from .system import SystemCore, build_system_core
+
+
+@dataclass
+class Wix:
+    """Handles to the WiX universe."""
+
+    ts: TypeSystem
+    core: SystemCore
+    intermediate: TypeDef
+    section: TypeDef
+    row: TypeDef
+    table: TypeDef
+    compiler: TypeDef
+    linker: TypeDef
+
+
+def build_wix(ts: TypeSystem, core: SystemCore = None) -> Wix:
+    if core is None:
+        core = build_system_core(ts)
+    lib = LibraryBuilder(ts)
+    string = ts.string_type
+    int_t = ts.primitive("int")
+    bool_t = ts.primitive("bool")
+
+    source_line = lib.cls("WixToolset.Data.SourceLineNumber")
+    lib.prop(source_line, "FileName", string)
+    lib.prop(source_line, "LineNumber", int_t)
+
+    identifier = lib.cls("WixToolset.Data.Identifier")
+    lib.prop(identifier, "Id", string)
+    lib.prop(identifier, "Access", int_t)
+
+    row = lib.cls("WixToolset.Data.Row")
+    lib.prop(row, "Number", int_t)
+    lib.prop(row, "SourceLineNumbers", source_line)
+    lib.method(row, "GetPrimaryKey", returns=string)
+
+    table = lib.cls("WixToolset.Data.Table")
+    lib.prop(table, "Name", string)
+    lib.method(table, "CreateRow", returns=row,
+               params=[("sourceLineNumbers", source_line)])
+
+    section_type = lib.enum("WixToolset.Data.SectionType",
+                            values=["Unknown", "Product", "Module", "Fragment"])
+    section = lib.cls("WixToolset.Data.Section")
+    lib.prop(section, "Id", string)
+    lib.prop(section, "Type", section_type)
+    lib.prop(section, "Codepage", int_t)
+    lib.method(section, "GetTable", returns=table, params=[("name", string)])
+
+    intermediate = lib.cls("WixToolset.Data.Intermediate")
+    lib.prop(intermediate, "Id", string)
+    lib.method(intermediate, "AddSection", params=[("section", section)])
+    lib.static_method(intermediate, "Load", returns=intermediate,
+                      params=[("path", string)])
+    lib.method(intermediate, "Save", params=[("path", string)])
+
+    message = lib.cls("WixToolset.Data.Message")
+    lib.prop(message, "Id", int_t)
+    lib.prop(message, "ResourceNameOrFormat", string)
+    messaging = lib.cls("WixToolset.Services.Messaging")
+    lib.method(messaging, "Write", params=[("message", message)])
+    lib.prop(messaging, "EncounteredError", bool_t)
+
+    compiler = lib.cls("WixToolset.Core.Compiler")
+    lib.method(compiler, "Compile", returns=intermediate,
+               params=[("sourcePath", string)])
+    lib.prop(compiler, "CurrentPlatform", int_t)
+
+    linker = lib.cls("WixToolset.Core.Linker")
+    lib.method(linker, "Link", returns=intermediate,
+               params=[("intermediate", intermediate),
+                       ("section", section)])
+
+    binder = lib.cls("WixToolset.Core.Binder")
+    lib.method(binder, "Bind", params=[("intermediate", intermediate),
+                                       ("outputPath", string)])
+
+    preprocessor = lib.cls("WixToolset.Core.Preprocessor")
+    lib.static_method(preprocessor, "Preprocess", returns=string,
+                      params=[("path", string), ("variable", string)])
+
+    return Wix(
+        ts=ts,
+        core=core,
+        intermediate=intermediate,
+        section=section,
+        row=row,
+        table=table,
+        compiler=compiler,
+        linker=linker,
+    )

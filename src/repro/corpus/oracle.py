@@ -1,0 +1,36 @@
+"""Adapter from abstract-type inference results to the ranking oracle.
+
+The ranker asks two questions (is this argument's abstract type the same as
+that parameter's?); :class:`ImplAbstractTypes` answers them from an
+:class:`~repro.analysis.abstract_types.AbstractTypeAnalysis` scoped to the
+method implementation whose body the query sits in.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.abstract_types import AbstractTypeAnalysis
+    from .program import MethodImpl
+
+from ..codemodel.members import Method
+from ..codemodel.types import TypeDef
+from ..engine.ranking import AbstractTypeOracle
+from ..lang.ast import Expr
+
+
+class ImplAbstractTypes(AbstractTypeOracle):
+    """Abstract-type oracle for queries inside one method implementation."""
+
+    def __init__(self, analysis: AbstractTypeAnalysis, impl: MethodImpl) -> None:
+        self.analysis = analysis
+        self.impl = impl
+
+    def of_expr(self, expr: Expr) -> Optional[int]:
+        return self.analysis.abstype_of_expr(self.impl, expr)
+
+    def of_param(
+        self, method: Method, index: int, receiver_type: Optional[TypeDef]
+    ) -> Optional[int]:
+        return self.analysis.abstype_of_param(method, index, receiver_type)

@@ -1,0 +1,260 @@
+"""The seven corpus projects of Table 1, scaled for laptop runtimes.
+
+Each project is an independent universe (its own :class:`TypeSystem`), the
+way each C# solution the paper analysed was: a hand-built anchor framework
+(where the paper's examples live) plus a seeded synthetic extension and
+synthetic client code.  ``scale`` multiplies the client-code volume; the
+default produces roughly 1/10 of the paper's 21,176 calls, which keeps the
+full evaluation (including the 15-config Table 2 ablation) tractable.
+
+Project sizes mirror Table 1's proportions: WiX largest, Banshee/GNOME Do
+smallest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..codemodel.members import Method
+from ..codemodel.typesystem import TypeSystem
+from ..lang.ast import Assign, Call, FieldAccess, TypeLiteral, Var
+from .frameworks.familyshow import build_familyshow
+from .frameworks.geometry import build_geometry
+from .frameworks.media import build_banshee, build_gnomedo
+from .frameworks.paintdotnet import build_paintdotnet
+from .frameworks.system import build_system_core
+from .frameworks.wix import build_wix
+from .program import AssignStatement, ExprStatement, MethodImpl, Project, ReturnStatement
+from .synthesis import SynthesisSpec, synthesize_project
+
+_IMAGING_NOUNS = ["Canvas", "Brush", "Palette", "Filter", "Selection",
+                  "Gradient", "Snapshot", "Tool", "Stencil", "Mask"]
+_INSTALLER_NOUNS = ["Package", "Bundle", "Component", "Feature", "Payload",
+                    "Binder", "Manifest", "Chain", "Variable", "Patch",
+                    "Compiler", "Linker"]
+_LAUNCHER_NOUNS = ["Launcher", "Dock", "Item", "Action", "Plugin", "Query"]
+_MEDIA_NOUNS = ["Track", "Album", "Artist", "Playlist", "Library", "Player"]
+_BCL_NOUNS = ["Stream", "Buffer", "Reader", "Writer", "Formatter", "Parser",
+              "Token", "Registry", "Culture", "Encoder", "Channel", "Handle"]
+_FAMILY_NOUNS = ["Person", "Family", "Story", "Photo", "Relationship",
+                 "Timeline", "Diagram"]
+_GEOMETRY_NOUNS = ["Segment", "Circle", "Polygon", "Vertex", "Angle",
+                   "Construction", "Ruler", "Grid"]
+
+
+def _scaled(value: int, scale: float) -> int:
+    return max(1, round(value * scale))
+
+
+def build_paintdotnet_project(scale: float = 1.0) -> Project:
+    ts = TypeSystem()
+    core = build_system_core(ts)
+    anchor = build_paintdotnet(ts, core)
+    spec = SynthesisSpec(
+        name="Paint.Net",
+        seed=1201,
+        namespace_root="PaintDotNet",
+        nouns=_IMAGING_NOUNS,
+        num_classes=30,
+        num_helper_classes=10,
+        num_client_classes=_scaled(50, scale),
+    )
+    anchor_pool = [anchor.document, anchor.surface, anchor.layer,
+                   anchor.bitmap_layer, anchor.color_bgra, anchor.anchor_edge]
+    return synthesize_project(spec, ts, core, anchor_pool)
+
+
+def build_wix_project(scale: float = 1.0) -> Project:
+    ts = TypeSystem()
+    core = build_system_core(ts)
+    anchor = build_wix(ts, core)
+    spec = SynthesisSpec(
+        name="WiX",
+        seed=1202,
+        namespace_root="WixToolset",
+        nouns=_INSTALLER_NOUNS,
+        num_namespaces=8,
+        num_classes=60,
+        num_helper_classes=16,
+        num_client_classes=_scaled(200, scale),
+    )
+    anchor_pool = [anchor.intermediate, anchor.section, anchor.row,
+                   anchor.table, anchor.compiler, anchor.linker]
+    return synthesize_project(spec, ts, core, anchor_pool)
+
+
+def build_gnomedo_project(scale: float = 1.0) -> Project:
+    ts = TypeSystem()
+    core = build_system_core(ts)
+    anchor = build_gnomedo(ts, core)
+    spec = SynthesisSpec(
+        name="GNOME Do",
+        seed=1203,
+        namespace_root="Do",
+        nouns=_LAUNCHER_NOUNS,
+        num_namespaces=4,
+        num_classes=14,
+        num_helper_classes=3,
+        num_client_classes=_scaled(3, scale),
+    )
+    anchor_pool = [anchor.item, anchor.act, anchor.universe]
+    return synthesize_project(spec, ts, core, anchor_pool)
+
+
+def build_banshee_project(scale: float = 1.0) -> Project:
+    ts = TypeSystem()
+    core = build_system_core(ts)
+    anchor = build_banshee(ts, core)
+    spec = SynthesisSpec(
+        name="Banshee",
+        seed=1204,
+        namespace_root="Banshee",
+        nouns=_MEDIA_NOUNS,
+        num_namespaces=4,
+        num_classes=14,
+        num_helper_classes=3,
+        num_client_classes=_scaled(2, scale),
+    )
+    anchor_pool = [anchor.track, anchor.album, anchor.artist, anchor.player]
+    return synthesize_project(spec, ts, core, anchor_pool)
+
+
+def build_dotnet_project(scale: float = 1.0) -> Project:
+    ts = TypeSystem()
+    core = build_system_core(ts)
+    spec = SynthesisSpec(
+        name=".NET",
+        seed=1205,
+        namespace_root="System",
+        nouns=_BCL_NOUNS,
+        num_namespaces=8,
+        num_classes=48,
+        num_helper_classes=13,
+        num_client_classes=_scaled(45, scale),
+    )
+    return synthesize_project(spec, ts, core)
+
+
+def build_familyshow_project(scale: float = 1.0) -> Project:
+    ts = TypeSystem()
+    core = build_system_core(ts)
+    anchor = build_familyshow(ts, core)
+    spec = SynthesisSpec(
+        name="Family.Show",
+        seed=1206,
+        namespace_root="FamilyShow",
+        nouns=_FAMILY_NOUNS,
+        num_namespaces=5,
+        num_classes=16,
+        num_helper_classes=4,
+        num_client_classes=_scaled(9, scale),
+    )
+    anchor_pool = [anchor.person, anchor.people, anchor.relationship]
+    project = synthesize_project(spec, ts, core, anchor_pool)
+    _add_app_location_impl(project)
+    return project
+
+
+def _add_app_location_impl(project: Project) -> None:
+    """The Sec. 4.1 abstract-type example, transcribed from the paper::
+
+        string appLocation = Path.Combine(
+            Environment.GetFolderPath(Environment.SpecialFolder.MyDocuments),
+            App.ApplicationFolderName);
+        if (!Directory.Exists(appLocation))
+            Directory.CreateDirectory(appLocation);
+        return Path.Combine(appLocation, Const.DataFileName);
+    """
+    ts = project.ts
+    from ..codemodel.builder import LibraryBuilder
+
+    lib = LibraryBuilder(ts)
+    string = ts.string_type
+    app = lib.cls("FamilyShow.App")
+    app_folder = lib.field(app, "ApplicationFolderName", string, static=True)
+    const = lib.cls("FamilyShow.Const")
+    data_file = lib.field(const, "DataFileName", string, static=True)
+    host = lib.cls("FamilyShow.StoragePaths")
+    get_path = host.add_method(
+        Method("GetDataFilePath", string, params=(), is_static=True)
+    )
+
+    path = ts.get("System.IO.Path")
+    directory = ts.get("System.IO.Directory")
+    environment = ts.get("System.Environment")
+    special_folder = ts.get("System.Environment.SpecialFolder")
+    combine = path.declared_methods_named("Combine")[0]
+    get_folder_path = environment.declared_methods_named("GetFolderPath")[0]
+    exists = directory.declared_methods_named("Exists")[0]
+    create_dir = directory.declared_methods_named("CreateDirectory")[0]
+    my_documents = next(
+        f for f in special_folder.fields if f.name == "MyDocuments"
+    )
+
+    impl = MethodImpl(get_path, locals={"appLocation": string})
+    app_location = Var("appLocation", string)
+    impl.body.append(
+        AssignStatement(
+            Assign(
+                app_location,
+                Call(
+                    combine,
+                    (
+                        Call(
+                            get_folder_path,
+                            (FieldAccess(TypeLiteral(special_folder), my_documents),),
+                        ),
+                        FieldAccess(TypeLiteral(app), app_folder),
+                    ),
+                ),
+            )
+        )
+    )
+    impl.body.append(ExprStatement(Call(exists, (app_location,))))
+    impl.body.append(ExprStatement(Call(create_dir, (app_location,))))
+    impl.body.append(
+        ReturnStatement(
+            Call(combine, (app_location, FieldAccess(TypeLiteral(const), data_file)))
+        )
+    )
+    project.add_impl(impl)
+
+
+def build_livegeometry_project(scale: float = 1.0) -> Project:
+    ts = TypeSystem()
+    core = build_system_core(ts)
+    anchor = build_geometry(ts, core)
+    spec = SynthesisSpec(
+        name="LiveGeometry",
+        seed=1207,
+        namespace_root="DynamicGeometry",
+        nouns=_GEOMETRY_NOUNS,
+        num_namespaces=5,
+        num_classes=22,
+        num_helper_classes=6,
+        num_client_classes=_scaled(17, scale),
+    )
+    anchor_pool = [anchor.point, anchor.shape, anchor.ellipse_arc,
+                   anchor.line_segment, anchor.shape_style]
+    return synthesize_project(spec, ts, core, anchor_pool)
+
+
+#: Table 1 row order
+PROJECT_BUILDERS: Dict[str, Callable[[float], Project]] = {
+    "Paint.Net": build_paintdotnet_project,
+    "WiX": build_wix_project,
+    "GNOME Do": build_gnomedo_project,
+    "Banshee": build_banshee_project,
+    ".NET": build_dotnet_project,
+    "Family.Show": build_familyshow_project,
+    "LiveGeometry": build_livegeometry_project,
+}
+
+_cache: Dict[float, List[Project]] = {}
+
+
+def build_all_projects(scale: float = 1.0) -> List[Project]:
+    """All seven projects (memoised per scale — they are deterministic)."""
+    if scale not in _cache:
+        _cache[scale] = [build(scale) for build in PROJECT_BUILDERS.values()]
+    return _cache[scale]

@@ -1,0 +1,786 @@
+"""Deterministic synthetic codebase generator.
+
+The paper evaluates on seven mature C# projects (21,176 calls).  We cannot
+ship those binaries, so this module synthesises framework libraries and
+client code with the same *shape*: namespace trees, inheritance, static
+helper classes, enums, property-rich value types, and method bodies whose
+call arguments mix locals, ``this.field`` chains, statics and constants in
+realistic proportions (Fig. 14).
+
+Everything is driven by a :class:`SynthesisSpec` and a seeded RNG, so every
+run of the evaluation sees byte-identical corpora.  Every generated
+expression is checked with :func:`repro.lang.semantics.well_typed` at
+generation time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..codemodel.builder import LibraryBuilder
+from ..codemodel.members import Method, Parameter
+from ..codemodel.types import TypeDef, TypeKind
+from ..codemodel.typesystem import TypeSystem
+from ..lang.ast import (
+    Assign,
+    Call,
+    Compare,
+    Expr,
+    FieldAccess,
+    Literal,
+    TypeLiteral,
+    Var,
+    final_lookup_name,
+)
+from ..lang.semantics import well_typed
+from .frameworks.system import SystemCore, build_system_core
+from .program import (
+    AssignStatement,
+    ExprStatement,
+    IfStatement,
+    MethodImpl,
+    Project,
+    ReturnStatement,
+)
+
+#: generic vocabulary shared by all projects
+_VERBS = [
+    "Get", "Create", "Update", "Apply", "Compute", "Load", "Save", "Merge",
+    "Validate", "Attach", "Detach", "Resolve", "Build", "Register", "Find",
+    "Process", "Render", "Export", "Import", "Reset",
+]
+_FIELD_NOUNS = [
+    "Name", "Id", "Count", "Parent", "Owner", "Value", "Status", "Left",
+    "Right", "Top", "Bottom", "Width", "Height", "Created", "Modified",
+    "Title", "Kind", "Index", "Label", "Origin", "Target", "Source",
+    "Priority", "Weight", "Capacity", "Version",
+]
+_NAMESPACE_NOUNS = ["Core", "Model", "Util", "Services", "Data", "Render",
+                    "Actions", "Config", "Runtime", "Text"]
+
+
+@dataclass
+class ArgumentMix:
+    """Sampling weights for how call arguments are written (Fig. 14)."""
+
+    local: float = 0.40
+    this_field: float = 0.14
+    local_field: float = 0.08
+    static_field: float = 0.05
+    zero_arg_call: float = 0.05
+    deep_chain: float = 0.06
+    literal: float = 0.30
+    #: probability an argument is itself a (non-zero-argument) method call
+    #: — the paper's "not guessable" computed-expression category
+    nested_call: float = 0.06
+
+
+@dataclass
+class StatementMix:
+    """Sampling weights for statement kinds in client bodies."""
+
+    call: float = 0.46
+    assign: float = 0.38
+    compare: float = 0.16
+
+
+@dataclass
+class SynthesisSpec:
+    """Shape parameters of one synthetic project."""
+
+    name: str
+    seed: int
+    namespace_root: str
+    #: domain vocabulary used for type names
+    nouns: Sequence[str]
+    num_namespaces: int = 6
+    num_enums: int = 3
+    num_interfaces: int = 2
+    num_classes: int = 26
+    num_helper_classes: int = 5
+    num_client_classes: int = 5
+    impls_per_class: Tuple[int, int] = (2, 5)
+    locals_per_impl: Tuple[int, int] = (2, 5)
+    stmts_per_impl: Tuple[int, int] = (4, 9)
+    fields_per_class: Tuple[int, int] = (1, 3)
+    props_per_class: Tuple[int, int] = (1, 4)
+    methods_per_class: Tuple[int, int] = (2, 6)
+    statics_per_helper: Tuple[int, int] = (7, 15)
+    argument_mix: ArgumentMix = field(default_factory=ArgumentMix)
+    statement_mix: StatementMix = field(default_factory=StatementMix)
+    #: probability a comparison is written against a constant on the right
+    compare_const_fraction: float = 0.3
+
+
+def synthesize_project(
+    spec: SynthesisSpec,
+    ts: Optional[TypeSystem] = None,
+    core: Optional[SystemCore] = None,
+    anchor_pool: Sequence[TypeDef] = (),
+) -> Project:
+    """Build a project from a spec.
+
+    ``ts``/``core`` allow layering on top of hand-built frameworks (the
+    anchors); ``anchor_pool`` types join the sampling pool so client code
+    exercises the hand-built APIs too.
+    """
+    if ts is None:
+        ts = TypeSystem()
+    if core is None:
+        core = build_system_core(ts)
+    return _Synthesizer(spec, ts, core, anchor_pool).build()
+
+
+class _Synthesizer:
+    def __init__(
+        self,
+        spec: SynthesisSpec,
+        ts: TypeSystem,
+        core: SystemCore,
+        anchor_pool: Sequence[TypeDef],
+    ) -> None:
+        self.spec = spec
+        self.ts = ts
+        self.core = core
+        self.lib = LibraryBuilder(ts)
+        self.rng = random.Random(spec.seed)
+        self.namespaces: List[str] = []
+        self.enums: List[TypeDef] = []
+        self.classes: List[TypeDef] = []
+        self.helpers: List[TypeDef] = []
+        self.anchor_pool = list(anchor_pool)
+        self._name_counter = 0
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def build(self) -> Project:
+        self._make_namespaces()
+        self._make_enums()
+        self._make_interfaces()
+        self._make_classes()
+        self._populate_classes()
+        self._populate_helpers()
+        project = Project(self.spec.name, self.ts)
+        self._make_clients(project)
+        return project
+
+    # ------------------------------------------------------------------
+    # naming helpers
+    # ------------------------------------------------------------------
+    def _fresh(self, stem: str) -> str:
+        self._name_counter += 1
+        return "{}{}".format(stem, self._name_counter)
+
+    def _type_name(self) -> str:
+        noun = self.rng.choice(list(self.spec.nouns))
+        suffix = self.rng.choice(
+            ["", "", "Info", "Item", "Entry", "Manager", "Context", "State"]
+        )
+        return self._fresh(noun + suffix)
+
+    def _method_name(self) -> str:
+        verb = self.rng.choice(_VERBS)
+        noun = self.rng.choice(list(self.spec.nouns))
+        return self._fresh(verb + noun)
+
+    # ------------------------------------------------------------------
+    # framework generation
+    # ------------------------------------------------------------------
+    def _make_namespaces(self) -> None:
+        root = self.spec.namespace_root
+        self.namespaces = [root]
+        picks = self.rng.sample(
+            _NAMESPACE_NOUNS, min(self.spec.num_namespaces - 1,
+                                  len(_NAMESPACE_NOUNS))
+        )
+        for noun in picks:
+            # a third of namespaces nest one level deeper
+            if len(self.namespaces) > 2 and self.rng.random() < 0.33:
+                parent = self.rng.choice(self.namespaces[1:])
+                self.namespaces.append("{}.{}".format(parent, noun))
+            else:
+                self.namespaces.append("{}.{}".format(root, noun))
+
+    def _namespace(self) -> str:
+        return self.rng.choice(self.namespaces)
+
+    def _make_enums(self) -> None:
+        for _ in range(self.spec.num_enums):
+            values = self.rng.sample(_FIELD_NOUNS, 4)
+            enum = self.lib.enum(
+                "{}.{}".format(self._namespace(), self._type_name() + "Kind"),
+                values=values,
+            )
+            self.enums.append(enum)
+
+    def _make_interfaces(self) -> None:
+        self.interfaces: List[TypeDef] = []
+        for _ in range(self.spec.num_interfaces):
+            iface = self.lib.iface(
+                "{}.I{}".format(self._namespace(), self._type_name())
+            )
+            self.interfaces.append(iface)
+
+    def _make_classes(self) -> None:
+        for index in range(self.spec.num_classes):
+            namespace = self._namespace()
+            base = None
+            if self.classes and self.rng.random() < 0.3:
+                base = self.rng.choice(self.classes)
+            interfaces: Tuple[TypeDef, ...] = ()
+            if self.interfaces and base is None and self.rng.random() < 0.25:
+                interfaces = (self.rng.choice(self.interfaces),)
+            cls = self.lib.cls(
+                "{}.{}".format(namespace, self._type_name()),
+                base=base,
+                interfaces=interfaces,
+            )
+            self.classes.append(cls)
+        for _ in range(self.spec.num_helper_classes):
+            helper = self.lib.cls(
+                "{}.{}".format(self._namespace(), self._type_name() + "Helper")
+            )
+            self.helpers.append(helper)
+
+    def _value_pool(self) -> List[TypeDef]:
+        """Types usable as field/parameter/return types."""
+        primitives = [
+            self.ts.primitive("int"),
+            self.ts.primitive("int"),
+            self.ts.primitive("double"),
+            self.ts.primitive("long"),
+            self.ts.primitive("bool"),
+        ]
+        core = [
+            self.core.datetime,
+            self.core.timespan,
+            self.core.point,
+            self.core.size,
+            self.core.rectangle,
+            self.core.color,
+            self.core.list_type,
+            self.ts.string_type,
+            self.ts.string_type,
+        ]
+        return (
+            primitives
+            + core
+            + self.enums
+            + self.classes * 3
+            + self.anchor_pool * 2
+        )
+
+    def _pick_type(self, prefer_namespace: Optional[str] = None) -> TypeDef:
+        pool = self._value_pool()
+        if prefer_namespace is not None and self.rng.random() < 0.5:
+            near = [t for t in pool if t.namespace == prefer_namespace]
+            if near:
+                return self.rng.choice(near)
+        return self.rng.choice(pool)
+
+    def _popular_types(self) -> List[TypeDef]:
+        """The handful of types that dominate real signatures; methods
+        taking them are hard to tell apart by type alone, which is what
+        makes the paper's search non-trivial."""
+        return [
+            self.ts.string_type,
+            self.ts.string_type,
+            self.ts.primitive("int"),
+            self.ts.primitive("int"),
+            self.ts.primitive("bool"),
+            self.ts.primitive("double"),
+            self.ts.object_type,
+        ]
+
+    def _pick_param_type(self, prefer_namespace: Optional[str]) -> TypeDef:
+        if self.rng.random() < 0.45:
+            return self.rng.choice(self._popular_types())
+        return self._pick_type(prefer_namespace)
+
+    def _populate_classes(self) -> None:
+        for cls in self.classes:
+            used_names = set()
+            low, high = self.spec.fields_per_class
+            for _ in range(self.rng.randint(low, high)):
+                name = self.rng.choice(_FIELD_NOUNS)
+                if name in used_names:
+                    continue
+                used_names.add(name)
+                self.lib.field(cls, name, self._pick_type(cls.namespace))
+            low, high = self.spec.props_per_class
+            for _ in range(self.rng.randint(low, high)):
+                name = self.rng.choice(_FIELD_NOUNS)
+                if name in used_names:
+                    continue
+                used_names.add(name)
+                self.lib.prop(cls, name, self._pick_type(cls.namespace))
+            low, high = self.spec.methods_per_class
+            for _ in range(self.rng.randint(low, high)):
+                self._make_method(cls, static=False)
+
+    def _populate_helpers(self) -> None:
+        for helper in self.helpers:
+            low, high = self.spec.statics_per_helper
+            for _ in range(self.rng.randint(low, high)):
+                self._make_method(helper, static=True)
+            # an occasional family of same-signature methods (the paper
+            # notes "a large family of methods which all have the same
+            # method signature" degrades high-arity results)
+            if self.rng.random() < 0.4:
+                signature = [
+                    ("arg{}".format(i), self.rng.choice(self._popular_types()))
+                    for i in range(self.rng.randint(1, 3))
+                ]
+                returns = self._pick_type(helper.namespace)
+                for _ in range(self.rng.randint(3, 6)):
+                    self.lib.static_method(
+                        helper, self._method_name(), returns=returns,
+                        params=list(signature),
+                    )
+            # an occasional well-known constant
+            if self.rng.random() < 0.5:
+                self.lib.field(
+                    helper,
+                    "Default" + self.rng.choice(list(self.spec.nouns)),
+                    self.rng.choice(self.classes),
+                    static=True,
+                )
+
+    def _make_method(self, owner: TypeDef, static: bool) -> Method:
+        arity = self.rng.choices([0, 1, 2, 3, 4], weights=[15, 35, 30, 15, 5])[0]
+        params = []
+        for position in range(arity):
+            params.append(
+                (
+                    "arg{}".format(position),
+                    self._pick_param_type(owner.namespace),
+                )
+            )
+        returns: Optional[TypeDef] = None
+        if self.rng.random() > 0.35:
+            returns = self._pick_type(owner.namespace)
+        name = self._method_name()
+        if static:
+            return self.lib.static_method(owner, name, returns=returns,
+                                          params=params)
+        return self.lib.method(owner, name, returns=returns, params=params)
+
+    # ------------------------------------------------------------------
+    # client code generation
+    # ------------------------------------------------------------------
+    def _make_clients(self, project: Project) -> None:
+        for _ in range(self.spec.num_client_classes):
+            client = self.lib.cls(
+                "{}.App.{}".format(self.spec.namespace_root, self._type_name())
+            )
+            # client state: fields the bodies can navigate through `this`
+            for _ in range(self.rng.randint(2, 4)):
+                name = self.rng.choice(_FIELD_NOUNS)
+                if any(f.name == name for f in client.fields):
+                    continue
+                self.lib.field(client, name, self._pick_type())
+            for _ in range(self.rng.randint(*self.spec.impls_per_class)):
+                impl = self._make_impl(client)
+                if impl is not None:
+                    project.add_impl(impl)
+
+    def _make_impl(self, client: TypeDef) -> Optional[MethodImpl]:
+        static = self.rng.random() < 0.25
+        arity = self.rng.choices([0, 1, 2, 3], weights=[25, 40, 25, 10])[0]
+        params = [
+            Parameter("p{}".format(i), self._pick_type()) for i in range(arity)
+        ]
+        returns: Optional[TypeDef] = None
+        if self.rng.random() < 0.4:
+            returns = self._pick_type()
+        method = Method(
+            self._method_name(), returns, params=tuple(params), is_static=static
+        )
+        client.add_method(method)
+        impl = MethodImpl(method)
+
+        # declare extra locals; some initialised by a statement below
+        num_locals = self.rng.randint(*self.spec.locals_per_impl)
+        local_names = ["a", "b", "c", "d", "item", "result", "tmp", "value"]
+        self.rng.shuffle(local_names)
+        for name in local_names[:num_locals]:
+            impl.locals[name] = self._pick_type()
+
+        scope = _ScopeIndex(self, impl, client)
+        num_stmts = self.rng.randint(*self.spec.stmts_per_impl)
+        mix = self.spec.statement_mix
+        kinds = self.rng.choices(
+            ["call", "assign", "compare"],
+            weights=[mix.call, mix.assign, mix.compare],
+            k=num_stmts,
+        )
+        for kind in kinds:
+            stmt = None
+            if kind == "call":
+                stmt = self._make_call_statement(scope)
+            elif kind == "assign":
+                stmt = self._make_assign_statement(scope)
+            else:
+                stmt = self._make_compare_statement(scope)
+            if stmt is not None:
+                impl.body.append(stmt)
+        if returns is not None:
+            value = scope.value_of(returns)
+            if value is not None:
+                impl.body.append(ReturnStatement(value))
+        if not impl.body:
+            return None
+        return impl
+
+    # -- statements ------------------------------------------------------
+    def _make_call_statement(self, scope: "_ScopeIndex") -> Optional[ExprStatement]:
+        methods = scope.callable_pool()
+        for _ in range(12):
+            method = self.rng.choice(methods)
+            call = self._make_call(scope, method)
+            if call is not None:
+                assert well_typed(call, self.ts), call
+                return ExprStatement(call)
+        return None
+
+    def _make_call(self, scope: "_ScopeIndex", method: Method) -> Optional[Call]:
+        args: List[Expr] = []
+        for index, param in enumerate(method.all_params()):
+            is_receiver = not method.is_static and index == 0
+            arg = scope.argument_for(param.type, allow_literal=not is_receiver)
+            if arg is None:
+                return None
+            args.append(arg)
+        return Call(method, tuple(args))
+
+    def _make_assign_statement(
+        self, scope: "_ScopeIndex"
+    ) -> Optional[AssignStatement]:
+        for _ in range(12):
+            lhs = scope.random_lvalue()
+            if lhs is None:
+                return None
+            lhs_type = lhs.type
+            rhs = scope.assign_source(lhs_type, lhs)
+            if rhs is None:
+                continue
+            assign = Assign(lhs, rhs)
+            assert well_typed(assign, self.ts), assign
+            return AssignStatement(assign)
+        return None
+
+    def _make_compare_statement(
+        self, scope: "_ScopeIndex"
+    ) -> Optional[IfStatement]:
+        pair = scope.comparable_pair(
+            const_fraction=self.spec.compare_const_fraction
+        )
+        if pair is None:
+            return None
+        lhs, rhs = pair
+        op = self.rng.choice(["<", ">=", ">", "<="])
+        compare = Compare(lhs, rhs, op)
+        assert well_typed(compare, self.ts), compare
+        return IfStatement(compare)
+
+
+class _ScopeIndex:
+    """Expressions available inside one impl, indexed for sampling.
+
+    Enumerates chains up to two lookups deep over the locals, ``this`` and
+    the project's static roots, mirroring what a programmer has at hand.
+    """
+
+    MAX_ROOT_EXPRS = 900
+
+    def __init__(
+        self, synth: _Synthesizer, impl: MethodImpl, client: TypeDef
+    ) -> None:
+        self.synth = synth
+        self.ts = synth.ts
+        self.rng = synth.rng
+        self.impl = impl
+        self.client = client
+        self.exprs: List[Expr] = []
+        self._build()
+
+    def _build(self) -> None:
+        roots: List[Expr] = []
+        for name, typedef in self.impl.all_locals().items():
+            roots.append(Var(name, typedef))
+        if not self.impl.method.is_static:
+            roots.append(Var("this", self.client))
+        # a sample of static fields (globals)
+        static_roots: List[Expr] = []
+        for typedef in self.synth.classes + self.synth.helpers + self.synth.enums:
+            for member in typedef.declared_lookups():
+                if member.is_static:
+                    static_roots.append(FieldAccess(TypeLiteral(typedef), member))
+        self.rng.shuffle(static_roots)
+        roots.extend(static_roots[:10])
+
+        self.exprs.extend(roots)
+        # one- and two-step lookup chains
+        frontier = list(roots)
+        for _depth in range(2):
+            next_frontier: List[Expr] = []
+            for expr in frontier:
+                base_type = expr.type
+                if base_type is None or base_type.is_primitive:
+                    continue
+                for member in self.ts.instance_lookups(base_type):
+                    chained = FieldAccess(expr, member)
+                    next_frontier.append(chained)
+                for method in self.ts.zero_arg_instance_methods(base_type):
+                    if method.return_type is None:
+                        continue
+                    next_frontier.append(Call(method, (expr,)))
+                if len(self.exprs) + len(next_frontier) > self.MAX_ROOT_EXPRS:
+                    break
+            self.exprs.extend(next_frontier)
+            frontier = next_frontier
+            if len(self.exprs) > self.MAX_ROOT_EXPRS:
+                break
+        self._by_kind: Dict[str, List[Expr]] = {
+            "local": [],
+            "this_field": [],
+            "local_field": [],
+            "static_field": [],
+            "zero_arg_call": [],
+            "deep_chain": [],
+        }
+        for expr in self.exprs:
+            self._by_kind[classify_expr(expr)].append(expr)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _compatible(self, pool: List[Expr], target: TypeDef) -> List[Expr]:
+        return [
+            e
+            for e in pool
+            if e.type is not None
+            and self.ts.implicitly_converts(e.type, target)
+        ]
+
+    def argument_for(
+        self, target: TypeDef, allow_literal: bool = True
+    ) -> Optional[Expr]:
+        """An argument expression of the target type, sampled by the
+        Fig. 14 argument mix."""
+        mix = self.synth.spec.argument_mix
+        if allow_literal and self.rng.random() < mix.literal:
+            literal = self._literal_of(target)
+            if literal is not None:
+                return literal
+        if allow_literal and self.rng.random() < mix.nested_call:
+            nested = self._nested_call_of(target)
+            if nested is not None:
+                return nested
+        kinds = ["local", "this_field", "local_field", "static_field",
+                 "zero_arg_call", "deep_chain"]
+        weights = [mix.local, mix.this_field, mix.local_field,
+                   mix.static_field, mix.zero_arg_call, mix.deep_chain]
+        preferred = self.rng.choices(kinds, weights=weights)[0]
+        if preferred == "local" and not self._compatible(
+            self._by_kind["local"], target
+        ):
+            # programmers introduce locals for the values they need: mint
+            # one of the right type (keeps Fig. 14 locals-dominant)
+            minted = self._mint_local(target)
+            if minted is not None:
+                return minted
+        # try the sampled kind, then fall back shallow-to-deep so the
+        # argument-kind census (Fig. 14) stays locals-dominant rather than
+        # being swamped by the combinatorially-many deep chains
+        for kind in [preferred] + kinds:
+            candidates = self._compatible(self._by_kind[kind], target)
+            if candidates:
+                return self.rng.choice(candidates)
+        return self._literal_of(target) if allow_literal else None
+
+    _MAX_LOCALS = 10
+    _MINT_NAMES = ["entry", "node", "current", "next", "spec", "info",
+                   "extra", "state", "other", "temp"]
+
+    def _mint_local(self, target: TypeDef) -> Optional[Var]:
+        if len(self.impl.all_locals()) >= self._MAX_LOCALS:
+            return None
+        if self.rng.random() > 0.75:
+            return None
+        taken = self.impl.all_locals()
+        for name in self._MINT_NAMES:
+            if name not in taken:
+                self.impl.locals[name] = target
+                var = Var(name, target)
+                self.exprs.append(var)
+                self._by_kind["local"].append(var)
+                return var
+        return None
+
+    def value_of(self, target: TypeDef) -> Optional[Expr]:
+        candidates = self._compatible(self.exprs, target)
+        if candidates:
+            return self.rng.choice(candidates)
+        return None
+
+    def _nested_call_of(self, target: TypeDef) -> Optional[Call]:
+        """An argument that is itself a call with arguments (unguessable
+        by the completer — the paper's computed-expression category)."""
+        candidates = [
+            m
+            for m in self.callable_pool()
+            if m.return_type is not None
+            and m.params
+            and self.ts.implicitly_converts(m.return_type, target)
+        ]
+        self.rng.shuffle(candidates)
+        for method in candidates[:6]:
+            args: List[Expr] = []
+            for index, param in enumerate(method.all_params()):
+                is_receiver = not method.is_static and index == 0
+                value = self.value_of(param.type)
+                if value is None and not is_receiver:
+                    value = self._literal_of(param.type)
+                if value is None:
+                    break
+                args.append(value)
+            else:
+                return Call(method, tuple(args))
+        return None
+
+    def _literal_of(self, target: TypeDef) -> Optional[Literal]:
+        ts = self.ts
+        if target is ts.string_type:
+            word = self.rng.choice(list(self.synth.spec.nouns)).lower()
+            return Literal(word, ts.string_type)
+        if target.kind is TypeKind.PRIMITIVE and target.name != "void":
+            if target.name == "bool":
+                return Literal(self.rng.random() < 0.5, target)
+            if target.name in ("float", "double"):
+                return Literal(float(self.rng.randint(1, 9)), target)
+            return Literal(self.rng.randint(1, 99), target)
+        return None
+
+    # -- assignment shapes -------------------------------------------------
+    def random_lvalue(self) -> Optional[Expr]:
+        """An assignable expression, biased toward field-lookup endings
+        (the paper's corpus has twice as many lookup-ending targets as
+        sources)."""
+        lookup_ending = [
+            e
+            for e in self.exprs
+            if isinstance(e, FieldAccess)
+            and not isinstance(e.base, TypeLiteral)
+        ]
+        if lookup_ending and self.rng.random() < 0.85:
+            return self.rng.choice(lookup_ending)
+        plain_locals = [
+            e for e in self._by_kind["local"] if not getattr(e, "is_this", False)
+        ]
+        if plain_locals:
+            return self.rng.choice(plain_locals)
+        return None
+
+    def assign_source(self, target: TypeDef, lhs: Expr) -> Optional[Expr]:
+        """A right-hand side; prefers lookup-ending expressions with the
+        same final name (realistic `a.X = b.X` copies), falls back to any
+        compatible value or literal."""
+        candidates = self._compatible(self.exprs, target)
+        candidates = [c for c in candidates if c.key() != lhs.key()]
+        if not candidates:
+            return self._literal_of(target)
+        lhs_name = final_lookup_name(lhs)
+        if lhs_name is not None and self.rng.random() < 0.5:
+            same_name = [
+                c for c in candidates if final_lookup_name(c) == lhs_name
+            ]
+            if same_name:
+                return self.rng.choice(same_name)
+        if self.rng.random() < 0.15:
+            literal = self._literal_of(target)
+            if literal is not None:
+                return literal
+        return self.rng.choice(candidates)
+
+    # -- comparison shapes -------------------------------------------------
+    def comparable_pair(
+        self, const_fraction: float
+    ) -> Optional[Tuple[Expr, Expr]]:
+        lookup_ending = [
+            e
+            for e in self.exprs
+            if final_lookup_name(e) is not None
+            and e.type is not None
+            and e.type.comparable
+        ]
+        if not lookup_ending:
+            return None
+        lhs = self.rng.choice(lookup_ending)
+        if self.rng.random() < const_fraction:
+            literal = self._literal_of(lhs.type)
+            if literal is not None:
+                return lhs, literal
+        # prefer a same-named lookup on the other side
+        name = final_lookup_name(lhs)
+        peers = [
+            e
+            for e in lookup_ending
+            if e.key() != lhs.key() and self.ts.comparable(lhs.type, e.type)
+        ]
+        if not peers:
+            return None
+        same = [e for e in peers if final_lookup_name(e) == name]
+        if same and self.rng.random() < 0.7:
+            return lhs, self.rng.choice(same)
+        return lhs, self.rng.choice(peers)
+
+    def callable_pool(self) -> List[Method]:
+        """Methods client code plausibly calls (project + core, weighted
+        toward the project's own framework)."""
+        pool: List[Method] = []
+        for typedef in self.synth.classes + self.synth.helpers:
+            pool.extend(typedef.methods)
+        for typedef in self.synth.anchor_pool:
+            pool.extend(typedef.methods)
+        core_methods = [
+            m
+            for t in (
+                self.synth.core.string_builder,
+                self.synth.core.list_type,
+                self.ts.try_get("System.IO.Path"),
+                self.ts.try_get("System.IO.Directory"),
+                self.ts.try_get("System.Math"),
+                self.ts.try_get("System.Console"),
+            )
+            if t is not None
+            for m in t.methods
+        ]
+        return pool * 2 + core_methods
+
+
+def classify_expr(expr: Expr) -> str:
+    """Bucket an expression by shape (used for sampling and by the Fig. 14
+    argument-kind census)."""
+    if isinstance(expr, Var):
+        return "local"
+    if isinstance(expr, Literal):
+        return "literal"
+    if isinstance(expr, FieldAccess):
+        if isinstance(expr.base, TypeLiteral):
+            return "static_field"
+        if isinstance(expr.base, Var):
+            if expr.base.is_this:
+                return "this_field"
+            return "local_field"
+        return "deep_chain"
+    if isinstance(expr, Call):
+        if expr.method.is_zero_arg_instance and isinstance(expr.args[0], Var):
+            return "zero_arg_call"
+        if expr.method.is_static and not expr.args:
+            return "zero_arg_call"
+        return "deep_chain"
+    return "deep_chain"

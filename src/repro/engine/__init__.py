@@ -1,0 +1,18 @@
+"""Completion engine: ranking, indexes, score-ordered generators."""
+
+from .algorithm1 import Algorithm1
+from .completer import Completion, CompletionEngine, EngineConfig
+from .index import MethodIndex, ReachabilityIndex
+from .ranking import AbstractTypeOracle, Ranker, RankingConfig
+
+__all__ = [
+    "AbstractTypeOracle",
+    "Algorithm1",
+    "Completion",
+    "CompletionEngine",
+    "EngineConfig",
+    "MethodIndex",
+    "Ranker",
+    "RankingConfig",
+    "ReachabilityIndex",
+]

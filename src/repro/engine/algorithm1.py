@@ -1,0 +1,204 @@
+"""A literal transcription of the paper's Algorithm 1 (the naive form).
+
+The paper presents ``AllCompletions`` as: recursively compute the
+completion sets of the subexpressions, then *for each score from 0
+upwards*, emit every completion of the whole expression whose score equals
+that value.  The production engine (:mod:`repro.engine.completer`) replaces
+the score loop with lazy best-first machinery; this module keeps the naive
+shape — enumerate everything up to a score bound, bucket by score, yield in
+order — as an executable specification.
+
+It is exponentially slower (it materialises whole completion sets) and
+bounded (a ``max_score`` takes the role of the paper's "called only n
+times"), but on any universe where it finishes it must agree with the
+production engine — an equivalence the test suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..analysis.scope import Context
+from ..codemodel.types import TypeDef
+from ..lang.ast import (
+    Assign,
+    Call,
+    Compare,
+    Expr,
+    FieldAccess,
+    Unfilled,
+    Var,
+    is_complete,
+)
+from ..lang.partial import (
+    Hole,
+    KnownCall,
+    PartialAssign,
+    PartialCompare,
+    SuffixHole,
+    UnknownCall,
+)
+from .ranking import AbstractTypeOracle, Ranker, RankingConfig
+
+
+class Algorithm1:
+    """The naive completion enumerator.
+
+    Parameters bound the otherwise-infinite sets: ``max_score`` truncates
+    the outer score loop, ``max_chain_depth`` the ``.?*`` chains.
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        ranking: Optional[RankingConfig] = None,
+        abstypes: Optional[AbstractTypeOracle] = None,
+        max_score: int = 12,
+        max_chain_depth: int = 3,
+    ) -> None:
+        self.context = context
+        self.ts = context.ts
+        self.ranker = Ranker(context, ranking, abstypes)
+        self.max_score = max_score
+        self.max_chain_depth = max_chain_depth
+
+    # ------------------------------------------------------------------
+    # the paper's AllCompletions
+    # ------------------------------------------------------------------
+    def all_completions(self, pe: Expr) -> Iterator[Tuple[int, Expr]]:
+        """Completions in ascending score order (the outer ``foreach score
+        in [0, inf)`` loop, truncated at ``max_score``)."""
+        by_score: Dict[int, List[Expr]] = {}
+        seen = set()
+        for expr in self._completions(pe):
+            key = expr.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            score = self.ranker.score(expr)
+            if score <= self.max_score:
+                by_score.setdefault(score, []).append(expr)
+        for score in range(0, self.max_score + 1):
+            for expr in by_score.get(score, ()):  # insertion order per level
+                yield score, expr
+
+    # ------------------------------------------------------------------
+    # completion sets (unordered, exhaustive within the bounds)
+    # ------------------------------------------------------------------
+    def _completions(self, pe: Expr) -> List[Expr]:
+        if isinstance(pe, Hole):
+            return self._chains(self.context.chain_roots(), methods=True,
+                                steps=self.max_chain_depth)
+        if isinstance(pe, SuffixHole):
+            bases = self._completions(pe.base)
+            steps = self.max_chain_depth if pe.star else 1
+            return self._chains(bases, methods=pe.methods, steps=steps)
+        if isinstance(pe, UnknownCall):
+            return self._unknown_calls(pe)
+        if isinstance(pe, KnownCall):
+            return self._known_calls(pe)
+        if isinstance(pe, PartialAssign):
+            return self._assignments(pe)
+        if isinstance(pe, PartialCompare):
+            return self._comparisons(pe)
+        if is_complete(pe):
+            return [pe]
+        raise TypeError("cannot complete {!r}".format(type(pe).__name__))
+
+    def _chains(
+        self, roots: List[Expr], methods: bool, steps: int
+    ) -> List[Expr]:
+        everything = list(roots)
+        frontier = list(roots)
+        for _ in range(steps):
+            next_frontier: List[Expr] = []
+            for expr in frontier:
+                base_type = expr.type
+                if base_type is None:
+                    continue
+                for member in self.ts.instance_lookups(base_type):
+                    next_frontier.append(FieldAccess(expr, member))
+                if methods:
+                    for method in self.ts.zero_arg_instance_methods(base_type):
+                        if method.return_type is not None:
+                            next_frontier.append(Call(method, (expr,)))
+            everything.extend(next_frontier)
+            frontier = next_frontier
+        return everything
+
+    def _unknown_calls(self, pe: UnknownCall) -> List[Expr]:
+        from itertools import permutations, product
+
+        arg_sets = [self._completions(arg) for arg in pe.args]
+        results: List[Expr] = []
+        for method in self.ts.all_methods():
+            if method.is_constructor:
+                continue
+            arity = method.arity
+            if arity < len(pe.args):
+                continue
+            for combo in product(*arg_sets):
+                for positions in permutations(range(arity), len(combo)):
+                    full: List[Expr] = [Unfilled()] * arity
+                    for position, value in zip(positions, combo):
+                        full[position] = value
+                    call = Call(method, tuple(full))
+                    if self._call_ok(call):
+                        results.append(call)
+        return results
+
+    def _call_ok(self, call: Call) -> bool:
+        if (
+            call.method.is_zero_arg_instance
+            and isinstance(call.args[0], Unfilled)
+        ):
+            return False
+        try:
+            return (
+                self.ranker.call_completion_cost(
+                    call.method, [a.type for a in call.args], call.args
+                )
+                is not None
+            )
+        except ValueError:  # pragma: no cover - defensive
+            return False
+
+    def _known_calls(self, pe: KnownCall) -> List[Expr]:
+        from itertools import product
+
+        results: List[Expr] = []
+        for method in pe.candidates:
+            if method.arity != len(pe.args):
+                continue
+            arg_sets = [self._completions(arg) for arg in pe.args]
+            for combo in product(*arg_sets):
+                call = Call(method, tuple(combo))
+                if self._call_ok(call):
+                    results.append(call)
+        return results
+
+    def _assignments(self, pe: PartialAssign) -> List[Expr]:
+        results: List[Expr] = []
+        for lhs in self._completions(pe.lhs):
+            if not isinstance(lhs, (Var, FieldAccess)):
+                continue
+            if isinstance(lhs, Var) and lhs.is_this:
+                continue
+            for rhs in self._completions(pe.rhs):
+                lhs_type, rhs_type = lhs.type, rhs.type
+                if lhs_type is None or rhs_type is None:
+                    continue
+                if self.ts.implicitly_converts(rhs_type, lhs_type):
+                    results.append(Assign(lhs, rhs))
+        return results
+
+    def _comparisons(self, pe: PartialCompare) -> List[Expr]:
+        results: List[Expr] = []
+        for lhs in self._completions(pe.lhs):
+            for rhs in self._completions(pe.rhs):
+                lhs_type, rhs_type = lhs.type, rhs.type
+                if lhs_type is None or rhs_type is None:
+                    continue
+                if self.ts.comparable(lhs_type, rhs_type):
+                    results.append(Compare(lhs, rhs, pe.op))
+        return results

@@ -1,0 +1,546 @@
+"""The completion engine (Sec. 4.2, Algorithm 1).
+
+``CompletionEngine.all_completions`` is the paper's ``AllCompletions``: a
+generator of well-typed completions of a partial expression in ascending
+score order.  Callers pull the top *n*; for ``.?*`` suffixes the underlying
+stream is unbounded and exploration is bounded only by the configured chain
+depth.
+
+The implementation uses the optimizations the paper describes:
+
+* subexpression scores are computed once (streams memoise, Materialized);
+* completions are generated best-first rather than by looping over every
+  integer score (``best_first`` / ``merge_nested`` in
+  :mod:`repro.engine.streams` deliver the same order);
+* the method index narrows unknown-call candidates to methods that can
+  accept at least one argument (smallest candidate set wins);
+* the reachability index prunes ``.?*`` chains when a target type is known;
+* completions of each subexpression are grouped (per tuple) so type checks
+  run once per type combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from ..analysis.scope import Context
+from ..codemodel.members import Method
+from ..codemodel.types import TypeDef
+from ..codemodel.typesystem import TypeSystem
+from ..lang.ast import (
+    Assign,
+    Call,
+    Compare,
+    Expr,
+    FieldAccess,
+    Unfilled,
+    Var,
+    is_complete,
+)
+from ..lang.partial import (
+    Hole,
+    KnownCall,
+    PartialAssign,
+    PartialCompare,
+    SuffixHole,
+    UnknownCall,
+)
+from .index import MethodIndex, ReachabilityIndex
+from .ranking import AbstractTypeOracle, Ranker, RankingConfig
+from .streams import (
+    Materialized,
+    Scored,
+    best_first,
+    merge,
+    merge_nested,
+    ordered_product,
+    reorder_with_slack,
+)
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of the completion engine.
+
+    The bounds exist because some completion streams are infinite (the
+    paper's generator "will usually continue producing more completions
+    forever"): ``max_chain_depth`` bounds lookup chains, and the two
+    candidate caps bound how many subexpression completions feed the
+    cartesian stages.  When a cap truncates a search, lower-ranked
+    completions are dropped — raise the caps to explore deeper.
+    """
+
+    ranking: RankingConfig = field(default_factory=RankingConfig)
+    #: maximum lookups a `.?*f` / `.?*m` / `?` chain may add
+    max_chain_depth: int = 3
+    #: maximum argument tuples expanded per unknown/known call query
+    max_tuple_candidates: int = 2000
+    #: maximum completions considered per side of an assignment/comparison
+    max_side_candidates: int = 500
+    #: prune chains with the reachability index when a target type is known
+    use_reachability: bool = True
+    #: allow completions like ``Document.OnDeserialization(0, size)`` where
+    #: the receiver slot itself is left ``0`` (the paper permits any unfilled
+    #: argument position)
+    allow_unfilled_receiver: bool = True
+    #: extension: let unknown-call queries complete to constructors
+    #: (``new T(...)``) — "the version used for our experiments does not
+    #: generate constructor calls when asked for an unknown method"
+    generate_constructors: bool = False
+
+
+class Completion(NamedTuple):
+    """One ranked completion."""
+
+    score: int
+    expr: Expr
+
+
+class CompletionEngine:
+    """Completes partial expressions against a library universe.
+
+    The engine is long-lived (it owns the method/reachability indexes built
+    from the type system); per-query state — scope context, abstract-type
+    oracle, expected result type — is passed to each call.
+    """
+
+    def __init__(
+        self,
+        ts: TypeSystem,
+        config: Optional[EngineConfig] = None,
+        index: Optional[MethodIndex] = None,
+        reachability: Optional[ReachabilityIndex] = None,
+    ) -> None:
+        self.ts = ts
+        self.config = config or EngineConfig()
+        self.index = index or MethodIndex(ts)
+        self.reachability = reachability or ReachabilityIndex(
+            ts, max_depth=self.config.max_chain_depth + 1
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def all_completions(
+        self,
+        pe: Expr,
+        context: Context,
+        abstypes: Optional[AbstractTypeOracle] = None,
+        expected_type: Optional[TypeDef] = None,
+        keyword: Optional[str] = None,
+    ) -> Iterator[Completion]:
+        """All completions in ascending score order, deduplicated.
+
+        ``expected_type`` filters results to those producing that type
+        (pass ``ts.void_type`` to ask for void-returning calls) — the
+        Figure 12 "known return type" mode.
+
+        ``keyword`` is an extension beyond the paper (it notes API
+        Explorer's keyword filter as something partial expressions lack):
+        when given, unknown-call completions are restricted to methods
+        whose name contains the keyword, case-insensitively.
+        """
+        query = _Query(self, context, abstypes, expected_type, keyword)
+        seen: Set[tuple] = set()
+        for score, expr in query.stream(pe, expected_type):
+            key = expr.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Completion(score, expr)
+
+    def complete(
+        self,
+        pe: Expr,
+        context: Context,
+        n: int = 10,
+        abstypes: Optional[AbstractTypeOracle] = None,
+        expected_type: Optional[TypeDef] = None,
+        keyword: Optional[str] = None,
+    ) -> List[Completion]:
+        """The top ``n`` completions."""
+        stream = self.all_completions(
+            pe, context, abstypes, expected_type, keyword
+        )
+        return list(islice(stream, n))
+
+    def rank_of(
+        self,
+        pe: Expr,
+        context: Context,
+        truth: Expr,
+        limit: int = 100,
+        abstypes: Optional[AbstractTypeOracle] = None,
+        expected_type: Optional[TypeDef] = None,
+    ) -> Optional[int]:
+        """1-based rank of a known intended expression, or ``None`` when it
+        is not among the first ``limit`` completions."""
+        truth_key = truth.key()
+        stream = self.all_completions(pe, context, abstypes, expected_type)
+        for position, completion in enumerate(islice(stream, limit), start=1):
+            if completion.expr.key() == truth_key:
+                return position
+        return None
+
+    def method_rank(
+        self,
+        pe: Expr,
+        context: Context,
+        truth_method: Method,
+        limit: int = 100,
+        abstypes: Optional[AbstractTypeOracle] = None,
+        expected_type: Optional[TypeDef] = None,
+    ) -> Optional[int]:
+        """1-based rank of a method among the *distinct methods* suggested
+        for an unknown-call query (how the paper counts Fig. 9/Table 1:
+        "the algorithm is able to give the correct method in the top 10
+        choices")."""
+        seen_methods: Set[int] = set()
+        stream = self.all_completions(pe, context, abstypes, expected_type)
+        for completion in stream:
+            expr = completion.expr
+            if not isinstance(expr, Call):
+                continue
+            if id(expr.method) in seen_methods:
+                continue
+            seen_methods.add(id(expr.method))
+            if expr.method is truth_method:
+                return len(seen_methods)
+            if len(seen_methods) >= limit:
+                return None
+        return None
+
+
+class _Query:
+    """Per-query state: context, ranker, and the stream dispatcher."""
+
+    def __init__(
+        self,
+        engine: CompletionEngine,
+        context: Context,
+        abstypes: Optional[AbstractTypeOracle],
+        expected_type: Optional[TypeDef],
+        keyword: Optional[str] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = engine.config
+        self.ts: TypeSystem = engine.ts
+        self.context = context
+        self.ranker = Ranker(context, engine.config.ranking, abstypes)
+        self.expected_type = expected_type
+        self.keyword = keyword.lower() if keyword else None
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def stream(self, pe: Expr, target: Optional[TypeDef]) -> Iterator[Scored]:
+        """Completions of ``pe`` usable where ``target`` is expected
+        (``None`` = anywhere), in ascending score order."""
+        if isinstance(pe, Hole):
+            return self._chain_stream(
+                self._root_items(target),
+                methods=True,
+                max_steps=self.config.max_chain_depth,
+                target=target,
+            )
+        if isinstance(pe, SuffixHole):
+            return self._suffix_stream(pe, target)
+        if isinstance(pe, UnknownCall):
+            return self._unknown_call_stream(pe, target)
+        if isinstance(pe, KnownCall):
+            return self._known_call_stream(pe, target)
+        if isinstance(pe, PartialAssign):
+            assert target is None, "assignments cannot be subexpressions"
+            return self._assign_stream(pe)
+        if isinstance(pe, PartialCompare):
+            assert target is None, "comparisons cannot be subexpressions"
+            return self._compare_stream(pe)
+        if isinstance(pe, Assign):
+            return self._assign_stream(PartialAssign(pe.lhs, pe.rhs))
+        if isinstance(pe, Compare):
+            return self._compare_stream(PartialCompare(pe.lhs, pe.rhs, pe.op))
+        if is_complete(pe):
+            return self._singleton(pe, target)
+        raise TypeError(
+            "cannot complete {!r} nodes".format(type(pe).__name__)
+        )
+
+    def _singleton(self, expr: Expr, target: Optional[TypeDef]) -> Iterator[Scored]:
+        if not self._fits(expr, target):
+            return
+        yield self.ranker.score(expr), expr
+
+    def _fits(self, expr: Expr, target: Optional[TypeDef]) -> bool:
+        if target is None:
+            return True
+        expr_type = expr.type
+        if expr_type is None:  # Unfilled wildcard fits anywhere
+            return True
+        return self.ts.implicitly_converts(expr_type, target)
+
+    # ------------------------------------------------------------------
+    # chains: ?, .?f, .?m, .?*f, .?*m
+    # ------------------------------------------------------------------
+    def _root_items(self, target: Optional[TypeDef]) -> List[Scored]:
+        """Scored chain roots for a ``?`` hole: locals then globals."""
+        items: List[Scored] = []
+        for root in self.context.chain_roots():
+            items.append((self.ranker.score(root), root))
+        return items
+
+    def _suffix_stream(
+        self, pe: SuffixHole, target: Optional[TypeDef]
+    ) -> Iterator[Scored]:
+        roots = list(self.stream(pe.base, None))
+        max_steps = self.config.max_chain_depth if pe.star else 1
+        return self._chain_stream(
+            roots, methods=pe.methods, max_steps=max_steps, target=target
+        )
+
+    def _chain_stream(
+        self,
+        roots: Sequence[Scored],
+        methods: bool,
+        max_steps: int,
+        target: Optional[TypeDef],
+    ) -> Iterator[Scored]:
+        """Best-first closure over lookup chains (Dijkstra on expressions)."""
+        ts = self.ts
+        ranker = self.ranker
+        reach = self.engine.reachability
+        prune = target is not None and self.config.use_reachability
+
+        def expand(score: int, node: Tuple[Expr, int]) -> Iterator[Scored]:
+            expr, steps = node
+            if steps >= max_steps:
+                return
+            base_type = expr.type
+            if base_type is None:
+                return
+            remaining = max_steps - steps - 1
+            for member in ts.instance_lookups(base_type):
+                if prune and not reach.can_reach(
+                    member.type, target, remaining, methods
+                ):
+                    continue
+                cost = ranker.lookup_step_cost(base_type, member.declaring_type)
+                yield score + cost, (FieldAccess(expr, member), steps + 1)
+            if methods:
+                for method in ts.zero_arg_instance_methods(base_type):
+                    if method.return_type is None:
+                        continue
+                    if prune and not reach.can_reach(
+                        method.return_type, target, remaining, methods
+                    ):
+                        continue
+                    cost = ranker.lookup_step_cost(
+                        base_type, method.declaring_type
+                    )
+                    yield score + cost, (Call(method, (expr,)), steps + 1)
+
+        seeds = [(score, (expr, 0)) for score, expr in roots]
+        for score, (expr, _steps) in best_first(seeds, expand):
+            if self._fits(expr, target):
+                yield score, expr
+
+    # ------------------------------------------------------------------
+    # unknown calls: ?({e1, ..., en})
+    # ------------------------------------------------------------------
+    def _unknown_call_stream(
+        self, pe: UnknownCall, target: Optional[TypeDef]
+    ) -> Iterator[Scored]:
+        arg_streams = [Materialized(self.stream(arg, None)) for arg in pe.args]
+        tuples = islice(
+            ordered_product(arg_streams), self.config.max_tuple_candidates
+        )
+
+        def expand(base: int, args: tuple) -> List[Scored]:
+            return self._methods_for_args(base, args, target)
+
+        return merge_nested(tuples, expand)
+
+    def _methods_for_args(
+        self, base: int, args: tuple, target: Optional[TypeDef]
+    ) -> List[Scored]:
+        """All method completions using exactly these argument expressions
+        (cheapest argument placement per method)."""
+        arg_types = [a.type for a in args]
+        results: List[Tuple[int, str, Expr]] = []
+        for method in self.engine.index.candidate_methods(arg_types):
+            if method.arity < len(args):
+                continue
+            if method.is_constructor and not self.config.generate_constructors:
+                continue
+            if not self._return_matches(method, target):
+                continue
+            if self.keyword is not None and self.keyword not in method.name.lower():
+                continue
+            best = self._best_placement(method, args, arg_types)
+            if best is not None:
+                score, call = best
+                results.append((base + score, method.full_name, call))
+        results.sort(key=lambda item: (item[0], item[1]))
+        return [(score, call) for score, _name, call in results]
+
+    def _best_placement(
+        self,
+        method: Method,
+        args: tuple,
+        arg_types: List[Optional[TypeDef]],
+    ) -> Optional[Tuple[int, Call]]:
+        """Cheapest injective placement of the argument set into the
+        method's parameter positions; remaining positions become ``0``."""
+        params = method.all_params()
+        arity = len(params)
+        compatible: List[List[int]] = []
+        for arg_type in arg_types:
+            positions = []
+            for position, param in enumerate(params):
+                if arg_type is None or self.ts.implicitly_converts(
+                    arg_type, param.type
+                ):
+                    positions.append(position)
+            if not positions:
+                return None
+            compatible.append(positions)
+
+        best: Optional[Tuple[int, Call]] = None
+        used: List[int] = []
+
+        def assign(arg_index: int) -> None:
+            nonlocal best
+            if arg_index == len(args):
+                full_args: List[Expr] = [Unfilled()] * arity
+                for position, arg in zip(used, args):
+                    full_args[position] = arg
+                placed = tuple(full_args)
+                types = [a.type for a in placed]
+                if (
+                    not method.is_static
+                    and types[0] is None
+                    and not self.config.allow_unfilled_receiver
+                ):
+                    return
+                extra = self.ranker.call_completion_cost(method, types, placed)
+                if extra is None:
+                    return
+                if best is None or extra < best[0]:
+                    best = (extra, Call(method, placed))
+                return
+            for position in compatible[arg_index]:
+                if position in used:
+                    continue
+                used.append(position)
+                assign(arg_index + 1)
+                used.pop()
+
+        assign(0)
+        return best
+
+    def _return_matches(self, method: Method, target: Optional[TypeDef]) -> bool:
+        if target is None:
+            return True
+        if target is self.ts.void_type:
+            return method.return_type is None
+        if method.return_type is None:
+            return False
+        return self.ts.implicitly_converts(method.return_type, target)
+
+    # ------------------------------------------------------------------
+    # known calls: Name(e1, ..., en) with partial arguments
+    # ------------------------------------------------------------------
+    def _known_call_stream(
+        self, pe: KnownCall, target: Optional[TypeDef]
+    ) -> Iterator[Scored]:
+        per_candidate: List[Iterator[Scored]] = []
+        for method in pe.candidates:
+            if method.arity != len(pe.args):
+                continue
+            if not self._return_matches(method, target):
+                continue
+            per_candidate.append(self._candidate_call_stream(method, pe.args))
+        return merge(per_candidate)
+
+    def _candidate_call_stream(
+        self, method: Method, args: Tuple[Expr, ...]
+    ) -> Iterator[Scored]:
+        params = method.all_params()
+        arg_streams = [
+            Materialized(self.stream(arg, param.type))
+            for arg, param in zip(args, params)
+        ]
+        tuples = islice(
+            ordered_product(arg_streams), self.config.max_tuple_candidates
+        )
+
+        def expand(base: int, values: tuple) -> List[Scored]:
+            types = [v.type for v in values]
+            extra = self.ranker.call_completion_cost(method, types, values)
+            if extra is None:
+                return []
+            return [(base + extra, Call(method, values))]
+
+        return merge_nested(tuples, expand)
+
+    # ------------------------------------------------------------------
+    # binary expressions
+    # ------------------------------------------------------------------
+    def _side_stream(self, pe: Expr) -> Materialized:
+        return Materialized(
+            islice(self.stream(pe, None), self.config.max_side_candidates)
+        )
+
+    def _assign_stream(self, pe: PartialAssign) -> Iterator[Scored]:
+        left = self._side_stream(pe.lhs)
+        right = self._side_stream(pe.rhs)
+        slack = Ranker.PAIR_TERM_SLACK
+        ts = self.ts
+
+        def pairs() -> Iterator[Tuple[int, int, Expr]]:
+            for base, (lhs, rhs) in ordered_product([left, right]):
+                if not _is_lvalue(lhs):
+                    continue
+                lhs_type, rhs_type = lhs.type, rhs.type
+                if (
+                    lhs_type is not None
+                    and rhs_type is not None
+                    and not ts.implicitly_converts(rhs_type, lhs_type)
+                ):
+                    continue
+                extra = self.ranker.assign_pair_cost(lhs, rhs)
+                if extra > slack:
+                    continue
+                yield base, base + extra, Assign(lhs, rhs)
+
+        return reorder_with_slack(pairs(), slack)
+
+    def _compare_stream(self, pe: PartialCompare) -> Iterator[Scored]:
+        left = self._side_stream(pe.lhs)
+        right = self._side_stream(pe.rhs)
+        slack = Ranker.PAIR_TERM_SLACK
+        ts = self.ts
+
+        def pairs() -> Iterator[Tuple[int, int, Expr]]:
+            for base, (lhs, rhs) in ordered_product([left, right]):
+                lhs_type, rhs_type = lhs.type, rhs.type
+                if (
+                    lhs_type is not None
+                    and rhs_type is not None
+                    and not ts.comparable(lhs_type, rhs_type)
+                ):
+                    continue
+                extra = self.ranker.compare_pair_cost(lhs, rhs)
+                if extra > slack:
+                    continue
+                yield base, base + extra, Compare(lhs, rhs, pe.op)
+
+        return reorder_with_slack(pairs(), slack)
+
+
+def _is_lvalue(expr: Expr) -> bool:
+    """Assignment targets: locals and (non-static-qualifier) field lookups."""
+    if isinstance(expr, Var):
+        return not expr.is_this
+    return isinstance(expr, FieldAccess)

@@ -1,0 +1,188 @@
+"""Indexes over the library universe.
+
+:class:`MethodIndex` is Figure 8's structure: "An index is maintained that
+maps every type to a set of methods for which at least one of the arguments
+may be of that type" — organised by *exact* parameter type, with the
+supertype walk performed at query time so that "each method index visited
+will give progressively worse ranked results".  Given a query's argument
+types, the index picks the argument whose candidate set is smallest.
+
+:class:`ReachabilityIndex` is the optional index sketched at the end of
+Sec. 4.2 ("queries for multiple field lookups could also be made more
+efficient using an index that indicates for each type which types are
+reachable by a ``.?*f`` or ``.?*m`` query, [and] how many lookups are
+needed").  The completion engine uses it to prune chain search when a
+target type is known.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..codemodel.members import Method
+from ..codemodel.types import TypeDef
+from ..codemodel.typesystem import TypeSystem
+
+
+class MethodIndex:
+    """type -> methods with a parameter of exactly that type (Fig. 8)."""
+
+    def __init__(self, ts: TypeSystem) -> None:
+        self.ts = ts
+        self._by_exact_type: Dict[str, List[Method]] = {}
+        self._all_methods: List[Method] = []
+        self._build()
+
+    def _build(self) -> None:
+        for method in self.ts.all_methods():
+            self._all_methods.append(method)
+            seen_types = set()
+            for param in method.all_params():
+                key = param.type.full_name
+                if key in seen_types:
+                    continue
+                seen_types.add(key)
+                self._by_exact_type.setdefault(key, []).append(method)
+
+    def methods_with_exact_param(self, typedef: TypeDef) -> List[Method]:
+        """Methods having at least one parameter of exactly this type."""
+        return list(self._by_exact_type.get(typedef.full_name, ()))
+
+    def methods_accepting(self, typedef: TypeDef) -> List[Method]:
+        """Methods with a parameter the given type implicitly converts to —
+        the union over the supertype walk, nearest types first."""
+        result: List[Method] = []
+        seen: set = set()
+        for holder in self._supertype_order(typedef):
+            for method in self._by_exact_type.get(holder.full_name, ()):
+                if id(method) not in seen:
+                    seen.add(id(method))
+                    result.append(method)
+        return result
+
+    def _supertype_order(self, typedef: TypeDef) -> List[TypeDef]:
+        """BFS order over the supertype graph (self first)."""
+        order: List[TypeDef] = []
+        seen = {typedef}
+        queue = deque([typedef])
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for parent in self.ts.immediate_supertypes(current):
+                if parent not in seen:
+                    seen.add(parent)
+                    queue.append(parent)
+        return order
+
+    def candidate_methods(
+        self, arg_types: Sequence[Optional[TypeDef]]
+    ) -> List[Method]:
+        """Candidate methods for an unknown call with these argument types.
+
+        "Each of the argument types is looked up to see how many methods
+        would have to be considered for that type and the smallest set is
+        chosen."  ``None`` entries (wildcard ``0`` arguments) are skipped;
+        when every argument is a wildcard, all methods are candidates.
+        """
+        best: Optional[List[Method]] = None
+        for arg_type in arg_types:
+            if arg_type is None:
+                continue
+            candidates = self.methods_accepting(arg_type)
+            if best is None or len(candidates) < len(best):
+                best = candidates
+        if best is None:
+            return list(self._all_methods)
+        return best
+
+    def all_methods(self) -> List[Method]:
+        return list(self._all_methods)
+
+    def __len__(self) -> int:
+        return len(self._all_methods)
+
+    def stats(self) -> Dict[str, float]:
+        """Index shape: how much the per-type buckets narrow the search
+        relative to scanning every method."""
+        sizes = [len(bucket) for bucket in self._by_exact_type.values()]
+        if not sizes:
+            return {"methods": float(len(self._all_methods)),
+                    "indexed_types": 0.0, "largest_bucket": 0.0,
+                    "mean_bucket": 0.0}
+        return {
+            "methods": float(len(self._all_methods)),
+            "indexed_types": float(len(sizes)),
+            "largest_bucket": float(max(sizes)),
+            "mean_bucket": sum(sizes) / len(sizes),
+        }
+
+
+class ReachabilityIndex:
+    """Which types are reachable from a type by lookup chains, and in how
+    many steps.  Memoised per (source, allow_methods)."""
+
+    def __init__(self, ts: TypeSystem, max_depth: int = 4) -> None:
+        self.ts = ts
+        self.max_depth = max_depth
+        self._cache: Dict[Tuple[str, bool], Dict[str, int]] = {}
+        self._target_cache: Dict[Tuple[str, str, bool], Optional[int]] = {}
+
+    def reachable(
+        self, source: TypeDef, allow_methods: bool
+    ) -> Dict[str, int]:
+        """Map from reachable type full-name to minimum number of lookups
+        (0 for the source itself), bounded by ``max_depth``."""
+        key = (source.full_name, allow_methods)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        distances: Dict[str, int] = {source.full_name: 0}
+        frontier = [source]
+        for depth in range(1, self.max_depth + 1):
+            next_frontier: List[TypeDef] = []
+            for typedef in frontier:
+                for step_type in self._step_types(typedef, allow_methods):
+                    name = step_type.full_name
+                    if name not in distances:
+                        distances[name] = depth
+                        next_frontier.append(step_type)
+            frontier = next_frontier
+        self._cache[key] = distances
+        return distances
+
+    def _step_types(self, typedef: TypeDef, allow_methods: bool) -> List[TypeDef]:
+        types: List[TypeDef] = []
+        for member in self.ts.instance_lookups(typedef):
+            types.append(member.type)
+        if allow_methods:
+            for method in self.ts.zero_arg_instance_methods(typedef):
+                if method.return_type is not None:
+                    types.append(method.return_type)
+        return types
+
+    def steps_to_target(
+        self, source: TypeDef, target: TypeDef, allow_methods: bool
+    ) -> Optional[int]:
+        """Minimum lookups from ``source`` to *some type convertible to*
+        ``target``, or ``None`` if unreachable within ``max_depth``."""
+        key = (source.full_name, target.full_name, allow_methods)
+        if key in self._target_cache:
+            return self._target_cache[key]
+        best: Optional[int] = None
+        for name, steps in self.reachable(source, allow_methods).items():
+            if best is not None and steps >= best:
+                continue
+            reached = self.ts.try_get(name)
+            if reached is not None and self.ts.implicitly_converts(reached, target):
+                best = steps
+        self._target_cache[key] = best
+        return best
+
+    def can_reach(
+        self, source: TypeDef, target: TypeDef, within: int, allow_methods: bool
+    ) -> bool:
+        """Can a chain from ``source`` produce a value usable as ``target``
+        within the given number of lookups?"""
+        steps = self.steps_to_target(source, target, allow_methods)
+        return steps is not None and steps <= within

@@ -1,0 +1,387 @@
+"""The ranking function (Figure 7 of the paper).
+
+Lower scores are better.  Every term is non-negative, so partial sums are
+lower bounds usable for pruning — the property the lazy generators in
+:mod:`repro.engine.completer` rely on.
+
+Terms (Sec. 4.1), each behind a :class:`RankingConfig` switch so the Table 2
+sensitivity analysis can run every ``-x`` / ``+x`` variant:
+
+* ``type_distance`` (t): ``td(type(arg), type(param))`` per argument;
+* ``abstract_types`` (a): +1 per argument whose abstract type differs from
+  the parameter's (undefined counts as different);
+* ``depth`` (d): 2 x the number of dots;
+* ``in_scope_static`` (s): +1 per call unless it is a static method of the
+  enclosing type;
+* ``namespaces`` (n): ``3 - min(3, |common namespace prefix|)`` over the
+  non-primitive argument types and the declaring class (similarity 0 when
+  fewer than two non-primitive arguments);
+* ``matching_name`` (m): +3 on comparisons whose sides do not end in
+  same-named lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..analysis.scope import Context
+from ..codemodel.members import Method
+from ..codemodel.types import TypeDef
+from ..codemodel.typesystem import TypeSystem
+from ..lang.ast import (
+    Assign,
+    Call,
+    Compare,
+    Expr,
+    FieldAccess,
+    Literal,
+    TypeLiteral,
+    Unfilled,
+    Var,
+    final_lookup_name,
+)
+
+#: cost of one dot (a lookup or an instance-call receiver)
+DOT_COST = 2
+#: penalty for comparisons whose sides end in differently-named lookups
+NAME_MISMATCH_COST = 3
+#: cap on the namespace similarity (and hence on the namespace term)
+NAMESPACE_CAP = 3
+
+
+@dataclass(frozen=True)
+class RankingConfig:
+    """Feature switches for the ranking terms (Table 2's n/s/d/m/t/a)."""
+
+    namespaces: bool = True
+    in_scope_static: bool = True
+    depth: bool = True
+    matching_name: bool = True
+    type_distance: bool = True
+    abstract_types: bool = True
+
+    _LETTERS = {
+        "n": "namespaces",
+        "s": "in_scope_static",
+        "d": "depth",
+        "m": "matching_name",
+        "t": "type_distance",
+        "a": "abstract_types",
+    }
+
+    @classmethod
+    def all_features(cls) -> "RankingConfig":
+        return cls()
+
+    @classmethod
+    def without(cls, letters: str) -> "RankingConfig":
+        """E.g. ``RankingConfig.without("at")`` is the paper's ``-at``."""
+        config = cls()
+        for letter in letters:
+            config = replace(config, **{cls._LETTERS[letter]: False})
+        return config
+
+    @classmethod
+    def only(cls, letters: str) -> "RankingConfig":
+        """E.g. ``RankingConfig.only("d")`` is the paper's ``+d``."""
+        config = cls(
+            namespaces=False,
+            in_scope_static=False,
+            depth=False,
+            matching_name=False,
+            type_distance=False,
+            abstract_types=False,
+        )
+        for letter in letters:
+            config = replace(config, **{cls._LETTERS[letter]: True})
+        return config
+
+    def label(self) -> str:
+        """The paper's column label, e.g. ``All``, ``-at``, ``+d``."""
+        off = [l for l, attr in self._LETTERS.items() if not getattr(self, attr)]
+        if not off:
+            return "All"
+        if len(off) < 3:
+            return "-" + "".join(sorted(off))
+        on = [l for l, attr in self._LETTERS.items() if getattr(self, attr)]
+        return "+" + "".join(sorted(on))
+
+
+class AbstractTypeOracle:
+    """Interface the ranker uses to ask abstract-type questions.
+
+    The default implementation knows nothing: every abstract type is
+    undefined (and undefined abstract types count as mismatching, per the
+    Figure 7 caption).
+    """
+
+    def of_expr(self, expr: Expr) -> Optional[int]:
+        return None
+
+    def of_param(
+        self, method: Method, index: int, receiver_type: Optional[TypeDef]
+    ) -> Optional[int]:
+        return None
+
+
+NULL_ORACLE = AbstractTypeOracle()
+
+
+class Ranker:
+    """Scores complete expressions (possibly containing ``Unfilled``).
+
+    Also exposes the incremental per-term helpers the completion engine uses
+    to cost candidates without re-walking whole trees.
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        config: Optional[RankingConfig] = None,
+        abstypes: Optional[AbstractTypeOracle] = None,
+    ) -> None:
+        self.context = context
+        self.ts: TypeSystem = context.ts
+        self.config = config or RankingConfig()
+        self.abstypes = abstypes or NULL_ORACLE
+
+    # ------------------------------------------------------------------
+    # full recursive score
+    # ------------------------------------------------------------------
+    def score(self, expr: Expr) -> int:
+        """The Figure 7 score of a complete expression."""
+        if isinstance(expr, (Var, Literal, Unfilled, TypeLiteral)):
+            return 0
+        if isinstance(expr, FieldAccess):
+            return self._score_field_access(expr)
+        if isinstance(expr, Call):
+            return self._score_call(expr)
+        if isinstance(expr, Assign):
+            base = self.score(expr.lhs) + self.score(expr.rhs)
+            return base + self.assign_pair_cost(expr.lhs, expr.rhs)
+        if isinstance(expr, Compare):
+            base = self.score(expr.lhs) + self.score(expr.rhs)
+            return base + self.compare_pair_cost(expr.lhs, expr.rhs)
+        raise TypeError("cannot score {!r}".format(type(expr).__name__))
+
+    def _score_field_access(self, expr: FieldAccess) -> int:
+        cost = DOT_COST if self.config.depth else 0
+        if not isinstance(expr.base, TypeLiteral):
+            cost += self.score(expr.base)
+            cost += self.lookup_base_distance(expr.base.type, expr.member.declaring_type)
+        return cost
+
+    def _score_call(self, expr: Call) -> int:
+        method = expr.method
+        # Zero-argument calls are property-like navigation steps, scored as
+        # lookups: the paper counts dots("this.bar.ToBaz()") = 2, treating
+        # the call as one more dot, and allows zero-argument methods in
+        # chains "because they are often used in place of properties".
+        if method.is_zero_arg_instance:
+            receiver = expr.args[0]
+            return self.score(receiver) + self.lookup_step_cost(
+                receiver.type, method.declaring_type
+            )
+        if method.is_static and not method.params:
+            # a global chain root (`Type.Method()`), like a static field
+            return DOT_COST if self.config.depth else 0
+        cost = 0
+        for arg in expr.args:
+            cost += self.score(arg)
+        extra = self.call_cost(method, [a.type for a in expr.args], expr.args)
+        if extra is None:
+            # type-incorrect expressions are not rankable; surface loudly
+            raise ValueError(
+                "scoring a type-incorrect call: {}".format(method.full_name)
+            )
+        return cost + extra
+
+    # ------------------------------------------------------------------
+    # incremental helpers
+    # ------------------------------------------------------------------
+    def lookup_step_cost(self, base_type: Optional[TypeDef], member_declaring: Optional[TypeDef]) -> int:
+        """Cost of appending one lookup to a chain: a dot plus the type
+        distance from the base's type to the member's declaring type."""
+        cost = DOT_COST if self.config.depth else 0
+        cost += self.lookup_base_distance(base_type, member_declaring)
+        return cost
+
+    def lookup_base_distance(
+        self, base_type: Optional[TypeDef], declaring: Optional[TypeDef]
+    ) -> int:
+        if not self.config.type_distance:
+            return 0
+        if base_type is None or declaring is None:
+            return 0
+        distance = self.ts.type_distance(base_type, declaring)
+        return distance or 0
+
+    def call_cost(
+        self,
+        method: Method,
+        arg_types: "list[Optional[TypeDef]]",
+        args: "Optional[tuple]" = None,
+    ) -> Optional[int]:
+        """All call-level terms given the argument types (excluding the
+        arguments' own subexpression scores).
+
+        Returns ``None`` when the call does not type-check.  ``args`` (the
+        actual expressions) is only needed for the abstract-type term; pass
+        ``None`` to cost a call shape without abstract-type information
+        about the arguments (every argument then counts as mismatching when
+        the feature is on).
+        """
+        params = method.all_params()
+        if len(params) != len(arg_types):
+            return None
+        cost = 0
+        receiver_type = None if method.is_static else arg_types[0]
+        for index, (param, arg_type) in enumerate(zip(params, arg_types)):
+            if arg_type is None:
+                distance = 0  # Unfilled wildcard
+            else:
+                maybe = self.ts.type_distance(arg_type, param.type)
+                if maybe is None:
+                    return None
+                distance = maybe
+            if self.config.type_distance:
+                cost += distance
+            if self.config.abstract_types:
+                cost += self._abstype_mismatch(method, index, receiver_type, args)
+        if self.config.depth and not method.is_static:
+            cost += DOT_COST  # the receiver dot
+        if self.config.in_scope_static:
+            if not method.is_static or not self.context.is_in_scope_static(method):
+                cost += 1
+        if self.config.namespaces:
+            cost += self.namespace_cost(method, arg_types)
+        return cost
+
+    def call_completion_cost(
+        self,
+        method: Method,
+        arg_types: "list[Optional[TypeDef]]",
+        args: "Optional[tuple]" = None,
+    ) -> Optional[int]:
+        """The call-node cost used by the engine, consistent with
+        :meth:`score`: zero-argument instance calls cost like lookups,
+        zero-argument static calls like global roots, everything else the
+        full call terms."""
+        if method.is_zero_arg_instance:
+            receiver_type = arg_types[0]
+            if receiver_type is None:
+                return None  # a method cannot be invoked on `0`
+            if self.ts.type_distance(receiver_type, method.declaring_type) is None:
+                return None
+            return self.lookup_step_cost(receiver_type, method.declaring_type)
+        if method.is_static and not method.params:
+            return DOT_COST if self.config.depth else 0
+        return self.call_cost(method, arg_types, args)
+
+    def _abstype_mismatch(
+        self,
+        method: Method,
+        index: int,
+        receiver_type: Optional[TypeDef],
+        args: "Optional[tuple]",
+    ) -> int:
+        param_root = self.abstypes.of_param(method, index, receiver_type)
+        arg_root = None
+        if args is not None:
+            arg_root = self.abstypes.of_expr(args[index])
+        if param_root is None or arg_root is None or param_root != arg_root:
+            return 1
+        return 0
+
+    def namespace_cost(
+        self, method: Method, arg_types: "list[Optional[TypeDef]]"
+    ) -> int:
+        """``3 - min(3, |common namespace prefix|)``; similarity is 0 when
+        fewer than two non-primitive argument types participate."""
+        namespaces = [
+            t.namespace_parts
+            for t in arg_types
+            if t is not None and not t.is_primitive
+        ]
+        if len(namespaces) < 2:
+            return NAMESPACE_CAP
+        declaring = method.declaring_type
+        if declaring is not None:
+            namespaces.append(declaring.namespace_parts)
+        prefix_len = _common_prefix_length(namespaces)
+        return NAMESPACE_CAP - min(NAMESPACE_CAP, prefix_len)
+
+    # ------------------------------------------------------------------
+    # binary operator terms
+    # ------------------------------------------------------------------
+    def assign_pair_cost(self, lhs: Expr, rhs: Expr) -> int:
+        """Terms tying the two sides of an assignment together."""
+        cost = 0
+        lhs_type, rhs_type = lhs.type, rhs.type
+        if self.config.type_distance and lhs_type is not None and rhs_type is not None:
+            distance = self.ts.type_distance(rhs_type, lhs_type)
+            if distance is None:
+                raise ValueError("scoring a type-incorrect assignment")
+            cost += distance
+        if self.config.abstract_types:
+            left_root = self.abstypes.of_expr(lhs)
+            right_root = self.abstypes.of_expr(rhs)
+            if left_root is None or right_root is None or left_root != right_root:
+                cost += 1
+        return cost
+
+    def compare_pair_cost(self, lhs: Expr, rhs: Expr) -> int:
+        """Terms tying the two sides of a comparison together."""
+        cost = 0
+        lhs_type, rhs_type = lhs.type, rhs.type
+        if self.config.type_distance and lhs_type is not None and rhs_type is not None:
+            distance = self.ts.comparison_distance(lhs_type, rhs_type)
+            if distance is None:
+                raise ValueError("scoring a type-incorrect comparison")
+            cost += distance
+        if self.config.abstract_types:
+            left_root = self.abstypes.of_expr(lhs)
+            right_root = self.abstypes.of_expr(rhs)
+            if left_root is None or right_root is None or left_root != right_root:
+                cost += 1
+        if self.config.matching_name:
+            left_name = final_lookup_name(lhs)
+            right_name = final_lookup_name(rhs)
+            if left_name is None or left_name != right_name:
+                cost += NAME_MISMATCH_COST
+        return cost
+
+    #: upper bound on the pair terms above, for reorder_with_slack
+    PAIR_TERM_SLACK = NAME_MISMATCH_COST + 1 + 12
+
+    # ------------------------------------------------------------------
+    # explanation
+    # ------------------------------------------------------------------
+    def explain(self, expr: Expr) -> "dict[str, int]":
+        """Decompose a score into its per-feature totals.
+
+        Because every ranking term is gated by exactly one feature switch,
+        scoring the expression under each single-feature configuration
+        yields that feature's total contribution, and the contributions sum
+        to the full score (a tested invariant).
+        """
+        breakdown = {}
+        for letter, attr in RankingConfig._LETTERS.items():
+            if not getattr(self.config, attr):
+                continue
+            solo = Ranker(self.context, RankingConfig.only(letter),
+                          self.abstypes)
+            breakdown[attr] = solo.score(expr)
+        return breakdown
+
+
+def _common_prefix_length(sequences: "list[tuple]") -> int:
+    if not sequences:
+        return 0
+    shortest = min(len(s) for s in sequences)
+    for index in range(shortest):
+        segment = sequences[0][index]
+        if any(s[index] != segment for s in sequences[1:]):
+            return index
+    return shortest

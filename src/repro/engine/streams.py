@@ -1,0 +1,215 @@
+"""Score-ordered lazy stream combinators.
+
+The completion algorithm (Sec. 4.2, Algorithm 1) enumerates completions in
+ascending score order without materialising the (potentially infinite)
+result set.  These combinators are the machinery: every stream yields
+``(score, value)`` pairs with non-decreasing integer scores, and each
+combinator preserves that invariant:
+
+* :func:`merge` — lazy k-way merge of sorted streams;
+* :class:`Materialized` — memoises a stream for random access;
+* :func:`ordered_product` — tuples from several streams in order of total
+  score (the "all choices of exactly one completion for each subexpression"
+  loop of Algorithm 1);
+* :func:`merge_nested` — a sorted outer stream where each item expands to a
+  finite batch of results costing at least the item's own score (the "all
+  type-correct completions of e using concreteSubs" loop);
+* :func:`reorder_with_slack` — restores exact order when a bounded extra
+  cost is added to an almost-sorted stream (used for comparison/assignment
+  pair terms);
+* :func:`best_first` — Dijkstra-style closure for the ``.?*`` suffixes.
+
+Ties are broken by arrival order (a monotone sequence number), which makes
+all downstream rankings deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import (
+    Callable,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+#: A scored item: ``(score, value)``.
+Scored = Tuple[int, T]
+ScoredIter = Iterator[Scored]
+
+
+def take(stream: Iterable[Scored], n: int) -> List[Scored]:
+    """The first ``n`` items of a scored stream."""
+    result: List[Scored] = []
+    for item in stream:
+        result.append(item)
+        if len(result) >= n:
+            break
+    return result
+
+
+def merge(streams: Sequence[Iterable[Scored]]) -> ScoredIter:
+    """Lazy k-way merge of sorted scored streams."""
+    heap: List[Tuple[int, int, Scored, Iterator[Scored]]] = []
+    seq = count()
+    for stream in streams:
+        iterator = iter(stream)
+        first = next(iterator, None)
+        if first is not None:
+            heapq.heappush(heap, (first[0], next(seq), first, iterator))
+    while heap:
+        _, _, item, iterator = heapq.heappop(heap)
+        yield item
+        following = next(iterator, None)
+        if following is not None:
+            heapq.heappush(heap, (following[0], next(seq), following, iterator))
+
+
+class Materialized(Generic[T]):
+    """Random access over a scored stream, pulling lazily and memoising."""
+
+    def __init__(self, stream: Iterable[Scored]) -> None:
+        self._iterator = iter(stream)
+        self._items: List[Scored] = []
+        self._exhausted = False
+
+    def get(self, index: int) -> Optional[Scored]:
+        """Item at ``index``, or ``None`` when the stream is shorter."""
+        while not self._exhausted and len(self._items) <= index:
+            item = next(self._iterator, None)
+            if item is None:
+                self._exhausted = True
+            else:
+                self._items.append(item)
+        if index < len(self._items):
+            return self._items[index]
+        return None
+
+    def known_length(self) -> int:
+        """Items pulled so far (a lower bound on the true length)."""
+        return len(self._items)
+
+    def __iter__(self) -> ScoredIter:
+        index = 0
+        while True:
+            item = self.get(index)
+            if item is None:
+                return
+            yield item
+            index += 1
+
+
+def ordered_product(
+    streams: Sequence[Materialized],
+) -> Iterator[Tuple[int, tuple]]:
+    """Yield ``(total_score, (v1, ..., vk))`` over the cartesian product of
+    ``streams`` in non-decreasing total score (frontier search over index
+    vectors)."""
+    k = len(streams)
+    if k == 0:
+        yield 0, ()
+        return
+    origin = (0,) * k
+    first = [s.get(0) for s in streams]
+    if any(item is None for item in first):
+        return
+    start_score = sum(item[0] for item in first)  # type: ignore[index]
+    heap: List[Tuple[int, Tuple[int, ...]]] = [(start_score, origin)]
+    visited = {origin}
+    while heap:
+        score, indices = heapq.heappop(heap)
+        values = tuple(
+            streams[j].get(indices[j])[1] for j in range(k)  # type: ignore[index]
+        )
+        yield score, values
+        for j in range(k):
+            successor = indices[:j] + (indices[j] + 1,) + indices[j + 1 :]
+            if successor in visited:
+                continue
+            item = streams[j].get(successor[j])
+            if item is None:
+                continue
+            previous = streams[j].get(indices[j])
+            assert previous is not None
+            next_score = score - previous[0] + item[0]
+            visited.add(successor)
+            heapq.heappush(heap, (next_score, successor))
+
+
+def merge_nested(
+    outer: Iterable[Scored],
+    expand: Callable[[int, T], Iterable[Tuple[int, U]]],
+) -> Iterator[Tuple[int, U]]:
+    """Expand each outer item into results and yield all results globally
+    sorted.
+
+    Requires: ``outer`` is sorted, and every result of ``expand(score, v)``
+    costs at least ``score`` (costs only grow — true of every ranking term,
+    all of which are non-negative).
+    """
+    heap: List[Tuple[int, int, U]] = []
+    seq = count()
+    for base, value in outer:
+        while heap and heap[0][0] <= base:
+            score, _, result = heapq.heappop(heap)
+            yield score, result
+        for score, result in expand(base, value):
+            assert score >= base, "expand produced a result cheaper than its base"
+            heapq.heappush(heap, (score, next(seq), result))
+    while heap:
+        score, _, result = heapq.heappop(heap)
+        yield score, result
+
+
+def reorder_with_slack(
+    stream: Iterable[Tuple[int, int, T]], slack: int
+) -> ScoredIter:
+    """Restore exact order for an almost-sorted stream.
+
+    ``stream`` yields ``(base, final, value)`` where the *bases* are
+    non-decreasing and ``base <= final <= base + slack``.  Emits
+    ``(final, value)`` in non-decreasing ``final`` order.
+    """
+    heap: List[Tuple[int, int, T]] = []
+    seq = count()
+    for base, final, value in stream:
+        assert base <= final <= base + slack, "slack contract violated"
+        while heap and heap[0][0] <= base:
+            score, _, item = heapq.heappop(heap)
+            yield score, item
+        heapq.heappush(heap, (final, next(seq), value))
+    while heap:
+        score, _, item = heapq.heappop(heap)
+        yield score, item
+
+
+def best_first(
+    roots: Iterable[Scored],
+    expand: Callable[[int, T], Iterable[Scored]],
+) -> ScoredIter:
+    """Dijkstra-style closure: yield roots and everything reachable through
+    ``expand`` in non-decreasing score order.
+
+    ``expand(score, value)`` returns successors costing at least ``score``.
+    Used for the ``.?*f`` / ``.?*m`` chains, whose completion sets are
+    unbounded: callers simply stop pulling after *n* results.
+    """
+    heap: List[Tuple[int, int, T]] = []
+    seq = count()
+    for score, value in roots:
+        heapq.heappush(heap, (score, next(seq), value))
+    while heap:
+        score, _, value = heapq.heappop(heap)
+        yield score, value
+        for next_score, successor in expand(score, value):
+            assert next_score >= score, "closure produced a cheaper successor"
+            heapq.heappush(heap, (next_score, next(seq), successor))

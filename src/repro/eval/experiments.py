@@ -1,0 +1,353 @@
+"""Experiment runners for the paper's evaluation (Sec. 5.1–5.3).
+
+Each runner replays queries extracted from the corpus projects and records
+where the ground-truth expression ranks.  Runners are pure functions of
+(projects, config) and return flat result lists; :mod:`repro.eval.figures`
+and :mod:`repro.eval.tables` aggregate them into the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Optional, Tuple
+
+from ..analysis.abstract_types import AbstractTypeAnalysis
+from ..analysis.scope import Context
+from ..baselines.intellisense import intellisense_rank
+from ..corpus.oracle import ImplAbstractTypes
+from ..corpus.program import MethodImpl, Project
+from ..engine.completer import CompletionEngine, EngineConfig
+from ..engine.ranking import AbstractTypeOracle, RankingConfig
+from ..lang.ast import Call, Var
+from . import queries
+
+
+@dataclass
+class EvalConfig:
+    """Knobs of an evaluation run."""
+
+    ranking: RankingConfig = field(default_factory=RankingConfig)
+    #: scan depth: ranks beyond this count as "not found"
+    limit: int = 100
+    #: deterministic per-project site caps (None = everything)
+    max_calls_per_project: Optional[int] = None
+    max_arguments_per_project: Optional[int] = None
+    max_assignments_per_project: Optional[int] = None
+    max_comparisons_per_project: Optional[int] = None
+    #: also compute the return-type-filtered ranks (Fig. 12)
+    with_return_type: bool = True
+    #: also compute the Intellisense baseline ranks (Fig. 11)
+    with_intellisense: bool = True
+    #: abstract types: "exclude" re-runs inference per site hiding the
+    #: query and later code (the paper's protocol); "full" analyses the
+    #: whole corpus once; "none" disables the oracle
+    abstypes: str = "exclude"
+    #: when true, query contexts contain only the locals declared *before*
+    #: the query's statement (strict liveness) rather than all of the
+    #: method's locals
+    scoped_locals: bool = False
+
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(ranking=self.ranking)
+
+    def context_for(self, impl: MethodImpl, stmt_index: int, ts) -> Context:
+        if self.scoped_locals:
+            return impl.context_at(ts, stmt_index)
+        return impl.context(ts)
+
+
+@dataclass
+class MethodCallResult:
+    """One call site of the Sec. 5.1 experiment."""
+
+    project: str
+    method_name: str
+    arity: int
+    is_static: bool
+    #: best rank over argument subsets of size <= 2
+    best_rank: Optional[int]
+    #: best rank over single-argument subsets only (Fig. 10's lower series)
+    best_rank_single: Optional[int]
+    #: best rank when the return type is known (Fig. 12); None if not run
+    best_rank_return: Optional[int]
+    #: alphabetic Intellisense rank (Fig. 11); None if not run
+    intellisense: Optional[int]
+    #: wall-clock of the best-performing query
+    best_query_seconds: float
+    #: wall-clock of every subset query
+    query_seconds: List[float]
+
+
+@dataclass
+class ArgumentResult:
+    """One argument position of the Sec. 5.2 experiment."""
+
+    project: str
+    kind: str
+    guessable: bool
+    is_local: bool
+    rank: Optional[int]
+    seconds: float
+
+
+@dataclass
+class LookupResult:
+    """One query of the Sec. 5.3 experiment (assignments or comparisons)."""
+
+    project: str
+    variant: str
+    rank: Optional[int]
+    seconds: float
+
+
+class _ProjectRun:
+    """Per-project engine + abstract-type analysis cache.
+
+    Analyses are cached per call site; iterating sites in order means each
+    analysis is built once and shared by every query at that site.
+    """
+
+    def __init__(self, project: Project, cfg: EvalConfig) -> None:
+        self.project = project
+        self.cfg = cfg
+        self.engine = CompletionEngine(project.ts, cfg.engine_config())
+        self._full_analysis: Optional[AbstractTypeAnalysis] = None
+        self._site_key: Optional[Tuple[int, int]] = None
+        self._site_analysis: Optional[AbstractTypeAnalysis] = None
+
+    def oracle_for(
+        self, impl: MethodImpl, stmt_index: int
+    ) -> Optional[AbstractTypeOracle]:
+        mode = self.cfg.abstypes
+        if mode == "none":
+            return None
+        if mode == "full":
+            if self._full_analysis is None:
+                self._full_analysis = AbstractTypeAnalysis(self.project)
+            return ImplAbstractTypes(self._full_analysis, impl)
+        key = (id(impl), stmt_index)
+        if key != self._site_key:
+            self._site_key = key
+            self._site_analysis = AbstractTypeAnalysis(
+                self.project, exclude_from=(impl, stmt_index)
+            )
+        assert self._site_analysis is not None
+        return ImplAbstractTypes(self._site_analysis, impl)
+
+
+def _capped(items: Iterable, cap: Optional[int]) -> List:
+    items = list(items)
+    if cap is not None:
+        return items[:cap]
+    return items
+
+
+# ---------------------------------------------------------------------------
+# Sec. 5.1 — predicting method names
+# ---------------------------------------------------------------------------
+def run_method_prediction(
+    projects: Iterable[Project], cfg: Optional[EvalConfig] = None
+) -> List[MethodCallResult]:
+    cfg = cfg or EvalConfig()
+    results: List[MethodCallResult] = []
+    for project in projects:
+        run = _ProjectRun(project, cfg)
+        sites = _capped(
+            (s for s in project.iter_calls() if s[2].method.arity >= 2),
+            cfg.max_calls_per_project,
+        )
+        for impl, index, call in sites:
+            results.append(_evaluate_call(run, impl, index, call))
+    return results
+
+
+def _evaluate_call(
+    run: _ProjectRun, impl: MethodImpl, index: int, call: Call
+) -> MethodCallResult:
+    cfg = run.cfg
+    context = cfg.context_for(impl, index, run.project.ts)
+    oracle = run.oracle_for(impl, index)
+    subsets = queries.method_query_subsets(call)
+
+    best_rank: Optional[int] = None
+    best_single: Optional[int] = None
+    best_seconds = 0.0
+    all_seconds: List[float] = []
+    for subset in subsets:
+        pe = queries.unknown_call_query(subset)
+        started = time.perf_counter()
+        rank = run.engine.method_rank(
+            pe, context, call.method, limit=cfg.limit, abstypes=oracle
+        )
+        elapsed = time.perf_counter() - started
+        all_seconds.append(elapsed)
+        if rank is not None:
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_seconds = elapsed
+            if len(subset) == 1 and (best_single is None or rank < best_single):
+                best_single = rank
+
+    best_return: Optional[int] = None
+    if cfg.with_return_type:
+        expected = call.method.return_type or run.project.ts.void_type
+        for subset in subsets:
+            pe = queries.unknown_call_query(subset)
+            rank = run.engine.method_rank(
+                pe,
+                context,
+                call.method,
+                limit=cfg.limit,
+                abstypes=oracle,
+                expected_type=expected,
+            )
+            if rank is not None and (best_return is None or rank < best_return):
+                best_return = rank
+
+    baseline: Optional[int] = None
+    if cfg.with_intellisense:
+        baseline = intellisense_rank(run.project.ts, call)
+
+    return MethodCallResult(
+        project=run.project.name,
+        method_name=call.method.full_name,
+        arity=call.method.arity,
+        is_static=call.method.is_static,
+        best_rank=best_rank,
+        best_rank_single=best_single,
+        best_rank_return=best_return,
+        intellisense=baseline,
+        best_query_seconds=best_seconds,
+        query_seconds=all_seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sec. 5.2 — predicting method arguments
+# ---------------------------------------------------------------------------
+def run_argument_prediction(
+    projects: Iterable[Project], cfg: Optional[EvalConfig] = None
+) -> List[ArgumentResult]:
+    cfg = cfg or EvalConfig()
+    results: List[ArgumentResult] = []
+    for project in projects:
+        run = _ProjectRun(project, cfg)
+        budget = cfg.max_arguments_per_project
+        for impl, index, call in project.iter_calls():
+            if budget is not None and budget <= 0:
+                break
+            context = cfg.context_for(impl, index, project.ts)
+            for position, arg in enumerate(call.args):
+                if budget is not None:
+                    if budget <= 0:
+                        break
+                    budget -= 1
+                kind = queries.argument_kind(arg)
+                guessable = queries.is_guessable_argument(
+                    arg, context, run.engine.config
+                )
+                if not guessable:
+                    results.append(
+                        ArgumentResult(
+                            project=project.name,
+                            kind=kind,
+                            guessable=False,
+                            is_local=isinstance(arg, Var),
+                            rank=None,
+                            seconds=0.0,
+                        )
+                    )
+                    continue
+                oracle = run.oracle_for(impl, index)
+                pe = queries.argument_query(call, position)
+                started = time.perf_counter()
+                rank = run.engine.rank_of(
+                    pe, context, call, limit=cfg.limit, abstypes=oracle
+                )
+                elapsed = time.perf_counter() - started
+                results.append(
+                    ArgumentResult(
+                        project=project.name,
+                        kind=kind,
+                        guessable=True,
+                        is_local=isinstance(arg, Var),
+                        rank=rank,
+                        seconds=elapsed,
+                    )
+                )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Sec. 5.3 — predicting field lookups
+# ---------------------------------------------------------------------------
+def run_assignment_prediction(
+    projects: Iterable[Project], cfg: Optional[EvalConfig] = None
+) -> List[LookupResult]:
+    cfg = cfg or EvalConfig()
+    results: List[LookupResult] = []
+    for project in projects:
+        run = _ProjectRun(project, cfg)
+        sites = _capped(
+            project.iter_assignments(), cfg.max_assignments_per_project
+        )
+        for impl, index, assign in sites:
+            context = cfg.context_for(impl, index, project.ts)
+            for variant, strip_target, strip_source in queries.ASSIGNMENT_VARIANTS:
+                pe = queries.assignment_query(assign, strip_target, strip_source)
+                if pe is None:
+                    continue
+                oracle = run.oracle_for(impl, index)
+                started = time.perf_counter()
+                rank = run.engine.rank_of(
+                    pe, context, assign, limit=cfg.limit, abstypes=oracle
+                )
+                elapsed = time.perf_counter() - started
+                results.append(
+                    LookupResult(
+                        project=project.name,
+                        variant=variant,
+                        rank=rank,
+                        seconds=elapsed,
+                    )
+                )
+    return results
+
+
+def run_comparison_prediction(
+    projects: Iterable[Project], cfg: Optional[EvalConfig] = None
+) -> List[LookupResult]:
+    cfg = cfg or EvalConfig()
+    results: List[LookupResult] = []
+    for project in projects:
+        run = _ProjectRun(project, cfg)
+        sites = _capped(
+            project.iter_comparisons(), cfg.max_comparisons_per_project
+        )
+        for impl, index, compare in sites:
+            context = cfg.context_for(impl, index, project.ts)
+            for variant, strip_left, strip_right in queries.COMPARISON_VARIANTS:
+                pe = queries.comparison_query(compare, strip_left, strip_right)
+                if pe is None:
+                    continue
+                oracle = run.oracle_for(impl, index)
+                started = time.perf_counter()
+                rank = run.engine.rank_of(
+                    pe, context, compare, limit=cfg.limit, abstypes=oracle
+                )
+                elapsed = time.perf_counter() - started
+                results.append(
+                    LookupResult(
+                        project=project.name,
+                        variant=variant,
+                        rank=rank,
+                        seconds=elapsed,
+                    )
+                )
+    return results
+
+
+def with_ranking(cfg: EvalConfig, ranking: RankingConfig) -> EvalConfig:
+    """A copy of ``cfg`` using a different ranking configuration."""
+    return replace(cfg, ranking=ranking)

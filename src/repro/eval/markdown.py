@@ -1,0 +1,177 @@
+"""Markdown report generation for a full evaluation run.
+
+``generate_report`` runs all four experiment families and renders one
+self-contained markdown document with every table and figure — the
+machine-written counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional
+
+from ..corpus.program import Project
+from .experiments import (
+    EvalConfig,
+    run_argument_prediction,
+    run_assignment_prediction,
+    run_comparison_prediction,
+    run_method_prediction,
+)
+from .figures import (
+    figure9,
+    figure9_by_project,
+    figure10,
+    figure11_histogram,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+)
+from .speed import (
+    argument_query_times,
+    best_method_query_times,
+    lookup_query_times,
+    speed_summary,
+)
+from .tables import table1
+
+
+def _pct(value: float) -> str:
+    return "{:.1f}%".format(100.0 * value)
+
+
+def _md_table(headers: List[str], rows: Iterable[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _cdf_table(series: Mapping[str, Mapping[int, float]]) -> List[str]:
+    cutoffs: List[int] = []
+    for values in series.values():
+        cutoffs = list(values.keys())
+        break
+    headers = ["series"] + ["<= {}".format(c) for c in cutoffs]
+    rows = [
+        [name] + [_pct(v) for v in values.values()]
+        for name, values in series.items()
+    ]
+    return _md_table(headers, rows)
+
+
+def _speed_row(title: str, summary: Mapping[str, float]) -> List[str]:
+    if summary.get("count", 0) == 0:
+        return [title, "0", "-", "-", "-"]
+    return [
+        title,
+        str(int(summary["count"])),
+        "{:.1f} ms".format(summary["p50_ms"]),
+        _pct(summary["under_100ms"]),
+        _pct(summary["under_500ms"]),
+    ]
+
+
+def generate_report(
+    projects: Iterable[Project],
+    cfg: Optional[EvalConfig] = None,
+    title: str = "Evaluation report",
+) -> str:
+    """Run every experiment family and render a markdown report."""
+    projects = list(projects)
+    cfg = cfg or EvalConfig()
+    out: List[str] = ["# {}".format(title), ""]
+
+    from .stats import corpus_census
+
+    out += ["## Corpus census", ""]
+    out += _md_table(
+        ["Project", "types", "methods", "impls", "calls", "assigns",
+         "compares"],
+        [
+            [c.name, str(c.types), str(c.methods), str(c.impls),
+             str(c.calls), str(c.assignments), str(c.comparisons)]
+            for c in corpus_census(projects)
+        ],
+    )
+    out.append("")
+
+    methods = run_method_prediction(projects, cfg)
+    out += ["## Table 1 — method prediction per project", ""]
+    rows = [
+        [r.project, str(r.calls), str(r.top10), str(r.top10_20)]
+        for r in table1(methods)
+    ]
+    out += _md_table(["Program", "# calls", "# top 10", "# top 10..20"], rows)
+
+    out += ["", "## Figure 9 — best-rank CDF", ""]
+    out += _cdf_table(figure9(methods))
+    out += ["", "### Per project", ""]
+    out += _cdf_table(figure9_by_project(methods))
+
+    out += ["", "## Figure 10 — one vs. two known arguments", ""]
+    out += _md_table(
+        ["arity", "count", "top-20 (2 args)", "top-20 (1 arg)"],
+        [
+            [str(arity), str(int(row["count"])), _pct(row["two_args"]),
+             _pct(row["one_arg"])]
+            for arity, row in figure10(methods).items()
+        ],
+    )
+
+    if cfg.with_intellisense:
+        out += ["", "## Figures 11 & 12 — vs. Intellisense", ""]
+        fig11 = figure11(methods)
+        fig12 = figure12(methods) if cfg.with_return_type else None
+        headers = ["bucket", "Fig. 11"] + (["Fig. 12 (return type known)"]
+                                           if fig12 else [])
+        rows = []
+        for key in ("we_win_by_10+", "we_win", "tie", "intellisense_wins",
+                    "intellisense_wins_by_10+"):
+            row = [key, _pct(fig11.get(key, 0.0))]
+            if fig12:
+                row.append(_pct(fig12.get(key, 0.0)))
+            rows.append(row)
+        out += _md_table(headers, rows)
+        out += ["", "### Rank-difference histogram (ours − Intellisense)", ""]
+        out += _md_table(
+            ["band", "share"],
+            [[band, _pct(share)]
+             for band, share in figure11_histogram(methods).items()],
+        )
+
+    arguments = run_argument_prediction(projects, cfg)
+    out += ["", "## Figure 13 — argument prediction", ""]
+    out += _cdf_table(figure13(arguments))
+    out += ["", "## Figure 14 — argument kinds", ""]
+    out += _md_table(
+        ["kind", "share"],
+        [[kind, _pct(share)] for kind, share in figure14(arguments).items()],
+    )
+
+    assignments = run_assignment_prediction(projects, cfg)
+    out += ["", "## Figure 15 — assignments", ""]
+    out += _cdf_table(figure15(assignments))
+
+    comparisons = run_comparison_prediction(projects, cfg)
+    out += ["", "## Figure 16 — comparisons", ""]
+    out += _cdf_table(figure16(comparisons))
+
+    out += ["", "## Query latency", ""]
+    out += _md_table(
+        ["family", "queries", "p50", "< 100 ms", "< 500 ms"],
+        [
+            _speed_row("methods",
+                       speed_summary(best_method_query_times(methods))),
+            _speed_row("arguments",
+                       speed_summary(argument_query_times(arguments))),
+            _speed_row("lookups",
+                       speed_summary(lookup_query_times(
+                           assignments + comparisons))),
+        ],
+    )
+    out.append("")
+    return "\n".join(out)

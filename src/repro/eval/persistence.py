@@ -1,0 +1,126 @@
+"""Persistence and regression comparison for evaluation results.
+
+``save_results`` writes one evaluation run (all four experiment families)
+to JSON; ``load_results`` restores it; ``compare_runs`` diffs two runs'
+headline metrics so corpus or ranking changes show up as explicit deltas —
+the regression-tracking loop a maintained reproduction needs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any, Dict, Iterable, List
+
+from .experiments import ArgumentResult, LookupResult, MethodCallResult
+from .figures import summary_metrics
+
+_FORMAT = "repro-results"
+
+
+def results_document(
+    methods: Iterable[MethodCallResult],
+    arguments: Iterable[ArgumentResult],
+    assignments: Iterable[LookupResult],
+    comparisons: Iterable[LookupResult],
+) -> Dict[str, Any]:
+    return {
+        "format": _FORMAT,
+        "version": 1,
+        "methods": [asdict(r) for r in methods],
+        "arguments": [asdict(r) for r in arguments],
+        "assignments": [asdict(r) for r in assignments],
+        "comparisons": [asdict(r) for r in comparisons],
+    }
+
+
+def save_results(path: str, **families: Iterable) -> None:
+    """``save_results(path, methods=..., arguments=..., assignments=...,
+    comparisons=...)``"""
+    document = results_document(
+        families.get("methods", ()),
+        families.get("arguments", ()),
+        families.get("assignments", ()),
+        families.get("comparisons", ()),
+    )
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+
+
+def load_results(path: str) -> Dict[str, List]:
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("format") != _FORMAT:
+        raise ValueError("not a repro results document")
+    return {
+        "methods": [MethodCallResult(**r) for r in document["methods"]],
+        "arguments": [ArgumentResult(**r) for r in document["arguments"]],
+        "assignments": [LookupResult(**r) for r in document["assignments"]],
+        "comparisons": [LookupResult(**r) for r in document["comparisons"]],
+    }
+
+
+def headline_metrics(results: Dict[str, List]) -> Dict[str, Dict[str, float]]:
+    """The headline summary per family (what regressions are judged on)."""
+    headlines: Dict[str, Dict[str, float]] = {}
+    methods = results.get("methods", [])
+    if methods:
+        headlines["methods"] = summary_metrics([r.best_rank for r in methods])
+    arguments = [r for r in results.get("arguments", []) if r.guessable]
+    if arguments:
+        headlines["arguments"] = summary_metrics([r.rank for r in arguments])
+    for family in ("assignments", "comparisons"):
+        rows = results.get(family, [])
+        if rows:
+            headlines[family] = summary_metrics([r.rank for r in rows])
+    return headlines
+
+
+def compare_runs(
+    baseline: Dict[str, List],
+    candidate: Dict[str, List],
+    tolerance: float = 0.02,
+) -> Dict[str, Dict[str, float]]:
+    """Per-family metric deltas (candidate − baseline).
+
+    Entries whose |delta| exceeds ``tolerance`` on the proportions (top1 /
+    top10 / top20 / mrr) are flagged with a ``"regressed"`` /
+    ``"improved"`` marker key.
+    """
+    base = headline_metrics(baseline)
+    cand = headline_metrics(candidate)
+    report: Dict[str, Dict[str, float]] = {}
+    for family in sorted(set(base) | set(cand)):
+        deltas: Dict[str, float] = {}
+        base_metrics = base.get(family, {})
+        cand_metrics = cand.get(family, {})
+        for key in ("mrr", "top1", "top10", "top20"):
+            if key in base_metrics and key in cand_metrics:
+                deltas[key] = cand_metrics[key] - base_metrics[key]
+        worst = min(deltas.values(), default=0.0)
+        best = max(deltas.values(), default=0.0)
+        if worst < -tolerance:
+            deltas["regressed"] = 1.0
+        elif best > tolerance:
+            deltas["improved"] = 1.0
+        report[family] = deltas
+    return report
+
+
+def format_comparison(report: Dict[str, Dict[str, float]]) -> str:
+    lines = ["{:<14s}{:>9s}{:>9s}{:>9s}{:>9s}  {}".format(
+        "family", "dMRR", "dtop1", "dtop10", "dtop20", "verdict")]
+    for family, deltas in report.items():
+        verdict = "regressed" if deltas.get("regressed") else (
+            "improved" if deltas.get("improved") else "stable")
+        lines.append(
+            "{:<14s}{:>+9.3f}{:>+9.3f}{:>+9.3f}{:>+9.3f}  {}".format(
+                family,
+                deltas.get("mrr", 0.0),
+                deltas.get("top1", 0.0),
+                deltas.get("top10", 0.0),
+                deltas.get("top20", 0.0),
+                verdict,
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Query extraction: turning corpus expressions into partial expressions.
+
+The evaluation (Sec. 5) takes real expressions and deletes information:
+
+* method calls lose their method name (and keep 1–2 arguments) — Sec. 5.1;
+* one argument of a call is replaced by ``?`` — Sec. 5.2;
+* assignments/comparisons lose trailing field lookups and get ``.?m`` /
+  ``.?m.?m`` suffixes — Sec. 5.3.
+
+These helpers build those queries and classify ground-truth expressions.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from ..analysis.scope import Context
+from ..corpus.synthesis import classify_expr
+from ..engine.completer import EngineConfig
+from ..lang.ast import Assign, Call, Compare, Expr, FieldAccess, TypeLiteral
+from ..lang.partial import (
+    Hole,
+    KnownCall,
+    PartialAssign,
+    PartialCompare,
+    SuffixHole,
+    UnknownCall,
+)
+from ..lang.semantics import chain_prefixes, is_hole_completion
+
+
+# ---------------------------------------------------------------------------
+# Sec. 5.1 — method-name prediction
+# ---------------------------------------------------------------------------
+def method_query_subsets(
+    call: Call, max_subset: int = 2
+) -> List[Tuple[Expr, ...]]:
+    """Argument subsets of size 1..max_subset used as ``?({...})`` queries.
+
+    The paper: "giving one or two of the call's arguments to the algorithm"
+    and reporting the best result over subsets.
+    """
+    args = list(call.args)
+    subsets: List[Tuple[Expr, ...]] = [(a,) for a in args]
+    for size in range(2, max_subset + 1):
+        subsets.extend(combinations(args, size))
+    # querying with an identical expression twice is not meaningful
+    return [s for s in subsets if len({e.key() for e in s}) == len(s)]
+
+
+def unknown_call_query(subset: Tuple[Expr, ...]) -> UnknownCall:
+    return UnknownCall(tuple(subset))
+
+
+# ---------------------------------------------------------------------------
+# Sec. 5.2 — argument prediction
+# ---------------------------------------------------------------------------
+def argument_query(call: Call, position: int) -> KnownCall:
+    """The call with argument ``position`` replaced by ``?``."""
+    args = tuple(
+        Hole() if index == position else arg
+        for index, arg in enumerate(call.args)
+    )
+    return KnownCall((call.method,), args)
+
+
+def argument_kind(arg: Expr) -> str:
+    """Fig. 14's census buckets for how arguments are written."""
+    return classify_expr(arg)
+
+
+def is_guessable_argument(
+    arg: Expr, context: Context, config: EngineConfig
+) -> bool:
+    """Can the engine's ``?`` expansion produce this argument at all?
+
+    Mirrors the paper's "23,927 were considered not guessable due to having
+    an expression form that our partial expression completer does not
+    generate like an array lookup or a constant value" — plus our explicit
+    chain-depth bound.
+    """
+    if not is_hole_completion(arg, context):
+        return False
+    return chain_length(arg) is not None and chain_length(arg) <= config.max_chain_depth
+
+
+def chain_length(expr: Expr) -> Optional[int]:
+    """Number of trailing lookups over the chain root, or ``None`` when the
+    expression is not a lookup chain."""
+    steps = -1
+    for _prefix in chain_prefixes(expr, allow_methods=True):
+        steps += 1
+    return steps
+
+
+# ---------------------------------------------------------------------------
+# Sec. 5.3 — field-lookup prediction
+# ---------------------------------------------------------------------------
+def strip_lookups(expr: Expr, count: int) -> Optional[Expr]:
+    """Remove exactly ``count`` trailing *field/property* lookups.
+
+    Returns ``None`` when the expression does not end in that many lookups.
+    The paper removes field lookups (zero-arg calls are what ``.?m`` may
+    *add back*, not what gets removed).
+    """
+    current = expr
+    for _ in range(count):
+        if isinstance(current, FieldAccess) and not isinstance(
+            current.base, TypeLiteral
+        ):
+            current = current.base
+        else:
+            return None
+    return current
+
+
+def ends_in_lookups(expr: Expr, count: int) -> bool:
+    return strip_lookups(expr, count) is not None
+
+
+def assignment_query(
+    assign: Assign, strip_target: bool, strip_source: bool
+) -> Optional[PartialAssign]:
+    """Fig. 15's query: final lookups removed per variant, ``.?m`` appended
+    to *both* sides."""
+    lhs: Optional[Expr] = assign.lhs
+    rhs: Optional[Expr] = assign.rhs
+    if strip_target:
+        lhs = strip_lookups(assign.lhs, 1)
+    if strip_source:
+        rhs = strip_lookups(assign.rhs, 1)
+    if lhs is None or rhs is None:
+        return None
+    return PartialAssign(
+        SuffixHole(lhs, methods=True, star=False),
+        SuffixHole(rhs, methods=True, star=False),
+    )
+
+
+def comparison_query(
+    compare: Compare, strip_left: int, strip_right: int
+) -> Optional[PartialCompare]:
+    """Fig. 16's query: lookups removed per variant, ``.?m.?m`` appended to
+    both sides."""
+    lhs = strip_lookups(compare.lhs, strip_left)
+    rhs = strip_lookups(compare.rhs, strip_right)
+    if lhs is None or rhs is None:
+        return None
+    return PartialCompare(
+        _double_suffix(lhs), _double_suffix(rhs), compare.op
+    )
+
+
+def _double_suffix(base: Expr) -> SuffixHole:
+    return SuffixHole(
+        SuffixHole(base, methods=True, star=False), methods=True, star=False
+    )
+
+
+#: Fig. 16's variant names -> lookups stripped from (left, right)
+COMPARISON_VARIANTS: List[Tuple[str, int, int]] = [
+    ("Left", 1, 0),
+    ("Right", 0, 1),
+    ("Both", 1, 1),
+    ("2xLeft", 2, 0),
+    ("2xRight", 0, 2),
+]
+
+#: Fig. 15's variant names -> (strip target, strip source)
+ASSIGNMENT_VARIANTS: List[Tuple[str, bool, bool]] = [
+    ("Target", True, False),
+    ("Source", False, True),
+    ("Both", True, True),
+]

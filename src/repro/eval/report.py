@@ -1,0 +1,136 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints these so a run regenerates the same rows the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from .tables import Table1Row, Table2
+
+
+def _pct(value: float) -> str:
+    return "{:5.1f}%".format(100.0 * value)
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    """Render Table 1: per-project # calls / # top 10 / # top 10..20."""
+    lines = ["{:<14s}{:>9s}{:>10s}{:>14s}".format(
+        "Program", "# calls", "# top 10", "# top 10..20")]
+    for row in rows:
+        lines.append(
+            "{:<14s}{:>9d}{:>10d}{:>14d}".format(
+                row.project, row.calls, row.top10, row.top10_20
+            )
+        )
+        if row.project == "Totals" and row.calls:
+            lines.append(
+                "{:<14s}{:>9s}{:>10s}{:>14s}".format(
+                    "", "",
+                    _pct(row.top10 / row.calls).strip(),
+                    _pct(row.top10_20 / row.calls).strip(),
+                )
+            )
+    return "\n".join(lines)
+
+
+def format_cdf_series(
+    title: str, series: Mapping[str, Mapping[int, float]]
+) -> str:
+    """Render a rank-CDF figure: one row per series, one column per rank
+    cut-off."""
+    cutoffs: Sequence[int] = ()
+    for values in series.values():
+        cutoffs = list(values.keys())
+        break
+    header = "{:<16s}".format(title) + "".join(
+        "{:>9s}".format("<= {}".format(c)) for c in cutoffs
+    )
+    lines = [header]
+    for name, values in series.items():
+        lines.append(
+            "{:<16s}".format(name)
+            + "".join("{:>9s}".format(_pct(v)) for v in values.values())
+        )
+    return "\n".join(lines)
+
+
+def format_figure10(table: Mapping[int, Dict[str, float]]) -> str:
+    lines = ["{:<8s}{:>8s}{:>16s}{:>16s}".format(
+        "arity", "count", "top20 (2 args)", "top20 (1 arg)")]
+    for arity, row in table.items():
+        lines.append(
+            "{:<8d}{:>8d}{:>16s}{:>16s}".format(
+                arity, int(row["count"]), _pct(row["two_args"]),
+                _pct(row["one_arg"]),
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_figure11(summary: Mapping[str, float], title: str) -> str:
+    lines = [title]
+    for key, value in summary.items():
+        if key == "count":
+            lines.append("  {:<24s}{:>8d}".format("calls compared", int(value)))
+        else:
+            lines.append("  {:<24s}{:>8s}".format(key, _pct(value)))
+    return "\n".join(lines)
+
+
+def format_figure14(table: Mapping[str, float]) -> str:
+    lines = ["{:<16s}{:>10s}".format("argument kind", "share")]
+    for kind, share in table.items():
+        lines.append("{:<16s}{:>10s}".format(kind, _pct(share)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    title: str, values: Mapping[str, float], width: int = 40
+) -> str:
+    """An ASCII bar chart for proportion-valued mappings (0..1)."""
+    lines = [title]
+    label_width = max((len(k) for k in values), default=0)
+    for label, value in values.items():
+        bar = "#" * max(0, round(width * min(1.0, max(0.0, value))))
+        lines.append("  {:<{w}s} |{:<{bw}s}| {}".format(
+            label, bar, _pct(value).strip(), w=label_width, bw=width))
+    return "\n".join(lines)
+
+
+def format_metrics(title: str, metrics: Mapping[str, float]) -> str:
+    """One-line retrieval summary (count, MRR, top-1/10/20, median)."""
+    if metrics.get("count", 0) == 0:
+        return "{}: no queries".format(title)
+    return (
+        "{}: n={:d} found={:d}  MRR={:.3f}  top1={}  top10={}  top20={}  "
+        "median={:.0f}".format(
+            title,
+            int(metrics["count"]),
+            int(metrics["found"]),
+            metrics["mrr"],
+            _pct(metrics["top1"]).strip(),
+            _pct(metrics["top10"]).strip(),
+            _pct(metrics["top20"]).strip(),
+            metrics["median_rank"],
+        )
+    )
+
+
+def format_table2(grid: Table2) -> str:
+    """Render the sensitivity grid: one row per experiment variant, one
+    column per ranking configuration."""
+    header = "{:<14s}{:<14s}{:>7s}".format("Family", "Row", "Count") + "".join(
+        "{:>7s}".format(label) for label in grid.columns
+    )
+    lines = [header]
+    for (family, row), by_label in grid.values.items():
+        count = grid.counts.get((family, row), 0)
+        cells = "".join(
+            "{:>7s}".format("{:.2f}".format(by_label[label]))
+            for label in grid.columns
+        )
+        lines.append("{:<14s}{:<14s}{:>7d}".format(family, row, count) + cells)
+    return "\n".join(lines)

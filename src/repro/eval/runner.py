@@ -1,0 +1,70 @@
+"""One-call evaluation runs bundling all four experiment families."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..corpus.program import Project
+from .experiments import (
+    ArgumentResult,
+    EvalConfig,
+    LookupResult,
+    MethodCallResult,
+    run_argument_prediction,
+    run_assignment_prediction,
+    run_comparison_prediction,
+    run_method_prediction,
+)
+from .persistence import load_results, save_results
+
+
+@dataclass
+class ResultBundle:
+    """Results of one complete evaluation run."""
+
+    methods: List[MethodCallResult] = field(default_factory=list)
+    arguments: List[ArgumentResult] = field(default_factory=list)
+    assignments: List[LookupResult] = field(default_factory=list)
+    comparisons: List[LookupResult] = field(default_factory=list)
+
+    def save(self, path: str) -> None:
+        save_results(
+            path,
+            methods=self.methods,
+            arguments=self.arguments,
+            assignments=self.assignments,
+            comparisons=self.comparisons,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "ResultBundle":
+        data = load_results(path)
+        return cls(
+            methods=data["methods"],
+            arguments=data["arguments"],
+            assignments=data["assignments"],
+            comparisons=data["comparisons"],
+        )
+
+    def families(self) -> dict:
+        return {
+            "methods": self.methods,
+            "arguments": self.arguments,
+            "assignments": self.assignments,
+            "comparisons": self.comparisons,
+        }
+
+
+def run_all(
+    projects: Iterable[Project], cfg: Optional[EvalConfig] = None
+) -> ResultBundle:
+    """Run every experiment family over the projects."""
+    projects = list(projects)
+    cfg = cfg or EvalConfig()
+    return ResultBundle(
+        methods=run_method_prediction(projects, cfg),
+        arguments=run_argument_prediction(projects, cfg),
+        assignments=run_assignment_prediction(projects, cfg),
+        comparisons=run_comparison_prediction(projects, cfg),
+    )

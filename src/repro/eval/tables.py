@@ -1,0 +1,160 @@
+"""Table 1 (per-project quality) and Table 2 (ranking-term sensitivity)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..corpus.program import Project
+from ..engine.ranking import RankingConfig
+from .experiments import (
+    EvalConfig,
+    run_argument_prediction,
+    run_assignment_prediction,
+    run_comparison_prediction,
+    run_method_prediction,
+)
+from .figures import proportion_top
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+@dataclass
+class Table1Row:
+    project: str
+    calls: int
+    top10: int
+    top10_20: int
+
+
+def table1(results) -> List[Table1Row]:
+    """Per-project counts of best rank in the top 10 / next 10, plus a
+    Totals row (Table 1 of the paper)."""
+    order: "OrderedDict[str, List]" = OrderedDict()
+    for result in results:
+        order.setdefault(result.project, []).append(result)
+    rows: List[Table1Row] = []
+    for project, bucket in order.items():
+        rows.append(
+            Table1Row(
+                project=project,
+                calls=len(bucket),
+                top10=sum(
+                    1 for r in bucket if r.best_rank is not None and r.best_rank <= 10
+                ),
+                top10_20=sum(
+                    1
+                    for r in bucket
+                    if r.best_rank is not None and 10 < r.best_rank <= 20
+                ),
+            )
+        )
+    rows.append(
+        Table1Row(
+            project="Totals",
+            calls=sum(r.calls for r in rows),
+            top10=sum(r.top10 for r in rows),
+            top10_20=sum(r.top10_20 for r in rows),
+        )
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+#: the paper's column order
+TABLE2_CONFIGS: List[RankingConfig] = (
+    [RankingConfig.all_features()]
+    + [RankingConfig.without(letter) for letter in "nsdmta"]
+    + [RankingConfig.without("at")]
+    + [RankingConfig.only(letter) for letter in "nsdmta"]
+    + [RankingConfig.only("at")]
+)
+
+#: row groups of Table 2
+TABLE2_ROWS = [
+    ("Methods", "All"),
+    ("Methods", "Instance"),
+    ("Methods", "Static"),
+    ("Arguments", "Normal"),
+    ("Arguments", "No variables"),
+    ("Assignments", "Target"),
+    ("Assignments", "Source"),
+    ("Assignments", "Both"),
+    ("Comparisons", "Left"),
+    ("Comparisons", "Right"),
+    ("Comparisons", "Both"),
+    ("Comparisons", "2xLeft"),
+    ("Comparisons", "2xRight"),
+]
+
+
+@dataclass
+class Table2:
+    """Grid of top-20 proportions: (family, row) x config label."""
+
+    columns: List[str]
+    counts: Dict[tuple, int]
+    values: Dict[tuple, Dict[str, float]]
+
+
+def table2(
+    projects: Sequence[Project],
+    base: Optional[EvalConfig] = None,
+    cutoff: int = 20,
+) -> Table2:
+    """Re-run every experiment family under each ranking variant.
+
+    Use the ``max_*_per_project`` caps in ``base`` to subsample — the full
+    grid is 15 configs x 4 experiment families.
+    """
+    base = base or EvalConfig(
+        with_return_type=False, with_intellisense=False
+    )
+    columns = [config.label() for config in TABLE2_CONFIGS]
+    values: Dict[tuple, Dict[str, float]] = {row: {} for row in TABLE2_ROWS}
+    counts: Dict[tuple, int] = {}
+
+    for config in TABLE2_CONFIGS:
+        label = config.label()
+        cfg = replace(
+            base,
+            ranking=config,
+            with_return_type=False,
+            with_intellisense=False,
+        )
+
+        methods = run_method_prediction(projects, cfg)
+        _fill(values, counts, ("Methods", "All"), label,
+              [r.best_rank for r in methods], cutoff)
+        _fill(values, counts, ("Methods", "Instance"), label,
+              [r.best_rank for r in methods if not r.is_static], cutoff)
+        _fill(values, counts, ("Methods", "Static"), label,
+              [r.best_rank for r in methods if r.is_static], cutoff)
+
+        arguments = [r for r in run_argument_prediction(projects, cfg) if r.guessable]
+        _fill(values, counts, ("Arguments", "Normal"), label,
+              [r.rank for r in arguments], cutoff)
+        _fill(values, counts, ("Arguments", "No variables"), label,
+              [r.rank for r in arguments if not r.is_local], cutoff)
+
+        assignments = run_assignment_prediction(projects, cfg)
+        for variant in ("Target", "Source", "Both"):
+            _fill(values, counts, ("Assignments", variant), label,
+                  [r.rank for r in assignments if r.variant == variant], cutoff)
+
+        comparisons = run_comparison_prediction(projects, cfg)
+        for variant in ("Left", "Right", "Both", "2xLeft", "2xRight"):
+            _fill(values, counts, ("Comparisons", variant), label,
+                  [r.rank for r in comparisons if r.variant == variant], cutoff)
+
+    return Table2(columns=columns, counts=counts, values=values)
+
+
+def _fill(values, counts, row, label, ranks, cutoff) -> None:
+    ranks = list(ranks)
+    counts[row] = len(ranks)
+    values[row][label] = proportion_top(ranks, cutoff)

@@ -1,0 +1,5 @@
+"""Source frontends: read C#-subset source text into projects."""
+
+from .csharp import SourceError, SourceReader
+
+__all__ = ["SourceError", "SourceReader"]

@@ -1,0 +1,695 @@
+"""A C#-subset source frontend.
+
+The paper "were unable to work on actual source code because at the time
+the experiments were performed, no tools for analyzing the source code of
+C# programs existed" — so it read decompiled binaries through CCI.  This
+module is the missing piece: it reads a small C#-like subset directly into
+the code model + corpus structures, so whole projects can be written as
+plain source text (see ``examples/source_project.py``).
+
+Supported subset::
+
+    namespace A.B {
+        enum Color { Red, Green }
+        interface IShape { }
+        class Rectangle : Shape, IShape {
+            int Width;                      // field
+            static Rectangle Empty;         // static field
+            string Name { get; set; }       // property
+            Rectangle(int w) { }            // constructor
+            double Area() { ... }           // method with body
+            static void Dump(Rectangle r);  // extern (no body)
+        }
+        struct Point { double X; }
+    }
+
+Bodies support local declarations with initialisers, assignments, call
+statements, ``if``/``while`` conditions (flattened, as in the corpus
+model), and ``return``.  Expressions are delegated to the partial
+expression parser (:mod:`repro.lang.parser`), so method bodies use exactly
+the expression language the engine completes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..analysis.scope import Context
+from ..codemodel.members import Field, Method, Parameter, Property
+from ..codemodel.types import TypeDef, TypeKind
+from ..codemodel.typesystem import TypeSystem
+from ..corpus.frameworks.system import build_system_core
+from ..corpus.program import (
+    AssignStatement,
+    ExprStatement,
+    IfStatement,
+    LocalDecl,
+    MethodImpl,
+    Project,
+    ReturnStatement,
+)
+from ..lang.ast import Assign, Compare, Expr
+from ..lang.parser import ParseError, parse
+
+
+class SourceError(ValueError):
+    """Raised on any lexical/syntactic/resolution error, with a line."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__("line {}: {}".format(line, message))
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<ws>\s+)
+  | (?P<string>"[^"\n]*")
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>:=|<=|>=|==|!=|&&|\|\||[{}();,.<>=!?*+\-/\[\]:])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_KEYWORD_TYPES = {
+    "int", "long", "short", "byte", "char", "float", "double", "decimal",
+    "bool",
+}
+
+_MODIFIERS = {
+    "public", "private", "protected", "internal", "static", "virtual",
+    "override", "sealed", "readonly", "abstract", "partial",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "start", "end")
+
+    def __init__(self, kind: str, text: str, line: int, start: int, end: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.start = start
+        self.end = end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<{} {!r} @{}>".format(self.kind, self.text, self.line)
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise SourceError(
+                "unexpected character {!r}".format(source[pos]), line
+            )
+        text = match.group()
+        kind = match.lastgroup
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line, match.start(), match.end()))
+        line += text.count("\n")
+        pos = match.end()
+    tokens.append(_Token("eof", "", line, len(source), len(source)))
+    return tokens
+
+
+class SourceReader:
+    """Parses one or more source strings into a :class:`Project`."""
+
+    def __init__(
+        self,
+        project_name: str = "source",
+        ts: Optional[TypeSystem] = None,
+        with_system_core: bool = True,
+    ) -> None:
+        self.ts = ts or TypeSystem()
+        if with_system_core and self.ts.try_get("System.DateTime") is None:
+            build_system_core(self.ts)
+        self.project = Project(project_name, self.ts)
+        #: types declared by this reader; simple-name resolution prefers
+        #: them over pre-installed (BCL) types, standing in for `using`
+        self._declared: List[TypeDef] = []
+        #: namespaces imported with `using N;` — consulted during
+        #: simple-name resolution before the unique-global fallback
+        self._usings: List[str] = []
+        #: (typedef, headers...) collected during the declaration pass
+        self._pending_bases: List[Tuple[TypeDef, List[str], int]] = []
+        self._pending_members: List[Tuple[TypeDef, List[_Token], str]] = []
+        self._pending_bodies: List[
+            Tuple[Method, List[Parameter], Tuple[int, int], str]
+        ] = []
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def add_source(self, source: str) -> "SourceReader":
+        """Declare the types of one source string (pass 1)."""
+        tokens = _tokenize(source)
+        self._parse_compilation_unit(tokens, source)
+        return self
+
+    def build(self) -> Project:
+        """Resolve bases, members and bodies; return the project."""
+        self._resolve_bases()
+        self._resolve_members()
+        self._parse_bodies()
+        return self.project
+
+    @classmethod
+    def read(cls, source: str, project_name: str = "source") -> Project:
+        """One-shot convenience for a single source string."""
+        return cls(project_name).add_source(source).build()
+
+    # ------------------------------------------------------------------
+    # pass 1: type declarations
+    # ------------------------------------------------------------------
+    def _parse_compilation_unit(self, tokens: List[_Token], source: str) -> None:
+        cursor = _Cursor(tokens, source)
+        while not cursor.at("eof"):
+            self._parse_namespace_or_type(cursor, namespace="")
+
+    def _parse_namespace_or_type(self, cursor: "_Cursor", namespace: str) -> None:
+        cursor.skip_modifiers()
+        if cursor.accept_ident("using"):
+            imported = cursor.dotted_name()
+            cursor.expect(";")
+            self._usings.append(imported)
+            return
+        if cursor.accept_ident("namespace"):
+            name = cursor.dotted_name()
+            full = "{}.{}".format(namespace, name) if namespace else name
+            cursor.expect("{")
+            while not cursor.accept("}"):
+                self._parse_namespace_or_type(cursor, full)
+            return
+        self._parse_type_decl(cursor, namespace)
+
+    def _parse_type_decl(self, cursor: "_Cursor", namespace: str) -> None:
+        line = cursor.peek().line
+        for keyword, kind in (
+            ("class", TypeKind.CLASS),
+            ("struct", TypeKind.STRUCT),
+            ("interface", TypeKind.INTERFACE),
+            ("enum", TypeKind.ENUM),
+        ):
+            if cursor.accept_ident(keyword):
+                name = cursor.ident("a type name")
+                bases: List[str] = []
+                if cursor.accept(":"):
+                    bases.append(cursor.dotted_name())
+                    while cursor.accept(","):
+                        bases.append(cursor.dotted_name())
+                typedef = TypeDef(
+                    name,
+                    namespace,
+                    kind=kind,
+                    comparable=(kind is TypeKind.ENUM),
+                )
+                if kind is TypeKind.STRUCT:
+                    typedef.base = self.ts.value_type
+                elif kind is TypeKind.ENUM:
+                    typedef.base = self.ts.enum_type
+                self.ts.register(typedef)
+                self._declared.append(typedef)
+                if bases:
+                    self._pending_bases.append((typedef, bases, line))
+                cursor.expect("{")
+                if kind is TypeKind.ENUM:
+                    self._parse_enum_values(cursor, typedef)
+                else:
+                    self._collect_members(cursor, typedef)
+                return
+        raise SourceError(
+            "expected a type declaration, found {!r}".format(cursor.peek().text),
+            line,
+        )
+
+    def _parse_enum_values(self, cursor: "_Cursor", typedef: TypeDef) -> None:
+        while not cursor.accept("}"):
+            value = cursor.ident("an enum value")
+            typedef.add_field(Field(value, typedef, is_static=True))
+            if not cursor.accept(","):
+                cursor.expect("}")
+                return
+
+    def _collect_members(self, cursor: "_Cursor", typedef: TypeDef) -> None:
+        """Record each member's header tokens; bodies are captured as source
+        spans for the later passes."""
+        while not cursor.accept("}"):
+            header: List[_Token] = []
+            while cursor.peek().text not in (";", "{", "("):
+                if cursor.at("eof"):
+                    raise SourceError("unterminated type body",
+                                      cursor.peek().line)
+                header.append(cursor.next())
+            if cursor.peek().text == "(":
+                # method or constructor: consume the parameter list into the
+                # header, then a body or ';'
+                header.append(cursor.next())  # '('
+                depth = 1
+                while depth:
+                    token = cursor.next()
+                    if token.text == "(":
+                        depth += 1
+                    elif token.text == ")":
+                        depth -= 1
+                    header.append(token)
+                if cursor.accept(";"):
+                    self._pending_members.append((typedef, header, ""))
+                    continue
+                cursor.expect("{")
+                span = cursor.capture_block()
+                self._pending_members.append(
+                    (typedef, header, cursor.source[span[0]:span[1]])
+                )
+            elif cursor.accept(";"):
+                self._pending_members.append((typedef, header, None))
+            else:
+                # property: `{ get; set; }` style block after the name
+                cursor.expect("{")
+                cursor.capture_block()
+                self._pending_members.append((typedef, header, "prop"))
+
+    # ------------------------------------------------------------------
+    # pass 2: bases and members
+    # ------------------------------------------------------------------
+    def _resolve_bases(self) -> None:
+        for typedef, bases, line in self._pending_bases:
+            for base_name in bases:
+                base = self._resolve_type(base_name, typedef.namespace, line)
+                if base.kind is TypeKind.INTERFACE:
+                    typedef.interfaces = typedef.interfaces + (base,)
+                else:
+                    typedef.base = base
+
+    def _resolve_type(
+        self, name: str, namespace: str, line: int
+    ) -> TypeDef:
+        if name in _KEYWORD_TYPES:
+            return self.ts.primitive(name)
+        if name == "string":
+            return self.ts.string_type
+        if name == "object":
+            return self.ts.object_type
+        # qualified, then sibling-in-namespace, then unique simple name
+        direct = self.ts.try_get(name)
+        if direct is not None:
+            return direct
+        if namespace:
+            parts = namespace.split(".")
+            for end in range(len(parts), 0, -1):
+                scoped = self.ts.try_get(
+                    ".".join(parts[:end]) + "." + name
+                )
+                if scoped is not None:
+                    return scoped
+        for imported in self._usings:
+            scoped = self.ts.try_get("{}.{}".format(imported, name))
+            if scoped is not None:
+                return scoped
+        matches = [t for t in self.ts.all_types() if t.name == name]
+        if len(matches) > 1:
+            declared = [t for t in matches if t in self._declared]
+            if len(declared) == 1:
+                return declared[0]
+        if len(matches) == 1:
+            return matches[0]
+        raise SourceError(
+            "unknown type {!r}".format(name)
+            if not matches
+            else "ambiguous type {!r}".format(name),
+            line,
+        )
+
+    def _resolve_members(self) -> None:
+        for typedef, header, body in self._pending_members:
+            self._declare_member(typedef, header, body)
+
+    def _declare_member(
+        self, typedef: TypeDef, header: List[_Token], body: Optional[str]
+    ) -> None:
+        if not header:
+            raise SourceError("empty member declaration", 0)
+        line = header[0].line
+        cursor = 0
+        static = False
+        while header[cursor].text in _MODIFIERS:
+            if header[cursor].text == "static":
+                static = True
+            cursor += 1
+
+        if "(" in [t.text for t in header]:
+            self._declare_method(typedef, header[cursor:], body, static, line)
+            return
+        # field or property: Type Name
+        type_name, cursor2 = self._read_type_name(header, cursor, line)
+        if cursor2 >= len(header):
+            raise SourceError("expected a member name", line)
+        member_name = header[cursor2].text
+        member_type = self._resolve_type(type_name, typedef.namespace, line)
+        if body == "prop":
+            typedef.add_property(Property(member_name, member_type,
+                                          is_static=static))
+        else:
+            typedef.add_field(Field(member_name, member_type,
+                                    is_static=static))
+
+    def _read_type_name(
+        self, header: List[_Token], cursor: int, line: int
+    ) -> Tuple[str, int]:
+        if cursor >= len(header):
+            raise SourceError("expected a type name", line)
+        parts = [header[cursor].text]
+        cursor += 1
+        while (
+            cursor + 1 < len(header)
+            and header[cursor].text == "."
+            and header[cursor + 1].kind == "ident"
+        ):
+            parts.append(header[cursor + 1].text)
+            cursor += 2
+        return ".".join(parts), cursor
+
+    def _declare_method(
+        self,
+        typedef: TypeDef,
+        header: List[_Token],
+        body: Optional[str],
+        static: bool,
+        line: int,
+    ) -> None:
+        paren = next(i for i, t in enumerate(header) if t.text == "(")
+        before = header[:paren]
+        if len(before) == 1 and before[0].text == typedef.name:
+            # constructor
+            returns: Optional[TypeDef] = typedef
+            name = typedef.name
+            is_ctor = True
+            static = True
+        else:
+            type_name, cursor = self._read_type_name(before, 0, line)
+            if cursor >= len(before):
+                raise SourceError("expected a method name", line)
+            name = before[cursor].text
+            returns = (
+                None
+                if type_name == "void"
+                else self._resolve_type(type_name, typedef.namespace, line)
+            )
+            is_ctor = False
+        params = self._parse_params(typedef, header[paren + 1:-1], line)
+        method = Method(
+            name,
+            returns,
+            params=tuple(params),
+            is_static=static,
+            is_constructor=is_ctor,
+        )
+        typedef.add_method(method)
+        if body:
+            self._pending_bodies.append(
+                (method, params, (0, 0), body)
+            )
+
+    def _parse_params(
+        self, typedef: TypeDef, tokens: List[_Token], line: int
+    ) -> List[Parameter]:
+        params: List[Parameter] = []
+        groups: List[List[_Token]] = [[]]
+        for token in tokens:
+            if token.text == ",":
+                groups.append([])
+            else:
+                groups[-1].append(token)
+        for group in groups:
+            if not group:
+                continue
+            type_name, cursor = self._read_type_name(group, 0, line)
+            if cursor >= len(group):
+                raise SourceError("expected a parameter name", line)
+            params.append(
+                Parameter(
+                    group[cursor].text,
+                    self._resolve_type(type_name, typedef.namespace, line),
+                )
+            )
+        return params
+
+    # ------------------------------------------------------------------
+    # pass 3: bodies
+    # ------------------------------------------------------------------
+    def _parse_bodies(self) -> None:
+        for method, _params, _span, body in self._pending_bodies:
+            impl = self._parse_body(method, body)
+            if impl is not None:
+                self.project.add_impl(impl)
+
+    def _parse_body(self, method: Method, body: str) -> Optional[MethodImpl]:
+        impl = MethodImpl(method)
+        context = impl.context(self.ts)
+        parser = _BodyParser(self, impl, context)
+        parser.run(body)
+        if not impl.body:
+            return None
+        return impl
+
+
+class _BodyParser:
+    """Splits a body into statements and delegates expressions to the
+    partial-expression parser."""
+
+    def __init__(self, reader: SourceReader, impl: MethodImpl,
+                 context: Context) -> None:
+        self.reader = reader
+        self.impl = impl
+        self.context = context
+
+    def run(self, body: str) -> None:
+        tokens = _tokenize(body)
+        cursor = _Cursor(tokens, body)
+        while not cursor.at("eof"):
+            self._statement(cursor)
+
+    def _statement(self, cursor: "_Cursor") -> None:
+        token = cursor.peek()
+        if token.text == "{":
+            cursor.next()
+            return  # nested blocks are flattened
+        if token.text == "}":
+            cursor.next()
+            return
+        if token.kind == "ident" and token.text in ("if", "while"):
+            cursor.next()
+            cursor.expect("(")
+            span = cursor.capture_parens()
+            condition = self._parse_expr(cursor.source[span[0]:span[1]],
+                                         token.line)
+            if isinstance(condition, Compare):
+                self.impl.body.append(IfStatement(condition))
+            return
+        if token.kind == "ident" and token.text == "return":
+            cursor.next()
+            if cursor.accept(";"):
+                return
+            span = cursor.capture_until_semicolon()
+            expr = self._parse_expr(cursor.source[span[0]:span[1]], token.line)
+            self.impl.body.append(ReturnStatement(expr))
+            return
+        if token.kind == "ident" and token.text == "else":
+            cursor.next()
+            return
+        # declaration? `Type name = ...;` or `Type name;`
+        if self._try_declaration(cursor):
+            return
+        span = cursor.capture_until_semicolon()
+        text = cursor.source[span[0]:span[1]]
+        expr = self._parse_expr(text, token.line)
+        if isinstance(expr, Assign):
+            self.impl.body.append(AssignStatement(expr))
+        else:
+            self.impl.body.append(ExprStatement(expr))
+
+    def _try_declaration(self, cursor: "_Cursor") -> bool:
+        """``Type name = expr;`` — detected by a resolvable type name
+        followed by an identifier.  ``var name = expr;`` infers the type
+        from the initialiser (the C# feature the paper leans on when
+        discussing unknown result types)."""
+        mark = cursor.index
+        token = cursor.peek()
+        if token.kind != "ident":
+            return False
+        if (
+            token.text == "var"
+            and cursor.peek(1).kind == "ident"
+            and cursor.peek(2).text == "="
+        ):
+            cursor.next()
+            name = cursor.next().text
+            cursor.next()  # '='
+            span = cursor.capture_until_semicolon()
+            init = self._parse_expr(cursor.source[span[0]:span[1]], token.line)
+            inferred = init.type
+            if inferred is None:
+                raise SourceError(
+                    "cannot infer a type for 'var {}'".format(name), token.line
+                )
+            self.context.locals[name] = inferred
+            self.impl.body.append(LocalDecl(name, inferred, init))
+            return True
+        try:
+            parts = [cursor.next().text]
+            while cursor.peek().text == "." and cursor.peek(1).kind == "ident":
+                cursor.next()
+                parts.append(cursor.next().text)
+            if cursor.peek().kind != "ident":
+                raise LookupError
+            type_name = ".".join(parts)
+            typedef = self.reader._resolve_type(type_name, "", token.line)
+        except (LookupError, SourceError):
+            cursor.index = mark
+            return False
+        name = cursor.next().text
+        # record only in the parsing context; the LocalDecl statement is the
+        # durable record, so statement-scoped contexts stay accurate
+        self.context.locals[name] = typedef
+        if cursor.accept(";"):
+            self.impl.body.append(LocalDecl(name, typedef))
+            return True
+        cursor.expect("=")
+        span = cursor.capture_until_semicolon()
+        init = self._parse_expr(cursor.source[span[0]:span[1]], token.line)
+        self.impl.body.append(LocalDecl(name, typedef, init))
+        return True
+
+    def _parse_expr(self, text: str, line: int) -> Expr:
+        text = text.strip()
+        if text.startswith("!"):
+            text = text[1:]  # `if (!Directory.Exists(x))` — negation dropped
+        try:
+            expr = parse(text, self.context)
+        except ParseError as error:
+            raise SourceError(str(error), line)
+        from ..lang.ast import is_complete
+        from ..lang.semantics import well_typed
+
+        if is_complete(expr) and not well_typed(expr, self.reader.ts):
+            raise SourceError(
+                "expression does not type-check: {!r}".format(text), line
+            )
+        return expr
+
+
+class _Cursor:
+    """Token cursor with span capture helpers."""
+
+    def __init__(self, tokens: List[_Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self, ahead: int = 0) -> _Token:
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text and self.peek().kind != "eof":
+            self.index += 1
+            return True
+        return False
+
+    def accept_ident(self, word: str) -> bool:
+        token = self.peek()
+        if token.kind == "ident" and token.text == word:
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> _Token:
+        token = self.peek()
+        if token.text != text or token.kind == "eof":
+            raise SourceError(
+                "expected {!r}, found {!r}".format(text, token.text),
+                token.line,
+            )
+        return self.next()
+
+    def ident(self, what: str) -> str:
+        token = self.peek()
+        if token.kind != "ident":
+            raise SourceError(
+                "expected {}, found {!r}".format(what, token.text), token.line
+            )
+        return self.next().text
+
+    def dotted_name(self) -> str:
+        parts = [self.ident("a name")]
+        while self.peek().text == "." and self.peek(1).kind == "ident":
+            self.next()
+            parts.append(self.next().text)
+        return ".".join(parts)
+
+    def skip_modifiers(self) -> None:
+        while self.peek().kind == "ident" and self.peek().text in _MODIFIERS:
+            self.index += 1
+
+    def capture_block(self) -> Tuple[int, int]:
+        """Capture from after an already-consumed '{' to its matching '}'.
+        Returns the source span between the braces."""
+        start = self.peek().start
+        depth = 1
+        end = start
+        while depth:
+            token = self.next()
+            if token.kind == "eof":
+                raise SourceError("unterminated block", token.line)
+            if token.text == "{":
+                depth += 1
+            elif token.text == "}":
+                depth -= 1
+                end = token.start
+        return start, end
+
+    def capture_parens(self) -> Tuple[int, int]:
+        """Capture from after an already-consumed '(' to its matching ')'."""
+        start = self.peek().start
+        depth = 1
+        end = start
+        while depth:
+            token = self.next()
+            if token.kind == "eof":
+                raise SourceError("unterminated parenthesis", token.line)
+            if token.text == "(":
+                depth += 1
+            elif token.text == ")":
+                depth -= 1
+                end = token.start
+        return start, end
+
+    def capture_until_semicolon(self) -> Tuple[int, int]:
+        start = self.peek().start
+        end = start
+        depth = 0
+        while True:
+            token = self.next()
+            if token.kind == "eof":
+                raise SourceError("missing ';'", token.line)
+            if token.text in "({":
+                depth += 1
+            elif token.text in ")}":
+                depth -= 1
+            elif token.text == ";" and depth == 0:
+                return start, token.start
+            end = token.end

@@ -1,0 +1,14 @@
+"""Interactive layer: workspaces, sessions, REPL (the paper's future work)."""
+
+from .repl import run_repl
+from .session import CompletionSession, QueryRecord, Suggestion, holes_for_unfilled
+from .workspace import Workspace
+
+__all__ = [
+    "CompletionSession",
+    "QueryRecord",
+    "Suggestion",
+    "Workspace",
+    "holes_for_unfilled",
+    "run_repl",
+]

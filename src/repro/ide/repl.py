@@ -1,0 +1,223 @@
+"""A terminal REPL for partial-expression queries.
+
+Run:  python -m repro repl --universe paint
+
+Commands (everything else is treated as a partial expression)::
+
+    :let <name> <Type>     declare a local
+    :this <Type>|none      set / clear the type of `this`
+    :expect <Type>|void|none  constrain the result type (Fig. 12 mode)
+    :keyword <word>|none   filter unknown-call methods by name
+    :n <count>             result list size
+    :locals                show the scope
+    :accept <rank>         accept a suggestion; 0s become ?s
+    :explain <rank>        show the ranking-term breakdown of a suggestion
+    :types [prefix]        browse the universe's namespaces and types
+    :tree <Type>           one type's hierarchy and members
+    :load <file.cs>        read a C#-subset source file as the universe
+    :impls                 list method bodies of the loaded project
+    :enter <MethodName>    query from inside a method body (scope +
+                           abstract types of that body)
+    :help                  this text
+    :quit                  leave
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .session import CompletionSession
+from .workspace import Workspace
+
+_HELP = __doc__.split("Commands", 1)[1]
+
+
+class _ReplState:
+    """Mutable REPL state: the session may be replaced by :load / :enter."""
+
+    def __init__(self, workspace: Workspace) -> None:
+        self.session = CompletionSession(workspace)
+
+
+def run_repl(
+    workspace: Workspace,
+    lines: Iterable[str],
+    write: Callable[[str], None],
+) -> CompletionSession:
+    """Drive a session from an iterable of input lines (testable core).
+
+    Returns the final session so callers can inspect the state.
+    """
+    state = _ReplState(workspace)
+    write("partial-expression REPL — universe '{}'; :help for commands".format(
+        workspace.name))
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(":"):
+            if not _command(state, line, write):
+                break
+            continue
+        _query(state.session, line, write)
+    return state.session
+
+
+def _command(state: "_ReplState", line: str, write) -> bool:
+    session = state.session
+    parts = line.split()
+    command, args = parts[0], parts[1:]
+    try:
+        if command == ":quit":
+            write("bye")
+            return False
+        if command == ":help":
+            write("Commands" + _HELP)
+        elif command == ":types" and len(args) <= 1:
+            from ..codemodel.explorer import namespace_tree
+
+            write(namespace_tree(session.workspace.ts,
+                                 args[0] if args else None))
+        elif command == ":tree" and len(args) == 1:
+            from ..codemodel.explorer import type_tree
+
+            typedef = session.workspace.resolve_type(args[0])
+            write(type_tree(session.workspace.ts, typedef))
+        elif command == ":load" and len(args) == 1:
+            _load(state, args[0], write)
+        elif command == ":impls":
+            impls = session.workspace.impls()
+            if not impls:
+                write("(no method bodies; :load a source file first)")
+            for impl in impls:
+                write("  {}".format(impl.method.full_name))
+        elif command == ":enter" and len(args) == 1:
+            _enter(state, args[0], write)
+        elif command == ":let" and len(args) == 2:
+            typedef = session.declare(args[0], args[1])
+            write("local {}: {}".format(args[0], typedef.full_name))
+        elif command == ":this" and len(args) == 1:
+            typedef = session.set_this(None if args[0] == "none" else args[0])
+            write("this: {}".format(typedef.full_name if typedef else "none"))
+        elif command == ":expect" and len(args) == 1:
+            typedef = session.set_expected(
+                None if args[0] == "none" else args[0])
+            write("expect: {}".format(typedef.full_name if typedef else "none"))
+        elif command == ":keyword" and len(args) == 1:
+            session.keyword = None if args[0] == "none" else args[0]
+            write("keyword: {}".format(session.keyword or "none"))
+        elif command == ":n" and len(args) == 1:
+            session.n = max(1, int(args[0]))
+            write("showing top {}".format(session.n))
+        elif command == ":locals":
+            if not session.locals and session.this_type is None:
+                write("(empty scope)")
+            for name, typedef in session.locals.items():
+                write("  {}: {}".format(name, typedef.full_name))
+            if session.this_type is not None:
+                write("  this: {}".format(session.this_type.full_name))
+        elif command == ":explain" and len(args) == 1:
+            _explain(session, int(args[0]), write)
+        elif command == ":accept" and len(args) == 1:
+            refined = session.accept(int(args[0]))
+            if refined is None:
+                write("nothing to accept")
+            else:
+                write("next query: {}".format(refined))
+                _query(session, refined, write)
+        else:
+            write("unrecognised command; :help lists commands")
+    except (OSError, ValueError, KeyError) as error:
+        write("error: {}".format(error))
+    return True
+
+
+def _load(state: "_ReplState", path: str, write) -> None:
+    from ..frontend import SourceReader
+
+    with open(path) as handle:
+        source = handle.read()
+    project = SourceReader.read(source, project_name=path)
+    workspace = Workspace.corpus_project(project)
+    previous_n = state.session.n
+    state.session = CompletionSession(workspace, n=previous_n)
+    write("loaded {}: {} types, {} method bodies".format(
+        path, len(project.ts.all_types()), len(project.impls)))
+
+
+def _enter(state: "_ReplState", method_name: str, write) -> None:
+    workspace = state.session.workspace
+    matches = [
+        impl
+        for impl in workspace.impls()
+        if impl.method.name == method_name
+        or impl.method.full_name == method_name
+    ]
+    if not matches:
+        write("no method body named {!r}".format(method_name))
+        return
+    impl = matches[0]
+    context = impl.context(workspace.ts)
+    state.session = CompletionSession(
+        workspace,
+        locals=dict(context.locals),
+        this_type=context.this_type,
+        n=state.session.n,
+        abstypes=workspace.oracle_for(impl),
+    )
+    write("entered {}; locals: {}".format(
+        impl.method.full_name,
+        ", ".join(sorted(context.locals)) or "(none)",
+    ))
+
+
+def _explain(session: CompletionSession, rank: int, write) -> None:
+    from ..engine.ranking import Ranker
+
+    record = session.last()
+    if record is None or not record.suggestions:
+        write("nothing to explain; run a query first")
+        return
+    if not 1 <= rank <= len(record.suggestions):
+        write("no suggestion at rank {}".format(rank))
+        return
+    suggestion = record.suggestions[rank - 1]
+    ranker = Ranker(
+        session.context(),
+        session.workspace.engine.config.ranking,
+        session.abstypes,
+    )
+    write("{}  (total score {})".format(suggestion.text, suggestion.score))
+    for feature, value in sorted(
+        ranker.explain(suggestion.expr).items(), key=lambda kv: -kv[1]
+    ):
+        write("  {:<16s} {:>3d}".format(feature, value))
+
+
+def _query(session: CompletionSession, line: str, write) -> None:
+    record = session.query(line)
+    if record.error is not None:
+        write("parse error: {}".format(record.error))
+        return
+    if not record.suggestions:
+        write("(no completions)")
+        return
+    for suggestion in record.suggestions:
+        write("{:>3}. (score {:>3}) {}".format(
+            suggestion.rank, suggestion.score, suggestion.text))
+
+
+def main(universe: str = "paint") -> None:  # pragma: no cover - interactive
+    import sys
+
+    workspace = Workspace.builtin(universe)
+
+    def stdin_lines():
+        while True:
+            try:
+                yield input("pe> ")
+            except EOFError:
+                return
+
+    run_repl(workspace, stdin_lines(), lambda text: print(text))
+    sys.exit(0)

@@ -1,0 +1,183 @@
+"""Interactive completion sessions.
+
+A :class:`CompletionSession` is the state an editor keeps per cursor
+position: the scope (locals + ``this``), result-list size, an optional
+keyword filter, and a history of queries.  ``accept`` implements the
+paper's iterative-refinement loop: "The user may afterward decide to
+convert the 0 to ? or some other partial expression."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.scope import Context
+from ..codemodel.types import TypeDef
+from ..engine.completer import Completion
+from ..engine.ranking import AbstractTypeOracle
+from ..lang.ast import Expr, Unfilled
+from ..lang.parser import ParseError, parse
+from ..lang.partial import Hole
+from ..lang.printer import to_source
+from .workspace import Workspace
+
+
+@dataclass
+class Suggestion:
+    """One line of a result list."""
+
+    rank: int
+    score: int
+    text: str
+    expr: Expr
+
+
+@dataclass
+class QueryRecord:
+    """One history entry."""
+
+    source: str
+    suggestions: List[Suggestion] = field(default_factory=list)
+    error: Optional[str] = None
+
+
+def holes_for_unfilled(expr: Expr) -> Expr:
+    """Rewrite every ``0`` leftover into a fresh ``?`` hole, producing the
+    next partial expression of an iterative refinement."""
+    if isinstance(expr, Unfilled):
+        return Hole()
+    from ..lang.ast import Assign, Call, Compare, FieldAccess
+
+    if isinstance(expr, Call):
+        return Call(expr.method, tuple(holes_for_unfilled(a) for a in expr.args))
+    if isinstance(expr, FieldAccess):
+        return FieldAccess(holes_for_unfilled(expr.base), expr.member)
+    if isinstance(expr, Assign):
+        return Assign(holes_for_unfilled(expr.lhs), holes_for_unfilled(expr.rhs))
+    if isinstance(expr, Compare):
+        return Compare(
+            holes_for_unfilled(expr.lhs), holes_for_unfilled(expr.rhs), expr.op
+        )
+    return expr
+
+
+class CompletionSession:
+    """Query loop state over a workspace."""
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        locals: Optional[Dict[str, TypeDef]] = None,
+        this_type: Optional[TypeDef] = None,
+        n: int = 10,
+        abstypes: Optional[AbstractTypeOracle] = None,
+    ) -> None:
+        self.workspace = workspace
+        self.locals: Dict[str, TypeDef] = dict(locals or {})
+        self.this_type = this_type
+        self.n = n
+        self.abstypes = abstypes
+        self.keyword: Optional[str] = None
+        self.expected_type: Optional[TypeDef] = None
+        self.history: List[QueryRecord] = []
+
+    # ------------------------------------------------------------------
+    # scope manipulation
+    # ------------------------------------------------------------------
+    def declare(self, name: str, type_name: str) -> TypeDef:
+        """``:let name Type`` — add a local to the scope."""
+        typedef = self.workspace.resolve_type(type_name)
+        self.locals[name] = typedef
+        return typedef
+
+    def set_this(self, type_name: Optional[str]) -> Optional[TypeDef]:
+        if type_name is None:
+            self.this_type = None
+            return None
+        self.this_type = self.workspace.resolve_type(type_name)
+        return self.this_type
+
+    def set_expected(self, type_name: Optional[str]) -> Optional[TypeDef]:
+        """Constrain results to a type (``void`` allowed), or clear."""
+        if type_name is None:
+            self.expected_type = None
+            return None
+        if type_name == "void":
+            self.expected_type = self.workspace.ts.void_type
+        else:
+            self.expected_type = self.workspace.resolve_type(type_name)
+        return self.expected_type
+
+    def context(self) -> Context:
+        return self.workspace.context(
+            locals=dict(self.locals), this_type=self.this_type
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, source: str) -> QueryRecord:
+        """Parse and complete one partial expression; record it."""
+        record = QueryRecord(source=source)
+        context = self.context()
+        try:
+            pe = parse(source, context)
+        except ParseError as error:
+            record.error = str(error)
+            self.history.append(record)
+            return record
+        completions = self.workspace.engine.complete(
+            pe,
+            context,
+            n=self.n,
+            abstypes=self.abstypes,
+            expected_type=self.expected_type,
+            keyword=self.keyword,
+        )
+        record.suggestions = [
+            Suggestion(rank, completion.score, to_source(completion.expr),
+                       completion.expr)
+            for rank, completion in enumerate(completions, start=1)
+        ]
+        self.history.append(record)
+        return record
+
+    def accept(self, rank: int) -> Optional[str]:
+        """Accept suggestion ``rank`` of the most recent query; returns the
+        next query source with every leftover ``0`` turned into ``?`` (or
+        the final source when nothing is left to fill)."""
+        if not self.history or not self.history[-1].suggestions:
+            return None
+        suggestions = self.history[-1].suggestions
+        if not 1 <= rank <= len(suggestions):
+            return None
+        chosen = suggestions[rank - 1].expr
+        refined = holes_for_unfilled(chosen)
+        return to_source(refined)
+
+    def last(self) -> Optional[QueryRecord]:
+        return self.history[-1] if self.history else None
+
+    def auto_complete(
+        self, source: str, max_iterations: int = 5
+    ) -> Optional[str]:
+        """Drive the paper's Figure 1 workflow to a fixpoint: query, take
+        the top suggestion, turn its leftover ``0``s into ``?``s, and
+        re-query until the top suggestion is fully concrete.
+
+        Returns the final expression source, or ``None`` when a query
+        fails or the loop does not converge within ``max_iterations``.
+        """
+        from ..lang.ast import iter_subtree
+
+        current = source
+        for _ in range(max_iterations):
+            record = self.query(current)
+            if record.error is not None or not record.suggestions:
+                return None
+            top = record.suggestions[0].expr
+            if not any(isinstance(n, Unfilled) for n in iter_subtree(top)):
+                return to_source(top)
+            current = to_source(holes_for_unfilled(top))
+        return None

@@ -1,0 +1,142 @@
+"""Workspaces: named universes an interactive session can work against.
+
+The paper leaves IDE integration to future work; this layer is the
+library-level substrate an IDE plugin (or our REPL) would sit on — it owns
+the long-lived state: the type system, the completion engine with its
+indexes, and (for corpus projects) the abstract-type analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..analysis.abstract_types import AbstractTypeAnalysis
+from ..analysis.scope import Context
+from ..codemodel.types import TypeDef
+from ..codemodel.typesystem import TypeSystem
+from ..corpus.oracle import ImplAbstractTypes
+from ..corpus.program import MethodImpl, Project
+from ..engine.completer import CompletionEngine, EngineConfig
+from ..engine.ranking import AbstractTypeOracle
+
+
+class Workspace:
+    """A universe plus the engine and analyses built over it."""
+
+    def __init__(
+        self,
+        ts: TypeSystem,
+        name: str = "workspace",
+        config: Optional[EngineConfig] = None,
+        project: Optional[Project] = None,
+    ) -> None:
+        self.name = name
+        self.ts = ts
+        self.engine = CompletionEngine(ts, config)
+        self.project = project
+        self._analysis: Optional[AbstractTypeAnalysis] = None
+
+    # ------------------------------------------------------------------
+    # constructors for the bundled universes
+    # ------------------------------------------------------------------
+    @classmethod
+    def paintdotnet(cls, config: Optional[EngineConfig] = None) -> "Workspace":
+        from ..corpus.frameworks import build_paintdotnet
+
+        ts = TypeSystem()
+        build_paintdotnet(ts)
+        return cls(ts, name="paintdotnet", config=config)
+
+    @classmethod
+    def geometry(cls, config: Optional[EngineConfig] = None) -> "Workspace":
+        from ..corpus.frameworks import build_geometry
+
+        ts = TypeSystem()
+        build_geometry(ts)
+        return cls(ts, name="geometry", config=config)
+
+    @classmethod
+    def mini_bcl(cls, config: Optional[EngineConfig] = None) -> "Workspace":
+        from ..corpus.frameworks import build_system_core
+
+        ts = TypeSystem()
+        build_system_core(ts)
+        return cls(ts, name="mini-bcl", config=config)
+
+    @classmethod
+    def corpus_project(
+        cls, project: Project, config: Optional[EngineConfig] = None
+    ) -> "Workspace":
+        return cls(project.ts, name=project.name, config=config,
+                   project=project)
+
+    #: registry used by the CLI's ``--universe`` flag
+    BUILTIN: Dict[str, str] = {
+        "paint": "paintdotnet",
+        "geometry": "geometry",
+        "bcl": "mini_bcl",
+    }
+
+    @classmethod
+    def builtin(cls, key: str, config: Optional[EngineConfig] = None) -> "Workspace":
+        try:
+            factory: Callable = getattr(cls, cls.BUILTIN[key])
+        except KeyError:
+            raise ValueError(
+                "unknown universe {!r}; pick one of {}".format(
+                    key, ", ".join(sorted(cls.BUILTIN))
+                )
+            )
+        return factory(config)
+
+    # ------------------------------------------------------------------
+    # type / context helpers
+    # ------------------------------------------------------------------
+    def resolve_type(self, name: str) -> TypeDef:
+        """Resolve a type by full name, unique simple name, or primitive
+        keyword."""
+        direct = self.ts.try_get(name)
+        if direct is not None:
+            return direct
+        try:
+            return self.ts.primitive(name)
+        except KeyError:
+            pass
+        matches = [t for t in self.ts.all_types() if t.name == name]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ValueError("unknown type {!r}".format(name))
+        raise ValueError(
+            "ambiguous type {!r}: {}".format(
+                name, ", ".join(t.full_name for t in matches)
+            )
+        )
+
+    def context(
+        self,
+        locals: Optional[Dict[str, TypeDef]] = None,
+        this_type: Optional[TypeDef] = None,
+    ) -> Context:
+        return Context(self.ts, locals=locals, this_type=this_type)
+
+    # ------------------------------------------------------------------
+    # abstract types (when a corpus project backs the workspace)
+    # ------------------------------------------------------------------
+    def analysis(self) -> Optional[AbstractTypeAnalysis]:
+        if self.project is None:
+            return None
+        if self._analysis is None:
+            self._analysis = AbstractTypeAnalysis(self.project)
+        return self._analysis
+
+    def oracle_for(self, impl: MethodImpl) -> Optional[AbstractTypeOracle]:
+        analysis = self.analysis()
+        if analysis is None:
+            return None
+        return ImplAbstractTypes(analysis, impl)
+
+    def impls(self) -> List[MethodImpl]:
+        if self.project is None:
+            return []
+        return list(self.project.impls)

@@ -1,0 +1,57 @@
+"""Expression language: complete & partial ASTs, parser, printer, semantics."""
+
+from .ast import (
+    Assign,
+    Call,
+    Compare,
+    Expr,
+    FieldAccess,
+    Literal,
+    TypeLiteral,
+    Unfilled,
+    Var,
+    final_lookup_name,
+    is_complete,
+    iter_subtree,
+)
+from .parser import ParseError, parse
+from .partial import (
+    Hole,
+    Ignore,
+    KnownCall,
+    PartialAssign,
+    PartialCompare,
+    PartialExpr,
+    SuffixHole,
+    UnknownCall,
+)
+from .printer import to_source
+from .semantics import derivable, well_typed
+
+__all__ = [
+    "Assign",
+    "Call",
+    "Compare",
+    "Expr",
+    "FieldAccess",
+    "Hole",
+    "Ignore",
+    "KnownCall",
+    "Literal",
+    "ParseError",
+    "PartialAssign",
+    "PartialCompare",
+    "PartialExpr",
+    "SuffixHole",
+    "TypeLiteral",
+    "Unfilled",
+    "UnknownCall",
+    "Var",
+    "derivable",
+    "final_lookup_name",
+    "is_complete",
+    "iter_subtree",
+    "parse",
+    "to_source",
+    "well_typed",
+]

@@ -1,0 +1,299 @@
+"""Complete-expression AST (Figure 5(a) of the paper).
+
+The complete expression language is::
+
+    e    ::= call | varName | e.fieldName | e := e | e < e
+    call ::= methodName(e1, ..., en)
+
+with the receiver of an instance call treated as its first argument.  Two
+extra node kinds appear in our model:
+
+* :class:`Unfilled` — the ``0`` subexpression the paper leaves in
+  completions of unknown calls ("no attempt is made to fill in the extra
+  argument"); it type-checks as a wildcard.
+* :class:`Literal` — constants appearing in corpus code.  The engine never
+  *generates* literals, but the evaluation classifies them (Fig. 14's
+  "not guessable" arguments).
+
+All nodes are immutable and structurally hashable/comparable via
+:meth:`Expr.key`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from ..codemodel.members import Field, Method
+from ..codemodel.types import TypeDef
+
+
+class Expr:
+    """Base class of all (complete and partial) expression nodes."""
+
+    __slots__ = ()
+
+    @property
+    def type(self) -> Optional[TypeDef]:
+        """The static type, or ``None`` for wildcards / partial nodes."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Immediate subexpressions."""
+        return ()
+
+    def own_dots(self) -> int:
+        """Dots introduced by this node alone (Sec. 4.1's depth feature:
+        dots belonging to subexpressions are counted by those nodes)."""
+        return 0
+
+    def key(self) -> tuple:
+        """A structural identity tuple for hashing and equality."""
+        raise NotImplementedError
+
+    # structural equality -------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self.key() == other.key()
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .printer import to_source
+
+        return "<{} {}>".format(type(self).__name__, to_source(self))
+
+
+def iter_subtree(expr: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of an expression tree."""
+    yield expr
+    for child in expr.children():
+        yield from iter_subtree(child)
+
+
+class Var(Expr):
+    """A local variable, parameter, or ``this``."""
+
+    __slots__ = ("name", "_type")
+
+    def __init__(self, name: str, type: TypeDef) -> None:
+        self.name = name
+        self._type = type
+
+    @property
+    def type(self) -> TypeDef:
+        return self._type
+
+    @property
+    def is_this(self) -> bool:
+        return self.name == "this"
+
+    def key(self) -> tuple:
+        return ("var", self.name, self._type.full_name)
+
+
+class TypeLiteral(Expr):
+    """A type name used as the qualifier of a static member access.
+
+    Not a value: ``type`` is ``None``; it only ever appears as the base of a
+    :class:`FieldAccess` on a static field or as conceptual receiver text of
+    a static call in the printer.
+    """
+
+    __slots__ = ("typedef",)
+
+    def __init__(self, typedef: TypeDef) -> None:
+        self.typedef = typedef
+
+    @property
+    def type(self) -> Optional[TypeDef]:
+        return None
+
+    def key(self) -> tuple:
+        return ("typelit", self.typedef.full_name)
+
+
+class Literal(Expr):
+    """A constant, e.g. ``0``, ``"name"``, ``true``, ``null``."""
+
+    __slots__ = ("value", "_type")
+
+    def __init__(self, value: object, type: TypeDef) -> None:
+        self.value = value
+        self._type = type
+
+    @property
+    def type(self) -> TypeDef:
+        return self._type
+
+    def key(self) -> tuple:
+        return ("lit", repr(self.value), self._type.full_name)
+
+
+class Unfilled(Expr):
+    """The ``0`` wildcard left in completions for unconstrained arguments.
+
+    "For type checking, 0 is treated as a wildcard: as long as some choice
+    of type for the 0 works, the expression is considered to type check."
+    """
+
+    __slots__ = ()
+
+    @property
+    def type(self) -> Optional[TypeDef]:
+        return None
+
+    def key(self) -> tuple:
+        return ("unfilled",)
+
+
+class FieldAccess(Expr):
+    """``base.field`` — a field or property lookup.
+
+    ``base`` is a :class:`TypeLiteral` for static members, otherwise a value
+    expression.
+    """
+
+    __slots__ = ("base", "member")
+
+    def __init__(self, base: Expr, member: Field) -> None:
+        if member.is_static:
+            assert isinstance(base, TypeLiteral), "static lookup needs a type base"
+        self.base = base
+        self.member = member
+
+    @property
+    def type(self) -> TypeDef:
+        return self.member.type
+
+    def children(self) -> Tuple[Expr, ...]:
+        if isinstance(self.base, TypeLiteral):
+            return ()
+        return (self.base,)
+
+    def own_dots(self) -> int:
+        # a static lookup Type.Field costs one dot too: it is one more
+        # navigation step than a bare local (matches the paper's globals
+        # appearing below locals in Fig. 3)
+        return 1
+
+    def key(self) -> tuple:
+        return ("field", self.base.key(), self.member.full_name)
+
+
+class Call(Expr):
+    """``m(e1, ..., en)`` — a method call.
+
+    ``args`` aligns with ``method.all_params()``: for instance methods
+    ``args[0]`` is the receiver; for static methods the declared parameters
+    only.
+    """
+
+    __slots__ = ("method", "args")
+
+    def __init__(self, method: Method, args: Tuple[Expr, ...]) -> None:
+        expected = method.arity
+        assert len(args) == expected, "call arity mismatch for {}: {} != {}".format(
+            method.full_name, len(args), expected
+        )
+        self.method = method
+        self.args: Tuple[Expr, ...] = tuple(args)
+
+    @property
+    def type(self) -> Optional[TypeDef]:
+        return self.method.return_type
+
+    @property
+    def receiver(self) -> Optional[Expr]:
+        if self.method.is_static:
+            return None
+        return self.args[0]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def own_dots(self) -> int:
+        # one dot for the `receiver.Method` step of an instance call (the
+        # paper: dots("this.bar.ToBaz()") = 2, one from `this.bar`, one from
+        # the call); static calls are penalised by the in-scope-static term
+        # instead of by qualification dots
+        return 0 if self.method.is_static else 1
+
+    def key(self) -> tuple:
+        return (
+            "call",
+            self.method.full_name,
+            len(self.method.params),
+            self.method.is_static,
+            tuple(a.key() for a in self.args),
+        )
+
+
+class Assign(Expr):
+    """``lhs := rhs``."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Expr, rhs: Expr) -> None:
+        self.lhs = lhs
+        self.rhs = rhs
+
+    @property
+    def type(self) -> Optional[TypeDef]:
+        return self.lhs.type
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def key(self) -> tuple:
+        return ("assign", self.lhs.key(), self.rhs.key())
+
+
+#: Comparison operator spellings accepted by the language.
+COMPARE_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class Compare(Expr):
+    """``lhs op rhs`` for a relational operator."""
+
+    __slots__ = ("lhs", "op", "rhs")
+
+    def __init__(self, lhs: Expr, rhs: Expr, op: str = "<") -> None:
+        assert op in COMPARE_OPS, "unknown comparison operator {!r}".format(op)
+        self.lhs = lhs
+        self.op = op
+        self.rhs = rhs
+
+    @property
+    def type(self) -> Optional[TypeDef]:
+        return None  # boolean; scoring never consumes a comparison's type
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def key(self) -> tuple:
+        return ("cmp", self.op, self.lhs.key(), self.rhs.key())
+
+
+def final_lookup_name(expr: Expr) -> Optional[str]:
+    """The name of the last lookup of an expression, for the same-name
+    ranking feature ("p.X is more likely to be compared to this.Center.X").
+
+    Zero-argument method calls count as lookups; other expressions have no
+    final lookup name.
+    """
+    if isinstance(expr, FieldAccess):
+        return expr.member.name
+    if isinstance(expr, Call) and expr.method.is_zero_arg_instance:
+        return expr.method.name
+    return None
+
+
+def is_complete(expr: Expr) -> bool:
+    """True when the tree contains no partial nodes (``Unfilled`` is a
+    legal leftover in completions and counts as complete)."""
+    from .partial import PartialExpr
+
+    return all(not isinstance(node, PartialExpr) for node in iter_subtree(expr))

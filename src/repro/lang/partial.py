@@ -1,0 +1,162 @@
+"""Partial-expression AST (Figure 5(b) of the paper).
+
+The partial expression language extends the complete language with::
+
+    ee     ::= ea | ? | 0
+    ea     ::= e | ea.?f | ea.?*f | ea.?m | ea.?*m | ccall | ee := ee | ee < ee
+    ccall  ::= ?({ee1, ..., een}) | methodName(ee1, ..., een)
+
+``?`` is an unknown subexpression to fill in; ``0`` is a subexpression to
+*ignore* (it stays ``0`` in completions); the ``.?`` suffixes ask for zero or
+one (``.?f``/``.?m``) or zero or more (``.?*f``/``.?*m``) trailing lookups,
+with the ``m`` variants also allowing zero-argument instance method calls;
+``?({...})`` is a call to an unknown method whose argument *set* is given
+(extra arguments may be synthesised as ``0`` and arguments may be reordered).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..codemodel.members import Method
+from ..codemodel.types import TypeDef
+from .ast import Expr, Unfilled
+
+
+class PartialExpr(Expr):
+    """Marker base class for nodes that are not complete expressions."""
+
+    __slots__ = ()
+
+    @property
+    def type(self) -> Optional[TypeDef]:
+        return None
+
+
+class Hole(PartialExpr):
+    """``?`` — an unknown subexpression.
+
+    Interpreted by the completion engine as ``vars.?*m`` where ``vars``
+    ranges over every live local and global (Sec. 4.2).
+    """
+
+    __slots__ = ()
+
+    def key(self) -> tuple:
+        return ("hole",)
+
+
+#: ``0`` in a *query* is the same wildcard node that appears in completions.
+Ignore = Unfilled
+
+
+class SuffixHole(PartialExpr):
+    """``base.?f`` / ``base.?*f`` / ``base.?m`` / ``base.?*m``.
+
+    ``methods`` selects the ``m`` variants (zero-argument instance calls are
+    allowed in addition to field/property lookups); ``star`` selects the
+    repeated variants.
+    """
+
+    __slots__ = ("base", "methods", "star")
+
+    def __init__(self, base: Expr, methods: bool, star: bool) -> None:
+        self.base = base
+        self.methods = methods
+        self.star = star
+
+    @property
+    def suffix_text(self) -> str:
+        return ".?{}{}".format("*" if self.star else "", "m" if self.methods else "f")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.base,)
+
+    def key(self) -> tuple:
+        return ("suffix", self.methods, self.star, self.base.key())
+
+
+class UnknownCall(PartialExpr):
+    """``?({ee1, ..., een})`` — a call to an unknown method.
+
+    The arguments form a *set*: completions may place them in any distinct
+    parameter positions of the chosen method and fill remaining positions
+    with ``0``.
+    """
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[Expr, ...]) -> None:
+        assert args, "an unknown call needs at least one argument"
+        self.args: Tuple[Expr, ...] = tuple(args)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def key(self) -> tuple:
+        return ("unknowncall", tuple(a.key() for a in self.args))
+
+
+class KnownCall(PartialExpr):
+    """``methodName(ee1, ..., een)`` with possibly-partial arguments.
+
+    ``candidates`` are the overloads the name resolved to; ``args`` align
+    positionally with each candidate's :meth:`Method.all_params` (receiver
+    first for instance methods).  Candidates whose arity differs from
+    ``len(args)`` are skipped during completion.
+    """
+
+    __slots__ = ("candidates", "args")
+
+    def __init__(self, candidates: Tuple[Method, ...], args: Tuple[Expr, ...]) -> None:
+        assert candidates, "a known call needs at least one candidate method"
+        self.candidates: Tuple[Method, ...] = tuple(candidates)
+        self.args: Tuple[Expr, ...] = tuple(args)
+
+    @property
+    def name(self) -> str:
+        return self.candidates[0].name
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def key(self) -> tuple:
+        return (
+            "knowncall",
+            tuple(m.full_name + "/" + str(len(m.params)) for m in self.candidates),
+            tuple(a.key() for a in self.args),
+        )
+
+
+class PartialAssign(PartialExpr):
+    """``ee := ee`` where either side may be partial."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Expr, rhs: Expr) -> None:
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def key(self) -> tuple:
+        return ("passign", self.lhs.key(), self.rhs.key())
+
+
+class PartialCompare(PartialExpr):
+    """``ee < ee`` (any relational operator) where either side may be
+    partial.  Completions must make the two sides' types comparable."""
+
+    __slots__ = ("lhs", "op", "rhs")
+
+    def __init__(self, lhs: Expr, rhs: Expr, op: str = "<") -> None:
+        self.lhs = lhs
+        self.op = op
+        self.rhs = rhs
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def key(self) -> tuple:
+        return ("pcmp", self.op, self.lhs.key(), self.rhs.key())

@@ -1,0 +1,228 @@
+"""Semantics of partial expressions (Figure 6 of the paper).
+
+Two entry points:
+
+* :func:`well_typed` — does a complete expression type-check (with ``0``
+  treated as a wildcard)?
+* :func:`derivable` — is a complete expression reachable from a partial
+  expression by the rewrite rules of Figure 6?  The completion engine is
+  property-tested against this oracle: everything it emits must be
+  derivable and well-typed.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.scope import Context
+
+from ..codemodel.typesystem import TypeSystem
+from .ast import (
+    Assign,
+    Call,
+    Compare,
+    Expr,
+    FieldAccess,
+    Literal,
+    TypeLiteral,
+    Unfilled,
+    Var,
+    is_complete,
+)
+from .partial import (
+    Hole,
+    KnownCall,
+    PartialAssign,
+    PartialCompare,
+    SuffixHole,
+    UnknownCall,
+)
+
+
+# ---------------------------------------------------------------------------
+# type checking
+# ---------------------------------------------------------------------------
+def well_typed(expr: Expr, ts: TypeSystem) -> bool:
+    """Check a complete expression, treating ``Unfilled`` as any type."""
+    if isinstance(expr, (Var, TypeLiteral, Literal, Unfilled)):
+        return True
+    if isinstance(expr, FieldAccess):
+        if isinstance(expr.base, TypeLiteral):
+            return expr.member.is_static
+        base_type = expr.base.type
+        declaring = expr.member.declaring_type
+        if base_type is None or declaring is None:
+            return False
+        return ts.implicitly_converts(base_type, declaring) and well_typed(
+            expr.base, ts
+        )
+    if isinstance(expr, Call):
+        params = expr.method.all_params()
+        if len(params) != len(expr.args):
+            return False
+        for param, arg in zip(params, expr.args):
+            if not well_typed(arg, ts):
+                return False
+            arg_type = arg.type
+            if arg_type is None:
+                continue  # wildcard (Unfilled) or nested void—void rejected:
+            if not ts.implicitly_converts(arg_type, param.type):
+                return False
+        return True
+    if isinstance(expr, Assign):
+        if not (well_typed(expr.lhs, ts) and well_typed(expr.rhs, ts)):
+            return False
+        lhs_type, rhs_type = expr.lhs.type, expr.rhs.type
+        if lhs_type is None or rhs_type is None:
+            return True
+        return ts.implicitly_converts(rhs_type, lhs_type)
+    if isinstance(expr, Compare):
+        if not (well_typed(expr.lhs, ts) and well_typed(expr.rhs, ts)):
+            return False
+        lhs_type, rhs_type = expr.lhs.type, expr.rhs.type
+        if lhs_type is None or rhs_type is None:
+            return True
+        return ts.comparable(lhs_type, rhs_type)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# chains (for ? and the .?* suffixes)
+# ---------------------------------------------------------------------------
+def is_chain_root(expr: Expr, context: Context) -> bool:
+    """Is ``expr`` a legal start of a ``?`` completion: a live local, a
+    static field/property, or a zero-argument static method call?"""
+    if isinstance(expr, Var):
+        return context.has_local(expr.name) and context.locals[expr.name] is expr.type
+    if isinstance(expr, FieldAccess) and isinstance(expr.base, TypeLiteral):
+        return expr.member.is_static
+    if isinstance(expr, Call) and expr.method.is_static and not expr.args:
+        return True
+    return False
+
+
+def _strip_one_lookup(expr: Expr, allow_methods: bool) -> Optional[Expr]:
+    """Undo a single trailing lookup (or zero-arg instance call)."""
+    if isinstance(expr, FieldAccess) and not isinstance(expr.base, TypeLiteral):
+        return expr.base
+    if (
+        allow_methods
+        and isinstance(expr, Call)
+        and expr.method.is_zero_arg_instance
+    ):
+        return expr.args[0]
+    return None
+
+
+def chain_prefixes(expr: Expr, allow_methods: bool) -> Iterator[Expr]:
+    """``expr`` and every prefix obtained by stripping trailing lookups."""
+    current: Optional[Expr] = expr
+    while current is not None:
+        yield current
+        current = _strip_one_lookup(current, allow_methods)
+
+
+def is_hole_completion(expr: Expr, context: Context) -> bool:
+    """``? -> v.?*m`` for some local/global ``v``: the completion must be a
+    chain of lookups / zero-arg instance calls over a legal root."""
+    for prefix in chain_prefixes(expr, allow_methods=True):
+        if is_chain_root(prefix, context):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# derivability
+# ---------------------------------------------------------------------------
+def derivable(partial: Expr, complete: Expr, context: Context) -> bool:
+    """Is ``complete`` a completion of ``partial`` per Figure 6?
+
+    ``complete`` must itself be a complete expression (``Unfilled`` allowed)
+    and is *not* checked for well-typedness here; pair with
+    :func:`well_typed` for the full judgement.
+    """
+    if not is_complete(complete):
+        return False
+    return _derives(partial, complete, context)
+
+
+def _derives(partial: Expr, complete: Expr, context: Context) -> bool:
+    if isinstance(partial, Hole):
+        return is_hole_completion(complete, context)
+    if isinstance(partial, Unfilled):
+        return isinstance(complete, Unfilled)
+    if isinstance(partial, SuffixHole):
+        return _derives_suffix(partial, complete, context)
+    if isinstance(partial, UnknownCall):
+        return _derives_unknown_call(partial, complete, context)
+    if isinstance(partial, KnownCall):
+        return _derives_known_call(partial, complete, context)
+    if isinstance(partial, PartialAssign):
+        return (
+            isinstance(complete, Assign)
+            and _derives(partial.lhs, complete.lhs, context)
+            and _derives(partial.rhs, complete.rhs, context)
+        )
+    if isinstance(partial, PartialCompare):
+        return (
+            isinstance(complete, Compare)
+            and complete.op == partial.op
+            and _derives(partial.lhs, complete.lhs, context)
+            and _derives(partial.rhs, complete.rhs, context)
+        )
+    # complete expressions derive exactly themselves (but their *parts* may
+    # not contain partial nodes by construction)
+    return partial == complete
+
+
+def _derives_suffix(partial: SuffixHole, complete: Expr, context: Context) -> bool:
+    if partial.star:
+        for prefix in chain_prefixes(complete, allow_methods=partial.methods):
+            if _derives(partial.base, prefix, context):
+                return True
+        return False
+    # zero or one lookup
+    if _derives(partial.base, complete, context):
+        return True
+    stripped = _strip_one_lookup(complete, allow_methods=partial.methods)
+    return stripped is not None and _derives(partial.base, stripped, context)
+
+
+def _derives_unknown_call(
+    partial: UnknownCall, complete: Expr, context: Context
+) -> bool:
+    if not isinstance(complete, Call):
+        return False
+    args: List[Expr] = list(complete.args)
+    if len(args) < len(partial.args):
+        return False
+    positions = range(len(args))
+    for chosen in permutations(positions, len(partial.args)):
+        if all(
+            _derives(p, args[slot], context)
+            for p, slot in zip(partial.args, chosen)
+        ):
+            rest_ok = all(
+                isinstance(args[i], Unfilled)
+                for i in positions
+                if i not in chosen
+            )
+            if rest_ok:
+                return True
+    return False
+
+
+def _derives_known_call(
+    partial: KnownCall, complete: Expr, context: Context
+) -> bool:
+    if not isinstance(complete, Call):
+        return False
+    if complete.method not in partial.candidates:
+        return False
+    if len(complete.args) != len(partial.args):
+        return False
+    return all(
+        _derives(p, c, context) for p, c in zip(partial.args, complete.args)
+    )

@@ -1,0 +1,376 @@
+"""JSON (de)serialization of universes and corpora.
+
+``dump_type_system``/``load_type_system`` round-trip a whole library
+universe; ``dump_project``/``load_project`` additionally carry the client
+code (method bodies, statements, expressions).  This is how a corpus
+extracted elsewhere (say, by a real .NET metadata reader) would be fed to
+the engine, and it lets test fixtures be checked in as data.
+
+Members are referenced by stable keys: fields by ``(declaring, name)``,
+methods by ``(declaring, name, parameter type names, static)`` so overloads
+resolve unambiguously.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .codemodel.members import Field, Method, Parameter, Property
+from .codemodel.types import TypeDef, TypeKind
+from .codemodel.typesystem import TypeSystem
+from .corpus.program import (
+    AssignStatement,
+    ExprStatement,
+    IfStatement,
+    LocalDecl,
+    MethodImpl,
+    Project,
+    ReturnStatement,
+    Statement,
+)
+from .lang.ast import (
+    Assign,
+    Call,
+    Compare,
+    Expr,
+    FieldAccess,
+    Literal,
+    TypeLiteral,
+    Unfilled,
+    Var,
+)
+
+_VOID = "__void__"
+
+
+# ---------------------------------------------------------------------------
+# type systems
+# ---------------------------------------------------------------------------
+def dump_type_system(ts: TypeSystem) -> Dict[str, Any]:
+    """Serialise every non-builtin type (builtins are re-created by the
+    ``TypeSystem`` constructor on load)."""
+    builtin = _builtin_names()
+    types: List[Dict[str, Any]] = []
+    for typedef in ts.all_types():
+        types.append(_dump_type(typedef, include_members=True))
+    return {"format": "repro-universe", "version": 1, "types": [
+        t for t in types if t["full_name"] not in builtin or t["members_only"]
+    ]}
+
+
+def _builtin_names() -> Dict[str, TypeDef]:
+    fresh = TypeSystem()
+    return {t.full_name: t for t in fresh.all_types()}
+
+
+def _dump_type(typedef: TypeDef, include_members: bool) -> Dict[str, Any]:
+    builtin = typedef.full_name in _BUILTIN_CACHE
+    data: Dict[str, Any] = {
+        "full_name": typedef.full_name,
+        "members_only": builtin,
+    }
+    if not builtin:
+        data.update(
+            kind=typedef.kind.value,
+            base=typedef.base.full_name if typedef.base else None,
+            interfaces=[i.full_name for i in typedef.interfaces],
+            comparable=typedef.comparable,
+            treat_as_primitive=typedef.treat_as_primitive,
+        )
+    if include_members:
+        data["fields"] = [_dump_field(f) for f in typedef.fields]
+        data["properties"] = [_dump_field(p) for p in typedef.properties]
+        data["methods"] = [_dump_method(m) for m in typedef.methods]
+    return data
+
+
+_BUILTIN_CACHE = _builtin_names()
+
+
+def _dump_field(field: Field) -> Dict[str, Any]:
+    return {
+        "name": field.name,
+        "type": field.type.full_name,
+        "static": field.is_static,
+    }
+
+
+def _dump_method(method: Method) -> Dict[str, Any]:
+    return {
+        "name": method.name,
+        "returns": method.return_type.full_name if method.return_type else _VOID,
+        "params": [[p.name, p.type.full_name] for p in method.params],
+        "static": method.is_static,
+        "constructor": method.is_constructor,
+        "overrides": _method_key(method.overrides) if method.overrides else None,
+    }
+
+
+def _method_key(method: Method) -> List[Any]:
+    return [
+        method.declaring_type.full_name,
+        method.name,
+        [p.type.full_name for p in method.params],
+        method.is_static,
+    ]
+
+
+def load_type_system(data: Dict[str, Any]) -> TypeSystem:
+    """Rebuild a universe from :func:`dump_type_system` output."""
+    if data.get("format") != "repro-universe":
+        raise ValueError("not a repro universe document")
+    ts = TypeSystem()
+    entries = data["types"]
+    # pass 1: declare all new types (topologically: bases may come later,
+    # so create shells first, then wire bases/interfaces)
+    shells: Dict[str, TypeDef] = {}
+    for entry in entries:
+        full_name = entry["full_name"]
+        if entry["members_only"]:
+            continue
+        namespace, _, name = full_name.rpartition(".")
+        shells[full_name] = TypeDef(
+            name,
+            namespace,
+            kind=TypeKind(entry["kind"]),
+            comparable=entry["comparable"],
+            treat_as_primitive=entry["treat_as_primitive"],
+        )
+        ts.register(shells[full_name])
+
+    def resolve(name: str) -> TypeDef:
+        found = ts.try_get(name)
+        if found is None:
+            try:
+                return ts.primitive(name)
+            except KeyError:
+                raise ValueError("unknown type {!r} in document".format(name))
+        return found
+
+    for entry in entries:
+        if entry["members_only"]:
+            continue
+        typedef = shells[entry["full_name"]]
+        if entry["base"]:
+            typedef.base = resolve(entry["base"])
+        typedef.interfaces = tuple(resolve(i) for i in entry["interfaces"])
+
+    # pass 2: members (overrides wired in a final pass)
+    pending_overrides: List[tuple] = []
+    for entry in entries:
+        typedef = resolve(entry["full_name"])
+        for field_data in entry.get("fields", ()):
+            typedef.add_field(
+                Field(field_data["name"], resolve(field_data["type"]),
+                      is_static=field_data["static"])
+            )
+        for prop_data in entry.get("properties", ()):
+            typedef.add_property(
+                Property(prop_data["name"], resolve(prop_data["type"]),
+                         is_static=prop_data["static"])
+            )
+        for method_data in entry.get("methods", ()):
+            returns = (
+                None
+                if method_data["returns"] == _VOID
+                else resolve(method_data["returns"])
+            )
+            method = Method(
+                method_data["name"],
+                returns,
+                params=tuple(
+                    Parameter(name, resolve(type_name))
+                    for name, type_name in method_data["params"]
+                ),
+                is_static=method_data["static"],
+                is_constructor=method_data["constructor"],
+            )
+            typedef.add_method(method)
+            if method_data["overrides"]:
+                pending_overrides.append((method, method_data["overrides"]))
+    for method, key in pending_overrides:
+        method.overrides = _find_method(ts, key)
+    # registration happened through shells; invalidate caches once more
+    return ts
+
+
+def _find_method(ts: TypeSystem, key: List[Any]) -> Method:
+    declaring, name, param_types, static = key
+    typedef = ts.get(declaring)
+    for method in typedef.methods:
+        if (
+            method.name == name
+            and method.is_static == bool(static)
+            and [p.type.full_name for p in method.params] == list(param_types)
+        ):
+            return method
+    raise ValueError("method {}.{} not found".format(declaring, name))
+
+
+def _find_field(ts: TypeSystem, declaring: str, name: str) -> Field:
+    typedef = ts.get(declaring)
+    for member in typedef.declared_lookups():
+        if member.name == name:
+            return member  # type: ignore[return-value]
+    raise ValueError("field {}.{} not found".format(declaring, name))
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+def dump_expr(expr: Expr) -> Dict[str, Any]:
+    if isinstance(expr, Var):
+        return {"k": "var", "name": expr.name, "type": expr.type.full_name}
+    if isinstance(expr, TypeLiteral):
+        return {"k": "typelit", "type": expr.typedef.full_name}
+    if isinstance(expr, Literal):
+        return {"k": "lit", "value": expr.value, "type": expr.type.full_name}
+    if isinstance(expr, Unfilled):
+        return {"k": "unfilled"}
+    if isinstance(expr, FieldAccess):
+        return {
+            "k": "field",
+            "base": dump_expr(expr.base),
+            "declaring": expr.member.declaring_type.full_name,
+            "name": expr.member.name,
+        }
+    if isinstance(expr, Call):
+        return {
+            "k": "call",
+            "method": _method_key(expr.method),
+            "args": [dump_expr(a) for a in expr.args],
+        }
+    if isinstance(expr, Assign):
+        return {"k": "assign", "lhs": dump_expr(expr.lhs),
+                "rhs": dump_expr(expr.rhs)}
+    if isinstance(expr, Compare):
+        return {"k": "cmp", "op": expr.op, "lhs": dump_expr(expr.lhs),
+                "rhs": dump_expr(expr.rhs)}
+    raise TypeError("cannot serialise {!r}".format(type(expr).__name__))
+
+
+def load_expr(ts: TypeSystem, data: Dict[str, Any]) -> Expr:
+    kind = data["k"]
+    if kind == "var":
+        return Var(data["name"], ts.get(data["type"]))
+    if kind == "typelit":
+        return TypeLiteral(ts.get(data["type"]))
+    if kind == "lit":
+        return Literal(data["value"], _resolve_any(ts, data["type"]))
+    if kind == "unfilled":
+        return Unfilled()
+    if kind == "field":
+        return FieldAccess(
+            load_expr(ts, data["base"]),
+            _find_field(ts, data["declaring"], data["name"]),
+        )
+    if kind == "call":
+        return Call(
+            _find_method(ts, data["method"]),
+            tuple(load_expr(ts, a) for a in data["args"]),
+        )
+    if kind == "assign":
+        return Assign(load_expr(ts, data["lhs"]), load_expr(ts, data["rhs"]))
+    if kind == "cmp":
+        return Compare(
+            load_expr(ts, data["lhs"]), load_expr(ts, data["rhs"]), data["op"]
+        )
+    raise ValueError("unknown expression kind {!r}".format(kind))
+
+
+def _resolve_any(ts: TypeSystem, name: str) -> TypeDef:
+    found = ts.try_get(name)
+    if found is not None:
+        return found
+    return ts.primitive(name)
+
+
+# ---------------------------------------------------------------------------
+# projects
+# ---------------------------------------------------------------------------
+def _dump_statement(stmt: Statement) -> Dict[str, Any]:
+    if isinstance(stmt, LocalDecl):
+        return {
+            "k": "decl",
+            "name": stmt.name,
+            "type": stmt.type.full_name,
+            "init": dump_expr(stmt.init) if stmt.init is not None else None,
+        }
+    if isinstance(stmt, AssignStatement):
+        return {"k": "assign", "expr": dump_expr(stmt.assign)}
+    if isinstance(stmt, IfStatement):
+        return {"k": "if", "expr": dump_expr(stmt.condition)}
+    if isinstance(stmt, ReturnStatement):
+        return {"k": "return", "expr": dump_expr(stmt.expr)}
+    if isinstance(stmt, ExprStatement):
+        return {"k": "expr", "expr": dump_expr(stmt.expr)}
+    raise TypeError("cannot serialise {!r}".format(type(stmt).__name__))
+
+
+def _load_statement(ts: TypeSystem, data: Dict[str, Any]) -> Statement:
+    kind = data["k"]
+    if kind == "decl":
+        init = load_expr(ts, data["init"]) if data["init"] is not None else None
+        return LocalDecl(data["name"], _resolve_any(ts, data["type"]), init)
+    if kind == "assign":
+        return AssignStatement(load_expr(ts, data["expr"]))
+    if kind == "if":
+        return IfStatement(load_expr(ts, data["expr"]))
+    if kind == "return":
+        return ReturnStatement(load_expr(ts, data["expr"]))
+    if kind == "expr":
+        return ExprStatement(load_expr(ts, data["expr"]))
+    raise ValueError("unknown statement kind {!r}".format(kind))
+
+
+def dump_project(project: Project) -> Dict[str, Any]:
+    """Serialise a project: its universe plus every method body."""
+    return {
+        "format": "repro-project",
+        "version": 1,
+        "name": project.name,
+        "universe": dump_type_system(project.ts),
+        "impls": [
+            {
+                "method": _method_key(impl.method),
+                "locals": {
+                    name: typedef.full_name
+                    for name, typedef in impl.locals.items()
+                },
+                "body": [_dump_statement(s) for s in impl.body],
+            }
+            for impl in project.impls
+        ],
+    }
+
+
+def load_project(data: Dict[str, Any]) -> Project:
+    if data.get("format") != "repro-project":
+        raise ValueError("not a repro project document")
+    ts = load_type_system(data["universe"])
+    project = Project(data["name"], ts)
+    for impl_data in data["impls"]:
+        impl = MethodImpl(
+            _find_method(ts, impl_data["method"]),
+            locals={
+                name: _resolve_any(ts, type_name)
+                for name, type_name in impl_data["locals"].items()
+            },
+        )
+        impl.body = [_load_statement(ts, s) for s in impl_data["body"]]
+        project.add_impl(impl)
+    return project
+
+
+# ---------------------------------------------------------------------------
+# file helpers
+# ---------------------------------------------------------------------------
+def save_project(project: Project, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(dump_project(project), handle)
+
+
+def open_project(path: str) -> Project:
+    with open(path) as handle:
+        return load_project(json.load(handle))

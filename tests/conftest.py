@@ -1,0 +1,81 @@
+"""Shared fixtures: hand-built universes and a tiny synthetic project."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Context, CompletionEngine, TypeSystem
+from repro.corpus import SynthesisSpec, synthesize_project
+from repro.corpus.frameworks import (
+    build_geometry,
+    build_paintdotnet,
+    build_system_core,
+)
+
+
+@pytest.fixture(scope="session")
+def paint():
+    """The Paint.NET universe of Sec. 2 / Figure 2."""
+    ts = TypeSystem()
+    return build_paintdotnet(ts)
+
+
+@pytest.fixture(scope="session")
+def paint_engine(paint):
+    return CompletionEngine(paint.ts)
+
+
+@pytest.fixture
+def paint_context(paint):
+    return Context(
+        paint.ts, locals={"img": paint.document, "size": paint.size}
+    )
+
+
+@pytest.fixture(scope="session")
+def geometry():
+    """The DynamicGeometry universe of Figures 3 and 4."""
+    ts = TypeSystem()
+    return build_geometry(ts)
+
+
+@pytest.fixture(scope="session")
+def geometry_engine(geometry):
+    return CompletionEngine(geometry.ts)
+
+
+@pytest.fixture
+def geometry_context(geometry):
+    return Context(
+        geometry.ts,
+        locals={"point": geometry.point, "shapeStyle": geometry.shape_style},
+        this_type=geometry.ellipse_arc,
+    )
+
+
+@pytest.fixture(scope="session")
+def core_ts():
+    """A plain mini-BCL universe."""
+    ts = TypeSystem()
+    build_system_core(ts)
+    return ts
+
+
+TINY_SPEC = SynthesisSpec(
+    name="Tiny",
+    seed=99,
+    namespace_root="Tiny",
+    nouns=["Widget", "Gadget", "Gizmo"],
+    num_namespaces=3,
+    num_enums=1,
+    num_interfaces=1,
+    num_classes=8,
+    num_helper_classes=2,
+    num_client_classes=3,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_project():
+    """A small deterministic synthetic project for end-to-end tests."""
+    return synthesize_project(TINY_SPEC)

@@ -1,0 +1,148 @@
+"""Unit tests for the complete-expression AST."""
+
+import pytest
+
+from repro import TypeSystem
+from repro.codemodel import LibraryBuilder
+from repro.lang import (
+    Assign,
+    Call,
+    Compare,
+    FieldAccess,
+    Literal,
+    TypeLiteral,
+    Unfilled,
+    Var,
+    final_lookup_name,
+    is_complete,
+    iter_subtree,
+)
+from repro.lang.partial import Hole, SuffixHole, UnknownCall
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    point = lib.struct("G.Point")
+    x = lib.prop(point, "X", ts.primitive("double"))
+    origin = lib.field(point, "Origin", point, static=True)
+    length = lib.method(point, "Length", returns=ts.primitive("double"))
+    dist = lib.static_method(
+        point, "Distance", returns=ts.primitive("double"),
+        params=[("a", point), ("b", point)])
+    return ts, point, x, origin, length, dist
+
+
+class TestTypes:
+    def test_var_type(self, world):
+        ts, point, *_ = world
+        assert Var("p", point).type is point
+
+    def test_field_access_type(self, world):
+        ts, point, x, *_ = world
+        expr = FieldAccess(Var("p", point), x)
+        assert expr.type.name == "double"
+
+    def test_static_field_access(self, world):
+        ts, point, _x, origin, *_ = world
+        expr = FieldAccess(TypeLiteral(point), origin)
+        assert expr.type is point
+        assert expr.children() == ()
+
+    def test_call_type_is_return_type(self, world):
+        ts, point, _x, _o, length, _d = world
+        expr = Call(length, (Var("p", point),))
+        assert expr.type.name == "double"
+
+    def test_unfilled_is_wildcard(self):
+        assert Unfilled().type is None
+
+    def test_call_arity_checked(self, world):
+        ts, point, _x, _o, _l, dist = world
+        with pytest.raises(AssertionError):
+            Call(dist, (Var("p", point),))
+
+    def test_assign_type_is_lhs(self, world):
+        ts, point, x, *_ = world
+        lhs = FieldAccess(Var("p", point), x)
+        assign = Assign(lhs, Literal(1.0, ts.primitive("double")))
+        assert assign.type is lhs.type
+
+    def test_compare_requires_known_op(self, world):
+        ts, point, x, *_ = world
+        lhs = FieldAccess(Var("p", point), x)
+        with pytest.raises(AssertionError):
+            Compare(lhs, lhs, op="<>")
+
+
+class TestStructuralEquality:
+    def test_equal_vars(self, world):
+        _ts, point, *_ = world
+        assert Var("p", point) == Var("p", point)
+        assert hash(Var("p", point)) == hash(Var("p", point))
+
+    def test_different_names_differ(self, world):
+        _ts, point, *_ = world
+        assert Var("p", point) != Var("q", point)
+
+    def test_nested_equality(self, world):
+        _ts, point, x, *_ = world
+        a = FieldAccess(Var("p", point), x)
+        b = FieldAccess(Var("p", point), x)
+        assert a == b
+        assert a in {b}
+
+    def test_call_equality_includes_args(self, world):
+        _ts, point, _x, _o, _l, dist = world
+        p, q = Var("p", point), Var("q", point)
+        assert Call(dist, (p, q)) == Call(dist, (p, q))
+        assert Call(dist, (p, q)) != Call(dist, (q, p))
+
+
+class TestDots:
+    def test_var_has_no_dots(self, world):
+        _ts, point, *_ = world
+        assert Var("p", point).own_dots() == 0
+
+    def test_field_access_one_dot(self, world):
+        _ts, point, x, *_ = world
+        assert FieldAccess(Var("p", point), x).own_dots() == 1
+
+    def test_instance_call_one_dot(self, world):
+        _ts, point, _x, _o, length, _d = world
+        assert Call(length, (Var("p", point),)).own_dots() == 1
+
+    def test_static_call_no_dots(self, world):
+        _ts, point, _x, _o, _l, dist = world
+        p = Var("p", point)
+        assert Call(dist, (p, p)).own_dots() == 0
+
+
+class TestHelpers:
+    def test_final_lookup_name_field(self, world):
+        _ts, point, x, *_ = world
+        assert final_lookup_name(FieldAccess(Var("p", point), x)) == "X"
+
+    def test_final_lookup_name_zero_arg_call(self, world):
+        _ts, point, _x, _o, length, _d = world
+        assert final_lookup_name(Call(length, (Var("p", point),))) == "Length"
+
+    def test_final_lookup_name_none_for_var(self, world):
+        _ts, point, *_ = world
+        assert final_lookup_name(Var("p", point)) is None
+
+    def test_iter_subtree_preorder(self, world):
+        _ts, point, x, *_ = world
+        expr = FieldAccess(Var("p", point), x)
+        nodes = list(iter_subtree(expr))
+        assert nodes[0] is expr
+        assert isinstance(nodes[1], Var)
+
+    def test_is_complete(self, world):
+        _ts, point, x, *_ = world
+        assert is_complete(FieldAccess(Var("p", point), x))
+        assert is_complete(Unfilled())
+        assert not is_complete(Hole())
+        assert not is_complete(SuffixHole(Var("p", point), True, False))
+        assert not is_complete(UnknownCall((Hole(),)))

@@ -1,0 +1,113 @@
+"""Tests for the Intellisense and Prospector baselines."""
+
+import pytest
+
+from repro import Context, TypeSystem
+from repro.baselines import ProspectorSearch, intellisense_rank, member_names
+from repro.codemodel import LibraryBuilder
+from repro.lang import Call, FieldAccess, Var, to_source
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    doc = lib.cls("App.Document")
+    lib.method(doc, "Close")
+    lib.method(doc, "Append", params=[("s", ts.string_type)])
+    lib.method(doc, "Zoom")
+    lib.prop(doc, "Title", ts.string_type)
+    lib.static_method(doc, "Open", returns=doc, params=[("p", ts.string_type)])
+    lib.static_method(doc, "Blank", returns=doc)
+    return ts, doc
+
+
+class TestIntellisense:
+    def test_instance_members_alphabetical(self, world):
+        ts, doc = world
+        append = doc.declared_methods_named("Append")[0]
+        call = Call(append, (Var("d", doc), Var("s", ts.string_type)))
+        names = member_names(ts, append)
+        assert names == sorted(names)
+        assert "Open" not in names  # statics are not listed for instances
+        assert "Title" in names  # fields count as members
+
+    def test_rank_is_alphabetic_position(self, world):
+        ts, doc = world
+        append = doc.declared_methods_named("Append")[0]
+        call = Call(append, (Var("d", doc), Var("s", ts.string_type)))
+        rank = intellisense_rank(ts, call)
+        names = member_names(ts, append)
+        assert names[rank - 1] == "Append"
+
+    def test_static_receiver_lists_statics_only(self, world):
+        ts, doc = world
+        open_m = doc.declared_methods_named("Open")[0]
+        call = Call(open_m, (Var("p", ts.string_type),))
+        names = member_names(ts, open_m)
+        assert set(names) == {"Open", "Blank"}
+
+    def test_inherited_members_listed(self, world):
+        ts, doc = world
+        lib = LibraryBuilder(ts)
+        sub = lib.cls("App.SubDocument", base=doc)
+        zoom = doc.declared_methods_named("Zoom")[0]
+        # a call through the subtype still lists base members
+        call = Call(zoom, (Var("d", sub),))
+        assert "Zoom" in member_names(ts, zoom)
+
+
+class TestProspector:
+    @pytest.fixture
+    def jungle(self):
+        """The paper's motivating Prospector example: IFile -> ASTNode via
+        ICompilationUnit."""
+        ts = TypeSystem()
+        lib = LibraryBuilder(ts)
+        ifile = lib.cls("Eclipse.IFile")
+        cu = lib.cls("Eclipse.ICompilationUnit")
+        ast = lib.cls("Eclipse.ASTNode")
+        lib.static_method("Eclipse.JavaCore", "createCompilationUnitFrom",
+                          returns=cu, params=[("file", ifile)])
+        lib.static_method("Eclipse.AST", "parseCompilationUnit",
+                          returns=ast, params=[("cu", cu)])
+        return ts, ifile, cu, ast
+
+    def test_finds_two_step_jungloid(self, jungle):
+        ts, ifile, _cu, ast = jungle
+        search = ProspectorSearch(ts)
+        results = search.query("file", ifile, ast, n=5)
+        assert results
+        text = to_source(results[0])
+        assert "createCompilationUnitFrom" in text
+        assert "parseCompilationUnit" in text
+
+    def test_identity_chain_first(self, jungle):
+        ts, ifile, *_ = jungle
+        search = ProspectorSearch(ts)
+        results = search.query("file", ifile, ifile, n=3)
+        assert to_source(results[0]) == "file"
+
+    def test_shorter_chains_rank_first(self, jungle):
+        ts, ifile, cu, _ast = jungle
+        search = ProspectorSearch(ts)
+        results = search.query("file", ifile, cu, n=5)
+        lengths = [to_source(r).count("(") for r in results]
+        assert lengths == sorted(lengths)
+
+    def test_unreachable_target_is_empty(self, jungle):
+        ts, ifile, *_ = jungle
+        lib = LibraryBuilder(ts)
+        isolated = lib.cls("Far.Isolated")
+        search = ProspectorSearch(ts)
+        assert search.query("file", ifile, isolated, n=5) == []
+
+    def test_field_steps(self):
+        ts = TypeSystem()
+        lib = LibraryBuilder(ts)
+        a = lib.cls("N.A")
+        b = lib.cls("N.B")
+        lib.prop(a, "Buddy", b)
+        search = ProspectorSearch(ts)
+        results = search.query("a", a, b, n=3)
+        assert to_source(results[0]) == "a.Buddy"

@@ -1,0 +1,84 @@
+"""Unit tests for the LibraryBuilder DSL."""
+
+import pytest
+
+from repro import TypeKind, TypeSystem
+from repro.codemodel import LibraryBuilder
+
+
+@pytest.fixture
+def ts():
+    return TypeSystem()
+
+
+@pytest.fixture
+def lib(ts):
+    return LibraryBuilder(ts)
+
+
+class TestTypeDeclarations:
+    def test_cls_splits_namespace(self, ts, lib):
+        t = lib.cls("A.B.Widget")
+        assert t.name == "Widget"
+        assert t.namespace == "A.B"
+        assert ts.get("A.B.Widget") is t
+
+    def test_cls_global_namespace(self, lib):
+        t = lib.cls("Widget")
+        assert t.namespace == ""
+        assert t.full_name == "Widget"
+
+    def test_struct_bases_value_type(self, ts, lib):
+        t = lib.struct("A.Pt")
+        assert t.kind is TypeKind.STRUCT
+        assert t.base is ts.value_type
+
+    def test_iface(self, lib):
+        base = lib.iface("A.IBase")
+        derived = lib.iface("A.IDerived", extends=[base])
+        assert derived.kind is TypeKind.INTERFACE
+        assert derived.interfaces == (base,)
+
+    def test_enum_values_are_static_fields(self, ts, lib):
+        e = lib.enum("A.Mode", values=["Fast", "Slow"])
+        assert e.kind is TypeKind.ENUM
+        assert e.comparable
+        names = [f.name for f in e.fields]
+        assert names == ["Fast", "Slow"]
+        assert all(f.is_static and f.type is e for f in e.fields)
+
+    def test_enum_converts_to_system_enum(self, ts, lib):
+        e = lib.enum("A.Mode", values=["On"])
+        assert ts.implicitly_converts(e, ts.enum_type)
+        assert ts.implicitly_converts(e, ts.object_type)
+
+
+class TestMemberDeclarations:
+    def test_member_on_string_owner_creates_class(self, ts, lib):
+        lib.field("A.Auto", "X", ts.primitive("int"))
+        assert ts.try_get("A.Auto") is not None
+
+    def test_member_on_string_owner_reuses_existing(self, ts, lib):
+        first = lib.cls("A.Owner")
+        lib.field("A.Owner", "X", ts.primitive("int"))
+        assert first.fields[0].name == "X"
+
+    def test_method_defaults_to_void(self, ts, lib):
+        owner = lib.cls("A.Owner")
+        method = lib.method(owner, "Run")
+        assert method.return_type is None
+        assert not method.is_static
+
+    def test_static_method(self, ts, lib):
+        owner = lib.cls("A.Owner")
+        method = lib.static_method(owner, "Make", returns=owner)
+        assert method.is_static
+        assert method.declaring_type is owner
+
+    def test_params_accept_tuples(self, ts, lib):
+        owner = lib.cls("A.Owner")
+        method = lib.method(
+            owner, "M", params=[("a", ts.string_type), ("b", owner)]
+        )
+        assert [p.name for p in method.params] == ["a", "b"]
+        assert method.params[1].type is owner

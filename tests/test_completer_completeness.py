@@ -1,0 +1,125 @@
+"""Completeness: the engine against a brute-force enumerator.
+
+On a small universe we can enumerate *every* legal completion of an
+unknown-call query by brute force and score it with the standalone ranker.
+The engine's ranked stream must contain exactly that set, in score order.
+"""
+
+from itertools import permutations
+
+import pytest
+
+from repro import Context, CompletionEngine, Ranker, TypeSystem
+from repro.codemodel import LibraryBuilder
+from repro.lang import Call, Unfilled, UnknownCall, Var, well_typed
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    cat = lib.cls("Pets.Cat")
+    toy = lib.cls("Pets.Toy")
+    lib.method(cat, "Play", params=[("t", toy)])
+    lib.method(cat, "Nap")
+    lib.static_method("Pets.Vet", "Check", returns=None,
+                      params=[("c", cat), ("t", toy)])
+    lib.static_method("Pets.Vet", "Weigh", returns=ts.primitive("double"),
+                      params=[("c", cat)])
+    lib.static_method("Pets.Store", "Wrap", returns=toy,
+                      params=[("t", toy), ("ribbon", ts.string_type)])
+    return ts, cat, toy
+
+
+def brute_force_unknown_call(ts, context, args, ranker):
+    """Every (method, injective placement) completion, scored."""
+    results = {}
+    for method in ts.all_methods():
+        arity = method.arity
+        if arity < len(args):
+            continue
+        for positions in permutations(range(arity), len(args)):
+            full = [Unfilled()] * arity
+            for position, arg in zip(positions, args):
+                full[position] = arg
+            call = Call(method, tuple(full))
+            if not well_typed(call, ts):
+                continue
+            if (
+                method.is_zero_arg_instance
+                and isinstance(call.args[0], Unfilled)
+            ):
+                continue  # `0.Method()` is never emitted
+            score = ranker.score(call)
+            key = call.key()
+            if key not in results or score < results[key][0]:
+                results[key] = (score, call)
+    return results
+
+
+def test_engine_matches_brute_force(world):
+    ts, cat, toy = world
+    context = Context(ts, locals={"felix": cat, "ball": toy})
+    engine = CompletionEngine(ts)
+    ranker = Ranker(context)
+    args = (Var("felix", cat), Var("ball", toy))
+    pe = UnknownCall(args)
+
+    expected = brute_force_unknown_call(ts, context, list(args), ranker)
+    # the engine emits the best placement per (method, arg tuple); collect
+    # everything it produces
+    emitted = {}
+    for completion in engine.all_completions(pe, context):
+        emitted.setdefault(completion.expr.key(), completion.score)
+
+    # every engine completion is a legal brute-force completion w/ equal score
+    for key, score in emitted.items():
+        assert key in expected
+        assert score == expected[key][0]
+
+    # every *method* the brute force finds, the engine also surfaces
+    expected_methods = {c.method.full_name for _s, c in expected.values()}
+    emitted_methods = set()
+    for completion in engine.all_completions(pe, context):
+        emitted_methods.add(completion.expr.method.full_name)
+    assert emitted_methods == expected_methods
+
+    # and the cheapest brute-force score per method matches the engine's
+    best_by_method = {}
+    for score, call in expected.values():
+        name = call.method.full_name
+        if name not in best_by_method or score < best_by_method[name]:
+            best_by_method[name] = score
+    engine_best = {}
+    for completion in engine.all_completions(pe, context):
+        name = completion.expr.method.full_name
+        engine_best.setdefault(name, completion.score)
+    assert engine_best == best_by_method
+
+
+def test_single_arg_query_matches_brute_force(world):
+    ts, cat, toy = world
+    context = Context(ts, locals={"felix": cat})
+    engine = CompletionEngine(ts)
+    ranker = Ranker(context)
+    args = (Var("felix", cat),)
+    expected = brute_force_unknown_call(ts, context, list(args), ranker)
+    expected_methods = {c.method.full_name for _s, c in expected.values()}
+
+    emitted = list(engine.all_completions(UnknownCall(args), context))
+    emitted_methods = {c.expr.method.full_name for c in emitted}
+    assert emitted_methods == expected_methods
+    scores = [c.score for c in emitted]
+    assert scores == sorted(scores)
+
+
+def test_keyword_filter_extension(world):
+    ts, cat, toy = world
+    context = Context(ts, locals={"felix": cat, "ball": toy})
+    engine = CompletionEngine(ts)
+    pe = UnknownCall((Var("felix", cat),))
+    filtered = engine.complete(pe, context, n=20, keyword="check")
+    assert filtered
+    assert all("Check" in c.expr.method.name for c in filtered)
+    unfiltered = engine.complete(pe, context, n=20)
+    assert len(unfiltered) > len(filtered)

@@ -1,0 +1,186 @@
+"""Engine edge cases and configuration behaviours."""
+
+import pytest
+
+from repro import Context, CompletionEngine, EngineConfig, TypeSystem, parse
+from repro.codemodel import LibraryBuilder
+from repro.lang import Call, Hole, KnownCall, Unfilled, UnknownCall, Var
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    node = lib.cls("G.Node")
+    lib.prop(node, "Next", node)
+    lib.prop(node, "Depth", ts.primitive("int"))
+    lib.method(node, "Visit", params=[("other", node)])
+    lib.static_method("G.Walker", "Step", returns=node, params=[("n", node)])
+    return ts, node
+
+
+class TestEmptyResults:
+    def test_no_locals_hole_still_finds_globals(self, world):
+        ts, node = world
+        lib = LibraryBuilder(ts)
+        lib.field("G.Registry", "Root", node, static=True)
+        ctx = Context(ts)  # no locals at all
+        engine = CompletionEngine(ts)
+        results = engine.complete(Hole(), ctx, n=5)
+        assert any("Root" in repr(c.expr) for c in results)
+
+    def test_unsatisfiable_known_call(self, world):
+        ts, node = world
+        ctx = Context(ts, locals={"s": ts.string_type})
+        engine = CompletionEngine(ts)
+        visit = node.declared_methods_named("Visit")[0]
+        # no Node value anywhere in scope and no static producers
+        pe = KnownCall((visit,), (Hole(), Hole()))
+        lib = LibraryBuilder(ts)  # noqa: F841 - universe unchanged
+        results = engine.complete(pe, ctx, n=5)
+        assert results == [] or all(
+            isinstance(c.expr, Call) for c in results
+        )
+
+    def test_rank_of_missing_truth_is_none(self, world):
+        ts, node = world
+        ctx = Context(ts, locals={"n": node})
+        engine = CompletionEngine(ts)
+        impostor = Var("ghost", node)
+        assert engine.rank_of(Hole(), ctx, impostor, limit=20) is None
+
+    def test_method_rank_respects_limit(self, world):
+        ts, node = world
+        ctx = Context(ts, locals={"n": node})
+        engine = CompletionEngine(ts)
+        visit = node.declared_methods_named("Visit")[0]
+        pe = UnknownCall((Var("n", node),))
+        rank_wide = engine.method_rank(pe, ctx, visit, limit=50)
+        assert rank_wide is not None
+        assert engine.method_rank(pe, ctx, visit, limit=rank_wide - 1) is None \
+            if rank_wide > 1 else True
+
+
+class TestRecursiveChains:
+    def test_self_referential_type_terminates(self, world):
+        """Node.Next : Node — the chain closure must respect the depth
+        bound instead of looping forever."""
+        ts, node = world
+        ctx = Context(ts, locals={"n": node})
+        engine = CompletionEngine(ts, EngineConfig(max_chain_depth=3))
+        pe = parse("n.?*f", ctx)
+        results = engine.complete(pe, ctx, n=100)
+        texts = [repr(c.expr) for c in results]
+        assert len(results) < 100  # finite despite the recursive type
+        assert all(text.count("Next") <= 3 for text in texts)
+
+
+class TestUnfilledReceiverConfig:
+    def test_default_allows_unfilled_receiver(self, world):
+        ts, node = world
+        lib = LibraryBuilder(ts)
+        other = lib.cls("G.Other")
+        lib.method(other, "Consume", params=[("n", node)])
+        ctx = Context(ts, locals={"n": node})
+        engine = CompletionEngine(ts)
+        results = engine.complete(UnknownCall((Var("n", node),)), ctx, n=50)
+        assert any(
+            isinstance(c.expr.args[0], Unfilled) and not c.expr.method.is_static
+            for c in results
+        )
+
+    def test_disallow_unfilled_receiver(self, world):
+        ts, node = world
+        lib = LibraryBuilder(ts)
+        other = lib.cls("G.Other2")
+        lib.method(other, "Consume2", params=[("n", node)])
+        ctx = Context(ts, locals={"n": node})
+        engine = CompletionEngine(
+            ts, EngineConfig(allow_unfilled_receiver=False)
+        )
+        for c in engine.complete(UnknownCall((Var("n", node),)), ctx, n=50):
+            if not c.expr.method.is_static:
+                assert not isinstance(c.expr.args[0], Unfilled)
+
+
+class TestReachabilityPruning:
+    def test_pruning_preserves_results(self, geometry, geometry_context):
+        """The reachability index is an optimization: with and without it
+        the result stream is identical."""
+        pe = parse("Distance(point, ?)", geometry_context)
+        fast = CompletionEngine(
+            geometry.ts, EngineConfig(use_reachability=True)
+        )
+        slow = CompletionEngine(
+            geometry.ts, EngineConfig(use_reachability=False)
+        )
+        fast_results = [
+            (c.score, c.expr.key())
+            for c in fast.complete(pe, geometry_context, n=30)
+        ]
+        slow_results = [
+            (c.score, c.expr.key())
+            for c in slow.complete(pe, geometry_context, n=30)
+        ]
+        assert fast_results == slow_results
+
+
+class TestSideCaps:
+    def test_small_side_cap_still_orders(self, geometry, geometry_context):
+        engine = CompletionEngine(
+            geometry.ts, EngineConfig(max_side_candidates=10)
+        )
+        pe = parse("point.?*m >= this.?*m", geometry_context)
+        results = engine.complete(pe, geometry_context, n=15)
+        scores = [c.score for c in results]
+        assert scores == sorted(scores)
+
+    def test_small_tuple_cap_still_orders(self, paint, paint_context):
+        engine = CompletionEngine(
+            paint.ts, EngineConfig(max_tuple_candidates=5)
+        )
+        pe = parse("?({img, size})", paint_context)
+        results = engine.complete(pe, paint_context, n=10)
+        assert results
+        scores = [c.score for c in results]
+        assert scores == sorted(scores)
+
+
+class TestInterleavedGenerators:
+    def test_two_streams_do_not_interfere(self, geometry, geometry_context):
+        """Pulling two live completion generators alternately yields the
+        same sequences as pulling each alone (no shared mutable state)."""
+        engine = CompletionEngine(geometry.ts)
+        pe1 = parse("Distance(point, ?)", geometry_context)
+        pe2 = parse("this.?*m", geometry_context)
+
+        solo1 = [c.expr.key() for c in engine.complete(pe1, geometry_context, n=8)]
+        solo2 = [c.expr.key() for c in engine.complete(pe2, geometry_context, n=8)]
+
+        gen1 = engine.all_completions(pe1, geometry_context)
+        gen2 = engine.all_completions(pe2, geometry_context)
+        mixed1, mixed2 = [], []
+        for _ in range(8):
+            mixed1.append(next(gen1).expr.key())
+            mixed2.append(next(gen2).expr.key())
+        assert mixed1 == solo1
+        assert mixed2 == solo2
+
+
+class TestQueryForms:
+    def test_complete_expression_queries_score_themselves(self, world):
+        ts, node = world
+        ctx = Context(ts, locals={"n": node})
+        engine = CompletionEngine(ts)
+        expr = parse("n.Depth", ctx)
+        results = engine.complete(expr, ctx, n=5)
+        assert len(results) == 1
+        assert results[0].expr == expr
+
+    def test_unfilled_query(self, world):
+        ts, node = world
+        ctx = Context(ts)
+        engine = CompletionEngine(ts)
+        results = engine.complete(Unfilled(), ctx, n=5)
+        assert len(results) == 1
+        assert isinstance(results[0].expr, Unfilled)

@@ -1,0 +1,91 @@
+"""Engine vs. the Figure 6 semantics oracle.
+
+For a battery of queries across universes, every emitted completion must:
+
+1. be a complete expression,
+2. type-check (``well_typed``),
+3. be derivable from the query by the Figure 6 rewrite rules,
+4. carry a score equal to the standalone ranking function's score,
+5. arrive in non-decreasing score order.
+"""
+
+import pytest
+
+from repro import Context, CompletionEngine, Ranker, parse, to_source
+from repro.lang import derivable, is_complete, well_typed
+
+PAINT_QUERIES = [
+    "?({img, size})",
+    "?({img})",
+    "?({size, img})",
+    "img.?m",
+    "img.?*f",
+    "?",
+    "?({img.?*m, size})",
+]
+
+GEOMETRY_QUERIES = [
+    "Distance(point, ?)",
+    "point.?*m >= this.?*m",
+    "point.?f := this.Center.?f",
+    "this.?*m",
+    "shapeStyle.?m",
+    "?({point, this.Center})",
+    "point.X >= this.?*m",
+]
+
+
+def check_completions(engine, context, source, n=25):
+    pe = parse(source, context)
+    ranker = Ranker(context, engine.config.ranking)
+    completions = engine.complete(pe, context, n=n)
+    assert completions, "no completions for {!r}".format(source)
+    previous_score = None
+    for completion in completions:
+        expr = completion.expr
+        label = "{!r} -> {}".format(source, to_source(expr))
+        assert is_complete(expr), label
+        assert well_typed(expr, context.ts), label
+        assert derivable(pe, expr, context), label
+        assert completion.score == ranker.score(expr), label
+        if previous_score is not None:
+            assert completion.score >= previous_score, label
+        previous_score = completion.score
+
+
+@pytest.mark.parametrize("source", PAINT_QUERIES)
+def test_paint_queries(paint, paint_engine, paint_context, source):
+    check_completions(paint_engine, paint_context, source)
+
+
+@pytest.mark.parametrize("source", GEOMETRY_QUERIES)
+def test_geometry_queries(geometry, geometry_engine, geometry_context, source):
+    check_completions(geometry_engine, geometry_context, source)
+
+
+def test_tiny_project_sites(tiny_project):
+    """Replay real corpus queries through the oracle: strip each call's
+    name and check the completion stream invariants."""
+    from repro.eval import queries
+
+    engine = CompletionEngine(tiny_project.ts)
+    checked = 0
+    for impl, _index, call in tiny_project.iter_calls():
+        if call.method.arity < 2:
+            continue
+        context = impl.context(tiny_project.ts)
+        ranker = Ranker(context, engine.config.ranking)
+        subset = queries.method_query_subsets(call)[0]
+        pe = queries.unknown_call_query(subset)
+        previous = None
+        for completion in engine.complete(pe, context, n=10):
+            assert well_typed(completion.expr, tiny_project.ts)
+            assert derivable(pe, completion.expr, context)
+            assert completion.score == ranker.score(completion.expr)
+            if previous is not None:
+                assert completion.score >= previous
+            previous = completion.score
+        checked += 1
+        if checked >= 25:
+            break
+    assert checked > 0

@@ -1,0 +1,133 @@
+"""Tests for the constructor extension (`new T(...)`).
+
+The paper's implementation "does not generate constructor calls when asked
+for an unknown method"; ours supports them behind
+``EngineConfig.generate_constructors`` and always honours explicit
+``new T(?)`` queries.
+"""
+
+import pytest
+
+from repro import (
+    Context,
+    CompletionEngine,
+    EngineConfig,
+    TypeSystem,
+    parse,
+    to_source,
+)
+from repro.codemodel import LibraryBuilder
+from repro.lang import Call, KnownCall, ParseError, derivable, well_typed
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    point = lib.struct("Geo.Point")
+    lib.prop(point, "X", ts.primitive("double"))
+    ctor2 = lib.ctor(point, params=[("x", ts.primitive("double")),
+                                    ("y", ts.primitive("double"))])
+    ctor0 = lib.ctor(point)
+    seg = lib.cls("Geo.Segment")
+    lib.ctor(seg, params=[("a", point), ("b", point)])
+    ctx = Context(ts, locals={"p": point, "d": ts.primitive("double")})
+    return ts, ctx, point, seg, ctor2, ctor0
+
+
+class TestModel:
+    def test_ctor_shape(self, world):
+        ts, _ctx, point, _seg, ctor2, _ctor0 = world
+        assert ctor2.is_constructor
+        assert ctor2.is_static
+        assert ctor2.return_type is point
+        assert ctor2.arity == 2
+
+    def test_zero_arg_ctor_not_a_global_root(self, world):
+        ts, ctx, *_ = world
+        assert not any(
+            isinstance(r, Call) and r.method.is_constructor
+            for r in ctx.global_roots()
+        )
+
+
+class TestSyntax:
+    def test_parse_complete_new(self, world):
+        ts, ctx, point, _seg, ctor2, _c0 = world
+        expr = parse("new Geo.Point(d, d)", ctx)
+        assert isinstance(expr, Call)
+        assert expr.method is ctor2
+        assert well_typed(expr, ts)
+
+    def test_parse_new_with_hole(self, world):
+        ts, ctx, point, seg, *_ = world
+        expr = parse("new Geo.Segment(p, ?)", ctx)
+        assert isinstance(expr, KnownCall)
+        assert all(m.is_constructor for m in expr.candidates)
+
+    def test_print_round_trip(self, world):
+        ts, ctx, *_ = world
+        expr = parse("new Geo.Point(d, d)", ctx)
+        assert to_source(expr) == "new Geo.Point(d, d)"
+        assert parse(to_source(expr), ctx) == expr
+
+    def test_simple_type_name(self, world):
+        ts, ctx, *_ = world
+        expr = parse("new Point(d, d)", ctx)
+        assert isinstance(expr, Call)
+
+    def test_new_without_args_errors(self, world):
+        ts, ctx, *_ = world
+        with pytest.raises(ParseError):
+            parse("new Geo.Point", ctx)
+
+    def test_new_unknown_type_errors(self, world):
+        ts, ctx, *_ = world
+        with pytest.raises(ParseError):
+            parse("new Nope.Missing(p)", ctx)
+
+
+class TestCompletion:
+    def test_explicit_new_query_completes(self, world):
+        ts, ctx, point, seg, *_ = world
+        engine = CompletionEngine(ts)
+        pe = parse("new Geo.Segment(p, ?)", ctx)
+        results = engine.complete(pe, ctx, n=5)
+        assert results
+        assert all(c.expr.method.is_constructor for c in results)
+        assert to_source(results[0].expr) == "new Geo.Segment(p, p)"
+        for c in results:
+            assert well_typed(c.expr, ts)
+            assert derivable(pe, c.expr, ctx)
+
+    def test_unknown_call_skips_ctors_by_default(self, world):
+        ts, ctx, point, *_ = world
+        engine = CompletionEngine(ts)
+        pe = parse("?({p})", ctx)
+        for c in engine.complete(pe, ctx, n=40):
+            assert not c.expr.method.is_constructor
+
+    def test_unknown_call_finds_ctors_when_enabled(self, world):
+        ts, ctx, point, seg, *_ = world
+        engine = CompletionEngine(
+            ts, EngineConfig(generate_constructors=True)
+        )
+        pe = parse("?({p})", ctx)
+        results = engine.complete(pe, ctx, n=40)
+        assert any(
+            c.expr.method.is_constructor
+            and c.expr.method.declaring_type is seg
+            for c in results
+        )
+
+    def test_ctor_scores_are_consistent(self, world):
+        from repro import Ranker
+
+        ts, ctx, *_ = world
+        engine = CompletionEngine(
+            ts, EngineConfig(generate_constructors=True)
+        )
+        ranker = Ranker(ctx)
+        pe = parse("?({p})", ctx)
+        for c in engine.complete(pe, ctx, n=40):
+            assert c.score == ranker.score(c.expr)

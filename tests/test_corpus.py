@@ -1,0 +1,156 @@
+"""Tests for the corpus: program model, synthesis, the seven projects."""
+
+import pytest
+
+from repro import Context, TypeSystem
+from repro.corpus import (
+    AssignStatement,
+    ExprStatement,
+    IfStatement,
+    LocalDecl,
+    MethodImpl,
+    Project,
+    ReturnStatement,
+    SynthesisSpec,
+    classify_expr,
+    synthesize_project,
+)
+from repro.corpus.projects import PROJECT_BUILDERS, build_all_projects
+from repro.lang import (
+    Assign,
+    Call,
+    Compare,
+    FieldAccess,
+    Literal,
+    TypeLiteral,
+    Var,
+    well_typed,
+)
+from tests.conftest import TINY_SPEC
+
+
+class TestProgramModel:
+    def test_impl_all_locals_include_params(self, tiny_project):
+        impl = tiny_project.impls[0]
+        scope = impl.all_locals()
+        for param in impl.method.params:
+            assert scope[param.name] is param.type
+
+    def test_impl_context_has_this_for_instance(self, tiny_project):
+        for impl in tiny_project.impls:
+            ctx = impl.context(tiny_project.ts)
+            if impl.method.is_static:
+                assert not ctx.has_local("this")
+            else:
+                assert ctx.has_local("this")
+
+    def test_iter_sites_covers_statement_kinds(self, tiny_project):
+        kinds = {type(expr).__name__ for _i, _n, expr in tiny_project.iter_sites()}
+        assert "Call" in kinds
+        assert "Assign" in kinds
+        assert "Compare" in kinds
+
+    def test_site_indexes_are_statement_positions(self, tiny_project):
+        for impl, index, _expr in tiny_project.iter_sites():
+            assert 0 <= index < len(impl.body)
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        a = synthesize_project(TINY_SPEC)
+        b = synthesize_project(TINY_SPEC)
+        a_calls = [(i.method.full_name, repr(c)) for i, _n, c in a.iter_calls()]
+        b_calls = [(i.method.full_name, repr(c)) for i, _n, c in b.iter_calls()]
+        assert a_calls == b_calls
+
+    def test_every_expression_well_typed(self, tiny_project):
+        for _impl, _index, expr in tiny_project.iter_sites():
+            assert well_typed(expr, tiny_project.ts)
+
+    def test_locals_resolve_in_context(self, tiny_project):
+        """Every Var in every site expression is a live local."""
+        from repro.lang import iter_subtree
+
+        for impl, _index, expr in tiny_project.iter_sites():
+            ctx = impl.context(tiny_project.ts)
+            for node in iter_subtree(expr):
+                if isinstance(node, Var):
+                    assert ctx.has_local(node.name), node.name
+
+    def test_different_seed_differs(self):
+        from dataclasses import replace
+
+        other = synthesize_project(replace(TINY_SPEC, seed=100))
+        base = synthesize_project(TINY_SPEC)
+        a = [c.method.full_name for _i, _n, c in base.iter_calls()]
+        b = [c.method.full_name for _i, _n, c in other.iter_calls()]
+        assert a != b
+
+    def test_argument_kind_mix_is_local_dominant(self, tiny_project):
+        from collections import Counter
+
+        kinds = Counter()
+        for _impl, _index, call in tiny_project.iter_calls():
+            for arg in call.args:
+                kinds[classify_expr(arg)] += 1
+        assert kinds["local"] >= kinds["deep_chain"]
+
+    def test_comparisons_are_comparable(self, tiny_project):
+        for _impl, _index, cmp in tiny_project.iter_comparisons():
+            assert tiny_project.ts.comparable(cmp.lhs.type, cmp.rhs.type)
+
+
+class TestClassifyExpr:
+    @pytest.fixture
+    def ts(self):
+        return TypeSystem()
+
+    def test_buckets(self, ts, paint):
+        pts = paint.ts
+        doc = paint.document
+        this = Var("this", doc)
+        local = Var("x", doc)
+        size_prop = next(p for p in doc.properties if p.name == "Size")
+        assert classify_expr(local) == "local"
+        assert classify_expr(FieldAccess(this, size_prop)) == "this_field"
+        assert classify_expr(FieldAccess(local, size_prop)) == "local_field"
+        assert classify_expr(Literal(1, pts.primitive("int"))) == "literal"
+        deep = FieldAccess(FieldAccess(local, size_prop), size_prop) \
+            if False else FieldAccess(
+                FieldAccess(local, size_prop),
+                next(p for p in paint.size.properties if p.name == "Width"),
+            )
+        assert classify_expr(deep) == "deep_chain"
+
+
+class TestSevenProjects:
+    def test_all_seven_build(self):
+        projects = build_all_projects()
+        assert [p.name for p in projects] == list(PROJECT_BUILDERS)
+
+    def test_wix_is_largest(self):
+        projects = {p.name: p for p in build_all_projects()}
+        wix_calls = len(list(projects["WiX"].iter_calls()))
+        for name, project in projects.items():
+            if name != "WiX":
+                assert wix_calls > len(list(project.iter_calls()))
+
+    def test_projects_are_isolated_universes(self):
+        projects = build_all_projects()
+        assert projects[0].ts is not projects[1].ts
+
+    def test_familyshow_contains_paper_example(self):
+        projects = {p.name: p for p in build_all_projects()}
+        fs = projects["Family.Show"]
+        impl = next(
+            i for i in fs.impls if i.method.name == "GetDataFilePath"
+        )
+        assert len(impl.body) == 4
+        for stmt in impl.body:
+            for expr in stmt.expressions():
+                assert well_typed(expr, fs.ts)
+
+    def test_scale_parameter_shrinks(self):
+        small = PROJECT_BUILDERS["GNOME Do"](0.5)
+        full = PROJECT_BUILDERS["GNOME Do"](1.0)
+        assert len(small.impls) <= len(full.impls)

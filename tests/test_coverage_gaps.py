@@ -1,0 +1,109 @@
+"""Small-gap coverage: error paths and helpers not exercised elsewhere."""
+
+import pytest
+
+from repro import Context, TypeSystem, parse, to_source
+from repro.codemodel import LibraryBuilder
+from repro.eval import queries
+from repro.ide import Workspace
+from repro.lang import FieldAccess, Var
+from repro.lang.printer import to_source as printer_to_source
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    point = lib.struct("G.Point")
+    x = lib.prop(point, "X", ts.primitive("double"))
+    return ts, point, x
+
+
+class TestPrinterErrors:
+    def test_unknown_node_type_raises(self):
+        class Bogus:
+            pass
+
+        with pytest.raises(TypeError):
+            printer_to_source(Bogus())
+
+
+class TestQueriesHelpers:
+    def test_ends_in_lookups(self, world):
+        ts, point, x = world
+        chain = FieldAccess(Var("p", point), x)
+        assert queries.ends_in_lookups(chain, 1)
+        assert not queries.ends_in_lookups(chain, 2)
+        assert not queries.ends_in_lookups(Var("p", point), 1)
+
+    def test_chain_length_none_for_noncain(self, world):
+        ts, point, x = world
+        from repro.lang import Literal
+
+        # literals are trivially chains of length 0 over themselves, but
+        # they are not hole completions; chain_length still returns 0
+        assert queries.chain_length(Literal(1, ts.primitive("int"))) == 0
+
+
+class TestWorkspaceErrors:
+    def test_ambiguous_simple_name(self):
+        workspace = Workspace.builtin("geometry")
+        with pytest.raises(ValueError, match="ambiguous"):
+            workspace.resolve_type("Point")  # Drawing.Point vs Geometry.Point
+
+    def test_non_corpus_workspace_has_no_oracle(self):
+        workspace = Workspace.builtin("bcl")
+        assert workspace.analysis() is None
+        assert workspace.impls() == []
+
+
+class TestContextEdges:
+    def test_static_enclosing_without_this(self, world):
+        ts, point, _x = world
+        lib = LibraryBuilder(ts)
+        helper = lib.cls("G.Helper")
+        make = lib.static_method(helper, "Make", returns=point)
+        ctx = Context(ts, enclosing_type=helper)
+        assert not ctx.has_local("this")
+        assert ctx.is_in_scope_static(make)
+
+    def test_iter_visible_types(self, world):
+        ts, *_ = world
+        ctx = Context(ts)
+        assert len(list(ctx.iter_visible_types())) == len(ts.all_types())
+
+
+class TestParserMore:
+    def test_compare_all_operators(self, world):
+        ts, point, x = world
+        ctx = Context(ts, locals={"p": point, "q": point})
+        for op in ("<", "<=", ">", ">=", "==", "!="):
+            expr = parse("p.X {} q.X".format(op), ctx)
+            assert expr.op == op
+            assert to_source(expr) == "p.X {} q.X".format(op)
+
+    def test_nested_call_args(self, world):
+        ts, point, x = world
+        lib = LibraryBuilder(ts)
+        lib.static_method("G.M", "Pick", returns=point,
+                          params=[("a", point), ("b", point)])
+        ctx = Context(ts, locals={"p": point})
+        expr = parse("G.M.Pick(G.M.Pick(p, p), p)", ctx)
+        assert to_source(expr) == "G.M.Pick(G.M.Pick(p, p), p)"
+
+    def test_whitespace_insensitive(self, world):
+        ts, point, x = world
+        ctx = Context(ts, locals={"p": point})
+        assert parse("  p . X  ", ctx) == parse("p.X", ctx)
+
+
+class TestEngineKeywordEdge:
+    def test_keyword_with_no_matches_is_empty(self, world):
+        from repro import CompletionEngine
+        from repro.lang import UnknownCall
+
+        ts, point, _x = world
+        ctx = Context(ts, locals={"p": point})
+        engine = CompletionEngine(ts)
+        pe = UnknownCall((Var("p", point),))
+        assert engine.complete(pe, ctx, n=5, keyword="zzznothing") == []

@@ -1,0 +1,179 @@
+"""Differential tests: the lazy engine vs. exhaustive enumeration.
+
+On a compact universe every completion set is small enough to enumerate
+directly from the semantics.  For each query form the engine must emit
+exactly the brute-force set, with identical scores, in non-decreasing
+order.  (Unknown calls are covered by test_completer_completeness.py.)
+"""
+
+import pytest
+
+from repro import Context, CompletionEngine, EngineConfig, Ranker, TypeSystem
+from repro.codemodel import LibraryBuilder
+from repro.lang import (
+    Assign,
+    Call,
+    Compare,
+    FieldAccess,
+    Hole,
+    KnownCall,
+    PartialAssign,
+    PartialCompare,
+    SuffixHole,
+    Var,
+    well_typed,
+)
+
+MAX_DEPTH = 2
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    coin = lib.struct("Bank.Coin")
+    lib.prop(coin, "Value", ts.primitive("int"))
+    lib.prop(coin, "Year", ts.primitive("int"))
+    purse = lib.cls("Bank.Purse")
+    lib.prop(purse, "Best", coin)
+    lib.prop(purse, "Total", ts.primitive("int"))
+    lib.method(purse, "Heaviest", returns=coin)
+    vault = lib.cls("Bank.Vault")
+    lib.prop(vault, "Main", purse)
+    lib.field(vault, "Shared", purse, static=True)
+    lib.static_method("Bank.Mint", "Appraise", returns=ts.primitive("int"),
+                      params=[("c", coin)])
+    ctx = Context(ts, locals={"coin": coin, "vault": vault})
+    engine = CompletionEngine(ts, EngineConfig(max_chain_depth=MAX_DEPTH))
+    return ts, ctx, engine, coin, purse, vault
+
+
+def enumerate_chains(ts, roots, methods, max_steps):
+    """All lookup chains up to ``max_steps`` extensions over the roots."""
+    frontier = list(roots)
+    everything = list(roots)
+    for _ in range(max_steps):
+        next_frontier = []
+        for expr in frontier:
+            base_type = expr.type
+            if base_type is None:
+                continue
+            for member in ts.instance_lookups(base_type):
+                next_frontier.append(FieldAccess(expr, member))
+            if methods:
+                for method in ts.zero_arg_instance_methods(base_type):
+                    if method.return_type is not None:
+                        next_frontier.append(Call(method, (expr,)))
+        everything.extend(next_frontier)
+        frontier = next_frontier
+    return everything
+
+
+def engine_items(engine, pe, ctx, bound=10_000):
+    items = {}
+    scores = []
+    for completion in engine.all_completions(pe, ctx):
+        items[completion.expr.key()] = completion.score
+        scores.append(completion.score)
+        if len(scores) >= bound:
+            break
+    assert scores == sorted(scores)
+    return items
+
+
+def expected_items(ranker, exprs):
+    table = {}
+    for expr in exprs:
+        key = expr.key()
+        score = ranker.score(expr)
+        if key not in table or score < table[key]:
+            table[key] = score
+    return table
+
+
+class TestHole:
+    def test_hole_matches_brute_force(self, world):
+        ts, ctx, engine, *_ = world
+        ranker = Ranker(ctx)
+        chains = enumerate_chains(
+            ts, ctx.chain_roots(), methods=True, max_steps=MAX_DEPTH
+        )
+        assert engine_items(engine, Hole(), ctx) == expected_items(ranker, chains)
+
+
+class TestSuffixHoles:
+    @pytest.mark.parametrize("methods", [False, True])
+    @pytest.mark.parametrize("star", [False, True])
+    def test_suffix_matches_brute_force(self, world, methods, star):
+        ts, ctx, engine, _coin, _purse, vault = world
+        base = Var("vault", vault)
+        pe = SuffixHole(base, methods=methods, star=star)
+        ranker = Ranker(ctx)
+        steps = MAX_DEPTH if star else 1
+        chains = enumerate_chains(ts, [base], methods=methods, max_steps=steps)
+        assert engine_items(engine, pe, ctx) == expected_items(ranker, chains)
+
+
+class TestKnownCall:
+    def test_hole_argument_matches_brute_force(self, world):
+        ts, ctx, engine, coin, *_ = world
+        appraise = ts.get("Bank.Mint").declared_methods_named("Appraise")[0]
+        pe = KnownCall((appraise,), (Hole(),))
+        ranker = Ranker(ctx)
+        chains = enumerate_chains(
+            ts, ctx.chain_roots(), methods=True, max_steps=MAX_DEPTH
+        )
+        calls = [
+            Call(appraise, (value,))
+            for value in chains
+            if value.type is not None
+            and ts.implicitly_converts(value.type, coin)
+        ]
+        assert engine_items(engine, pe, ctx) == expected_items(ranker, calls)
+
+
+class TestBinary:
+    def test_compare_matches_brute_force(self, world):
+        ts, ctx, engine, coin, _purse, vault = world
+        pe = PartialCompare(
+            SuffixHole(Var("coin", coin), methods=True, star=False),
+            SuffixHole(Var("vault", vault), methods=True, star=True),
+            op="<",
+        )
+        ranker = Ranker(ctx)
+        lefts = enumerate_chains(ts, [Var("coin", coin)], True, 1)
+        rights = enumerate_chains(ts, [Var("vault", vault)], True, MAX_DEPTH)
+        pairs = []
+        for lhs in lefts:
+            for rhs in rights:
+                if lhs.type is None or rhs.type is None:
+                    continue
+                if not ts.comparable(lhs.type, rhs.type):
+                    continue
+                pairs.append(Compare(lhs, rhs, "<"))
+        assert engine_items(engine, pe, ctx) == expected_items(ranker, pairs)
+
+    def test_assign_matches_brute_force(self, world):
+        ts, ctx, engine, coin, _purse, vault = world
+        pe = PartialAssign(
+            SuffixHole(Var("vault", vault), methods=False, star=True),
+            SuffixHole(Var("coin", coin), methods=True, star=False),
+        )
+        ranker = Ranker(ctx)
+        lefts = enumerate_chains(ts, [Var("vault", vault)], False, MAX_DEPTH)
+        rights = enumerate_chains(ts, [Var("coin", coin)], True, 1)
+        pairs = []
+        for lhs in lefts:
+            if not isinstance(lhs, (Var, FieldAccess)):
+                continue
+            if isinstance(lhs, Var) and lhs.is_this:
+                continue
+            for rhs in rights:
+                if lhs.type is None or rhs.type is None:
+                    continue
+                if not ts.implicitly_converts(rhs.type, lhs.type):
+                    continue
+                if not well_typed(Assign(lhs, rhs), ts):
+                    continue
+                pairs.append(Assign(lhs, rhs))
+        assert engine_items(engine, pe, ctx) == expected_items(ranker, pairs)

@@ -1,0 +1,176 @@
+"""Tests for evaluation query extraction."""
+
+import pytest
+
+from repro import Context, CompletionEngine, TypeSystem
+from repro.codemodel import LibraryBuilder
+from repro.engine.completer import EngineConfig
+from repro.eval import queries
+from repro.lang import (
+    Assign,
+    Call,
+    Compare,
+    FieldAccess,
+    Hole,
+    KnownCall,
+    Literal,
+    PartialAssign,
+    PartialCompare,
+    SuffixHole,
+    UnknownCall,
+    Var,
+)
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    point = lib.struct("G.Point")
+    x = lib.prop(point, "X", ts.primitive("double"))
+    y = lib.prop(point, "Y", ts.primitive("double"))
+    seg = lib.cls("G.Segment")
+    p1 = lib.prop(seg, "P1", point)
+    dist = lib.static_method("G.Math", "Distance", returns=ts.primitive("double"),
+                             params=[("a", point), ("b", point)])
+    ctx = Context(ts, locals={"p": point, "q": point, "seg": seg})
+    return ts, ctx, point, x, y, seg, p1, dist
+
+
+class TestMethodSubsets:
+    def test_singles_and_pairs(self, world):
+        ts, _ctx, point, _x, _y, _s, _p1, dist = world
+        call = Call(dist, (Var("p", point), Var("q", point)))
+        subsets = queries.method_query_subsets(call)
+        assert (Var("p", point),) in subsets
+        assert (Var("q", point),) in subsets
+        assert (Var("p", point), Var("q", point)) in subsets
+
+    def test_duplicate_args_not_paired(self, world):
+        ts, _ctx, point, _x, _y, _s, _p1, dist = world
+        call = Call(dist, (Var("p", point), Var("p", point)))
+        subsets = queries.method_query_subsets(call)
+        assert all(len({e.key() for e in s}) == len(s) for s in subsets)
+
+    def test_unknown_call_query(self, world):
+        ts, _ctx, point, *_ = world
+        pe = queries.unknown_call_query((Var("p", point),))
+        assert isinstance(pe, UnknownCall)
+
+
+class TestArgumentQueries:
+    def test_position_replaced_by_hole(self, world):
+        ts, _ctx, point, _x, _y, _s, _p1, dist = world
+        call = Call(dist, (Var("p", point), Var("q", point)))
+        pe = queries.argument_query(call, 1)
+        assert isinstance(pe, KnownCall)
+        assert pe.args[0] == Var("p", point)
+        assert isinstance(pe.args[1], Hole)
+
+    def test_guessable_local(self, world):
+        ts, ctx, point, *_ = world
+        assert queries.is_guessable_argument(
+            Var("p", point), ctx, EngineConfig()
+        )
+
+    def test_literal_not_guessable(self, world):
+        ts, ctx, *_ = world
+        assert not queries.is_guessable_argument(
+            Literal(3, ts.primitive("int")), ctx, EngineConfig()
+        )
+
+    def test_chain_guessable_within_depth(self, world):
+        ts, ctx, point, x, _y, seg, p1, _d = world
+        chain = FieldAccess(FieldAccess(Var("seg", seg), p1), x)
+        assert queries.is_guessable_argument(chain, ctx, EngineConfig())
+        assert not queries.is_guessable_argument(
+            chain, ctx, EngineConfig(max_chain_depth=1)
+        )
+
+    def test_chain_length(self, world):
+        ts, _ctx, point, x, _y, seg, p1, _d = world
+        assert queries.chain_length(Var("s", seg)) == 0
+        assert queries.chain_length(FieldAccess(Var("s", seg), p1)) == 1
+        two = FieldAccess(FieldAccess(Var("s", seg), p1), x)
+        assert queries.chain_length(two) == 2
+
+
+class TestLookupQueries:
+    def test_strip_lookups(self, world):
+        ts, _ctx, point, x, _y, seg, p1, _d = world
+        two = FieldAccess(FieldAccess(Var("seg", seg), p1), x)
+        assert queries.strip_lookups(two, 1) == FieldAccess(Var("seg", seg), p1)
+        assert queries.strip_lookups(two, 2) == Var("seg", seg)
+        assert queries.strip_lookups(two, 3) is None
+        assert queries.strip_lookups(Var("seg", seg), 1) is None
+
+    def test_assignment_query_target(self, world):
+        ts, _ctx, point, x, y, *_ = world
+        assign = Assign(
+            FieldAccess(Var("p", point), x), FieldAccess(Var("q", point), x)
+        )
+        pe = queries.assignment_query(assign, strip_target=True, strip_source=False)
+        assert isinstance(pe, PartialAssign)
+        assert isinstance(pe.lhs, SuffixHole)
+        assert pe.lhs.base == Var("p", point)
+        # the untouched side also gets .?m (which may complete to nothing)
+        assert isinstance(pe.rhs, SuffixHole)
+
+    def test_assignment_query_ineligible(self, world):
+        ts, _ctx, point, x, *_ = world
+        assign = Assign(Var("p", point), Var("q", point))
+        assert queries.assignment_query(assign, True, False) is None
+
+    def test_comparison_query_double_suffix(self, world):
+        ts, _ctx, point, x, y, *_ = world
+        cmp = Compare(
+            FieldAccess(Var("p", point), x), FieldAccess(Var("q", point), x), "<"
+        )
+        pe = queries.comparison_query(cmp, 1, 0)
+        assert isinstance(pe, PartialCompare)
+        assert isinstance(pe.lhs, SuffixHole)
+        assert isinstance(pe.lhs.base, SuffixHole)
+        assert pe.lhs.base.base == Var("p", point)
+
+    def test_comparison_2x_needs_two_lookups(self, world):
+        ts, _ctx, point, x, _y, seg, p1, _d = world
+        cmp = Compare(
+            FieldAccess(Var("p", point), x), FieldAccess(Var("q", point), x), "<"
+        )
+        assert queries.comparison_query(cmp, 2, 0) is None
+
+    def test_variant_tables(self):
+        assert [v[0] for v in queries.ASSIGNMENT_VARIANTS] == [
+            "Target", "Source", "Both"]
+        assert [v[0] for v in queries.COMPARISON_VARIANTS] == [
+            "Left", "Right", "Both", "2xLeft", "2xRight"]
+
+
+class TestQueryTruthDerivability:
+    """The ground truth is always a valid completion of its query."""
+
+    def test_assignment_truth_derivable(self, world):
+        from repro.lang import derivable
+
+        ts, ctx, point, x, *_ = world
+        assign = Assign(
+            FieldAccess(Var("p", point), x), FieldAccess(Var("q", point), x)
+        )
+        for name, st, ss in queries.ASSIGNMENT_VARIANTS:
+            pe = queries.assignment_query(assign, st, ss)
+            if pe is not None:
+                assert derivable(pe, assign, ctx), name
+
+    def test_comparison_truth_derivable(self, world):
+        from repro.lang import derivable
+
+        ts, ctx, point, x, _y, seg, p1, _d = world
+        cmp = Compare(
+            FieldAccess(FieldAccess(Var("seg", seg), p1), x),
+            FieldAccess(Var("q", point), x),
+            "<",
+        )
+        for name, sl, sr in queries.COMPARISON_VARIANTS:
+            pe = queries.comparison_query(cmp, sl, sr)
+            if pe is not None:
+                assert derivable(pe, cmp, ctx), name

@@ -1,0 +1,230 @@
+"""Unit tests for the figure/table aggregation math (on handcrafted data)."""
+
+import pytest
+
+from repro.eval import (
+    cdf,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    proportion_top,
+    table1,
+)
+from repro.eval.experiments import ArgumentResult, LookupResult, MethodCallResult
+
+
+def make_call(project="P", rank=1, static=False, arity=2, single=None,
+              with_return=None, intellisense=5):
+    return MethodCallResult(
+        project=project,
+        method_name="M",
+        arity=arity,
+        is_static=static,
+        best_rank=rank,
+        best_rank_single=single if single is not None else rank,
+        best_rank_return=with_return,
+        intellisense=intellisense,
+        best_query_seconds=0.01,
+        query_seconds=[0.01],
+    )
+
+
+def make_arg(kind="local", guessable=True, is_local=True, rank=1):
+    return ArgumentResult(
+        project="P", kind=kind, guessable=guessable,
+        is_local=is_local, rank=rank, seconds=0.0,
+    )
+
+
+class TestCdf:
+    def test_basic(self):
+        values = cdf([1, 5, None, 30], ranks_at=(1, 10))
+        assert values[1] == 0.25
+        assert values[10] == 0.5
+
+    def test_empty(self):
+        assert cdf([], ranks_at=(1,))[1] == 0.0
+
+    def test_proportion_top(self):
+        assert proportion_top([1, 2, 30, None], 10) == 0.5
+
+
+class TestSummaryMetrics:
+    def test_mrr(self):
+        from repro.eval import mean_reciprocal_rank
+
+        assert mean_reciprocal_rank([1, 2, None, 4]) == pytest.approx(
+            (1 + 0.5 + 0 + 0.25) / 4
+        )
+        assert mean_reciprocal_rank([]) == 0.0
+
+    def test_summary(self):
+        from repro.eval import summary_metrics
+
+        metrics = summary_metrics([1, 5, 15, None])
+        assert metrics["count"] == 4
+        assert metrics["found"] == 3
+        assert metrics["top1"] == 0.25
+        assert metrics["top10"] == 0.5
+        assert metrics["top20"] == 0.75
+        assert metrics["median_rank"] == 5.0
+
+    def test_summary_empty(self):
+        from repro.eval import summary_metrics
+
+        metrics = summary_metrics([])
+        assert metrics["count"] == 0
+        assert metrics["mrr"] == 0.0
+
+
+class TestTable1:
+    def test_counts_and_totals(self):
+        results = [
+            make_call("A", rank=3),
+            make_call("A", rank=15),
+            make_call("A", rank=None),
+            make_call("B", rank=1),
+        ]
+        rows = table1(results)
+        by_name = {r.project: r for r in rows}
+        assert by_name["A"].calls == 3
+        assert by_name["A"].top10 == 1
+        assert by_name["A"].top10_20 == 1
+        assert by_name["Totals"].calls == 4
+        assert by_name["Totals"].top10 == 2
+
+    def test_project_order_preserved(self):
+        results = [make_call("Z"), make_call("A")]
+        rows = table1(results)
+        assert [r.project for r in rows] == ["Z", "A", "Totals"]
+
+
+class TestFigure9:
+    def test_split(self):
+        results = [make_call(rank=1, static=False), make_call(rank=50, static=True)]
+        series = figure9(results, ranks_at=(10,))
+        assert series["All"][10] == 0.5
+        assert series["Instance"][10] == 1.0
+        assert series["Static"][10] == 0.0
+
+
+class TestFigure10:
+    def test_arity_buckets(self):
+        results = [
+            make_call(arity=2, rank=1, single=25),
+            make_call(arity=2, rank=1, single=1),
+            make_call(arity=3, rank=None, single=None),
+        ]
+        table = figure10(results, cutoff=20)
+        assert table[2]["count"] == 2
+        assert table[2]["two_args"] == 1.0
+        assert table[2]["one_arg"] == 0.5
+        assert table[3]["two_args"] == 0.0
+
+
+class TestFigure11And12:
+    def test_differences(self):
+        results = [
+            make_call(rank=1, intellisense=20),   # we win by 19
+            make_call(rank=5, intellisense=5),    # tie
+            make_call(rank=9, intellisense=2),    # they win by 7
+        ]
+        summary = figure11(results)
+        assert summary["count"] == 3
+        assert summary["we_win_by_10+"] == pytest.approx(1 / 3)
+        assert summary["tie"] == pytest.approx(1 / 3)
+        assert summary["intellisense_wins"] == pytest.approx(1 / 3)
+        assert summary["intellisense_wins_by_10+"] == 0.0
+
+    def test_not_found_counts_as_worst(self):
+        results = [make_call(rank=None, intellisense=1)]
+        summary = figure11(results, not_found_rank=100)
+        assert summary["intellisense_wins_by_10+"] == 1.0
+
+    def test_figure12_uses_return_rank(self):
+        results = [make_call(rank=50, with_return=1, intellisense=20)]
+        assert figure12(results)["we_win"] == 1.0
+        assert figure11(results)["we_win"] == 0.0
+
+
+class TestFigure11Histogram:
+    def test_bands_sum_to_one(self):
+        from repro.eval import figure11_histogram
+
+        results = [
+            make_call(rank=1, intellisense=30),
+            make_call(rank=9, intellisense=2),
+            make_call(rank=5, intellisense=5),
+        ]
+        table = figure11_histogram(results)
+        assert sum(table.values()) == pytest.approx(1.0)
+        assert table["0"] == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        from repro.eval import figure11_histogram
+
+        assert figure11_histogram([]) == {}
+
+    def test_not_found_lands_in_top_band(self):
+        from repro.eval import figure11_histogram
+
+        results = [make_call(rank=None, intellisense=1)]
+        table = figure11_histogram(results, not_found_rank=100)
+        assert table[">= 20"] == 1.0
+
+
+class TestFigure9ByProject:
+    def test_per_project_split(self):
+        from repro.eval import figure9_by_project
+
+        results = [make_call("A", rank=1), make_call("B", rank=50)]
+        series = figure9_by_project(results, ranks_at=(10,))
+        assert series["A"][10] == 1.0
+        assert series["B"][10] == 0.0
+
+
+class TestFigure13And14:
+    def test_figure13_series(self):
+        results = [
+            make_arg(rank=1, is_local=True),
+            make_arg(rank=None, is_local=False),
+            make_arg(guessable=False, rank=None),
+        ]
+        series = figure13(results, ranks_at=(10,))
+        assert series["Normal"][10] == 0.5
+        assert series["No variables"][10] == 0.0
+
+    def test_figure14_census(self):
+        results = [
+            make_arg(kind="local"),
+            make_arg(kind="local"),
+            make_arg(kind="literal", guessable=False),
+        ]
+        census = figure14(results)
+        assert census["local"] == pytest.approx(2 / 3)
+        assert census["not guessable"] == pytest.approx(1 / 3)
+
+
+class TestFigure15And16:
+    def test_variant_split(self):
+        results = [
+            LookupResult("P", "Target", 1, 0.0),
+            LookupResult("P", "Target", None, 0.0),
+            LookupResult("P", "Both", 15, 0.0),
+        ]
+        series = figure15(results, ranks_at=(10, 20))
+        assert series["Target"][10] == 0.5
+        assert series["Both"][10] == 0.0
+        assert series["Both"][20] == 1.0
+        assert series["Source"][10] == 0.0
+
+    def test_figure16_variants(self):
+        results = [LookupResult("P", "2xLeft", 2, 0.0)]
+        series = figure16(results, ranks_at=(10,))
+        assert series["2xLeft"][10] == 1.0
+        assert set(series) == {"Left", "Right", "Both", "2xLeft", "2xRight"}

@@ -1,0 +1,113 @@
+"""Direct tests of the hand-built anchor frameworks."""
+
+import pytest
+
+from repro import Context, CompletionEngine, TypeSystem, parse, to_source
+from repro.corpus.frameworks import (
+    build_banshee,
+    build_familyshow,
+    build_gnomedo,
+    build_system_core,
+    build_wix,
+)
+
+
+class TestSystemCore:
+    @pytest.fixture(scope="class")
+    def core(self):
+        ts = TypeSystem()
+        return build_system_core(ts)
+
+    def test_paper_io_apis_present(self, core):
+        ts = core.ts
+        path = ts.get("System.IO.Path")
+        assert path.declared_methods_named("Combine")
+        assert ts.get("System.IO.Directory").declared_methods_named("Exists")
+        assert ts.get("System.Environment").declared_methods_named(
+            "GetFolderPath")
+
+    def test_datetime_comparable(self, core):
+        assert core.ts.comparable(core.datetime, core.datetime)
+        assert not core.ts.comparable(core.datetime, core.timespan)
+
+    def test_collections_hierarchy(self, core):
+        ts = core.ts
+        assert ts.implicitly_converts(core.list_type, core.ilist)
+        assert ts.implicitly_converts(core.list_type, core.ienumerable)
+        assert ts.type_distance(core.list_type, core.ienumerable) == 3
+
+    def test_object_methods_exist(self, core):
+        names = [m.name for m in core.ts.object_type.methods]
+        assert "ToString" in names and "GetHashCode" in names
+
+
+class TestWixAnchor:
+    def test_pipeline_types(self):
+        ts = TypeSystem()
+        wix = build_wix(ts)
+        compile_m = wix.compiler.declared_methods_named("Compile")[0]
+        assert compile_m.return_type is wix.intermediate
+        link = wix.linker.declared_methods_named("Link")[0]
+        assert link.params[0].type is wix.intermediate
+
+    def test_row_navigation(self):
+        """`.?m` surfaces zero-argument methods like GetPrimaryKey (but not
+        CreateRow, which takes a parameter)."""
+        ts = TypeSystem()
+        wix = build_wix(ts)
+        ctx = Context(ts, locals={"row": wix.row})
+        engine = CompletionEngine(ts)
+        results = engine.complete(parse("row.?m", ctx), ctx, n=10)
+        texts = [to_source(c.expr) for c in results]
+        assert any("GetPrimaryKey" in t for t in texts)
+        assert not any("CreateRow" in t for t in texts)
+
+
+class TestMediaAnchors:
+    def test_banshee_track_model(self):
+        ts = TypeSystem()
+        banshee = build_banshee(ts)
+        names = {p.name for p in banshee.track.properties}
+        assert {"TrackTitle", "Album", "Artist", "Duration"} <= names
+
+    def test_banshee_service_static_chain(self):
+        """ServiceManager.PlayerEngine.CurrentTrack is reachable from a ?"""
+        ts = TypeSystem()
+        banshee = build_banshee(ts)
+        ctx = Context(ts)
+        engine = CompletionEngine(ts)
+        results = engine.complete(
+            parse("?", ctx), ctx, n=200, expected_type=banshee.track
+        )
+        texts = [to_source(c.expr) for c in results]
+        assert any("ServiceManager.PlayerEngine.CurrentTrack" in t
+                   for t in texts)
+
+    def test_gnomedo_interface(self):
+        ts = TypeSystem()
+        gnomedo = build_gnomedo(ts)
+        element = ts.get("Do.Universe.Element")
+        assert ts.implicitly_converts(element, gnomedo.item)
+        act = gnomedo.act
+        assert ts.implicitly_converts(act, gnomedo.item)
+
+
+class TestFamilyShowAnchor:
+    def test_person_model(self):
+        ts = TypeSystem()
+        fs = build_familyshow(ts)
+        names = {p.name for p in fs.person.properties}
+        assert {"FirstName", "BirthDate", "Gender"} <= names
+
+    def test_birthdate_comparisons_possible(self):
+        ts = TypeSystem()
+        fs = build_familyshow(ts)
+        ctx = Context(ts, locals={"a": fs.person, "b": fs.person})
+        engine = CompletionEngine(ts)
+        pe = parse("a.?m >= b.?m", ctx)
+        results = engine.complete(pe, ctx, n=10)
+        texts = [to_source(c.expr) for c in results]
+        assert any("BirthDate" in t for t in texts)
+        # same-name pairs first
+        lhs, rhs = texts[0].split(" >= ")
+        assert lhs.rsplit(".", 1)[-1] == rhs.rsplit(".", 1)[-1]

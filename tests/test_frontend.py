@@ -1,0 +1,242 @@
+"""Tests for the C#-subset source frontend."""
+
+import pytest
+
+from repro import Context, CompletionEngine, parse, to_source
+from repro.corpus.program import (
+    AssignStatement,
+    ExprStatement,
+    IfStatement,
+    LocalDecl,
+    ReturnStatement,
+)
+from repro.frontend import SourceError, SourceReader
+from repro.lang import well_typed
+
+SAMPLE = """
+namespace Geo {
+    enum Style { Solid, Dashed }
+
+    interface IShape { }
+
+    class Shape : IShape {
+        string Name { get; set; }
+        double Weight;
+        void Hide() { }
+    }
+
+    class Point {
+        double X { get; set; }
+        double Y { get; set; }
+        static Point Origin;
+        Point(double x, double y) { }
+        double Magnitude() {
+            return this.X;
+        }
+    }
+
+    class Segment : Shape {
+        Point Start;
+        Point End { get; set; }
+        static double Distance(Point a, Point b);
+
+        double Measure(Point other) {
+            Point tip = this.End;
+            tip = this.Start;
+            double best = Geo.Segment.Distance(tip, other);
+            if (best >= other.X) {
+                this.Weight = other.Y;
+            }
+            return best;
+        }
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def project():
+    return SourceReader.read(SAMPLE, project_name="GeoSrc")
+
+
+class TestDeclarations:
+    def test_types_registered(self, project):
+        ts = project.ts
+        for name in ("Geo.Style", "Geo.IShape", "Geo.Shape", "Geo.Point",
+                     "Geo.Segment"):
+            assert ts.try_get(name) is not None
+
+    def test_enum_values(self, project):
+        style = project.ts.get("Geo.Style")
+        assert [f.name for f in style.fields] == ["Solid", "Dashed"]
+        assert style.comparable
+
+    def test_inheritance_and_interfaces(self, project):
+        ts = project.ts
+        shape = ts.get("Geo.Shape")
+        segment = ts.get("Geo.Segment")
+        ishape = ts.get("Geo.IShape")
+        assert segment.base is shape
+        assert ts.implicitly_converts(shape, ishape)
+        assert ts.implicitly_converts(segment, ishape)
+        assert ts.type_distance(segment, shape) == 1
+
+    def test_fields_and_properties(self, project):
+        point = project.ts.get("Geo.Point")
+        assert {p.name for p in point.properties} == {"X", "Y"}
+        origin = next(f for f in point.fields if f.name == "Origin")
+        assert origin.is_static and origin.type is point
+
+    def test_methods(self, project):
+        segment = project.ts.get("Geo.Segment")
+        distance = segment.declared_methods_named("Distance")[0]
+        assert distance.is_static
+        assert distance.return_type.name == "double"
+        assert [p.name for p in distance.params] == ["a", "b"]
+
+    def test_constructor(self, project):
+        point = project.ts.get("Geo.Point")
+        ctor = next(m for m in point.methods if m.is_constructor)
+        assert ctor.return_type is point
+        assert len(ctor.params) == 2
+
+    def test_void_method(self, project):
+        shape = project.ts.get("Geo.Shape")
+        hide = shape.declared_methods_named("Hide")[0]
+        assert hide.return_type is None
+
+
+class TestBodies:
+    @pytest.fixture(scope="class")
+    def measure(self, project):
+        return next(
+            i for i in project.impls if i.method.name == "Measure"
+        )
+
+    def test_statement_kinds(self, measure):
+        kinds = [type(s).__name__ for s in measure.body]
+        assert kinds == [
+            "LocalDecl", "AssignStatement", "LocalDecl", "IfStatement",
+            "AssignStatement", "ReturnStatement",
+        ]
+
+    def test_locals_registered(self, measure):
+        scope = measure.all_locals()
+        assert scope["tip"].full_name == "Geo.Point"
+        assert scope["best"].name == "double"
+        assert scope["other"].full_name == "Geo.Point"
+
+    def test_expressions_well_typed(self, project):
+        for _impl, _index, expr in project.iter_sites():
+            assert well_typed(expr, project.ts)
+
+    def test_magnitude_returns_property(self, project):
+        magnitude = next(
+            i for i in project.impls if i.method.name == "Magnitude"
+        )
+        ret = magnitude.body[-1]
+        assert isinstance(ret, ReturnStatement)
+        assert to_source(ret.expr) == "this.X"
+
+    def test_condition_captured(self, measure):
+        condition = next(
+            s for s in measure.body if isinstance(s, IfStatement)
+        ).condition
+        assert to_source(condition) == "best >= other.X"
+
+
+class TestEndToEnd:
+    def test_completion_over_source_project(self, project):
+        """Strip the Distance call's name and rediscover it."""
+        measure = next(i for i in project.impls if i.method.name == "Measure")
+        context = measure.context(project.ts)
+        engine = CompletionEngine(project.ts)
+        pe = parse("?({tip, other})", context)
+        distance = project.ts.get("Geo.Segment").declared_methods_named(
+            "Distance")[0]
+        rank = engine.method_rank(pe, context, distance, limit=10)
+        assert rank == 1
+
+    def test_multiple_sources_one_project(self):
+        reader = SourceReader("multi")
+        reader.add_source("namespace A { class One { int N; } }")
+        reader.add_source(
+            "namespace B { class Two { A.One Buddy;"
+            " void Go() { this.Buddy.N = 3; } } }"
+        )
+        project = reader.build()
+        assert project.ts.try_get("A.One") is not None
+        assert len(project.impls) == 1
+        stmt = project.impls[0].body[0]
+        assert isinstance(stmt, AssignStatement)
+
+
+class TestUsingAndVar:
+    def test_using_directive_resolves_simple_names(self):
+        source = """
+        using System.Drawing;
+        namespace App {
+            class Sprite {
+                Point Location;
+                void Move(Point target) {
+                    this.Location = target;
+                }
+            }
+        }
+        """
+        project = SourceReader.read(source)
+        sprite = project.ts.get("App.Sprite")
+        location = next(f for f in sprite.fields if f.name == "Location")
+        assert location.type.full_name == "System.Drawing.Point"
+
+    def test_var_infers_from_initializer(self):
+        source = """
+        namespace App {
+            class Maker {
+                static string Name();
+                void Go() {
+                    var label = App.Maker.Name();
+                    System.Console.WriteLine(label);
+                }
+            }
+        }
+        """
+        project = SourceReader.read(source)
+        impl = next(i for i in project.impls if i.method.name == "Go")
+        decl = impl.body[0]
+        assert isinstance(decl, LocalDecl)
+        assert decl.name == "label"
+        assert decl.type.full_name == "System.String"
+
+    def test_var_without_inferable_type_errors(self):
+        source = """
+        namespace App {
+            class Maker {
+                static void Fire();
+                void Go() {
+                    var x = App.Maker.Fire();
+                }
+            }
+        }
+        """
+        with pytest.raises(SourceError, match="infer"):
+            SourceReader.read(source)
+
+
+class TestErrors:
+    def test_unknown_base_type(self):
+        with pytest.raises(SourceError, match="unknown type"):
+            SourceReader.read("class A : Mystery { }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(SourceError):
+            SourceReader.read("class A { void M() { ")
+
+    def test_bad_expression_reports_line(self):
+        source = "class A {\n void M() {\n this = 3;\n }\n}"
+        with pytest.raises(SourceError):
+            SourceReader.read(source)
+
+    def test_unexpected_character(self):
+        with pytest.raises(SourceError):
+            SourceReader.read("class A { int `x; }")

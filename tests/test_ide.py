@@ -1,0 +1,336 @@
+"""Tests for the interactive layer: workspace, session, REPL, CLI."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.ide import (
+    CompletionSession,
+    Workspace,
+    holes_for_unfilled,
+    run_repl,
+)
+from repro.lang import Call, Hole, Unfilled, Var
+
+
+class TestWorkspace:
+    def test_builtin_universes(self):
+        for key in ("paint", "geometry", "bcl"):
+            workspace = Workspace.builtin(key)
+            assert workspace.ts.all_types()
+
+    def test_unknown_universe(self):
+        with pytest.raises(ValueError):
+            Workspace.builtin("nope")
+
+    def test_resolve_type_full_name(self):
+        workspace = Workspace.builtin("paint")
+        assert workspace.resolve_type("PaintDotNet.Document").name == "Document"
+
+    def test_resolve_type_simple_name(self):
+        workspace = Workspace.builtin("paint")
+        assert workspace.resolve_type("Document").name == "Document"
+
+    def test_resolve_primitive(self):
+        workspace = Workspace.builtin("bcl")
+        assert workspace.resolve_type("int").name == "int"
+
+    def test_resolve_unknown_raises(self):
+        workspace = Workspace.builtin("bcl")
+        with pytest.raises(ValueError):
+            workspace.resolve_type("Flux.Capacitor")
+
+    def test_corpus_workspace_has_oracle(self, tiny_project):
+        workspace = Workspace.corpus_project(tiny_project)
+        impl = tiny_project.impls[0]
+        assert workspace.oracle_for(impl) is not None
+        assert workspace.impls()
+
+
+class TestSession:
+    @pytest.fixture
+    def session(self):
+        workspace = Workspace.builtin("paint")
+        session = CompletionSession(workspace)
+        session.declare("img", "Document")
+        session.declare("size", "System.Drawing.Size")
+        return session
+
+    def test_query_returns_ranked_suggestions(self, session):
+        record = session.query("?({img, size})")
+        assert record.error is None
+        assert record.suggestions[0].rank == 1
+        assert "ResizeDocument" in record.suggestions[0].text
+
+    def test_parse_error_is_captured(self, session):
+        record = session.query("img @@@")
+        assert record.error is not None
+        assert record.suggestions == []
+
+    def test_history_accumulates(self, session):
+        session.query("?({img})")
+        session.query("img.?m")
+        assert len(session.history) == 2
+        assert session.last().source == "img.?m"
+
+    def test_accept_turns_zeros_into_holes(self, session):
+        session.query("?({img, size})")
+        refined = session.accept(1)
+        assert refined is not None
+        assert "0" not in refined
+        assert "?" in refined
+        # the refined source must itself be a valid query
+        record = session.query(refined)
+        assert record.error is None
+        assert record.suggestions
+
+    def test_accept_out_of_range(self, session):
+        session.query("?({img})")
+        assert session.accept(999) is None
+
+    def test_expected_type_filter(self, session):
+        session.set_expected("Document")
+        record = session.query("?({img, size})")
+        workspace = session.workspace
+        doc = workspace.resolve_type("Document")
+        for suggestion in record.suggestions:
+            assert workspace.ts.implicitly_converts(suggestion.expr.type, doc)
+
+    def test_keyword_filter(self, session):
+        session.keyword = "resize"
+        record = session.query("?({img, size})")
+        assert record.suggestions
+        assert all("Resize" in s.text for s in record.suggestions)
+
+
+class TestAutoComplete:
+    @pytest.fixture
+    def session(self):
+        workspace = Workspace.builtin("paint")
+        session = CompletionSession(workspace)
+        session.declare("img", "Document")
+        session.declare("size", "System.Drawing.Size")
+        return session
+
+    def test_converges_to_concrete_expression(self, session):
+        final = session.auto_complete("?({img, size})")
+        assert final is not None
+        assert "0" not in final and "?" not in final
+        # the final text is itself parseable and complete
+        record = session.query(final)
+        assert record.error is None
+
+    def test_already_concrete_query(self, session):
+        final = session.auto_complete("img.Flatten()")
+        assert final == "img.Flatten()"
+
+    def test_unparseable_returns_none(self, session):
+        assert session.auto_complete("@@@") is None
+
+    def test_iteration_budget(self, session):
+        assert session.auto_complete("?({img, size})", max_iterations=0) is None
+
+
+class TestHolesForUnfilled:
+    def test_rewrites_nested_zeros(self, paint):
+        resize = paint.resize_document
+        call = Call(
+            resize,
+            (Var("img", paint.document), Var("size", paint.size),
+             Unfilled(), Unfilled()),
+        )
+        refined = holes_for_unfilled(call)
+        assert isinstance(refined.args[2], Hole)
+        assert isinstance(refined.args[3], Hole)
+        assert refined.args[0] == call.args[0]
+
+
+class TestRepl:
+    def drive(self, lines, universe="paint"):
+        output = []
+        workspace = Workspace.builtin(universe)
+        session = run_repl(workspace, lines, output.append)
+        return session, "\n".join(output)
+
+    def test_full_session(self):
+        session, out = self.drive([
+            ":let img Document",
+            ":let size Size",
+            "?({img, size})",
+            ":quit",
+        ])
+        assert "ResizeDocument" in out
+        assert "bye" in out
+
+    def test_help_and_locals(self):
+        _session, out = self.drive([
+            ":help",
+            ":let img Document",
+            ":locals",
+        ])
+        assert ":let <name> <Type>" in out
+        assert "img: PaintDotNet.Document" in out
+
+    def test_bad_command_is_reported(self):
+        _session, out = self.drive([":frobnicate"])
+        assert "unrecognised" in out
+
+    def test_bad_type_is_reported(self):
+        _session, out = self.drive([":let x Bogus.Type"])
+        assert "error:" in out
+
+    def test_accept_flow(self):
+        _session, out = self.drive([
+            ":let img Document",
+            ":let size Size",
+            "?({img, size})",
+            ":accept 1",
+        ])
+        assert "next query:" in out
+
+    def test_explain(self):
+        _session, out = self.drive([
+            ":let img Document",
+            ":let size Size",
+            "?({img, size})",
+            ":explain 1",
+        ])
+        assert "total score" in out
+        assert "type_distance" in out or "depth" in out
+
+    def test_explain_without_query(self):
+        _session, out = self.drive([":explain 1"])
+        assert "nothing to explain" in out
+
+    def test_explain_bad_rank(self):
+        _session, out = self.drive([
+            ":let img Document",
+            "?({img})",
+            ":explain 999",
+        ])
+        assert "no suggestion at rank" in out
+
+    def test_n_and_expect(self):
+        session, out = self.drive([
+            ":let img Document",
+            ":n 3",
+            ":expect void",
+            "?({img})",
+        ])
+        assert session.n == 3
+        assert "expect: void" in out
+
+
+class TestReplLoadEnter:
+    SOURCE = """
+    namespace Shop {
+        class Item {
+            string Sku;
+            int Price;
+        }
+        class Cart {
+            Item Newest;
+            static int Rate(Item item);
+            void Scan(Item item) {
+                int total = Shop.Cart.Rate(item);
+                this.Newest = item;
+            }
+        }
+    }
+    """
+
+    def drive(self, lines):
+        output = []
+        workspace = Workspace.builtin("bcl")
+        session = run_repl(workspace, lines, output.append)
+        return session, "\n".join(output)
+
+    @pytest.fixture
+    def source_file(self, tmp_path):
+        path = tmp_path / "shop.cs"
+        path.write_text(self.SOURCE)
+        return str(path)
+
+    def test_load_reports_shape(self, source_file):
+        _session, out = self.drive([":load " + source_file])
+        assert "method bodies" in out
+        assert "loaded" in out
+
+    def test_impls_lists_bodies(self, source_file):
+        _session, out = self.drive([":load " + source_file, ":impls"])
+        assert "Shop.Cart.Scan" in out
+
+    def test_enter_sets_scope_and_queries_work(self, source_file):
+        session, out = self.drive([
+            ":load " + source_file,
+            ":enter Scan",
+            "?({item})",
+        ])
+        assert "entered Shop.Cart.Scan" in out
+        assert "Rate" in out
+        assert session.this_type.full_name == "Shop.Cart"
+
+    def test_enter_unknown_method(self, source_file):
+        _session, out = self.drive([":load " + source_file, ":enter Nope"])
+        assert "no method body" in out
+
+    def test_load_missing_file_reports_error(self):
+        _session, out = self.drive([":load /does/not/exist.cs"])
+        assert "error:" in out
+
+    def test_impls_empty_universe(self):
+        _session, out = self.drive([":impls"])
+        assert "no method bodies" in out
+
+
+class TestCli:
+    def test_complete_subcommand(self):
+        output = []
+        code = cli_main(
+            [
+                "complete",
+                "--universe", "paint",
+                "--let", "img=Document",
+                "--let", "size=System.Drawing.Size",
+                "-n", "5",
+                "?({img, size})",
+            ],
+            write=output.append,
+        )
+        assert code == 0
+        assert any("ResizeDocument" in line for line in output)
+
+    def test_complete_parse_error(self):
+        output = []
+        code = cli_main(
+            ["complete", "--universe", "paint", "@@@"], write=output.append
+        )
+        assert code == 1
+
+    def test_complete_bad_let(self):
+        output = []
+        code = cli_main(
+            ["complete", "--let", "oops", "x"], write=output.append
+        )
+        assert code == 2
+
+    def test_census_subcommand(self):
+        output = []
+        code = cli_main(["census", "--scale", "0.1"], write=output.append)
+        assert code == 0
+        text = "\n".join(output)
+        assert "WiX" in text and "Totals" in text
+
+    def test_complete_with_expect_and_keyword(self):
+        output = []
+        code = cli_main(
+            [
+                "complete", "--universe", "paint",
+                "--let", "img=Document",
+                "--expect", "Document",
+                "--keyword", "flip",
+                "?({img})",
+            ],
+            write=output.append,
+        )
+        assert code == 0
+        assert any("FlipDocument" in line for line in output)

@@ -1,0 +1,74 @@
+"""Tests for the markdown report generator and its CLI wiring."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.eval import EvalConfig
+from repro.eval.markdown import generate_report
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    tiny = request.getfixturevalue("tiny_project")
+    cfg = EvalConfig(
+        limit=25,
+        max_calls_per_project=8,
+        max_arguments_per_project=10,
+        max_assignments_per_project=5,
+        max_comparisons_per_project=4,
+    )
+    return generate_report([tiny], cfg, title="Tiny report")
+
+
+class TestReport:
+    def test_contains_every_section(self, report):
+        for heading in [
+            "# Tiny report",
+            "## Table 1",
+            "## Figure 9",
+            "## Figure 10",
+            "## Figures 11 & 12",
+            "## Figure 13",
+            "## Figure 14",
+            "## Figure 15",
+            "## Figure 16",
+            "## Query latency",
+        ]:
+            assert heading in report
+
+    def test_tables_are_markdown(self, report):
+        assert "| Program | # calls |" in report
+        assert "|---|" in report
+
+    def test_totals_row_present(self, report):
+        assert "Totals" in report
+
+    def test_percentages_rendered(self, report):
+        assert "%" in report
+
+
+class TestCliWiring:
+    def test_eval_markdown_writes_file(self, tmp_path, monkeypatch):
+        # shrink the capped config so the CLI run stays fast
+        import repro.eval.experiments as exp
+
+        real_init = exp.EvalConfig.__init__
+
+        def tiny_init(self, **kwargs):
+            kwargs["max_calls_per_project"] = 3
+            kwargs["max_arguments_per_project"] = 4
+            kwargs["max_assignments_per_project"] = 2
+            kwargs["max_comparisons_per_project"] = 2
+            kwargs.setdefault("limit", 20)
+            real_init(self, **kwargs)
+
+        monkeypatch.setattr(exp.EvalConfig, "__init__", tiny_init)
+        target = tmp_path / "report.md"
+        output = []
+        code = cli_main(
+            ["eval", "--markdown", str(target)], write=output.append
+        )
+        assert code == 0
+        text = target.read_text()
+        assert "## Table 1" in text
+        assert "WiX" in text

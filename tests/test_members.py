@@ -1,0 +1,99 @@
+"""Unit tests for fields, properties, methods and parameters."""
+
+import pytest
+
+from repro import TypeSystem
+from repro.codemodel import Field, LibraryBuilder, Method, Parameter, Property
+
+
+@pytest.fixture
+def ts():
+    return TypeSystem()
+
+
+class TestFieldsAndProperties:
+    def test_field_full_name(self, ts):
+        lib = LibraryBuilder(ts)
+        owner = lib.cls("N.Owner")
+        field = lib.field(owner, "Count", ts.primitive("int"))
+        assert field.full_name == "N.Owner.Count"
+        assert not field.is_property
+        assert not field.is_static
+
+    def test_property_is_field_like(self, ts):
+        lib = LibraryBuilder(ts)
+        owner = lib.cls("N.Owner")
+        prop = lib.prop(owner, "Name", ts.string_type)
+        assert isinstance(prop, Field)
+        assert prop.is_property
+
+    def test_static_field(self, ts):
+        lib = LibraryBuilder(ts)
+        owner = lib.cls("N.Owner")
+        field = lib.field(owner, "Default", ts.string_type, static=True)
+        assert field.is_static
+
+
+class TestMethods:
+    def test_arity_counts_receiver_for_instance(self, ts):
+        lib = LibraryBuilder(ts)
+        owner = lib.cls("N.Owner")
+        instance = lib.method(owner, "M", params=[("x", ts.string_type)])
+        static = lib.static_method(owner, "S", params=[("x", ts.string_type)])
+        assert instance.arity == 2
+        assert static.arity == 1
+
+    def test_all_params_prepends_receiver(self, ts):
+        lib = LibraryBuilder(ts)
+        owner = lib.cls("N.Owner")
+        method = lib.method(owner, "M", params=[("x", ts.string_type)])
+        params = method.all_params()
+        assert params[0].name == "this"
+        assert params[0].type is owner
+        assert params[1].name == "x"
+
+    def test_all_params_static(self, ts):
+        lib = LibraryBuilder(ts)
+        owner = lib.cls("N.Owner")
+        method = lib.static_method(owner, "S", params=[("x", ts.string_type)])
+        assert [p.name for p in method.all_params()] == ["x"]
+
+    def test_zero_arg_instance(self, ts):
+        lib = LibraryBuilder(ts)
+        owner = lib.cls("N.Owner")
+        assert lib.method(owner, "ToThing", returns=owner).is_zero_arg_instance
+        assert not lib.static_method(owner, "Make").is_zero_arg_instance
+        assert not lib.method(
+            owner, "With", params=[("x", ts.string_type)]
+        ).is_zero_arg_instance
+
+    def test_root_declaration_walks_overrides(self, ts):
+        lib = LibraryBuilder(ts)
+        base = lib.cls("N.Base")
+        derived = lib.cls("N.Derived", base=base)
+        virtual = lib.method(base, "Render", params=[("x", ts.string_type)])
+        override = lib.method(
+            derived, "Render", params=[("x", ts.string_type)], overrides=virtual
+        )
+        assert override.root_declaration() is virtual
+        assert virtual.root_declaration() is virtual
+
+    def test_signature_rendering(self, ts):
+        lib = LibraryBuilder(ts)
+        owner = lib.cls("N.Owner")
+        method = lib.static_method(
+            owner, "Make", returns=owner, params=[("name", ts.string_type)]
+        )
+        assert method.signature() == "static N.Owner N.Owner.Make(System.String name)"
+
+    def test_void_signature(self, ts):
+        lib = LibraryBuilder(ts)
+        owner = lib.cls("N.Owner")
+        method = lib.method(owner, "Run")
+        assert "void" in method.signature()
+
+
+class TestParameter:
+    def test_parameter_repr(self, ts):
+        param = Parameter("x", ts.string_type)
+        assert "x" in repr(param) and "System.String" in repr(param)

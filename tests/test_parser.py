@@ -1,0 +1,233 @@
+"""Unit tests for the partial-expression parser."""
+
+import pytest
+
+from repro import Context, TypeSystem, parse
+from repro.codemodel import LibraryBuilder
+from repro.lang import (
+    Assign,
+    Call,
+    Compare,
+    FieldAccess,
+    Hole,
+    KnownCall,
+    Literal,
+    ParseError,
+    PartialAssign,
+    PartialCompare,
+    SuffixHole,
+    Unfilled,
+    UnknownCall,
+    Var,
+)
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    point = lib.struct("Geo.Point")
+    lib.prop(point, "X", ts.primitive("double"))
+    lib.field(point, "Origin", point, static=True)
+    lib.method(point, "Length", returns=ts.primitive("double"))
+    seg = lib.cls("Geo.Segment")
+    lib.prop(seg, "P1", point)
+    math = lib.cls("Geo.Math")
+    lib.static_method(math, "Distance", returns=ts.primitive("double"),
+                      params=[("a", point), ("b", point)])
+    context = Context(ts, locals={"p": point, "seg": seg}, this_type=seg)
+    return ts, context, point, seg
+
+
+class TestPrimaries:
+    def test_hole(self, world):
+        _ts, ctx, *_ = world
+        assert isinstance(parse("?", ctx), Hole)
+
+    def test_ignore_zero(self, world):
+        _ts, ctx, *_ = world
+        assert isinstance(parse("0", ctx), Unfilled)
+
+    def test_local_var(self, world):
+        _ts, ctx, point, _seg = world
+        expr = parse("p", ctx)
+        assert expr == Var("p", point)
+
+    def test_this(self, world):
+        _ts, ctx, _point, seg = world
+        assert parse("this", ctx) == Var("this", seg)
+
+    def test_number_literal(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("42", ctx)
+        assert isinstance(expr, Literal) and expr.value == 42
+
+    def test_float_literal(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("4.5", ctx)
+        assert isinstance(expr, Literal) and expr.value == 4.5
+
+    def test_string_literal(self, world):
+        _ts, ctx, *_ = world
+        expr = parse('"hi"', ctx)
+        assert isinstance(expr, Literal) and expr.value == "hi"
+
+    def test_keywords(self, world):
+        _ts, ctx, *_ = world
+        assert parse("null", ctx).value is None
+        assert parse("true", ctx).value is True
+        assert parse("false", ctx).value is False
+
+
+class TestLookups:
+    def test_instance_field(self, world):
+        _ts, ctx, point, _seg = world
+        expr = parse("p.X", ctx)
+        assert isinstance(expr, FieldAccess)
+        assert expr.member.name == "X"
+
+    def test_chain_through_this(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("this.P1.X", ctx)
+        assert isinstance(expr, FieldAccess)
+        assert expr.member.name == "X"
+        assert expr.base.member.name == "P1"
+
+    def test_static_field_by_full_name(self, world):
+        _ts, ctx, point, _seg = world
+        expr = parse("Geo.Point.Origin", ctx)
+        assert isinstance(expr, FieldAccess)
+        assert expr.member.is_static
+
+    def test_static_field_by_simple_type_name(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("Point.Origin", ctx)
+        assert expr.member.name == "Origin"
+
+    def test_zero_arg_call(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("p.Length()", ctx)
+        assert isinstance(expr, Call)
+        assert expr.method.name == "Length"
+
+    def test_unknown_member_errors(self, world):
+        _ts, ctx, *_ = world
+        with pytest.raises(ParseError):
+            parse("p.Nope", ctx)
+
+    def test_unknown_name_errors(self, world):
+        _ts, ctx, *_ = world
+        with pytest.raises(ParseError):
+            parse("mystery", ctx)
+
+
+class TestSuffixHoles:
+    @pytest.mark.parametrize("suffix,methods,star", [
+        (".?f", False, False),
+        (".?*f", False, True),
+        (".?m", True, False),
+        (".?*m", True, True),
+    ])
+    def test_suffix_forms(self, world, suffix, methods, star):
+        _ts, ctx, point, _seg = world
+        expr = parse("p" + suffix, ctx)
+        assert isinstance(expr, SuffixHole)
+        assert expr.methods is methods
+        assert expr.star is star
+        assert expr.base == Var("p", point)
+
+    def test_suffix_after_lookup(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("this.P1.?*m", ctx)
+        assert isinstance(expr, SuffixHole)
+        assert expr.base.member.name == "P1"
+
+
+class TestCalls:
+    def test_unknown_call(self, world):
+        _ts, ctx, point, seg = world
+        expr = parse("?({p, seg})", ctx)
+        assert isinstance(expr, UnknownCall)
+        assert expr.args == (Var("p", point), Var("seg", seg))
+
+    def test_unknown_call_with_partial_args(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("?({p.?*m, seg})", ctx)
+        assert isinstance(expr.args[0], SuffixHole)
+
+    def test_bare_name_known_call(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("Distance(p, ?)", ctx)
+        assert isinstance(expr, KnownCall)
+        assert expr.name == "Distance"
+        assert isinstance(expr.args[1], Hole)
+
+    def test_complete_call_resolves_to_call(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("Geo.Math.Distance(p, p)", ctx)
+        assert isinstance(expr, Call)
+
+    def test_instance_call_with_hole_arg(self, world):
+        ts, ctx, point, _seg = world
+        lib = LibraryBuilder(ts)
+        lib.method(point, "MoveTo", params=[("target", point)])
+        ctx2 = Context(ts, locals=dict(ctx.locals))
+        expr = parse("p.MoveTo(?)", ctx2)
+        assert isinstance(expr, KnownCall)
+        assert expr.args[0] == Var("p", point)
+
+    def test_unknown_method_name_errors(self, world):
+        _ts, ctx, *_ = world
+        with pytest.raises(ParseError):
+            parse("Nonexistent(p)", ctx)
+
+
+class TestBinary:
+    def test_complete_compare(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("p.X >= this.P1.X", ctx)
+        assert isinstance(expr, Compare)
+        assert expr.op == ">="
+
+    def test_partial_compare(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("p.?*m >= this.?*m", ctx)
+        assert isinstance(expr, PartialCompare)
+        assert isinstance(expr.lhs, SuffixHole)
+
+    def test_complete_assign(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("p.X := this.P1.X", ctx)
+        assert isinstance(expr, Assign)
+
+    def test_assign_accepts_equals(self, world):
+        _ts, ctx, *_ = world
+        assert isinstance(parse("p.X = this.P1.X", ctx), Assign)
+
+    def test_partial_assign(self, world):
+        _ts, ctx, *_ = world
+        expr = parse("p.?f := ?", ctx)
+        assert isinstance(expr, PartialAssign)
+        assert isinstance(expr.rhs, Hole)
+
+
+class TestErrors:
+    def test_unexpected_character(self, world):
+        _ts, ctx, *_ = world
+        with pytest.raises(ParseError):
+            parse("p @ q", ctx)
+
+    def test_trailing_input(self, world):
+        _ts, ctx, *_ = world
+        with pytest.raises(ParseError):
+            parse("p p", ctx)
+
+    def test_unclosed_call(self, world):
+        _ts, ctx, *_ = world
+        with pytest.raises(ParseError):
+            parse("Distance(p", ctx)
+
+    def test_type_name_alone_is_not_expression(self, world):
+        _ts, ctx, *_ = world
+        with pytest.raises(ParseError):
+            parse("Geo.Point", ctx)

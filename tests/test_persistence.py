@@ -1,0 +1,82 @@
+"""Tests for result persistence and regression comparison."""
+
+import pytest
+
+from repro.eval.persistence import (
+    compare_runs,
+    format_comparison,
+    headline_metrics,
+    load_results,
+    results_document,
+    save_results,
+)
+from tests.test_figures_tables import make_arg, make_call
+
+
+@pytest.fixture
+def run():
+    return {
+        "methods": [make_call(rank=1), make_call(rank=12)],
+        "arguments": [make_arg(rank=2), make_arg(guessable=False, rank=None)],
+        "assignments": [],
+        "comparisons": [],
+    }
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, run, tmp_path):
+        path = tmp_path / "run.json"
+        save_results(str(path), **run)
+        loaded = load_results(str(path))
+        assert len(loaded["methods"]) == 2
+        assert loaded["methods"][0].best_rank == 1
+        assert loaded["arguments"][1].guessable is False
+
+    def test_document_shape(self, run):
+        document = results_document(
+            run["methods"], run["arguments"], run["assignments"],
+            run["comparisons"],
+        )
+        assert document["format"] == "repro-results"
+        assert len(document["methods"]) == 2
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ValueError):
+            load_results(str(path))
+
+
+class TestHeadlines:
+    def test_metrics_per_family(self, run):
+        headlines = headline_metrics(run)
+        assert headlines["methods"]["top10"] == 0.5
+        assert headlines["arguments"]["count"] == 1  # guessable only
+        assert "assignments" not in headlines
+
+
+class TestCompare:
+    def test_stable_run(self, run):
+        report = compare_runs(run, run)
+        assert all(
+            not deltas.get("regressed") and not deltas.get("improved")
+            for deltas in report.values()
+        )
+
+    def test_regression_flagged(self, run):
+        worse = dict(run)
+        worse["methods"] = [make_call(rank=None), make_call(rank=50)]
+        report = compare_runs(run, worse)
+        assert report["methods"].get("regressed") == 1.0
+        assert report["methods"]["top10"] < 0
+
+    def test_improvement_flagged(self, run):
+        better = dict(run)
+        better["methods"] = [make_call(rank=1), make_call(rank=1)]
+        report = compare_runs(run, better)
+        assert report["methods"].get("improved") == 1.0
+
+    def test_format_comparison(self, run):
+        text = format_comparison(compare_runs(run, run))
+        assert "family" in text
+        assert "stable" in text

@@ -1,0 +1,110 @@
+"""Printer tests, including print -> parse round-trips."""
+
+import pytest
+
+from repro import Context, TypeSystem, parse, to_source
+from repro.codemodel import LibraryBuilder
+from repro.lang import (
+    Call,
+    FieldAccess,
+    Hole,
+    Literal,
+    TypeLiteral,
+    Unfilled,
+    UnknownCall,
+    Var,
+)
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    point = lib.struct("Geo.Point")
+    lib.prop(point, "X", ts.primitive("double"))
+    lib.field(point, "Origin", point, static=True)
+    lib.method(point, "Length", returns=ts.primitive("double"))
+    lib.method(point, "OnMoved", params=[("sender", ts.object_type)])
+    math = lib.cls("Geo.Math")
+    lib.static_method(math, "Distance", returns=ts.primitive("double"),
+                      params=[("a", point), ("b", point)])
+    context = Context(ts, locals={"p": point, "q": point})
+    return ts, context, point
+
+
+class TestRendering:
+    def test_var(self, world):
+        _ts, _ctx, point = world
+        assert to_source(Var("p", point)) == "p"
+
+    def test_hole_and_ignore(self, world):
+        assert to_source(Hole()) == "?"
+        assert to_source(Unfilled()) == "0"
+
+    def test_static_field(self, world):
+        _ts, ctx, point = world
+        expr = parse("Geo.Point.Origin", ctx)
+        assert to_source(expr) == "Geo.Point.Origin"
+
+    def test_instance_call_receiver_style(self, world):
+        _ts, ctx, _point = world
+        expr = parse("p.Length()", ctx)
+        assert to_source(expr) == "p.Length()"
+
+    def test_static_call_qualified(self, world):
+        _ts, ctx, _point = world
+        expr = parse("Geo.Math.Distance(p, q)", ctx)
+        assert to_source(expr) == "Geo.Math.Distance(p, q)"
+
+    def test_unfilled_receiver_prints_flat(self, world):
+        ts, ctx, point = world
+        on_moved = next(m for m in point.methods if m.name == "OnMoved")
+        call = Call(on_moved, (Unfilled(), Var("p", point)))
+        assert to_source(call) == "Geo.Point.OnMoved(0, p)"
+
+    def test_unknown_call(self, world):
+        _ts, ctx, point = world
+        expr = UnknownCall((Var("p", point), Hole()))
+        assert to_source(expr) == "?({p, ?})"
+
+    def test_string_literal_quoted(self, world):
+        ts, *_ = world
+        assert to_source(Literal("hi", ts.string_type)) == '"hi"'
+
+    def test_bool_and_null_literals(self, world):
+        ts, *_ = world
+        assert to_source(Literal(True, ts.primitive("bool"))) == "true"
+        assert to_source(Literal(None, ts.object_type)) == "null"
+
+    def test_suffix_holes(self, world):
+        _ts, ctx, _point = world
+        for text in ["p.?f", "p.?*f", "p.?m", "p.?*m"]:
+            assert to_source(parse(text, ctx)) == text
+
+
+class TestRoundTrips:
+    CASES = [
+        "p",
+        "?",
+        "p.X",
+        "p.Length()",
+        "Geo.Point.Origin",
+        "Geo.Point.Origin.X",
+        "Geo.Math.Distance(p, q)",
+        "Geo.Point.OnMoved(0, p)",
+        "?({p, q})",
+        "?({p.?*m, 0})",
+        "p.?m",
+        "p.X >= q.X",
+        "p.X := q.X",
+        "Distance(p, ?)",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_round_trip(self, world, source):
+        _ts, ctx, _point = world
+        expr = parse(source, ctx)
+        printed = to_source(expr)
+        again = parse(printed, ctx)
+        assert again == expr
+        assert to_source(again) == printed

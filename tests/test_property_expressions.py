@@ -1,0 +1,169 @@
+"""Property-based tests over randomly generated well-typed expressions.
+
+A recursive generator builds arbitrary type-correct expressions against the
+Paint.NET universe; every generated expression must satisfy the system-wide
+invariants: well-typedness, print -> parse stability, serialization
+round-trip, and a deterministic non-negative ranking score.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Context, Ranker, TypeSystem, parse, to_source, well_typed
+from repro.corpus.frameworks import build_paintdotnet
+from repro.lang import Call, Expr, FieldAccess, Literal, TypeLiteral, Var
+from repro.serialize import dump_expr, load_expr
+
+_TS = TypeSystem()
+_PAINT = build_paintdotnet(_TS)
+_CTX = Context(
+    _TS, locals={"img": _PAINT.document, "size": _PAINT.size}
+)
+_LOCALS = [("img", _PAINT.document), ("size", _PAINT.size)]
+
+# static fields usable as roots
+_STATIC_FIELDS = [
+    (typedef, member)
+    for typedef in _TS.all_types()
+    for member in typedef.declared_lookups()
+    if member.is_static
+]
+
+
+def _value_of(draw, target, depth):
+    """A random expression whose type implicitly converts to ``target``."""
+    options = []
+    locals_ok = [
+        Var(name, typedef)
+        for name, typedef in _LOCALS
+        if _TS.implicitly_converts(typedef, target)
+    ]
+    if locals_ok:
+        options.append("local")
+    statics_ok = [
+        (typedef, member)
+        for typedef, member in _STATIC_FIELDS
+        if _TS.implicitly_converts(member.type, target)
+    ]
+    if statics_ok:
+        options.append("static")
+    if target.kind.value == "primitive" and target.name not in ("void",):
+        options.append("literal")
+    if target is _TS.string_type:
+        options.append("literal")
+    if depth > 0:
+        chains = _chain_candidates(target)
+        if chains:
+            options.append("chain")
+    if not options:
+        return None
+    choice = draw(st.sampled_from(sorted(set(options))))
+    if choice == "local":
+        return draw(st.sampled_from(locals_ok))
+    if choice == "static":
+        typedef, member = draw(st.sampled_from(statics_ok))
+        return FieldAccess(TypeLiteral(typedef), member)
+    if choice == "literal":
+        if target is _TS.string_type:
+            return Literal(draw(st.sampled_from(["a", "b", "path"])), target)
+        if target.name == "bool":
+            return Literal(draw(st.booleans()), target)
+        if target.name in ("float", "double"):
+            return Literal(float(draw(st.integers(1, 9))), target)
+        return Literal(draw(st.integers(1, 99)), target)
+    # chain: one lookup off a local
+    root, member = draw(st.sampled_from(_chain_candidates(target)))
+    return FieldAccess(root, member)
+
+
+def _chain_candidates(target):
+    candidates = []
+    for name, typedef in _LOCALS:
+        for member in _TS.instance_lookups(typedef):
+            if _TS.implicitly_converts(member.type, target):
+                candidates.append((Var(name, typedef), member))
+    return candidates
+
+
+_CALLABLE = [
+    m
+    for m in _TS.all_methods()
+    if not m.is_constructor and m.arity <= 4
+]
+
+
+@st.composite
+def expressions(draw) -> Expr:
+    """A random well-typed expression: a value, lookup chain, or call."""
+    kind = draw(st.sampled_from(["value", "chain", "call", "call", "chain"]))
+    if kind == "value":
+        target = draw(st.sampled_from([_PAINT.document, _PAINT.size,
+                                       _TS.string_type, _TS.primitive("int")]))
+        expr = _value_of(draw, target, depth=1)
+        if expr is None:
+            expr = Var("img", _PAINT.document)
+        return expr
+    if kind == "chain":
+        name, typedef = draw(st.sampled_from(_LOCALS))
+        expr = Var(name, typedef)
+        for _ in range(draw(st.integers(1, 3))):
+            base_type = expr.type
+            members = list(_TS.instance_lookups(base_type))
+            methods = [
+                m for m in _TS.zero_arg_instance_methods(base_type)
+                if m.return_type is not None
+            ]
+            steps = [("f", m) for m in members] + [("m", m) for m in methods]
+            if not steps:
+                break
+            step_kind, member = draw(st.sampled_from(steps))
+            if step_kind == "f":
+                expr = FieldAccess(expr, member)
+            else:
+                expr = Call(member, (expr,))
+        return expr
+    # call: pick a method we can fully satisfy
+    for _ in range(8):
+        method = draw(st.sampled_from(_CALLABLE))
+        args = []
+        for param in method.all_params():
+            value = _value_of(draw, param.type, depth=1)
+            if value is None:
+                break
+            args.append(value)
+        else:
+            return Call(method, tuple(args))
+    return Var("img", _PAINT.document)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions())
+def test_generated_expressions_are_well_typed(expr):
+    assert well_typed(expr, _TS)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions())
+def test_print_parse_is_stable(expr):
+    printed = to_source(expr)
+    reparsed = parse(printed, _CTX)
+    assert to_source(reparsed) == printed
+    assert well_typed(reparsed, _TS)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions())
+def test_serialize_round_trip(expr):
+    data = json.loads(json.dumps(dump_expr(expr)))
+    assert load_expr(_TS, data) == expr
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions())
+def test_score_is_deterministic_and_nonnegative(expr):
+    ranker = Ranker(_CTX)
+    first = ranker.score(expr)
+    assert first >= 0
+    assert ranker.score(expr) == first

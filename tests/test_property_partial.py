@@ -1,0 +1,120 @@
+"""Property-based tests over randomly generated *partial* expressions.
+
+Random queries are built against the geometry universe; for each one the
+engine's completions must be derivable (Figure 6), well-typed, score-exact
+and score-ordered — the oracle invariants, but over a much wider query
+space than the hand-picked battery.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Context,
+    CompletionEngine,
+    Ranker,
+    TypeSystem,
+    derivable,
+    to_source,
+    well_typed,
+)
+from repro.corpus.frameworks import build_geometry
+from repro.lang import (
+    Hole,
+    KnownCall,
+    PartialCompare,
+    SuffixHole,
+    Unfilled,
+    UnknownCall,
+    Var,
+)
+
+_TS = TypeSystem()
+_GEO = build_geometry(_TS)
+_CTX = Context(
+    _TS,
+    locals={"point": _GEO.point, "shapeStyle": _GEO.shape_style,
+            "seg": _GEO.line_segment},
+    this_type=_GEO.ellipse_arc,
+)
+_ENGINE = CompletionEngine(_TS)
+
+_LOCAL_VARS = [Var(name, typedef) for name, typedef in _CTX.locals.items()]
+
+
+def _base_exprs(draw):
+    return draw(st.sampled_from(_LOCAL_VARS))
+
+
+@st.composite
+def partial_expressions(draw):
+    kind = draw(st.sampled_from(
+        ["hole", "suffix", "unknown", "known", "compare"]))
+    if kind == "hole":
+        return Hole()
+    if kind == "suffix":
+        base = _base_exprs(draw)
+        return SuffixHole(base, methods=draw(st.booleans()),
+                          star=draw(st.booleans()))
+    if kind == "unknown":
+        count = draw(st.integers(1, 2))
+        args = []
+        for _ in range(count):
+            pick = draw(st.sampled_from(["var", "hole-suffix", "ignore"]))
+            if pick == "var":
+                args.append(_base_exprs(draw))
+            elif pick == "ignore":
+                args.append(Unfilled())
+            else:
+                args.append(SuffixHole(_base_exprs(draw), methods=True,
+                                       star=True))
+        if all(isinstance(a, Unfilled) for a in args):
+            args[0] = _base_exprs(draw)
+        return UnknownCall(tuple(args))
+    if kind == "known":
+        method = _GEO.distance
+        hole_position = draw(st.integers(0, 1))
+        args = [
+            Hole() if index == hole_position else Var("point", _GEO.point)
+            for index in range(2)
+        ]
+        return KnownCall((method,), tuple(args))
+    lhs = SuffixHole(_base_exprs(draw), methods=True, star=True)
+    rhs = SuffixHole(_base_exprs(draw), methods=True,
+                     star=draw(st.booleans()))
+    op = draw(st.sampled_from(["<", ">=", ">"]))
+    return PartialCompare(lhs, rhs, op)
+
+
+@settings(max_examples=60, deadline=None)
+@given(partial_expressions(), st.integers(1, 15))
+def test_engine_satisfies_oracle_on_random_queries(pe, n):
+    ranker = Ranker(_CTX)
+    previous = None
+    for completion in _ENGINE.complete(pe, _CTX, n=n):
+        label = "{} -> {}".format(pe, to_source(completion.expr))
+        assert well_typed(completion.expr, _TS), label
+        assert derivable(pe, completion.expr, _CTX), label
+        assert completion.score == ranker.score(completion.expr), label
+        if previous is not None:
+            assert completion.score >= previous, label
+        previous = completion.score
+
+
+@settings(max_examples=40, deadline=None)
+@given(partial_expressions())
+def test_completions_are_deterministic(pe):
+    first = [(c.score, c.expr.key()) for c in _ENGINE.complete(pe, _CTX, n=12)]
+    second = [(c.score, c.expr.key()) for c in _ENGINE.complete(pe, _CTX, n=12)]
+    assert first == second
+
+
+@settings(max_examples=40, deadline=None)
+@given(partial_expressions())
+def test_print_parse_preserves_query(pe):
+    """Every random query prints to re-parseable concrete syntax."""
+    from repro import parse
+
+    printed = to_source(pe)
+    reparsed = parse(printed, _CTX)
+    assert to_source(reparsed) == printed

@@ -1,0 +1,237 @@
+"""Tests for the Figure 7 ranking function."""
+
+import pytest
+
+from repro import Context, RankingConfig, TypeSystem
+from repro.codemodel import LibraryBuilder
+from repro.engine.ranking import AbstractTypeOracle, Ranker
+from repro.lang import Assign, Call, Compare, FieldAccess, TypeLiteral, Unfilled, Var
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    shape = lib.cls("Geo.Shapes.Shape")
+    rect = lib.cls("Geo.Shapes.Rectangle", base=shape)
+    lib.prop(rect, "W", ts.primitive("int"))
+    lib.prop(rect, "H", ts.primitive("int"))
+    lib.prop(shape, "Area", ts.primitive("int"))
+    helper = lib.cls("Geo.Shapes.Util.Helper")
+    fit = lib.static_method(helper, "Fit", returns=shape,
+                            params=[("a", shape), ("b", rect)])
+    grow = lib.method(rect, "Grow", returns=rect, params=[("by", ts.primitive("int"))])
+    tostr = lib.method(rect, "Describe", returns=ts.string_type)
+    far = lib.static_method("Other.Place.Thing", "Consume", returns=None,
+                            params=[("a", shape), ("b", rect)])
+    return ts, shape, rect, helper, fit, grow, tostr, far
+
+
+def ranker(ts, config=None, this_type=None, locals=None):
+    ctx = Context(ts, locals=locals or {}, this_type=this_type)
+    return Ranker(ctx, config)
+
+
+class TestDepth:
+    def test_paper_dot_costs(self, world):
+        """dots("this.foo") = 1 -> cost 2; dots("this.bar.ToBaz()") = 2 -> 4."""
+        ts, shape, rect, *_ = world
+        r = ranker(ts, this_type=rect)
+        this = Var("this", rect)
+        w = next(p for p in rect.properties if p.name == "W")
+        assert r.score(FieldAccess(this, w)) == 2
+        tostr = rect.declared_methods_named("Describe")[0]
+        area = next(p for p in shape.properties if p.name == "Area")
+        # this.Area costs 2 (dot) + 1 (td Rectangle->Shape for the inherited
+        # property's declaring type)
+        assert r.score(FieldAccess(this, area)) == 3
+
+    def test_zero_arg_instance_call_costs_like_lookup(self, world):
+        ts, _shape, rect, _h, _fit, _grow, tostr, _far = world
+        r = ranker(ts, this_type=rect)
+        call = Call(tostr, (Var("this", rect),))
+        assert r.score(call) == 2
+
+    def test_depth_disabled(self, world):
+        ts, _shape, rect, *_ = world
+        r = ranker(ts, RankingConfig.without("d"), this_type=rect)
+        w = next(p for p in rect.properties if p.name == "W")
+        assert r.score(FieldAccess(Var("this", rect), w)) == 0
+
+    def test_var_is_free(self, world):
+        ts, _shape, rect, *_ = world
+        assert ranker(ts).score(Var("r", rect)) == 0
+
+
+class TestTypeDistanceTerm:
+    def test_exact_types_cost_zero_td(self, world):
+        ts, shape, rect, helper, fit, *_ = world
+        r = ranker(ts, RankingConfig.only("t"))
+        call = Call(fit, (Var("s", shape), Var("r", rect)))
+        assert r.score(call) == 0
+
+    def test_subtype_arg_costs_distance(self, world):
+        ts, shape, rect, helper, fit, *_ = world
+        r = ranker(ts, RankingConfig.only("t"))
+        call = Call(fit, (Var("r", rect), Var("r", rect)))
+        assert r.score(call) == 1  # td(Rectangle, Shape) = 1
+
+    def test_type_incorrect_call_raises(self, world):
+        ts, shape, rect, helper, fit, *_ = world
+        r = ranker(ts)
+        with pytest.raises(ValueError):
+            r.score(Call(fit, (Var("s", shape), Var("s", shape))))
+
+    def test_unfilled_costs_no_distance(self, world):
+        ts, shape, rect, helper, fit, *_ = world
+        r = ranker(ts, RankingConfig.only("t"))
+        assert r.score(Call(fit, (Var("s", shape), Unfilled()))) == 0
+
+
+class TestInScopeStatic:
+    def test_every_call_pays_one_except_in_scope_static(self, world):
+        ts, shape, rect, helper, fit, grow, *_ = world
+        config = RankingConfig.only("s")
+        outside = ranker(ts, config, this_type=rect)
+        inside = ranker(ts, config, this_type=helper)
+        call = Call(fit, (Var("s", shape), Var("r", rect)))
+        assert outside.score(call) == 1
+        assert inside.score(call) == 0
+        instance = Call(grow, (Var("r", rect), Unfilled()))
+        assert outside.score(instance) == 1
+
+
+class TestNamespace:
+    def test_same_namespace_bonus(self, world):
+        """Shape and Rectangle and the Helper class share Geo.Shapes -> the
+        common prefix is 2 segments -> cost 3 - 2 = 1."""
+        ts, shape, rect, helper, fit, *_ = world
+        r = ranker(ts, RankingConfig.only("n"))
+        call = Call(fit, (Var("s", shape), Var("r", rect)))
+        assert r.score(call) == 1
+
+    def test_far_namespace_costs_full(self, world):
+        ts, shape, rect, _helper, _fit, _g, _t, far = world
+        r = ranker(ts, RankingConfig.only("n"))
+        call = Call(far, (Var("s", shape), Var("r", rect)))
+        assert r.score(call) == 3  # declaring type shares no prefix
+
+    def test_single_nonprimitive_arg_gets_no_similarity(self, world):
+        ts, shape, rect, _helper, _fit, grow, *_ = world
+        r = ranker(ts, RankingConfig.only("n"))
+        call = Call(grow, (Var("r", rect), Var("i", ts.primitive("int"))))
+        # only one non-primitive argument -> similarity 0 -> cost 3
+        assert r.score(call) == 3
+
+
+class TestMatchingName:
+    def test_same_final_lookup_name_is_free(self, world):
+        ts, _shape, rect, *_ = world
+        r = ranker(ts, RankingConfig.only("m"))
+        w = next(p for p in rect.properties if p.name == "W")
+        left = FieldAccess(Var("a", rect), w)
+        right = FieldAccess(Var("b", rect), w)
+        assert r.score(Compare(left, right, "<")) == 0
+
+    def test_differing_names_cost_three(self, world):
+        ts, _shape, rect, *_ = world
+        r = ranker(ts, RankingConfig.only("m"))
+        w = next(p for p in rect.properties if p.name == "W")
+        h = next(p for p in rect.properties if p.name == "H")
+        left = FieldAccess(Var("a", rect), w)
+        right = FieldAccess(Var("b", rect), h)
+        assert r.score(Compare(left, right, "<")) == 3
+
+    def test_constant_side_costs_three(self, world):
+        ts, _shape, rect, *_ = world
+        r = ranker(ts, RankingConfig.only("m"))
+        w = next(p for p in rect.properties if p.name == "W")
+        left = FieldAccess(Var("a", rect), w)
+        from repro.lang import Literal
+
+        assert r.score(Compare(left, Literal(3, ts.primitive("int")), "<")) == 3
+
+    def test_assignments_have_no_name_term(self, world):
+        ts, _shape, rect, *_ = world
+        r = ranker(ts, RankingConfig.only("m"))
+        w = next(p for p in rect.properties if p.name == "W")
+        h = next(p for p in rect.properties if p.name == "H")
+        left = FieldAccess(Var("a", rect), w)
+        right = FieldAccess(Var("b", rect), h)
+        assert r.score(Assign(left, right)) == 0
+
+
+class TestAbstractTypes:
+    class FakeOracle(AbstractTypeOracle):
+        """Everything has abstract type 7 -> all matches succeed."""
+
+        def of_expr(self, expr):
+            return 7
+
+        def of_param(self, method, index, receiver_type):
+            return 7
+
+    def test_null_oracle_charges_every_arg(self, world):
+        ts, shape, rect, _h, fit, *_ = world
+        ctx = Context(ts)
+        r = Ranker(ctx, RankingConfig.only("a"))
+        call = Call(fit, (Var("s", shape), Var("r", rect)))
+        assert r.score(call) == 2  # both args mismatch (undefined)
+
+    def test_matching_oracle_is_free(self, world):
+        ts, shape, rect, _h, fit, *_ = world
+        ctx = Context(ts)
+        r = Ranker(ctx, RankingConfig.only("a"), self.FakeOracle())
+        call = Call(fit, (Var("s", shape), Var("r", rect)))
+        assert r.score(call) == 0
+
+
+class TestConfigLabels:
+    def test_labels(self):
+        assert RankingConfig().label() == "All"
+        assert RankingConfig.without("n").label() == "-n"
+        assert RankingConfig.without("at").label() == "-at"
+        assert RankingConfig.only("d").label() == "+d"
+        assert RankingConfig.only("at").label() == "+at"
+
+
+class TestExplain:
+    def test_breakdown_sums_to_score(self, world):
+        ts, shape, rect, helper, fit, grow, tostr, _far = world
+        ctx = Context(ts, this_type=rect)
+        r = Ranker(ctx)
+        exprs = [
+            Call(fit, (Var("s", shape), Var("r", rect))),
+            FieldAccess(Var("this", rect),
+                        next(p for p in rect.properties if p.name == "W")),
+            Call(grow, (Var("r", rect), Unfilled())),
+        ]
+        for expr in exprs:
+            breakdown = r.explain(expr)
+            assert sum(breakdown.values()) == r.score(expr)
+
+    def test_disabled_features_absent(self, world):
+        ts, shape, rect, _h, fit, *_ = world
+        ctx = Context(ts)
+        r = Ranker(ctx, RankingConfig.only("t"))
+        breakdown = r.explain(Call(fit, (Var("s", shape), Var("r", rect))))
+        assert list(breakdown) == ["type_distance"]
+
+
+class TestCompletionCostConsistency:
+    def test_call_completion_cost_matches_score(self, world):
+        ts, shape, rect, helper, fit, grow, tostr, _far = world
+        ctx = Context(ts, this_type=rect)
+        r = Ranker(ctx)
+        for call in [
+            Call(fit, (Var("s", shape), Var("r", rect))),
+            Call(grow, (Var("r", rect), Unfilled())),
+            Call(tostr, (Var("r", rect),)),
+        ]:
+            args = call.args
+            extra = r.call_completion_cost(
+                call.method, [a.type for a in args], args
+            )
+            arg_scores = sum(r.score(a) for a in args)
+            assert extra is not None
+            assert arg_scores + extra == r.score(call)

@@ -1,0 +1,70 @@
+"""Tests for the bundled evaluation runner and its CLI wiring."""
+
+import pytest
+
+from repro.eval import EvalConfig
+from repro.eval.persistence import compare_runs
+from repro.eval.runner import ResultBundle, run_all
+
+
+@pytest.fixture(scope="module")
+def bundle(request):
+    tiny = request.getfixturevalue("tiny_project")
+    cfg = EvalConfig(
+        limit=25,
+        max_calls_per_project=6,
+        max_arguments_per_project=8,
+        max_assignments_per_project=4,
+        max_comparisons_per_project=3,
+        with_return_type=False,
+        with_intellisense=False,
+    )
+    return run_all([tiny], cfg)
+
+
+class TestRunAll:
+    def test_all_families_populated(self, bundle):
+        assert bundle.methods
+        assert bundle.arguments
+        assert bundle.assignments
+        # comparisons may be sparse but the family list exists
+        assert isinstance(bundle.comparisons, list)
+
+    def test_save_load_round_trip(self, bundle, tmp_path):
+        path = tmp_path / "bundle.json"
+        bundle.save(str(path))
+        loaded = ResultBundle.load(str(path))
+        assert len(loaded.methods) == len(bundle.methods)
+        assert loaded.methods[0].best_rank == bundle.methods[0].best_rank
+
+    def test_self_comparison_is_stable(self, bundle):
+        report = compare_runs(bundle.families(), bundle.families())
+        assert all(
+            not deltas.get("regressed") for deltas in report.values()
+        )
+
+    def test_cli_save_and_compare(self, bundle, tmp_path, monkeypatch):
+        from repro.__main__ import main as cli_main
+        import repro.eval.experiments as exp
+
+        real_init = exp.EvalConfig.__init__
+
+        def tiny_init(self, **kwargs):
+            kwargs["max_calls_per_project"] = 3
+            kwargs["max_arguments_per_project"] = 3
+            kwargs["max_assignments_per_project"] = 2
+            kwargs["max_comparisons_per_project"] = 1
+            kwargs.setdefault("limit", 15)
+            real_init(self, **kwargs)
+
+        monkeypatch.setattr(exp.EvalConfig, "__init__", tiny_init)
+        baseline = tmp_path / "baseline.json"
+        output = []
+        assert cli_main(["eval", "--save", str(baseline)],
+                        write=output.append) == 0
+        assert baseline.exists()
+        output.clear()
+        assert cli_main(["eval", "--compare", str(baseline)],
+                        write=output.append) == 0
+        text = "\n".join(output)
+        assert "family" in text and "stable" in text

@@ -1,0 +1,110 @@
+"""Tests for the query Context."""
+
+import pytest
+
+from repro import Context, TypeSystem
+from repro.codemodel import LibraryBuilder
+from repro.lang import Call, FieldAccess, Var
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    widget = lib.cls("App.Widget")
+    helper = lib.cls("App.Helper")
+    lib.field(helper, "Default", widget, static=True)
+    lib.static_method(helper, "Make", returns=widget)
+    lib.static_method(helper, "MakeWith", returns=widget,
+                      params=[("name", ts.string_type)])
+    lib.static_method(widget, "Create", returns=widget)
+    lib.method(widget, "Clone", returns=widget)
+    return ts, widget, helper
+
+
+class TestLocals:
+    def test_this_added_automatically(self, world):
+        ts, widget, _helper = world
+        ctx = Context(ts, this_type=widget)
+        assert ctx.has_local("this")
+        assert ctx.local_var("this").type is widget
+
+    def test_local_vars_order(self, world):
+        ts, widget, _helper = world
+        ctx = Context(ts, locals={"a": widget, "b": ts.string_type})
+        assert [v.name for v in ctx.local_vars()] == ["a", "b"]
+
+    def test_with_locals_copies(self, world):
+        ts, widget, _helper = world
+        ctx = Context(ts, this_type=widget)
+        ctx2 = ctx.with_locals({"x": widget})
+        assert ctx2.has_local("x") and ctx2.has_local("this")
+        assert not ctx.has_local("x")
+
+
+class TestGlobals:
+    def test_static_fields_are_roots(self, world):
+        ts, _widget, helper = world
+        ctx = Context(ts)
+        roots = ctx.global_roots()
+        assert any(
+            isinstance(r, FieldAccess) and r.member.name == "Default"
+            for r in roots
+        )
+
+    def test_zero_arg_static_methods_are_roots(self, world):
+        ts, *_ = world
+        ctx = Context(ts)
+        names = [
+            r.method.name for r in ctx.global_roots() if isinstance(r, Call)
+        ]
+        assert "Make" in names and "Create" in names
+        assert "MakeWith" not in names  # takes a parameter
+
+    def test_chain_roots_are_locals_then_globals(self, world):
+        ts, widget, _helper = world
+        ctx = Context(ts, locals={"w": widget})
+        roots = ctx.chain_roots()
+        assert roots[0] == Var("w", widget)
+        assert len(roots) > 1
+
+
+class TestMethodsNamed:
+    def test_finds_all_overloads(self, world):
+        ts, *_ = world
+        ctx = Context(ts)
+        assert len(ctx.methods_named("Make")) == 1
+        assert ctx.methods_named("Nothing") == []
+
+    def test_includes_instance_methods(self, world):
+        ts, *_ = world
+        ctx = Context(ts)
+        assert len(ctx.methods_named("Clone")) == 1
+
+
+class TestInScopeStatic:
+    def test_enclosing_type_statics_in_scope(self, world):
+        ts, widget, helper = world
+        make = helper.declared_methods_named("Make")[0]
+        ctx = Context(ts, this_type=helper)
+        assert ctx.is_in_scope_static(make)
+
+    def test_other_statics_not_in_scope(self, world):
+        ts, widget, helper = world
+        make = helper.declared_methods_named("Make")[0]
+        ctx = Context(ts, this_type=widget)
+        assert not ctx.is_in_scope_static(make)
+
+    def test_instance_methods_never_in_scope_static(self, world):
+        ts, widget, _helper = world
+        clone = widget.declared_methods_named("Clone")[0]
+        ctx = Context(ts, this_type=widget)
+        assert not ctx.is_in_scope_static(clone)
+
+    def test_base_class_statics_in_scope(self, world):
+        ts, widget, helper = world
+        lib = LibraryBuilder(ts)
+        sub = lib.cls("App.SubHelper", base=helper)
+        make = helper.declared_methods_named("Make")[0]
+        ctx = Context(ts, this_type=sub)
+        assert ctx.is_in_scope_static(make)

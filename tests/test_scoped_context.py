@@ -1,0 +1,68 @@
+"""Tests for statement-scoped contexts (locals live after declaration)."""
+
+import pytest
+
+from repro.frontend import SourceReader
+
+SOURCE = """
+namespace S {
+    class Box {
+        int Size;
+        static int Grade(int n);
+        void Work(int seed) {
+            int early = seed;
+            S.Box.Grade(early);
+            int late = early;
+            S.Box.Grade(late);
+        }
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def impl():
+    project = SourceReader.read(SOURCE)
+    return project, next(i for i in project.impls if i.method.name == "Work")
+
+
+class TestLocalsAt:
+    def test_params_always_live(self, impl):
+        project, work = impl
+        assert "seed" in work.locals_at(0)
+
+    def test_declaration_order_respected(self, impl):
+        project, work = impl
+        # before stmt 0 nothing but the parameter is live
+        assert "early" not in work.locals_at(0)
+        # after the first LocalDecl, `early` is live; `late` is not yet
+        scope = work.locals_at(2)
+        assert "early" in scope
+        assert "late" not in scope
+        # at the last statement everything is live
+        assert "late" in work.locals_at(3)
+
+    def test_context_at_matches_locals(self, impl):
+        project, work = impl
+        ctx = work.context_at(project.ts, 2)
+        assert ctx.has_local("early")
+        assert not ctx.has_local("late")
+        assert ctx.has_local("this")
+
+    def test_full_context_is_superset(self, impl):
+        project, work = impl
+        full = set(work.context(project.ts).locals)
+        for index in range(len(work.body) + 1):
+            assert set(work.context_at(project.ts, index).locals) <= full
+
+    def test_scoped_query_excludes_later_locals(self, impl):
+        """A completion query at statement 1 cannot see `late`."""
+        from repro import CompletionEngine, parse, to_source
+
+        project, work = impl
+        ctx = work.context_at(project.ts, 1)
+        engine = CompletionEngine(project.ts)
+        pe = parse("Grade(?)", ctx)
+        texts = [to_source(c.expr) for c in engine.complete(pe, ctx, n=20)]
+        assert any("early" in t for t in texts)
+        assert not any("late" in t for t in texts)

@@ -1,0 +1,205 @@
+"""Tests for the Figure 6 semantics: well-typedness and derivability."""
+
+import pytest
+
+from repro import Context, TypeSystem, parse
+from repro.codemodel import LibraryBuilder
+from repro.lang import (
+    Assign,
+    Call,
+    Compare,
+    FieldAccess,
+    Hole,
+    KnownCall,
+    PartialAssign,
+    PartialCompare,
+    SuffixHole,
+    TypeLiteral,
+    Unfilled,
+    UnknownCall,
+    Var,
+    derivable,
+    well_typed,
+)
+from repro.lang.semantics import chain_prefixes, is_chain_root, is_hole_completion
+
+
+@pytest.fixture
+def world():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    point = lib.struct("Geo.Point")
+    x = lib.prop(point, "X", ts.primitive("double"))
+    origin = lib.field(point, "Origin", point, static=True)
+    length = lib.method(point, "Length", returns=ts.primitive("double"))
+    seg = lib.cls("Geo.Segment")
+    p1 = lib.prop(seg, "P1", point)
+    math = lib.cls("Geo.Math")
+    dist = lib.static_method(math, "Distance", returns=ts.primitive("double"),
+                             params=[("a", point), ("b", point)])
+    ctx = Context(ts, locals={"p": point, "seg": seg})
+    return ts, ctx, point, x, origin, length, seg, p1, dist
+
+
+class TestWellTyped:
+    def test_var_and_literals(self, world):
+        ts, ctx, point, *_ = world
+        assert well_typed(Var("p", point), ts)
+        assert well_typed(Unfilled(), ts)
+
+    def test_field_access(self, world):
+        ts, _ctx, point, x, *_ = world
+        assert well_typed(FieldAccess(Var("p", point), x), ts)
+
+    def test_field_access_wrong_base(self, world):
+        ts, _ctx, point, x, _o, _l, seg, *_ = world
+        assert not well_typed(FieldAccess(Var("s", seg), x), ts)
+
+    def test_call_checks_argument_types(self, world):
+        ts, _ctx, point, _x, _o, _l, seg, _p1, dist = world
+        good = Call(dist, (Var("p", point), Var("q", point)))
+        bad = Call(dist, (Var("p", point), Var("s", seg)))
+        assert well_typed(good, ts)
+        assert not well_typed(bad, ts)
+
+    def test_unfilled_arg_is_wildcard(self, world):
+        ts, _ctx, point, _x, _o, _l, _seg, _p1, dist = world
+        assert well_typed(Call(dist, (Var("p", point), Unfilled())), ts)
+
+    def test_assign_needs_conversion(self, world):
+        ts, _ctx, point, x, *_ = world
+        lhs = FieldAccess(Var("p", point), x)  # double
+        int_lit = parse("3", Context(ts))
+        assert well_typed(Assign(lhs, int_lit), ts)  # int -> double widens
+        assert not well_typed(Assign(int_lit, Var("p", point)), ts)
+
+    def test_compare_needs_comparability(self, world):
+        ts, _ctx, point, x, *_ = world
+        xs = FieldAccess(Var("p", point), x)
+        assert well_typed(Compare(xs, xs, "<"), ts)
+        assert not well_typed(Compare(Var("p", point), xs, "<"), ts)
+
+
+class TestChains:
+    def test_chain_root_local(self, world):
+        _ts, ctx, point, *_ = world
+        assert is_chain_root(Var("p", point), ctx)
+        assert not is_chain_root(Var("zz", point), ctx)
+
+    def test_chain_root_static_field(self, world):
+        _ts, ctx, point, _x, origin, *_ = world
+        assert is_chain_root(FieldAccess(TypeLiteral(point), origin), ctx)
+
+    def test_chain_prefixes(self, world):
+        _ts, _ctx, point, x, _o, length, *_ = world
+        expr = FieldAccess(Call(length, (Var("p", point),)), x) \
+            if False else FieldAccess(Var("p", point), x)
+        prefixes = list(chain_prefixes(expr, allow_methods=True))
+        assert prefixes[0] == expr
+        assert prefixes[-1] == Var("p", point)
+
+    def test_hole_completion_through_lookups(self, world):
+        _ts, ctx, point, x, _o, _l, seg, p1, _d = world
+        expr = FieldAccess(FieldAccess(Var("seg", seg), p1), x)
+        assert is_hole_completion(expr, ctx)
+
+    def test_hole_completion_rejects_unknown_root(self, world):
+        _ts, ctx, point, x, *_ = world
+        assert not is_hole_completion(FieldAccess(Var("nope", point), x), ctx)
+
+
+class TestDerivable:
+    def test_complete_derives_itself_only(self, world):
+        _ts, ctx, point, *_ = world
+        p = Var("p", point)
+        q = Var("q", point)
+        assert derivable(p, p, ctx)
+        assert not derivable(p, q, ctx)
+
+    def test_hole_derives_chains(self, world):
+        _ts, ctx, point, x, origin, length, seg, p1, _d = world
+        hole = Hole()
+        assert derivable(hole, Var("p", point), ctx)
+        assert derivable(hole, FieldAccess(Var("seg", seg), p1), ctx)
+        assert derivable(hole, Call(length, (Var("p", point),)), ctx)
+        assert derivable(hole, FieldAccess(TypeLiteral(point), origin), ctx)
+
+    def test_suffix_f_one_lookup(self, world):
+        _ts, ctx, point, x, *_ = world
+        pe = SuffixHole(Var("p", point), methods=False, star=False)
+        assert derivable(pe, Var("p", point), ctx)  # suffix omitted
+        assert derivable(pe, FieldAccess(Var("p", point), x), ctx)
+
+    def test_suffix_f_rejects_method(self, world):
+        _ts, ctx, point, _x, _o, length, *_ = world
+        pe = SuffixHole(Var("p", point), methods=False, star=False)
+        assert not derivable(pe, Call(length, (Var("p", point),)), ctx)
+
+    def test_suffix_m_accepts_method(self, world):
+        _ts, ctx, point, _x, _o, length, *_ = world
+        pe = SuffixHole(Var("p", point), methods=True, star=False)
+        assert derivable(pe, Call(length, (Var("p", point),)), ctx)
+
+    def test_suffix_one_step_rejects_two(self, world):
+        _ts, ctx, point, x, _o, _l, seg, p1, _d = world
+        pe = SuffixHole(Var("seg", seg), methods=False, star=False)
+        two = FieldAccess(FieldAccess(Var("seg", seg), p1), x)
+        assert not derivable(pe, two, ctx)
+
+    def test_star_suffix_accepts_many(self, world):
+        _ts, ctx, point, x, _o, _l, seg, p1, _d = world
+        pe = SuffixHole(Var("seg", seg), methods=False, star=True)
+        two = FieldAccess(FieldAccess(Var("seg", seg), p1), x)
+        assert derivable(pe, two, ctx)
+        assert derivable(pe, Var("seg", seg), ctx)
+
+    def test_unknown_call_any_order(self, world):
+        _ts, ctx, point, _x, _o, _l, _seg, _p1, dist = world
+        p, q = Var("p", point), Var("p", point)
+        pe = UnknownCall((p,))
+        call = Call(dist, (Unfilled(), Var("p", point)))
+        assert derivable(pe, call, ctx)
+
+    def test_unknown_call_requires_rest_unfilled(self, world):
+        _ts, ctx, point, _x, _o, _l, _seg, _p1, dist = world
+        pe = UnknownCall((Var("p", point),))
+        call = Call(dist, (Var("p", point), Var("p", point)))
+        assert not derivable(pe, call, ctx)
+
+    def test_unknown_call_with_partial_arg(self, world):
+        _ts, ctx, point, x, _o, _l, seg, p1, dist = world
+        pe = UnknownCall((SuffixHole(Var("seg", seg), True, True), Var("p", point)))
+        call = Call(dist, (FieldAccess(Var("seg", seg), p1), Var("p", point)))
+        assert derivable(pe, call, ctx)
+
+    def test_known_call(self, world):
+        _ts, ctx, point, _x, _o, _l, _seg, _p1, dist = world
+        pe = KnownCall((dist,), (Var("p", point), Hole()))
+        good = Call(dist, (Var("p", point), Var("p", point)))
+        assert derivable(pe, good, ctx)
+
+    def test_known_call_rejects_other_method(self, world):
+        _ts, ctx, point, _x, _o, length, _seg, _p1, dist = world
+        pe = KnownCall((dist,), (Var("p", point), Hole()))
+        other = Call(length, (Var("p", point),))
+        assert not derivable(pe, other, ctx)
+
+    def test_partial_assign(self, world):
+        _ts, ctx, point, x, *_ = world
+        pe = PartialAssign(
+            SuffixHole(Var("p", point), True, False), Hole()
+        )
+        truth = Assign(FieldAccess(Var("p", point), x),
+                       FieldAccess(Var("p", point), x))
+        assert derivable(pe, truth, ctx)
+
+    def test_partial_compare_op_must_match(self, world):
+        _ts, ctx, point, x, *_ = world
+        xs = FieldAccess(Var("p", point), x)
+        pe = PartialCompare(Hole(), Hole(), op=">=")
+        assert derivable(pe, Compare(xs, xs, ">="), ctx)
+        assert not derivable(pe, Compare(xs, xs, "<"), ctx)
+
+    def test_partial_is_never_a_valid_completion(self, world):
+        _ts, ctx, *_ = world
+        assert not derivable(Hole(), Hole(), ctx)

@@ -1,0 +1,231 @@
+"""Round-trip tests for universe/project serialization."""
+
+import json
+
+import pytest
+
+from repro import Context, CompletionEngine, TypeSystem, parse, to_source
+from repro.corpus.frameworks import build_paintdotnet
+from repro.serialize import (
+    dump_expr,
+    dump_project,
+    dump_type_system,
+    load_expr,
+    load_project,
+    load_type_system,
+    open_project,
+    save_project,
+)
+
+
+@pytest.fixture(scope="module")
+def paint_doc():
+    ts = TypeSystem()
+    build_paintdotnet(ts)
+    return dump_type_system(ts), ts
+
+
+class TestTypeSystemRoundTrip:
+    def test_types_survive(self, paint_doc):
+        doc, original = paint_doc
+        loaded = load_type_system(doc)
+        original_names = {t.full_name for t in original.all_types()}
+        loaded_names = {t.full_name for t in loaded.all_types()}
+        assert loaded_names == original_names
+
+    def test_members_survive(self, paint_doc):
+        doc, original = paint_doc
+        loaded = load_type_system(doc)
+        for typedef in original.all_types():
+            twin = loaded.get(typedef.full_name)
+            assert [f.name for f in twin.fields] == [
+                f.name for f in typedef.fields
+            ]
+            assert [m.signature() for m in twin.methods] == [
+                m.signature() for m in typedef.methods
+            ]
+
+    def test_hierarchy_survives(self, paint_doc):
+        doc, original = paint_doc
+        loaded = load_type_system(doc)
+        bitmap = loaded.get("PaintDotNet.BitmapLayer")
+        layer = loaded.get("PaintDotNet.Layer")
+        assert loaded.implicitly_converts(bitmap, layer)
+        assert loaded.type_distance(bitmap, layer) == 1
+
+    def test_is_json_serialisable(self, paint_doc):
+        doc, _ = paint_doc
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            load_type_system({"format": "something-else"})
+
+    def test_engine_agrees_on_loaded_universe(self, paint_doc):
+        """The same query yields the same ranked texts before/after."""
+        doc, original = paint_doc
+        loaded = load_type_system(doc)
+
+        def top(ts):
+            document = ts.get("PaintDotNet.Document")
+            size = ts.get("System.Drawing.Size")
+            ctx = Context(ts, locals={"img": document, "size": size})
+            engine = CompletionEngine(ts)
+            pe = parse("?({img, size})", ctx)
+            return [
+                (c.score, to_source(c.expr))
+                for c in engine.complete(pe, ctx, n=15)
+            ]
+
+        assert top(original) == top(loaded)
+
+
+class TestExprRoundTrip:
+    def test_expressions(self, paint_doc):
+        _doc, ts = paint_doc
+        document = ts.get("PaintDotNet.Document")
+        size = ts.get("System.Drawing.Size")
+        ctx = Context(ts, locals={"img": document, "size": size})
+        for source in [
+            "img",
+            "img.Size",
+            "img.Size.Width",
+            "img.Flatten()",
+            "PaintDotNet.ColorBgra.White",
+            "PaintDotNet.Actions.CanvasSizeAction.FlipDocument(img, true)",
+            "img.Size.Width >= size.Width",
+            "img.Size := size",
+            '"hello"',
+            "3",
+        ]:
+            expr = parse(source, ctx)
+            data = json.loads(json.dumps(dump_expr(expr)))
+            again = load_expr(ts, data)
+            assert again == expr, source
+
+
+class TestConstructorsAndOverrides:
+    def test_constructor_round_trip(self):
+        from repro.codemodel import LibraryBuilder
+
+        ts = TypeSystem()
+        lib = LibraryBuilder(ts)
+        point = lib.struct("G.Point")
+        lib.ctor(point, params=[("x", ts.primitive("double"))])
+        loaded = load_type_system(dump_type_system(ts))
+        twin = loaded.get("G.Point")
+        ctor = next(m for m in twin.methods if m.is_constructor)
+        assert ctor.is_static
+        assert ctor.return_type is twin
+
+    def test_overrides_round_trip(self):
+        from repro.codemodel import LibraryBuilder
+
+        ts = TypeSystem()
+        lib = LibraryBuilder(ts)
+        base = lib.cls("G.Base")
+        derived = lib.cls("G.Derived", base=base)
+        virtual = lib.method(base, "Render", params=[("x", ts.string_type)])
+        lib.method(derived, "Render", params=[("x", ts.string_type)],
+                   overrides=virtual)
+        loaded = load_type_system(dump_type_system(ts))
+        twin_override = loaded.get("G.Derived").declared_methods_named(
+            "Render")[0]
+        assert twin_override.overrides is not None
+        assert twin_override.root_declaration().declaring_type.full_name == \
+            "G.Base"
+
+    def test_enum_round_trip_preserves_comparability(self):
+        from repro.codemodel import LibraryBuilder
+
+        ts = TypeSystem()
+        lib = LibraryBuilder(ts)
+        lib.enum("G.Mode", values=["On", "Off"])
+        loaded = load_type_system(dump_type_system(ts))
+        mode = loaded.get("G.Mode")
+        assert mode.comparable
+        assert [f.name for f in mode.fields] == ["On", "Off"]
+        assert loaded.implicitly_converts(mode, loaded.enum_type)
+
+
+class TestProjectRoundTrip:
+    def test_project_round_trip(self, tiny_project):
+        doc = json.loads(json.dumps(dump_project(tiny_project)))
+        loaded = load_project(doc)
+        assert loaded.name == tiny_project.name
+        assert len(loaded.impls) == len(tiny_project.impls)
+        original_sites = [
+            (impl.method.full_name, index, expr.key())
+            for impl, index, expr in tiny_project.iter_sites()
+        ]
+        loaded_sites = [
+            (impl.method.full_name, index, expr.key())
+            for impl, index, expr in loaded.iter_sites()
+        ]
+        assert loaded_sites == original_sites
+
+    def test_loaded_project_evaluates_identically(self, tiny_project):
+        from repro.eval import EvalConfig, run_method_prediction
+
+        loaded = load_project(dump_project(tiny_project))
+        cfg = EvalConfig(
+            limit=25, max_calls_per_project=8,
+            with_return_type=False, with_intellisense=False,
+        )
+        original = [
+            (r.method_name, r.best_rank)
+            for r in run_method_prediction([tiny_project], cfg)
+        ]
+        again = [
+            (r.method_name, r.best_rank)
+            for r in run_method_prediction([loaded], cfg)
+        ]
+        assert original == again
+
+    def test_file_helpers(self, tiny_project, tmp_path):
+        path = tmp_path / "tiny.json"
+        save_project(tiny_project, str(path))
+        loaded = open_project(str(path))
+        assert len(loaded.impls) == len(tiny_project.impls)
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            load_project({"format": "nope"})
+
+    def test_frontend_project_round_trip(self):
+        """A source-read project (with bodies) survives serialization and
+        still answers queries identically."""
+        from repro import CompletionEngine, parse, to_source
+        from repro.frontend import SourceReader
+
+        source = """
+        namespace Mini {
+            class Node {
+                int Depth;
+                Node Next;
+                static Node Root;
+                Node(int depth) { }
+                void Link(Node other) {
+                    Node peer = Mini.Node.Root;
+                    this.Next = peer;
+                    if (peer.Depth >= other.Depth) {
+                        this.Depth = other.Depth;
+                    }
+                }
+            }
+        }
+        """
+        original = SourceReader.read(source, project_name="Mini")
+        loaded = load_project(dump_project(original))
+
+        def answer(project):
+            impl = next(i for i in project.impls if i.method.name == "Link")
+            ctx = impl.context(project.ts)
+            engine = CompletionEngine(project.ts)
+            pe = parse("?({peer, other})", ctx)
+            return [
+                (c.score, to_source(c.expr))
+                for c in engine.complete(pe, ctx, n=8)
+            ]
+
+        assert answer(original) == answer(loaded)

@@ -1,0 +1,43 @@
+"""Tests for the corpus census."""
+
+import pytest
+
+from repro.eval import corpus_census, format_census, project_census
+
+
+class TestProjectCensus:
+    def test_counts_match_iterators(self, tiny_project):
+        census = project_census(tiny_project)
+        assert census.calls == sum(1 for _ in tiny_project.iter_calls())
+        assert census.assignments == sum(
+            1 for _ in tiny_project.iter_assignments())
+        assert census.comparisons == sum(
+            1 for _ in tiny_project.iter_comparisons())
+        assert census.impls == len(tiny_project.impls)
+
+    def test_arity_histogram_sums_to_calls(self, tiny_project):
+        census = project_census(tiny_project)
+        assert sum(census.arity_histogram.values()) == census.calls
+
+    def test_argument_kinds_sum_to_arguments(self, tiny_project):
+        census = project_census(tiny_project)
+        assert sum(census.argument_kinds.values()) == census.arguments
+
+    def test_methods_and_types_positive(self, tiny_project):
+        census = project_census(tiny_project)
+        assert census.types > 0
+        assert census.methods > 0
+
+
+class TestCorpusCensus:
+    def test_totals_row(self, tiny_project):
+        rows = corpus_census([tiny_project, tiny_project])
+        assert rows[-1].name == "Totals"
+        assert rows[-1].calls == 2 * rows[0].calls
+
+    def test_format_contains_projects_and_histogram(self, tiny_project):
+        text = format_census(corpus_census([tiny_project]))
+        assert "Tiny" in text
+        assert "Totals" in text
+        assert "arity histogram" in text
+        assert "argument kinds" in text

@@ -1,0 +1,237 @@
+"""Unit tests for the type system: registration, subtyping, type distance."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import TypeDef, TypeKind, TypeSystem
+from repro.codemodel import Field, LibraryBuilder, Method
+
+
+@pytest.fixture
+def ts():
+    return TypeSystem()
+
+
+@pytest.fixture
+def hierarchy(ts):
+    """Object <- Shape <- Rectangle; IDrawable implemented by Shape."""
+    lib = LibraryBuilder(ts)
+    drawable = lib.iface("Geo.IDrawable")
+    shape = lib.cls("Geo.Shape", interfaces=[drawable])
+    rectangle = lib.cls("Geo.Rectangle", base=shape)
+    return drawable, shape, rectangle
+
+
+class TestRegistry:
+    def test_core_types_installed(self, ts):
+        assert ts.object_type.full_name == "System.Object"
+        assert ts.string_type.full_name == "System.String"
+        assert ts.primitive("int").name == "int"
+
+    def test_register_and_get(self, ts):
+        t = ts.register(TypeDef("Foo", "My.Ns"))
+        assert ts.get("My.Ns.Foo") is t
+        assert ts.try_get("My.Ns.Foo") is t
+        assert ts.try_get("My.Ns.Bar") is None
+
+    def test_duplicate_registration_rejected(self, ts):
+        ts.register(TypeDef("Foo", "My.Ns"))
+        with pytest.raises(ValueError):
+            ts.register(TypeDef("Foo", "My.Ns"))
+
+    def test_all_methods_iterates_declared_methods(self, ts):
+        t = ts.register(TypeDef("Foo", "N"))
+        t.add_method(Method("M", None))
+        assert any(m.name == "M" for m in ts.all_methods())
+
+
+class TestSubtyping:
+    def test_identity(self, ts):
+        assert ts.implicitly_converts(ts.string_type, ts.string_type)
+
+    def test_everything_converts_to_object(self, ts, hierarchy):
+        drawable, shape, rectangle = hierarchy
+        for t in (drawable, shape, rectangle, ts.string_type):
+            assert ts.implicitly_converts(t, ts.object_type)
+
+    def test_subclass_chain(self, ts, hierarchy):
+        _drawable, shape, rectangle = hierarchy
+        assert ts.implicitly_converts(rectangle, shape)
+        assert not ts.implicitly_converts(shape, rectangle)
+
+    def test_interface_implementation(self, ts, hierarchy):
+        drawable, shape, rectangle = hierarchy
+        assert ts.implicitly_converts(shape, drawable)
+        assert ts.implicitly_converts(rectangle, drawable)
+        assert not ts.implicitly_converts(drawable, shape)
+
+    def test_primitive_widening(self, ts):
+        assert ts.implicitly_converts(ts.primitive("int"), ts.primitive("long"))
+        assert ts.implicitly_converts(ts.primitive("int"), ts.primitive("double"))
+        assert not ts.implicitly_converts(
+            ts.primitive("long"), ts.primitive("int")
+        )
+        assert not ts.implicitly_converts(
+            ts.primitive("double"), ts.primitive("float")
+        )
+
+    def test_bool_is_isolated(self, ts):
+        assert not ts.implicitly_converts(ts.primitive("bool"), ts.primitive("int"))
+        assert not ts.implicitly_converts(ts.primitive("int"), ts.primitive("bool"))
+
+
+class TestTypeDistance:
+    def test_zero_iff_same(self, ts, hierarchy):
+        _d, shape, rectangle = hierarchy
+        assert ts.type_distance(shape, shape) == 0
+        assert ts.type_distance(rectangle, rectangle) == 0
+        assert ts.type_distance(rectangle, shape) != 0
+
+    def test_paper_example(self, ts, hierarchy):
+        """td(Rectangle, Shape) = 1 and td(Rectangle, Object) = 2."""
+        _d, shape, rectangle = hierarchy
+        assert ts.type_distance(rectangle, shape) == 1
+        assert ts.type_distance(rectangle, ts.object_type) == 2
+
+    def test_undefined_when_no_conversion(self, ts, hierarchy):
+        _d, shape, rectangle = hierarchy
+        assert ts.type_distance(shape, rectangle) is None
+        assert ts.type_distance(ts.string_type, shape) is None
+
+    def test_primitive_distance_is_widening_path(self, ts):
+        assert ts.type_distance(ts.primitive("int"), ts.primitive("long")) == 1
+        assert ts.type_distance(ts.primitive("int"), ts.primitive("double")) == 2
+        assert ts.type_distance(ts.primitive("byte"), ts.primitive("int")) == 2
+
+    def test_interface_distance(self, ts, hierarchy):
+        drawable, shape, rectangle = hierarchy
+        assert ts.type_distance(shape, drawable) == 1
+        assert ts.type_distance(rectangle, drawable) == 2
+
+    @given(st.sampled_from(["byte", "char", "short", "int", "long",
+                            "float", "double", "decimal", "bool"]))
+    def test_distance_reflexive_for_primitives(self, name):
+        ts = TypeSystem()
+        t = ts.primitive(name)
+        assert ts.type_distance(t, t) == 0
+
+    def test_triangle_inequality_along_chain(self, ts, hierarchy):
+        """td is a shortest path, so going through an intermediate type is
+        never shorter than the direct distance."""
+        _d, shape, rectangle = hierarchy
+        direct = ts.type_distance(rectangle, ts.object_type)
+        via = ts.type_distance(rectangle, shape) + ts.type_distance(
+            shape, ts.object_type
+        )
+        assert direct <= via
+
+
+class TestJoinAndComparability:
+    def test_join_of_related(self, ts, hierarchy):
+        _d, shape, rectangle = hierarchy
+        assert ts.join(rectangle, shape) is shape
+        assert ts.join(shape, rectangle) is shape
+
+    def test_join_of_siblings_is_common_base(self, ts, hierarchy):
+        _d, shape, _rect = hierarchy
+        lib = LibraryBuilder(ts)
+        circle = lib.cls("Geo.Circle", base=shape)
+        square = lib.cls("Geo.Square", base=shape)
+        assert ts.join(circle, square) is shape
+
+    def test_numeric_primitives_comparable(self, ts):
+        assert ts.comparable(ts.primitive("int"), ts.primitive("double"))
+        assert ts.comparable(ts.primitive("long"), ts.primitive("int"))
+
+    def test_bool_not_comparable(self, ts):
+        assert not ts.comparable(ts.primitive("bool"), ts.primitive("bool"))
+
+    def test_reference_types_need_flag(self, ts, hierarchy):
+        _d, shape, rectangle = hierarchy
+        assert not ts.comparable(shape, rectangle)
+
+    def test_comparable_flagged_types(self, ts):
+        lib = LibraryBuilder(ts)
+        datetime = lib.struct("Sys.DateTime", comparable=True)
+        timespan = lib.struct("Sys.TimeSpan", comparable=True)
+        assert ts.comparable(datetime, datetime)
+        # unrelated comparable types still do not compare with each other
+        assert not ts.comparable(datetime, timespan)
+
+    def test_comparison_distance(self, ts):
+        int_t, double_t = ts.primitive("int"), ts.primitive("double")
+        assert ts.comparison_distance(int_t, int_t) == 0
+        assert ts.comparison_distance(int_t, double_t) == 2
+        assert ts.comparison_distance(ts.primitive("bool"), int_t) is None
+
+
+class TestPathologicalHierarchies:
+    def test_inheritance_cycle_does_not_hang(self, ts):
+        """A (malformed) base-class cycle must not loop the BFS walks."""
+        a = ts.register(TypeDef("A", "Cyc"))
+        b = ts.register(TypeDef("B", "Cyc", base=a))
+        a.base = b  # deliberately corrupt
+        ts._invalidate_caches()
+        assert ts.type_distance(a, ts.string_type) is None
+        assert ts.supertype_closure(a)  # terminates
+        assert ts.implicitly_converts(a, b)
+
+    def test_self_interface_terminates(self, ts):
+        iface = ts.register(TypeDef("ISelf", "Cyc2", kind=TypeKind.INTERFACE))
+        iface.interfaces = (iface,)
+        ts._invalidate_caches()
+        assert iface in ts.supertype_closure(iface)
+
+    def test_deep_chain(self, ts):
+        previous = None
+        for index in range(60):
+            previous = ts.register(
+                TypeDef("D{}".format(index), "Deep", base=previous)
+            )
+        root = ts.get("Deep.D0")
+        assert ts.type_distance(previous, root) == 59
+
+
+class TestMemberLookup:
+    def test_inherited_lookups(self, ts, hierarchy):
+        _d, shape, rectangle = hierarchy
+        shape.add_field(Field("Origin", ts.string_type))
+        rectangle.add_field(Field("Corner", ts.string_type))
+        names = [f.name for f in ts.instance_lookups(rectangle)]
+        assert "Corner" in names and "Origin" in names
+
+    def test_shadowing_prefers_derived(self, ts, hierarchy):
+        _d, shape, rectangle = hierarchy
+        shape.add_field(Field("X", ts.primitive("int")))
+        rectangle.add_field(Field("X", ts.primitive("double")))
+        fields = [f for f in ts.instance_lookups(rectangle) if f.name == "X"]
+        assert len(fields) == 1
+        assert fields[0].declaring_type is rectangle
+
+    def test_instance_methods_inherited(self, ts, hierarchy):
+        _d, shape, rectangle = hierarchy
+        shape.add_method(Method("Draw", None))
+        names = [m.name for m in ts.instance_methods(rectangle)]
+        assert "Draw" in names
+
+    def test_zero_arg_instance_methods(self, ts, hierarchy):
+        from repro.codemodel import Parameter
+
+        _d, shape, rectangle = hierarchy
+        shape.add_method(Method("Area", ts.primitive("double")))
+        shape.add_method(
+            Method("Scale", None, params=(Parameter("f", ts.primitive("double")),))
+        )
+        names = [m.name for m in ts.zero_arg_instance_methods(rectangle)]
+        assert "Area" in names
+        assert "Scale" not in names
+
+    def test_static_members_split(self, ts):
+        lib = LibraryBuilder(ts)
+        helper = lib.cls("N.Helper")
+        lib.field(helper, "Default", ts.string_type, static=True)
+        lib.static_method(helper, "Make", returns=ts.string_type)
+        lib.method(helper, "Use")
+        fields, methods = ts.static_members(helper)
+        assert [f.name for f in fields] == ["Default"]
+        assert [m.name for m in methods] == ["Make"]

@@ -1,0 +1,86 @@
+"""Tests (incl. property-based) for the union-find."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis import UnionFind
+
+
+class TestBasics:
+    def test_fresh_keys_are_separate(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("b")
+        assert not uf.same("a", "b")
+        assert len(uf) == 2
+
+    def test_find_unknown_is_none(self):
+        uf = UnionFind()
+        assert uf.find("ghost") is None
+        assert "ghost" not in uf
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.same("a", "b")
+
+    def test_union_adds_keys(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert "a" in uf and "b" in uf
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.same("a", "c")
+
+    def test_same_requires_both_present(self):
+        uf = UnionFind()
+        uf.add("a")
+        assert not uf.same("a", "missing")
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        first = uf.add("a")
+        second = uf.add("a")
+        assert first == second
+        assert len(uf) == 1
+
+    def test_groups(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.add("c")
+        groups = sorted(sorted(g) for g in uf.groups().values())
+        assert groups == [["a", "b"], ["c"]]
+
+    def test_tuple_keys(self):
+        uf = UnionFind()
+        uf.union(("local", 1, "x"), ("param", 2, 0))
+        assert uf.same(("local", 1, "x"), ("param", 2, 0))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=60
+    )
+)
+def test_matches_naive_partition(unions):
+    """Union-find agrees with a naive set-merging implementation."""
+    uf = UnionFind()
+    naive = {}  # element -> frozenset id via repeated merging
+
+    def naive_group(x):
+        return naive.setdefault(x, {x})
+
+    for a, b in unions:
+        uf.union(a, b)
+        group_a, group_b = naive_group(a), naive_group(b)
+        if group_a is not group_b:
+            merged = group_a | group_b
+            for member in merged:
+                naive[member] = merged
+
+    keys = sorted(naive)
+    for x in keys:
+        for y in keys:
+            assert uf.same(x, y) == (naive[x] is naive[y])
