@@ -35,13 +35,24 @@ from .codemodel import (
     TypeSystem,
 )
 from .engine import (
+    CancellationToken,
     Completion,
     CompletionEngine,
     EngineConfig,
     MethodIndex,
+    QueryBudget,
+    QueryOutcome,
     Ranker,
     RankingConfig,
     ReachabilityIndex,
+)
+from .errors import (
+    BudgetExhausted,
+    CompletionError,
+    CorpusError,
+    FeatureUnavailable,
+    QueryCancelled,
+    QueryTimeout,
 )
 from .lang import (
     Assign,
@@ -71,13 +82,18 @@ __version__ = "1.0.0"
 __all__ = [
     "AbstractTypeAnalysis",
     "Assign",
+    "BudgetExhausted",
     "Call",
+    "CancellationToken",
     "Compare",
     "Completion",
     "CompletionEngine",
+    "CompletionError",
     "Context",
+    "CorpusError",
     "EngineConfig",
     "Expr",
+    "FeatureUnavailable",
     "Field",
     "FieldAccess",
     "Hole",
@@ -91,6 +107,10 @@ __all__ = [
     "PartialAssign",
     "PartialCompare",
     "Property",
+    "QueryBudget",
+    "QueryCancelled",
+    "QueryOutcome",
+    "QueryTimeout",
     "Ranker",
     "RankingConfig",
     "ReachabilityIndex",

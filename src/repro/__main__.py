@@ -16,6 +16,15 @@ from typing import List, Optional
 from .ide.session import CompletionSession
 from .ide.workspace import Workspace
 
+#: exit codes (documented in docs/RESILIENCE.md): 0 success, 1 parse
+#: error, 2 usage error (bad flag values, unknown types), 3 deadline
+#: truncation, 4 step-budget/cancellation truncation
+EXIT_OK = 0
+EXIT_PARSE_ERROR = 1
+EXIT_USAGE = 2
+EXIT_TIMEOUT = 3
+EXIT_BUDGET = 4
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -42,6 +51,15 @@ def _build_parser() -> argparse.ArgumentParser:
     complete.add_argument("--keyword", default=None,
                           help="filter unknown-call methods by name")
     complete.add_argument("-n", type=int, default=10)
+    complete.add_argument("--timeout-ms", type=float, default=None,
+                          metavar="MS",
+                          help="wall-clock deadline; best-so-far results "
+                               "are printed and exit code 3 signals the "
+                               "truncation")
+    complete.add_argument("--budget", type=int, default=None, metavar="STEPS",
+                          help="expansion-step budget; best-so-far results "
+                               "are printed and exit code 4 signals the "
+                               "truncation")
 
     census = sub.add_parser(
         "census", help="print the corpus census for the seven projects"
@@ -74,29 +92,49 @@ def _run_complete(args: argparse.Namespace, write) -> int:
     for binding in args.let:
         if "=" not in binding:
             write("bad --let {!r}; expected NAME=TYPE".format(binding))
-            return 2
+            return EXIT_USAGE
         name, _, type_name = binding.partition("=")
         try:
             session.declare(name.strip(), type_name.strip())
         except ValueError as error:
             write("error: {}".format(error))
-            return 2
-    if args.this:
-        session.set_this(args.this)
-    if args.expect:
-        session.set_expected(args.expect)
+            return EXIT_USAGE
+    try:
+        if args.this:
+            session.set_this(args.this)
+        if args.expect:
+            session.set_expected(args.expect)
+    except ValueError as error:
+        write("error: {}".format(error))
+        return EXIT_USAGE
     session.keyword = args.keyword
+    if args.timeout_ms is not None:
+        if args.timeout_ms <= 0:
+            write("error: --timeout-ms must be positive")
+            return EXIT_USAGE
+        session.timeout_ms = args.timeout_ms
+    if args.budget is not None:
+        if args.budget <= 0:
+            write("error: --budget must be positive")
+            return EXIT_USAGE
+        session.step_budget = args.budget
     record = session.query(args.query)
     if record.error is not None:
         write("parse error: {}".format(record.error))
-        return 1
-    if not record.suggestions:
-        write("(no completions)")
-        return 0
+        return EXIT_PARSE_ERROR
     for suggestion in record.suggestions:
         write("{:>3}. (score {:>3}) {}".format(
             suggestion.rank, suggestion.score, suggestion.text))
-    return 0
+    if not record.suggestions:
+        write("(no completions)")
+    if record.degraded:
+        write("(degraded features: {})".format(
+            ", ".join(sorted(record.degraded))))
+    if record.truncated is not None:
+        write("(truncated: {} after {:.0f} ms — results are best-so-far)"
+              .format(record.truncated, record.elapsed_ms or 0.0))
+        return EXIT_TIMEOUT if record.truncated == "timeout" else EXIT_BUDGET
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None, write=print) -> int:
@@ -109,10 +147,13 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
     if args.command == "complete":
         return _run_complete(args, write)
     if args.command == "census":
-        from .corpus import build_all_projects
+        from .corpus import build_all_projects, last_build_diagnostics
         from .eval import corpus_census, format_census
 
         write(format_census(corpus_census(build_all_projects(args.scale))))
+        for diagnostic in last_build_diagnostics():
+            write("warning: skipped {} ({}): {}".format(
+                diagnostic.project, diagnostic.stage, diagnostic.detail))
         return 0
     if args.command == "dump-universe":
         import json

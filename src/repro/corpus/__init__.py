@@ -11,7 +11,12 @@ from .program import (
     ReturnStatement,
     Statement,
 )
-from .projects import PROJECT_BUILDERS, build_all_projects
+from .projects import (
+    PROJECT_BUILDERS,
+    CorpusDiagnostic,
+    build_all_projects,
+    last_build_diagnostics,
+)
 from .synthesis import (
     ArgumentMix,
     StatementMix,
@@ -23,6 +28,7 @@ from .synthesis import (
 __all__ = [
     "ArgumentMix",
     "AssignStatement",
+    "CorpusDiagnostic",
     "ExprStatement",
     "IfStatement",
     "ImplAbstractTypes",
@@ -36,5 +42,6 @@ __all__ = [
     "SynthesisSpec",
     "build_all_projects",
     "classify_expr",
+    "last_build_diagnostics",
     "synthesize_project",
 ]

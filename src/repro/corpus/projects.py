@@ -13,9 +13,12 @@ smallest.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from ..codemodel.members import Method
+from ..errors import CorpusError
+from ..testing import faults
 from ..codemodel.typesystem import TypeSystem
 from ..lang.ast import Assign, Call, FieldAccess, TypeLiteral, Var
 from .frameworks.familyshow import build_familyshow
@@ -253,8 +256,93 @@ PROJECT_BUILDERS: Dict[str, Callable[[float], Project]] = {
 _cache: Dict[float, List[Project]] = {}
 
 
-def build_all_projects(scale: float = 1.0) -> List[Project]:
-    """All seven projects (memoised per scale — they are deterministic)."""
-    if scale not in _cache:
-        _cache[scale] = [build(scale) for build in PROJECT_BUILDERS.values()]
-    return _cache[scale]
+@dataclass
+class CorpusDiagnostic:
+    """One skipped project or program, with why."""
+
+    project: str
+    stage: str  # "build" (whole project) or "program" (one method body)
+    detail: str
+
+
+#: diagnostics collected by the most recent non-memoised build
+_last_diagnostics: List[CorpusDiagnostic] = []
+
+
+def last_build_diagnostics() -> List[CorpusDiagnostic]:
+    """What the most recent (non-cached) ``build_all_projects`` skipped."""
+    return list(_last_diagnostics)
+
+
+def _validate_impls(
+    project: Project, diagnostics: List[CorpusDiagnostic]
+) -> None:
+    """Drop malformed programs — method bodies whose expressions fail (or
+    crash) the type checker — recording one diagnostic per dropped body.
+
+    The synthesizer checks every expression at generation time, so this
+    normally keeps everything; it exists so a corrupted or hand-built
+    corpus degrades to a smaller corpus instead of crashing every
+    consumer downstream (evaluation, abstract-type inference, the REPL).
+    """
+    from ..lang.semantics import well_typed
+
+    kept = []
+    for impl in project.impls:
+        problem = None
+        try:
+            for index, stmt in enumerate(impl.body):
+                for expr in stmt.expressions():
+                    if not well_typed(expr, project.ts):
+                        problem = "statement {} is not well-typed".format(index)
+                        break
+                if problem is not None:
+                    break
+        except Exception as error:
+            problem = "type checking crashed: {}".format(error)
+        if problem is None:
+            kept.append(impl)
+        else:
+            diagnostics.append(
+                CorpusDiagnostic(
+                    project.name,
+                    "program",
+                    "{}: {}".format(impl.method.full_name, problem),
+                )
+            )
+    project.impls[:] = kept
+
+
+def build_all_projects(scale: float = 1.0, strict: bool = False) -> List[Project]:
+    """All seven projects (memoised per scale — they are deterministic).
+
+    A project whose builder raises is *skipped* with a collected
+    diagnostic (see :func:`last_build_diagnostics`) rather than aborting
+    the whole corpus; malformed method bodies inside an otherwise-healthy
+    project are likewise dropped per-program.  ``strict=True`` restores
+    fail-fast behaviour by raising :class:`CorpusError` on the first
+    problem.  Builds that skipped anything are not memoised, so a
+    transient failure does not poison the cache.
+    """
+    if scale in _cache:
+        return _cache[scale]
+    diagnostics: List[CorpusDiagnostic] = []
+    projects: List[Project] = []
+    for name, build in PROJECT_BUILDERS.items():
+        try:
+            faults.fire("corpus_load")
+            project = build(scale)
+        except Exception as error:
+            if strict:
+                raise CorpusError(name, str(error)) from error
+            diagnostics.append(CorpusDiagnostic(name, "build", str(error)))
+            continue
+        _validate_impls(project, diagnostics)
+        if strict and diagnostics:
+            first = diagnostics[0]
+            raise CorpusError(first.project, first.detail)
+        projects.append(project)
+    _last_diagnostics[:] = diagnostics
+    if not diagnostics:
+        _cache[scale] = projects
+    return projects

@@ -1,18 +1,31 @@
 """Completion engine: ranking, indexes, score-ordered generators."""
 
 from .algorithm1 import Algorithm1
-from .completer import Completion, CompletionEngine, EngineConfig
+from .budget import (
+    CancellationToken,
+    QueryBudget,
+    TRUNCATED_BUDGET,
+    TRUNCATED_CANCELLED,
+    TRUNCATED_TIMEOUT,
+)
+from .completer import Completion, CompletionEngine, EngineConfig, QueryOutcome
 from .index import MethodIndex, ReachabilityIndex
 from .ranking import AbstractTypeOracle, Ranker, RankingConfig
 
 __all__ = [
     "AbstractTypeOracle",
     "Algorithm1",
+    "CancellationToken",
     "Completion",
     "CompletionEngine",
     "EngineConfig",
     "MethodIndex",
+    "QueryBudget",
+    "QueryOutcome",
     "Ranker",
     "RankingConfig",
     "ReachabilityIndex",
+    "TRUNCATED_BUDGET",
+    "TRUNCATED_CANCELLED",
+    "TRUNCATED_TIMEOUT",
 ]

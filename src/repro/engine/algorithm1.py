@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..analysis.scope import Context
 from ..codemodel.types import TypeDef
+from .budget import QueryBudget
 from ..lang.ast import (
     Assign,
     Call,
@@ -55,22 +56,34 @@ class Algorithm1:
         abstypes: Optional[AbstractTypeOracle] = None,
         max_score: int = 12,
         max_chain_depth: int = 3,
+        budget: Optional[QueryBudget] = None,
     ) -> None:
         self.context = context
         self.ts = context.ts
         self.ranker = Ranker(context, ranking, abstypes)
         self.max_score = max_score
         self.max_chain_depth = max_chain_depth
+        self.budget = budget
 
     # ------------------------------------------------------------------
     # the paper's AllCompletions
     # ------------------------------------------------------------------
     def all_completions(self, pe: Expr) -> Iterator[Tuple[int, Expr]]:
         """Completions in ascending score order (the outer ``foreach score
-        in [0, inf)`` loop, truncated at ``max_score``)."""
+        in [0, inf)`` loop, truncated at ``max_score``).
+
+        A tripped budget stops both the scoring pass and the emit loop;
+        unlike the production engine, the naive enumerator cannot offer a
+        best-so-far *prefix* guarantee (it buckets before emitting), so a
+        truncated run may miss arbitrary results — it only promises not
+        to hang.
+        """
         by_score: Dict[int, List[Expr]] = {}
         seen = set()
+        budget = self.budget
         for expr in self._completions(pe):
+            if budget is not None and not budget.tick():
+                break
             key = expr.key()
             if key in seen:
                 continue
@@ -80,6 +93,8 @@ class Algorithm1:
                 by_score.setdefault(score, []).append(expr)
         for score in range(0, self.max_score + 1):
             for expr in by_score.get(score, ()):  # insertion order per level
+                if budget is not None and not budget.tick():
+                    return
                 yield score, expr
 
     # ------------------------------------------------------------------

@@ -17,15 +17,25 @@ The implementation uses the optimizations the paper describes:
 * the reachability index prunes ``.?*`` chains when a target type is known;
 * completions of each subexpression are grouped (per tuple) so type checks
   run once per type combination.
+
+On top sits the resilience layer (``docs/RESILIENCE.md``): every query
+may carry a :class:`~repro.engine.budget.QueryBudget` (deadline + step
+budget + cancellation) that the stream combinators and index traversals
+check cooperatively, and the optional subsystems — abstract-type oracle,
+method index narrowing, reachability pruning, target-type checks — are
+guarded so a failure degrades the query (recorded in
+``QueryOutcome.degraded``) instead of aborting it.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from ..analysis.scope import Context
+from ..testing import faults
 from ..codemodel.members import Method
 from ..codemodel.types import TypeDef
 from ..codemodel.typesystem import TypeSystem
@@ -47,6 +57,7 @@ from ..lang.partial import (
     SuffixHole,
     UnknownCall,
 )
+from .budget import QueryBudget
 from .index import MethodIndex, ReachabilityIndex
 from .ranking import AbstractTypeOracle, Ranker, RankingConfig
 from .streams import (
@@ -98,6 +109,25 @@ class Completion(NamedTuple):
     expr: Expr
 
 
+@dataclass
+class QueryOutcome:
+    """The full result of a budgeted query.
+
+    ``truncated`` is ``None`` for a complete answer, or one of the
+    machine-readable reasons from :mod:`repro.engine.budget`
+    (``"timeout"`` / ``"budget"`` / ``"cancelled"``) when the engine
+    stopped early and ``completions`` is the best-so-far prefix.
+    ``degraded`` names the optional features that failed and were
+    neutralised during ranking (see :class:`Ranker`).
+    """
+
+    completions: List[Completion]
+    truncated: Optional[str] = None
+    elapsed_ms: float = 0.0
+    steps: int = 0
+    degraded: Set[str] = field(default_factory=set)
+
+
 class CompletionEngine:
     """Completes partial expressions against a library universe.
 
@@ -130,6 +160,7 @@ class CompletionEngine:
         abstypes: Optional[AbstractTypeOracle] = None,
         expected_type: Optional[TypeDef] = None,
         keyword: Optional[str] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> Iterator[Completion]:
         """All completions in ascending score order, deduplicated.
 
@@ -141,15 +172,13 @@ class CompletionEngine:
         Explorer's keyword filter as something partial expressions lack):
         when given, unknown-call completions are restricted to methods
         whose name contains the keyword, case-insensitively.
+
+        ``budget`` bounds the query (wall clock, steps, cancellation);
+        when it trips, the stream ends after the best-so-far prefix and
+        the caller reads ``budget.tripped`` for the reason.
         """
-        query = _Query(self, context, abstypes, expected_type, keyword)
-        seen: Set[tuple] = set()
-        for score, expr in query.stream(pe, expected_type):
-            key = expr.key()
-            if key in seen:
-                continue
-            seen.add(key)
-            yield Completion(score, expr)
+        query = _Query(self, context, abstypes, expected_type, keyword, budget)
+        return _dedup(query.stream(pe, expected_type))
 
     def complete(
         self,
@@ -159,12 +188,53 @@ class CompletionEngine:
         abstypes: Optional[AbstractTypeOracle] = None,
         expected_type: Optional[TypeDef] = None,
         keyword: Optional[str] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> List[Completion]:
         """The top ``n`` completions."""
         stream = self.all_completions(
-            pe, context, abstypes, expected_type, keyword
+            pe, context, abstypes, expected_type, keyword, budget
         )
         return list(islice(stream, n))
+
+    def complete_query(
+        self,
+        pe: Expr,
+        context: Context,
+        n: int = 10,
+        abstypes: Optional[AbstractTypeOracle] = None,
+        expected_type: Optional[TypeDef] = None,
+        keyword: Optional[str] = None,
+        budget: Optional[QueryBudget] = None,
+        strict: bool = False,
+    ) -> QueryOutcome:
+        """The top ``n`` completions plus resilience metadata.
+
+        This is the service entry point: it never hangs (given a budget)
+        and never raises for an optional-feature failure.  With
+        ``strict=True`` a tripped budget raises the matching taxonomy
+        error (:class:`QueryTimeout` / :class:`BudgetExhausted` /
+        :class:`QueryCancelled`) instead of returning a truncated
+        outcome.
+        """
+        started = time.monotonic()
+        query = _Query(self, context, abstypes, expected_type, keyword, budget)
+        completions = list(islice(_dedup(query.stream(pe, expected_type)), n))
+        truncated = budget.tripped if budget is not None else None
+        if strict and budget is not None:
+            budget.raise_if_tripped()
+        if budget is not None:
+            elapsed_ms = budget.elapsed_ms()
+            steps = budget.steps
+        else:
+            elapsed_ms = (time.monotonic() - started) * 1000.0
+            steps = 0
+        return QueryOutcome(
+            completions=completions,
+            truncated=truncated,
+            elapsed_ms=elapsed_ms,
+            steps=steps,
+            degraded=set(query.degraded),
+        )
 
     def rank_of(
         self,
@@ -174,11 +244,14 @@ class CompletionEngine:
         limit: int = 100,
         abstypes: Optional[AbstractTypeOracle] = None,
         expected_type: Optional[TypeDef] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> Optional[int]:
         """1-based rank of a known intended expression, or ``None`` when it
         is not among the first ``limit`` completions."""
         truth_key = truth.key()
-        stream = self.all_completions(pe, context, abstypes, expected_type)
+        stream = self.all_completions(
+            pe, context, abstypes, expected_type, budget=budget
+        )
         for position, completion in enumerate(islice(stream, limit), start=1):
             if completion.expr.key() == truth_key:
                 return position
@@ -192,13 +265,16 @@ class CompletionEngine:
         limit: int = 100,
         abstypes: Optional[AbstractTypeOracle] = None,
         expected_type: Optional[TypeDef] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> Optional[int]:
         """1-based rank of a method among the *distinct methods* suggested
         for an unknown-call query (how the paper counts Fig. 9/Table 1:
         "the algorithm is able to give the correct method in the top 10
         choices")."""
         seen_methods: Set[int] = set()
-        stream = self.all_completions(pe, context, abstypes, expected_type)
+        stream = self.all_completions(
+            pe, context, abstypes, expected_type, budget=budget
+        )
         for completion in stream:
             expr = completion.expr
             if not isinstance(expr, Call):
@@ -213,8 +289,23 @@ class CompletionEngine:
         return None
 
 
+def _dedup(stream: Iterator[Scored]) -> Iterator[Completion]:
+    seen: Set[tuple] = set()
+    for score, expr in stream:
+        key = expr.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        yield Completion(score, expr)
+
+
 class _Query:
-    """Per-query state: context, ranker, and the stream dispatcher."""
+    """Per-query state: context, ranker, budget, and the stream dispatcher.
+
+    ``degraded`` is shared with the ranker, so every guarded subsystem
+    (oracle, indexes, type checks) records failures into one per-query
+    set.
+    """
 
     def __init__(
         self,
@@ -223,6 +314,7 @@ class _Query:
         abstypes: Optional[AbstractTypeOracle],
         expected_type: Optional[TypeDef],
         keyword: Optional[str] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> None:
         self.engine = engine
         self.config = engine.config
@@ -231,6 +323,8 @@ class _Query:
         self.ranker = Ranker(context, engine.config.ranking, abstypes)
         self.expected_type = expected_type
         self.keyword = keyword.lower() if keyword else None
+        self.budget = budget
+        self.degraded = self.ranker.degraded
 
     # ------------------------------------------------------------------
     # dispatch
@@ -278,7 +372,14 @@ class _Query:
         expr_type = expr.type
         if expr_type is None:  # Unfilled wildcard fits anywhere
             return True
-        return self.ts.implicitly_converts(expr_type, target)
+        try:
+            faults.fire("type_check")
+            return self.ts.implicitly_converts(expr_type, target)
+        except Exception:
+            # conservative: an uncheckable candidate is dropped rather
+            # than risking a type-incorrect suggestion
+            self.degraded.add("type_check")
+            return False
 
     # ------------------------------------------------------------------
     # chains: ?, .?f, .?m, .?*f, .?*m
@@ -309,7 +410,6 @@ class _Query:
         """Best-first closure over lookup chains (Dijkstra on expressions)."""
         ts = self.ts
         ranker = self.ranker
-        reach = self.engine.reachability
         prune = target is not None and self.config.use_reachability
 
         def expand(score: int, node: Tuple[Expr, int]) -> Iterator[Scored]:
@@ -321,7 +421,7 @@ class _Query:
                 return
             remaining = max_steps - steps - 1
             for member in ts.instance_lookups(base_type):
-                if prune and not reach.can_reach(
+                if prune and not self._can_reach(
                     member.type, target, remaining, methods
                 ):
                     continue
@@ -331,7 +431,7 @@ class _Query:
                 for method in ts.zero_arg_instance_methods(base_type):
                     if method.return_type is None:
                         continue
-                    if prune and not reach.can_reach(
+                    if prune and not self._can_reach(
                         method.return_type, target, remaining, methods
                     ):
                         continue
@@ -341,9 +441,22 @@ class _Query:
                     yield score + cost, (Call(method, (expr,)), steps + 1)
 
         seeds = [(score, (expr, 0)) for score, expr in roots]
-        for score, (expr, _steps) in best_first(seeds, expand):
+        for score, (expr, _steps) in best_first(seeds, expand, self.budget):
             if self._fits(expr, target):
                 yield score, expr
+
+    def _can_reach(
+        self, source: TypeDef, target: TypeDef, within: int, methods: bool
+    ) -> bool:
+        """Reachability pruning, degrading to *no pruning* (correct but
+        slower) when the index fails."""
+        try:
+            return self.engine.reachability.can_reach(
+                source, target, within, methods, self.budget
+            )
+        except Exception:
+            self.degraded.add("reachability")
+            return True
 
     # ------------------------------------------------------------------
     # unknown calls: ?({e1, ..., en})
@@ -353,13 +466,23 @@ class _Query:
     ) -> Iterator[Scored]:
         arg_streams = [Materialized(self.stream(arg, None)) for arg in pe.args]
         tuples = islice(
-            ordered_product(arg_streams), self.config.max_tuple_candidates
+            ordered_product(arg_streams, self.budget),
+            self.config.max_tuple_candidates,
         )
 
         def expand(base: int, args: tuple) -> List[Scored]:
             return self._methods_for_args(base, args, target)
 
-        return merge_nested(tuples, expand)
+        return merge_nested(tuples, expand, self.budget)
+
+    def _candidate_methods(self, arg_types: List[Optional[TypeDef]]):
+        """The narrowed candidate set, degrading to a full scan of every
+        method when the index fails."""
+        try:
+            return self.engine.index.candidate_methods(arg_types, self.budget)
+        except Exception:
+            self.degraded.add("method_index")
+            return self.engine.index.all_methods()
 
     def _methods_for_args(
         self, base: int, args: tuple, target: Optional[TypeDef]
@@ -368,7 +491,7 @@ class _Query:
         (cheapest argument placement per method)."""
         arg_types = [a.type for a in args]
         results: List[Tuple[int, str, Expr]] = []
-        for method in self.engine.index.candidate_methods(arg_types):
+        for method in self._candidate_methods(arg_types):
             if method.arity < len(args):
                 continue
             if method.is_constructor and not self.config.generate_constructors:
@@ -461,7 +584,7 @@ class _Query:
             if not self._return_matches(method, target):
                 continue
             per_candidate.append(self._candidate_call_stream(method, pe.args))
-        return merge(per_candidate)
+        return merge(per_candidate, self.budget)
 
     def _candidate_call_stream(
         self, method: Method, args: Tuple[Expr, ...]
@@ -472,7 +595,8 @@ class _Query:
             for arg, param in zip(args, params)
         ]
         tuples = islice(
-            ordered_product(arg_streams), self.config.max_tuple_candidates
+            ordered_product(arg_streams, self.budget),
+            self.config.max_tuple_candidates,
         )
 
         def expand(base: int, values: tuple) -> List[Scored]:
@@ -482,7 +606,7 @@ class _Query:
                 return []
             return [(base + extra, Call(method, values))]
 
-        return merge_nested(tuples, expand)
+        return merge_nested(tuples, expand, self.budget)
 
     # ------------------------------------------------------------------
     # binary expressions
@@ -499,7 +623,7 @@ class _Query:
         ts = self.ts
 
         def pairs() -> Iterator[Tuple[int, int, Expr]]:
-            for base, (lhs, rhs) in ordered_product([left, right]):
+            for base, (lhs, rhs) in ordered_product([left, right], self.budget):
                 if not _is_lvalue(lhs):
                     continue
                 lhs_type, rhs_type = lhs.type, rhs.type
@@ -514,7 +638,7 @@ class _Query:
                     continue
                 yield base, base + extra, Assign(lhs, rhs)
 
-        return reorder_with_slack(pairs(), slack)
+        return reorder_with_slack(pairs(), slack, self.budget)
 
     def _compare_stream(self, pe: PartialCompare) -> Iterator[Scored]:
         left = self._side_stream(pe.lhs)
@@ -523,7 +647,7 @@ class _Query:
         ts = self.ts
 
         def pairs() -> Iterator[Tuple[int, int, Expr]]:
-            for base, (lhs, rhs) in ordered_product([left, right]):
+            for base, (lhs, rhs) in ordered_product([left, right], self.budget):
                 lhs_type, rhs_type = lhs.type, rhs.type
                 if (
                     lhs_type is not None
@@ -536,7 +660,7 @@ class _Query:
                     continue
                 yield base, base + extra, Compare(lhs, rhs, pe.op)
 
-        return reorder_with_slack(pairs(), slack)
+        return reorder_with_slack(pairs(), slack, self.budget)
 
 
 def _is_lvalue(expr: Expr) -> bool:

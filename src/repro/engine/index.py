@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..codemodel.members import Method
 from ..codemodel.types import TypeDef
 from ..codemodel.typesystem import TypeSystem
+from ..testing import faults
+from .budget import QueryBudget
 
 
 class MethodIndex:
@@ -49,12 +51,20 @@ class MethodIndex:
         """Methods having at least one parameter of exactly this type."""
         return list(self._by_exact_type.get(typedef.full_name, ()))
 
-    def methods_accepting(self, typedef: TypeDef) -> List[Method]:
+    def methods_accepting(
+        self, typedef: TypeDef, budget: Optional[QueryBudget] = None
+    ) -> List[Method]:
         """Methods with a parameter the given type implicitly converts to —
-        the union over the supertype walk, nearest types first."""
+        the union over the supertype walk, nearest types first.
+
+        A tripped ``budget`` cuts the walk short: the methods gathered so
+        far (the *nearest*, best-ranked ones) are returned.
+        """
         result: List[Method] = []
         seen: set = set()
         for holder in self._supertype_order(typedef):
+            if budget is not None and not budget.tick():
+                break
             for method in self._by_exact_type.get(holder.full_name, ()):
                 if id(method) not in seen:
                     seen.add(id(method))
@@ -76,7 +86,9 @@ class MethodIndex:
         return order
 
     def candidate_methods(
-        self, arg_types: Sequence[Optional[TypeDef]]
+        self,
+        arg_types: Sequence[Optional[TypeDef]],
+        budget: Optional[QueryBudget] = None,
     ) -> List[Method]:
         """Candidate methods for an unknown call with these argument types.
 
@@ -85,11 +97,12 @@ class MethodIndex:
         chosen."  ``None`` entries (wildcard ``0`` arguments) are skipped;
         when every argument is a wildcard, all methods are candidates.
         """
+        faults.fire("index_lookup")
         best: Optional[List[Method]] = None
         for arg_type in arg_types:
             if arg_type is None:
                 continue
-            candidates = self.methods_accepting(arg_type)
+            candidates = self.methods_accepting(arg_type, budget)
             if best is None or len(candidates) < len(best):
                 best = candidates
         if best is None:
@@ -162,10 +175,21 @@ class ReachabilityIndex:
         return types
 
     def steps_to_target(
-        self, source: TypeDef, target: TypeDef, allow_methods: bool
+        self,
+        source: TypeDef,
+        target: TypeDef,
+        allow_methods: bool,
+        budget: Optional[QueryBudget] = None,
     ) -> Optional[int]:
         """Minimum lookups from ``source`` to *some type convertible to*
-        ``target``, or ``None`` if unreachable within ``max_depth``."""
+        ``target``, or ``None`` if unreachable within ``max_depth``.
+
+        The budget is charged one step per query (the underlying BFS is
+        memoised engine-wide, so it is never interrupted mid-build — a
+        partial result must not poison the cache).
+        """
+        if budget is not None:
+            budget.tick()
         key = (source.full_name, target.full_name, allow_methods)
         if key in self._target_cache:
             return self._target_cache[key]
@@ -180,9 +204,15 @@ class ReachabilityIndex:
         return best
 
     def can_reach(
-        self, source: TypeDef, target: TypeDef, within: int, allow_methods: bool
+        self,
+        source: TypeDef,
+        target: TypeDef,
+        within: int,
+        allow_methods: bool,
+        budget: Optional[QueryBudget] = None,
     ) -> bool:
         """Can a chain from ``source`` produce a value usable as ``target``
         within the given number of lookups?"""
-        steps = self.steps_to_target(source, target, allow_methods)
+        faults.fire("index_lookup")
+        steps = self.steps_to_target(source, target, allow_methods, budget)
         return steps is not None and steps <= within

@@ -23,9 +23,10 @@ sensitivity analysis can run every ``-x`` / ``+x`` variant:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Set
 
 from ..analysis.scope import Context
+from ..testing import faults
 from ..codemodel.members import Method
 from ..codemodel.types import TypeDef
 from ..codemodel.typesystem import TypeSystem
@@ -133,6 +134,13 @@ class Ranker:
 
     Also exposes the incremental per-term helpers the completion engine uses
     to cost candidates without re-walking whole trees.
+
+    The optional signals (the abstract-type oracle, the namespace term,
+    the same-name term) run behind guards: when one throws — broken
+    oracle, injected fault, anything — the ranker substitutes the term's
+    *neutral* score (exactly what a know-nothing oracle would produce),
+    records the feature name in :attr:`degraded`, and the query carries
+    on.  One broken signal degrades the ranking; it never kills a query.
     """
 
     def __init__(
@@ -145,6 +153,8 @@ class Ranker:
         self.ts: TypeSystem = context.ts
         self.config = config or RankingConfig()
         self.abstypes = abstypes or NULL_ORACLE
+        #: names of features that failed this query and were neutralised
+        self.degraded: Set[str] = set()
 
     # ------------------------------------------------------------------
     # full recursive score
@@ -255,8 +265,19 @@ class Ranker:
             if not method.is_static or not self.context.is_in_scope_static(method):
                 cost += 1
         if self.config.namespaces:
-            cost += self.namespace_cost(method, arg_types)
+            cost += self._guarded_namespace_cost(method, arg_types)
         return cost
+
+    def _guarded_namespace_cost(
+        self, method: Method, arg_types: "list[Optional[TypeDef]]"
+    ) -> int:
+        try:
+            faults.fire("namespaces")
+            return self.namespace_cost(method, arg_types)
+        except Exception:
+            # neutral: similarity 0, the same as < 2 non-primitive args
+            self.degraded.add("namespaces")
+            return NAMESPACE_CAP
 
     def call_completion_cost(
         self,
@@ -286,11 +307,33 @@ class Ranker:
         receiver_type: Optional[TypeDef],
         args: "Optional[tuple]",
     ) -> int:
-        param_root = self.abstypes.of_param(method, index, receiver_type)
-        arg_root = None
-        if args is not None:
-            arg_root = self.abstypes.of_expr(args[index])
+        param_root = arg_root = None
+        try:
+            faults.fire("oracle")
+            param_root = self.abstypes.of_param(method, index, receiver_type)
+            if args is not None:
+                arg_root = self.abstypes.of_expr(args[index])
+        except Exception:
+            # a broken oracle answers like NULL_ORACLE: undefined on both
+            # sides, which counts as a mismatch below
+            self.degraded.add("abstract_types")
+            param_root = arg_root = None
         if param_root is None or arg_root is None or param_root != arg_root:
+            return 1
+        return 0
+
+    def _abstype_pair_mismatch(self, lhs: Expr, rhs: Expr) -> int:
+        """The abstract-type term for assignment/comparison pairs, with
+        the same degradation contract as :meth:`_abstype_mismatch`."""
+        left_root = right_root = None
+        try:
+            faults.fire("oracle")
+            left_root = self.abstypes.of_expr(lhs)
+            right_root = self.abstypes.of_expr(rhs)
+        except Exception:
+            self.degraded.add("abstract_types")
+            left_root = right_root = None
+        if left_root is None or right_root is None or left_root != right_root:
             return 1
         return 0
 
@@ -325,10 +368,7 @@ class Ranker:
                 raise ValueError("scoring a type-incorrect assignment")
             cost += distance
         if self.config.abstract_types:
-            left_root = self.abstypes.of_expr(lhs)
-            right_root = self.abstypes.of_expr(rhs)
-            if left_root is None or right_root is None or left_root != right_root:
-                cost += 1
+            cost += self._abstype_pair_mismatch(lhs, rhs)
         return cost
 
     def compare_pair_cost(self, lhs: Expr, rhs: Expr) -> int:
@@ -341,13 +381,16 @@ class Ranker:
                 raise ValueError("scoring a type-incorrect comparison")
             cost += distance
         if self.config.abstract_types:
-            left_root = self.abstypes.of_expr(lhs)
-            right_root = self.abstypes.of_expr(rhs)
-            if left_root is None or right_root is None or left_root != right_root:
-                cost += 1
+            cost += self._abstype_pair_mismatch(lhs, rhs)
         if self.config.matching_name:
-            left_name = final_lookup_name(lhs)
-            right_name = final_lookup_name(rhs)
+            try:
+                faults.fire("matching_name")
+                left_name = final_lookup_name(lhs)
+                right_name = final_lookup_name(rhs)
+            except Exception:
+                # neutral: unknown names count as mismatching
+                self.degraded.add("matching_name")
+                left_name = right_name = None
             if left_name is None or left_name != right_name:
                 cost += NAME_MISMATCH_COST
         return cost

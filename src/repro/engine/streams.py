@@ -21,6 +21,13 @@ combinator preserves that invariant:
 
 Ties are broken by arrival order (a monotone sequence number), which makes
 all downstream rankings deterministic.
+
+Every combinator accepts an optional :class:`~repro.engine.budget.QueryBudget`
+and charges it one step per unit of internal work (heap pop, frontier
+expansion).  When the budget trips, the combinator stops pulling from its
+inputs and returns: because every heap drains in score order, the items
+already yielded are exactly the best-so-far prefix of the full stream —
+truncation never reorders or corrupts results.
 """
 
 from __future__ import annotations
@@ -38,6 +45,8 @@ from typing import (
     Tuple,
     TypeVar,
 )
+
+from .budget import QueryBudget
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -57,7 +66,10 @@ def take(stream: Iterable[Scored], n: int) -> List[Scored]:
     return result
 
 
-def merge(streams: Sequence[Iterable[Scored]]) -> ScoredIter:
+def merge(
+    streams: Sequence[Iterable[Scored]],
+    budget: Optional[QueryBudget] = None,
+) -> ScoredIter:
     """Lazy k-way merge of sorted scored streams."""
     heap: List[Tuple[int, int, Scored, Iterator[Scored]]] = []
     seq = count()
@@ -67,6 +79,8 @@ def merge(streams: Sequence[Iterable[Scored]]) -> ScoredIter:
         if first is not None:
             heapq.heappush(heap, (first[0], next(seq), first, iterator))
     while heap:
+        if budget is not None and not budget.tick():
+            return
         _, _, item, iterator = heapq.heappop(heap)
         yield item
         following = next(iterator, None)
@@ -110,6 +124,7 @@ class Materialized(Generic[T]):
 
 def ordered_product(
     streams: Sequence[Materialized],
+    budget: Optional[QueryBudget] = None,
 ) -> Iterator[Tuple[int, tuple]]:
     """Yield ``(total_score, (v1, ..., vk))`` over the cartesian product of
     ``streams`` in non-decreasing total score (frontier search over index
@@ -126,6 +141,8 @@ def ordered_product(
     heap: List[Tuple[int, Tuple[int, ...]]] = [(start_score, origin)]
     visited = {origin}
     while heap:
+        if budget is not None and not budget.tick():
+            return
         score, indices = heapq.heappop(heap)
         values = tuple(
             streams[j].get(indices[j])[1] for j in range(k)  # type: ignore[index]
@@ -148,6 +165,7 @@ def ordered_product(
 def merge_nested(
     outer: Iterable[Scored],
     expand: Callable[[int, T], Iterable[Tuple[int, U]]],
+    budget: Optional[QueryBudget] = None,
 ) -> Iterator[Tuple[int, U]]:
     """Expand each outer item into results and yield all results globally
     sorted.
@@ -159,6 +177,8 @@ def merge_nested(
     heap: List[Tuple[int, int, U]] = []
     seq = count()
     for base, value in outer:
+        if budget is not None and not budget.tick():
+            return
         while heap and heap[0][0] <= base:
             score, _, result = heapq.heappop(heap)
             yield score, result
@@ -166,12 +186,16 @@ def merge_nested(
             assert score >= base, "expand produced a result cheaper than its base"
             heapq.heappush(heap, (score, next(seq), result))
     while heap:
+        if budget is not None and not budget.tick():
+            return
         score, _, result = heapq.heappop(heap)
         yield score, result
 
 
 def reorder_with_slack(
-    stream: Iterable[Tuple[int, int, T]], slack: int
+    stream: Iterable[Tuple[int, int, T]],
+    slack: int,
+    budget: Optional[QueryBudget] = None,
 ) -> ScoredIter:
     """Restore exact order for an almost-sorted stream.
 
@@ -182,12 +206,16 @@ def reorder_with_slack(
     heap: List[Tuple[int, int, T]] = []
     seq = count()
     for base, final, value in stream:
+        if budget is not None and not budget.tick():
+            return
         assert base <= final <= base + slack, "slack contract violated"
         while heap and heap[0][0] <= base:
             score, _, item = heapq.heappop(heap)
             yield score, item
         heapq.heappush(heap, (final, next(seq), value))
     while heap:
+        if budget is not None and not budget.tick():
+            return
         score, _, item = heapq.heappop(heap)
         yield score, item
 
@@ -195,19 +223,23 @@ def reorder_with_slack(
 def best_first(
     roots: Iterable[Scored],
     expand: Callable[[int, T], Iterable[Scored]],
+    budget: Optional[QueryBudget] = None,
 ) -> ScoredIter:
     """Dijkstra-style closure: yield roots and everything reachable through
     ``expand`` in non-decreasing score order.
 
     ``expand(score, value)`` returns successors costing at least ``score``.
     Used for the ``.?*f`` / ``.?*m`` chains, whose completion sets are
-    unbounded: callers simply stop pulling after *n* results.
+    unbounded: callers simply stop pulling after *n* results — or hand in
+    a budget, which bounds even a caller that never stops pulling.
     """
     heap: List[Tuple[int, int, T]] = []
     seq = count()
     for score, value in roots:
         heapq.heappush(heap, (score, next(seq), value))
     while heap:
+        if budget is not None and not budget.tick():
+            return
         score, _, value = heapq.heappop(heap)
         yield score, value
         for next_score, successor in expand(score, value):

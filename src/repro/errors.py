@@ -1,0 +1,88 @@
+"""Structured error taxonomy for the completion service.
+
+Every failure the engine can surface deliberately derives from
+:class:`CompletionError`, so callers (the CLI, the IDE session, the
+evaluation harness) can catch one base class and still branch on the
+specific condition.  The taxonomy mirrors the resilience design in
+``docs/RESILIENCE.md``:
+
+* :class:`QueryTimeout` / :class:`BudgetExhausted` / :class:`QueryCancelled`
+  — a :class:`~repro.engine.budget.QueryBudget` tripped while the caller
+  asked for *strict* enforcement.  (The default engine mode never raises
+  these: it returns best-so-far results tagged with a ``truncated``
+  reason instead.)
+* :class:`FeatureUnavailable` — an optional ranking signal (the
+  abstract-type oracle, the namespace analysis, ...) cannot answer.
+  Oracles may raise it to ask for graceful degradation explicitly; the
+  ranker treats *any* exception from an optional feature the same way.
+* :class:`CorpusError` — a corpus project failed to build or contained a
+  malformed program.  ``build_all_projects`` collects these as
+  diagnostics and skips the offending project rather than aborting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class CompletionError(Exception):
+    """Base class of every deliberate engine failure."""
+
+
+class QueryTimeout(CompletionError):
+    """A query exceeded its wall-clock deadline (strict mode only)."""
+
+    def __init__(self, elapsed_ms: float, deadline_ms: float) -> None:
+        super().__init__(
+            "query exceeded its {:.0f} ms deadline ({:.1f} ms elapsed)".format(
+                deadline_ms, elapsed_ms
+            )
+        )
+        self.elapsed_ms = elapsed_ms
+        self.deadline_ms = deadline_ms
+
+
+class BudgetExhausted(CompletionError):
+    """A query exhausted its expansion-step budget (strict mode only)."""
+
+    def __init__(self, steps: int, max_steps: int) -> None:
+        super().__init__(
+            "query exhausted its step budget ({} of {} steps)".format(
+                steps, max_steps
+            )
+        )
+        self.steps = steps
+        self.max_steps = max_steps
+
+
+class QueryCancelled(CompletionError):
+    """A query's cooperative cancellation token was cancelled."""
+
+    def __init__(self, message: str = "query cancelled") -> None:
+        super().__init__(message)
+
+
+class FeatureUnavailable(CompletionError):
+    """An optional ranking feature cannot currently answer.
+
+    Raising this (or any exception) inside an optional feature makes the
+    ranker substitute the feature's neutral score and record the feature
+    name in the query's ``degraded`` set — it never aborts the query.
+    """
+
+    def __init__(self, feature: str, reason: Optional[str] = None) -> None:
+        message = "feature {!r} unavailable".format(feature)
+        if reason:
+            message += ": " + reason
+        super().__init__(message)
+        self.feature = feature
+        self.reason = reason
+
+
+class CorpusError(CompletionError):
+    """A corpus project (or one of its programs) failed to build."""
+
+    def __init__(self, project: str, reason: str) -> None:
+        super().__init__("corpus project {!r}: {}".format(project, reason))
+        self.project = project
+        self.reason = reason

@@ -1,10 +1,17 @@
 """Interactive layer: workspaces, sessions, REPL (the paper's future work)."""
 
 from .repl import run_repl
-from .session import CompletionSession, QueryRecord, Suggestion, holes_for_unfilled
+from .session import (
+    AutoCompleteStatus,
+    CompletionSession,
+    QueryRecord,
+    Suggestion,
+    holes_for_unfilled,
+)
 from .workspace import Workspace
 
 __all__ = [
+    "AutoCompleteStatus",
     "CompletionSession",
     "QueryRecord",
     "Suggestion",

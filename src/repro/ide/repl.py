@@ -9,6 +9,8 @@ Commands (everything else is treated as a partial expression)::
     :expect <Type>|void|none  constrain the result type (Fig. 12 mode)
     :keyword <word>|none   filter unknown-call methods by name
     :n <count>             result list size
+    :timeout <ms>|none     per-query wall-clock deadline (best-effort)
+    :budget <steps>|none   per-query expansion-step budget
     :locals                show the scope
     :accept <rank>         accept a suggestion; 0s become ?s
     :explain <rank>        show the ranking-term breakdown of a suggestion
@@ -109,6 +111,18 @@ def _command(state: "_ReplState", line: str, write) -> bool:
         elif command == ":n" and len(args) == 1:
             session.n = max(1, int(args[0]))
             write("showing top {}".format(session.n))
+        elif command == ":timeout" and len(args) == 1:
+            session.timeout_ms = (
+                None if args[0] == "none" else max(1.0, float(args[0]))
+            )
+            write("timeout: {}".format(
+                "none" if session.timeout_ms is None
+                else "{:.0f} ms".format(session.timeout_ms)))
+        elif command == ":budget" and len(args) == 1:
+            session.step_budget = (
+                None if args[0] == "none" else max(1, int(args[0]))
+            )
+            write("budget: {}".format(session.step_budget or "none"))
         elif command == ":locals":
             if not session.locals and session.this_type is None:
                 write("(empty scope)")
@@ -199,12 +213,17 @@ def _query(session: CompletionSession, line: str, write) -> None:
     if record.error is not None:
         write("parse error: {}".format(record.error))
         return
-    if not record.suggestions:
-        write("(no completions)")
-        return
     for suggestion in record.suggestions:
         write("{:>3}. (score {:>3}) {}".format(
             suggestion.rank, suggestion.score, suggestion.text))
+    if not record.suggestions:
+        write("(no completions)")
+    if record.truncated is not None:
+        write("(truncated: {} after {:.0f} ms — results are best-so-far)"
+              .format(record.truncated, record.elapsed_ms or 0.0))
+    if record.degraded:
+        write("(degraded features: {})".format(
+            ", ".join(sorted(record.degraded))))
 
 
 def main(universe: str = "paint") -> None:  # pragma: no cover - interactive

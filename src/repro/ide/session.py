@@ -9,11 +9,13 @@ convert the 0 to ? or some other partial expression."
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..analysis.scope import Context
 from ..codemodel.types import TypeDef
+from ..engine.budget import CancellationToken, QueryBudget
 from ..engine.completer import Completion
 from ..engine.ranking import AbstractTypeOracle
 from ..lang.ast import Expr, Unfilled
@@ -33,13 +35,32 @@ class Suggestion:
     expr: Expr
 
 
+class AutoCompleteStatus(enum.Enum):
+    """Why :meth:`CompletionSession.auto_complete` stopped."""
+
+    CONVERGED = "converged"
+    PARSE_ERROR = "parse_error"
+    NO_SUGGESTIONS = "no_suggestions"
+    NO_CONVERGENCE = "no_convergence"
+
+
 @dataclass
 class QueryRecord:
-    """One history entry."""
+    """One history entry.
+
+    ``elapsed_ms``/``truncated``/``degraded`` carry the resilience
+    metadata of the underlying engine query: how long it ran, whether a
+    budget cut it short (and why — ``"timeout"``, ``"budget"`` or
+    ``"cancelled"``), and which optional ranking features failed and
+    were neutralised.
+    """
 
     source: str
     suggestions: List[Suggestion] = field(default_factory=list)
     error: Optional[str] = None
+    elapsed_ms: Optional[float] = None
+    truncated: Optional[str] = None
+    degraded: Set[str] = field(default_factory=set)
 
 
 def holes_for_unfilled(expr: Expr) -> Expr:
@@ -81,6 +102,14 @@ class CompletionSession:
         self.keyword: Optional[str] = None
         self.expected_type: Optional[TypeDef] = None
         self.history: List[QueryRecord] = []
+        #: per-query wall-clock deadline (None = unlimited)
+        self.timeout_ms: Optional[float] = None
+        #: per-query expansion-step budget (None = unlimited)
+        self.step_budget: Optional[int] = None
+        #: cooperative cancellation shared by subsequent queries
+        self.cancellation: Optional[CancellationToken] = None
+        #: why the last :meth:`auto_complete` run stopped
+        self.auto_status: Optional[AutoCompleteStatus] = None
 
     # ------------------------------------------------------------------
     # scope manipulation
@@ -117,8 +146,28 @@ class CompletionSession:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def _make_budget(self) -> Optional[QueryBudget]:
+        if (
+            self.timeout_ms is None
+            and self.step_budget is None
+            and self.cancellation is None
+        ):
+            return None
+        return QueryBudget(
+            deadline_ms=self.timeout_ms,
+            max_steps=self.step_budget,
+            token=self.cancellation,
+        )
+
     def query(self, source: str) -> QueryRecord:
-        """Parse and complete one partial expression; record it."""
+        """Parse and complete one partial expression; record it.
+
+        Queries are best-effort under the session's budget settings: a
+        tripped deadline/step budget yields the best-so-far suggestions
+        with ``record.truncated`` set, and broken optional ranking
+        features land in ``record.degraded`` — the query itself always
+        returns.
+        """
         record = QueryRecord(source=source)
         context = self.context()
         try:
@@ -127,19 +176,23 @@ class CompletionSession:
             record.error = str(error)
             self.history.append(record)
             return record
-        completions = self.workspace.engine.complete(
+        outcome = self.workspace.engine.complete_query(
             pe,
             context,
             n=self.n,
             abstypes=self.abstypes,
             expected_type=self.expected_type,
             keyword=self.keyword,
+            budget=self._make_budget(),
         )
         record.suggestions = [
             Suggestion(rank, completion.score, to_source(completion.expr),
                        completion.expr)
-            for rank, completion in enumerate(completions, start=1)
+            for rank, completion in enumerate(outcome.completions, start=1)
         ]
+        record.elapsed_ms = outcome.elapsed_ms
+        record.truncated = outcome.truncated
+        record.degraded = set(outcome.degraded)
         self.history.append(record)
         return record
 
@@ -168,16 +221,25 @@ class CompletionSession:
 
         Returns the final expression source, or ``None`` when a query
         fails or the loop does not converge within ``max_iterations``.
+        ``self.auto_status`` records *why* it stopped (parse error, empty
+        result list, or non-convergence), so callers can distinguish the
+        ``None`` cases.
         """
         from ..lang.ast import iter_subtree
 
         current = source
         for _ in range(max_iterations):
             record = self.query(current)
-            if record.error is not None or not record.suggestions:
+            if record.error is not None:
+                self.auto_status = AutoCompleteStatus.PARSE_ERROR
+                return None
+            if not record.suggestions:
+                self.auto_status = AutoCompleteStatus.NO_SUGGESTIONS
                 return None
             top = record.suggestions[0].expr
             if not any(isinstance(n, Unfilled) for n in iter_subtree(top)):
+                self.auto_status = AutoCompleteStatus.CONVERGED
                 return to_source(top)
             current = to_source(holes_for_unfilled(top))
+        self.auto_status = AutoCompleteStatus.NO_CONVERGENCE
         return None

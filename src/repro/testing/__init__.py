@@ -1,0 +1,23 @@
+"""Test-support utilities shipped with the library (fault injection)."""
+
+from .faults import (
+    FaultError,
+    FaultPlan,
+    SITES,
+    active_plan,
+    fire,
+    inject,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultPlan",
+    "SITES",
+    "active_plan",
+    "fire",
+    "inject",
+    "install",
+    "uninstall",
+]

@@ -4,12 +4,13 @@ import pytest
 
 from repro.__main__ import main as cli_main
 from repro.ide import (
+    AutoCompleteStatus,
     CompletionSession,
     Workspace,
     holes_for_unfilled,
     run_repl,
 )
-from repro.lang import Call, Hole, Unfilled, Var
+from repro.lang import Assign, Call, Compare, FieldAccess, Hole, Unfilled, Var
 
 
 class TestWorkspace:
@@ -87,6 +88,19 @@ class TestSession:
         session.query("?({img})")
         assert session.accept(999) is None
 
+    def test_accept_with_empty_history(self, session):
+        assert session.accept(1) is None
+
+    def test_accept_nonpositive_rank(self, session):
+        session.query("?({img})")
+        assert session.accept(0) is None
+        assert session.accept(-3) is None
+
+    def test_accept_after_errored_query(self, session):
+        session.query("?({img})")
+        session.query("img @@@")  # the *last* query has no suggestions
+        assert session.accept(1) is None
+
     def test_expected_type_filter(self, session):
         session.set_expected("Document")
         record = session.query("?({img, size})")
@@ -129,6 +143,24 @@ class TestAutoComplete:
     def test_iteration_budget(self, session):
         assert session.auto_complete("?({img, size})", max_iterations=0) is None
 
+    def test_status_converged(self, session):
+        assert session.auto_complete("?({img, size})") is not None
+        assert session.auto_status is AutoCompleteStatus.CONVERGED
+
+    def test_status_parse_error(self, session):
+        assert session.auto_complete("@@@") is None
+        assert session.auto_status is AutoCompleteStatus.PARSE_ERROR
+
+    def test_status_no_suggestions(self, session):
+        session.keyword = "zzz_nothing_matches"
+        assert session.auto_complete("?({img, size})") is None
+        assert session.auto_status is AutoCompleteStatus.NO_SUGGESTIONS
+
+    def test_status_no_convergence(self, session):
+        result = session.auto_complete("?({img, size})", max_iterations=0)
+        assert result is None
+        assert session.auto_status is AutoCompleteStatus.NO_CONVERGENCE
+
 
 class TestHolesForUnfilled:
     def test_rewrites_nested_zeros(self, paint):
@@ -142,6 +174,34 @@ class TestHolesForUnfilled:
         assert isinstance(refined.args[2], Hole)
         assert isinstance(refined.args[3], Hole)
         assert refined.args[0] == call.args[0]
+
+    def test_rewrites_inside_assignment(self, paint):
+        resize = paint.resize_document
+        inner = Call(resize, (Unfilled(),) * resize.arity)
+        assign = Assign(Var("img", paint.document), inner)
+        refined = holes_for_unfilled(assign)
+        assert isinstance(refined, Assign)
+        assert refined.lhs == assign.lhs
+        assert all(isinstance(arg, Hole) for arg in refined.rhs.args)
+
+    def test_rewrites_both_sides_of_comparison(self, paint):
+        width = next(
+            member
+            for member in paint.ts.instance_lookups(paint.document)
+            if member.name == "Width"
+        )
+        lhs = FieldAccess(Unfilled(), width)
+        compare = Compare(lhs, Unfilled(), "==")
+        refined = holes_for_unfilled(compare)
+        assert isinstance(refined, Compare)
+        assert isinstance(refined.lhs.base, Hole)
+        assert refined.lhs.member is width
+        assert isinstance(refined.rhs, Hole)
+        assert refined.op == "=="
+
+    def test_leaves_concrete_nodes_alone(self, paint):
+        expr = Var("img", paint.document)
+        assert holes_for_unfilled(expr) is expr
 
 
 class TestRepl:
