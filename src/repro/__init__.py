@@ -23,6 +23,10 @@ Quickstart::
 """
 
 from .analysis.abstract_types import AbstractTypeAnalysis
+from .analysis.diagnostics import Diagnostic, Severity
+from .analysis.codemodel_lint import lint_type_system
+from .analysis.preflight import PreflightReport, preflight_query
+from .analysis.sanitize import run_sanitizer_probes
 from .analysis.scope import Context
 from .codemodel import (
     Field,
@@ -45,6 +49,9 @@ from .engine import (
     Ranker,
     RankingConfig,
     ReachabilityIndex,
+    check_stream,
+    sanitize_streams,
+    sanitizer_active,
 )
 from .errors import (
     BudgetExhausted,
@@ -53,6 +60,7 @@ from .errors import (
     FeatureUnavailable,
     QueryCancelled,
     QueryTimeout,
+    StreamInvariantViolation,
 )
 from .lang import (
     Assign,
@@ -91,6 +99,7 @@ __all__ = [
     "CompletionError",
     "Context",
     "CorpusError",
+    "Diagnostic",
     "EngineConfig",
     "Expr",
     "FeatureUnavailable",
@@ -106,6 +115,7 @@ __all__ = [
     "Parameter",
     "PartialAssign",
     "PartialCompare",
+    "PreflightReport",
     "Property",
     "QueryBudget",
     "QueryCancelled",
@@ -114,6 +124,8 @@ __all__ = [
     "Ranker",
     "RankingConfig",
     "ReachabilityIndex",
+    "Severity",
+    "StreamInvariantViolation",
     "SuffixHole",
     "TypeDef",
     "TypeKind",
@@ -122,8 +134,14 @@ __all__ = [
     "Unfilled",
     "UnknownCall",
     "Var",
+    "check_stream",
     "derivable",
+    "lint_type_system",
     "parse",
+    "preflight_query",
+    "run_sanitizer_probes",
+    "sanitize_streams",
+    "sanitizer_active",
     "to_source",
     "well_typed",
     "__version__",

@@ -4,6 +4,7 @@
     python -m repro complete --universe paint \
         --let img=PaintDotNet.Document --let size=System.Drawing.Size \
         "?({img, size})"
+    python -m repro lint --universe paint --json
     python -m repro eval [--full]
 """
 
@@ -16,14 +17,31 @@ from typing import List, Optional
 from .ide.session import CompletionSession
 from .ide.workspace import Workspace
 
-#: exit codes (documented in docs/RESILIENCE.md): 0 success, 1 parse
-#: error, 2 usage error (bad flag values, unknown types), 3 deadline
-#: truncation, 4 step-budget/cancellation truncation
+#: exit codes (documented in docs/RESILIENCE.md and docs/ANALYSIS.md):
+#: 0 success, 1 parse error / error-severity lint findings, 2 usage error
+#: (bad flag values, unknown types or universes), 3 deadline truncation,
+#: 4 step-budget/cancellation truncation
 EXIT_OK = 0
 EXIT_PARSE_ERROR = 1
+EXIT_LINT_ERRORS = 1
 EXIT_USAGE = 2
 EXIT_TIMEOUT = 3
 EXIT_BUDGET = 4
+
+
+def _open_universe(key: str, write):
+    """Resolve ``--universe``, or print a one-line usage error.
+
+    Returns the workspace or ``None``; unknown keys are a usage problem
+    (exit 2), reported with the list of builtin universes rather than an
+    argparse abort or a traceback.
+    """
+    try:
+        return Workspace.builtin(key)
+    except ValueError:
+        write("error: unknown universe {!r}; choose one of: {}".format(
+            key, ", ".join(sorted(Workspace.BUILTIN))))
+        return None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -35,13 +53,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     repl = sub.add_parser("repl", help="interactive query loop")
-    repl.add_argument("--universe", default="paint",
-                      choices=sorted(Workspace.BUILTIN))
+    repl.add_argument("--universe", default="paint")
 
     complete = sub.add_parser("complete", help="run one query and exit")
     complete.add_argument("query", help="a partial expression")
-    complete.add_argument("--universe", default="paint",
-                          choices=sorted(Workspace.BUILTIN))
+    complete.add_argument("--universe", default="paint")
     complete.add_argument("--let", action="append", default=[],
                           metavar="NAME=TYPE",
                           help="declare a local (repeatable)")
@@ -61,6 +77,37 @@ def _build_parser() -> argparse.ArgumentParser:
                                "are printed and exit code 4 signals the "
                                "truncation")
 
+    lint = sub.add_parser(
+        "lint",
+        help="static diagnostics for a universe and (optionally) a query",
+        description="Run the RA0xx diagnostic passes (docs/ANALYSIS.md): "
+                    "code-model validation of the universe, optional "
+                    "stream-sanitizer probes, and pre-flight analysis of "
+                    "a partial-expression query.  Exit 0 when clean, 1 "
+                    "when error-severity findings exist, 2 on usage "
+                    "errors.",
+    )
+    lint.add_argument("--universe", default="paint")
+    lint.add_argument("--source", default=None, metavar="FILE.cs",
+                      help="lint a universe loaded from a C#-subset "
+                           "source file instead of a builtin")
+    lint.add_argument("--query", default=None, metavar="PE",
+                      help="also pre-flight this partial expression "
+                           "(satisfiability, dead ranking terms)")
+    lint.add_argument("--let", action="append", default=[],
+                      metavar="NAME=TYPE",
+                      help="declare a query-scope local (repeatable)")
+    lint.add_argument("--this", default=None, metavar="TYPE")
+    lint.add_argument("--expect", default=None, metavar="TYPE",
+                      help="expected result type for --query "
+                           "('void' allowed)")
+    lint.add_argument("--keyword", default=None,
+                      help="unknown-call name filter for --query")
+    lint.add_argument("--sanitize", action="store_true",
+                      help="also run the stream-invariant probe queries")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable output")
+
     census = sub.add_parser(
         "census", help="print the corpus census for the seven projects"
     )
@@ -69,8 +116,7 @@ def _build_parser() -> argparse.ArgumentParser:
     dump = sub.add_parser(
         "dump-universe", help="export a bundled universe as JSON"
     )
-    dump.add_argument("--universe", default="paint",
-                      choices=sorted(Workspace.BUILTIN))
+    dump.add_argument("--universe", default="paint")
     dump.add_argument("-o", "--output", required=True, metavar="PATH")
 
     evaluate = sub.add_parser("eval", help="run the paper's evaluation")
@@ -87,7 +133,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_complete(args: argparse.Namespace, write) -> int:
-    workspace = Workspace.builtin(args.universe)
+    workspace = _open_universe(args.universe, write)
+    if workspace is None:
+        return EXIT_USAGE
     session = CompletionSession(workspace, n=args.n)
     for binding in args.let:
         if "=" not in binding:
@@ -137,15 +185,90 @@ def _run_complete(args: argparse.Namespace, write) -> int:
     return EXIT_OK
 
 
+def _run_lint(args: argparse.Namespace, write) -> int:
+    import json
+
+    from .analysis.diagnostics import diag, has_errors, sort_diagnostics
+
+    if args.source is not None:
+        from .frontend import SourceReader
+
+        try:
+            with open(args.source) as handle:
+                text = handle.read()
+            project = SourceReader.read(text, project_name=args.source)
+        except OSError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        except Exception as error:
+            write("error: cannot load {}: {}".format(args.source, error))
+            return EXIT_USAGE
+        workspace = Workspace.corpus_project(project)
+    else:
+        workspace = _open_universe(args.universe, write)
+        if workspace is None:
+            return EXIT_USAGE
+    diagnostics = workspace.lint(sanitize=args.sanitize)
+
+    if args.query is not None:
+        session = CompletionSession(workspace)
+        for binding in args.let:
+            if "=" not in binding:
+                write("bad --let {!r}; expected NAME=TYPE".format(binding))
+                return EXIT_USAGE
+            name, _, type_name = binding.partition("=")
+            try:
+                session.declare(name.strip(), type_name.strip())
+            except ValueError as error:
+                # an unknown --let type is a query-scope finding, not a
+                # usage abort: report it as RA021 alongside the rest
+                diagnostics.append(diag(
+                    "RA021", str(error), location=name.strip()))
+        try:
+            if args.this:
+                session.set_this(args.this)
+            if args.expect:
+                session.set_expected(args.expect)
+        except ValueError as error:
+            diagnostics.append(diag("RA021", str(error), location="scope"))
+        if not any(d.code == "RA021" for d in diagnostics):
+            session.keyword = args.keyword
+            report = session.analyze(args.query)
+            diagnostics.extend(report.diagnostics)
+        diagnostics = sort_diagnostics(diagnostics)
+
+    if args.json:
+        write(json.dumps({
+            "universe": workspace.name,
+            "diagnostics": [d.to_dict() for d in diagnostics],
+            "summary": {
+                severity: sum(
+                    1 for d in diagnostics if d.severity.value == severity
+                )
+                for severity in ("error", "warning", "info")
+            },
+        }, indent=2, sort_keys=True))
+    else:
+        for diagnostic in diagnostics:
+            write(diagnostic.render())
+        if not diagnostics:
+            write("(no findings)")
+    return EXIT_LINT_ERRORS if has_errors(diagnostics) else EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None, write=print) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "repl":  # pragma: no cover - interactive
         from .ide.repl import main as repl_main
 
+        if _open_universe(args.universe, write) is None:
+            return EXIT_USAGE
         repl_main(args.universe)
         return 0
     if args.command == "complete":
         return _run_complete(args, write)
+    if args.command == "lint":
+        return _run_lint(args, write)
     if args.command == "census":
         from .corpus import build_all_projects, last_build_diagnostics
         from .eval import corpus_census, format_census
@@ -160,7 +283,9 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
 
         from .serialize import dump_type_system
 
-        workspace = Workspace.builtin(args.universe)
+        workspace = _open_universe(args.universe, write)
+        if workspace is None:
+            return EXIT_USAGE
         with open(args.output, "w") as handle:
             json.dump(dump_type_system(workspace.ts), handle)
         write("wrote {}".format(args.output))

@@ -1,7 +1,33 @@
-"""Static analyses: scope contexts, union-find, abstract type inference."""
+"""Static analyses: scope contexts, union-find, abstract type inference,
+and the diagnostics passes behind ``repro lint`` (docs/ANALYSIS.md)."""
 
 from .abstract_types import AbstractTypeAnalysis
+from .codemodel_lint import lint_type_system
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    diag,
+    has_errors,
+    sort_diagnostics,
+)
+from .preflight import PreflightReport, preflight_query
+from .sanitize import run_sanitizer_probes
 from .scope import Context
 from .unionfind import UnionFind
 
-__all__ = ["AbstractTypeAnalysis", "Context", "UnionFind"]
+__all__ = [
+    "AbstractTypeAnalysis",
+    "CODES",
+    "Context",
+    "Diagnostic",
+    "PreflightReport",
+    "Severity",
+    "UnionFind",
+    "diag",
+    "has_errors",
+    "lint_type_system",
+    "preflight_query",
+    "run_sanitizer_probes",
+    "sort_diagnostics",
+]

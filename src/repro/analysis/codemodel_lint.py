@@ -1,0 +1,293 @@
+"""Code-model linting: structural validation of a library universe.
+
+The completion engine assumes the :class:`~repro.codemodel.typesystem.
+TypeSystem` it searches is well-formed: the declared-supertype graph is
+acyclic and rooted at ``System.Object``, supertype edges point at types of
+the right kind, methods are unambiguous, and the per-type method index
+agrees with the registry.  None of those assumptions is checked at
+registration time (frameworks are built programmatically or loaded from
+source/JSON), so a malformed universe surfaces as wrong rankings or — for
+cycles — unbounded supertype walks inside budgeted queries.
+
+:func:`lint_type_system` checks them all up front and reports stable
+``RA00x`` diagnostics (catalogue in ``docs/ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..codemodel.types import TypeDef, TypeKind
+from ..codemodel.typesystem import TypeSystem
+from .diagnostics import Diagnostic, diag, sort_diagnostics
+
+#: a single union-find class holding at least this share of all abstract
+#: type terms (with a minimum population) is reported as over-merged
+_OVERMERGE_RATIO = 0.5
+_OVERMERGE_MIN_TERMS = 8
+
+
+def lint_type_system(
+    ts: TypeSystem,
+    index=None,
+    project=None,
+) -> List[Diagnostic]:
+    """All code-model diagnostics for a universe, sorted.
+
+    ``index`` is an optional :class:`~repro.engine.index.MethodIndex`
+    already built over ``ts`` (e.g. a workspace's live engine index) to
+    cross-check against the registry; when omitted a fresh one is built.
+    ``project`` enables the abstract-type partition check (RA007).
+    """
+    diagnostics: List[Diagnostic] = []
+    cycle_members = _check_cycles(ts, diagnostics)
+    _check_edges(ts, diagnostics)
+    _check_duplicate_signatures(ts, diagnostics)
+    _check_object_reachability(ts, diagnostics, cycle_members)
+    _check_orphans(ts, diagnostics)
+    _check_method_index(ts, index, diagnostics)
+    if project is not None:
+        _check_partition(project, diagnostics)
+    return sort_diagnostics(diagnostics)
+
+
+# ----------------------------------------------------------------------
+# RA001 — supertype cycles
+# ----------------------------------------------------------------------
+def _check_cycles(ts: TypeSystem, out: List[Diagnostic]) -> Set[str]:
+    """Report every cycle in the declared-supertype graph; return the
+    full names of all types on some cycle (for downstream suppression)."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {}
+    members: Set[str] = set()
+    for start in ts.all_types():
+        if color.get(start.full_name, WHITE) is not WHITE:
+            continue
+        # iterative DFS keeping the grey path so the cycle can be printed
+        stack: List[Tuple[TypeDef, int]] = [(start, 0)]
+        path: List[TypeDef] = []
+        while stack:
+            node, edge = stack[-1]
+            if edge == 0:
+                color[node.full_name] = GREY
+                path.append(node)
+            supers = _declared_supertypes(ts, node)
+            if edge < len(supers):
+                stack[-1] = (node, edge + 1)
+                parent = supers[edge]
+                state = color.get(parent.full_name, WHITE)
+                if state is GREY:
+                    # back edge: the cycle is the grey path from parent
+                    cycle = path[path.index(parent):] + [parent]
+                    names = [t.full_name for t in cycle]
+                    if not members.issuperset(names):
+                        members.update(names[:-1])
+                        out.append(diag(
+                            "RA001",
+                            "supertype cycle: " + " -> ".join(names),
+                            location=names[0],
+                        ))
+                elif state is WHITE:
+                    stack.append((parent, 0))
+            else:
+                color[node.full_name] = BLACK
+                path.pop()
+                stack.pop()
+    return members
+
+
+def _declared_supertypes(ts: TypeSystem, typedef: TypeDef) -> List[TypeDef]:
+    """Raw declared edges (not the memoised ``immediate_supertypes``, so
+    linting never pollutes or trusts the caches it is auditing)."""
+    if typedef.kind is TypeKind.PRIMITIVE:
+        return list(ts.immediate_supertypes(typedef))  # widenings are fixed
+    supers: List[TypeDef] = []
+    if typedef.base is not None:
+        supers.append(typedef.base)
+    supers.extend(typedef.interfaces)
+    return supers
+
+
+# ----------------------------------------------------------------------
+# RA002 — malformed supertype edges
+# ----------------------------------------------------------------------
+def _check_edges(ts: TypeSystem, out: List[Diagnostic]) -> None:
+    for typedef in ts.all_types():
+        base = typedef.base
+        if base is not None:
+            if base.is_interface or base.kind is TypeKind.PRIMITIVE:
+                out.append(diag(
+                    "RA002",
+                    "base of {} is a {} ({})".format(
+                        typedef.full_name, base.kind.value, base.full_name),
+                    location=typedef.full_name,
+                ))
+            _check_registered(ts, typedef, base, "base", out)
+        for iface in typedef.interfaces:
+            if not iface.is_interface:
+                out.append(diag(
+                    "RA002",
+                    "{} lists non-interface {} ({}) in its interface "
+                    "list".format(typedef.full_name, iface.full_name,
+                                  iface.kind.value),
+                    location=typedef.full_name,
+                ))
+            _check_registered(ts, typedef, iface, "interface", out)
+
+
+def _check_registered(
+    ts: TypeSystem,
+    typedef: TypeDef,
+    target: TypeDef,
+    role: str,
+    out: List[Diagnostic],
+) -> None:
+    if ts.try_get(target.full_name) is not target:
+        out.append(diag(
+            "RA002",
+            "{} of {} points at unregistered type {}".format(
+                role, typedef.full_name, target.full_name),
+            location=typedef.full_name,
+        ))
+
+
+# ----------------------------------------------------------------------
+# RA003 — duplicate method signatures
+# ----------------------------------------------------------------------
+def _check_duplicate_signatures(ts: TypeSystem, out: List[Diagnostic]) -> None:
+    for typedef in ts.all_types():
+        seen: Dict[tuple, int] = {}
+        for method in typedef.methods:
+            signature = (
+                method.name,
+                method.is_static,
+                tuple(p.type.full_name for p in method.params),
+            )
+            seen[signature] = seen.get(signature, 0) + 1
+        for (name, is_static, params), count in seen.items():
+            if count > 1:
+                out.append(diag(
+                    "RA003",
+                    "{}{}({}) declared {} times on {}".format(
+                        "static " if is_static else "", name,
+                        ", ".join(params), count, typedef.full_name),
+                    location="{}.{}".format(typedef.full_name, name),
+                ))
+
+
+# ----------------------------------------------------------------------
+# RA004 — every non-primitive type must reach Object
+# ----------------------------------------------------------------------
+def _check_object_reachability(
+    ts: TypeSystem, out: List[Diagnostic], cycle_members: Set[str]
+) -> None:
+    for typedef in ts.all_types():
+        if typedef.kind is TypeKind.PRIMITIVE:
+            continue  # primitives widen among themselves by design
+        if typedef.full_name in cycle_members:
+            continue  # already reported as RA001; closure is unreliable
+        if ts.object_type not in ts.supertype_closure(typedef):
+            out.append(diag(
+                "RA004",
+                "{} cannot reach System.Object through declared "
+                "supertypes".format(typedef.full_name),
+                location=typedef.full_name,
+            ))
+
+
+# ----------------------------------------------------------------------
+# RA005 — orphan types
+# ----------------------------------------------------------------------
+_CORE_NAMES = frozenset(
+    ["System.Object", "System.ValueType", "System.Enum", "System.String",
+     "void"]
+)
+
+
+def _check_orphans(ts: TypeSystem, out: List[Diagnostic]) -> None:
+    referenced: Set[str] = set()
+    for typedef in ts.all_types():
+        for parent in _declared_supertypes(ts, typedef):
+            referenced.add(parent.full_name)
+        for member in list(typedef.fields) + list(typedef.properties):
+            referenced.add(member.type.full_name)
+        for method in typedef.methods:
+            if method.return_type is not None:
+                referenced.add(method.return_type.full_name)
+            for param in method.params:
+                referenced.add(param.type.full_name)
+    for typedef in ts.all_types():
+        if typedef.kind is TypeKind.PRIMITIVE:
+            continue
+        if typedef.full_name in _CORE_NAMES:
+            continue
+        has_members = bool(
+            typedef.fields or typedef.properties or typedef.methods
+        )
+        if has_members or typedef.full_name in referenced:
+            continue
+        out.append(diag(
+            "RA005",
+            "{} is unreferenced and has no members; completions can "
+            "never produce or consume it".format(typedef.full_name),
+            location=typedef.full_name,
+        ))
+
+
+# ----------------------------------------------------------------------
+# RA006 — method-index consistency
+# ----------------------------------------------------------------------
+def _check_method_index(ts: TypeSystem, index, out: List[Diagnostic]) -> None:
+    from ..engine.index import MethodIndex
+
+    if index is None:
+        index = MethodIndex(ts)
+    registry_methods = {id(m) for m in ts.all_methods()}
+    indexed_methods = {id(m) for m in index.all_methods()}
+    for method in ts.all_methods():
+        if id(method) not in indexed_methods:
+            out.append(diag(
+                "RA006",
+                "method {} missing from the index".format(method.full_name),
+                location=method.full_name,
+            ))
+            continue
+        for param in method.all_params():
+            bucket = index.methods_with_exact_param(param.type)
+            if not any(entry is method for entry in bucket):
+                out.append(diag(
+                    "RA006",
+                    "method {} not in the exact-param bucket for {}".format(
+                        method.full_name, param.type.full_name),
+                    location=method.full_name,
+                ))
+    for method in index.all_methods():
+        if id(method) not in registry_methods:
+            out.append(diag(
+                "RA006",
+                "index lists {} but the registry does not".format(
+                    method.full_name),
+                location=method.full_name,
+            ))
+
+
+# ----------------------------------------------------------------------
+# RA007 — abstract-type partition sanity
+# ----------------------------------------------------------------------
+def _check_partition(project, out: List[Diagnostic]) -> None:
+    from .abstract_types import AbstractTypeAnalysis
+
+    analysis = AbstractTypeAnalysis(project)
+    groups = analysis.uf.groups()
+    total = sum(len(g) for g in groups.values())
+    if total < _OVERMERGE_MIN_TERMS:
+        return
+    largest = max(groups.values(), key=len)
+    if len(largest) / total >= _OVERMERGE_RATIO:
+        out.append(diag(
+            "RA007",
+            "one abstract type covers {} of {} terms ({}%); the "
+            "abstract-type ranking term will barely discriminate".format(
+                len(largest), total, round(100 * len(largest) / total)),
+            location=project.name,
+        ))

@@ -1,0 +1,117 @@
+"""Machine-readable diagnostics for the static analyses.
+
+Every analysis pass (``codemodel_lint``, ``preflight``, the stream
+sanitizer probes) reports its findings as :class:`Diagnostic` values with
+a *stable* ``RA0xx`` code, so tools — the ``repro lint`` CLI, the CI lint
+job, editor integrations — can match on codes rather than message text.
+The full catalogue lives in ``docs/ANALYSIS.md``; the :data:`CODES` table
+here is the single in-code source of truth.
+
+Severities:
+
+* ``error`` — the universe or query is broken: queries over it can hang,
+  mis-rank, or provably return nothing.  ``repro lint`` exits 1.
+* ``warning`` — suspicious but survivable (e.g. an over-merged abstract
+  type partition that degrades ranking quality).
+* ``info`` — advisory (orphan types, ranking terms that cannot fire).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is; ordered for sorting and exit codes."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def order(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+#: code -> (default severity, one-line description).  Codes are append-only:
+#: never renumber or reuse one (docs/ANALYSIS.md mirrors this table).
+CODES: Dict[str, Tuple[Severity, str]] = {
+    "RA001": (Severity.ERROR, "cycle in the declared-supertype graph"),
+    "RA002": (Severity.ERROR, "malformed supertype edge (non-interface in "
+                              "interface list, or interface/primitive base)"),
+    "RA003": (Severity.ERROR, "duplicate method signature on one type"),
+    "RA004": (Severity.ERROR, "type does not reach System.Object"),
+    "RA005": (Severity.INFO, "orphan type: unreferenced and memberless"),
+    "RA006": (Severity.ERROR, "method index inconsistent with the registry"),
+    "RA007": (Severity.WARNING, "abstract-type partition over-merged"),
+    "RA020": (Severity.ERROR, "query is provably unsatisfiable"),
+    "RA021": (Severity.ERROR, "unknown type in the query scope"),
+    "RA022": (Severity.ERROR, "partial expression does not parse"),
+    "RA023": (Severity.ERROR, "call query matches no method"),
+    "RA024": (Severity.INFO, "ranking term cannot influence this query"),
+    "RA030": (Severity.ERROR, "stream combinator violated score ordering"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code, severity, message and location.
+
+    ``location`` is a dotted name (a type, method or scope entry) and
+    ``span`` an optional ``(start, end)`` character range into the linted
+    query string — both may be ``None`` for universe-wide findings.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    location: Optional[str] = None
+    span: Optional[Tuple[int, int]] = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, used by ``repro lint --json``."""
+        payload = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.location is not None:
+            payload["location"] = self.location
+        if self.span is not None:
+            payload["span"] = list(self.span)
+        return payload
+
+    def render(self) -> str:
+        """The human-readable one-liner used by the CLI and REPL."""
+        where = " [{}]".format(self.location) if self.location else ""
+        return "{} {}:{} {}".format(
+            self.code, self.severity.value, where, self.message
+        ).replace(":  ", ": ")
+
+    def sort_key(self) -> tuple:
+        return (self.severity.order, self.code, self.location or "",
+                self.message)
+
+
+def diag(
+    code: str,
+    message: str,
+    location: Optional[str] = None,
+    span: Optional[Tuple[int, int]] = None,
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    """Build a diagnostic, defaulting the severity from :data:`CODES`."""
+    if severity is None:
+        severity = CODES[code][0]
+    return Diagnostic(code, severity, message, location, span)
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Stable order: errors first, then by code and location."""
+    return sorted(diagnostics, key=Diagnostic.sort_key)

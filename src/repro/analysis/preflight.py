@@ -1,0 +1,315 @@
+"""Query pre-flight: type-directed satisfiability of a partial expression.
+
+Some queries are *provably* empty before any search stream is built: a
+``?`` hole whose expected type no chain root can reach, an ``?({...})``
+whose argument types no visible method accepts, a known call whose
+overloads all mismatch.  The completion engine otherwise discovers this
+the slow way — by exhausting a bounded search.  :func:`preflight_query`
+proves emptiness up front using the same reachability index the engine
+prunes with, so :meth:`CompletionEngine.complete_query
+<repro.engine.completer.CompletionEngine.complete_query>` can short-circuit
+with zero expansion steps.
+
+Every check here is **conservative**: a query is only called unsatisfiable
+(RA020/RA023) when no completion can exist under the engine's configured
+bounds.  When in doubt — partial subexpressions of unknown type, a
+reachability index shallower than the chain depth — the verdict is
+"satisfiable" and the engine searches normally.  Pre-flight never consumes
+budget steps and never touches the query's budget.
+
+The pass also reports advisory diagnostics: unknown scope types (RA021)
+and ranking terms that cannot influence the query (RA024).  Catalogue in
+``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..codemodel.types import TypeDef
+from ..lang.ast import Expr, is_complete
+from ..lang.partial import (
+    Hole,
+    KnownCall,
+    PartialAssign,
+    PartialCompare,
+    SuffixHole,
+    UnknownCall,
+)
+from .diagnostics import Diagnostic, diag, has_errors, sort_diagnostics
+from .scope import Context
+
+
+@dataclass
+class PreflightReport:
+    """The verdict of a pre-flight pass.
+
+    ``unsatisfiable`` is True only for *proven* emptiness — the engine may
+    skip the search entirely.  ``diagnostics`` carries the findings
+    (including the RA020/RA023 proof when unsatisfiable).
+    """
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    unsatisfiable: bool = False
+
+    @property
+    def has_errors(self) -> bool:
+        return has_errors(self.diagnostics)
+
+
+def preflight_query(
+    engine,
+    pe: Expr,
+    context: Context,
+    expected_type: Optional[TypeDef] = None,
+    keyword: Optional[str] = None,
+) -> PreflightReport:
+    """Analyse one parsed query against an engine's universe and config."""
+    checker = _Preflight(engine, context, expected_type, keyword)
+    checker.run(pe)
+    report = PreflightReport(
+        diagnostics=sort_diagnostics(checker.diagnostics),
+        unsatisfiable=checker.unsatisfiable,
+    )
+    return report
+
+
+class _Preflight:
+    def __init__(self, engine, context, expected_type, keyword) -> None:
+        self.engine = engine
+        self.config = engine.config
+        self.ts = engine.ts
+        self.context = context
+        self.expected_type = expected_type
+        self.keyword = keyword.lower() if keyword else None
+        self.diagnostics: List[Diagnostic] = []
+        self.unsatisfiable = False
+
+    # ------------------------------------------------------------------
+    # entry
+    # ------------------------------------------------------------------
+    def run(self, pe: Expr) -> None:
+        self._check_scope_types()
+        self._check_dead_ranking_terms(pe)
+        if isinstance(pe, Hole):
+            self._check_hole(pe)
+        elif isinstance(pe, SuffixHole):
+            self._check_suffix(pe)
+        elif isinstance(pe, UnknownCall):
+            self._check_unknown_call(pe)
+        elif isinstance(pe, KnownCall):
+            self._check_known_call(pe)
+        # assignments/comparisons join two unconstrained sides; emptiness
+        # is not provable without enumerating, so they always pass
+
+    # ------------------------------------------------------------------
+    # RA021 — scope sanity
+    # ------------------------------------------------------------------
+    def _check_scope_types(self) -> None:
+        for name, typedef in self.context.locals.items():
+            if self.ts.try_get(typedef.full_name) is not typedef:
+                self.diagnostics.append(diag(
+                    "RA021",
+                    "local {!r} has type {} which is not registered in "
+                    "this universe".format(name, typedef.full_name),
+                    location=name,
+                ))
+
+    # ------------------------------------------------------------------
+    # RA024 — dead ranking terms (advisory)
+    # ------------------------------------------------------------------
+    def _check_dead_ranking_terms(self, pe: Expr) -> None:
+        ranking = self.config.ranking
+        if ranking.matching_name and not isinstance(
+            pe, PartialCompare
+        ):
+            self.diagnostics.append(diag(
+                "RA024",
+                "matching_name is enabled but only scores comparisons; "
+                "it cannot affect this query",
+                location="ranking.matching_name",
+            ))
+        if ranking.in_scope_static and self.context.enclosing_type is None:
+            self.diagnostics.append(diag(
+                "RA024",
+                "in_scope_static is enabled but the scope has no "
+                "enclosing type, so every call pays the same +1",
+                location="ranking.in_scope_static",
+            ))
+
+    # ------------------------------------------------------------------
+    # RA020 — chain satisfiability
+    # ------------------------------------------------------------------
+    def _reachability_usable(self, needed_depth: int) -> bool:
+        """The emptiness proof is only valid when the reachability index
+        explores at least as deep as the chains the engine would build."""
+        reach = self.engine.reachability
+        return reach is not None and reach.max_depth >= needed_depth
+
+    def _roots_reach(
+        self,
+        root_types: List[TypeDef],
+        target: TypeDef,
+        max_steps: int,
+        methods: bool,
+    ) -> bool:
+        """Can any root chain to something convertible to ``target``?"""
+        reach = self.engine.reachability
+        for root_type in root_types:
+            if reach.can_reach(root_type, target, max_steps, methods):
+                return True
+        return False
+
+    def _check_hole(self, pe: Hole) -> None:
+        root_types = self._root_types()
+        if not root_types:
+            self._unsat(diag(
+                "RA020",
+                "a ? hole has no chain roots: the scope has no locals "
+                "and the universe has no global statics",
+                location="scope",
+            ))
+            return
+        target = self.expected_type
+        if target is None:
+            return
+        depth = self.config.max_chain_depth
+        if not self._reachability_usable(depth):
+            return
+        if not self._roots_reach(root_types, target, depth, methods=True):
+            self._unsat(diag(
+                "RA020",
+                "no chain of at most {} lookups from any of the {} "
+                "roots in scope produces a {}".format(
+                    depth, len(root_types), target.full_name),
+                location=target.full_name,
+            ))
+
+    def _check_suffix(self, pe: SuffixHole) -> None:
+        target = self.expected_type
+        if target is None or not is_complete(pe.base):
+            return
+        base_type = pe.base.type
+        if base_type is None:
+            return
+        depth = self.config.max_chain_depth if pe.star else 1
+        if not self._reachability_usable(depth):
+            return
+        if not self._roots_reach([base_type], target, depth, pe.methods):
+            self._unsat(diag(
+                "RA020",
+                "no {} chain of at most {} lookups from {} produces "
+                "a {}".format(pe.suffix_text, depth, base_type.full_name,
+                              target.full_name),
+                location=target.full_name,
+            ))
+
+    def _root_types(self) -> List[TypeDef]:
+        types: List[TypeDef] = []
+        for root in self.context.chain_roots():
+            root_type = root.type
+            if root_type is not None and root_type not in types:
+                types.append(root_type)
+        return types
+
+    # ------------------------------------------------------------------
+    # RA023 — call satisfiability
+    # ------------------------------------------------------------------
+    def _arg_type(self, arg: Expr) -> Optional[TypeDef]:
+        """The argument's type when fixed; ``None`` means unconstrained
+        (a hole, wildcard, or any partial subexpression)."""
+        if is_complete(arg):
+            return arg.type
+        return None
+
+    def _check_unknown_call(self, pe: UnknownCall) -> None:
+        arg_types = [self._arg_type(a) for a in pe.args]
+        for method in self.engine.index.all_methods():
+            if self._method_admissible(method, arg_types, len(pe.args),
+                                       exact_arity=False,
+                                       apply_keyword=True):
+                return
+        parts = [t.full_name if t else "?" for t in arg_types]
+        detail = "?({{{}}})".format(", ".join(parts))
+        if self.keyword:
+            detail += " with keyword {!r}".format(self.keyword)
+        if self.expected_type is not None:
+            detail += " returning {}".format(self.expected_type.full_name)
+        self._unsat(diag(
+            "RA023",
+            "no visible method can complete {}".format(detail),
+            location="unknown-call",
+        ))
+
+    def _check_known_call(self, pe: KnownCall) -> None:
+        arg_types = [self._arg_type(a) for a in pe.args]
+        for method in pe.candidates:
+            if self._method_admissible(method, arg_types, len(pe.args),
+                                       exact_arity=True,
+                                       apply_keyword=False,
+                                       positional=True):
+                return
+        self._unsat(diag(
+            "RA023",
+            "none of the {} overload(s) of {} accepts these argument "
+            "types".format(len(pe.candidates), pe.name),
+            location=pe.name,
+        ))
+
+    def _method_admissible(
+        self,
+        method,
+        arg_types: List[Optional[TypeDef]],
+        arg_count: int,
+        exact_arity: bool,
+        apply_keyword: bool,
+        positional: bool = False,
+    ) -> bool:
+        """Necessary conditions for the engine to emit this method — a
+        superset of what the search accepts, so failing *every* method is
+        a sound emptiness proof."""
+        if exact_arity:
+            if method.arity != arg_count:
+                return False
+        elif method.arity < arg_count:
+            return False
+        if method.is_constructor and not self.config.generate_constructors:
+            return False
+        if apply_keyword and self.keyword is not None:
+            if self.keyword not in method.name.lower():
+                return False
+        if not self._return_matches(method):
+            return False
+        params = method.all_params()
+        if positional:
+            pairs = zip(arg_types, params)
+            return all(
+                arg_type is None
+                or self.ts.implicitly_converts(arg_type, param.type)
+                for arg_type, param in pairs
+            )
+        for arg_type in arg_types:
+            if arg_type is None:
+                continue
+            if not any(
+                self.ts.implicitly_converts(arg_type, param.type)
+                for param in params
+            ):
+                return False
+        return True
+
+    def _return_matches(self, method) -> bool:
+        target = self.expected_type
+        if target is None:
+            return True
+        if target is self.ts.void_type:
+            return method.return_type is None
+        if method.return_type is None:
+            return False
+        return self.ts.implicitly_converts(method.return_type, target)
+
+    # ------------------------------------------------------------------
+    def _unsat(self, diagnostic: Diagnostic) -> None:
+        self.unsatisfiable = True
+        self.diagnostics.append(diagnostic)

@@ -59,14 +59,15 @@ class TypeDef:
         "name",
         "namespace",
         "kind",
-        "base",
-        "interfaces",
+        "_base",
+        "_interfaces",
         "comparable",
         "treat_as_primitive",
         "fields",
         "properties",
         "methods",
         "_member_cache",
+        "_registry",
     )
 
     def __init__(
@@ -82,14 +83,40 @@ class TypeDef:
         self.name = name
         self.namespace = namespace
         self.kind = kind
-        self.base = base
-        self.interfaces: Tuple[TypeDef, ...] = tuple(interfaces)
+        self._base = base
+        self._interfaces: Tuple[TypeDef, ...] = tuple(interfaces)
         self.comparable = comparable
         self.treat_as_primitive = treat_as_primitive
         self.fields: List["Field"] = []
         self.properties: List["Property"] = []
         self.methods: List["Method"] = []
         self._member_cache: Optional[Dict[str, object]] = None
+        #: the TypeSystem this type is registered with; mutating the type
+        #: after registration invalidates the registry's memoised queries
+        self._registry = None
+
+    # ------------------------------------------------------------------
+    # supertype edges (mutations invalidate the owning registry's caches)
+    # ------------------------------------------------------------------
+    @property
+    def base(self) -> Optional["TypeDef"]:
+        """The declared base type."""
+        return self._base
+
+    @base.setter
+    def base(self, value: Optional["TypeDef"]) -> None:
+        self._base = value
+        self._invalidate()
+
+    @property
+    def interfaces(self) -> Tuple["TypeDef", ...]:
+        """Interfaces this type declares it implements / extends."""
+        return self._interfaces
+
+    @interfaces.setter
+    def interfaces(self, value: Tuple["TypeDef", ...]) -> None:
+        self._interfaces = tuple(value)
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # identity
@@ -130,6 +157,8 @@ class TypeDef:
     # ------------------------------------------------------------------
     def _invalidate(self) -> None:
         self._member_cache = None
+        if self._registry is not None:
+            self._registry._invalidate_caches()
 
     def add_field(self, field: "Field") -> "Field":
         field.declaring_type = self

@@ -51,6 +51,7 @@ class TypeSystem:
 
     def __init__(self) -> None:
         self._types: Dict[str, TypeDef] = {}
+        self._version = 0
         self._td_cache: Dict[Tuple[str, str], Optional[int]] = {}
         self._supertype_cache: Dict[str, Tuple[TypeDef, ...]] = {}
         self._lookup_cache: Dict[str, Tuple[Field, ...]] = {}
@@ -98,11 +99,18 @@ class TypeSystem:
     # registry
     # ------------------------------------------------------------------
     def register(self, typedef: TypeDef) -> TypeDef:
-        """Register a type; full names must be unique."""
+        """Register a type; full names must be unique.
+
+        Registration wires the type back to this registry, so *later*
+        mutations of the type (adding members, re-pointing ``base`` or
+        ``interfaces``) also invalidate the memoised distance/lookup
+        queries — a type system never serves stale answers.
+        """
         key = typedef.full_name
         if key in self._types:
             raise ValueError("duplicate type registration: {}".format(key))
         self._types[key] = typedef
+        typedef._registry = self
         self._invalidate_caches()
         return typedef
 
@@ -120,10 +128,22 @@ class TypeSystem:
             yield from typedef.methods
 
     def _invalidate_caches(self) -> None:
+        self._version += 1
         self._td_cache.clear()
         self._supertype_cache.clear()
         self._lookup_cache.clear()
         self._method_cache.clear()
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter.
+
+        Bumped on every registration *and* on every mutation of a
+        registered type.  Derived structures (the method and reachability
+        indexes) stamp the version they were built from and refresh when
+        it moves, so they also never serve stale answers.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # supertype structure

@@ -11,6 +11,7 @@ from .budget import (
 from .completer import Completion, CompletionEngine, EngineConfig, QueryOutcome
 from .index import MethodIndex, ReachabilityIndex
 from .ranking import AbstractTypeOracle, Ranker, RankingConfig
+from .streams import check_stream, sanitize_streams, sanitizer_active
 
 __all__ = [
     "AbstractTypeOracle",
@@ -28,4 +29,7 @@ __all__ = [
     "TRUNCATED_BUDGET",
     "TRUNCATED_CANCELLED",
     "TRUNCATED_TIMEOUT",
+    "check_stream",
+    "sanitize_streams",
+    "sanitizer_active",
 ]

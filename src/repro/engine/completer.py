@@ -100,6 +100,10 @@ class EngineConfig:
     #: (``new T(...)``) — "the version used for our experiments does not
     #: generate constructor calls when asked for an unknown method"
     generate_constructors: bool = False
+    #: prove provably-empty queries empty before searching (see
+    #: :mod:`repro.analysis.preflight`): ``complete_query`` then returns
+    #: an empty outcome without expanding a single stream
+    preflight: bool = True
 
 
 class Completion(NamedTuple):
@@ -119,6 +123,11 @@ class QueryOutcome:
     stopped early and ``completions`` is the best-so-far prefix.
     ``degraded`` names the optional features that failed and were
     neutralised during ranking (see :class:`Ranker`).
+
+    ``unsatisfiable`` is True when pre-flight analysis *proved* the query
+    empty and the engine skipped the search entirely (``steps`` stays 0);
+    the proof diagnostics are in ``preflight`` (RA020/RA023, see
+    ``docs/ANALYSIS.md``).
     """
 
     completions: List[Completion]
@@ -126,6 +135,8 @@ class QueryOutcome:
     elapsed_ms: float = 0.0
     steps: int = 0
     degraded: Set[str] = field(default_factory=set)
+    unsatisfiable: bool = False
+    preflight: Optional[object] = None
 
 
 class CompletionEngine:
@@ -153,6 +164,38 @@ class CompletionEngine:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def preflight(
+        self,
+        pe: Expr,
+        context: Context,
+        expected_type: Optional[TypeDef] = None,
+        keyword: Optional[str] = None,
+    ):
+        """Static pre-flight analysis of a query (no search, no budget).
+
+        Returns a :class:`~repro.analysis.preflight.PreflightReport`:
+        proven-empty verdicts (RA020/RA023) plus advisory diagnostics.
+        Imported lazily — the analysis layer depends on the engine, not
+        the other way around.
+        """
+        from ..analysis.preflight import preflight_query
+
+        return preflight_query(self, pe, context, expected_type, keyword)
+
+    def _try_preflight(
+        self,
+        pe: Expr,
+        context: Context,
+        expected_type: Optional[TypeDef],
+        keyword: Optional[str],
+    ):
+        """Pre-flight guarded like every optional subsystem: an analysis
+        failure means "no proof", never a failed query."""
+        try:
+            return self.preflight(pe, context, expected_type, keyword)
+        except Exception:
+            return None
+
     def all_completions(
         self,
         pe: Expr,
@@ -217,6 +260,18 @@ class CompletionEngine:
         outcome.
         """
         started = time.monotonic()
+        if self.config.preflight:
+            report = self._try_preflight(pe, context, expected_type, keyword)
+            if report is not None and report.unsatisfiable:
+                # proven empty: skip the search entirely — the budget is
+                # never ticked, so ``steps`` stays 0
+                return QueryOutcome(
+                    completions=[],
+                    elapsed_ms=(time.monotonic() - started) * 1000.0,
+                    steps=budget.steps if budget is not None else 0,
+                    unsatisfiable=True,
+                    preflight=report,
+                )
         query = _Query(self, context, abstypes, expected_type, keyword, budget)
         completions = list(islice(_dedup(query.stream(pe, expected_type)), n))
         truncated = budget.tripped if budget is not None else None

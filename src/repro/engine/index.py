@@ -37,6 +37,7 @@ class MethodIndex:
         self._build()
 
     def _build(self) -> None:
+        self.built_version = self.ts.version
         for method in self.ts.all_methods():
             self._all_methods.append(method)
             seen_types = set()
@@ -47,8 +48,20 @@ class MethodIndex:
                 seen_types.add(key)
                 self._by_exact_type.setdefault(key, []).append(method)
 
+    def refresh(self) -> None:
+        """Rebuild the buckets when the type system has moved on.
+
+        A cheap version compare on the hot path keeps the index honest
+        against types/members registered after construction.
+        """
+        if self.built_version != self.ts.version:
+            self._by_exact_type = {}
+            self._all_methods = []
+            self._build()
+
     def methods_with_exact_param(self, typedef: TypeDef) -> List[Method]:
         """Methods having at least one parameter of exactly this type."""
+        self.refresh()
         return list(self._by_exact_type.get(typedef.full_name, ()))
 
     def methods_accepting(
@@ -60,6 +73,7 @@ class MethodIndex:
         A tripped ``budget`` cuts the walk short: the methods gathered so
         far (the *nearest*, best-ranked ones) are returned.
         """
+        self.refresh()
         result: List[Method] = []
         seen: set = set()
         for holder in self._supertype_order(typedef):
@@ -98,6 +112,7 @@ class MethodIndex:
         when every argument is a wildcard, all methods are candidates.
         """
         faults.fire("index_lookup")
+        self.refresh()
         best: Optional[List[Method]] = None
         for arg_type in arg_types:
             if arg_type is None:
@@ -110,9 +125,11 @@ class MethodIndex:
         return best
 
     def all_methods(self) -> List[Method]:
+        self.refresh()
         return list(self._all_methods)
 
     def __len__(self) -> int:
+        self.refresh()
         return len(self._all_methods)
 
     def stats(self) -> Dict[str, float]:
@@ -138,14 +155,23 @@ class ReachabilityIndex:
     def __init__(self, ts: TypeSystem, max_depth: int = 4) -> None:
         self.ts = ts
         self.max_depth = max_depth
+        self.built_version = ts.version
         self._cache: Dict[Tuple[str, bool], Dict[str, int]] = {}
         self._target_cache: Dict[Tuple[str, str, bool], Optional[int]] = {}
+
+    def refresh(self) -> None:
+        """Drop memoised walks when the type system has been mutated."""
+        if self.built_version != self.ts.version:
+            self.built_version = self.ts.version
+            self._cache.clear()
+            self._target_cache.clear()
 
     def reachable(
         self, source: TypeDef, allow_methods: bool
     ) -> Dict[str, int]:
         """Map from reachable type full-name to minimum number of lookups
         (0 for the source itself), bounded by ``max_depth``."""
+        self.refresh()
         key = (source.full_name, allow_methods)
         cached = self._cache.get(key)
         if cached is not None:
@@ -190,6 +216,7 @@ class ReachabilityIndex:
         """
         if budget is not None:
             budget.tick()
+        self.refresh()
         key = (source.full_name, target.full_name, allow_methods)
         if key in self._target_cache:
             return self._target_cache[key]

@@ -28,11 +28,20 @@ expansion).  When the budget trips, the combinator stops pulling from its
 inputs and returns: because every heap drains in score order, the items
 already yielded are exactly the best-so-far prefix of the full stream —
 truncation never reorders or corrupts results.
+
+The nondecreasing-score promise can be *asserted at runtime* with the
+opt-in sanitizer: inside a :func:`sanitize_streams` block every combinator
+yields through :func:`check_stream`, which raises
+:class:`~repro.errors.StreamInvariantViolation` on the first score that
+goes backwards.  The test suite and ``repro lint --sanitize`` run with it
+enabled; production queries leave it off.
 """
 
 from __future__ import annotations
 
 import heapq
+from contextlib import contextmanager
+from functools import wraps
 from itertools import count
 from typing import (
     Callable,
@@ -46,6 +55,7 @@ from typing import (
     TypeVar,
 )
 
+from ..errors import StreamInvariantViolation
 from .budget import QueryBudget
 
 T = TypeVar("T")
@@ -54,6 +64,73 @@ U = TypeVar("U")
 #: A scored item: ``(score, value)``.
 Scored = Tuple[int, T]
 ScoredIter = Iterator[Scored]
+
+
+# ----------------------------------------------------------------------
+# stream-invariant sanitizer (opt-in; see docs/ANALYSIS.md)
+# ----------------------------------------------------------------------
+#: when True, every combinator's output is wrapped in a monotonicity
+#: check; flipped by :func:`sanitize_streams` (the test suite and the
+#: ``repro lint --sanitize`` probes turn it on)
+_SANITIZING = False
+
+
+def sanitizer_active() -> bool:
+    """Is the stream-invariant sanitizer currently enabled?"""
+    return _SANITIZING
+
+
+@contextmanager
+def sanitize_streams(enabled: bool = True):
+    """Enable (or force off) the nondecreasing-score sanitizer.
+
+    While active, every combinator in this module yields through
+    :func:`check_stream`, which raises
+    :class:`~repro.errors.StreamInvariantViolation` the moment a score
+    goes backwards.  Off by default: the check costs one comparison per
+    emitted item, and production queries rely on the invariant being
+    *tested* rather than re-asserted per item.
+    """
+    global _SANITIZING
+    previous = _SANITIZING
+    _SANITIZING = enabled
+    try:
+        yield
+    finally:
+        _SANITIZING = previous
+
+
+def check_stream(name: str, stream: Iterable[Scored]) -> ScoredIter:
+    """Yield ``stream`` through, asserting nondecreasing scores.
+
+    Usable directly on any scored iterable (the lint probes and property
+    tests do); the combinators below route through it automatically while
+    :func:`sanitize_streams` is active.
+    """
+    previous: Optional[int] = None
+    for item in stream:
+        score = item[0]
+        if previous is not None and score < previous:
+            raise StreamInvariantViolation(name, previous, score)
+        previous = score
+        yield item
+
+
+def _monotone(fn):
+    """Wrap a combinator so its output is checked when sanitizing.
+
+    When the sanitizer is off the original generator is returned as-is —
+    zero per-item overhead.
+    """
+
+    @wraps(fn)
+    def wrapper(*args, **kwargs):
+        stream = fn(*args, **kwargs)
+        if not _SANITIZING:
+            return stream
+        return check_stream(fn.__name__, stream)
+
+    return wrapper
 
 
 def take(stream: Iterable[Scored], n: int) -> List[Scored]:
@@ -66,6 +143,7 @@ def take(stream: Iterable[Scored], n: int) -> List[Scored]:
     return result
 
 
+@_monotone
 def merge(
     streams: Sequence[Iterable[Scored]],
     budget: Optional[QueryBudget] = None,
@@ -122,6 +200,7 @@ class Materialized(Generic[T]):
             index += 1
 
 
+@_monotone
 def ordered_product(
     streams: Sequence[Materialized],
     budget: Optional[QueryBudget] = None,
@@ -162,6 +241,7 @@ def ordered_product(
             heapq.heappush(heap, (next_score, successor))
 
 
+@_monotone
 def merge_nested(
     outer: Iterable[Scored],
     expand: Callable[[int, T], Iterable[Tuple[int, U]]],
@@ -192,6 +272,7 @@ def merge_nested(
         yield score, result
 
 
+@_monotone
 def reorder_with_slack(
     stream: Iterable[Tuple[int, int, T]],
     slack: int,
@@ -220,6 +301,7 @@ def reorder_with_slack(
         yield score, item
 
 
+@_monotone
 def best_first(
     roots: Iterable[Scored],
     expand: Callable[[int, T], Iterable[Scored]],

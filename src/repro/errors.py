@@ -86,3 +86,24 @@ class CorpusError(CompletionError):
         super().__init__("corpus project {!r}: {}".format(project, reason))
         self.project = project
         self.reason = reason
+
+
+class StreamInvariantViolation(CompletionError):
+    """A stream combinator emitted a score lower than a previous one.
+
+    Every combinator in :mod:`repro.engine.streams` promises non-decreasing
+    scores; this is raised by the opt-in stream sanitizer
+    (``sanitize_streams``, see ``docs/ANALYSIS.md``) when a combinator
+    breaks that promise — always a bug in the combinator or in a caller's
+    cost function, never a recoverable condition.
+    """
+
+    def __init__(self, combinator: str, previous: int, current: int) -> None:
+        super().__init__(
+            "stream invariant violated in {!r}: score {} emitted after {}".format(
+                combinator, current, previous
+            )
+        )
+        self.combinator = combinator
+        self.previous = previous
+        self.current = current

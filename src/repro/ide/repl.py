@@ -14,6 +14,10 @@ Commands (everything else is treated as a partial expression)::
     :locals                show the scope
     :accept <rank>         accept a suggestion; 0s become ?s
     :explain <rank>        show the ranking-term breakdown of a suggestion
+    :lint [pe]             diagnostics: without arguments, lint the
+                           universe (RA0xx codes, docs/ANALYSIS.md);
+                           with a partial expression, pre-flight it
+                           (satisfiability, dead ranking terms)
     :types [prefix]        browse the universe's namespaces and types
     :tree <Type>           one type's hierarchy and members
     :load <file.cs>        read a C#-subset source file as the universe
@@ -75,6 +79,8 @@ def _command(state: "_ReplState", line: str, write) -> bool:
             return False
         if command == ":help":
             write("Commands" + _HELP)
+        elif command == ":lint":
+            _lint(session, line.split(None, 1)[1] if args else None, write)
         elif command == ":types" and len(args) <= 1:
             from ..codemodel.explorer import namespace_tree
 
@@ -183,6 +189,17 @@ def _enter(state: "_ReplState", method_name: str, write) -> None:
         impl.method.full_name,
         ", ".join(sorted(context.locals)) or "(none)",
     ))
+
+
+def _lint(session: CompletionSession, query, write) -> None:
+    if query is None:
+        diagnostics = session.workspace.lint()
+    else:
+        diagnostics = session.analyze(query).diagnostics
+    for diagnostic in diagnostics:
+        write(diagnostic.render())
+    if not diagnostics:
+        write("(no findings)")
 
 
 def _explain(session: CompletionSession, rank: int, write) -> None:

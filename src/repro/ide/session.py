@@ -196,6 +196,35 @@ class CompletionSession:
         self.history.append(record)
         return record
 
+    def analyze(self, source: str):
+        """Pre-flight a query without running it (the REPL's ``:lint``).
+
+        Parses ``source`` in the session scope and returns a
+        :class:`~repro.analysis.preflight.PreflightReport`: a parse
+        failure becomes an RA022 diagnostic (with the failure's source
+        span when the parser reports one), and a well-formed query gets
+        the full satisfiability / dead-term analysis.
+        """
+        from ..analysis.diagnostics import diag
+        from ..analysis.preflight import PreflightReport
+
+        context = self.context()
+        try:
+            pe = parse(source, context)
+        except ParseError as error:
+            span = getattr(error, "span", None)
+            report = PreflightReport(unsatisfiable=False)
+            report.diagnostics.append(
+                diag("RA022", str(error), location="query", span=span)
+            )
+            return report
+        return self.workspace.engine.preflight(
+            pe,
+            context,
+            expected_type=self.expected_type,
+            keyword=self.keyword,
+        )
+
     def accept(self, rank: int) -> Optional[str]:
         """Accept suggestion ``rank`` of the most recent query; returns the
         next query source with every leftover ``0`` turned into ``?`` (or

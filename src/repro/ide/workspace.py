@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..analysis.abstract_types import AbstractTypeAnalysis
+from ..analysis.diagnostics import Diagnostic
 from ..analysis.scope import Context
 from ..codemodel.types import TypeDef
 from ..codemodel.typesystem import TypeSystem
@@ -119,6 +120,27 @@ class Workspace:
         this_type: Optional[TypeDef] = None,
     ) -> Context:
         return Context(self.ts, locals=locals, this_type=this_type)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def lint(self, sanitize: bool = False) -> List[Diagnostic]:
+        """Static diagnostics for this workspace's universe.
+
+        Runs the code-model lint (``RA00x``) against the live engine's
+        method index (so index staleness is caught, not masked by a fresh
+        rebuild); with ``sanitize=True`` also runs the stream-invariant
+        probe queries (``RA030``).  See ``docs/ANALYSIS.md``.
+        """
+        from ..analysis.codemodel_lint import lint_type_system
+        from ..analysis.sanitize import run_sanitizer_probes
+
+        diagnostics = lint_type_system(
+            self.ts, index=self.engine.index, project=self.project
+        )
+        if sanitize:
+            diagnostics = diagnostics + run_sanitizer_probes(self.engine)
+        return diagnostics
 
     # ------------------------------------------------------------------
     # abstract types (when a corpus project backs the workspace)

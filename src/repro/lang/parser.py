@@ -51,7 +51,16 @@ from .partial import (
 
 
 class ParseError(ValueError):
-    """Raised on any lexical, syntactic or name-resolution failure."""
+    """Raised on any lexical, syntactic or name-resolution failure.
+
+    ``span`` is the offending ``(start, end)`` character range of the
+    query string when the failure can be localised (lexical errors), or
+    ``None``; ``repro lint`` forwards it in RA022 diagnostics.
+    """
+
+    def __init__(self, message: str, span: "Optional[Tuple[int, int]]" = None):
+        super().__init__(message)
+        self.span = span
 
 
 _TOKEN_RE = re.compile(
@@ -74,7 +83,8 @@ def _tokenize(source: str) -> List[Tuple[str, str]]:
         match = _TOKEN_RE.match(source, pos)
         if match is None:
             raise ParseError(
-                "unexpected character {!r} at offset {}".format(source[pos], pos)
+                "unexpected character {!r} at offset {}".format(source[pos], pos),
+                span=(pos, pos + 1),
             )
         pos = match.end()
         kind = match.lastgroup

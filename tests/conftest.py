@@ -13,6 +13,20 @@ from repro.corpus.frameworks import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _stream_sanitizer():
+    """Run every test with the stream-invariant sanitizer enabled.
+
+    Any combinator emitting a score below a previous one raises
+    ``StreamInvariantViolation`` instead of silently mis-ordering results,
+    so ordering bugs fail loudly anywhere in the suite.
+    """
+    from repro.engine.streams import sanitize_streams
+
+    with sanitize_streams():
+        yield
+
+
 @pytest.fixture(scope="session")
 def paint():
     """The Paint.NET universe of Sec. 2 / Figure 2."""

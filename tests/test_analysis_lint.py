@@ -1,0 +1,223 @@
+"""Code-model lint: structural diagnostics over universes (RA00x)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TypeDef, TypeKind, TypeSystem
+from repro.analysis import (
+    CODES,
+    Severity,
+    has_errors,
+    lint_type_system,
+    run_sanitizer_probes,
+)
+from repro.codemodel import Field, LibraryBuilder, Method, Parameter
+from repro.engine.index import MethodIndex
+from repro.ide.workspace import Workspace
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+@pytest.fixture
+def ts():
+    return TypeSystem()
+
+
+class TestCleanUniverses:
+    @pytest.mark.parametrize("key", sorted(Workspace.BUILTIN))
+    def test_builtin_universes_have_no_errors(self, key):
+        workspace = Workspace.builtin(key)
+        diagnostics = workspace.lint()
+        assert not has_errors(diagnostics), [d.render() for d in diagnostics]
+
+    def test_fresh_type_system_is_clean(self, ts):
+        assert lint_type_system(ts) == []
+
+    def test_diagnostics_are_sorted_errors_first(self, ts):
+        a = ts.register(TypeDef("A", "N"))
+        a.base = a  # RA001 error
+        ts.register(TypeDef("Orphan", "N"))  # RA005 info
+        result = lint_type_system(ts)
+        severities = [d.severity.order for d in result]
+        assert severities == sorted(severities)
+
+
+class TestCycles:
+    def test_two_type_cycle(self, ts):
+        a = ts.register(TypeDef("A", "N"))
+        b = ts.register(TypeDef("B", "N"))
+        a.base = b
+        b.base = a
+        result = lint_type_system(ts)
+        assert "RA001" in codes(result)
+        [cycle] = [d for d in result if d.code == "RA001"]
+        assert cycle.severity is Severity.ERROR
+        assert "N.A" in cycle.message and "N.B" in cycle.message
+        # cycle members are not double-reported as unrooted (RA004)
+        assert "RA004" not in codes(result)
+
+    def test_self_loop(self, ts):
+        a = ts.register(TypeDef("A", "N"))
+        a.base = a
+        assert "RA001" in codes(lint_type_system(ts))
+
+    def test_interface_cycle(self, ts):
+        lib = LibraryBuilder(ts)
+        i1 = lib.iface("N.I1")
+        i2 = lib.iface("N.I2")
+        i1.interfaces = (i2,)
+        i2.interfaces = (i1,)
+        assert "RA001" in codes(lint_type_system(ts))
+
+
+class TestEdges:
+    def test_non_interface_in_interface_list(self, ts):
+        lib = LibraryBuilder(ts)
+        not_iface = lib.cls("N.NotAnIface")
+        thing = lib.cls("N.Thing")
+        thing.interfaces = (not_iface,)
+        result = lint_type_system(ts)
+        assert "RA002" in codes(result)
+
+    def test_interface_as_base(self, ts):
+        lib = LibraryBuilder(ts)
+        iface = lib.iface("N.IFace")
+        thing = lib.cls("N.Thing")
+        thing.base = iface
+        assert "RA002" in codes(lint_type_system(ts))
+
+    def test_unregistered_base(self, ts):
+        stray = TypeDef("Stray", "N")  # never registered
+        thing = ts.register(TypeDef("Thing", "N"))
+        thing.base = stray
+        result = lint_type_system(ts)
+        assert any(
+            d.code == "RA002" and "unregistered" in d.message for d in result
+        )
+
+
+class TestSignaturesAndIndex:
+    def test_duplicate_method_signature(self, ts):
+        lib = LibraryBuilder(ts)
+        thing = lib.cls("N.Thing")
+        thing.add_method(Method("M", None, params=(
+            Parameter("x", ts.primitive("int")),)))
+        thing.add_method(Method("M", None, params=(
+            Parameter("y", ts.primitive("int")),)))
+        result = lint_type_system(ts)
+        [dup] = [d for d in result if d.code == "RA003"]
+        assert "declared 2 times" in dup.message
+        assert dup.location == "N.Thing.M"
+
+    def test_overloads_are_not_duplicates(self, ts):
+        lib = LibraryBuilder(ts)
+        thing = lib.cls("N.Thing")
+        thing.add_method(Method("M", None, params=(
+            Parameter("x", ts.primitive("int")),)))
+        thing.add_method(Method("M", None, params=(
+            Parameter("x", ts.string_type),)))
+        assert "RA003" not in codes(lint_type_system(ts))
+
+    def test_stale_index_reported(self, ts):
+        lib = LibraryBuilder(ts)
+        thing = lib.cls("N.Thing")
+        index = MethodIndex(ts)
+        thing.add_method(Method("Late", None))
+        # defeat the auto-refresh to simulate a stale snapshot
+        index.built_version = ts.version
+        result = lint_type_system(ts, index=index)
+        assert any(
+            d.code == "RA006" and "Late" in d.message for d in result
+        )
+
+
+class TestReachabilityAndOrphans:
+    def test_type_based_on_a_cycle_cannot_reach_object(self, ts):
+        a = ts.register(TypeDef("A", "N"))
+        b = ts.register(TypeDef("B", "N"))
+        c = ts.register(TypeDef("C", "N"))
+        a.base = b
+        b.base = a
+        c.base = a  # C is not on the cycle but its chain never roots
+        result = lint_type_system(ts)
+        assert "RA001" in codes(result)
+        [unrooted] = [d for d in result if d.code == "RA004"]
+        assert unrooted.location == "N.C"
+
+    def test_orphan_type_is_info(self, ts):
+        ts.register(TypeDef("Lonely", "N"))
+        [orphan] = [
+            d for d in lint_type_system(ts) if d.code == "RA005"
+        ]
+        assert orphan.severity is Severity.INFO
+        assert orphan.location == "N.Lonely"
+
+    def test_referenced_type_is_not_orphan(self, ts):
+        lib = LibraryBuilder(ts)
+        used = lib.cls("N.Used")
+        owner = lib.cls("N.Owner")
+        owner.add_field(Field("F", used))
+        assert all(
+            d.location != "N.Used"
+            for d in lint_type_system(ts)
+            if d.code == "RA005"
+        )
+
+
+class TestPartition:
+    def _chained_assign_project(self, ts):
+        """static M(a, b, c, d) { a := b; b := c; c := d; } — every
+        abstract-type term collapses into one class."""
+        from repro.corpus.program import AssignStatement, MethodImpl, Project
+        from repro.lang.ast import Assign, Var
+
+        lib = LibraryBuilder(ts)
+        holder = lib.cls("N.Holder")
+        integer = ts.primitive("int")
+        method = holder.add_method(Method(
+            "M", None, is_static=True,
+            params=tuple(Parameter(n, integer) for n in "abcd"),
+        ))
+        var = {name: Var(name, integer) for name in "abcd"}
+        impl = MethodImpl(method, body=[
+            AssignStatement(Assign(var["a"], var["b"])),
+            AssignStatement(Assign(var["b"], var["c"])),
+            AssignStatement(Assign(var["c"], var["d"])),
+        ])
+        project = Project("overmerged", ts)
+        project.add_impl(impl)
+        return project
+
+    def test_overmerged_partition_warns(self, ts):
+        project = self._chained_assign_project(ts)
+        [warning] = [
+            d for d in lint_type_system(ts, project=project)
+            if d.code == "RA007"
+        ]
+        assert warning.severity is Severity.WARNING
+        assert warning.location == "overmerged"
+
+    def test_healthy_partition_is_silent(self, tiny_project):
+        assert all(
+            d.code != "RA007"
+            for d in lint_type_system(tiny_project.ts, project=tiny_project)
+        )
+
+
+class TestProbesAndCatalogue:
+    def test_probe_runner_clean_on_geometry(self, geometry_engine):
+        assert run_sanitizer_probes(geometry_engine) == []
+
+    def test_workspace_lint_with_sanitize(self):
+        workspace = Workspace.geometry()
+        diagnostics = workspace.lint(sanitize=True)
+        assert not has_errors(diagnostics)
+
+    def test_every_code_documented(self):
+        for code, (severity, description) in CODES.items():
+            assert code.startswith("RA")
+            assert isinstance(severity, Severity)
+            assert description

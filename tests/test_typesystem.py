@@ -235,3 +235,72 @@ class TestMemberLookup:
         fields, methods = ts.static_members(helper)
         assert [f.name for f in fields] == ["Default"]
         assert [m.name for m in methods] == ["Make"]
+
+
+class TestCacheInvalidation:
+    """Mutating the model after queries must never serve stale answers."""
+
+    def test_method_added_after_query_is_visible(self, ts):
+        t = ts.register(TypeDef("Late", "N"))
+        assert [m.name for m in ts.instance_methods(t)] == []
+        t.add_method(Method("M", None))
+        assert [m.name for m in ts.instance_methods(t)] == ["M"]
+
+    def test_rebasing_updates_distance_and_supertypes(self, ts):
+        a = ts.register(TypeDef("A", "N"))
+        b = ts.register(TypeDef("B", "N"))
+        assert ts.type_distance(a, b) is None
+        a.base = b
+        assert ts.type_distance(a, b) == 1
+        assert b in ts.immediate_supertypes(a)
+        assert ts.implicitly_converts(a, b)
+
+    def test_interface_added_after_query_is_visible(self, ts):
+        lib = LibraryBuilder(ts)
+        iface = lib.iface("N.ICover")
+        t = lib.cls("N.Thing")
+        assert not ts.implicitly_converts(t, iface)
+        t.interfaces = (iface,)
+        assert ts.implicitly_converts(t, iface)
+
+    def test_version_counts_mutations(self, ts):
+        before = ts.version
+        t = ts.register(TypeDef("C", "N"))
+        assert ts.version > before
+        mid = ts.version
+        t.add_field(Field("F", ts.string_type))
+        assert ts.version > mid
+
+    def test_registration_after_query_is_visible(self, ts):
+        lib = LibraryBuilder(ts)
+        base = lib.cls("N.Base")
+        assert ts.type_distance(base, ts.object_type) == 1
+        derived = lib.cls("N.Derived", base=base)
+        assert ts.type_distance(derived, base) == 1
+
+    def test_method_index_refreshes_after_mutation(self, ts):
+        from repro.codemodel import Parameter
+        from repro.engine.index import MethodIndex
+
+        lib = LibraryBuilder(ts)
+        box = lib.cls("N.Box")
+        index = MethodIndex(ts)
+        assert index.methods_with_exact_param(box) == []
+        user = lib.cls("N.User")
+        user.add_method(
+            Method("Put", None, params=(Parameter("b", box),))
+        )
+        assert [m.name for m in index.methods_with_exact_param(box)] == ["Put"]
+        assert any(m.name == "Put" for m in index.candidate_methods([box]))
+
+    def test_reachability_index_refreshes_after_mutation(self, ts):
+        from repro.engine.index import ReachabilityIndex
+
+        lib = LibraryBuilder(ts)
+        start = lib.cls("N.Start")
+        goal = lib.cls("N.Goal")
+        index = ReachabilityIndex(ts)
+        assert not index.can_reach(start, goal, within=2, allow_methods=True)
+        start.add_field(Field("Next", goal))
+        assert index.can_reach(start, goal, within=2, allow_methods=True)
+        assert index.steps_to_target(start, goal, allow_methods=True) == 1
