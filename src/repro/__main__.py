@@ -6,6 +6,7 @@
         "?({img, size})"
     python -m repro lint --universe paint --json
     python -m repro eval [--full]
+    python -m repro bench --quick --compare benchmarks/baseline/BENCH_seed.json
 """
 
 from __future__ import annotations
@@ -55,8 +56,13 @@ def _build_parser() -> argparse.ArgumentParser:
     repl = sub.add_parser("repl", help="interactive query loop")
     repl.add_argument("--universe", default="paint")
 
-    complete = sub.add_parser("complete", help="run one query and exit")
-    complete.add_argument("query", help="a partial expression")
+    complete = sub.add_parser(
+        "complete", help="run one or more queries and exit"
+    )
+    complete.add_argument("queries", nargs="+", metavar="query",
+                          help="partial expression(s); several queries "
+                               "run as one batch against shared warm "
+                               "indexes and the cross-query cache")
     complete.add_argument("--universe", default="paint")
     complete.add_argument("--let", action="append", default=[],
                           metavar="NAME=TYPE",
@@ -119,6 +125,32 @@ def _build_parser() -> argparse.ArgumentParser:
     dump.add_argument("--universe", default="paint")
     dump.add_argument("-o", "--output", required=True, metavar="PATH")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned performance workload",
+        description="Run the pinned bench workload (paper speed queries, "
+                    "synthetic scaling universes, and a repeated-query "
+                    "cache measurement) and write a schema-versioned "
+                    "BENCH_<label>.json.  With two --compare paths, skip "
+                    "the run and just diff the files.  Exit 0 ok, 1 on a "
+                    "p95 regression over 20%, 2 on bad input.  See "
+                    "docs/PERFORMANCE.md.",
+    )
+    bench.add_argument("--label", default="local",
+                       help="label recorded in the document (default "
+                            "'local')")
+    bench.add_argument("-o", "--output", default=None, metavar="PATH",
+                       help="write the document here (default "
+                            "BENCH_<label>.json in the current directory)")
+    bench.add_argument("--quick", action="store_true",
+                       help="fewer repeats and smaller scaling universes "
+                            "(the CI smoke configuration)")
+    bench.add_argument("--compare", nargs="+", default=None,
+                       metavar="BENCH.json",
+                       help="one path: run and compare against it as the "
+                            "baseline; two paths: compare old vs. new "
+                            "without running")
+
     evaluate = sub.add_parser("eval", help="run the paper's evaluation")
     evaluate.add_argument("--full", action="store_true",
                           help="no per-project caps (several minutes)")
@@ -166,23 +198,34 @@ def _run_complete(args: argparse.Namespace, write) -> int:
             write("error: --budget must be positive")
             return EXIT_USAGE
         session.step_budget = args.budget
-    record = session.query(args.query)
-    if record.error is not None:
-        write("parse error: {}".format(record.error))
-        return EXIT_PARSE_ERROR
-    for suggestion in record.suggestions:
-        write("{:>3}. (score {:>3}) {}".format(
-            suggestion.rank, suggestion.score, suggestion.text))
-    if not record.suggestions:
-        write("(no completions)")
-    if record.degraded:
-        write("(degraded features: {})".format(
-            ", ".join(sorted(record.degraded))))
-    if record.truncated is not None:
-        write("(truncated: {} after {:.0f} ms — results are best-so-far)"
-              .format(record.truncated, record.elapsed_ms or 0.0))
-        return EXIT_TIMEOUT if record.truncated == "timeout" else EXIT_BUDGET
-    return EXIT_OK
+    # one or many queries: a single batch, so indexes warm once and the
+    # queries share the engine's cross-query cache
+    records = session.query_many(args.queries)
+    exit_code = EXIT_OK
+    for source, record in zip(args.queries, records):
+        if len(records) > 1:
+            write("pe> {}".format(source))
+        if record.error is not None:
+            write("parse error: {}".format(record.error))
+            if exit_code == EXIT_OK:
+                exit_code = EXIT_PARSE_ERROR
+            continue
+        for suggestion in record.suggestions:
+            write("{:>3}. (score {:>3}) {}".format(
+                suggestion.rank, suggestion.score, suggestion.text))
+        if not record.suggestions:
+            write("(no completions)")
+        if record.degraded:
+            write("(degraded features: {})".format(
+                ", ".join(sorted(record.degraded))))
+        if record.truncated is not None:
+            write("(truncated: {} after {:.0f} ms — results are "
+                  "best-so-far)".format(
+                      record.truncated, record.elapsed_ms or 0.0))
+            if exit_code == EXIT_OK:
+                exit_code = (EXIT_TIMEOUT if record.truncated == "timeout"
+                             else EXIT_BUDGET)
+    return exit_code
 
 
 def _run_lint(args: argparse.Namespace, write) -> int:
@@ -256,6 +299,57 @@ def _run_lint(args: argparse.Namespace, write) -> int:
     return EXIT_LINT_ERRORS if has_errors(diagnostics) else EXIT_OK
 
 
+def _run_bench(args: argparse.Namespace, write) -> int:
+    from .eval.bench import (
+        compare_bench,
+        load_bench,
+        render_bench,
+        run_bench,
+        save_bench,
+    )
+
+    compare = args.compare or []
+    if len(compare) > 2:
+        write("error: --compare takes one (baseline) or two (old new) paths")
+        return EXIT_USAGE
+
+    if len(compare) == 2:
+        # compare-only mode: no run, just gate new against old
+        try:
+            old = load_bench(compare[0])
+            new = load_bench(compare[1])
+        except (OSError, ValueError) as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        ok, lines = compare_bench(old, new)
+        for line in lines:
+            write(line)
+        return EXIT_OK if ok else 1
+
+    document = run_bench(label=args.label, quick=args.quick, log=write)
+    for line in render_bench(document):
+        write(line)
+    output = args.output or "BENCH_{}.json".format(args.label)
+    try:
+        save_bench(output, document)
+    except OSError as error:
+        write("error: {}".format(error))
+        return EXIT_USAGE
+    write("wrote {}".format(output))
+
+    if len(compare) == 1:
+        try:
+            baseline = load_bench(compare[0])
+        except (OSError, ValueError) as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        ok, lines = compare_bench(baseline, document)
+        for line in lines:
+            write(line)
+        return EXIT_OK if ok else 1
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None, write=print) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "repl":  # pragma: no cover - interactive
@@ -269,6 +363,8 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
         return _run_complete(args, write)
     if args.command == "lint":
         return _run_lint(args, write)
+    if args.command == "bench":
+        return _run_bench(args, write)
     if args.command == "census":
         from .corpus import build_all_projects, last_build_diagnostics
         from .eval import corpus_census, format_census

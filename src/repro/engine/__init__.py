@@ -8,17 +8,32 @@ from .budget import (
     TRUNCATED_CANCELLED,
     TRUNCATED_TIMEOUT,
 )
-from .completer import Completion, CompletionEngine, EngineConfig, QueryOutcome
+from .cache import CacheStats, CompletionCache, context_signature
+from .completer import (
+    Completion,
+    CompletionEngine,
+    CompletionRequest,
+    EngineConfig,
+    QueryOutcome,
+)
 from .index import MethodIndex, ReachabilityIndex
 from .ranking import AbstractTypeOracle, Ranker, RankingConfig
-from .streams import check_stream, sanitize_streams, sanitizer_active
+from .streams import (
+    SharedStream,
+    check_stream,
+    sanitize_streams,
+    sanitizer_active,
+)
 
 __all__ = [
     "AbstractTypeOracle",
     "Algorithm1",
+    "CacheStats",
     "CancellationToken",
     "Completion",
+    "CompletionCache",
     "CompletionEngine",
+    "CompletionRequest",
     "EngineConfig",
     "MethodIndex",
     "QueryBudget",
@@ -26,10 +41,12 @@ __all__ = [
     "Ranker",
     "RankingConfig",
     "ReachabilityIndex",
+    "SharedStream",
     "TRUNCATED_BUDGET",
     "TRUNCATED_CANCELLED",
     "TRUNCATED_TIMEOUT",
     "check_stream",
+    "context_signature",
     "sanitize_streams",
     "sanitizer_active",
 ]

@@ -1,0 +1,259 @@
+"""Cross-query completion cache.
+
+The paper's speed argument is per-query laziness: only the top *n*
+completions are ever computed.  This module adds the *cross*-query half
+of the story (the direction Prospector-style engines take — see
+PAPERS.md): queries against the same universe repeat the same work — the
+global chain-root pool is rescored from scratch, identical sub-streams
+are re-expanded, and the same (method, argument-types) placements are
+re-solved.  :class:`CompletionCache` memoises all three across queries
+on one engine:
+
+* **scored global roots** — the static fields / zero-argument static
+  calls every ``?`` hole starts from.  Their scores depend only on the
+  ``depth`` ranking switch (locals are scored per query; they are
+  cheap), so one pool per depth flag serves every context.
+* **sub-streams** — completions of a subexpression under a given
+  (context, target type, config) key, kept as re-playable
+  :class:`~repro.engine.streams.SharedStream` prefixes.  A second query
+  asking for the same sub-stream replays the computed prefix from
+  memory and only extends it past the known frontier.  Whole-query
+  result streams are cached the same way under a distinct tag.
+* **placements** — the cheapest injective argument placement per
+  (method, argument-type tuple): position vector plus placement cost,
+  independent of the concrete argument expressions once the
+  abstract-type oracle is out of the picture.
+
+Invalidation is by the :class:`~repro.codemodel.typesystem.TypeSystem`
+version counter: every public lookup first compares the type system's
+current version against the version the cache was filled under and
+drops *everything* on mismatch.  Mutating a universe mid-session is
+rare and coarse invalidation is obviously correct; fine-grained
+dependency tracking is not worth its bug surface.
+
+The cache is deliberately **bypassed** by the engine when a query
+cannot safely share state (see ``CompletionEngine._stream_cache``):
+
+* a :class:`~repro.engine.budget.QueryBudget` is attached — budget
+  ticks happen inside the stream generators, so a replayed prefix would
+  truncate at different points than a cold run;
+* an abstract-type oracle is supplied — scores then depend on the
+  oracle, which is per-call-site;
+* a fault-injection plan is armed — a cached clean result must not
+  mask an injected fault (and a faulted result must not poison the
+  cache).
+
+Everything is guarded by one re-entrant lock so ``complete_many`` can
+shard a batch across threads; stream *pulls* are serialised by each
+``SharedStream``'s own lock (the cache lock is never held while
+pulling, so the two levels cannot deadlock).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..analysis.scope import Context
+from ..codemodel.typesystem import TypeSystem
+from .streams import Scored, SharedStream
+
+#: sentinel distinguishing "cached None" from "not cached"
+_MISSING = object()
+
+
+def context_signature(context: Context) -> Tuple:
+    """A hashable key for everything in a :class:`Context` that can
+    influence completion results: the locals (order matters — it is the
+    tie-break order of chain roots), ``this``, and the enclosing type
+    (the in-scope-static ranking term)."""
+    return (
+        tuple(
+            (name, typedef.full_name)
+            for name, typedef in context.locals.items()
+        ),
+        context.this_type.full_name if context.this_type else None,
+        context.enclosing_type.full_name if context.enclosing_type else None,
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters per cache kind, plus lifecycle events."""
+
+    stream_hits: int = 0
+    stream_misses: int = 0
+    roots_hits: int = 0
+    roots_misses: int = 0
+    placement_hits: int = 0
+    placement_misses: int = 0
+    #: whole-cache clears triggered by a TypeSystem version change
+    invalidations: int = 0
+    #: entries dropped by the LRU bound (streams + placements)
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.stream_hits + self.roots_hits + self.placement_hits
+
+    @property
+    def misses(self) -> int:
+        return self.stream_misses + self.roots_misses + self.placement_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall hit rate in [0, 1]; 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "stream_hits": self.stream_hits,
+            "stream_misses": self.stream_misses,
+            "roots_hits": self.roots_hits,
+            "roots_misses": self.roots_misses,
+            "placement_hits": self.placement_hits,
+            "placement_misses": self.placement_misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CompletionCache:
+    """Version-synchronised cross-query memo for one engine.
+
+    ``max_streams`` / ``max_placements`` bound the two LRU maps; the
+    root pools are at most two entries (one per depth flag) and are
+    never evicted.
+    """
+
+    def __init__(
+        self, max_streams: int = 512, max_placements: int = 8192
+    ) -> None:
+        self.max_streams = max_streams
+        self.max_placements = max_placements
+        self.stats = CacheStats()
+        self._version: Optional[int] = None
+        self._streams: "OrderedDict[Hashable, SharedStream]" = OrderedDict()
+        self._roots: Dict[Hashable, List[Scored]] = {}
+        self._placements: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def _sync(self, ts: TypeSystem) -> None:
+        """Drop everything when the type system has been mutated since
+        the cache was filled.  Caller holds the lock."""
+        if self._version != ts.version:
+            if self._version is not None and (
+                self._streams or self._roots or self._placements
+            ):
+                self.stats.invalidations += 1
+            self._streams.clear()
+            self._roots.clear()
+            self._placements.clear()
+            self._version = ts.version
+
+    def clear(self) -> None:
+        """Forget every cached entry (stats are kept)."""
+        with self._lock:
+            self._streams.clear()
+            self._roots.clear()
+            self._placements.clear()
+            self._version = None
+
+    # ------------------------------------------------------------------
+    # the three memo kinds
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        ts: TypeSystem,
+        key: Hashable,
+        make: Callable[[], Iterable[Scored]],
+    ) -> Tuple[SharedStream, bool]:
+        """The shared re-playable stream under ``key``, creating it from
+        ``make()`` on a miss.  Returns ``(stream, was_hit)``.
+
+        A stream whose underlying generator raised is replaced rather
+        than replayed (its error would otherwise re-raise forever, even
+        after the cause — say, a transient oracle failure — is gone).
+        """
+        with self._lock:
+            self._sync(ts)
+            shared = self._streams.get(key)
+            if shared is not None and not shared.broken:
+                self._streams.move_to_end(key)
+                self.stats.stream_hits += 1
+                return shared, True
+            self.stats.stream_misses += 1
+            shared = SharedStream(make())
+            self._streams[key] = shared
+            while len(self._streams) > self.max_streams:
+                self._streams.popitem(last=False)
+                self.stats.evictions += 1
+            return shared, False
+
+    def global_roots(
+        self,
+        ts: TypeSystem,
+        key: Hashable,
+        make: Callable[[], List[Scored]],
+    ) -> List[Scored]:
+        """The scored global chain-root pool under ``key`` (the pool is
+        returned by reference; callers must not mutate it)."""
+        with self._lock:
+            self._sync(ts)
+            pool = self._roots.get(key)
+            if pool is not None:
+                self.stats.roots_hits += 1
+                return pool
+            self.stats.roots_misses += 1
+            pool = make()
+            self._roots[key] = pool
+            return pool
+
+    def placement(
+        self,
+        ts: TypeSystem,
+        key: Hashable,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """The memoised placement result under ``key`` (which may
+        legitimately be ``None`` — "no valid placement" is cached too)."""
+        with self._lock:
+            self._sync(ts)
+            value = self._placements.get(key, _MISSING)
+            if value is not _MISSING:
+                self._placements.move_to_end(key)
+                self.stats.placement_hits += 1
+                return value
+        # compute outside the lock: placement search can recurse into the
+        # ranker and is the one memo whose maker does real work eagerly
+        value = compute()
+        with self._lock:
+            if self._version == ts.version:
+                self.stats.placement_misses += 1
+                self._placements[key] = value
+                while len(self._placements) > self.max_placements:
+                    self._placements.popitem(last=False)
+                    self.stats.evictions += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Stats plus current sizes, for ``:cache`` and the bench
+        harness."""
+        with self._lock:
+            data = self.stats.to_dict()
+            data["streams"] = float(len(self._streams))
+            data["root_pools"] = float(len(self._roots))
+            data["placements"] = float(len(self._placements))
+            return data

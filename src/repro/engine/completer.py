@@ -30,9 +30,19 @@ guarded so a failure degrades the query (recorded in
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 from itertools import islice
-from typing import Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..analysis.scope import Context
 from ..testing import faults
@@ -57,7 +67,8 @@ from ..lang.partial import (
     SuffixHole,
     UnknownCall,
 )
-from .budget import QueryBudget
+from .budget import CancellationToken, QueryBudget
+from .cache import CompletionCache, context_signature
 from .index import MethodIndex, ReachabilityIndex
 from .ranking import AbstractTypeOracle, Ranker, RankingConfig
 from .streams import (
@@ -104,6 +115,10 @@ class EngineConfig:
     #: :mod:`repro.analysis.preflight`): ``complete_query`` then returns
     #: an empty outcome without expanding a single stream
     preflight: bool = True
+    #: memoise root pools, sub-streams, and argument placements across
+    #: queries (see :mod:`repro.engine.cache` and docs/PERFORMANCE.md);
+    #: budgeted and oracle-backed queries bypass the cache automatically
+    enable_cache: bool = True
 
 
 class Completion(NamedTuple):
@@ -137,6 +152,43 @@ class QueryOutcome:
     degraded: Set[str] = field(default_factory=set)
     unsatisfiable: bool = False
     preflight: Optional[object] = None
+    #: the whole result stream was replayed from the cross-query cache
+    #: (``steps`` is then the cost of the replay: usually 0)
+    cached: bool = False
+
+
+@dataclass
+class CompletionRequest:
+    """One query of a :meth:`CompletionEngine.complete_many` batch.
+
+    Budget *parameters* rather than a :class:`QueryBudget` instance: the
+    budget starts its clock at construction, so the engine builds it when
+    the query actually runs — not when the batch is assembled (under a
+    thread pool the two can be far apart).
+    """
+
+    pe: Expr
+    context: Context
+    n: int = 10
+    abstypes: Optional[AbstractTypeOracle] = None
+    expected_type: Optional[TypeDef] = None
+    keyword: Optional[str] = None
+    timeout_ms: Optional[float] = None
+    max_steps: Optional[int] = None
+    token: Optional[CancellationToken] = None
+
+    def make_budget(self) -> Optional[QueryBudget]:
+        if (
+            self.timeout_ms is None
+            and self.max_steps is None
+            and self.token is None
+        ):
+            return None
+        return QueryBudget(
+            deadline_ms=self.timeout_ms,
+            max_steps=self.max_steps,
+            token=self.token,
+        )
 
 
 class CompletionEngine:
@@ -153,6 +205,7 @@ class CompletionEngine:
         config: Optional[EngineConfig] = None,
         index: Optional[MethodIndex] = None,
         reachability: Optional[ReachabilityIndex] = None,
+        cache: Optional[CompletionCache] = None,
     ) -> None:
         self.ts = ts
         self.config = config or EngineConfig()
@@ -160,6 +213,81 @@ class CompletionEngine:
         self.reachability = reachability or ReachabilityIndex(
             ts, max_depth=self.config.max_chain_depth + 1
         )
+        self.cache = cache or (
+            CompletionCache() if self.config.enable_cache else None
+        )
+
+    # ------------------------------------------------------------------
+    # cross-query cache plumbing
+    # ------------------------------------------------------------------
+    def _config_signature(self) -> tuple:
+        """The engine tunables as a hashable cache-key component, so a
+        config mutated between queries never serves stale entries."""
+        return astuple(self.config)
+
+    def _stream_cache(
+        self,
+        abstypes: Optional[AbstractTypeOracle],
+        budget: Optional[QueryBudget],
+    ) -> Optional[CompletionCache]:
+        """The cache, iff this query may share streams (see
+        :mod:`repro.engine.cache` for why each condition exists)."""
+        if self.cache is None or not self.config.enable_cache:
+            return None
+        if abstypes is not None or budget is not None:
+            return None
+        if faults.active_plan() is not None:
+            return None
+        return self.cache
+
+    def _placement_cache(
+        self, abstypes: Optional[AbstractTypeOracle]
+    ) -> Optional[CompletionCache]:
+        """Placement memoisation also works for *budgeted* queries — the
+        placement search never ticks a budget — but still needs the
+        oracle and fault conditions."""
+        if self.cache is None or not self.config.enable_cache:
+            return None
+        if abstypes is not None or faults.active_plan() is not None:
+            return None
+        return self.cache
+
+    def _completion_stream(
+        self,
+        pe: Expr,
+        context: Context,
+        abstypes: Optional[AbstractTypeOracle],
+        expected_type: Optional[TypeDef],
+        keyword: Optional[str],
+        budget: Optional[QueryBudget],
+    ) -> Tuple[Iterator[Completion], Optional["_Query"], bool]:
+        """The deduplicated result stream, via the whole-query cache when
+        the query is shareable.  Returns ``(iterator, query, cached)``;
+        ``query`` is ``None`` on a warm replay (no per-query state was
+        built)."""
+        cache = self._stream_cache(abstypes, budget)
+        if cache is None:
+            query = _Query(self, context, abstypes, expected_type, keyword,
+                           budget)
+            return _dedup(query.stream(pe, expected_type)), query, False
+        key = (
+            "query",
+            pe.key(),
+            context_signature(context),
+            expected_type.full_name if expected_type is not None else None,
+            keyword,
+            self._config_signature(),
+        )
+        made: List[_Query] = []
+
+        def make() -> Iterator[Completion]:
+            query = _Query(self, context, abstypes, expected_type, keyword,
+                           None)
+            made.append(query)
+            return _dedup(query.stream(pe, expected_type))
+
+        shared, hit = cache.stream(self.ts, key, make)
+        return iter(shared), (made[0] if made else None), hit
 
     # ------------------------------------------------------------------
     # public API
@@ -220,8 +348,10 @@ class CompletionEngine:
         when it trips, the stream ends after the best-so-far prefix and
         the caller reads ``budget.tripped`` for the reason.
         """
-        query = _Query(self, context, abstypes, expected_type, keyword, budget)
-        return _dedup(query.stream(pe, expected_type))
+        stream, _query, _cached = self._completion_stream(
+            pe, context, abstypes, expected_type, keyword, budget
+        )
+        return stream
 
     def complete(
         self,
@@ -272,8 +402,10 @@ class CompletionEngine:
                     unsatisfiable=True,
                     preflight=report,
                 )
-        query = _Query(self, context, abstypes, expected_type, keyword, budget)
-        completions = list(islice(_dedup(query.stream(pe, expected_type)), n))
+        stream, query, cached = self._completion_stream(
+            pe, context, abstypes, expected_type, keyword, budget
+        )
+        completions = list(islice(stream, n))
         truncated = budget.tripped if budget is not None else None
         if strict and budget is not None:
             budget.raise_if_tripped()
@@ -282,14 +414,77 @@ class CompletionEngine:
             steps = budget.steps
         else:
             elapsed_ms = (time.monotonic() - started) * 1000.0
-            steps = 0
+            steps = query.meter.steps if query is not None else 0
         return QueryOutcome(
             completions=completions,
             truncated=truncated,
             elapsed_ms=elapsed_ms,
             steps=steps,
-            degraded=set(query.degraded),
+            degraded=set(query.degraded) if query is not None else set(),
+            cached=cached,
         )
+
+    def warm(self) -> None:
+        """Build the long-lived shared state up front: method and
+        reachability indexes, and (when the cache is live) the scored
+        global chain-root pool every ``?`` query starts from.  Idempotent
+        and cheap when already warm; ``complete_many`` calls it once per
+        batch so no query in the batch pays first-query costs."""
+        self.index.refresh()
+        self.reachability.refresh()
+        cache = self._stream_cache(None, None)
+        if cache is None:
+            return
+        context = Context(self.ts)
+        ranker = Ranker(context, self.config.ranking)
+        cache.global_roots(
+            self.ts,
+            self.config.ranking.depth,
+            lambda: [(ranker.score(r), r) for r in context.global_roots()],
+        )
+
+    def complete_many(
+        self,
+        requests: Sequence[CompletionRequest],
+        parallelism: int = 1,
+    ) -> List[QueryOutcome]:
+        """Run a batch of queries against shared warm state.
+
+        The engine is warmed once, every query shares the cross-query
+        cache, and with ``parallelism > 1`` independent queries are
+        sharded across a thread pool (each still under its own
+        :class:`QueryBudget`, built from the request's budget parameters
+        at the moment the query starts).  Outcomes are returned in
+        request order.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        self.warm()
+
+        def run(request: CompletionRequest) -> QueryOutcome:
+            return self.complete_query(
+                request.pe,
+                request.context,
+                n=request.n,
+                abstypes=request.abstypes,
+                expected_type=request.expected_type,
+                keyword=request.keyword,
+                budget=request.make_budget(),
+            )
+
+        if parallelism > 1 and len(requests) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            workers = min(parallelism, len(requests))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(run, requests))
+        return [run(request) for request in requests]
+
+    def cache_stats(self) -> Optional[dict]:
+        """Current cross-query cache counters, or ``None`` when the
+        cache is disabled."""
+        return self.cache.snapshot() if self.cache is not None else None
 
     def rank_of(
         self,
@@ -379,7 +574,47 @@ class _Query:
         self.expected_type = expected_type
         self.keyword = keyword.lower() if keyword else None
         self.budget = budget
+        #: what the combinators tick: the real budget when there is one,
+        #: else a private unlimited budget so expansion-step counts are
+        #: measured (and attributable) on every query
+        self.meter = budget if budget is not None else QueryBudget()
         self.degraded = self.ranker.degraded
+        #: cross-query memo handles (None = this query must run cold)
+        self.cache = engine._stream_cache(abstypes, budget)
+        self.placements = engine._placement_cache(abstypes)
+        if self.cache is not None or self.placements is not None:
+            self._ctx_sig = context_signature(context)
+            self._cfg_sig = engine._config_signature()
+
+    # ------------------------------------------------------------------
+    # cached sub-streams
+    # ------------------------------------------------------------------
+    def _shared(
+        self,
+        tag: str,
+        pe: Expr,
+        target: Optional[TypeDef],
+        make: Callable[[], Iterable[Scored]],
+    ):
+        """A re-playable stream for a subexpression, shared across
+        queries when caching is on, private otherwise.  Both shapes
+        support ``get``/``known_length``/``__iter__``, so they slot into
+        ``ordered_product`` interchangeably."""
+        if self.cache is None:
+            return Materialized(make())
+        key = (
+            tag,
+            pe.key(),
+            self._ctx_sig,
+            target.full_name if target is not None else None,
+            self.keyword,
+            self._cfg_sig,
+        )
+        shared, _hit = self.cache.stream(self.ts, key, make)
+        return shared
+
+    def _materialized(self, pe: Expr, target: Optional[TypeDef]):
+        return self._shared("sub", pe, target, lambda: self.stream(pe, target))
 
     # ------------------------------------------------------------------
     # dispatch
@@ -440,16 +675,34 @@ class _Query:
     # chains: ?, .?f, .?m, .?*f, .?*m
     # ------------------------------------------------------------------
     def _root_items(self, target: Optional[TypeDef]) -> List[Scored]:
-        """Scored chain roots for a ``?`` hole: locals then globals."""
-        items: List[Scored] = []
-        for root in self.context.chain_roots():
-            items.append((self.ranker.score(root), root))
+        """Scored chain roots for a ``?`` hole: locals then globals.
+
+        The global pool (static fields and zero-argument static calls of
+        *every* visible type — by far the expensive part of a fresh
+        context) is shared across queries: its scores depend only on the
+        ``depth`` ranking switch, never on the scope.
+        """
+        items: List[Scored] = [
+            (self.ranker.score(var), var) for var in self.context.local_vars()
+        ]
+        if self.cache is None:
+            for root in self.context.global_roots():
+                items.append((self.ranker.score(root), root))
+        else:
+            items.extend(self.cache.global_roots(
+                self.ts,
+                self.config.ranking.depth,
+                lambda: [
+                    (self.ranker.score(root), root)
+                    for root in self.context.global_roots()
+                ],
+            ))
         return items
 
     def _suffix_stream(
         self, pe: SuffixHole, target: Optional[TypeDef]
     ) -> Iterator[Scored]:
-        roots = list(self.stream(pe.base, None))
+        roots = list(self._materialized(pe.base, None))
         max_steps = self.config.max_chain_depth if pe.star else 1
         return self._chain_stream(
             roots, methods=pe.methods, max_steps=max_steps, target=target
@@ -496,7 +749,7 @@ class _Query:
                     yield score + cost, (Call(method, (expr,)), steps + 1)
 
         seeds = [(score, (expr, 0)) for score, expr in roots]
-        for score, (expr, _steps) in best_first(seeds, expand, self.budget):
+        for score, (expr, _steps) in best_first(seeds, expand, self.meter):
             if self._fits(expr, target):
                 yield score, expr
 
@@ -507,7 +760,7 @@ class _Query:
         slower) when the index fails."""
         try:
             return self.engine.reachability.can_reach(
-                source, target, within, methods, self.budget
+                source, target, within, methods, self.meter
             )
         except Exception:
             self.degraded.add("reachability")
@@ -519,22 +772,22 @@ class _Query:
     def _unknown_call_stream(
         self, pe: UnknownCall, target: Optional[TypeDef]
     ) -> Iterator[Scored]:
-        arg_streams = [Materialized(self.stream(arg, None)) for arg in pe.args]
+        arg_streams = [self._materialized(arg, None) for arg in pe.args]
         tuples = islice(
-            ordered_product(arg_streams, self.budget),
+            ordered_product(arg_streams, self.meter),
             self.config.max_tuple_candidates,
         )
 
         def expand(base: int, args: tuple) -> List[Scored]:
             return self._methods_for_args(base, args, target)
 
-        return merge_nested(tuples, expand, self.budget)
+        return merge_nested(tuples, expand, self.meter)
 
     def _candidate_methods(self, arg_types: List[Optional[TypeDef]]):
         """The narrowed candidate set, degrading to a full scan of every
         method when the index fails."""
         try:
-            return self.engine.index.candidate_methods(arg_types, self.budget)
+            return self.engine.index.candidate_methods(arg_types, self.meter)
         except Exception:
             self.degraded.add("method_index")
             return self.engine.index.all_methods()
@@ -569,7 +822,49 @@ class _Query:
         arg_types: List[Optional[TypeDef]],
     ) -> Optional[Tuple[int, Call]]:
         """Cheapest injective placement of the argument set into the
-        method's parameter positions; remaining positions become ``0``."""
+        method's parameter positions; remaining positions become ``0``.
+
+        The search result — placement cost plus the position vector —
+        depends only on the argument *types* (the oracle, the one
+        expression-sensitive term, forces a cache bypass), so it is
+        memoised across queries and the :class:`Call` is rebuilt around
+        the actual argument expressions.
+        """
+        if self.placements is not None:
+            key = (
+                "place",
+                id(method),
+                tuple(
+                    t.full_name if t is not None else None for t in arg_types
+                ),
+                self.context.enclosing_type.full_name
+                if self.context.enclosing_type is not None
+                else None,
+                self._cfg_sig,
+            )
+            found = self.placements.placement(
+                self.ts,
+                key,
+                lambda: self._placement_search(method, args, arg_types),
+            )
+        else:
+            found = self._placement_search(method, args, arg_types)
+        if found is None:
+            return None
+        extra, positions = found
+        full_args: List[Expr] = [Unfilled()] * len(method.all_params())
+        for position, arg in zip(positions, args):
+            full_args[position] = arg
+        return extra, Call(method, tuple(full_args))
+
+    def _placement_search(
+        self,
+        method: Method,
+        args: tuple,
+        arg_types: List[Optional[TypeDef]],
+    ) -> Optional[Tuple[int, Tuple[int, ...]]]:
+        """Exhaustive search over injective placements; returns
+        ``(cost, positions)`` for the cheapest one, or ``None``."""
         params = method.all_params()
         arity = len(params)
         compatible: List[List[int]] = []
@@ -584,7 +879,7 @@ class _Query:
                 return None
             compatible.append(positions)
 
-        best: Optional[Tuple[int, Call]] = None
+        best: Optional[Tuple[int, Tuple[int, ...]]] = None
         used: List[int] = []
 
         def assign(arg_index: int) -> None:
@@ -605,7 +900,7 @@ class _Query:
                 if extra is None:
                     return
                 if best is None or extra < best[0]:
-                    best = (extra, Call(method, placed))
+                    best = (extra, tuple(used))
                 return
             for position in compatible[arg_index]:
                 if position in used:
@@ -639,18 +934,18 @@ class _Query:
             if not self._return_matches(method, target):
                 continue
             per_candidate.append(self._candidate_call_stream(method, pe.args))
-        return merge(per_candidate, self.budget)
+        return merge(per_candidate, self.meter)
 
     def _candidate_call_stream(
         self, method: Method, args: Tuple[Expr, ...]
     ) -> Iterator[Scored]:
         params = method.all_params()
         arg_streams = [
-            Materialized(self.stream(arg, param.type))
+            self._materialized(arg, param.type)
             for arg, param in zip(args, params)
         ]
         tuples = islice(
-            ordered_product(arg_streams, self.budget),
+            ordered_product(arg_streams, self.meter),
             self.config.max_tuple_candidates,
         )
 
@@ -661,14 +956,22 @@ class _Query:
                 return []
             return [(base + extra, Call(method, values))]
 
-        return merge_nested(tuples, expand, self.budget)
+        return merge_nested(tuples, expand, self.meter)
 
     # ------------------------------------------------------------------
     # binary expressions
     # ------------------------------------------------------------------
-    def _side_stream(self, pe: Expr) -> Materialized:
-        return Materialized(
-            islice(self.stream(pe, None), self.config.max_side_candidates)
+    def _side_stream(self, pe: Expr):
+        # a distinct tag: side streams are truncated at
+        # ``max_side_candidates`` and must never be confused with the
+        # unbounded "sub" streams of the same subexpression
+        return self._shared(
+            "side",
+            pe,
+            None,
+            lambda: islice(
+                self.stream(pe, None), self.config.max_side_candidates
+            ),
         )
 
     def _assign_stream(self, pe: PartialAssign) -> Iterator[Scored]:
@@ -678,7 +981,7 @@ class _Query:
         ts = self.ts
 
         def pairs() -> Iterator[Tuple[int, int, Expr]]:
-            for base, (lhs, rhs) in ordered_product([left, right], self.budget):
+            for base, (lhs, rhs) in ordered_product([left, right], self.meter):
                 if not _is_lvalue(lhs):
                     continue
                 lhs_type, rhs_type = lhs.type, rhs.type
@@ -693,7 +996,7 @@ class _Query:
                     continue
                 yield base, base + extra, Assign(lhs, rhs)
 
-        return reorder_with_slack(pairs(), slack, self.budget)
+        return reorder_with_slack(pairs(), slack, self.meter)
 
     def _compare_stream(self, pe: PartialCompare) -> Iterator[Scored]:
         left = self._side_stream(pe.lhs)
@@ -702,7 +1005,7 @@ class _Query:
         ts = self.ts
 
         def pairs() -> Iterator[Tuple[int, int, Expr]]:
-            for base, (lhs, rhs) in ordered_product([left, right], self.budget):
+            for base, (lhs, rhs) in ordered_product([left, right], self.meter):
                 lhs_type, rhs_type = lhs.type, rhs.type
                 if (
                     lhs_type is not None
@@ -715,7 +1018,7 @@ class _Query:
                     continue
                 yield base, base + extra, Compare(lhs, rhs, pe.op)
 
-        return reorder_with_slack(pairs(), slack, self.budget)
+        return reorder_with_slack(pairs(), slack, self.meter)
 
 
 def _is_lvalue(expr: Expr) -> bool:

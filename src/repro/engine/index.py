@@ -158,6 +158,9 @@ class ReachabilityIndex:
         self.built_version = ts.version
         self._cache: Dict[Tuple[str, bool], Dict[str, int]] = {}
         self._target_cache: Dict[Tuple[str, str, bool], Optional[int]] = {}
+        #: memo hit/miss counters for ``steps_to_target`` (bench reporting)
+        self.hits = 0
+        self.misses = 0
 
     def refresh(self) -> None:
         """Drop memoised walks when the type system has been mutated."""
@@ -219,7 +222,9 @@ class ReachabilityIndex:
         self.refresh()
         key = (source.full_name, target.full_name, allow_methods)
         if key in self._target_cache:
+            self.hits += 1
             return self._target_cache[key]
+        self.misses += 1
         best: Optional[int] = None
         for name, steps in self.reachable(source, allow_methods).items():
             if best is not None and steps >= best:
@@ -243,3 +248,14 @@ class ReachabilityIndex:
         faults.fire("index_lookup")
         steps = self.steps_to_target(source, target, allow_methods, budget)
         return steps is not None and steps <= within
+
+    def stats(self) -> Dict[str, float]:
+        """Memo shape and hit rate of the target queries."""
+        total = self.hits + self.misses
+        return {
+            "sources": float(len(self._cache)),
+            "targets": float(len(self._target_cache)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hits / total if total else 0.0,
+        }

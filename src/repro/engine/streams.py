@@ -40,6 +40,7 @@ enabled; production queries leave it off.
 from __future__ import annotations
 
 import heapq
+import threading
 from contextlib import contextmanager
 from functools import wraps
 from itertools import count
@@ -189,6 +190,71 @@ class Materialized(Generic[T]):
     def known_length(self) -> int:
         """Items pulled so far (a lower bound on the true length)."""
         return len(self._items)
+
+    def __iter__(self) -> ScoredIter:
+        index = 0
+        while True:
+            item = self.get(index)
+            if item is None:
+                return
+            yield item
+            index += 1
+
+
+class SharedStream(Generic[T]):
+    """A :class:`Materialized` that many queries (and threads) can replay.
+
+    The cross-query cache (:mod:`repro.engine.cache`) hands the same
+    ``SharedStream`` to every query asking for the same sub-stream: the
+    prefix pulled so far is replayed from memory, and only pulls past the
+    known prefix advance the shared underlying iterator.  Pulling is
+    serialised by a re-entrant lock — a generator being advanced from two
+    batch-sharded threads at once would corrupt its frame.  Lock nesting
+    follows strict subexpression containment (a stream only ever pulls
+    streams of its own subexpressions), so ordering is acyclic and
+    deadlock-free.
+
+    If the underlying iterator raises, the error is remembered and
+    re-raised on every later pull past the computed prefix: a stream that
+    failed mid-computation must not silently replay as a short stream.
+    """
+
+    def __init__(self, stream: Iterable[Scored]) -> None:
+        self._iterator = iter(stream)
+        self._items: List[Scored] = []
+        self._exhausted = False
+        self._error: Optional[BaseException] = None
+        self._lock = threading.RLock()
+
+    def get(self, index: int) -> Optional[Scored]:
+        """Item at ``index``, or ``None`` when the stream is shorter."""
+        with self._lock:
+            while not self._exhausted and len(self._items) <= index:
+                if self._error is not None:
+                    raise self._error
+                try:
+                    item = next(self._iterator)
+                except StopIteration:
+                    self._exhausted = True
+                except BaseException as error:
+                    self._error = error
+                    raise
+                else:
+                    self._items.append(item)
+            if index < len(self._items):
+                return self._items[index]
+            return None
+
+    def known_length(self) -> int:
+        """Items pulled so far (a lower bound on the true length)."""
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def broken(self) -> bool:
+        """Did the underlying iterator raise?  (Broken streams are evicted
+        from the cross-query cache rather than replayed.)"""
+        return self._error is not None
 
     def __iter__(self) -> ScoredIter:
         index = 0

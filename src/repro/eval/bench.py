@@ -1,0 +1,358 @@
+"""The ``repro bench`` harness: a pinned workload with regression gating.
+
+Runs three kinds of workloads and writes one schema-versioned
+``BENCH_<label>.json``:
+
+* **paper** — the Figure-2-style queries over each builtin universe
+  (paint / geometry / bcl), the workload the paper's speed claims are
+  about;
+* **scaling** — synthetic universes of growing size (the
+  ``benchmarks/test_scaling.py`` spec), checking latency grows slower
+  than the universe;
+* **repeated** — the paper workload replayed against one warm engine
+  vs. a cache-disabled engine, measuring the cross-query cache's
+  speedup and hit rate (docs/PERFORMANCE.md).
+
+``compare_bench(old, new)`` gates regressions: any workload whose p95
+latency grew by more than ``threshold`` (default 20%) *and* by more
+than an absolute floor (default 2 ms, so micro-benchmarks don't flap on
+scheduler noise) is a failure.  The CLI maps that to exit codes
+0 (ok) / 1 (regression) / 2 (bad input).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..analysis.scope import Context
+from ..engine.completer import CompletionEngine, CompletionRequest, EngineConfig
+from ..ide.workspace import Workspace
+from ..lang.parser import parse
+
+_FORMAT = "repro-bench"
+VERSION = 1
+
+#: default regression gate: p95 must grow by BOTH more than this ratio
+#: and more than ``FLOOR_MS`` before we call it a regression.
+THRESHOLD = 0.20
+FLOOR_MS = 2.0
+
+# ----------------------------------------------------------------------
+# pinned workloads
+# ----------------------------------------------------------------------
+
+#: the paper workload: per universe, the declared locals / ``this`` and
+#: the query list.  Pinned — editing this invalidates old BENCH files as
+#: a comparison baseline, so don't, without bumping ``VERSION``.
+PAPER_WORKLOADS: List[Dict[str, Any]] = [
+    {
+        "name": "paint",
+        "universe": "paint",
+        "locals": {"img": "PaintDotNet.Document", "size": "System.Drawing.Size"},
+        "this": None,
+        "queries": ["?", "?({img, size})", "?({img})", "img.?*f", "size := ?"],
+    },
+    {
+        "name": "geometry",
+        "universe": "geometry",
+        "locals": {
+            "point": "DynamicGeometry.Point",
+            "shapeStyle": "DynamicGeometry.ShapeStyle",
+        },
+        "this": "DynamicGeometry.EllipseArc",
+        "queries": ["?({point, shapeStyle})", "point.?*m", "this.?f", "? := ?"],
+    },
+    {
+        "name": "bcl",
+        "universe": "bcl",
+        "locals": {"now": "System.DateTime", "span": "System.TimeSpan"},
+        "this": None,
+        "queries": ["?", "?({now, span})", "now.?*f", "now.?*m >= now.?*m"],
+    },
+]
+
+#: synthetic-universe sizes (num_classes) for the scaling workload
+SCALING_SIZES = [10, 30, 90]
+SCALING_SIZES_QUICK = [10, 30]
+
+_REPEATS = 5
+_REPEATS_QUICK = 3
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _workload_context(workspace: Workspace, spec: Dict[str, Any]) -> Context:
+    locals_map = {
+        name: workspace.resolve_type(type_name)
+        for name, type_name in spec["locals"].items()
+    }
+    this_type = (
+        workspace.resolve_type(spec["this"]) if spec.get("this") else None
+    )
+    return workspace.context(locals=locals_map, this_type=this_type)
+
+
+def _time_queries(
+    engine: CompletionEngine,
+    context: Context,
+    queries: List[str],
+    repeats: int,
+) -> Tuple[List[float], int]:
+    """Run each query ``repeats`` times; per-run latencies (ms) and the
+    total expansion-step count."""
+    timings: List[float] = []
+    steps = 0
+    for _ in range(repeats):
+        requests = [
+            CompletionRequest(pe=parse(q, context), context=context)
+            for q in queries
+        ]
+        started = time.perf_counter()
+        outcomes = engine.complete_many(requests)
+        timings.append((time.perf_counter() - started) * 1000.0)
+        steps += sum(outcome.steps for outcome in outcomes)
+    return timings, steps
+
+
+def _paper_workloads(repeats: int) -> List[Dict[str, Any]]:
+    results = []
+    for spec in PAPER_WORKLOADS:
+        workspace = Workspace.builtin(spec["universe"])
+        context = _workload_context(workspace, spec)
+        timings, steps = _time_queries(
+            workspace.engine, context, spec["queries"], repeats
+        )
+        ordered = sorted(timings)
+        stats = workspace.cache_stats() or {}
+        results.append({
+            "name": "paper/{}".format(spec["name"]),
+            "queries": len(spec["queries"]),
+            "repeats": repeats,
+            "p50_ms": _percentile(ordered, 0.50),
+            "p95_ms": _percentile(ordered, 0.95),
+            "steps": steps,
+            "cache_hit_rate": stats.get("hit_rate", 0.0),
+        })
+    return results
+
+
+def _scaling_workloads(sizes: List[int], repeats: int) -> List[Dict[str, Any]]:
+    from ..corpus import SynthesisSpec, synthesize_project
+
+    results = []
+    for size in sizes:
+        spec = SynthesisSpec(
+            name="scale{}".format(size),
+            seed=4242,
+            namespace_root="Scale",
+            nouns=["Alpha", "Beta", "Gamma", "Delta"],
+            num_classes=size,
+            num_helper_classes=max(2, size // 5),
+            num_client_classes=1,
+        )
+        project = synthesize_project(spec)
+        engine = CompletionEngine(project.ts)
+        context = project.impls[0].context(project.ts)
+        locals_list = list(context.locals.items())[:2]
+        query = "?({{{}}})".format(", ".join(name for name, _ in locals_list))
+        timings, steps = _time_queries(engine, context, [query], repeats)
+        ordered = sorted(timings)
+        results.append({
+            "name": "scaling/{}".format(size),
+            "queries": 1,
+            "repeats": repeats,
+            "p50_ms": _percentile(ordered, 0.50),
+            "p95_ms": _percentile(ordered, 0.95),
+            "steps": steps,
+        })
+    return results
+
+
+def _repeated_workload(repeats: int) -> Dict[str, Any]:
+    """The paper workload replayed: warm cached engine vs. cache-disabled.
+
+    The acceptance bar for the cross-query cache is an end-to-end >=2x
+    speedup here; the result carries both totals so BENCH files document
+    the claim.
+    """
+    spec = PAPER_WORKLOADS[0]
+
+    cold_ws = Workspace.builtin(
+        spec["universe"], config=EngineConfig(enable_cache=False)
+    )
+    cold_context = _workload_context(cold_ws, spec)
+    cold_timings, cold_steps = _time_queries(
+        cold_ws.engine, cold_context, spec["queries"], repeats
+    )
+
+    warm_ws = Workspace.builtin(spec["universe"])
+    warm_context = _workload_context(warm_ws, spec)
+    warm_timings, warm_steps = _time_queries(
+        warm_ws.engine, warm_context, spec["queries"], repeats
+    )
+
+    # first warm run is the cache-filling run; the speedup claim is about
+    # the steady state, so compare totals excluding it when possible.
+    steady = warm_timings[1:] or warm_timings
+    cold_steady = cold_timings[1:] or cold_timings
+    cold_total = sum(cold_steady)
+    warm_total = sum(steady)
+    stats = warm_ws.cache_stats() or {}
+    return {
+        "workload": "paper/{}".format(spec["name"]),
+        "repeats": repeats,
+        "cold_ms": cold_total,
+        "warm_ms": warm_total,
+        "cold_steps": cold_steps,
+        "warm_steps": warm_steps,
+        "speedup": (cold_total / warm_total) if warm_total > 0 else 0.0,
+        "hit_rate": stats.get("hit_rate", 0.0),
+    }
+
+
+# ----------------------------------------------------------------------
+# document: run / save / load
+# ----------------------------------------------------------------------
+
+def run_bench(
+    label: str = "local",
+    quick: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the pinned workload and return the BENCH document."""
+    emit = log or (lambda _line: None)
+    repeats = _REPEATS_QUICK if quick else _REPEATS
+    sizes = SCALING_SIZES_QUICK if quick else SCALING_SIZES
+
+    emit("paper workloads ({} universes)...".format(len(PAPER_WORKLOADS)))
+    workloads = _paper_workloads(repeats)
+    emit("scaling workloads (sizes {})...".format(sizes))
+    workloads += _scaling_workloads(sizes, repeats)
+    emit("repeated-query workload (cache on vs. off)...")
+    repeated = _repeated_workload(repeats)
+
+    return {
+        "format": _FORMAT,
+        "version": VERSION,
+        "label": label,
+        "quick": quick,
+        "workloads": workloads,
+        "repeated": repeated,
+    }
+
+
+def validate_bench(document: Any) -> Dict[str, Any]:
+    """Check a loaded document against the schema; raise ValueError."""
+    if not isinstance(document, dict):
+        raise ValueError("not a repro bench document")
+    if document.get("format") != _FORMAT:
+        raise ValueError("not a repro bench document")
+    if document.get("version") != VERSION:
+        raise ValueError(
+            "unsupported bench schema version {!r} (want {})".format(
+                document.get("version"), VERSION
+            )
+        )
+    workloads = document.get("workloads")
+    if not isinstance(workloads, list):
+        raise ValueError("bench document has no workload list")
+    for workload in workloads:
+        for key in ("name", "p50_ms", "p95_ms", "steps"):
+            if key not in workload:
+                raise ValueError(
+                    "workload entry missing {!r}".format(key)
+                )
+    return document
+
+
+def save_bench(path: str, document: Dict[str, Any]) -> None:
+    validate_bench(document)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError("not valid JSON: {}".format(error))
+    return validate_bench(document)
+
+
+# ----------------------------------------------------------------------
+# comparison / regression gate
+# ----------------------------------------------------------------------
+
+def compare_bench(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = THRESHOLD,
+    floor_ms: float = FLOOR_MS,
+) -> Tuple[bool, List[str]]:
+    """Diff two BENCH documents; ``(ok, report_lines)``.
+
+    A workload regresses when its p95 grew by more than ``threshold``
+    *and* more than ``floor_ms`` over the baseline.  Workloads present
+    in only one document are reported but never fail the gate (the
+    pinned set can grow).
+    """
+    validate_bench(old)
+    validate_bench(new)
+    old_by_name = {w["name"]: w for w in old["workloads"]}
+    lines: List[str] = []
+    ok = True
+    for workload in new["workloads"]:
+        name = workload["name"]
+        baseline = old_by_name.pop(name, None)
+        if baseline is None:
+            lines.append("  {:<16s} (new workload, no baseline)".format(name))
+            continue
+        old_p95 = float(baseline["p95_ms"])
+        new_p95 = float(workload["p95_ms"])
+        delta = new_p95 - old_p95
+        ratio = (new_p95 / old_p95 - 1.0) if old_p95 > 0 else 0.0
+        regressed = ratio > threshold and delta > floor_ms
+        lines.append(
+            "  {:<16s} p95 {:>8.2f} ms -> {:>8.2f} ms  ({:+.1f}%){}".format(
+                name, old_p95, new_p95, 100.0 * ratio,
+                "  REGRESSION" if regressed else "",
+            )
+        )
+        if regressed:
+            ok = False
+    for name in old_by_name:
+        lines.append("  {:<16s} (dropped from workload)".format(name))
+    verdict = "ok" if ok else "p95 regression over {:.0f}% (+{:.0f} ms floor)".format(
+        100.0 * threshold, floor_ms
+    )
+    lines.append("comparison vs {!r}: {}".format(old.get("label"), verdict))
+    return ok, lines
+
+
+def render_bench(document: Dict[str, Any]) -> List[str]:
+    """Human-readable summary lines for one BENCH document."""
+    lines = ["bench '{}'{}".format(
+        document.get("label"), " (quick)" if document.get("quick") else "")]
+    lines.append("  {:<16s}{:>10s}{:>10s}{:>10s}".format(
+        "workload", "p50 ms", "p95 ms", "steps"))
+    for workload in document["workloads"]:
+        lines.append("  {:<16s}{:>10.2f}{:>10.2f}{:>10d}".format(
+            workload["name"], workload["p50_ms"], workload["p95_ms"],
+            int(workload["steps"])))
+    repeated = document.get("repeated")
+    if repeated:
+        lines.append(
+            "  repeated-query: cold {:.1f} ms vs warm {:.1f} ms -> "
+            "{:.1f}x speedup (cache hit rate {:.1%})".format(
+                repeated["cold_ms"], repeated["warm_ms"],
+                repeated["speedup"], repeated["hit_rate"]))
+    return lines

@@ -112,6 +112,7 @@ class _ProjectRun:
         self.project = project
         self.cfg = cfg
         self.engine = CompletionEngine(project.ts, cfg.engine_config())
+        self.engine.warm()
         self._full_analysis: Optional[AbstractTypeAnalysis] = None
         self._site_key: Optional[Tuple[int, int]] = None
         self._site_analysis: Optional[AbstractTypeAnalysis] = None
@@ -136,6 +137,37 @@ class _ProjectRun:
         return ImplAbstractTypes(self._site_analysis, impl)
 
 
+def project_runs(
+    projects: Iterable[Project], cfg: EvalConfig
+) -> "dict[str, _ProjectRun]":
+    """One warm engine (plus analysis caches) per project.
+
+    Historically every family runner built a fresh engine per project,
+    so a full evaluation paid four index builds per project.  Build this
+    map once and pass it to each runner — ``run_all`` and
+    ``generate_report`` do — and all four families share warm indexes
+    and the cross-query cache.
+    """
+    return {project.name: _ProjectRun(project, cfg) for project in projects}
+
+
+def _run_for(
+    project: Project,
+    cfg: EvalConfig,
+    runs: "Optional[dict[str, _ProjectRun]]",
+) -> _ProjectRun:
+    """The shared run for ``project``, or a fresh one when no map was
+    given (or the map was built for a different config — ranking-variant
+    sweeps like Table 2 must not reuse engines across configs)."""
+    if runs is None:
+        return _ProjectRun(project, cfg)
+    run = runs.get(project.name)
+    if run is None or run.cfg is not cfg:
+        run = _ProjectRun(project, cfg)
+        runs[project.name] = run
+    return run
+
+
 def _capped(items: Iterable, cap: Optional[int]) -> List:
     items = list(items)
     if cap is not None:
@@ -147,12 +179,14 @@ def _capped(items: Iterable, cap: Optional[int]) -> List:
 # Sec. 5.1 — predicting method names
 # ---------------------------------------------------------------------------
 def run_method_prediction(
-    projects: Iterable[Project], cfg: Optional[EvalConfig] = None
+    projects: Iterable[Project],
+    cfg: Optional[EvalConfig] = None,
+    runs: "Optional[dict[str, _ProjectRun]]" = None,
 ) -> List[MethodCallResult]:
     cfg = cfg or EvalConfig()
     results: List[MethodCallResult] = []
     for project in projects:
-        run = _ProjectRun(project, cfg)
+        run = _run_for(project, cfg, runs)
         sites = _capped(
             (s for s in project.iter_calls() if s[2].method.arity >= 2),
             cfg.max_calls_per_project,
@@ -227,12 +261,14 @@ def _evaluate_call(
 # Sec. 5.2 — predicting method arguments
 # ---------------------------------------------------------------------------
 def run_argument_prediction(
-    projects: Iterable[Project], cfg: Optional[EvalConfig] = None
+    projects: Iterable[Project],
+    cfg: Optional[EvalConfig] = None,
+    runs: "Optional[dict[str, _ProjectRun]]" = None,
 ) -> List[ArgumentResult]:
     cfg = cfg or EvalConfig()
     results: List[ArgumentResult] = []
     for project in projects:
-        run = _ProjectRun(project, cfg)
+        run = _run_for(project, cfg, runs)
         budget = cfg.max_arguments_per_project
         for impl, index, call in project.iter_calls():
             if budget is not None and budget <= 0:
@@ -283,12 +319,14 @@ def run_argument_prediction(
 # Sec. 5.3 — predicting field lookups
 # ---------------------------------------------------------------------------
 def run_assignment_prediction(
-    projects: Iterable[Project], cfg: Optional[EvalConfig] = None
+    projects: Iterable[Project],
+    cfg: Optional[EvalConfig] = None,
+    runs: "Optional[dict[str, _ProjectRun]]" = None,
 ) -> List[LookupResult]:
     cfg = cfg or EvalConfig()
     results: List[LookupResult] = []
     for project in projects:
-        run = _ProjectRun(project, cfg)
+        run = _run_for(project, cfg, runs)
         sites = _capped(
             project.iter_assignments(), cfg.max_assignments_per_project
         )
@@ -316,12 +354,14 @@ def run_assignment_prediction(
 
 
 def run_comparison_prediction(
-    projects: Iterable[Project], cfg: Optional[EvalConfig] = None
+    projects: Iterable[Project],
+    cfg: Optional[EvalConfig] = None,
+    runs: "Optional[dict[str, _ProjectRun]]" = None,
 ) -> List[LookupResult]:
     cfg = cfg or EvalConfig()
     results: List[LookupResult] = []
     for project in projects:
-        run = _ProjectRun(project, cfg)
+        run = _run_for(project, cfg, runs)
         sites = _capped(
             project.iter_comparisons(), cfg.max_comparisons_per_project
         )

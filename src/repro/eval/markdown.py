@@ -12,6 +12,7 @@ from typing import Iterable, List, Mapping, Optional
 from ..corpus.program import Project
 from .experiments import (
     EvalConfig,
+    project_runs,
     run_argument_prediction,
     run_assignment_prediction,
     run_comparison_prediction,
@@ -83,6 +84,7 @@ def generate_report(
     """Run every experiment family and render a markdown report."""
     projects = list(projects)
     cfg = cfg or EvalConfig()
+    runs = project_runs(projects, cfg)
     out: List[str] = ["# {}".format(title), ""]
 
     from .stats import corpus_census
@@ -99,7 +101,7 @@ def generate_report(
     )
     out.append("")
 
-    methods = run_method_prediction(projects, cfg)
+    methods = run_method_prediction(projects, cfg, runs)
     out += ["## Table 1 — method prediction per project", ""]
     rows = [
         [r.project, str(r.calls), str(r.top10), str(r.top10_20)]
@@ -143,7 +145,7 @@ def generate_report(
              for band, share in figure11_histogram(methods).items()],
         )
 
-    arguments = run_argument_prediction(projects, cfg)
+    arguments = run_argument_prediction(projects, cfg, runs)
     out += ["", "## Figure 13 — argument prediction", ""]
     out += _cdf_table(figure13(arguments))
     out += ["", "## Figure 14 — argument kinds", ""]
@@ -152,11 +154,11 @@ def generate_report(
         [[kind, _pct(share)] for kind, share in figure14(arguments).items()],
     )
 
-    assignments = run_assignment_prediction(projects, cfg)
+    assignments = run_assignment_prediction(projects, cfg, runs)
     out += ["", "## Figure 15 — assignments", ""]
     out += _cdf_table(figure15(assignments))
 
-    comparisons = run_comparison_prediction(projects, cfg)
+    comparisons = run_comparison_prediction(projects, cfg, runs)
     out += ["", "## Figure 16 — comparisons", ""]
     out += _cdf_table(figure16(comparisons))
 

@@ -11,6 +11,7 @@ from .experiments import (
     EvalConfig,
     LookupResult,
     MethodCallResult,
+    project_runs,
     run_argument_prediction,
     run_assignment_prediction,
     run_comparison_prediction,
@@ -59,12 +60,17 @@ class ResultBundle:
 def run_all(
     projects: Iterable[Project], cfg: Optional[EvalConfig] = None
 ) -> ResultBundle:
-    """Run every experiment family over the projects."""
+    """Run every experiment family over the projects.
+
+    The four families share one warm engine per project (indexes and the
+    cross-query cache are built once, not once per family).
+    """
     projects = list(projects)
     cfg = cfg or EvalConfig()
+    runs = project_runs(projects, cfg)
     return ResultBundle(
-        methods=run_method_prediction(projects, cfg),
-        arguments=run_argument_prediction(projects, cfg),
-        assignments=run_assignment_prediction(projects, cfg),
-        comparisons=run_comparison_prediction(projects, cfg),
+        methods=run_method_prediction(projects, cfg, runs),
+        arguments=run_argument_prediction(projects, cfg, runs),
+        assignments=run_assignment_prediction(projects, cfg, runs),
+        comparisons=run_comparison_prediction(projects, cfg, runs),
     )

@@ -18,6 +18,10 @@ Commands (everything else is treated as a partial expression)::
                            universe (RA0xx codes, docs/ANALYSIS.md);
                            with a partial expression, pre-flight it
                            (satisfiability, dead ranking terms)
+    :cache [clear|on|off]  cross-query cache: show hit/miss counters,
+                           clear it, or toggle it (docs/PERFORMANCE.md)
+    :bench <pe>            time a query cold vs. warm against the
+                           cross-query cache (5 repeats)
     :types [prefix]        browse the universe's namespaces and types
     :tree <Type>           one type's hierarchy and members
     :load <file.cs>        read a C#-subset source file as the universe
@@ -81,6 +85,10 @@ def _command(state: "_ReplState", line: str, write) -> bool:
             write("Commands" + _HELP)
         elif command == ":lint":
             _lint(session, line.split(None, 1)[1] if args else None, write)
+        elif command == ":cache" and len(args) <= 1:
+            _cache(session, args[0] if args else None, write)
+        elif command == ":bench" and args:
+            _bench(session, line.split(None, 1)[1], write)
         elif command == ":types" and len(args) <= 1:
             from ..codemodel.explorer import namespace_tree
 
@@ -200,6 +208,64 @@ def _lint(session: CompletionSession, query, write) -> None:
         write(diagnostic.render())
     if not diagnostics:
         write("(no findings)")
+
+
+def _cache(session: CompletionSession, action, write) -> None:
+    workspace = session.workspace
+    if action == "clear":
+        if workspace.engine.cache is not None:
+            workspace.engine.cache.clear()
+        write("cache cleared")
+        return
+    if action in ("on", "off"):
+        workspace.set_cache_enabled(action == "on")
+        write("cache {}".format(action))
+        return
+    if action is not None:
+        write("usage: :cache [clear|on|off]")
+        return
+    stats = workspace.cache_stats()
+    if stats is None or not workspace.engine.config.enable_cache:
+        write("cache off")
+        return
+    write("cross-query cache: {:.0f} streams, {:.0f} root pools, "
+          "{:.0f} placements".format(
+              stats["streams"], stats["root_pools"], stats["placements"]))
+    write("  hits {} / misses {}  (hit rate {:.1%})".format(
+        int(stats["hits"]), int(stats["misses"]), stats["hit_rate"]))
+    write("  invalidations {}  evictions {}".format(
+        int(stats["invalidations"]), int(stats["evictions"])))
+
+
+def _bench(session: CompletionSession, source: str, write,
+           repeats: int = 5) -> None:
+    import time as _time
+
+    from ..lang.parser import ParseError, parse
+
+    context = session.context()
+    try:
+        pe = parse(source, context)
+    except ParseError as error:
+        write("parse error: {}".format(error))
+        return
+    engine = session.workspace.engine
+    timings = []
+    for _ in range(repeats):
+        started = _time.perf_counter()
+        outcome = engine.complete_query(
+            pe, context, n=session.n, abstypes=session.abstypes,
+            expected_type=session.expected_type, keyword=session.keyword,
+        )
+        timings.append((_time.perf_counter() - started) * 1000.0)
+    write("cold {:.2f} ms, warm best {:.2f} ms over {} runs "
+          "({} completions; last run {})".format(
+              timings[0], min(timings[1:]) if len(timings) > 1 else timings[0],
+              repeats, len(outcome.completions),
+              "cached" if outcome.cached else "uncached"))
+    stats = session.workspace.cache_stats()
+    if stats is not None and session.workspace.engine.config.enable_cache:
+        write("cache hit rate {:.1%}".format(stats["hit_rate"]))
 
 
 def _explain(session: CompletionSession, rank: int, write) -> None:

@@ -196,6 +196,55 @@ class CompletionSession:
         self.history.append(record)
         return record
 
+    def query_many(
+        self, sources: List[str], parallelism: int = 1
+    ) -> List[QueryRecord]:
+        """Parse and complete a batch of partial expressions through
+        :meth:`CompletionEngine.complete_many`, so every query shares the
+        warmed indexes and the cross-query cache (and, with
+        ``parallelism > 1``, a thread pool).  Records are appended to the
+        history in input order; parse failures consume no engine time.
+        """
+        from ..engine.completer import CompletionRequest
+
+        context = self.context()
+        records = [QueryRecord(source=source) for source in sources]
+        requests: List[CompletionRequest] = []
+        targets: List[QueryRecord] = []
+        for record in records:
+            try:
+                pe = parse(record.source, context)
+            except ParseError as error:
+                record.error = str(error)
+                continue
+            requests.append(CompletionRequest(
+                pe=pe,
+                context=context,
+                n=self.n,
+                abstypes=self.abstypes,
+                expected_type=self.expected_type,
+                keyword=self.keyword,
+                timeout_ms=self.timeout_ms,
+                max_steps=self.step_budget,
+                token=self.cancellation,
+            ))
+            targets.append(record)
+        outcomes = self.workspace.engine.complete_many(
+            requests, parallelism=parallelism
+        )
+        for record, outcome in zip(targets, outcomes):
+            record.suggestions = [
+                Suggestion(rank, completion.score,
+                           to_source(completion.expr), completion.expr)
+                for rank, completion in enumerate(
+                    outcome.completions, start=1)
+            ]
+            record.elapsed_ms = outcome.elapsed_ms
+            record.truncated = outcome.truncated
+            record.degraded = set(outcome.degraded)
+        self.history.extend(records)
+        return records
+
     def analyze(self, source: str):
         """Pre-flight a query without running it (the REPL's ``:lint``).
 

@@ -122,6 +122,34 @@ class Workspace:
         return Context(self.ts, locals=locals, this_type=this_type)
 
     # ------------------------------------------------------------------
+    # batched queries and the cross-query cache
+    # ------------------------------------------------------------------
+    def complete_many(self, requests, parallelism: int = 1):
+        """Run a batch of :class:`~repro.engine.completer.CompletionRequest`
+        objects against this workspace's engine — indexes are warmed once
+        and every query in the batch shares the cross-query cache."""
+        return self.engine.complete_many(requests, parallelism=parallelism)
+
+    def cache_stats(self) -> Optional[dict]:
+        """Hit/miss counters of the engine's cross-query cache, or
+        ``None`` when it is disabled."""
+        return self.engine.cache_stats()
+
+    def set_cache_enabled(self, enabled: bool) -> None:
+        """Toggle cross-query caching (the REPL's ``:cache on/off``).
+
+        Disabling both stops new lookups *and* clears the current
+        entries, so re-enabling starts from a cold, trustworthy cache.
+        """
+        self.engine.config.enable_cache = enabled
+        if enabled and self.engine.cache is None:
+            from ..engine.cache import CompletionCache
+
+            self.engine.cache = CompletionCache()
+        if not enabled and self.engine.cache is not None:
+            self.engine.cache.clear()
+
+    # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
     def lint(self, sanitize: bool = False) -> List[Diagnostic]:

@@ -13,6 +13,21 @@ from repro.corpus.frameworks import (
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current engine output "
+             "instead of asserting against it",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(autouse=True)
 def _stream_sanitizer():
     """Run every test with the stream-invariant sanitizer enabled.

@@ -1,0 +1,167 @@
+"""Differential tests: the cross-query cache must be invisible.
+
+For any query, a cache-enabled engine must return the exact same
+``(score, expr)`` sequence as a cache-disabled one — over every builtin
+universe, after type-system mutations (version-counter invalidation),
+and under step-budget truncation (where budgeted queries bypass the
+stream caches but still share indexes).  docs/PERFORMANCE.md documents
+the contract these tests pin down.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CompletionEngine,
+    Context,
+    EngineConfig,
+    LibraryBuilder,
+    QueryBudget,
+    TypeSystem,
+    parse,
+)
+from repro.corpus.frameworks import (
+    build_geometry,
+    build_paintdotnet,
+    build_system_core,
+)
+
+
+def _universe(name):
+    ts = TypeSystem()
+    if name == "paint":
+        lib = build_paintdotnet(ts)
+        context = Context(ts, locals={"img": lib.document, "size": lib.size})
+    elif name == "geometry":
+        lib = build_geometry(ts)
+        context = Context(
+            ts,
+            locals={"point": lib.point, "shapeStyle": lib.shape_style},
+            this_type=lib.ellipse_arc,
+        )
+    else:
+        lib = build_system_core(ts)
+        context = Context(
+            ts, locals={"now": lib.datetime, "span": lib.timespan}
+        )
+    return ts, context
+
+
+_QUERIES = {
+    "paint": ["?", "?({img, size})", "?({img})", "img.?*f", "img.?m",
+              "size := ?"],
+    "geometry": ["?", "?({point, shapeStyle})", "point.?*m", "this.?f",
+                 "point.?*m >= this.?*m", "? := ?"],
+    "bcl": ["?", "?({now, span})", "now.?*f", "now.?m",
+            "now.?*m >= now.?*m"],
+}
+
+# one persistent cached engine per universe: Hypothesis replays many
+# examples against it, so later examples hit a genuinely warm cache
+_STATE = {}
+for _name in _QUERIES:
+    _ts, _context = _universe(_name)
+    _STATE[_name] = (
+        _context,
+        CompletionEngine(_ts),
+        CompletionEngine(_ts, config=EngineConfig(enable_cache=False)),
+    )
+
+
+def _sequence(engine, pe, context, n, budget=None):
+    outcome = engine.complete_query(pe, context, n=n, budget=budget)
+    return [(c.score, c.expr.key()) for c in outcome.completions]
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.sampled_from(sorted(_QUERIES)),
+    st.data(),
+    st.integers(1, 15),
+)
+def test_cache_is_invisible_on_builtin_universes(name, data, n):
+    context, cached, uncached = _STATE[name]
+    source = data.draw(st.sampled_from(_QUERIES[name]))
+    pe = parse(source, context)
+    assert _sequence(cached, pe, context, n) == \
+        _sequence(uncached, pe, context, n), source
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(sorted(_QUERIES)),
+    st.data(),
+    st.integers(1, 12),
+    st.integers(1, 400),
+)
+def test_cache_is_invisible_under_step_budgets(name, data, n, max_steps):
+    """Budgeted queries bypass the stream caches; the answer prefix must
+    still match a cache-free engine given the same budget."""
+    context, cached, uncached = _STATE[name]
+    source = data.draw(st.sampled_from(_QUERIES[name]))
+    pe = parse(source, context)
+    # warm the cache so a buggy budgeted path would have entries to
+    # wrongly serve from
+    cached.complete_query(pe, context, n=n)
+    warm = _sequence(cached, pe, context, n,
+                     budget=QueryBudget(max_steps=max_steps))
+    cold = _sequence(uncached, pe, context, n,
+                     budget=QueryBudget(max_steps=max_steps))
+    assert warm == cold, source
+
+
+def _mutable_universe():
+    ts = TypeSystem()
+    lib = LibraryBuilder(ts)
+    animal = lib.cls("Zoo.Animal")
+    lib.prop(animal, "Weight", ts.primitive("double"))
+    keeper = lib.cls("Zoo.Keeper")
+    lib.method(keeper, "Feed", params=[("animal", animal)])
+    context = Context(ts, locals={"animal": animal, "keeper": keeper})
+    return ts, lib, animal, keeper, context
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 3), st.sampled_from(["method", "prop", "cls"]))
+def test_cache_is_invisible_after_type_mutations(extra_members, kind):
+    """Growing the type system must invalidate, not poison, the cache."""
+    ts, lib, animal, keeper, context = _mutable_universe()
+    cached = CompletionEngine(ts)
+    uncached = CompletionEngine(ts, config=EngineConfig(enable_cache=False))
+    pe = parse("?({animal})", context)
+
+    before = _sequence(cached, pe, context, 10)
+    assert before == _sequence(uncached, pe, context, 10)
+
+    for index in range(extra_members + 1):
+        if kind == "method":
+            lib.method(keeper, "Groom{}".format(index),
+                       params=[("animal", animal)])
+        elif kind == "prop":
+            lib.prop(animal, "Tag{}".format(index), ts.primitive("int"))
+        else:
+            extra = lib.cls("Zoo.Extra{}".format(index))
+            lib.static_method(extra, "Handle{}".format(index),
+                              params=[("animal", animal)])
+
+    after_cached = _sequence(cached, pe, context, 10)
+    after_uncached = _sequence(uncached, pe, context, 10)
+    assert after_cached == after_uncached
+    if kind != "prop":
+        # the new members consume the unknown call, so the answer changed
+        assert after_cached != before
+
+    snapshot = cached.cache_stats()
+    assert snapshot is not None
+    assert snapshot["invalidations"] >= 1
+
+
+def test_cache_stats_report_hits():
+    """Sanity: the persistent engines above really did serve from cache."""
+    context, cached, _uncached = _STATE["paint"]
+    pe = parse("?({img, size})", context)
+    cached.complete_query(pe, context, n=10)
+    cached.complete_query(pe, context, n=10)
+    stats = cached.cache_stats()
+    assert stats is not None
+    assert stats["hits"] > 0
+    assert 0.0 <= stats["hit_rate"] <= 1.0

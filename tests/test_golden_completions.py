@@ -1,0 +1,128 @@
+"""Golden top-10 completions for every builtin universe.
+
+The checked-in files under ``tests/golden/`` pin the exact ranked output
+of a set of representative queries; any ranking or engine change that
+moves a suggestion shows up as a readable per-line diff.  Regenerate
+intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_completions.py --update-golden
+"""
+
+import difflib
+import json
+import pathlib
+
+import pytest
+
+from repro import CompletionEngine, Context, TypeSystem, parse, to_source
+from repro.corpus.frameworks import (
+    build_geometry,
+    build_paintdotnet,
+    build_system_core,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+_FORMAT = "repro-golden"
+
+#: pinned queries per universe — the paper-flavoured battery the bench
+#: harness also exercises, plus a lookup each
+QUERIES = {
+    "paint": ["?", "?({img, size})", "?({img})", "img.?*f", "img.?m",
+              "size := ?"],
+    "geometry": ["?", "?({point, shapeStyle})", "point.?*m", "this.?f",
+                 "point.?*m >= this.?*m"],
+    "bcl": ["?", "?({now, span})", "now.?*f", "now.?m",
+            "now.?*m >= now.?*m"],
+}
+
+
+def _universe(name):
+    ts = TypeSystem()
+    if name == "paint":
+        lib = build_paintdotnet(ts)
+        context = Context(ts, locals={"img": lib.document, "size": lib.size})
+    elif name == "geometry":
+        lib = build_geometry(ts)
+        context = Context(
+            ts,
+            locals={"point": lib.point, "shapeStyle": lib.shape_style},
+            this_type=lib.ellipse_arc,
+        )
+    else:
+        lib = build_system_core(ts)
+        context = Context(
+            ts, locals={"now": lib.datetime, "span": lib.timespan}
+        )
+    return ts, context
+
+
+def _current_completions(name):
+    ts, context = _universe(name)
+    engine = CompletionEngine(ts)
+    result = {}
+    for source in QUERIES[name]:
+        pe = parse(source, context)
+        result[source] = [
+            {"rank": rank, "score": c.score, "text": to_source(c.expr)}
+            for rank, c in enumerate(engine.complete(pe, context, n=10), 1)
+        ]
+    return result
+
+
+def _render(queries):
+    """Flatten a golden document into diff-friendly lines."""
+    lines = []
+    for source in sorted(queries):
+        lines.append("query: {}".format(source))
+        for entry in queries[source]:
+            lines.append("  {:>2}. (score {:>3}) {}".format(
+                entry["rank"], entry["score"], entry["text"]))
+    return lines
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_golden_completions(name, update_golden):
+    path = GOLDEN_DIR / "{}.json".format(name)
+    current = _current_completions(name)
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(
+                {"format": _FORMAT, "version": 1, "universe": name,
+                 "queries": current},
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        pytest.skip("rewrote {}".format(path.name))
+
+    assert path.exists(), (
+        "no golden file {}; run with --update-golden to create it".format(
+            path)
+    )
+    with open(path) as handle:
+        document = json.load(handle)
+    assert document.get("format") == _FORMAT
+
+    expected = document["queries"]
+    if expected != current:
+        diff = "\n".join(difflib.unified_diff(
+            _render(expected), _render(current),
+            fromfile="golden/{}.json".format(name), tofile="current",
+            lineterm="",
+        ))
+        pytest.fail(
+            "completions drifted from the golden file "
+            "(--update-golden rewrites it):\n{}".format(diff)
+        )
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_golden_files_cover_pinned_queries(name):
+    """The checked-in files stay in sync with the pinned query battery."""
+    path = GOLDEN_DIR / "{}.json".format(name)
+    assert path.exists()
+    with open(path) as handle:
+        document = json.load(handle)
+    assert sorted(document["queries"]) == sorted(QUERIES[name])

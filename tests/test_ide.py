@@ -279,6 +279,47 @@ class TestRepl:
         assert session.n == 3
         assert "expect: void" in out
 
+    def test_cache_stats_after_repeat_query(self):
+        _session, out = self.drive([
+            ":let img Document",
+            "?({img})",
+            "?({img})",
+            ":cache",
+        ])
+        assert "cross-query cache:" in out
+        assert "hit rate" in out
+
+    def test_cache_clear_and_toggle(self):
+        session, out = self.drive([
+            ":let img Document",
+            "?({img})",
+            ":cache clear",
+            ":cache off",
+            ":cache",
+            ":cache on",
+        ])
+        assert "cache cleared" in out
+        assert "cache off" in out
+        assert "cache on" in out
+        assert session.workspace.engine.config.enable_cache
+
+    def test_cache_bad_action(self):
+        _session, out = self.drive([":cache purge"])
+        assert "usage: :cache" in out
+
+    def test_bench_reports_cold_and_warm(self):
+        _session, out = self.drive([
+            ":let img Document",
+            ":bench ?({img})",
+        ])
+        assert "cold" in out
+        assert "warm best" in out
+        assert "hit rate" in out
+
+    def test_bench_parse_error(self):
+        _session, out = self.drive([":bench (("])
+        assert "parse error" in out
+
 
 class TestReplLoadEnter:
     SOURCE = """
