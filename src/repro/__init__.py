@@ -7,142 +7,51 @@ the type-distance ranking function, and the score-ordered completion engine
 — plus the corpora, baselines and harnesses that regenerate every table and
 figure of the paper's evaluation.
 
-Quickstart::
+The whole public surface lives in :mod:`repro.api` (see its docstring
+for the task-level quickstart) and is re-exported here::
 
-    from repro import Context, CompletionEngine, TypeSystem, parse
-    from repro.corpus.frameworks.paintdotnet import build_paintdotnet
+    from repro import open_workspace, complete
 
-    ts = TypeSystem()
-    universe = build_paintdotnet(ts)
-    context = Context(ts, locals={"img": universe.document,
-                                  "size": universe.size})
-    engine = CompletionEngine(ts)
-    for completion in engine.complete(parse("?({img, size})", context),
-                                      context, n=10):
-        print(completion.score, completion.expr)
+    workspace = open_workspace("paint")
+    record = complete(workspace, "?({img, size})",
+                      locals={"img": "PaintDotNet.Document",
+                              "size": "System.Drawing.Size"})
+    for suggestion in record.suggestions:
+        print(suggestion.rank, suggestion.score, suggestion.text)
 """
 
-from .analysis.abstract_types import AbstractTypeAnalysis
-from .analysis.diagnostics import Diagnostic, Severity
-from .analysis.codemodel_lint import lint_type_system
-from .analysis.preflight import PreflightReport, preflight_query
-from .analysis.sanitize import run_sanitizer_probes
-from .analysis.scope import Context
-from .codemodel import (
-    Field,
-    LibraryBuilder,
-    Method,
-    Parameter,
-    Property,
-    TypeDef,
-    TypeKind,
-    TypeSystem,
-)
-from .engine import (
-    CancellationToken,
-    Completion,
-    CompletionEngine,
-    EngineConfig,
-    MethodIndex,
-    QueryBudget,
-    QueryOutcome,
-    Ranker,
-    RankingConfig,
-    ReachabilityIndex,
-    check_stream,
-    sanitize_streams,
-    sanitizer_active,
-)
-from .errors import (
-    BudgetExhausted,
-    CompletionError,
-    CorpusError,
-    FeatureUnavailable,
-    QueryCancelled,
-    QueryTimeout,
-    StreamInvariantViolation,
-)
-from .lang import (
-    Assign,
-    Call,
-    Compare,
-    Expr,
-    FieldAccess,
-    Hole,
-    KnownCall,
-    Literal,
-    ParseError,
-    PartialAssign,
-    PartialCompare,
-    SuffixHole,
-    TypeLiteral,
-    Unfilled,
-    UnknownCall,
-    Var,
-    derivable,
-    parse,
-    to_source,
-    well_typed,
-)
+from typing import TYPE_CHECKING
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = [
-    "AbstractTypeAnalysis",
-    "Assign",
-    "BudgetExhausted",
-    "Call",
-    "CancellationToken",
-    "Compare",
-    "Completion",
-    "CompletionEngine",
-    "CompletionError",
-    "Context",
-    "CorpusError",
-    "Diagnostic",
-    "EngineConfig",
-    "Expr",
-    "FeatureUnavailable",
-    "Field",
-    "FieldAccess",
-    "Hole",
-    "KnownCall",
-    "LibraryBuilder",
-    "Literal",
-    "Method",
-    "MethodIndex",
-    "ParseError",
-    "Parameter",
-    "PartialAssign",
-    "PartialCompare",
-    "PreflightReport",
-    "Property",
-    "QueryBudget",
-    "QueryCancelled",
-    "QueryOutcome",
-    "QueryTimeout",
-    "Ranker",
-    "RankingConfig",
-    "ReachabilityIndex",
-    "Severity",
-    "StreamInvariantViolation",
-    "SuffixHole",
-    "TypeDef",
-    "TypeKind",
-    "TypeLiteral",
-    "TypeSystem",
-    "Unfilled",
-    "UnknownCall",
-    "Var",
-    "check_stream",
-    "derivable",
-    "lint_type_system",
-    "parse",
-    "preflight_query",
-    "run_sanitizer_probes",
-    "sanitize_streams",
-    "sanitizer_active",
-    "to_source",
-    "well_typed",
-    "__version__",
-]
+if TYPE_CHECKING:  # static view of the lazy surface below
+    from .api import *  # noqa: F401,F403
+
+
+# The facade loads lazily (PEP 562): CLI entry points and deep imports
+# (``repro.ide.…``, ``repro.engine.…``) pay only for the modules they
+# touch, while ``import repro; repro.complete(...)`` and
+# ``from repro import *`` still resolve the full :mod:`repro.api`
+# surface on first use.
+def _api():
+    # importlib, not ``from . import api``: the latter re-enters this
+    # module's __getattr__ while the import is in flight and recurses
+    import importlib
+
+    return importlib.import_module(__name__ + ".api")
+
+
+def __getattr__(name):
+    api = _api()
+    if name == "__all__":
+        return list(api.__all__) + ["__version__"]
+    try:
+        return getattr(api, name)
+    except AttributeError:
+        raise AttributeError(
+            "module {!r} has no attribute {!r}".format(__name__, name)
+        ) from None
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_api().__all__))

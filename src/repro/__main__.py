@@ -4,7 +4,10 @@
     python -m repro complete --universe paint \
         --let img=PaintDotNet.Document --let size=System.Drawing.Size \
         "?({img, size})"
+    python -m repro complete --universe paint --trace trace.ndjson --explain "?"
     python -m repro lint --universe paint --json
+    python -m repro stats --universe paint
+    python -m repro stats --validate-trace trace.ndjson
     python -m repro eval [--full]
     python -m repro bench --quick --compare benchmarks/baseline/BENCH_seed.json
 """
@@ -82,6 +85,14 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="expansion-step budget; best-so-far results "
                                "are printed and exit code 4 signals the "
                                "truncation")
+    complete.add_argument("--trace", nargs="?", const="-", default=None,
+                          metavar="PATH",
+                          help="trace each query and write the NDJSON "
+                               "span records to PATH ('-' or no value: "
+                               "print them); see docs/OBSERVABILITY.md")
+    complete.add_argument("--explain", action="store_true",
+                          help="show each suggestion's ranking-term "
+                               "breakdown (the terms sum to its score)")
 
     lint = sub.add_parser(
         "lint",
@@ -151,6 +162,23 @@ def _build_parser() -> argparse.ArgumentParser:
                             "baseline; two paths: compare old vs. new "
                             "without running")
 
+    stats = sub.add_parser(
+        "stats",
+        help="run the pinned query battery and print engine metrics",
+        description="Run the universe's pinned query battery against a "
+                    "fresh engine and print the observability registry "
+                    "(counters + histograms) as JSON.  With "
+                    "--validate-trace, instead validate an NDJSON trace "
+                    "file against the checked-in schema: exit 0 when "
+                    "every record conforms, 1 otherwise.  See "
+                    "docs/OBSERVABILITY.md.",
+    )
+    stats.add_argument("--universe", default="paint")
+    stats.add_argument("-n", type=int, default=10)
+    stats.add_argument("--validate-trace", default=None, metavar="FILE",
+                       help="validate an NDJSON trace file against the "
+                            "schema and exit (no battery run)")
+
     evaluate = sub.add_parser("eval", help="run the paper's evaluation")
     evaluate.add_argument("--full", action="store_true",
                           help="no per-project caps (several minutes)")
@@ -198,9 +226,10 @@ def _run_complete(args: argparse.Namespace, write) -> int:
             write("error: --budget must be positive")
             return EXIT_USAGE
         session.step_budget = args.budget
+    session.trace = args.trace is not None
     # one or many queries: a single batch, so indexes warm once and the
     # queries share the engine's cross-query cache
-    records = session.query_many(args.queries)
+    records = session.complete_many(args.queries)
     exit_code = EXIT_OK
     for source, record in zip(args.queries, records):
         if len(records) > 1:
@@ -210,9 +239,21 @@ def _run_complete(args: argparse.Namespace, write) -> int:
             if exit_code == EXIT_OK:
                 exit_code = EXIT_PARSE_ERROR
             continue
+        explained = session.explain(source=source) if args.explain else []
+        breakdowns = {
+            rank: completion.breakdown
+            for rank, completion in enumerate(explained, start=1)
+        }
         for suggestion in record.suggestions:
             write("{:>3}. (score {:>3}) {}".format(
                 suggestion.rank, suggestion.score, suggestion.text))
+            breakdown = breakdowns.get(suggestion.rank)
+            if breakdown is not None:
+                write("        {}{}".format(
+                    "  ".join("{}={}".format(feature, value)
+                              for feature, value in breakdown.rows())
+                    or "(no enabled terms)",
+                    "  (cache replay)" if breakdown.cached else ""))
         if not record.suggestions:
             write("(no completions)")
         if record.degraded:
@@ -225,6 +266,26 @@ def _run_complete(args: argparse.Namespace, write) -> int:
             if exit_code == EXIT_OK:
                 exit_code = (EXIT_TIMEOUT if record.truncated == "timeout"
                              else EXIT_BUDGET)
+    if args.trace is not None:
+        from .obs import trace_to_ndjson
+
+        text = "".join(
+            trace_to_ndjson(record.trace, universe=workspace.name,
+                            query=source)
+            for source, record in zip(args.queries, records)
+            if record.trace is not None
+        )
+        if args.trace == "-":
+            for line in text.splitlines():
+                write(line)
+        else:
+            try:
+                with open(args.trace, "w") as handle:
+                    handle.write(text)
+            except OSError as error:
+                write("error: {}".format(error))
+                return EXIT_USAGE
+            write("wrote trace to {}".format(args.trace))
     return exit_code
 
 
@@ -299,6 +360,46 @@ def _run_lint(args: argparse.Namespace, write) -> int:
     return EXIT_LINT_ERRORS if has_errors(diagnostics) else EXIT_OK
 
 
+def _run_stats(args: argparse.Namespace, write) -> int:
+    import json
+
+    if args.validate_trace is not None:
+        from .obs import validate_trace_text
+
+        try:
+            with open(args.validate_trace) as handle:
+                text = handle.read()
+        except OSError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        problems = validate_trace_text(text)
+        if problems:
+            for problem in problems:
+                write(problem)
+            return 1
+        write("{}: valid repro-trace NDJSON".format(args.validate_trace))
+        return EXIT_OK
+
+    from .eval.battery import battery_for
+
+    try:
+        battery = battery_for(args.universe)
+    except ValueError as error:
+        write("error: {}".format(error))
+        return EXIT_USAGE
+    workspace = _open_universe(args.universe, write)
+    if workspace is None:
+        return EXIT_USAGE
+    session = battery.session(workspace, n=args.n)
+    session.complete_many(battery.queries)
+    write(json.dumps({
+        "universe": workspace.name,
+        "queries": battery.queries,
+        "metrics": workspace.metrics(),
+    }, indent=2, sort_keys=True))
+    return EXIT_OK
+
+
 def _run_bench(args: argparse.Namespace, write) -> int:
     from .eval.bench import (
         compare_bench,
@@ -365,6 +466,8 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
         return _run_lint(args, write)
     if args.command == "bench":
         return _run_bench(args, write)
+    if args.command == "stats":
+        return _run_stats(args, write)
     if args.command == "census":
         from .corpus import build_all_projects, last_build_diagnostics
         from .eval import corpus_census, format_census

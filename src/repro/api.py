@@ -1,0 +1,332 @@
+"""The single public facade of the ``repro`` package.
+
+Everything a library consumer needs is importable from here (and
+re-exported by ``repro`` itself): the six task-level functions —
+
+* :func:`open_workspace` — a universe plus its engine,
+* :func:`complete` / :func:`complete_many` — run queries,
+* :func:`explain` — ranking attribution for a query,
+* :func:`lint` — static diagnostics,
+* :func:`bench` — the pinned performance workload,
+
+plus the stable types behind them (engine, language, analysis,
+observability).  Deeper modules (``repro.engine``, ``repro.obs``, …)
+remain importable but are internal layering; new code should depend on
+this surface.
+
+Quickstart::
+
+    from repro import open_workspace, complete, explain
+
+    workspace = open_workspace("paint")
+    record = complete(workspace, "?({img, size})",
+                      locals={"img": "PaintDotNet.Document",
+                              "size": "System.Drawing.Size"})
+    for suggestion in record.suggestions:
+        print(suggestion.rank, suggestion.score, suggestion.text)
+    for completion in explain(workspace, "?({img, size})",
+                              locals={"img": "PaintDotNet.Document",
+                                      "size": "System.Drawing.Size"}):
+        print(completion.breakdown.rows())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .analysis.abstract_types import AbstractTypeAnalysis
+from .analysis.diagnostics import Diagnostic, Severity
+from .analysis.codemodel_lint import lint_type_system
+from .analysis.preflight import PreflightReport, preflight_query
+from .analysis.sanitize import run_sanitizer_probes
+from .analysis.scope import Context
+from .codemodel import (
+    Field,
+    LibraryBuilder,
+    Method,
+    Parameter,
+    Property,
+    TypeDef,
+    TypeKind,
+    TypeSystem,
+)
+from .engine import (
+    CacheStats,
+    CancellationToken,
+    Completion,
+    CompletionCache,
+    CompletionEngine,
+    CompletionRequest,
+    EngineConfig,
+    MethodIndex,
+    QueryBudget,
+    QueryOutcome,
+    QueryStatus,
+    Ranker,
+    RankingConfig,
+    ReachabilityIndex,
+    check_stream,
+    sanitize_streams,
+    sanitizer_active,
+)
+from .errors import (
+    BudgetExhausted,
+    CompletionError,
+    CorpusError,
+    FeatureUnavailable,
+    QueryCancelled,
+    QueryTimeout,
+    StreamInvariantViolation,
+)
+from .ide.session import (
+    AutoCompleteStatus,
+    CompletionSession,
+    QueryRecord,
+    Suggestion,
+)
+from .ide.workspace import Workspace
+from .lang import (
+    Assign,
+    Call,
+    Compare,
+    Expr,
+    FieldAccess,
+    Hole,
+    KnownCall,
+    Literal,
+    ParseError,
+    PartialAssign,
+    PartialCompare,
+    SuffixHole,
+    TypeLiteral,
+    Unfilled,
+    UnknownCall,
+    Var,
+    derivable,
+    parse,
+    to_source,
+    well_typed,
+)
+from .obs import (
+    Histogram,
+    Metrics,
+    NullTracer,
+    NULL_TRACER,
+    ScoreBreakdown,
+    Span,
+    Tracer,
+    ndjson_to_dicts,
+    trace_to_ndjson,
+    validate_trace_text,
+)
+
+#: accepted ``locals`` values: resolved types or names to resolve
+_TypeRef = Union[str, TypeDef]
+
+
+def open_workspace(
+    universe: Union[str, TypeSystem],
+    config: Optional[EngineConfig] = None,
+    cache_enabled: Optional[bool] = None,
+) -> Workspace:
+    """A :class:`Workspace` over a builtin universe key (``"paint"``,
+    ``"geometry"``, ``"bcl"``) or an already-built
+    :class:`TypeSystem`."""
+    if isinstance(universe, TypeSystem):
+        return Workspace(universe, config=config, cache_enabled=cache_enabled)
+    workspace = Workspace.builtin(universe, config)
+    if cache_enabled is not None:
+        workspace.cache_enabled = cache_enabled
+    return workspace
+
+
+def _session(
+    workspace: Workspace,
+    locals: Optional[Dict[str, _TypeRef]] = None,
+    this: Optional[_TypeRef] = None,
+    n: int = 10,
+    expected: Optional[str] = None,
+    keyword: Optional[str] = None,
+    timeout_ms: Optional[float] = None,
+    max_steps: Optional[int] = None,
+    trace: bool = False,
+) -> CompletionSession:
+    session = CompletionSession(workspace, n=n)
+    for name, type_ref in (locals or {}).items():
+        if isinstance(type_ref, str):
+            session.declare(name, type_ref)
+        else:
+            session.locals[name] = type_ref
+    if this is not None:
+        if isinstance(this, str):
+            session.set_this(this)
+        else:
+            session.this_type = this
+    if expected is not None:
+        session.set_expected(expected)
+    session.keyword = keyword
+    session.timeout_ms = timeout_ms
+    session.step_budget = max_steps
+    session.trace = trace
+    return session
+
+
+def complete(
+    workspace: Workspace, source: str, **scope
+) -> QueryRecord:
+    """Parse and complete one partial expression.
+
+    ``scope`` keywords: ``locals`` (name → type name or
+    :class:`TypeDef`), ``this``, ``n``, ``expected``, ``keyword``,
+    ``timeout_ms``, ``max_steps``, ``trace``.  Returns the session's
+    :class:`QueryRecord` (ranked suggestions plus status / timing /
+    trace metadata); repeated calls against one workspace share its
+    engine's warm indexes and cross-query cache.
+    """
+    return _session(workspace, **scope).complete(source)
+
+
+def complete_many(
+    workspace: Workspace,
+    sources: List[str],
+    parallelism: int = 1,
+    **scope,
+) -> List[QueryRecord]:
+    """Complete a batch of partial expressions under one shared scope
+    (same keywords as :func:`complete`); indexes warm once and the
+    queries share the cross-query cache."""
+    session = _session(workspace, **scope)
+    return session.complete_many(sources, parallelism=parallelism)
+
+
+def explain(
+    workspace: Workspace,
+    source: str,
+    rank: Optional[int] = None,
+    **scope,
+) -> List[Completion]:
+    """Ranking attribution for one query (same keywords as
+    :func:`complete`): the top completions, each carrying a
+    :class:`ScoreBreakdown` whose per-term contributions sum exactly to
+    its score.  ``rank`` narrows the list to one 1-based entry."""
+    return _session(workspace, **scope).explain(rank=rank, source=source)
+
+
+def lint(
+    workspace: Workspace,
+    query: Optional[str] = None,
+    sanitize: bool = False,
+    **scope,
+) -> List[Diagnostic]:
+    """Static diagnostics: the universe's code-model lint (RA00x),
+    optionally the stream-sanitizer probes, and — when ``query`` is
+    given — pre-flight analysis of that partial expression under
+    ``scope`` (same keywords as :func:`complete`)."""
+    diagnostics = workspace.lint(sanitize=sanitize)
+    if query is not None:
+        report = _session(workspace, **scope).analyze(query)
+        diagnostics = diagnostics + list(report.diagnostics)
+    return diagnostics
+
+
+def bench(label: str = "api", quick: bool = True, log=None) -> dict:
+    """Run the pinned performance workload and return the
+    schema-versioned bench document (see ``docs/PERFORMANCE.md``).
+    Imported lazily — the bench harness pulls in the corpus layer."""
+    from .eval.bench import run_bench
+
+    return run_bench(label=label, quick=quick,
+                     log=log if log is not None else (lambda line: None))
+
+
+__all__ = [
+    # facade functions
+    "bench",
+    "complete",
+    "complete_many",
+    "explain",
+    "lint",
+    "open_workspace",
+    # analysis
+    "AbstractTypeAnalysis",
+    "Context",
+    "Diagnostic",
+    "PreflightReport",
+    "Severity",
+    "lint_type_system",
+    "preflight_query",
+    "run_sanitizer_probes",
+    # code model
+    "Field",
+    "LibraryBuilder",
+    "Method",
+    "Parameter",
+    "Property",
+    "TypeDef",
+    "TypeKind",
+    "TypeSystem",
+    # engine
+    "CacheStats",
+    "CancellationToken",
+    "Completion",
+    "CompletionCache",
+    "CompletionEngine",
+    "CompletionRequest",
+    "EngineConfig",
+    "MethodIndex",
+    "QueryBudget",
+    "QueryOutcome",
+    "QueryStatus",
+    "Ranker",
+    "RankingConfig",
+    "ReachabilityIndex",
+    "check_stream",
+    "sanitize_streams",
+    "sanitizer_active",
+    # errors
+    "BudgetExhausted",
+    "CompletionError",
+    "CorpusError",
+    "FeatureUnavailable",
+    "QueryCancelled",
+    "QueryTimeout",
+    "StreamInvariantViolation",
+    # ide
+    "AutoCompleteStatus",
+    "CompletionSession",
+    "QueryRecord",
+    "Suggestion",
+    "Workspace",
+    # language
+    "Assign",
+    "Call",
+    "Compare",
+    "Expr",
+    "FieldAccess",
+    "Hole",
+    "KnownCall",
+    "Literal",
+    "ParseError",
+    "PartialAssign",
+    "PartialCompare",
+    "SuffixHole",
+    "TypeLiteral",
+    "Unfilled",
+    "UnknownCall",
+    "Var",
+    "derivable",
+    "parse",
+    "to_source",
+    "well_typed",
+    # observability
+    "Histogram",
+    "Metrics",
+    "NULL_TRACER",
+    "NullTracer",
+    "ScoreBreakdown",
+    "Span",
+    "Tracer",
+    "ndjson_to_dicts",
+    "trace_to_ndjson",
+    "validate_trace_text",
+]

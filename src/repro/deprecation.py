@@ -1,0 +1,45 @@
+"""Deprecation shims for the ``repro.api`` facade redesign.
+
+The facade normalised a few historically inconsistent names
+(``CompletionSession.query`` → ``complete``,
+``Workspace.set_cache_enabled`` → the ``cache_enabled`` property,
+``QueryOutcome.truncated/.unsatisfiable/.preflight`` → ``status`` /
+``preflight_report``).  Old spellings keep working for at least one
+release but warn through here, so every shim emits the same
+machine-greppable message shape::
+
+    <old> is deprecated; use <new>
+
+``warnings.simplefilter("error", DeprecationWarning)`` therefore turns
+any leftover use into a hard failure, which is how the test suite pins
+the shims.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+
+
+def warn_deprecated(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a renamed API."""
+    warnings.warn(
+        "{} is deprecated; use {}".format(old, new),
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def deprecated_alias(old: str, new: str):
+    """Decorate a method that exists only as a renamed alias."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            warn_deprecated(old, new)
+            return fn(*args, **kwargs)
+
+        wrapper.__doc__ = "Deprecated alias for ``{}``.".format(new)
+        return wrapper
+
+    return decorate

@@ -15,6 +15,7 @@ from .completer import (
     CompletionRequest,
     EngineConfig,
     QueryOutcome,
+    QueryStatus,
 )
 from .index import MethodIndex, ReachabilityIndex
 from .ranking import AbstractTypeOracle, Ranker, RankingConfig
@@ -38,6 +39,7 @@ __all__ = [
     "MethodIndex",
     "QueryBudget",
     "QueryOutcome",
+    "QueryStatus",
     "Ranker",
     "RankingConfig",
     "ReachabilityIndex",

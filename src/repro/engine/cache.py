@@ -199,6 +199,27 @@ class CompletionCache:
                 self.stats.evictions += 1
             return shared, False
 
+    def peek(
+        self, ts: TypeSystem, key: Hashable
+    ) -> Optional[SharedStream]:
+        """The shared stream under ``key`` if present and healthy, else
+        ``None`` — a read-only probe that never creates an entry.
+
+        Traced queries use this: they may *replay* a stream some earlier
+        untraced query populated (marked as a cache hit in the trace),
+        but on a miss they run privately and must not publish streams
+        containing tracer wrappers.
+        """
+        with self._lock:
+            self._sync(ts)
+            shared = self._streams.get(key)
+            if shared is not None and not shared.broken:
+                self._streams.move_to_end(key)
+                self.stats.stream_hits += 1
+                return shared
+            self.stats.stream_misses += 1
+            return None
+
     def global_roots(
         self,
         ts: TypeSystem,

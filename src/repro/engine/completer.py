@@ -29,8 +29,10 @@ guarded so a failure degrades the query (recorded in
 
 from __future__ import annotations
 
+import copy
+import enum
 import time
-from dataclasses import astuple, dataclass, field
+from dataclasses import astuple, dataclass, field, replace
 from itertools import islice
 from typing import (
     Callable,
@@ -45,6 +47,10 @@ from typing import (
 )
 
 from ..analysis.scope import Context
+from ..deprecation import warn_deprecated
+from ..obs.attribution import ScoreBreakdown
+from ..obs.metrics import DEFAULT_BOUNDS, Metrics
+from ..obs.trace import Span, Tracer
 from ..testing import faults
 from ..codemodel.members import Method
 from ..codemodel.types import TypeDef
@@ -58,6 +64,7 @@ from ..lang.ast import (
     Unfilled,
     Var,
     is_complete,
+    iter_subtree,
 )
 from ..lang.partial import (
     Hole,
@@ -119,42 +126,140 @@ class EngineConfig:
     #: queries (see :mod:`repro.engine.cache` and docs/PERFORMANCE.md);
     #: budgeted and oracle-backed queries bypass the cache automatically
     enable_cache: bool = True
+    #: trace every query with a :class:`~repro.obs.trace.Tracer` (span
+    #: timings + counters attached as ``QueryOutcome.trace``); off by
+    #: default — disabled tracing costs nothing on the query path.
+    #: Never part of the cache key: tracing cannot change results.
+    trace: bool = False
 
 
 class Completion(NamedTuple):
-    """One ranked completion."""
+    """One ranked completion.
+
+    ``breakdown`` is ``None`` on the ordinary query path; the
+    attribution APIs (:meth:`CompletionEngine.explain`, the CLI's
+    ``--explain``) return copies with a
+    :class:`~repro.obs.attribution.ScoreBreakdown` attached whose terms
+    sum to ``score``.
+    """
 
     score: int
     expr: Expr
+    breakdown: Optional[ScoreBreakdown] = None
 
 
-@dataclass
+class QueryStatus(enum.Enum):
+    """How a query concluded — the one field consolidating the legacy
+    ``QueryOutcome.truncated`` / ``.unsatisfiable`` flags.
+
+    ``OK`` also covers an empty-but-complete answer; the three
+    truncation members carry the same wire values the budget layer uses
+    (``docs/RESILIENCE.md``), and ``UNSATISFIABLE`` means pre-flight
+    proved the query empty and the search never ran
+    (``docs/ANALYSIS.md``).
+    """
+
+    OK = "ok"
+    TIMEOUT = "timeout"
+    BUDGET = "budget"
+    CANCELLED = "cancelled"
+    UNSATISFIABLE = "unsatisfiable"
+
+    @classmethod
+    def from_truncation(cls, reason: Optional[str]) -> "QueryStatus":
+        """Map a budget trip reason (or ``None``) to a status."""
+        return cls.OK if reason is None else cls(reason)
+
+    @property
+    def truncation(self) -> Optional[str]:
+        """The budget trip reason, or ``None`` when not truncated."""
+        value = self.value
+        return value if self in _TRUNCATED_STATUSES else None
+
+    @property
+    def is_truncated(self) -> bool:
+        return self in _TRUNCATED_STATUSES
+
+
+_TRUNCATED_STATUSES = frozenset(
+    {QueryStatus.TIMEOUT, QueryStatus.BUDGET, QueryStatus.CANCELLED}
+)
+
+
 class QueryOutcome:
     """The full result of a budgeted query.
 
-    ``truncated`` is ``None`` for a complete answer, or one of the
-    machine-readable reasons from :mod:`repro.engine.budget`
-    (``"timeout"`` / ``"budget"`` / ``"cancelled"``) when the engine
-    stopped early and ``completions`` is the best-so-far prefix.
-    ``degraded`` names the optional features that failed and were
-    neutralised during ranking (see :class:`Ranker`).
+    ``status`` says how the query concluded (:class:`QueryStatus`):
+    complete, truncated by its budget (``completions`` is then the
+    best-so-far prefix), or proven empty by pre-flight analysis
+    (``preflight_report`` carries the RA020/RA023 proof and ``steps``
+    stays 0).  ``degraded`` names the optional features that failed and
+    were neutralised during ranking (see :class:`Ranker`).  ``trace``
+    is the exported span list when the query ran with tracing on
+    (``None`` otherwise; see ``docs/OBSERVABILITY.md``).
 
-    ``unsatisfiable`` is True when pre-flight analysis *proved* the query
-    empty and the engine skipped the search entirely (``steps`` stays 0);
-    the proof diagnostics are in ``preflight`` (RA020/RA023, see
-    ``docs/ANALYSIS.md``).
+    The pre-facade spellings — ``.truncated``, ``.unsatisfiable``,
+    ``.preflight`` — remain as read-only properties that emit a
+    ``DeprecationWarning``.
     """
 
-    completions: List[Completion]
-    truncated: Optional[str] = None
-    elapsed_ms: float = 0.0
-    steps: int = 0
-    degraded: Set[str] = field(default_factory=set)
-    unsatisfiable: bool = False
-    preflight: Optional[object] = None
-    #: the whole result stream was replayed from the cross-query cache
-    #: (``steps`` is then the cost of the replay: usually 0)
-    cached: bool = False
+    def __init__(
+        self,
+        completions: List[Completion],
+        status: QueryStatus = QueryStatus.OK,
+        elapsed_ms: float = 0.0,
+        steps: int = 0,
+        degraded: Optional[Set[str]] = None,
+        preflight_report: Optional[object] = None,
+        cached: bool = False,
+        trace: Optional[List[dict]] = None,
+    ) -> None:
+        self.completions = completions
+        self.status = status
+        self.elapsed_ms = elapsed_ms
+        self.steps = steps
+        self.degraded: Set[str] = degraded if degraded is not None else set()
+        self.preflight_report = preflight_report
+        #: the whole result stream was replayed from the cross-query
+        #: cache (``steps`` is then the cost of the replay: usually 0)
+        self.cached = cached
+        self.trace = trace
+
+    # -- deprecated spellings (the facade consolidated these) ----------
+    @property
+    def truncated(self) -> Optional[str]:
+        warn_deprecated("QueryOutcome.truncated",
+                        "QueryOutcome.status.truncation")
+        return self.status.truncation
+
+    @property
+    def unsatisfiable(self) -> bool:
+        warn_deprecated("QueryOutcome.unsatisfiable",
+                        "QueryOutcome.status is QueryStatus.UNSATISFIABLE")
+        return self.status is QueryStatus.UNSATISFIABLE
+
+    @property
+    def preflight(self) -> Optional[object]:
+        warn_deprecated("QueryOutcome.preflight",
+                        "QueryOutcome.preflight_report")
+        return self.preflight_report
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryOutcome):
+            return NotImplemented
+        return (
+            self.completions == other.completions
+            and self.status == other.status
+            and self.elapsed_ms == other.elapsed_ms
+            and self.steps == other.steps
+            and self.degraded == other.degraded
+            and self.cached == other.cached
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("QueryOutcome({} completions, status={}, steps={}, "
+                "cached={})".format(len(self.completions), self.status.name,
+                                    self.steps, self.cached))
 
 
 @dataclass
@@ -176,6 +281,8 @@ class CompletionRequest:
     timeout_ms: Optional[float] = None
     max_steps: Optional[int] = None
     token: Optional[CancellationToken] = None
+    #: per-request tracing override (None = follow ``EngineConfig.trace``)
+    trace: Optional[bool] = None
 
     def make_budget(self) -> Optional[QueryBudget]:
         if (
@@ -206,6 +313,7 @@ class CompletionEngine:
         index: Optional[MethodIndex] = None,
         reachability: Optional[ReachabilityIndex] = None,
         cache: Optional[CompletionCache] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         self.ts = ts
         self.config = config or EngineConfig()
@@ -216,14 +324,31 @@ class CompletionEngine:
         self.cache = cache or (
             CompletionCache() if self.config.enable_cache else None
         )
+        #: engine-wide observability counters and histograms (always on
+        #: — per-query cost is a handful of dict increments); metric
+        #: names are listed in docs/OBSERVABILITY.md
+        self.metrics = metrics or Metrics()
+        # memoised _config_signature: astuple deep-copies every config
+        # leaf, far too slow to pay on every query's cache key
+        self._cfg_sig: Optional[tuple] = None
+        self._cfg_sig_snapshot: Optional[EngineConfig] = None
 
     # ------------------------------------------------------------------
     # cross-query cache plumbing
     # ------------------------------------------------------------------
     def _config_signature(self) -> tuple:
         """The engine tunables as a hashable cache-key component, so a
-        config mutated between queries never serves stale entries."""
-        return astuple(self.config)
+        config mutated between queries never serves stale entries.
+        ``trace`` is normalised out: tracing observes a query without
+        changing its results, so traced and untraced queries must share
+        cache entries.  The tuple is memoised against a deep snapshot of
+        the config — value equality, so in-place mutation of nested
+        tunables still invalidates it."""
+        if self._cfg_sig is not None and self.config == self._cfg_sig_snapshot:
+            return self._cfg_sig
+        self._cfg_sig_snapshot = copy.deepcopy(self.config)
+        self._cfg_sig = astuple(replace(self.config, trace=False))
+        return self._cfg_sig
 
     def _stream_cache(
         self,
@@ -252,6 +377,22 @@ class CompletionEngine:
             return None
         return self.cache
 
+    def _query_key(
+        self,
+        pe: Expr,
+        context: Context,
+        expected_type: Optional[TypeDef],
+        keyword: Optional[str],
+    ) -> tuple:
+        return (
+            "query",
+            pe.key(),
+            context_signature(context),
+            expected_type.full_name if expected_type is not None else None,
+            keyword,
+            self._config_signature(),
+        )
+
     def _completion_stream(
         self,
         pe: Expr,
@@ -260,31 +401,42 @@ class CompletionEngine:
         expected_type: Optional[TypeDef],
         keyword: Optional[str],
         budget: Optional[QueryBudget],
+        tracer: Optional[Tracer] = None,
     ) -> Tuple[Iterator[Completion], Optional["_Query"], bool]:
         """The deduplicated result stream, via the whole-query cache when
         the query is shareable.  Returns ``(iterator, query, cached)``;
         ``query`` is ``None`` on a warm replay (no per-query state was
-        built)."""
+        built).
+
+        A *traced* query still replays from the whole-query cache (the
+        replay is marked with a ``cache`` span and the outcome's
+        ``cached`` flag), but on a miss it runs entirely on private
+        streams and does **not** populate the cache: the tracer's
+        counting wrappers must never be baked into streams that later,
+        untraced queries would replay through.
+        """
         cache = self._stream_cache(abstypes, budget)
         if cache is None:
             query = _Query(self, context, abstypes, expected_type, keyword,
-                           budget)
-            return _dedup(query.stream(pe, expected_type)), query, False
-        key = (
-            "query",
-            pe.key(),
-            context_signature(context),
-            expected_type.full_name if expected_type is not None else None,
-            keyword,
-            self._config_signature(),
-        )
+                           budget, tracer)
+            return query.result_stream(pe), query, False
+        key = self._query_key(pe, context, expected_type, keyword)
+        if tracer is not None:
+            with tracer.span("cache") as span:
+                shared = cache.peek(self.ts, key)
+                span.set("hit", 1 if shared is not None else 0)
+            if shared is not None:
+                return iter(shared), None, True
+            query = _Query(self, context, abstypes, expected_type, keyword,
+                           None, tracer)
+            return query.result_stream(pe), query, False
         made: List[_Query] = []
 
         def make() -> Iterator[Completion]:
             query = _Query(self, context, abstypes, expected_type, keyword,
                            None)
             made.append(query)
-            return _dedup(query.stream(pe, expected_type))
+            return query.result_stream(pe)
 
         shared, hit = cache.stream(self.ts, key, make)
         return iter(shared), (made[0] if made else None), hit
@@ -379,6 +531,8 @@ class CompletionEngine:
         keyword: Optional[str] = None,
         budget: Optional[QueryBudget] = None,
         strict: bool = False,
+        trace: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
     ) -> QueryOutcome:
         """The top ``n`` completions plus resilience metadata.
 
@@ -388,41 +542,166 @@ class CompletionEngine:
         error (:class:`QueryTimeout` / :class:`BudgetExhausted` /
         :class:`QueryCancelled`) instead of returning a truncated
         outcome.
+
+        ``trace`` overrides ``EngineConfig.trace`` for this query;
+        callers that already opened spans (the session's ``parse``) may
+        hand in their own ``tracer`` instead.  Either way the exported
+        span list lands in ``QueryOutcome.trace``.
         """
+        wanted = trace if trace is not None else self.config.trace
+        if tracer is None and wanted:
+            tracer = Tracer()
+        outcome = self._run_query(
+            pe, context, n, abstypes, expected_type, keyword, budget,
+            strict, tracer,
+        )
+        if tracer is not None:
+            tracer.finish()
+            outcome.trace = tracer.to_dicts()
+        self._record_outcome(outcome)
+        return outcome
+
+    def _run_query(
+        self,
+        pe: Expr,
+        context: Context,
+        n: int,
+        abstypes: Optional[AbstractTypeOracle],
+        expected_type: Optional[TypeDef],
+        keyword: Optional[str],
+        budget: Optional[QueryBudget],
+        strict: bool,
+        tracer: Optional[Tracer],
+    ) -> QueryOutcome:
         started = time.monotonic()
-        if self.config.preflight:
-            report = self._try_preflight(pe, context, expected_type, keyword)
-            if report is not None and report.unsatisfiable:
-                # proven empty: skip the search entirely — the budget is
-                # never ticked, so ``steps`` stays 0
-                return QueryOutcome(
-                    completions=[],
-                    elapsed_ms=(time.monotonic() - started) * 1000.0,
-                    steps=budget.steps if budget is not None else 0,
-                    unsatisfiable=True,
-                    preflight=report,
-                )
-        stream, query, cached = self._completion_stream(
-            pe, context, abstypes, expected_type, keyword, budget
+        root_span: Optional[Span] = None
+        if tracer is not None:
+            root_span = tracer.start("query")
+            tracer._stack.append(root_span)
+        try:
+            if self.config.preflight:
+                if tracer is not None:
+                    with tracer.span("preflight") as span:
+                        report = self._try_preflight(
+                            pe, context, expected_type, keyword)
+                        if report is not None:
+                            span.set("unsatisfiable",
+                                     1 if report.unsatisfiable else 0)
+                            span.set("diagnostics", len(report.diagnostics))
+                else:
+                    report = self._try_preflight(
+                        pe, context, expected_type, keyword)
+                if report is not None and report.unsatisfiable:
+                    # proven empty: skip the search entirely — the budget
+                    # is never ticked, so ``steps`` stays 0
+                    return QueryOutcome(
+                        completions=[],
+                        status=QueryStatus.UNSATISFIABLE,
+                        elapsed_ms=(time.monotonic() - started) * 1000.0,
+                        steps=budget.steps if budget is not None else 0,
+                        preflight_report=report,
+                    )
+            stream, query, cached = self._completion_stream(
+                pe, context, abstypes, expected_type, keyword, budget, tracer
+            )
+            if tracer is not None:
+                with tracer.span("collect") as span:
+                    completions = list(islice(stream, n))
+                    span.set("completions", len(completions))
+                    span.set("cached", 1 if cached else 0)
+            else:
+                completions = list(islice(stream, n))
+            truncated = budget.tripped if budget is not None else None
+            if strict and budget is not None:
+                budget.raise_if_tripped()
+            if budget is not None:
+                elapsed_ms = budget.elapsed_ms()
+                steps = budget.steps
+            else:
+                elapsed_ms = (time.monotonic() - started) * 1000.0
+                steps = query.meter.steps if query is not None else 0
+            if root_span is not None:
+                root_span.set("steps", steps)
+                root_span.set("completions", len(completions))
+                root_span.set("cached", 1 if cached else 0)
+            return QueryOutcome(
+                completions=completions,
+                status=QueryStatus.from_truncation(truncated),
+                elapsed_ms=elapsed_ms,
+                steps=steps,
+                degraded=set(query.degraded) if query is not None else set(),
+                cached=cached,
+            )
+        finally:
+            if tracer is not None and root_span is not None:
+                if tracer._stack and tracer._stack[-1] is root_span:
+                    tracer._stack.pop()
+                tracer.end(root_span)
+
+    def _record_outcome(self, outcome: QueryOutcome) -> None:
+        """Tick the engine-wide metrics registry for one finished query
+        (docs/OBSERVABILITY.md lists the names)."""
+        counters = {
+            "queries": 1,
+            "completions_returned": len(outcome.completions),
+        }
+        if outcome.cached:
+            counters["queries_cached"] = 1
+        if outcome.status is QueryStatus.UNSATISFIABLE:
+            counters["queries_unsatisfiable"] = 1
+        reason = outcome.status.truncation
+        if reason is not None:
+            counters["queries_truncated"] = 1
+            counters["queries_truncated_{}".format(reason)] = 1
+        if outcome.degraded:
+            counters["queries_degraded"] = 1
+        observations = [
+            ("steps_per_query", outcome.steps, DEFAULT_BOUNDS),
+            ("elapsed_ms_per_query", outcome.elapsed_ms, _LATENCY_BOUNDS),
+        ]
+        for completion in outcome.completions:
+            observations.append(
+                ("completion_depth", _expr_depth(completion.expr),
+                 _DEPTH_BOUNDS)
+            )
+        self.metrics.record(counters, observations)
+
+    def explain(
+        self,
+        pe: Expr,
+        context: Context,
+        n: int = 10,
+        rank: Optional[int] = None,
+        abstypes: Optional[AbstractTypeOracle] = None,
+        expected_type: Optional[TypeDef] = None,
+        keyword: Optional[str] = None,
+        budget: Optional[QueryBudget] = None,
+    ) -> List[Completion]:
+        """The top ``n`` completions with ranking attribution attached.
+
+        Each returned :class:`Completion` carries a
+        :class:`~repro.obs.attribution.ScoreBreakdown` whose per-term
+        contributions sum exactly to ``score``.  Breakdowns are
+        recomputed from the expression, so a cache-replayed outcome
+        explains identically to a cold one (the breakdown is just
+        marked ``cached``).  With ``rank`` given, only that 1-based
+        rank is returned (empty list when out of range).
+        """
+        outcome = self.complete_query(
+            pe, context, n=n, abstypes=abstypes,
+            expected_type=expected_type, keyword=keyword, budget=budget,
         )
-        completions = list(islice(stream, n))
-        truncated = budget.tripped if budget is not None else None
-        if strict and budget is not None:
-            budget.raise_if_tripped()
-        if budget is not None:
-            elapsed_ms = budget.elapsed_ms()
-            steps = budget.steps
-        else:
-            elapsed_ms = (time.monotonic() - started) * 1000.0
-            steps = query.meter.steps if query is not None else 0
-        return QueryOutcome(
-            completions=completions,
-            truncated=truncated,
-            elapsed_ms=elapsed_ms,
-            steps=steps,
-            degraded=set(query.degraded) if query is not None else set(),
-            cached=cached,
-        )
+        ranker = Ranker(context, self.config.ranking, abstypes)
+        explained = [
+            completion._replace(breakdown=ScoreBreakdown.from_ranker(
+                ranker, completion.expr, cached=outcome.cached))
+            for completion in outcome.completions
+        ]
+        if rank is not None:
+            if not 1 <= rank <= len(explained):
+                return []
+            return [explained[rank - 1]]
+        return explained
 
     def warm(self) -> None:
         """Build the long-lived shared state up front: method and
@@ -461,6 +740,8 @@ class CompletionEngine:
         if not requests:
             return []
         self.warm()
+        self.metrics.incr("batches")
+        self.metrics.observe("batch_size", len(requests))
 
         def run(request: CompletionRequest) -> QueryOutcome:
             return self.complete_query(
@@ -471,6 +752,7 @@ class CompletionEngine:
                 expected_type=request.expected_type,
                 keyword=request.keyword,
                 budget=request.make_budget(),
+                trace=request.trace,
             )
 
         if parallelism > 1 and len(requests) > 1:
@@ -539,13 +821,58 @@ class CompletionEngine:
         return None
 
 
-def _dedup(stream: Iterator[Scored]) -> Iterator[Completion]:
+#: elapsed-ms histogram buckets (sub-ms through multi-second queries)
+_LATENCY_BOUNDS = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0,
+                   1000.0, 3000.0)
+#: completion-depth histogram buckets (chains rarely exceed the
+#: configured ``max_chain_depth`` + call nesting)
+_DEPTH_BOUNDS = (0, 1, 2, 3, 4, 6, 8)
+
+
+def _expr_depth(expr: Expr) -> int:
+    """Lookup depth of a completion — the number of member lookups
+    (field accesses and calls) in the expression tree, the quantity the
+    ``completion_depth`` histogram tracks."""
+    depth = 0
+    for node in iter_subtree(expr):
+        if isinstance(node, (FieldAccess, Call)):
+            depth += 1
+    return depth
+
+
+def _node_kind(pe: Expr) -> str:
+    """A short tag naming the query node for ``expand:<kind>`` spans."""
+    if isinstance(pe, Hole):
+        return "hole"
+    if isinstance(pe, SuffixHole):
+        kind = "methods" if pe.methods else "fields"
+        return "suffix_star_" + kind if pe.star else "suffix_" + kind
+    if isinstance(pe, UnknownCall):
+        return "unknown_call"
+    if isinstance(pe, KnownCall):
+        return "known_call"
+    if isinstance(pe, (PartialAssign, Assign)):
+        return "assign"
+    if isinstance(pe, (PartialCompare, Compare)):
+        return "compare"
+    return type(pe).__name__.lower()
+
+
+def _dedup(
+    stream: Iterator[Scored], span: Optional[Span] = None
+) -> Iterator[Completion]:
     seen: Set[tuple] = set()
     for score, expr in stream:
         key = expr.key()
+        if span is not None:
+            span.add("in")
         if key in seen:
+            if span is not None:
+                span.add("duplicates")
             continue
         seen.add(key)
+        if span is not None:
+            span.add("out")
         yield Completion(score, expr)
 
 
@@ -565,6 +892,7 @@ class _Query:
         expected_type: Optional[TypeDef],
         keyword: Optional[str] = None,
         budget: Optional[QueryBudget] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.engine = engine
         self.config = engine.config
@@ -574,17 +902,32 @@ class _Query:
         self.expected_type = expected_type
         self.keyword = keyword.lower() if keyword else None
         self.budget = budget
+        self.tracer = tracer
         #: what the combinators tick: the real budget when there is one,
         #: else a private unlimited budget so expansion-step counts are
         #: measured (and attributable) on every query
         self.meter = budget if budget is not None else QueryBudget()
         self.degraded = self.ranker.degraded
-        #: cross-query memo handles (None = this query must run cold)
-        self.cache = engine._stream_cache(abstypes, budget)
+        #: cross-query memo handles (None = this query must run cold).
+        #: A traced query always runs on private streams: the tracer's
+        #: counting wrappers must never end up inside a SharedStream
+        #: that later untraced queries would replay.  Placement memos
+        #: carry no wrapped streams, so they stay on.
+        self.cache = (
+            None if tracer is not None
+            else engine._stream_cache(abstypes, budget)
+        )
         self.placements = engine._placement_cache(abstypes)
         if self.cache is not None or self.placements is not None:
             self._ctx_sig = context_signature(context)
             self._cfg_sig = engine._config_signature()
+
+    def result_stream(self, pe: Expr) -> Iterator[Completion]:
+        """The query's final stream: dispatch on ``pe``, then dedup."""
+        stream = self.stream(pe, self.expected_type)
+        if self.tracer is None:
+            return _dedup(stream)
+        return _dedup(stream, self.tracer.start("dedup"))
 
     # ------------------------------------------------------------------
     # cached sub-streams
@@ -621,7 +964,22 @@ class _Query:
     # ------------------------------------------------------------------
     def stream(self, pe: Expr, target: Optional[TypeDef]) -> Iterator[Scored]:
         """Completions of ``pe`` usable where ``target`` is expected
-        (``None`` = anywhere), in ascending score order."""
+        (``None`` = anywhere), in ascending score order.
+
+        Under tracing, every dispatch — the query root and each
+        recursive subexpression — is wrapped in an ``expand:<kind>``
+        span counting items yielded, pull time (``busy_ms``), and
+        expansion steps charged while the stream was live."""
+        if self.tracer is None:
+            return self._expand(pe, target)
+        meter = self.meter
+        return self.tracer.wrap_stream(
+            "expand:{}".format(_node_kind(pe)),
+            self._expand(pe, target),
+            steps=lambda: meter.steps,
+        )
+
+    def _expand(self, pe: Expr, target: Optional[TypeDef]) -> Iterator[Scored]:
         if isinstance(pe, Hole):
             return self._chain_stream(
                 self._root_items(target),
@@ -682,6 +1040,14 @@ class _Query:
         context) is shared across queries: its scores depend only on the
         ``depth`` ranking switch, never on the scope.
         """
+        if self.tracer is None:
+            return self._build_root_items()
+        with self.tracer.span("root_pool") as span:
+            items = self._build_root_items()
+            span.set("roots", len(items))
+        return items
+
+    def _build_root_items(self) -> List[Scored]:
         items: List[Scored] = [
             (self.ranker.score(var), var) for var in self.context.local_vars()
         ]

@@ -121,6 +121,29 @@ def _time_queries(
     return timings, steps
 
 
+def _phase_profile(spec: Dict[str, Any]) -> Dict[str, float]:
+    """Aggregate span durations (ms) by span name over one traced run of
+    the workload's queries, on a fresh engine so every phase runs cold.
+
+    Profiled *separately* from the timed runs: tracing has a per-span
+    cost and disables stream sharing, so it must never touch the
+    latencies the regression gate compares.
+    """
+    workspace = Workspace.builtin(spec["universe"])
+    context = _workload_context(workspace, spec)
+    totals: Dict[str, float] = {}
+    for query in spec["queries"]:
+        outcome = workspace.engine.complete_query(
+            parse(query, context), context, trace=True
+        )
+        for span in outcome.trace or []:
+            if span["duration_ms"] is not None:
+                totals[span["name"]] = (
+                    totals.get(span["name"], 0.0) + span["duration_ms"]
+                )
+    return {name: round(totals[name], 4) for name in sorted(totals)}
+
+
 def _paper_workloads(repeats: int) -> List[Dict[str, Any]]:
     results = []
     for spec in PAPER_WORKLOADS:
@@ -139,6 +162,8 @@ def _paper_workloads(repeats: int) -> List[Dict[str, Any]]:
             "p95_ms": _percentile(ordered, 0.95),
             "steps": steps,
             "cache_hit_rate": stats.get("hit_rate", 0.0),
+            # additive, so VERSION stays 1: old documents simply lack it
+            "phases": _phase_profile(spec),
         })
     return results
 
@@ -348,6 +373,12 @@ def render_bench(document: Dict[str, Any]) -> List[str]:
         lines.append("  {:<16s}{:>10.2f}{:>10.2f}{:>10d}".format(
             workload["name"], workload["p50_ms"], workload["p95_ms"],
             int(workload["steps"])))
+        phases = workload.get("phases")
+        if phases:
+            top = sorted(phases.items(), key=lambda kv: -kv[1])[:3]
+            lines.append("    phases (traced run): {}".format(
+                ", ".join("{} {:.2f} ms".format(name, value)
+                          for name, value in top)))
     repeated = document.get("repeated")
     if repeated:
         lines.append(

@@ -14,6 +14,12 @@ Commands (everything else is treated as a partial expression)::
     :locals                show the scope
     :accept <rank>         accept a suggestion; 0s become ?s
     :explain <rank>        show the ranking-term breakdown of a suggestion
+                           (terms sum exactly to the score)
+    :trace [on|off|show]   per-query span tracing: toggle it, or show
+                           the last query's span tree
+                           (docs/OBSERVABILITY.md)
+    :stats                 engine metrics: query/cache/truncation
+                           counters and step/latency histograms
     :lint [pe]             diagnostics: without arguments, lint the
                            universe (RA0xx codes, docs/ANALYSIS.md);
                            with a partial expression, pre-flight it
@@ -146,6 +152,10 @@ def _command(state: "_ReplState", line: str, write) -> bool:
                 write("  this: {}".format(session.this_type.full_name))
         elif command == ":explain" and len(args) == 1:
             _explain(session, int(args[0]), write)
+        elif command == ":trace" and len(args) <= 1:
+            _trace(session, args[0] if args else None, write)
+        elif command == ":stats":
+            _stats(session, write)
         elif command == ":accept" and len(args) == 1:
             refined = session.accept(int(args[0]))
             if refined is None:
@@ -218,7 +228,7 @@ def _cache(session: CompletionSession, action, write) -> None:
         write("cache cleared")
         return
     if action in ("on", "off"):
-        workspace.set_cache_enabled(action == "on")
+        workspace.cache_enabled = action == "on"
         write("cache {}".format(action))
         return
     if action is not None:
@@ -269,30 +279,77 @@ def _bench(session: CompletionSession, source: str, write,
 
 
 def _explain(session: CompletionSession, rank: int, write) -> None:
-    from ..engine.ranking import Ranker
+    from ..lang.printer import to_source
 
-    record = session.last()
-    if record is None or not record.suggestions:
-        write("nothing to explain; run a query first")
+    explained = session.explain(rank=rank)
+    if not explained:
+        record = session.last()
+        if record is None or not record.suggestions:
+            write("nothing to explain; run a query first")
+        else:
+            write("no suggestion at rank {}".format(rank))
         return
-    if not 1 <= rank <= len(record.suggestions):
-        write("no suggestion at rank {}".format(rank))
-        return
-    suggestion = record.suggestions[rank - 1]
-    ranker = Ranker(
-        session.context(),
-        session.workspace.engine.config.ranking,
-        session.abstypes,
-    )
-    write("{}  (total score {})".format(suggestion.text, suggestion.score))
-    for feature, value in sorted(
-        ranker.explain(suggestion.expr).items(), key=lambda kv: -kv[1]
-    ):
+    completion = explained[0]
+    breakdown = completion.breakdown
+    write("{}  (total score {}{})".format(
+        to_source(completion.expr), breakdown.total,
+        ", cache replay" if breakdown.cached else ""))
+    for feature, value in breakdown.rows():
         write("  {:<16s} {:>3d}".format(feature, value))
 
 
+def _trace(session: CompletionSession, action, write) -> None:
+    if action in ("on", "off"):
+        session.trace = action == "on"
+        write("trace {}".format(action))
+        return
+    if action not in (None, "show"):
+        write("usage: :trace [on|off|show]")
+        return
+    if action is None:
+        write("trace {}".format("on" if session.trace else "off"))
+        return
+    record = session.last()
+    if record is None or record.trace is None:
+        write("no trace recorded; :trace on, then run a query")
+        return
+    by_id = {span["span"]: span for span in record.trace}
+
+    def depth(span) -> int:
+        count = 0
+        parent = span["parent"]
+        while parent is not None:
+            count += 1
+            parent = by_id[parent]["parent"]
+        return count
+
+    for span in record.trace:
+        duration = span["duration_ms"]
+        counters = ", ".join(
+            "{}={:g}".format(key, value)
+            for key, value in span["counters"].items())
+        write("{}{} {}{}".format(
+            "  " * depth(span), span["name"],
+            "{:.2f} ms".format(duration) if duration is not None else "open",
+            "  [{}]".format(counters) if counters else ""))
+
+
+def _stats(session: CompletionSession, write) -> None:
+    data = session.workspace.metrics()
+    counters, histograms = data["counters"], data["histograms"]
+    if not counters and not histograms:
+        write("(no queries recorded)")
+        return
+    for name, value in counters.items():
+        write("  {:<28s} {}".format(name, value))
+    for name, histogram in histograms.items():
+        write("  {:<28s} n={} mean={:.1f} min={:g} max={:g}".format(
+            name, histogram["count"], histogram["mean"],
+            histogram["min"], histogram["max"]))
+
+
 def _query(session: CompletionSession, line: str, write) -> None:
-    record = session.query(line)
+    record = session.complete(line)
     if record.error is not None:
         write("parse error: {}".format(record.error))
         return
@@ -307,6 +364,8 @@ def _query(session: CompletionSession, line: str, write) -> None:
     if record.degraded:
         write("(degraded features: {})".format(
             ", ".join(sorted(record.degraded))))
+    if record.cached:
+        write("(replayed from the cross-query cache)")
 
 
 def main(universe: str = "paint") -> None:  # pragma: no cover - interactive

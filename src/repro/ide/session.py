@@ -15,9 +15,11 @@ from typing import Dict, List, Optional, Set
 
 from ..analysis.scope import Context
 from ..codemodel.types import TypeDef
+from ..deprecation import warn_deprecated
 from ..engine.budget import CancellationToken, QueryBudget
-from ..engine.completer import Completion
+from ..engine.completer import Completion, QueryStatus
 from ..engine.ranking import AbstractTypeOracle
+from ..obs.trace import Tracer
 from ..lang.ast import Expr, Unfilled
 from ..lang.parser import ParseError, parse
 from ..lang.partial import Hole
@@ -48,11 +50,13 @@ class AutoCompleteStatus(enum.Enum):
 class QueryRecord:
     """One history entry.
 
-    ``elapsed_ms``/``truncated``/``degraded`` carry the resilience
-    metadata of the underlying engine query: how long it ran, whether a
-    budget cut it short (and why — ``"timeout"``, ``"budget"`` or
-    ``"cancelled"``), and which optional ranking features failed and
-    were neutralised.
+    ``status``/``elapsed_ms``/``degraded`` carry the resilience
+    metadata of the underlying engine query: how it concluded
+    (:class:`~repro.engine.completer.QueryStatus`), how long it ran,
+    and which optional ranking features failed and were neutralised.
+    ``truncated`` mirrors ``status.truncation`` for display.  ``cached``
+    marks a whole-query cache replay, and ``trace`` holds the exported
+    span dicts when the session ran the query with tracing on.
     """
 
     source: str
@@ -61,6 +65,9 @@ class QueryRecord:
     elapsed_ms: Optional[float] = None
     truncated: Optional[str] = None
     degraded: Set[str] = field(default_factory=set)
+    status: Optional[QueryStatus] = None
+    cached: bool = False
+    trace: Optional[List[dict]] = None
 
 
 def holes_for_unfilled(expr: Expr) -> Expr:
@@ -110,6 +117,9 @@ class CompletionSession:
         self.cancellation: Optional[CancellationToken] = None
         #: why the last :meth:`auto_complete` run stopped
         self.auto_status: Optional[AutoCompleteStatus] = None
+        #: trace every query this session runs (the REPL's ``:trace``);
+        #: exported spans land in ``QueryRecord.trace``
+        self.trace: bool = False
 
     # ------------------------------------------------------------------
     # scope manipulation
@@ -159,21 +169,43 @@ class CompletionSession:
             token=self.cancellation,
         )
 
-    def query(self, source: str) -> QueryRecord:
+    def _fill_record(self, record: QueryRecord, outcome) -> None:
+        record.suggestions = [
+            Suggestion(rank, completion.score, to_source(completion.expr),
+                       completion.expr)
+            for rank, completion in enumerate(outcome.completions, start=1)
+        ]
+        record.elapsed_ms = outcome.elapsed_ms
+        record.status = outcome.status
+        record.truncated = outcome.status.truncation
+        record.degraded = set(outcome.degraded)
+        record.cached = outcome.cached
+        record.trace = outcome.trace
+
+    def complete(self, source: str) -> QueryRecord:
         """Parse and complete one partial expression; record it.
 
         Queries are best-effort under the session's budget settings: a
         tripped deadline/step budget yields the best-so-far suggestions
-        with ``record.truncated`` set, and broken optional ranking
-        features land in ``record.degraded`` — the query itself always
-        returns.
+        with ``record.status`` naming the trip, and broken optional
+        ranking features land in ``record.degraded`` — the query itself
+        always returns.  With :attr:`trace` on, the record carries the
+        full span tree (parsing included).
         """
         record = QueryRecord(source=source)
         context = self.context()
+        tracer = Tracer() if self.trace else None
         try:
-            pe = parse(source, context)
+            if tracer is not None:
+                with tracer.span("parse"):
+                    pe = parse(source, context)
+            else:
+                pe = parse(source, context)
         except ParseError as error:
             record.error = str(error)
+            if tracer is not None:
+                tracer.finish()
+                record.trace = tracer.to_dicts()
             self.history.append(record)
             return record
         outcome = self.workspace.engine.complete_query(
@@ -184,19 +216,47 @@ class CompletionSession:
             expected_type=self.expected_type,
             keyword=self.keyword,
             budget=self._make_budget(),
+            tracer=tracer,
         )
-        record.suggestions = [
-            Suggestion(rank, completion.score, to_source(completion.expr),
-                       completion.expr)
-            for rank, completion in enumerate(outcome.completions, start=1)
-        ]
-        record.elapsed_ms = outcome.elapsed_ms
-        record.truncated = outcome.truncated
-        record.degraded = set(outcome.degraded)
+        self._fill_record(record, outcome)
         self.history.append(record)
         return record
 
-    def query_many(
+    def query(self, source: str) -> QueryRecord:
+        """Deprecated alias for :meth:`complete`."""
+        warn_deprecated("CompletionSession.query", "CompletionSession.complete")
+        return self.complete(source)
+
+    def explain(
+        self, rank: Optional[int] = None, source: Optional[str] = None
+    ) -> List[Completion]:
+        """Ranking attribution for the last query (or an explicit
+        ``source``): the top suggestions with a
+        :class:`~repro.obs.attribution.ScoreBreakdown` attached, whose
+        terms sum to each score.  ``rank`` narrows to one 1-based rank.
+        Returns ``[]`` when there is nothing to explain."""
+        if source is None:
+            record = self.last()
+            if record is None or record.error is not None:
+                return []
+            source = record.source
+        context = self.context()
+        try:
+            pe = parse(source, context)
+        except ParseError:
+            return []
+        return self.workspace.engine.explain(
+            pe,
+            context,
+            n=self.n,
+            rank=rank,
+            abstypes=self.abstypes,
+            expected_type=self.expected_type,
+            keyword=self.keyword,
+            budget=self._make_budget(),
+        )
+
+    def complete_many(
         self, sources: List[str], parallelism: int = 1
     ) -> List[QueryRecord]:
         """Parse and complete a batch of partial expressions through
@@ -227,23 +287,24 @@ class CompletionSession:
                 timeout_ms=self.timeout_ms,
                 max_steps=self.step_budget,
                 token=self.cancellation,
+                trace=self.trace or None,
             ))
             targets.append(record)
         outcomes = self.workspace.engine.complete_many(
             requests, parallelism=parallelism
         )
         for record, outcome in zip(targets, outcomes):
-            record.suggestions = [
-                Suggestion(rank, completion.score,
-                           to_source(completion.expr), completion.expr)
-                for rank, completion in enumerate(
-                    outcome.completions, start=1)
-            ]
-            record.elapsed_ms = outcome.elapsed_ms
-            record.truncated = outcome.truncated
-            record.degraded = set(outcome.degraded)
+            self._fill_record(record, outcome)
         self.history.extend(records)
         return records
+
+    def query_many(
+        self, sources: List[str], parallelism: int = 1
+    ) -> List[QueryRecord]:
+        """Deprecated alias for :meth:`complete_many`."""
+        warn_deprecated("CompletionSession.query_many",
+                        "CompletionSession.complete_many")
+        return self.complete_many(sources, parallelism=parallelism)
 
     def analyze(self, source: str):
         """Pre-flight a query without running it (the REPL's ``:lint``).
@@ -307,7 +368,7 @@ class CompletionSession:
 
         current = source
         for _ in range(max_iterations):
-            record = self.query(current)
+            record = self.complete(current)
             if record.error is not None:
                 self.auto_status = AutoCompleteStatus.PARSE_ERROR
                 return None

@@ -17,12 +17,18 @@ from ..codemodel.types import TypeDef
 from ..codemodel.typesystem import TypeSystem
 from ..corpus.oracle import ImplAbstractTypes
 from ..corpus.program import MethodImpl, Project
+from ..deprecation import warn_deprecated
 from ..engine.completer import CompletionEngine, EngineConfig
 from ..engine.ranking import AbstractTypeOracle
 
 
 class Workspace:
-    """A universe plus the engine and analyses built over it."""
+    """A universe plus the engine and analyses built over it.
+
+    ``cache_enabled`` (constructor argument and read/write property) is
+    the one switch for cross-query caching; it subsumes the deprecated
+    :meth:`set_cache_enabled`.
+    """
 
     def __init__(
         self,
@@ -30,9 +36,15 @@ class Workspace:
         name: str = "workspace",
         config: Optional[EngineConfig] = None,
         project: Optional[Project] = None,
+        cache_enabled: Optional[bool] = None,
     ) -> None:
         self.name = name
         self.ts = ts
+        if cache_enabled is not None:
+            from dataclasses import replace
+
+            config = replace(config or EngineConfig(),
+                             enable_cache=cache_enabled)
         self.engine = CompletionEngine(ts, config)
         self.project = project
         self._analysis: Optional[AbstractTypeAnalysis] = None
@@ -135,12 +147,20 @@ class Workspace:
         ``None`` when it is disabled."""
         return self.engine.cache_stats()
 
-    def set_cache_enabled(self, enabled: bool) -> None:
-        """Toggle cross-query caching (the REPL's ``:cache on/off``).
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether cross-query caching is live (the REPL's
+        ``:cache on/off``).
 
         Disabling both stops new lookups *and* clears the current
         entries, so re-enabling starts from a cold, trustworthy cache.
         """
+        return (
+            self.engine.config.enable_cache and self.engine.cache is not None
+        )
+
+    @cache_enabled.setter
+    def cache_enabled(self, enabled: bool) -> None:
         self.engine.config.enable_cache = enabled
         if enabled and self.engine.cache is None:
             from ..engine.cache import CompletionCache
@@ -148,6 +168,17 @@ class Workspace:
             self.engine.cache = CompletionCache()
         if not enabled and self.engine.cache is not None:
             self.engine.cache.clear()
+
+    def set_cache_enabled(self, enabled: bool) -> None:
+        """Deprecated: assign :attr:`cache_enabled` instead."""
+        warn_deprecated("Workspace.set_cache_enabled",
+                        "the Workspace.cache_enabled property")
+        self.cache_enabled = enabled
+
+    def metrics(self) -> dict:
+        """JSON-ready snapshot of the engine's observability registry
+        (``repro stats`` and the REPL's ``:stats``)."""
+        return self.engine.metrics.to_dict()
 
     # ------------------------------------------------------------------
     # diagnostics

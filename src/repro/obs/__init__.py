@@ -1,0 +1,50 @@
+"""Observability: span tracing, ranking attribution, engine metrics.
+
+Three independent pieces (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.trace` — a lightweight span tracer instrumenting the
+  query pipeline (preflight, cache, root pool, per-combinator stream
+  expansion, dedup), NDJSON/dict export.  Opt-in per query; zero cost
+  when off.
+* :mod:`repro.obs.attribution` — :class:`ScoreBreakdown`, the six
+  Figure-7 ranking terms per candidate, summing exactly to the ranked
+  score.
+* :mod:`repro.obs.metrics` — the engine-wide :class:`Metrics`
+  registry: counters and histograms (steps per query, latency, depth
+  distribution, truncation/preflight/cache rates), JSON-exportable.
+
+This package sits *below* the engine (the engine imports it), so it
+must not import :mod:`repro.engine` at module level.
+"""
+
+from .attribution import ScoreBreakdown
+from .metrics import DEFAULT_BOUNDS, Histogram, Metrics
+from .schema import load_schema, validate_record, validate_trace_text
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    Tracer,
+    ndjson_to_dicts,
+    trace_to_ndjson,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "Histogram",
+    "Metrics",
+    "NULL_TRACER",
+    "NullTracer",
+    "ScoreBreakdown",
+    "Span",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Tracer",
+    "load_schema",
+    "ndjson_to_dicts",
+    "trace_to_ndjson",
+    "validate_record",
+    "validate_trace_text",
+]

@@ -1,0 +1,72 @@
+"""Per-candidate ranking attribution.
+
+The paper's ranking function (Figure 7) is a sum of six independent
+terms — type distance (t), abstract types (a), depth (d), in-scope
+static (s), common namespaces (n), matching name (m) — each gated by
+exactly one :class:`~repro.engine.ranking.RankingConfig` switch.  A
+:class:`ScoreBreakdown` records every *enabled* term's total
+contribution for one completion; the contributions sum to the ranked
+score exactly (scoring under each single-feature configuration, the
+same decomposition :meth:`Ranker.explain` computes — a tested
+invariant over every golden completion).
+
+Breakdowns are recomputed from the expression, never captured from the
+search: they are therefore identical whether the completion came out
+of a cold search or a cache replay.  ``cached`` marks the replay case
+so ``--explain`` output can say where the completion came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ScoreBreakdown:
+    """One completion's score decomposed into per-feature totals.
+
+    ``terms`` maps feature names (``type_distance``, ``depth``, …) to
+    that feature's total contribution; only enabled features appear.
+    ``total`` is the full ranked score; ``terms`` sums to it.
+    ``cached`` is True when the completion was replayed from the
+    cross-query cache (the breakdown itself is recomputed either way).
+    """
+
+    terms: Dict[str, int] = field(default_factory=dict)
+    total: int = 0
+    cached: bool = False
+
+    @property
+    def term_sum(self) -> int:
+        return sum(self.terms.values())
+
+    @property
+    def consistent(self) -> bool:
+        """Do the terms sum exactly to the ranked score?"""
+        return self.term_sum == self.total
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "terms": {name: self.terms[name] for name in sorted(self.terms)},
+            "total": self.total,
+            "cached": self.cached,
+        }
+
+    def rows(self) -> Tuple[Tuple[str, int], ...]:
+        """(feature, contribution) pairs, largest contribution first
+        (ties broken by name) — the display order of ``--explain``."""
+        return tuple(sorted(self.terms.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    @classmethod
+    def from_ranker(cls, ranker, expr, cached: bool = False) -> "ScoreBreakdown":
+        """Decompose ``expr``'s score with an engine ranker.
+
+        ``ranker`` is a :class:`~repro.engine.ranking.Ranker` (duck
+        typed to avoid an import cycle: the engine imports this module).
+        """
+        return cls(
+            terms=dict(ranker.explain(expr)),
+            total=ranker.score(expr),
+            cached=cached,
+        )

@@ -1,0 +1,153 @@
+"""NDJSON trace validation against the checked-in JSON schema.
+
+``trace_schema.json`` (next to this module) describes one line of a
+trace file — the header or a span record.  CI runs
+``repro complete --trace`` on every builtin universe and validates the
+output here via ``repro stats --validate-trace``.
+
+The container ships no third-party ``jsonschema``, so
+:func:`validate_record` interprets the subset of JSON Schema the file
+actually uses — ``type`` (scalar or union), ``const``, ``enum``,
+``properties`` / ``required`` / ``additionalProperties``, ``items``
+and ``oneOf`` — and raises ``ValueError`` on any schema keyword
+outside that subset, so a schema edit cannot silently stop
+validating.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List
+
+SCHEMA_PATH = pathlib.Path(__file__).parent / "trace_schema.json"
+
+_KNOWN_KEYWORDS = {
+    "$schema", "title", "description",
+    "type", "const", "enum",
+    "properties", "required", "additionalProperties",
+    "items", "oneOf",
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def load_schema() -> Dict[str, Any]:
+    with open(SCHEMA_PATH) as handle:
+        return json.load(handle)
+
+
+def _type_ok(value: Any, type_name: str) -> bool:
+    expected = _TYPES[type_name]
+    if isinstance(value, bool):
+        # bool is an int subclass in Python; JSON keeps them distinct
+        return type_name == "boolean"
+    return isinstance(value, expected)
+
+
+def _check(value: Any, schema: Dict[str, Any], path: str,
+           errors: List[str]) -> None:
+    unknown = set(schema) - _KNOWN_KEYWORDS
+    if unknown:
+        raise ValueError(
+            "schema uses unsupported keywords {} at {}".format(
+                sorted(unknown), path or "$"))
+
+    if "oneOf" in schema:
+        failures: List[List[str]] = []
+        for option in schema["oneOf"]:
+            attempt: List[str] = []
+            _check(value, option, path, attempt)
+            if not attempt:
+                return
+            failures.append(attempt)
+        errors.append("{}: matches none of the {} oneOf options "
+                      "(closest: {})".format(
+                          path or "$", len(failures),
+                          min(failures, key=len)[0]))
+        return
+
+    if "const" in schema and value != schema["const"]:
+        errors.append("{}: expected {!r}, got {!r}".format(
+            path or "$", schema["const"], value))
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append("{}: {!r} not in {}".format(
+            path or "$", value, schema["enum"]))
+        return
+
+    if "type" in schema:
+        allowed = schema["type"]
+        if isinstance(allowed, str):
+            allowed = [allowed]
+        if not any(_type_ok(value, name) for name in allowed):
+            errors.append("{}: expected {}, got {}".format(
+                path or "$", "/".join(allowed), type(value).__name__))
+            return
+
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append("{}: missing required key {!r}".format(
+                    path or "$", name))
+        properties = schema.get("properties", {})
+        for name, subschema in properties.items():
+            if name in value:
+                _check(value[name], subschema,
+                       "{}.{}".format(path, name) if path else name, errors)
+        additional = schema.get("additionalProperties", True)
+        extras = [name for name in value if name not in properties]
+        if additional is False and extras:
+            errors.append("{}: unexpected keys {}".format(
+                path or "$", sorted(extras)))
+        elif isinstance(additional, dict):
+            for name in extras:
+                _check(value[name], additional,
+                       "{}.{}".format(path, name) if path else name, errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _check(item, schema["items"], "{}[{}]".format(path, index), errors)
+
+
+def validate_record(record: Any, schema: Dict[str, Any] = None) -> List[str]:
+    """Validate one NDJSON record; returns a list of problems (empty
+    when valid)."""
+    if schema is None:
+        schema = load_schema()
+    errors: List[str] = []
+    _check(record, schema, "", errors)
+    return errors
+
+
+def validate_trace_text(text: str) -> List[str]:
+    """Validate a whole NDJSON trace document.
+
+    Returns one message per invalid line (prefixed ``line N:``), plus a
+    message if the document contains no header line.  Empty list =
+    valid.
+    """
+    from .trace import ndjson_to_dicts
+
+    schema = load_schema()
+    errors: List[str] = []
+    try:
+        records = ndjson_to_dicts(text)
+    except ValueError as error:
+        return [str(error)]
+    if not records:
+        return ["empty trace document"]
+    for number, record in enumerate(records, start=1):
+        for problem in validate_record(record, schema):
+            errors.append("line {}: {}".format(number, problem))
+    if not any(record.get("kind") == "trace" for record in records):
+        errors.append("no trace header record (kind == 'trace')")
+    return errors
