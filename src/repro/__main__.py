@@ -8,8 +8,12 @@
     python -m repro lint --universe paint --json
     python -m repro stats --universe paint
     python -m repro stats --validate-trace trace.ndjson
+    python -m repro stats --validate-runlog runlog.ndjson
     python -m repro eval [--full]
     python -m repro bench --quick --compare benchmarks/baseline/BENCH_seed.json
+    python -m repro profile --universe paint --flame flame.txt
+    python -m repro diff BENCH_old.json BENCH_new.json --markdown regression.md
+    python -m repro report -o EVAL_REPORT.md --run-log runlog.ndjson
 """
 
 from __future__ import annotations
@@ -161,6 +165,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="one path: run and compare against it as the "
                             "baseline; two paths: compare old vs. new "
                             "without running")
+    bench.add_argument("--run-log", default=None, metavar="PATH",
+                       help="also write the structured NDJSON run log "
+                            "of the bench run")
 
     stats = sub.add_parser(
         "stats",
@@ -178,6 +185,64 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--validate-trace", default=None, metavar="FILE",
                        help="validate an NDJSON trace file against the "
                             "schema and exit (no battery run)")
+    stats.add_argument("--validate-runlog", default=None, metavar="FILE",
+                       help="validate an NDJSON run-log file against the "
+                            "schema and exit (no battery run)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="deterministic self-time profile with flamegraph export",
+        description="Trace the universe's pinned query battery and print "
+                    "the per-span self-time profile (inclusive/self time "
+                    "and counters per call path), or — with --from-log — "
+                    "profile the traced queries recorded in an NDJSON run "
+                    "log instead of running anything.  --flame writes "
+                    "collapsed-stack text for any flamegraph renderer.  "
+                    "See docs/OBSERVABILITY.md.",
+    )
+    profile.add_argument("--universe", default="paint")
+    profile.add_argument("-n", type=int, default=10)
+    profile.add_argument("--from-log", default=None, metavar="RUNLOG",
+                         help="profile a run-log file instead of running "
+                              "the battery")
+    profile.add_argument("--flame", default=None, metavar="PATH",
+                         help="write collapsed-stack flamegraph text "
+                              "('stack;path self-μs' per line)")
+    profile.add_argument("--limit", type=int, default=25,
+                         help="rows to print (default 25)")
+
+    diff = sub.add_parser(
+        "diff",
+        help="attribute the latency delta between two runs to phases",
+        description="Compare two run artifacts — BENCH_<label>.json "
+                    "documents or NDJSON run logs, in any combination — "
+                    "and attribute the latency delta to engine phases "
+                    "(parse / preflight / cache / root_pool / "
+                    "expand:<kind> / dedup / collect).  --markdown writes "
+                    "the regression-attribution report the CI perf gate "
+                    "uploads.  See docs/OBSERVABILITY.md.",
+    )
+    diff.add_argument("old", metavar="OLD", help="baseline artifact")
+    diff.add_argument("new", metavar="NEW", help="candidate artifact")
+    diff.add_argument("--markdown", default=None, metavar="PATH",
+                      help="also write a markdown regression report")
+
+    report = sub.add_parser(
+        "report",
+        help="run manifest + evaluation figures + phase profile",
+        description="Run the full evaluation and render one markdown "
+                    "document: the run manifest (git SHA, config "
+                    "signature, universe versions), every table and "
+                    "figure, and the phase/query timing rollup from the "
+                    "structured run log.  The checked-in EVAL_REPORT.md "
+                    "is generated this way.",
+    )
+    report.add_argument("--full", action="store_true",
+                        help="no per-project caps (several minutes)")
+    report.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the markdown here (default: print)")
+    report.add_argument("--run-log", default=None, metavar="PATH",
+                        help="also write the NDJSON run log")
 
     evaluate = sub.add_parser("eval", help="run the paper's evaluation")
     evaluate.add_argument("--full", action="store_true",
@@ -189,6 +254,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                "tracking)")
     evaluate.add_argument("--compare", default=None, metavar="BASELINE",
                           help="compare this run against a saved baseline")
+    evaluate.add_argument("--run-log", default=None, metavar="PATH",
+                          help="write the structured NDJSON run log "
+                               "(with --markdown / --save / --compare)")
     return parser
 
 
@@ -380,6 +448,23 @@ def _run_stats(args: argparse.Namespace, write) -> int:
         write("{}: valid repro-trace NDJSON".format(args.validate_trace))
         return EXIT_OK
 
+    if args.validate_runlog is not None:
+        from .obs import validate_runlog_text
+
+        try:
+            with open(args.validate_runlog) as handle:
+                text = handle.read()
+        except OSError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        problems = validate_runlog_text(text)
+        if problems:
+            for problem in problems:
+                write(problem)
+            return 1
+        write("{}: valid repro-runlog NDJSON".format(args.validate_runlog))
+        return EXIT_OK
+
     from .eval.battery import battery_for
 
     try:
@@ -427,7 +512,13 @@ def _run_bench(args: argparse.Namespace, write) -> int:
             write(line)
         return EXIT_OK if ok else 1
 
-    document = run_bench(label=args.label, quick=args.quick, log=write)
+    run_log = None
+    if args.run_log:
+        from .obs.runlog import RunLog
+
+        run_log = RunLog(args.label)
+    document = run_bench(label=args.label, quick=args.quick, log=write,
+                         run_log=run_log)
     for line in render_bench(document):
         write(line)
     output = args.output or "BENCH_{}.json".format(args.label)
@@ -437,6 +528,13 @@ def _run_bench(args: argparse.Namespace, write) -> int:
         write("error: {}".format(error))
         return EXIT_USAGE
     write("wrote {}".format(output))
+    if run_log is not None:
+        try:
+            run_log.write(args.run_log)
+        except OSError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        write("wrote run log to {}".format(args.run_log))
 
     if len(compare) == 1:
         try:
@@ -448,6 +546,121 @@ def _run_bench(args: argparse.Namespace, write) -> int:
         for line in lines:
             write(line)
         return EXIT_OK if ok else 1
+    return EXIT_OK
+
+
+def _run_profile(args: argparse.Namespace, write) -> int:
+    from .obs import Profile, profile_run_log, read_run_log
+
+    if args.from_log is not None:
+        try:
+            with open(args.from_log) as handle:
+                records = read_run_log(handle.read())
+        except (OSError, ValueError) as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        profile = profile_run_log(records)
+        write("profile of {} ({} traced queries)".format(
+            args.from_log, profile.traces))
+    else:
+        from .eval.battery import battery_for
+
+        try:
+            battery = battery_for(args.universe)
+        except ValueError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        workspace = _open_universe(args.universe, write)
+        if workspace is None:
+            return EXIT_USAGE
+        session = battery.session(workspace, n=args.n)
+        session.trace = True
+        records = session.complete_many(battery.queries)
+        profile = Profile()
+        for record in records:
+            if record.trace is not None:
+                profile.add_trace(record.trace)
+        write("profile of the {!r} battery ({} queries)".format(
+            workspace.name, len(battery.queries)))
+    for line in profile.render(limit=args.limit):
+        write(line)
+    if args.flame is not None:
+        try:
+            with open(args.flame, "w") as handle:
+                for line in profile.to_collapsed():
+                    handle.write(line + "\n")
+        except OSError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        write("wrote flamegraph text to {}".format(args.flame))
+    return EXIT_OK
+
+
+def _run_diff(args: argparse.Namespace, write) -> int:
+    from .obs import diff_runs, render_markdown
+    from .obs.diff import load_run_artifact, render_text
+
+    try:
+        old = load_run_artifact(args.old)
+        new = load_run_artifact(args.new)
+        diff = diff_runs(old, new)
+    except (OSError, ValueError) as error:
+        write("error: {}".format(error))
+        return EXIT_USAGE
+    for line in render_text(diff):
+        write(line)
+    if args.markdown is not None:
+        try:
+            with open(args.markdown, "w") as handle:
+                handle.write(render_markdown(diff))
+        except OSError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        write("wrote {}".format(args.markdown))
+    return EXIT_OK
+
+
+def _eval_config(full: bool):
+    from .eval.experiments import EvalConfig
+
+    if full:
+        return EvalConfig()
+    return EvalConfig(
+        limit=60,
+        max_calls_per_project=40,
+        max_arguments_per_project=50,
+        max_assignments_per_project=25,
+        max_comparisons_per_project=15,
+    )
+
+
+def _run_report(args: argparse.Namespace, write) -> int:
+    from .corpus import build_all_projects
+    from .eval.runreport import generate_run_report
+    from .obs.runlog import RunLog
+
+    run_log = RunLog("eval-full" if args.full else "eval")
+    projects = build_all_projects(run_log=run_log)
+    report = generate_run_report(
+        projects, _eval_config(args.full), run_log=run_log
+    )
+    if args.output:
+        try:
+            with open(args.output, "w") as handle:
+                handle.write(report)
+        except OSError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        write("wrote {}".format(args.output))
+    else:
+        write(report)
+    if args.run_log:
+        try:
+            run_log.write(args.run_log)
+        except OSError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        write("wrote run log to {}".format(args.run_log))
     return EXIT_OK
 
 
@@ -468,6 +681,12 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
         return _run_bench(args, write)
     if args.command == "stats":
         return _run_stats(args, write)
+    if args.command == "profile":
+        return _run_profile(args, write)
+    if args.command == "diff":
+        return _run_diff(args, write)
+    if args.command == "report":
+        return _run_report(args, write)
     if args.command == "census":
         from .corpus import build_all_projects, last_build_diagnostics
         from .eval import corpus_census, format_census
@@ -490,6 +709,21 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
         write("wrote {}".format(args.output))
         return 0
     if args.command == "eval":
+        run_log = None
+        if args.run_log:
+            if not (args.save or args.compare or args.markdown):
+                write("error: --run-log needs --markdown, --save, or "
+                      "--compare (the demo path records no run log)")
+                return EXIT_USAGE
+            from .obs.runlog import RunLog
+
+            run_log = RunLog("eval-full" if args.full else "eval")
+
+        def _write_run_log() -> None:
+            if run_log is not None:
+                run_log.write(args.run_log)
+                write("wrote run log to {}".format(args.run_log))
+
         if args.save or args.compare:
             from .corpus import build_all_projects
             from .eval.experiments import EvalConfig
@@ -509,7 +743,8 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
                     with_intellisense=False,
                     with_return_type=False,
                 )
-            bundle = run_all(build_all_projects(), cfg)
+            bundle = run_all(
+                build_all_projects(run_log=run_log), cfg, run_log)
             if args.save:
                 bundle.save(args.save)
                 write("saved {}".format(args.save))
@@ -517,26 +752,21 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
                 baseline = ResultBundle.load(args.compare)
                 report = compare_runs(baseline.families(), bundle.families())
                 write(format_comparison(report))
+            _write_run_log()
             return 0
         if args.markdown:
             from .corpus import build_all_projects
-            from .eval.experiments import EvalConfig
             from .eval.markdown import generate_report
 
-            if args.full:
-                cfg = EvalConfig()
-            else:
-                cfg = EvalConfig(
-                    limit=60,
-                    max_calls_per_project=40,
-                    max_arguments_per_project=50,
-                    max_assignments_per_project=25,
-                    max_comparisons_per_project=15,
-                )
-            report = generate_report(build_all_projects(), cfg)
+            report = generate_report(
+                build_all_projects(run_log=run_log),
+                _eval_config(args.full),
+                run_log=run_log,
+            )
             with open(args.markdown, "w") as handle:
                 handle.write(report)
             write("wrote {}".format(args.markdown))
+            _write_run_log()
             return 0
         import pathlib
         import runpy

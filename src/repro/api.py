@@ -8,6 +8,8 @@ re-exported by ``repro`` itself): the six task-level functions —
 * :func:`explain` — ranking attribution for a query,
 * :func:`lint` — static diagnostics,
 * :func:`bench` — the pinned performance workload,
+* :func:`profile` — deterministic self-time profile of traced queries,
+* :func:`diff_runs` — phase-level latency attribution between two runs,
 
 plus the stable types behind them (engine, language, analysis,
 observability).  Deeper modules (``repro.engine``, ``repro.obs``, …)
@@ -112,11 +114,21 @@ from .obs import (
     Metrics,
     NullTracer,
     NULL_TRACER,
+    PhaseDelta,
+    Profile,
+    RunDiff,
+    RunLog,
     ScoreBreakdown,
     Span,
     Tracer,
+    diff_runs,
+    load_run_artifact,
     ndjson_to_dicts,
+    profile_run_log,
+    read_run_log,
+    render_markdown,
     trace_to_ndjson,
+    validate_runlog_text,
     validate_trace_text,
 )
 
@@ -229,14 +241,33 @@ def lint(
     return diagnostics
 
 
-def bench(label: str = "api", quick: bool = True, log=None) -> dict:
+def bench(label: str = "api", quick: bool = True, log=None,
+          run_log: Optional[RunLog] = None) -> dict:
     """Run the pinned performance workload and return the
     schema-versioned bench document (see ``docs/PERFORMANCE.md``).
     Imported lazily — the bench harness pulls in the corpus layer."""
     from .eval.bench import run_bench
 
     return run_bench(label=label, quick=quick,
-                     log=log if log is not None else (lambda line: None))
+                     log=log if log is not None else (lambda line: None),
+                     run_log=run_log)
+
+
+def profile(
+    workspace: Workspace, sources: List[str], **scope
+) -> Profile:
+    """Run ``sources`` traced against the workspace and return the
+    aggregated :class:`Profile` (per-call-path inclusive/self time and
+    counter rollups; same keywords as :func:`complete`).  Use
+    ``Profile.to_collapsed()`` for flamegraph text or
+    ``Profile.render()`` for a table (docs/OBSERVABILITY.md)."""
+    scope["trace"] = True
+    session = _session(workspace, **scope)
+    result = Profile()
+    for record in session.complete_many(sources):
+        if record.trace is not None:
+            result.add_trace(record.trace)
+    return result
 
 
 __all__ = [
@@ -244,9 +275,11 @@ __all__ = [
     "bench",
     "complete",
     "complete_many",
+    "diff_runs",
     "explain",
     "lint",
     "open_workspace",
+    "profile",
     # analysis
     "AbstractTypeAnalysis",
     "Context",
@@ -323,10 +356,19 @@ __all__ = [
     "Metrics",
     "NULL_TRACER",
     "NullTracer",
+    "PhaseDelta",
+    "Profile",
+    "RunDiff",
+    "RunLog",
     "ScoreBreakdown",
     "Span",
     "Tracer",
+    "load_run_artifact",
     "ndjson_to_dicts",
+    "profile_run_log",
+    "read_run_log",
+    "render_markdown",
     "trace_to_ndjson",
+    "validate_runlog_text",
     "validate_trace_text",
 ]

@@ -13,8 +13,11 @@ smallest.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
+
+from ..obs.runlog import RunLog
 
 from ..codemodel.members import Method
 from ..errors import CorpusError
@@ -313,7 +316,11 @@ def _validate_impls(
     project.impls[:] = kept
 
 
-def build_all_projects(scale: float = 1.0, strict: bool = False) -> List[Project]:
+def build_all_projects(
+    scale: float = 1.0,
+    strict: bool = False,
+    run_log: Optional[RunLog] = None,
+) -> List[Project]:
     """All seven projects (memoised per scale — they are deterministic).
 
     A project whose builder raises is *skipped* with a collected
@@ -323,25 +330,45 @@ def build_all_projects(scale: float = 1.0, strict: bool = False) -> List[Project
     fail-fast behaviour by raising :class:`CorpusError` on the first
     problem.  Builds that skipped anything are not memoised, so a
     transient failure does not poison the cache.
+
+    With a ``run_log`` attached, each project build is recorded as a
+    ``corpus/<name>`` phase (a cached corpus emits one
+    ``corpus_cache_hit`` event instead) and every skipped project or
+    dropped program as a ``corpus_skip`` event.
     """
     if scale in _cache:
+        if run_log is not None:
+            run_log.event("corpus_cache_hit", scale=scale,
+                          projects=len(_cache[scale]))
         return _cache[scale]
     diagnostics: List[CorpusDiagnostic] = []
     projects: List[Project] = []
     for name, build in PROJECT_BUILDERS.items():
+        seen = len(diagnostics)
+        phase = (run_log.phase("corpus/{}".format(name))
+                 if run_log is not None else nullcontext())
         try:
-            faults.fire("corpus_load")
-            project = build(scale)
-        except Exception as error:
-            if strict:
-                raise CorpusError(name, str(error)) from error
-            diagnostics.append(CorpusDiagnostic(name, "build", str(error)))
-            continue
-        _validate_impls(project, diagnostics)
-        if strict and diagnostics:
-            first = diagnostics[0]
-            raise CorpusError(first.project, first.detail)
-        projects.append(project)
+            with phase:
+                try:
+                    faults.fire("corpus_load")
+                    project = build(scale)
+                except Exception as error:
+                    if strict:
+                        raise CorpusError(name, str(error)) from error
+                    diagnostics.append(
+                        CorpusDiagnostic(name, "build", str(error)))
+                    continue
+                _validate_impls(project, diagnostics)
+                if strict and diagnostics:
+                    first = diagnostics[0]
+                    raise CorpusError(first.project, first.detail)
+                projects.append(project)
+        finally:
+            if run_log is not None:
+                for diagnostic in diagnostics[seen:]:
+                    run_log.event("corpus_skip", project=diagnostic.project,
+                                  stage=diagnostic.stage,
+                                  detail=diagnostic.detail)
     _last_diagnostics[:] = diagnostics
     if not diagnostics:
         _cache[scale] = projects

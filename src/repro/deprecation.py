@@ -10,24 +10,62 @@ machine-greppable message shape::
 
     <old> is deprecated; use <new>
 
-``warnings.simplefilter("error", DeprecationWarning)`` therefore turns
-any leftover use into a hard failure, which is how the test suite pins
-the shims.
+Each *call site* (shim name, caller file, caller line) warns **once**
+per process — a loop over a deprecated property logs one warning, not
+thousands — and the warning is attributed to the caller's line via
+``stacklevel``, never to this module or the shim body.  The memo is
+recorded only after ``warnings.warn`` returns, so
+``warnings.simplefilter("error", DeprecationWarning)`` still turns
+*every* use into a hard failure, which is how the test suite pins the
+shims; :func:`reset_deprecation_memo` clears the memo (the test
+suite's autouse fixture calls it between tests).
 """
 
 from __future__ import annotations
 
 import functools
+import sys
 import warnings
+from typing import Optional, Set, Tuple
+
+#: call sites that already warned: (old name, caller file, caller line)
+_seen_sites: Set[Tuple[str, str, int]] = set()
+
+
+def reset_deprecation_memo() -> None:
+    """Forget which call sites have warned (tests isolate through this)."""
+    _seen_sites.clear()
+
+
+def _call_site(old: str, stacklevel: int) -> Optional[Tuple[str, str, int]]:
+    # the frame warnings.warn would attribute the warning to: stacklevel
+    # counts from warn_deprecated (1 == it), and this helper is one
+    # frame deeper, so the offset from here is exactly ``stacklevel``
+    try:
+        frame = sys._getframe(stacklevel)
+    except ValueError:
+        return None
+    return (old, frame.f_code.co_filename, frame.f_lineno)
 
 
 def warn_deprecated(old: str, new: str, stacklevel: int = 3) -> None:
-    """Emit the standard deprecation warning for a renamed API."""
+    """Emit the standard deprecation warning for a renamed API.
+
+    ``stacklevel`` counts from this function (the default 3 points at
+    the caller of the shim that called us — user code).  Repeat calls
+    from the same site are silent, unless the first one raised (an
+    ``error`` warning filter), so error-pinning keeps failing loudly.
+    """
+    site = _call_site(old, stacklevel)
+    if site is not None and site in _seen_sites:
+        return
     warnings.warn(
         "{} is deprecated; use {}".format(old, new),
         DeprecationWarning,
         stacklevel=stacklevel,
     )
+    if site is not None:
+        _seen_sites.add(site)
 
 
 def deprecated_alias(old: str, new: str):

@@ -50,6 +50,7 @@ from ..analysis.scope import Context
 from ..deprecation import warn_deprecated
 from ..obs.attribution import ScoreBreakdown
 from ..obs.metrics import DEFAULT_BOUNDS, Metrics
+from ..obs.runlog import RunLog
 from ..obs.trace import Span, Tracer
 from ..testing import faults
 from ..codemodel.members import Method
@@ -328,6 +329,11 @@ class CompletionEngine:
         #: — per-query cost is a handful of dict increments); metric
         #: names are listed in docs/OBSERVABILITY.md
         self.metrics = metrics or Metrics()
+        #: structured run log (:mod:`repro.obs.runlog`): when attached,
+        #: every finished query appends one ``kind == "query"`` record
+        #: (with its span tree when traced) and ``complete_many``
+        #: records batch events; None = off, zero cost
+        self.run_log: Optional[RunLog] = None
         # memoised _config_signature: astuple deep-copies every config
         # leaf, far too slow to pay on every query's cache key
         self._cfg_sig: Optional[tuple] = None
@@ -559,6 +565,10 @@ class CompletionEngine:
             tracer.finish()
             outcome.trace = tracer.to_dicts()
         self._record_outcome(outcome)
+        if self.run_log is not None:
+            from ..lang.printer import to_source
+
+            self.run_log.query_event(to_source(pe), outcome)
         return outcome
 
     def _run_query(
@@ -742,6 +752,9 @@ class CompletionEngine:
         self.warm()
         self.metrics.incr("batches")
         self.metrics.observe("batch_size", len(requests))
+        if self.run_log is not None:
+            self.run_log.event("batch", size=len(requests),
+                               parallelism=parallelism)
 
         def run(request: CompletionRequest) -> QueryOutcome:
             return self.complete_query(

@@ -24,12 +24,15 @@ from __future__ import annotations
 
 import json
 import time
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..analysis.scope import Context
 from ..engine.completer import CompletionEngine, CompletionRequest, EngineConfig
 from ..ide.workspace import Workspace
 from ..lang.parser import parse
+from ..obs.diff import PhaseDelta, top_phase_delta
+from ..obs.runlog import RunLog
 
 _FORMAT = "repro-bench"
 VERSION = 1
@@ -144,14 +147,20 @@ def _phase_profile(spec: Dict[str, Any]) -> Dict[str, float]:
     return {name: round(totals[name], 4) for name in sorted(totals)}
 
 
-def _paper_workloads(repeats: int) -> List[Dict[str, Any]]:
+def _paper_workloads(
+    repeats: int, run_log: Optional[RunLog] = None
+) -> List[Dict[str, Any]]:
     results = []
     for spec in PAPER_WORKLOADS:
         workspace = Workspace.builtin(spec["universe"])
+        workspace.run_log = run_log
         context = _workload_context(workspace, spec)
-        timings, steps = _time_queries(
-            workspace.engine, context, spec["queries"], repeats
-        )
+        phase = (run_log.phase("bench/paper/{}".format(spec["name"]))
+                 if run_log is not None else nullcontext())
+        with phase:
+            timings, steps = _time_queries(
+                workspace.engine, context, spec["queries"], repeats
+            )
         ordered = sorted(timings)
         stats = workspace.cache_stats() or {}
         results.append({
@@ -250,18 +259,29 @@ def run_bench(
     label: str = "local",
     quick: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    run_log: Optional[RunLog] = None,
 ) -> Dict[str, Any]:
-    """Run the pinned workload and return the BENCH document."""
+    """Run the pinned workload and return the BENCH document.
+
+    With ``run_log`` attached, each workload section is recorded as a
+    phase and the paper workloads' engines emit per-query records, so
+    the NDJSON log doubles as a profiling input for ``repro diff``.
+    """
     emit = log or (lambda _line: None)
     repeats = _REPEATS_QUICK if quick else _REPEATS
     sizes = SCALING_SIZES_QUICK if quick else SCALING_SIZES
 
+    def _phase(name: str):
+        return run_log.phase(name) if run_log is not None else nullcontext()
+
     emit("paper workloads ({} universes)...".format(len(PAPER_WORKLOADS)))
-    workloads = _paper_workloads(repeats)
+    workloads = _paper_workloads(repeats, run_log)
     emit("scaling workloads (sizes {})...".format(sizes))
-    workloads += _scaling_workloads(sizes, repeats)
+    with _phase("bench/scaling"):
+        workloads += _scaling_workloads(sizes, repeats)
     emit("repeated-query workload (cache on vs. off)...")
-    repeated = _repeated_workload(repeats)
+    with _phase("bench/repeated"):
+        repeated = _repeated_workload(repeats)
 
     return {
         "format": _FORMAT,
@@ -329,12 +349,19 @@ def compare_bench(
     *and* more than ``floor_ms`` over the baseline.  Workloads present
     in only one document are reported but never fail the gate (the
     pinned set can grow).
+
+    Regressed workloads are attributed to a phase: when both documents
+    carry a ``phases`` profile for the workload, the report names the
+    phase whose traced time grew the most, and the final verdict names
+    the single worst phase across all regressed workloads — so a red
+    gate says *which phase* regressed, not just that one did.
     """
     validate_bench(old)
     validate_bench(new)
     old_by_name = {w["name"]: w for w in old["workloads"]}
     lines: List[str] = []
     ok = True
+    worst_phase: Optional[PhaseDelta] = None
     for workload in new["workloads"]:
         name = workload["name"]
         baseline = old_by_name.pop(name, None)
@@ -354,11 +381,31 @@ def compare_bench(
         )
         if regressed:
             ok = False
+            top = top_phase_delta(
+                baseline.get("phases"), workload.get("phases")
+            )
+            if top is not None:
+                lines.append(
+                    "    top regressed phase: {} ({:.2f} ms -> {:.2f} ms, "
+                    "{:+.2f} ms)".format(
+                        top.name, top.old_ms, top.new_ms, top.delta_ms
+                    )
+                )
+                if worst_phase is None or top.delta_ms > worst_phase.delta_ms:
+                    worst_phase = top
+            else:
+                lines.append(
+                    "    (no phase profile on both sides; cannot attribute)"
+                )
     for name in old_by_name:
         lines.append("  {:<16s} (dropped from workload)".format(name))
     verdict = "ok" if ok else "p95 regression over {:.0f}% (+{:.0f} ms floor)".format(
         100.0 * threshold, floor_ms
     )
+    if not ok and worst_phase is not None:
+        verdict += "; top regressed phase: {} ({:+.2f} ms)".format(
+            worst_phase.name, worst_phase.delta_ms
+        )
     lines.append("comparison vs {!r}: {}".format(old.get("label"), verdict))
     return ok, lines
 

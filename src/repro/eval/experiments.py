@@ -20,7 +20,31 @@ from ..corpus.program import MethodImpl, Project
 from ..engine.completer import CompletionEngine, EngineConfig
 from ..engine.ranking import AbstractTypeOracle, RankingConfig
 from ..lang.ast import Call, Var
+from ..lang.printer import to_source
+from ..obs.runlog import RunLog
 from . import queries
+
+
+def _log_query(
+    run_log: Optional[RunLog],
+    pe,
+    family: str,
+    project: str,
+    rank: Optional[int],
+    seconds: float,
+) -> None:
+    """One run-log record per timed eval query (rank queries bypass
+    ``complete_query``, so the engine-level emission never sees them)."""
+    if run_log is None:
+        return
+    run_log.query_event(
+        to_source(pe),
+        family=family,
+        project=project,
+        rank=rank,
+        status="ok" if rank is not None else "not_found",
+        elapsed_ms=seconds * 1000.0,
+    )
 
 
 @dataclass
@@ -182,6 +206,7 @@ def run_method_prediction(
     projects: Iterable[Project],
     cfg: Optional[EvalConfig] = None,
     runs: "Optional[dict[str, _ProjectRun]]" = None,
+    run_log: Optional[RunLog] = None,
 ) -> List[MethodCallResult]:
     cfg = cfg or EvalConfig()
     results: List[MethodCallResult] = []
@@ -192,12 +217,13 @@ def run_method_prediction(
             cfg.max_calls_per_project,
         )
         for impl, index, call in sites:
-            results.append(_evaluate_call(run, impl, index, call))
+            results.append(_evaluate_call(run, impl, index, call, run_log))
     return results
 
 
 def _evaluate_call(
-    run: _ProjectRun, impl: MethodImpl, index: int, call: Call
+    run: _ProjectRun, impl: MethodImpl, index: int, call: Call,
+    run_log: Optional[RunLog] = None,
 ) -> MethodCallResult:
     cfg = run.cfg
     context = cfg.context_for(impl, index, run.project.ts)
@@ -216,6 +242,7 @@ def _evaluate_call(
         )
         elapsed = time.perf_counter() - started
         all_seconds.append(elapsed)
+        _log_query(run_log, pe, "methods", run.project.name, rank, elapsed)
         if rank is not None:
             if best_rank is None or rank < best_rank:
                 best_rank = rank
@@ -264,6 +291,7 @@ def run_argument_prediction(
     projects: Iterable[Project],
     cfg: Optional[EvalConfig] = None,
     runs: "Optional[dict[str, _ProjectRun]]" = None,
+    run_log: Optional[RunLog] = None,
 ) -> List[ArgumentResult]:
     cfg = cfg or EvalConfig()
     results: List[ArgumentResult] = []
@@ -302,6 +330,8 @@ def run_argument_prediction(
                     pe, context, call, limit=cfg.limit, abstypes=oracle
                 )
                 elapsed = time.perf_counter() - started
+                _log_query(run_log, pe, "arguments", project.name, rank,
+                           elapsed)
                 results.append(
                     ArgumentResult(
                         project=project.name,
@@ -322,6 +352,7 @@ def run_assignment_prediction(
     projects: Iterable[Project],
     cfg: Optional[EvalConfig] = None,
     runs: "Optional[dict[str, _ProjectRun]]" = None,
+    run_log: Optional[RunLog] = None,
 ) -> List[LookupResult]:
     cfg = cfg or EvalConfig()
     results: List[LookupResult] = []
@@ -342,6 +373,8 @@ def run_assignment_prediction(
                     pe, context, assign, limit=cfg.limit, abstypes=oracle
                 )
                 elapsed = time.perf_counter() - started
+                _log_query(run_log, pe, "assignments", project.name, rank,
+                           elapsed)
                 results.append(
                     LookupResult(
                         project=project.name,
@@ -357,6 +390,7 @@ def run_comparison_prediction(
     projects: Iterable[Project],
     cfg: Optional[EvalConfig] = None,
     runs: "Optional[dict[str, _ProjectRun]]" = None,
+    run_log: Optional[RunLog] = None,
 ) -> List[LookupResult]:
     cfg = cfg or EvalConfig()
     results: List[LookupResult] = []
@@ -377,6 +411,8 @@ def run_comparison_prediction(
                     pe, context, compare, limit=cfg.limit, abstypes=oracle
                 )
                 elapsed = time.perf_counter() - started
+                _log_query(run_log, pe, "comparisons", project.name, rank,
+                           elapsed)
                 results.append(
                     LookupResult(
                         project=project.name,

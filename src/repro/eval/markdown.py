@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Iterable, List, Mapping, Optional
 
 from ..corpus.program import Project
+from ..obs.runlog import RunLog
 from .experiments import (
     EvalConfig,
     project_runs,
@@ -80,8 +81,13 @@ def generate_report(
     projects: Iterable[Project],
     cfg: Optional[EvalConfig] = None,
     title: str = "Evaluation report",
+    run_log: Optional[RunLog] = None,
 ) -> str:
-    """Run every experiment family and render a markdown report."""
+    """Run every experiment family and render a markdown report.
+
+    With ``run_log`` attached, every timed query is also recorded as a
+    structured run-log record (docs/OBSERVABILITY.md).
+    """
     projects = list(projects)
     cfg = cfg or EvalConfig()
     runs = project_runs(projects, cfg)
@@ -101,7 +107,7 @@ def generate_report(
     )
     out.append("")
 
-    methods = run_method_prediction(projects, cfg, runs)
+    methods = run_method_prediction(projects, cfg, runs, run_log)
     out += ["## Table 1 — method prediction per project", ""]
     rows = [
         [r.project, str(r.calls), str(r.top10), str(r.top10_20)]
@@ -145,7 +151,7 @@ def generate_report(
              for band, share in figure11_histogram(methods).items()],
         )
 
-    arguments = run_argument_prediction(projects, cfg, runs)
+    arguments = run_argument_prediction(projects, cfg, runs, run_log)
     out += ["", "## Figure 13 — argument prediction", ""]
     out += _cdf_table(figure13(arguments))
     out += ["", "## Figure 14 — argument kinds", ""]
@@ -154,11 +160,11 @@ def generate_report(
         [[kind, _pct(share)] for kind, share in figure14(arguments).items()],
     )
 
-    assignments = run_assignment_prediction(projects, cfg, runs)
+    assignments = run_assignment_prediction(projects, cfg, runs, run_log)
     out += ["", "## Figure 15 — assignments", ""]
     out += _cdf_table(figure15(assignments))
 
-    comparisons = run_comparison_prediction(projects, cfg, runs)
+    comparisons = run_comparison_prediction(projects, cfg, runs, run_log)
     out += ["", "## Figure 16 — comparisons", ""]
     out += _cdf_table(figure16(comparisons))
 

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
 from ..corpus.program import Project
+from ..obs.runlog import RunLog
 from .experiments import (
     ArgumentResult,
     EvalConfig,
@@ -57,20 +59,35 @@ class ResultBundle:
         }
 
 
+def _phase(run_log: Optional[RunLog], name: str):
+    return run_log.phase(name) if run_log is not None else nullcontext()
+
+
 def run_all(
-    projects: Iterable[Project], cfg: Optional[EvalConfig] = None
+    projects: Iterable[Project],
+    cfg: Optional[EvalConfig] = None,
+    run_log: Optional[RunLog] = None,
 ) -> ResultBundle:
     """Run every experiment family over the projects.
 
     The four families share one warm engine per project (indexes and the
-    cross-query cache are built once, not once per family).
+    cross-query cache are built once, not once per family).  With a
+    ``run_log`` attached, each family is recorded as a phase and every
+    timed query as a structured record (docs/OBSERVABILITY.md).
     """
     projects = list(projects)
     cfg = cfg or EvalConfig()
     runs = project_runs(projects, cfg)
-    return ResultBundle(
-        methods=run_method_prediction(projects, cfg, runs),
-        arguments=run_argument_prediction(projects, cfg, runs),
-        assignments=run_assignment_prediction(projects, cfg, runs),
-        comparisons=run_comparison_prediction(projects, cfg, runs),
-    )
+    bundle = ResultBundle()
+    with _phase(run_log, "eval/methods"):
+        bundle.methods = run_method_prediction(projects, cfg, runs, run_log)
+    with _phase(run_log, "eval/arguments"):
+        bundle.arguments = run_argument_prediction(
+            projects, cfg, runs, run_log)
+    with _phase(run_log, "eval/assignments"):
+        bundle.assignments = run_assignment_prediction(
+            projects, cfg, runs, run_log)
+    with _phase(run_log, "eval/comparisons"):
+        bundle.comparisons = run_comparison_prediction(
+            projects, cfg, runs, run_log)
+    return bundle

@@ -1,0 +1,132 @@
+"""The ``repro report`` document: manifest + figures + phase profile.
+
+``generate_run_report`` wraps :func:`repro.eval.markdown.generate_report`
+with the run-level observability sections (docs/OBSERVABILITY.md):
+
+* a **run manifest** table — label, run id, git SHA, config signature,
+  universe versions, seed — so a report is attributable to the exact
+  code and configuration that produced it;
+* the full evaluation report (tables and figures);
+* a **phase timing** table from the run log's phase records and a
+  per-family query rollup, so the report says where the wall-clock
+  went, not just what the accuracy was.
+
+The CLI writes this as ``EVAL_REPORT.md`` (the successor of the old
+free-form ``full_eval_output.txt`` capture) and can keep the NDJSON run
+log alongside it for ``repro diff`` / ``repro profile``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..corpus.program import Project
+from ..obs.profile import profile_run_log
+from ..obs.runlog import RunLog
+from .experiments import EvalConfig
+from .markdown import generate_report
+
+
+def _md_table(headers: List[str], rows: Iterable[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _manifest_section(manifest: Dict[str, Any]) -> List[str]:
+    universes = manifest.get("universes") or {}
+    rows = [
+        ["label", str(manifest.get("label"))],
+        ["run id", str(manifest.get("run_id"))],
+        ["git SHA", str(manifest.get("git_sha"))],
+        ["config signature", str(manifest.get("config_signature"))],
+        ["universes", ", ".join(
+            "{} v{}".format(name, universes[name])
+            for name in sorted(universes)) or "-"],
+        ["seed", str(manifest.get("seed"))],
+    ]
+    return ["## Run manifest", ""] + _md_table(["key", "value"], rows) + [""]
+
+
+def _phase_section(records: List[Dict[str, Any]]) -> List[str]:
+    out: List[str] = []
+    phases = [r for r in records if r.get("kind") == "phase"]
+    if phases:
+        out += ["## Phase timings", ""]
+        out += _md_table(
+            ["phase", "duration"],
+            [[p["name"], "{:.1f} ms".format(p["duration_ms"])]
+             for p in phases],
+        )
+        out.append("")
+
+    queries = [r for r in records if r.get("kind") == "query"]
+    if queries:
+        families: Dict[str, Dict[str, float]] = {}
+        for record in queries:
+            family = record.get("family") or "(other)"
+            bucket = families.setdefault(
+                family, {"count": 0, "elapsed_ms": 0.0, "found": 0})
+            bucket["count"] += 1
+            bucket["elapsed_ms"] += record.get("elapsed_ms") or 0.0
+            if record.get("status") == "ok":
+                bucket["found"] += 1
+        out += ["## Query rollup", ""]
+        out += _md_table(
+            ["family", "queries", "ok", "total time"],
+            [[name, str(int(bucket["count"])), str(int(bucket["found"])),
+              "{:.1f} ms".format(bucket["elapsed_ms"])]
+             for name, bucket in sorted(families.items())],
+        )
+        out.append("")
+
+    profile = profile_run_log(records)
+    phase_totals = profile.phase_totals()
+    if phase_totals:
+        out += ["## Span phase profile (traced queries)", ""]
+        out += _md_table(
+            ["phase", "inclusive"],
+            [[name, "{:.2f} ms".format(value)]
+             for name, value in sorted(
+                 phase_totals.items(), key=lambda kv: -kv[1])],
+        )
+        out.append("")
+    return out
+
+
+def render_run_sections(run_log: RunLog) -> List[str]:
+    """The manifest + phase markdown sections for one run log."""
+    records = run_log.records()
+    return _manifest_section(records[0]) + _phase_section(records)
+
+
+def generate_run_report(
+    projects: Iterable[Project],
+    cfg: Optional[EvalConfig] = None,
+    title: str = "Run report",
+    run_log: Optional[RunLog] = None,
+) -> str:
+    """Run the full evaluation and render manifest + figures + phases.
+
+    ``run_log`` should be the log the corpus build already wrote to (so
+    its corpus phases show up); the evaluation families are appended to
+    it here.  Without one, a fresh unlabelled log is created just for
+    the phase sections.
+    """
+    projects = list(projects)
+    if run_log is None:
+        run_log = RunLog("report")
+    if not run_log.records()[0]["universes"]:
+        run_log.annotate(universes={
+            project.name: project.ts.version for project in projects
+        })
+    body = generate_report(
+        projects, cfg, title="Evaluation", run_log=run_log
+    )
+    out: List[str] = ["# {}".format(title), ""]
+    out += _manifest_section(run_log.records()[0])
+    out.append(body)
+    out += _phase_section(run_log.records())
+    return "\n".join(out)

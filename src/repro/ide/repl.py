@@ -20,6 +20,10 @@ Commands (everything else is treated as a partial expression)::
                            (docs/OBSERVABILITY.md)
     :stats                 engine metrics: query/cache/truncation
                            counters and step/latency histograms
+    :profile [flame]       aggregate self-time profile over every traced
+                           query this session (:trace on first); with
+                           'flame', print collapsed-stack lines instead
+                           (docs/OBSERVABILITY.md)
     :lint [pe]             diagnostics: without arguments, lint the
                            universe (RA0xx codes, docs/ANALYSIS.md);
                            with a partial expression, pre-flight it
@@ -156,6 +160,8 @@ def _command(state: "_ReplState", line: str, write) -> bool:
             _trace(session, args[0] if args else None, write)
         elif command == ":stats":
             _stats(session, write)
+        elif command == ":profile" and len(args) <= 1:
+            _profile(session, args[0] if args else None, write)
         elif command == ":accept" and len(args) == 1:
             refined = session.accept(int(args[0]))
             if refined is None:
@@ -332,6 +338,27 @@ def _trace(session: CompletionSession, action, write) -> None:
             "  " * depth(span), span["name"],
             "{:.2f} ms".format(duration) if duration is not None else "open",
             "  [{}]".format(counters) if counters else ""))
+
+
+def _profile(session: CompletionSession, action, write) -> None:
+    if action not in (None, "flame"):
+        write("usage: :profile [flame]")
+        return
+    from ..obs.profile import Profile
+
+    profile = Profile()
+    for record in session.history:
+        if record.trace is not None:
+            profile.add_trace(record.trace)
+    if profile.traces == 0:
+        write("no traced queries; :trace on, then run queries")
+        return
+    if action == "flame":
+        for line in profile.to_collapsed():
+            write(line)
+        return
+    for line in profile.render():
+        write(line)
 
 
 def _stats(session: CompletionSession, write) -> None:

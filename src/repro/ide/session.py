@@ -169,6 +169,14 @@ class CompletionSession:
             token=self.cancellation,
         )
 
+    def _log_parse_failure(self, record: QueryRecord) -> None:
+        """Parse failures never reach the engine, so its run log would
+        miss them — record them here with status ``parse_error``."""
+        run_log = self.workspace.run_log
+        if run_log is not None:
+            run_log.query_event(record.source, status="parse_error",
+                                error=record.error, spans=record.trace)
+
     def _fill_record(self, record: QueryRecord, outcome) -> None:
         record.suggestions = [
             Suggestion(rank, completion.score, to_source(completion.expr),
@@ -206,6 +214,7 @@ class CompletionSession:
             if tracer is not None:
                 tracer.finish()
                 record.trace = tracer.to_dicts()
+            self._log_parse_failure(record)
             self.history.append(record)
             return record
         outcome = self.workspace.engine.complete_query(
@@ -276,6 +285,7 @@ class CompletionSession:
                 pe = parse(record.source, context)
             except ParseError as error:
                 record.error = str(error)
+                self._log_parse_failure(record)
                 continue
             requests.append(CompletionRequest(
                 pe=pe,

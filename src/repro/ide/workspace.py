@@ -181,6 +181,37 @@ class Workspace:
         return self.engine.metrics.to_dict()
 
     # ------------------------------------------------------------------
+    # structured run logging
+    # ------------------------------------------------------------------
+    @property
+    def run_log(self):
+        """The engine's attached :class:`~repro.obs.runlog.RunLog`, or
+        ``None``.  While attached, every query this workspace answers
+        appends a structured NDJSON record (docs/OBSERVABILITY.md)."""
+        return self.engine.run_log
+
+    @run_log.setter
+    def run_log(self, log) -> None:
+        self.engine.run_log = log
+
+    def start_run_log(self, label: Optional[str] = None,
+                      seed: Optional[int] = None):
+        """Attach a fresh run log whose manifest records this
+        workspace's provenance — engine config signature, universe
+        version, git SHA — and return it.  Detach with
+        ``workspace.run_log = None``."""
+        from ..obs.runlog import RunLog, signature_hex
+
+        log = RunLog(
+            label or self.name,
+            config_signature=signature_hex(self.engine._config_signature()),
+            universes={self.name: self.ts.version},
+            seed=seed,
+        )
+        self.engine.run_log = log
+        return log
+
+    # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
     def lint(self, sanitize: bool = False) -> List[Diagnostic]:

@@ -12,14 +12,43 @@ Three independent pieces (see ``docs/OBSERVABILITY.md``):
 * :mod:`repro.obs.metrics` — the engine-wide :class:`Metrics`
   registry: counters and histograms (steps per query, latency, depth
   distribution, truncation/preflight/cache rates), JSON-exportable.
+* :mod:`repro.obs.runlog` — the structured NDJSON run/event log
+  (:class:`RunLog`): a manifest plus per-phase and per-query records
+  for a whole run (eval battery, corpus build, bench, batch).
+* :mod:`repro.obs.profile` — :class:`Profile`, the deterministic
+  self-time profiler aggregating span trees across a run, with
+  collapsed-stack flamegraph export.
+* :mod:`repro.obs.diff` — :func:`diff_runs`, phase-level latency
+  attribution between two run logs or bench documents.
 
 This package sits *below* the engine (the engine imports it), so it
 must not import :mod:`repro.engine` at module level.
 """
 
 from .attribution import ScoreBreakdown
+from .diff import (
+    PhaseDelta,
+    RunDiff,
+    diff_runs,
+    load_run_artifact,
+    render_markdown,
+)
 from .metrics import DEFAULT_BOUNDS, Histogram, Metrics
-from .schema import load_schema, validate_record, validate_trace_text
+from .profile import Profile, profile_run_log, profile_traces
+from .runlog import (
+    RUNLOG_FORMAT,
+    RUNLOG_VERSION,
+    RunLog,
+    read_run_log,
+    signature_hex,
+)
+from .schema import (
+    load_runlog_schema,
+    load_schema,
+    validate_record,
+    validate_runlog_text,
+    validate_trace_text,
+)
 from .trace import (
     NULL_TRACER,
     NullTracer,
@@ -37,14 +66,29 @@ __all__ = [
     "Metrics",
     "NULL_TRACER",
     "NullTracer",
+    "PhaseDelta",
+    "Profile",
+    "RUNLOG_FORMAT",
+    "RUNLOG_VERSION",
+    "RunDiff",
+    "RunLog",
     "ScoreBreakdown",
     "Span",
     "TRACE_FORMAT",
     "TRACE_VERSION",
     "Tracer",
+    "diff_runs",
+    "load_run_artifact",
+    "load_runlog_schema",
     "load_schema",
     "ndjson_to_dicts",
+    "profile_run_log",
+    "profile_traces",
+    "read_run_log",
+    "render_markdown",
+    "signature_hex",
     "trace_to_ndjson",
     "validate_record",
+    "validate_runlog_text",
     "validate_trace_text",
 ]

@@ -1,0 +1,281 @@
+"""Trace/bench diffing: attribute a latency regression to a phase.
+
+``diff_runs(old, new)`` takes two run artifacts — structured run logs
+(:mod:`repro.obs.runlog` records) or ``BENCH_*.json`` documents — and
+produces a :class:`RunDiff`: per-phase latency deltas over the span
+taxonomy (``parse`` / ``preflight`` / ``cache`` / ``root_pool`` /
+``expand:<kind>`` / ``dedup`` / ``collect``), sorted worst-first, with
+the top regressed phase called out.  ``render_markdown`` turns that
+into the regression-attribution report the CI perf gate uploads, so a
+red gate says *which phase* regressed, not just that something did.
+
+Inputs are duck-typed by shape, not imported types, keeping this module
+below both the engine and the eval layer:
+
+* a dict with ``format == "repro-bench"`` — phase totals are the sum of
+  each workload's ``phases`` map (workloads without one are noted; the
+  seed baseline predates phase profiles);
+* a list of run-log records (leading ``kind == "run"`` manifest) —
+  phase totals come from a :class:`~repro.obs.profile.Profile` over the
+  embedded span trees, query counts/latency from the query records;
+* a path or NDJSON/JSON text via :func:`load_run_artifact`, which
+  sniffs the two formats.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .profile import profile_run_log
+
+
+@dataclass
+class PhaseDelta:
+    """One phase's latency movement between two runs."""
+
+    name: str
+    old_ms: float
+    new_ms: float
+
+    @property
+    def delta_ms(self) -> float:
+        return self.new_ms - self.old_ms
+
+    @property
+    def ratio(self) -> float:
+        """Relative growth (0.0 when there is no baseline time)."""
+        if self.old_ms <= 0:
+            return 0.0
+        return self.new_ms / self.old_ms - 1.0
+
+
+@dataclass
+class RunDiff:
+    """The phase-attributed difference between two run artifacts."""
+
+    old_label: str
+    new_label: str
+    phases: List[PhaseDelta]
+    old_total_ms: float
+    new_total_ms: float
+    old_queries: int
+    new_queries: int
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def top_regression(self) -> Optional[PhaseDelta]:
+        """The phase with the largest positive latency delta, or None
+        when no phase got slower."""
+        worst = max(self.phases, key=lambda p: p.delta_ms, default=None)
+        if worst is None or worst.delta_ms <= 0:
+            return None
+        return worst
+
+    def summary(self) -> str:
+        top = self.top_regression
+        if top is None:
+            return "no phase regressed"
+        return "top regressed phase: {} ({:+.2f} ms)".format(
+            top.name, top.delta_ms)
+
+
+# ----------------------------------------------------------------------
+# normalisation
+# ----------------------------------------------------------------------
+
+RunArtifact = Union[Dict[str, Any], List[Dict[str, Any]]]
+
+
+def _is_bench(artifact: Any) -> bool:
+    return isinstance(artifact, dict) and artifact.get("format") == "repro-bench"
+
+
+def _is_run_log(artifact: Any) -> bool:
+    return (isinstance(artifact, list) and bool(artifact)
+            and isinstance(artifact[0], dict)
+            and artifact[0].get("kind") == "run")
+
+
+def _bench_summary(
+    document: Dict[str, Any],
+) -> Tuple[str, Dict[str, float], float, int, List[str]]:
+    label = str(document.get("label", "bench"))
+    totals: Dict[str, float] = {}
+    total_ms = 0.0
+    queries = 0
+    unprofiled: List[str] = []
+    for workload in document.get("workloads", []):
+        total_ms += float(workload.get("p95_ms", 0.0))
+        queries += int(workload.get("queries", 0))
+        phases = workload.get("phases")
+        if not phases:
+            unprofiled.append(str(workload.get("name")))
+            continue
+        for name, value in phases.items():
+            totals[name] = totals.get(name, 0.0) + float(value)
+    notes = []
+    if unprofiled:
+        notes.append("bench {!r}: no phase profile for {}".format(
+            label, ", ".join(unprofiled)))
+    return label, totals, total_ms, queries, notes
+
+
+def _runlog_summary(
+    records: List[Dict[str, Any]],
+) -> Tuple[str, Dict[str, float], float, int, List[str]]:
+    manifest = records[0]
+    label = str(manifest.get("label", "run"))
+    totals = profile_run_log(records).phase_totals()
+    queries = [r for r in records if r.get("kind") == "query"]
+    total_ms = sum(float(r.get("elapsed_ms", 0.0)) for r in queries)
+    notes = []
+    if not totals and queries:
+        notes.append("run {!r}: queries carry no span trees "
+                     "(run was not traced)".format(label))
+    return label, totals, total_ms, len(queries), notes
+
+
+def _summarise(
+    artifact: RunArtifact,
+) -> Tuple[str, Dict[str, float], float, int, List[str]]:
+    if _is_bench(artifact):
+        return _bench_summary(artifact)
+    if _is_run_log(artifact):
+        return _runlog_summary(artifact)
+    raise ValueError(
+        "not a run artifact: expected a repro-bench document or a "
+        "repro-runlog record list")
+
+
+def diff_runs(old: RunArtifact, new: RunArtifact) -> RunDiff:
+    """Phase-attributed latency diff of two run artifacts (each a bench
+    document or a run-log record list — mixing the two is allowed; the
+    phase taxonomy is shared)."""
+    old_label, old_phases, old_total, old_queries, old_notes = _summarise(old)
+    new_label, new_phases, new_total, new_queries, new_notes = _summarise(new)
+    deltas = [
+        PhaseDelta(name, round(old_phases.get(name, 0.0), 4),
+                   round(new_phases.get(name, 0.0), 4))
+        for name in sorted(set(old_phases) | set(new_phases))
+    ]
+    deltas.sort(key=lambda p: (-p.delta_ms, p.name))
+    return RunDiff(
+        old_label=old_label,
+        new_label=new_label,
+        phases=deltas,
+        old_total_ms=round(old_total, 4),
+        new_total_ms=round(new_total, 4),
+        old_queries=old_queries,
+        new_queries=new_queries,
+        notes=old_notes + new_notes,
+    )
+
+
+def top_phase_delta(
+    old_phases: Optional[Dict[str, float]],
+    new_phases: Optional[Dict[str, float]],
+) -> Optional[PhaseDelta]:
+    """The worst phase between two raw phase maps (either may be
+    missing), the per-workload attribution ``compare_bench`` prints
+    under a regressed line.  None when attribution is impossible or no
+    phase got slower."""
+    if not old_phases or not new_phases:
+        return None
+    diff = diff_runs(
+        {"format": "repro-bench", "label": "old",
+         "workloads": [{"name": "w", "phases": old_phases}]},
+        {"format": "repro-bench", "label": "new",
+         "workloads": [{"name": "w", "phases": new_phases}]},
+    )
+    return diff.top_regression
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+
+def parse_run_artifact(text: str) -> RunArtifact:
+    """Parse artifact text: a JSON bench document or NDJSON run log."""
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError("empty run artifact")
+    try:
+        document = json.loads(stripped)
+    except json.JSONDecodeError:
+        document = None
+    if _is_bench(document):
+        return document
+    from .runlog import read_run_log
+
+    return read_run_log(text)
+
+
+def load_run_artifact(path: str) -> RunArtifact:
+    """Load a run artifact file, sniffing bench JSON vs. run-log NDJSON."""
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        return parse_run_artifact(text)
+    except ValueError as error:
+        raise ValueError("{}: {}".format(path, error))
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+def render_text(diff: RunDiff) -> List[str]:
+    """Terminal-friendly summary lines (the ``repro diff`` output)."""
+    lines = ["diff {!r} -> {!r}".format(diff.old_label, diff.new_label)]
+    lines.append("  queries: {} -> {}; total {:.2f} ms -> {:.2f} ms".format(
+        diff.old_queries, diff.new_queries,
+        diff.old_total_ms, diff.new_total_ms))
+    if diff.phases:
+        lines.append("  {:<28s}{:>12s}{:>12s}{:>12s}".format(
+            "phase", "old ms", "new ms", "delta ms"))
+        for phase in diff.phases:
+            lines.append("  {:<28s}{:>12.2f}{:>12.2f}{:>+12.2f}".format(
+                phase.name[:28], phase.old_ms, phase.new_ms, phase.delta_ms))
+    lines.append("  " + diff.summary())
+    for note in diff.notes:
+        lines.append("  note: {}".format(note))
+    return lines
+
+
+def render_markdown(diff: RunDiff) -> str:
+    """The regression-attribution report CI uploads as an artifact."""
+    out = ["# Regression attribution: {!r} vs {!r}".format(
+        diff.old_label, diff.new_label), ""]
+    out.append("| | old | new |")
+    out.append("|---|---|---|")
+    out.append("| queries | {} | {} |".format(
+        diff.old_queries, diff.new_queries))
+    out.append("| total latency | {:.2f} ms | {:.2f} ms |".format(
+        diff.old_total_ms, diff.new_total_ms))
+    out.append("")
+    top = diff.top_regression
+    if top is not None:
+        out.append("**{}** — {:.2f} ms → {:.2f} ms ({:+.2f} ms)".format(
+            diff.summary(), top.old_ms, top.new_ms, top.delta_ms))
+    else:
+        out.append("No phase regressed.")
+    out.append("")
+    if diff.phases:
+        out += ["## Phase deltas (worst first)", ""]
+        out.append("| phase | old ms | new ms | delta ms | growth |")
+        out.append("|---|---|---|---|---|")
+        for phase in diff.phases:
+            growth = ("n/a" if phase.old_ms <= 0
+                      else "{:+.1f}%".format(100.0 * phase.ratio))
+            out.append(
+                "| `{}` | {:.2f} | {:.2f} | {:+.2f} | {} |".format(
+                    phase.name, phase.old_ms, phase.new_ms,
+                    phase.delta_ms, growth))
+        out.append("")
+    if diff.notes:
+        out += ["## Notes", ""]
+        out += ["- {}".format(note) for note in diff.notes]
+        out.append("")
+    return "\n".join(out)

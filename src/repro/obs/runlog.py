@@ -1,0 +1,250 @@
+"""Structured NDJSON run logs: the whole-run counterpart of a trace.
+
+A :class:`RunLog` records one *run* — an eval battery, a corpus build,
+a bench invocation, a ``complete_many`` batch — as newline-delimited
+JSON: a manifest record first (what produced the run: label, git SHA,
+engine config signature, universe versions, seed), then one record per
+event as the run proceeds:
+
+* ``{"kind": "run", ...}`` — the manifest (always the first record);
+* ``{"kind": "phase", ...}`` — a named, timed stretch of the run
+  (one experiment family, one bench workload, one corpus project);
+* ``{"kind": "query", ...}`` — one completed query: source, status,
+  latency, steps, cache hit, and (when the query was traced) its full
+  span tree embedded under ``spans``;
+* ``{"kind": "event", ...}`` — anything else worth recording (batch
+  boundaries, skipped corpus programs, ...), free-form ``data``.
+
+Every record is appended under one lock and serialised as exactly one
+NDJSON line, so logs written from a thread-pool-sharded
+``complete_many`` never interleave.  The schema is checked in at
+``runlog_schema.json`` next to this module and enforced by the same
+dependency-free validator as traces (:mod:`repro.obs.schema`);
+``repro stats --validate-runlog FILE`` is the CLI spelling.
+
+Timing is a monotonic clock relative to the log's construction, the
+same convention as :class:`~repro.obs.trace.Tracer` epochs.
+
+This module sits below the engine: it never imports :mod:`repro.engine`
+and reads outcome objects duck-typed (``status.value``, ``elapsed_ms``,
+``steps``, ``cached``, ``completions``, ``degraded``, ``trace``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import subprocess
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: format / version stamped on run-log manifests
+RUNLOG_FORMAT = "repro-runlog"
+RUNLOG_VERSION = 1
+
+_run_counter = itertools.count(1)
+
+_git_sha_cache: Optional[str] = None
+
+
+def git_sha() -> str:
+    """The repository HEAD SHA, best-effort (cached; ``"unknown"`` when
+    git or the repository is unavailable — run logs must never fail a
+    run over provenance)."""
+    global _git_sha_cache
+    if _git_sha_cache is None:
+        try:
+            _git_sha_cache = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True, text=True, timeout=5, check=True,
+            ).stdout.strip() or "unknown"
+        except Exception:
+            _git_sha_cache = "unknown"
+    return _git_sha_cache
+
+
+def signature_hex(value: Any) -> str:
+    """A short stable hex digest of any reprable value — how engine
+    config signatures (hashable tuples) land in a manifest without the
+    manifest depending on their shape."""
+    return hashlib.sha1(repr(value).encode()).hexdigest()[:16]
+
+
+class RunLog:
+    """A thread-safe, append-only structured log of one run."""
+
+    def __init__(
+        self,
+        label: str = "run",
+        config_signature: Optional[str] = None,
+        universes: Optional[Dict[str, int]] = None,
+        seed: Optional[int] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        sha: Optional[str] = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._epoch = clock()
+        self.label = label
+        self.run_id = "{}-{}-{}".format(label, os.getpid(),
+                                        next(_run_counter))
+        self._records: List[Dict[str, Any]] = [{
+            "kind": "run",
+            "format": RUNLOG_FORMAT,
+            "version": RUNLOG_VERSION,
+            "label": label,
+            "run_id": self.run_id,
+            "git_sha": sha if sha is not None else git_sha(),
+            "config_signature": config_signature,
+            "universes": dict(universes or {}),
+            "seed": seed,
+        }]
+
+    def annotate(
+        self,
+        config_signature: Optional[str] = None,
+        universes: Optional[Dict[str, int]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Fill manifest fields discovered only after construction (a
+        corpus's universe versions exist once it is built, but the log
+        must exist first to record the build's phases)."""
+        with self._lock:
+            manifest = self._records[0]
+            if config_signature is not None:
+                manifest["config_signature"] = config_signature
+            if universes is not None:
+                manifest["universes"] = dict(universes)
+            if seed is not None:
+                manifest["seed"] = seed
+
+    def _now_ms(self) -> float:
+        return (self._clock() - self._epoch) * 1000.0
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def event(self, name: str, **data: Any) -> None:
+        """A free-form event record (``data`` must be JSON-ready)."""
+        self._append({
+            "kind": "event",
+            "name": name,
+            "t_ms": round(self._now_ms(), 4),
+            "data": data,
+        })
+
+    @contextmanager
+    def phase(self, name: str, **data: Any) -> Iterator[None]:
+        """Record a named, timed stretch of the run (emitted at exit,
+        even when the body raises)."""
+        start = self._now_ms()
+        try:
+            yield
+        finally:
+            end = self._now_ms()
+            record: Dict[str, Any] = {
+                "kind": "phase",
+                "name": name,
+                "start_ms": round(start, 4),
+                "end_ms": round(end, 4),
+                "duration_ms": round(end - start, 4),
+            }
+            if data:
+                record["data"] = data
+            self._append(record)
+
+    def query_event(
+        self,
+        source: str,
+        outcome: Optional[Any] = None,
+        *,
+        universe: Optional[str] = None,
+        family: Optional[str] = None,
+        project: Optional[str] = None,
+        rank: Optional[int] = None,
+        error: Optional[str] = None,
+        status: Optional[str] = None,
+        elapsed_ms: float = 0.0,
+        steps: int = 0,
+        cached: bool = False,
+        completions: int = 0,
+        degraded: Optional[Any] = None,
+        spans: Optional[List[dict]] = None,
+    ) -> None:
+        """One completed query, either from a ``QueryOutcome``-shaped
+        object (duck-typed) or from the explicit keyword fields."""
+        if outcome is not None:
+            status = outcome.status.value
+            elapsed_ms = outcome.elapsed_ms
+            steps = outcome.steps
+            cached = outcome.cached
+            completions = len(outcome.completions)
+            degraded = outcome.degraded
+            if spans is None:
+                spans = outcome.trace
+        record: Dict[str, Any] = {
+            "kind": "query",
+            "source": source,
+            "t_ms": round(self._now_ms(), 4),
+            "status": status if status is not None else "ok",
+            "elapsed_ms": round(float(elapsed_ms), 4),
+            "steps": int(steps),
+            "cached": bool(cached),
+            "completions": int(completions),
+        }
+        if degraded:
+            record["degraded"] = sorted(degraded)
+        if universe is not None:
+            record["universe"] = universe
+        if family is not None:
+            record["family"] = family
+        if project is not None:
+            record["project"] = project
+        if rank is not None:
+            record["rank"] = rank
+        if error is not None:
+            record["error"] = error
+        if spans is not None:
+            record["spans"] = spans
+        self._append(record)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """A snapshot of the records appended so far (manifest first)."""
+        with self._lock:
+            return list(self._records)
+
+    def to_ndjson(self) -> str:
+        """The whole log as NDJSON, one record per line."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True) for record in self.records()
+        ) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_ndjson())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def read_run_log(text: str) -> List[Dict[str, Any]]:
+    """Parse run-log NDJSON back into record dicts; raises ``ValueError``
+    on malformed lines or a document whose first record is no manifest."""
+    from .trace import ndjson_to_dicts
+
+    records = ndjson_to_dicts(text)
+    if not records or records[0].get("kind") != "run":
+        raise ValueError("not a repro run log (no leading manifest record)")
+    return records

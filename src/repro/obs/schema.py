@@ -1,9 +1,12 @@
-"""NDJSON trace validation against the checked-in JSON schema.
+"""NDJSON validation against the checked-in JSON schemas.
 
 ``trace_schema.json`` (next to this module) describes one line of a
-trace file — the header or a span record.  CI runs
-``repro complete --trace`` on every builtin universe and validates the
-output here via ``repro stats --validate-trace``.
+trace file — the header or a span record; ``runlog_schema.json``
+describes one line of a structured run log (manifest / phase / query /
+event, :mod:`repro.obs.runlog`).  CI runs ``repro complete --trace``
+on every builtin universe and validates the output here via
+``repro stats --validate-trace``; run logs validate via
+``repro stats --validate-runlog``.
 
 The container ships no third-party ``jsonschema``, so
 :func:`validate_record` interprets the subset of JSON Schema the file
@@ -21,6 +24,7 @@ import pathlib
 from typing import Any, Dict, List
 
 SCHEMA_PATH = pathlib.Path(__file__).parent / "trace_schema.json"
+RUNLOG_SCHEMA_PATH = pathlib.Path(__file__).parent / "runlog_schema.json"
 
 _KNOWN_KEYWORDS = {
     "$schema", "title", "description",
@@ -40,9 +44,13 @@ _TYPES = {
 }
 
 
-def load_schema() -> Dict[str, Any]:
-    with open(SCHEMA_PATH) as handle:
+def load_schema(path: "pathlib.Path" = None) -> Dict[str, Any]:
+    with open(path or SCHEMA_PATH) as handle:
         return json.load(handle)
+
+
+def load_runlog_schema() -> Dict[str, Any]:
+    return load_schema(RUNLOG_SCHEMA_PATH)
 
 
 def _type_ok(value: Any, type_name: str) -> bool:
@@ -150,4 +158,30 @@ def validate_trace_text(text: str) -> List[str]:
             errors.append("line {}: {}".format(number, problem))
     if not any(record.get("kind") == "trace" for record in records):
         errors.append("no trace header record (kind == 'trace')")
+    return errors
+
+
+def validate_runlog_text(text: str) -> List[str]:
+    """Validate a whole NDJSON run-log document against
+    ``runlog_schema.json``.
+
+    Same contract as :func:`validate_trace_text`: one message per
+    invalid line, plus structural messages (no manifest, manifest not
+    first).  Empty list = valid.
+    """
+    from .trace import ndjson_to_dicts
+
+    schema = load_runlog_schema()
+    errors: List[str] = []
+    try:
+        records = ndjson_to_dicts(text)
+    except ValueError as error:
+        return [str(error)]
+    if not records:
+        return ["empty run-log document"]
+    for number, record in enumerate(records, start=1):
+        for problem in validate_record(record, schema):
+            errors.append("line {}: {}".format(number, problem))
+    if records[0].get("kind") != "run":
+        errors.append("first record is not the run manifest (kind == 'run')")
     return errors

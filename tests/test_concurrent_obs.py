@@ -1,0 +1,117 @@
+"""Observability under concurrency: no lost counts, no torn records.
+
+``complete_many`` with ``parallelism > 1`` shards queries over a thread
+pool while sharing one Metrics registry and one RunLog.  These tests
+pin the thread-safety contract: counter increments are never lost,
+every run-log record serialises as exactly one well-formed NDJSON
+line, and each traced query keeps a clean private span tree (unique
+ids, parents inside the same tree, exactly one ``query`` root).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.ide.session import CompletionSession
+from repro.ide.workspace import Workspace
+from repro.obs import Metrics, read_run_log, validate_runlog_text
+
+PARALLELISM = 4
+
+SOURCES = [
+    "now.?m",
+    "now.?f",
+    "span.?m",
+    "?({now, span})",
+    "now.?*m >= now.?*m",
+    "span := ?",
+] * 3  # repeats exercise the cross-query cache under contention
+
+
+def _run_batch(trace=True):
+    workspace = Workspace.builtin("bcl")
+    run_log = workspace.start_run_log(seed=11)
+    session = CompletionSession(workspace, n=10)
+    session.declare("now", "System.DateTime")
+    session.declare("span", "System.TimeSpan")
+    session.trace = trace
+    records = session.complete_many(SOURCES, parallelism=PARALLELISM)
+    return workspace, run_log, records
+
+
+class TestConcurrentCompleteMany:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        return _run_batch()
+
+    def test_no_lost_counter_increments(self, batch):
+        workspace, _, records = batch
+        counters = workspace.metrics()["counters"]
+        assert counters["queries"] == len(SOURCES)
+        assert counters["batches"] == 1
+        histograms = workspace.metrics()["histograms"]
+        assert histograms["steps_per_query"]["count"] == len(SOURCES)
+        assert histograms["elapsed_ms_per_query"]["count"] == len(SOURCES)
+        assert all(record.error is None for record in records)
+
+    def test_run_log_lines_are_atomic_ndjson(self, batch):
+        _, run_log, _ = batch
+        text = run_log.to_ndjson()
+        lines = text.strip().split("\n")
+        for line in lines:
+            json.loads(line)  # every line is exactly one JSON object
+        assert validate_runlog_text(text) == []
+        parsed = read_run_log(text)
+        queries = [r for r in parsed if r["kind"] == "query"]
+        assert len(queries) == len(SOURCES)
+
+    def test_span_trees_do_not_interleave(self, batch):
+        _, run_log, _ = batch
+        parsed = read_run_log(run_log.to_ndjson())
+        for record in parsed:
+            if record["kind"] != "query":
+                continue
+            spans = record.get("spans")
+            assert spans, "traced batch must embed span trees"
+            ids = [span["span"] for span in spans]
+            assert len(ids) == len(set(ids)), "span ids collide"
+            id_set = set(ids)
+            roots = [span for span in spans if span["parent"] is None]
+            assert [root["name"] for root in roots] == ["query"]
+            for span in spans:
+                if span["parent"] is not None:
+                    assert span["parent"] in id_set, \
+                        "parent from another query's tree leaked in"
+
+    def test_parallel_results_match_serial(self):
+        _, _, parallel_records = _run_batch(trace=False)
+        workspace = Workspace.builtin("bcl")
+        session = CompletionSession(workspace, n=10)
+        session.declare("now", "System.DateTime")
+        session.declare("span", "System.TimeSpan")
+        serial_records = session.complete_many(SOURCES)
+        for parallel, serial in zip(parallel_records, serial_records):
+            assert [s.text for s in parallel.suggestions] == \
+                [s.text for s in serial.suggestions]
+
+
+class TestMetricsThreadSafety:
+    def test_hammered_counters_and_histograms_lose_nothing(self):
+        metrics = Metrics()
+        threads, per_thread = 8, 500
+
+        def hammer():
+            for i in range(per_thread):
+                metrics.incr("queries")
+                metrics.observe("steps_per_query", float(i))
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert metrics.counter("queries") == threads * per_thread
+        histogram = metrics.histogram("steps_per_query")
+        assert histogram is not None
+        assert histogram.to_dict()["count"] == threads * per_thread

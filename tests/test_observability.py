@@ -330,6 +330,47 @@ class TestDeprecationShims:
             assert status.truncation == reason
             assert status.is_truncated
 
+    def test_shim_warns_once_per_call_site(self):
+        workspace = Workspace.builtin("bcl")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):
+                workspace.set_cache_enabled(True)   # one call site
+            workspace.set_cache_enabled(True)       # a different one
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 2
+
+    def test_warning_attributed_to_the_caller_file(self):
+        workspace = Workspace.builtin("bcl")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            workspace.set_cache_enabled(True)
+        assert caught[0].filename == __file__
+
+    def test_error_filter_keeps_failing_at_the_same_site(self):
+        # the memo records a site only after warn() returns: pinning
+        # shims with an error filter must fail on *every* use, not
+        # just the first
+        session = CompletionSession(Workspace.builtin("bcl"), n=3)
+        session.declare("now", "System.DateTime")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for _ in range(2):
+                with pytest.raises(DeprecationWarning):
+                    session.query("now.?m")
+
+    def test_reset_restores_warning(self):
+        from repro.deprecation import reset_deprecation_memo
+
+        workspace = Workspace.builtin("bcl")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(2):
+                reset_deprecation_memo()
+                workspace.set_cache_enabled(True)
+        assert len(caught) == 2
+
 
 # ---------------------------------------------------------------------------
 # CLI: --trace/--explain and the stats subcommand

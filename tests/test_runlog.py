@@ -1,0 +1,281 @@
+"""Structured run logs: emission, schema, and the round-trip guarantee.
+
+The acceptance property of the observability layer: run a battery with
+a run log attached, and the NDJSON document (a) validates against the
+checked-in schema and (b) reproduces — through ``repro profile`` /
+``repro diff`` arithmetic — the same totals as the in-memory Metrics
+registry and the live span trees (docs/OBSERVABILITY.md).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.eval.battery import battery_for
+from repro.ide.session import CompletionSession
+from repro.ide.workspace import Workspace
+from repro.obs import (
+    RunLog,
+    diff_runs,
+    profile_run_log,
+    profile_traces,
+    read_run_log,
+    signature_hex,
+    validate_runlog_text,
+)
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.001  # 1 ms per look
+        return self.now
+
+
+class _FakeStatus:
+    value = "ok"
+
+
+class _FakeOutcome:
+    status = _FakeStatus()
+    elapsed_ms = 12.5
+    steps = 42
+    cached = True
+    completions = [1, 2, 3]
+    degraded = {"b", "a"}
+    trace = None
+
+
+class TestRunLogEmission:
+    def test_manifest_is_first_and_complete(self):
+        log = RunLog("unit", config_signature=signature_hex(("x", 1)),
+                     universes={"paint": 3}, seed=7, sha="deadbeef")
+        manifest = log.records()[0]
+        assert manifest["kind"] == "run"
+        assert manifest["format"] == "repro-runlog"
+        assert manifest["version"] == 1
+        assert manifest["label"] == "unit"
+        assert manifest["run_id"].startswith("unit-")
+        assert manifest["git_sha"] == "deadbeef"
+        assert manifest["universes"] == {"paint": 3}
+        assert manifest["seed"] == 7
+        assert len(manifest["config_signature"]) == 16
+
+    def test_annotate_backfills_the_manifest(self):
+        log = RunLog("unit", sha="x")
+        assert log.records()[0]["universes"] == {}
+        log.annotate(universes={"paint": 3}, seed=11,
+                     config_signature=signature_hex("cfg"))
+        manifest = log.records()[0]
+        assert manifest["universes"] == {"paint": 3}
+        assert manifest["seed"] == 11
+        assert len(manifest["config_signature"]) == 16
+        # partial annotate leaves the other fields alone
+        log.annotate(seed=12)
+        assert log.records()[0]["universes"] == {"paint": 3}
+        assert log.records()[0]["seed"] == 12
+
+    def test_event_phase_and_query_records(self):
+        log = RunLog("unit", clock=_FakeClock(), sha="x")
+        log.event("corpus_skip", project="Tiny", stage="parse")
+        with log.phase("eval/methods", projects=2):
+            pass
+        log.query_event("now.?m", _FakeOutcome())
+        kinds = [record["kind"] for record in log.records()]
+        assert kinds == ["run", "event", "phase", "query"]
+        event, phase, query = log.records()[1:]
+        assert event["data"] == {"project": "Tiny", "stage": "parse"}
+        assert phase["name"] == "eval/methods"
+        assert phase["duration_ms"] == pytest.approx(
+            phase["end_ms"] - phase["start_ms"])
+        # outcome fields are duck-typed off the object
+        assert query["status"] == "ok"
+        assert query["elapsed_ms"] == 12.5
+        assert query["steps"] == 42
+        assert query["cached"] is True
+        assert query["completions"] == 3
+        assert query["degraded"] == ["a", "b"]
+        assert len(log) == 4
+
+    def test_phase_emits_even_when_the_body_raises(self):
+        log = RunLog("unit", sha="x")
+        with pytest.raises(RuntimeError):
+            with log.phase("corpus/Tiny"):
+                raise RuntimeError("boom")
+        assert log.records()[-1]["kind"] == "phase"
+
+    def test_ndjson_round_trip(self):
+        log = RunLog("unit", sha="x")
+        log.query_event("?", status="parse_error", error="bad token")
+        text = log.to_ndjson()
+        assert validate_runlog_text(text) == []
+        parsed = read_run_log(text)
+        assert parsed == log.records()
+
+    def test_read_rejects_text_without_manifest(self):
+        line = json.dumps({"kind": "event", "name": "x", "t_ms": 0.0,
+                           "data": {}})
+        with pytest.raises(ValueError, match="manifest"):
+            read_run_log(line + "\n")
+
+    def test_validator_flags_unknown_fields(self):
+        log = RunLog("unit", sha="x")
+        records = log.records()
+        records[0]["surprise"] = 1
+        text = json.dumps(records[0]) + "\n"
+        assert validate_runlog_text(text) != []
+
+
+class TestWorkspaceWiring:
+    def test_start_run_log_stamps_config_and_universe(self):
+        workspace = Workspace.builtin("bcl")
+        run_log = workspace.start_run_log(seed=3)
+        assert workspace.run_log is run_log
+        assert workspace.engine.run_log is run_log
+        manifest = run_log.records()[0]
+        assert manifest["label"] == workspace.name
+        assert manifest["universes"] == {workspace.name: workspace.ts.version}
+        assert len(manifest["config_signature"]) == 16
+        assert manifest["seed"] == 3
+
+    def test_session_logs_queries_batches_and_parse_failures(self):
+        workspace = Workspace.builtin("bcl")
+        run_log = workspace.start_run_log()
+        session = CompletionSession(workspace, n=5)
+        session.declare("now", "System.DateTime")
+        session.complete_many(["now.?m", "((", "now.?f"])
+        records = run_log.records()
+        queries = [r for r in records if r["kind"] == "query"]
+        assert len(queries) == 3
+        failures = [q for q in queries if q["status"] == "parse_error"]
+        assert len(failures) == 1
+        assert failures[0]["source"] == "(("
+        assert failures[0]["error"]
+        batches = [r for r in records
+                   if r["kind"] == "event" and r["name"] == "batch"]
+        assert len(batches) == 1
+        assert batches[0]["data"]["size"] == 2  # parse failures excluded
+        assert validate_runlog_text(run_log.to_ndjson()) == []
+
+
+class TestBatteryRoundTrip:
+    """Battery -> NDJSON -> profile/diff equals the in-memory registry."""
+
+    @pytest.fixture(scope="class")
+    def battery_run(self):
+        workspace = Workspace.builtin("bcl")
+        run_log = workspace.start_run_log(seed=1)
+        battery = battery_for("bcl")
+        session = battery.session(workspace, n=10)
+        session.trace = True
+        records = session.complete_many(battery.queries)
+        return workspace, run_log, records
+
+    def test_log_validates_against_the_schema(self, battery_run):
+        _, run_log, _ = battery_run
+        assert validate_runlog_text(run_log.to_ndjson()) == []
+
+    def test_query_records_match_the_metrics_registry(self, battery_run):
+        workspace, run_log, _ = battery_run
+        parsed = read_run_log(run_log.to_ndjson())
+        queries = [r for r in parsed if r["kind"] == "query"]
+        metrics = workspace.metrics()
+        assert len(queries) == metrics["counters"]["queries"]
+        assert sum(1 for q in queries if q["cached"]) == \
+            metrics["counters"].get("queries_cached", 0)
+        steps = metrics["histograms"]["steps_per_query"]
+        assert sum(q["steps"] for q in queries) == \
+            pytest.approx(steps["count"] * steps["mean"])
+
+    def test_profile_from_log_equals_profile_from_live_traces(
+            self, battery_run):
+        _, run_log, records = battery_run
+        parsed = read_run_log(run_log.to_ndjson())
+        from_log = profile_run_log(parsed)
+        in_memory = profile_traces(
+            [r.trace for r in records if r.trace is not None])
+        assert from_log.traces == in_memory.traces > 0
+        assert from_log.to_dict() == in_memory.to_dict()
+
+    def test_self_diff_shows_no_regression(self, battery_run):
+        _, run_log, _ = battery_run
+        parsed = read_run_log(run_log.to_ndjson())
+        diff = diff_runs(parsed, parsed)
+        assert diff.top_regression is None
+        assert diff.old_total_ms == diff.new_total_ms > 0
+
+
+class TestCliSurfaces:
+    def _run(self, argv):
+        out = io.StringIO()
+        code = cli_main(argv, write=lambda line="": out.write(str(line) + "\n"))
+        return code, out.getvalue()
+
+    @pytest.fixture()
+    def log_path(self, tmp_path):
+        workspace = Workspace.builtin("bcl")
+        run_log = workspace.start_run_log()
+        session = CompletionSession(workspace, n=5)
+        session.declare("now", "System.DateTime")
+        session.trace = True
+        session.complete_many(["now.?m", "now.?f"])
+        path = tmp_path / "runlog.ndjson"
+        run_log.write(str(path))
+        return str(path)
+
+    def test_stats_validate_runlog(self, log_path):
+        code, output = self._run(["stats", "--validate-runlog", log_path])
+        assert code == 0
+        assert "valid repro-runlog NDJSON" in output
+
+    def test_stats_validate_runlog_rejects_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.ndjson"
+        bad.write_text(json.dumps({"kind": "event", "name": "x"}) + "\n")
+        code, output = self._run(["stats", "--validate-runlog", str(bad)])
+        assert code == 1
+
+    def test_profile_from_log_and_flame_export(self, log_path, tmp_path):
+        flame = tmp_path / "flame.txt"
+        code, output = self._run([
+            "profile", "--from-log", log_path, "--flame", str(flame)])
+        assert code == 0
+        assert "query" in output
+        lines = flame.read_text().splitlines()
+        assert lines
+        for line in lines:
+            path, value = line.rsplit(" ", 1)
+            assert path
+            assert int(value) >= 0
+
+    def test_profile_battery_prints_table(self):
+        code, output = self._run(["profile", "--universe", "bcl", "-n", "5"])
+        assert code == 0
+        assert "battery" in output
+        assert "self ms" in output
+
+    def test_diff_command_on_run_logs(self, log_path):
+        code, output = self._run(["diff", log_path, log_path])
+        assert code == 0
+        assert "no phase regressed" in output
+
+    def test_diff_writes_markdown_report(self, log_path, tmp_path):
+        report = tmp_path / "regression.md"
+        code, _ = self._run([
+            "diff", log_path, log_path, "--markdown", str(report)])
+        assert code == 0
+        assert "# Regression attribution" in report.read_text()
+
+    def test_diff_rejects_bad_artifact(self, tmp_path):
+        bad = tmp_path / "junk.txt"
+        bad.write_text("junk")
+        code, output = self._run(["diff", str(bad), str(bad)])
+        assert code == 2
+        assert "error:" in output
+
+    def test_profile_rejects_unknown_universe(self):
+        code, output = self._run(["profile", "--universe", "nope"])
+        assert code == 2
