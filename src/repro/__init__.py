@@ -42,6 +42,15 @@ def _api():
 
 
 def __getattr__(name):
+    if name == "fuzz":
+        # ``repro.fuzz`` is the fuzzing-harness subpackage, and once
+        # anything imports it the import system pins it as an attribute
+        # here, shadowing this hook.  Resolve it to the subpackage
+        # unconditionally so the name means the same thing regardless
+        # of import order; the facade helper stays ``repro.api.fuzz``.
+        import importlib
+
+        return importlib.import_module(__name__ + ".fuzz")
     api = _api()
     if name == "__all__":
         return list(api.__all__) + ["__version__"]

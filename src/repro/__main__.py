@@ -11,6 +11,8 @@
     python -m repro stats --validate-runlog runlog.ndjson
     python -m repro eval [--full]
     python -m repro bench --quick --compare benchmarks/baseline/BENCH_seed.json
+    python -m repro fuzz --seed 7 --iterations 50 --chaos
+    python -m repro fuzz --replay FUZZ_REPRO_seed7_iter3.json
     python -m repro profile --universe paint --flame flame.txt
     python -m repro diff BENCH_old.json BENCH_new.json --markdown regression.md
     python -m repro report -o EVAL_REPORT.md --run-log runlog.ndjson
@@ -168,6 +170,51 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--run-log", default=None, metavar="PATH",
                        help="also write the structured NDJSON run log "
                             "of the bench run")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="seed recorded in the document and the "
+                            "run-log manifest (the bench workload is "
+                            "pinned; the seed stamps provenance for "
+                            "reproducibility tooling)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="rank-stability fuzzing with differential oracles",
+        description="Apply seeded semantic-preserving universe "
+                    "transformations and differentially check that the "
+                    "ranked completion sets are invariant — including "
+                    "under step-budget truncation (prefix consistency), "
+                    "injected faults (--chaos: degraded, never silently "
+                    "wrong) and in-place mutations against a warm cache. "
+                    "A failing iteration is shrunk to a minimal "
+                    "transform sequence + query and written as a "
+                    "replayable repro file.  Exit 0 when all iterations "
+                    "pass, 1 on a counterexample, 2 on usage errors.  "
+                    "See docs/FUZZING.md.",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="root seed; everything the run does is a "
+                           "deterministic function of it (default 0)")
+    fuzz.add_argument("--iterations", type=int, default=50,
+                      help="iterations to run (default 50)")
+    fuzz.add_argument("--chaos", action="store_true",
+                      help="also schedule fault-injection iterations "
+                           "across all query-path sites")
+    fuzz.add_argument("--transforms", default=None, metavar="FAM[,FAM...]",
+                      help="restrict to these transformation families "
+                           "(default: all; see docs/FUZZING.md)")
+    fuzz.add_argument("--replay", default=None, metavar="REPRO.json",
+                      help="re-run a saved counterexample instead of "
+                           "fuzzing; exit 1 if it still reproduces, 0 "
+                           "if it passes")
+    fuzz.add_argument("--universe", default=None,
+                      help="restrict to one builtin universe (default: "
+                           "rotate through all)")
+    fuzz.add_argument("--out", default=".", metavar="DIR",
+                      help="directory for minimized repro files "
+                           "(default: current directory)")
+    fuzz.add_argument("--run-log", default=None, metavar="PATH",
+                      help="write the structured NDJSON run log (seed "
+                           "in the manifest, one event per iteration)")
 
     stats = sub.add_parser(
         "stats",
@@ -243,6 +290,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write the markdown here (default: print)")
     report.add_argument("--run-log", default=None, metavar="PATH",
                         help="also write the NDJSON run log")
+    report.add_argument("--seed", type=int, default=None,
+                        help="seed recorded in the run-log manifest")
 
     evaluate = sub.add_parser("eval", help="run the paper's evaluation")
     evaluate.add_argument("--full", action="store_true",
@@ -257,6 +306,8 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--run-log", default=None, metavar="PATH",
                           help="write the structured NDJSON run log "
                                "(with --markdown / --save / --compare)")
+    evaluate.add_argument("--seed", type=int, default=None,
+                          help="seed recorded in the run-log manifest")
     return parser
 
 
@@ -516,9 +567,9 @@ def _run_bench(args: argparse.Namespace, write) -> int:
     if args.run_log:
         from .obs.runlog import RunLog
 
-        run_log = RunLog(args.label)
+        run_log = RunLog(args.label, seed=args.seed)
     document = run_bench(label=args.label, quick=args.quick, log=write,
-                         run_log=run_log)
+                         run_log=run_log, seed=args.seed)
     for line in render_bench(document):
         write(line)
     output = args.output or "BENCH_{}.json".format(args.label)
@@ -547,6 +598,68 @@ def _run_bench(args: argparse.Namespace, write) -> int:
             write(line)
         return EXIT_OK if ok else 1
     return EXIT_OK
+
+
+def _run_fuzz(args: argparse.Namespace, write) -> int:
+    from .fuzz import FuzzConfig, run_fuzz
+    from .fuzz.harness import render_report
+    from .fuzz.shrink import replay_repro
+
+    if args.replay is not None:
+        try:
+            failure = replay_repro(args.replay, write=write)
+        except (OSError, ValueError) as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        return EXIT_OK if failure is None else 1
+
+    if args.iterations <= 0:
+        write("error: --iterations must be positive")
+        return EXIT_USAGE
+    transforms = None
+    if args.transforms is not None:
+        transforms = [name.strip() for name in args.transforms.split(",")
+                      if name.strip()]
+        if not transforms:
+            write("error: --transforms names no families")
+            return EXIT_USAGE
+    universes = ("paint", "geometry", "bcl")
+    if args.universe is not None:
+        if args.universe not in Workspace.BUILTIN:
+            write("error: unknown universe {!r}; choose one of: {}".format(
+                args.universe, ", ".join(sorted(Workspace.BUILTIN))))
+            return EXIT_USAGE
+        universes = (args.universe,)
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        chaos=args.chaos,
+        transforms=transforms,
+        universes=universes,
+        out_dir=args.out,
+    )
+    try:
+        config.families()
+    except ValueError as error:
+        write("error: {}".format(error))
+        return EXIT_USAGE
+
+    run_log = None
+    if args.run_log:
+        from .obs.runlog import RunLog
+
+        run_log = RunLog("fuzz-seed{}".format(args.seed), seed=args.seed)
+    report = run_fuzz(config, write=write, run_log=run_log)
+    for line in render_report(report):
+        write(line)
+    if run_log is not None:
+        try:
+            run_log.write(args.run_log)
+        except OSError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        write("wrote run log to {}".format(args.run_log))
+    return 1 if report.failed else EXIT_OK
 
 
 def _run_profile(args: argparse.Namespace, write) -> int:
@@ -639,7 +752,7 @@ def _run_report(args: argparse.Namespace, write) -> int:
     from .eval.runreport import generate_run_report
     from .obs.runlog import RunLog
 
-    run_log = RunLog("eval-full" if args.full else "eval")
+    run_log = RunLog("eval-full" if args.full else "eval", seed=args.seed)
     projects = build_all_projects(run_log=run_log)
     report = generate_run_report(
         projects, _eval_config(args.full), run_log=run_log
@@ -679,6 +792,8 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
         return _run_lint(args, write)
     if args.command == "bench":
         return _run_bench(args, write)
+    if args.command == "fuzz":
+        return _run_fuzz(args, write)
     if args.command == "stats":
         return _run_stats(args, write)
     if args.command == "profile":
@@ -717,7 +832,8 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
                 return EXIT_USAGE
             from .obs.runlog import RunLog
 
-            run_log = RunLog("eval-full" if args.full else "eval")
+            run_log = RunLog("eval-full" if args.full else "eval",
+                             seed=args.seed)
 
         def _write_run_log() -> None:
             if run_log is not None:

@@ -253,6 +253,27 @@ def bench(label: str = "api", quick: bool = True, log=None,
                      run_log=run_log)
 
 
+def fuzz(seed: int = 0, iterations: int = 20, chaos: bool = False,
+         transforms: Optional[List[str]] = None,
+         universes: Optional[List[str]] = None,
+         out_dir: str = ".", log=None, run_log: Optional[RunLog] = None):
+    """Run the rank-stability fuzzing harness and return its
+    :class:`~repro.fuzz.harness.FuzzReport` (``report.failed``,
+    ``report.records``, ``report.repro_path``).  Fully deterministic in
+    ``seed``; a failing iteration is shrunk and written as a replayable
+    repro file under ``out_dir``.  See ``docs/FUZZING.md``.  Imported
+    lazily — the harness pulls in the corpus layer."""
+    from .fuzz import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        seed=seed, iterations=iterations, chaos=chaos,
+        transforms=transforms, out_dir=out_dir,
+    )
+    if universes is not None:
+        config.universes = tuple(universes)
+    return run_fuzz(config, write=log, run_log=run_log)
+
+
 def profile(
     workspace: Workspace, sources: List[str], **scope
 ) -> Profile:
@@ -277,6 +298,7 @@ __all__ = [
     "complete_many",
     "diff_runs",
     "explain",
+    "fuzz",
     "lint",
     "open_workspace",
     "profile",

@@ -178,6 +178,35 @@ class TypeDef:
         self._invalidate()
         return method
 
+    def set_member_order(
+        self,
+        fields: Optional[List["Field"]] = None,
+        properties: Optional[List["Property"]] = None,
+        methods: Optional[List["Method"]] = None,
+    ) -> None:
+        """Reorder declared members in place, invalidating caches.
+
+        Mutating the member lists directly bypasses invalidation — the
+        registry's memoised lookups and any warm completion cache would
+        serve the old declaration order.  Each replacement list must be a
+        permutation of the current one (same member objects, new order);
+        ``None`` leaves that list untouched.
+        """
+        for label, current, replacement in (
+            ("fields", self.fields, fields),
+            ("properties", self.properties, properties),
+            ("methods", self.methods, methods),
+        ):
+            if replacement is None:
+                continue
+            if sorted(map(id, replacement)) != sorted(map(id, current)):
+                raise ValueError(
+                    "set_member_order: new {} list is not a permutation "
+                    "of the declared {} of {}".format(
+                        label, label, self.full_name))
+            current[:] = replacement
+        self._invalidate()
+
     # ------------------------------------------------------------------
     # member lookup (declared members only; inherited lookup lives in the
     # TypeSystem which knows the full hierarchy)

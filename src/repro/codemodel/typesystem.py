@@ -145,6 +145,56 @@ class TypeSystem:
         """
         return self._version
 
+    def fingerprint(self) -> str:
+        """Deterministic structural digest of the registered universe.
+
+        Hashes the sorted type list with each type's kind, supertype
+        edges and member signatures — but *not* registration order or
+        per-type member order, which are incidental encoding choices.
+        Two type systems with the same structure (however built or
+        mutated into shape) share a fingerprint; fuzz repro files record
+        it so a replay against a drifted universe says so explicitly.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for typedef in sorted(self._types.values(),
+                              key=lambda t: t.full_name):
+            lines = [
+                "type {} kind={} base={} interfaces={} comparable={} "
+                "primitive={}".format(
+                    typedef.full_name,
+                    typedef.kind.value,
+                    typedef.base.full_name if typedef.base else "-",
+                    ",".join(sorted(
+                        i.full_name for i in typedef.interfaces)),
+                    typedef.comparable,
+                    typedef.treat_as_primitive,
+                )
+            ]
+            for member in sorted(
+                    list(typedef.fields) + list(typedef.properties),
+                    key=lambda f: (f.name, f.type.full_name)):
+                lines.append("lookup {}:{} static={} property={}".format(
+                    member.name, member.type.full_name, member.is_static,
+                    member.is_property))
+            for method in sorted(
+                    typedef.methods,
+                    key=lambda m: (m.name,
+                                   [p.type.full_name for p in m.params])):
+                lines.append("method {}({}) -> {} static={} ctor={}".format(
+                    method.name,
+                    ",".join(p.type.full_name for p in method.params),
+                    method.return_type.full_name
+                    if method.return_type else "void",
+                    method.is_static,
+                    method.is_constructor,
+                ))
+            for line in lines:
+                digest.update(line.encode("utf-8"))
+                digest.update(b"\n")
+        return digest.hexdigest()
+
     # ------------------------------------------------------------------
     # supertype structure
     # ------------------------------------------------------------------

@@ -29,7 +29,12 @@ version counter: every public lookup first compares the type system's
 current version against the version the cache was filled under and
 drops *everything* on mismatch.  Mutating a universe mid-session is
 rare and coarse invalidation is obviously correct; fine-grained
-dependency tracking is not worth its bug surface.
+dependency tracking is not worth its bug surface.  The observable
+contract — a mutation landing between ``warm()`` and a batched
+``complete_many`` never lets the batch see pre-mutation answers — is
+pinned in ``tests/test_cache_mutation.py`` and fuzzed on random
+universes by ``repro fuzz``'s mutation mode (docs/FUZZING.md); any
+future fine-grained scheme must keep both green.
 
 The cache is deliberately **bypassed** by the engine when a query
 cannot safely share state (see ``CompletionEngine._stream_cache``):

@@ -260,14 +260,21 @@ def run_bench(
     quick: bool = False,
     log: Optional[Callable[[str], None]] = None,
     run_log: Optional[RunLog] = None,
+    seed: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run the pinned workload and return the BENCH document.
 
     With ``run_log`` attached, each workload section is recorded as a
     phase and the paper workloads' engines emit per-query records, so
     the NDJSON log doubles as a profiling input for ``repro diff``.
+
+    ``seed`` is provenance only — the workload itself is pinned — and is
+    stamped into both the document and the run-log manifest so bench
+    artifacts carry the same reproducibility field fuzz runs do.
     """
     emit = log or (lambda _line: None)
+    if run_log is not None and seed is not None:
+        run_log.annotate(seed=seed)
     repeats = _REPEATS_QUICK if quick else _REPEATS
     sizes = SCALING_SIZES_QUICK if quick else SCALING_SIZES
 
@@ -288,6 +295,7 @@ def run_bench(
         "version": VERSION,
         "label": label,
         "quick": quick,
+        "seed": seed,
         "workloads": workloads,
         "repeated": repeated,
     }

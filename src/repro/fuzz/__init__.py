@@ -1,0 +1,50 @@
+"""Rank-stability fuzzing: semantic-preserving universe metamorphosis.
+
+The paper's central claim is that the ranked completion set is a
+function of the *semantics* of the universe — the type structure — and
+not of incidental encoding choices: identifier spellings, declaration
+order, namespace layout.  This package tests that invariance:
+
+* :mod:`repro.fuzz.transforms` — seeded, composable semantic-preserving
+  universe transformations, each shipping a :class:`NameMapping` for
+  back-translation;
+* :mod:`repro.fuzz.oracles` — differential oracles comparing base vs.
+  transformed completions at score-group granularity (tie order among
+  equal scores is deliberately unspecified), including prefix-consistency
+  under budget truncation, the chaos-mode "degraded, never silently
+  wrong" contract, and the warm-cache-vs-cold-engine mutation contract;
+* :mod:`repro.fuzz.harness` — the seeded, fully deterministic iteration
+  loop behind ``repro fuzz`` / ``:fuzz`` / :func:`repro.api.fuzz`;
+* :mod:`repro.fuzz.shrink` — counterexample shrinking and replayable
+  repro files (``repro fuzz --replay``).
+
+See ``docs/FUZZING.md``.
+"""
+
+from .transforms import (
+    FAMILIES,
+    NameMapping,
+    apply_transforms,
+    transform_names,
+)
+from .oracles import Mismatch, compare_outcomes, score_groups, to_base_source
+from .harness import FuzzConfig, FuzzReport, run_fuzz
+from .shrink import load_repro, replay_repro, save_repro, shrink_scenario
+
+__all__ = [
+    "FAMILIES",
+    "FuzzConfig",
+    "FuzzReport",
+    "Mismatch",
+    "NameMapping",
+    "apply_transforms",
+    "compare_outcomes",
+    "load_repro",
+    "replay_repro",
+    "run_fuzz",
+    "save_repro",
+    "score_groups",
+    "shrink_scenario",
+    "to_base_source",
+    "transform_names",
+]

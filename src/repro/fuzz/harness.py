@@ -1,0 +1,515 @@
+"""The seeded fuzzing loop behind ``repro fuzz``.
+
+Every iteration is a *scenario*: a universe, a transformation plan, a
+query list, a mode, and (per mode) a step budget, a fault spec, or a
+mutation seed.  Scenarios are pure data (JSON-ready dicts) so a failing
+one can be shrunk and written to a replayable repro file
+(:mod:`repro.fuzz.shrink`).
+
+Determinism is load-bearing: iteration ``i`` of seed ``s`` derives all
+its choices from ``random.Random("fuzz:s:i")`` (string seeding is
+stable across runs and platforms), records carry no wall-clock fields,
+and budgets are step budgets only — a deadline would make truncation
+points timing-dependent.  Two runs with the same seed therefore produce
+byte-identical iteration records.
+
+Modes:
+
+``differential``
+    Base vs. transformed universe, no budget: full score-group equality
+    through the name mapping.
+``budget``
+    Same comparison under a ``QueryBudget`` step cap: prefix
+    consistency only (the two sides may trip at different depths).
+``chaos``
+    Clean vs. fault-injected runs of the transformed universe: a fault
+    may degrade or truncate the outcome but never silently change the
+    ranking (requires ``FuzzConfig.chaos``).
+``mutation``
+    In-place ``TypeDef`` mutations against a warm ``CompletionCache``,
+    differentially checked against a cold engine — the tested form of
+    the cache's clear-on-mutation contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..codemodel.members import Field
+from ..engine.budget import QueryBudget
+from ..engine.completer import CompletionEngine, EngineConfig
+from ..ide.workspace import Workspace
+from ..lang.parser import ParseError, parse
+from ..serialize import dump_type_system, load_type_system
+from ..testing import faults
+from .oracles import (
+    Mismatch,
+    check_chaos_outcome,
+    check_mutation_outcomes,
+    compare_outcomes,
+)
+from .transforms import NameMapping, apply_transforms, transform_names
+
+#: scenario modes in scheduling order (chaos joins when enabled)
+MODES = ("differential", "budget", "mutation")
+
+#: step budgets the budget mode draws from (never deadlines: wall-clock
+#: truncation points would break record determinism)
+_STEP_BUDGETS = (40, 120, 400)
+
+#: query shapes the synthesiser draws from; ``{x}``/``{y}`` are local
+#: names from the battery scope
+_QUERY_SHAPES = (
+    "?",
+    "{x}.?f",
+    "{x}.?m",
+    "{x}.?*f",
+    "{x}.?*m",
+    "{x} := ?",
+    "?({{{x}}})",
+    "?({{{x}, {y}}})",
+)
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs of one ``repro fuzz`` run."""
+
+    seed: int = 0
+    iterations: int = 20
+    chaos: bool = False
+    #: transformation families to draw from (None = all)
+    transforms: Optional[List[str]] = None
+    universes: Tuple[str, ...] = ("paint", "geometry", "bcl")
+    n: int = 10
+    #: directory minimized repro files are written to
+    out_dir: str = "."
+
+    def families(self) -> List[str]:
+        if self.transforms is None:
+            return transform_names()
+        known = set(transform_names())
+        for family in self.transforms:
+            if family not in known:
+                raise ValueError(
+                    "unknown transform family {!r}; known families: "
+                    "{}".format(family, ", ".join(transform_names())))
+        return list(self.transforms)
+
+    def modes(self) -> Tuple[str, ...]:
+        return MODES + ("chaos",) if self.chaos else MODES
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one run: deterministic per-iteration records plus
+    the (shrunk) counterexample, if any."""
+
+    seed: int
+    iterations: int
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    counterexample: Optional[Dict[str, Any]] = None
+    failure: Optional[str] = None
+    repro_path: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.counterexample is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro-fuzz",
+            "version": 1,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "records": self.records,
+            "counterexample": self.counterexample,
+            "failure": self.failure,
+        }
+
+
+# ----------------------------------------------------------------------
+# base universes
+# ----------------------------------------------------------------------
+
+_battery_scopes: Dict[str, Dict[str, Any]] = {}
+_base_docs: Dict[str, Dict[str, Any]] = {}
+
+
+def _battery_scope(universe: str) -> Dict[str, Any]:
+    """The pinned battery's scope and queries for a builtin universe."""
+    cached = _battery_scopes.get(universe)
+    if cached is None:
+        from ..eval.battery import battery_for
+
+        battery = battery_for(universe)
+        cached = {
+            "locals": dict(battery.locals),
+            "this": battery.this_type,
+            "queries": list(battery.queries),
+        }
+        _battery_scopes[universe] = cached
+    return cached
+
+
+def base_universe_doc(universe: str) -> Dict[str, Any]:
+    """The serialised base universe (memoised per process: the builtin
+    builders are deterministic, so the document is too)."""
+    cached = _base_docs.get(universe)
+    if cached is None:
+        cached = dump_type_system(Workspace.builtin(universe).ts)
+        _base_docs[universe] = cached
+    return cached
+
+
+# ----------------------------------------------------------------------
+# scenario synthesis
+# ----------------------------------------------------------------------
+
+def synthesize_scenario(config: FuzzConfig, iteration: int) -> Dict[str, Any]:
+    """Derive iteration ``iteration``'s scenario, fully determined by
+    ``(config.seed, iteration)``."""
+    rng = random.Random("fuzz:{}:{}".format(config.seed, iteration))
+    universe = rng.choice(list(config.universes))
+    modes = config.modes()
+    mode = modes[iteration % len(modes)]
+    families = config.families()
+    count = rng.randint(1, min(3, len(families)))
+    plan = [
+        [family, rng.randrange(2 ** 32)]
+        for family in rng.sample(families, count)
+    ]
+    scope = _battery_scope(universe)
+    local_names = sorted(scope["locals"])
+    queries = list(scope["queries"])
+    for _ in range(2):
+        shape = rng.choice(_QUERY_SHAPES)
+        x = rng.choice(local_names)
+        y = rng.choice([name for name in local_names if name != x] or [x])
+        queries.append(shape.format(x=x, y=y))
+    scenario: Dict[str, Any] = {
+        "format": "repro-fuzz-repro",
+        "version": 1,
+        "seed": config.seed,
+        "iteration": iteration,
+        "universe": universe,
+        "mode": mode,
+        "transforms": plan,
+        "queries": queries,
+        "locals": dict(scope["locals"]),
+        "this": scope["this"],
+        "n": config.n,
+        "budget_steps": None,
+        "fault": None,
+        "mutation_seed": None,
+    }
+    if mode == "budget":
+        scenario["budget_steps"] = rng.choice(_STEP_BUDGETS)
+    elif mode == "chaos":
+        scenario["fault"] = {
+            "site": rng.choice(list(faults.QUERY_SITES)),
+            "on_call": rng.randint(1, 12),
+            "times": rng.choice([1, 2, 3, None]),
+        }
+    elif mode == "mutation":
+        scenario["mutation_seed"] = rng.randrange(2 ** 32)
+    return scenario
+
+
+# ----------------------------------------------------------------------
+# scenario execution
+# ----------------------------------------------------------------------
+
+def _workspace_for(
+    doc: Dict[str, Any], name: str, cache_enabled: Optional[bool] = None
+) -> Workspace:
+    ts = load_type_system(doc)
+    config = None
+    if cache_enabled is not None:
+        config = EngineConfig(enable_cache=cache_enabled)
+    return Workspace(ts, name=name, config=config)
+
+
+def _context_for(
+    workspace: Workspace,
+    locals_map: Dict[str, str],
+    this_name: Optional[str],
+    mapping: NameMapping,
+):
+    resolved = {
+        name: workspace.ts.get(mapping.map_type(type_name))
+        for name, type_name in sorted(locals_map.items())
+    }
+    this_type = (
+        workspace.ts.get(mapping.map_type(this_name)) if this_name else None
+    )
+    return workspace.context(locals=resolved, this_type=this_type)
+
+
+def _run_query(
+    workspace: Workspace,
+    context,
+    source: str,
+    n: int,
+    budget_steps: Optional[int] = None,
+):
+    pe = parse(source, context)
+    budget = (
+        QueryBudget(max_steps=budget_steps)
+        if budget_steps is not None else None
+    )
+    return workspace.engine.complete_query(pe, context, n=n, budget=budget)
+
+
+def run_scenario(scenario: Dict[str, Any]) -> Optional[str]:
+    """Execute one scenario; ``None`` on success, else a failure
+    description (the counterexample's evidence)."""
+    base_doc = base_universe_doc(scenario["universe"])
+    plan = [tuple(step) for step in scenario["transforms"]]
+    transformed_doc, mapping = apply_transforms(base_doc, plan)
+    mode = scenario["mode"]
+    n = scenario["n"]
+    try:
+        if mode in ("differential", "budget"):
+            return _run_differential(scenario, base_doc, transformed_doc,
+                                     mapping, n)
+        if mode == "chaos":
+            return _run_chaos(scenario, transformed_doc, mapping, n)
+        if mode == "mutation":
+            return _run_mutation(scenario, transformed_doc, mapping, n)
+        raise ValueError("unknown fuzz mode {!r}".format(mode))
+    except Mismatch as mismatch:
+        return str(mismatch)
+    except ParseError as error:
+        return "query failed to parse: {}".format(error)
+
+
+def _run_differential(
+    scenario: Dict[str, Any],
+    base_doc: Dict[str, Any],
+    transformed_doc: Dict[str, Any],
+    mapping: NameMapping,
+    n: int,
+) -> Optional[str]:
+    identity = NameMapping.identity()
+    base_ws = _workspace_for(base_doc, scenario["universe"])
+    trans_ws = _workspace_for(
+        transformed_doc, scenario["universe"] + "-transformed")
+    base_ctx = _context_for(
+        base_ws, scenario["locals"], scenario["this"], identity)
+    trans_ctx = _context_for(
+        trans_ws, scenario["locals"], scenario["this"], mapping)
+    budget_steps = scenario.get("budget_steps")
+    for source in scenario["queries"]:
+        base_outcome = _run_query(base_ws, base_ctx, source, n, budget_steps)
+        trans_outcome = _run_query(
+            trans_ws, trans_ctx, source, n, budget_steps)
+        try:
+            compare_outcomes(base_outcome, trans_outcome, mapping, n,
+                             prefix_only=budget_steps is not None)
+        except Mismatch as mismatch:
+            raise Mismatch("query {!r}: {}".format(source, mismatch))
+    return None
+
+
+def _run_chaos(
+    scenario: Dict[str, Any],
+    transformed_doc: Dict[str, Any],
+    mapping: NameMapping,
+    n: int,
+) -> Optional[str]:
+    workspace = _workspace_for(
+        transformed_doc, scenario["universe"] + "-transformed")
+    context = _context_for(
+        workspace, scenario["locals"], scenario["this"], mapping)
+    spec = scenario["fault"]
+    for source in scenario["queries"]:
+        clean = _run_query(workspace, context, source, n)
+        plan = faults.FaultPlan().add(
+            spec["site"], on_call=spec["on_call"], times=spec["times"])
+        previous = faults.active_plan()
+        faults.install(plan)
+        try:
+            faulted = _run_query(workspace, context, source, n)
+        except faults.FaultError as escaped:
+            raise Mismatch(
+                "query {!r}: injected fault at {!r} escaped the engine: "
+                "{}".format(source, spec["site"], escaped))
+        finally:
+            if previous is None:
+                faults.uninstall()
+            else:
+                faults.install(previous)
+        try:
+            check_chaos_outcome(clean, faulted, n)
+        except Mismatch as mismatch:
+            raise Mismatch("query {!r} under fault {}: {}".format(
+                source, spec, mismatch))
+    return None
+
+
+def _mutate_in_place(ts, rng: random.Random) -> List[str]:
+    """Apply 1-3 in-place ``TypeDef`` mutations (member reorders and
+    member additions — the mutation oracle compares warm vs. cold over
+    the *same* mutated universe, so the mutations need not preserve
+    semantics).  Returns human-readable descriptions."""
+    builtin = {"System.Object", "System.ValueType", "System.Enum",
+               "System.String", "void"}
+    candidates = [
+        t for t in ts.all_types()
+        if t.full_name not in builtin and t.kind.value != "primitive"
+        and (t.fields or t.properties or t.methods)
+    ]
+    if not candidates:
+        return []
+    applied: List[str] = []
+    for _ in range(rng.randint(1, 3)):
+        target = rng.choice(candidates)
+        if rng.random() < 0.5:
+            target.set_member_order(
+                fields=rng.sample(target.fields, len(target.fields)),
+                properties=rng.sample(
+                    target.properties, len(target.properties)),
+                methods=rng.sample(target.methods, len(target.methods)),
+            )
+            applied.append("reorder {}".format(target.full_name))
+        else:
+            name = "zzFuzzMutant{}".format(rng.randrange(10000))
+            target.add_field(Field(name, ts.string_type))
+            applied.append("add field {}.{}".format(target.full_name, name))
+    return applied
+
+
+def _run_mutation(
+    scenario: Dict[str, Any],
+    transformed_doc: Dict[str, Any],
+    mapping: NameMapping,
+    n: int,
+) -> Optional[str]:
+    warm_ws = _workspace_for(
+        transformed_doc, scenario["universe"] + "-warm", cache_enabled=True)
+    context = _context_for(
+        warm_ws, scenario["locals"], scenario["this"], mapping)
+    # prime the warm engine and its cross-query cache on the pre-mutation
+    # universe, then mutate in place under it
+    for source in scenario["queries"]:
+        _run_query(warm_ws, context, source, n)
+    version_before = warm_ws.ts.version
+    rng = random.Random(
+        "fuzz-mutation:{}".format(scenario["mutation_seed"]))
+    applied = _mutate_in_place(warm_ws.ts, rng)
+    if applied and warm_ws.ts.version == version_before:
+        raise Mismatch(
+            "in-place mutations ({}) did not bump the TypeSystem version "
+            "— caches can serve stale answers".format("; ".join(applied)))
+    # a cold, cache-less engine over the *same* mutated type system is
+    # ground truth for the warm engine's post-mutation answers
+    cold_engine = CompletionEngine(
+        warm_ws.ts, EngineConfig(enable_cache=False))
+    for source in scenario["queries"]:
+        warm_outcome = _run_query(warm_ws, context, source, n)
+        pe = parse(source, context)
+        cold_outcome = cold_engine.complete_query(pe, context, n=n)
+        try:
+            check_mutation_outcomes(warm_outcome, cold_outcome, n)
+        except Mismatch as mismatch:
+            raise Mismatch(
+                "query {!r} after mutations ({}): {}".format(
+                    source, "; ".join(applied) or "none", mismatch))
+    return None
+
+
+# ----------------------------------------------------------------------
+# the loop
+# ----------------------------------------------------------------------
+
+def run_fuzz(
+    config: FuzzConfig,
+    write: Optional[Callable[[str], None]] = None,
+    run_log=None,
+) -> FuzzReport:
+    """Run the fuzzing loop; stops (after shrinking and writing a repro
+    file) at the first counterexample.
+
+    With ``run_log`` attached, the manifest records the seed and every
+    iteration lands as an ``event`` record whose ``data`` is exactly the
+    deterministic iteration record.
+    """
+    from .shrink import save_repro, shrink_scenario
+
+    emit = write or (lambda _line: None)
+    report = FuzzReport(seed=config.seed, iterations=config.iterations)
+    if run_log is not None:
+        run_log.annotate(seed=config.seed)
+    for iteration in range(config.iterations):
+        scenario = synthesize_scenario(config, iteration)
+        failure = run_scenario(scenario)
+        record = {
+            "iteration": iteration,
+            "universe": scenario["universe"],
+            "mode": scenario["mode"],
+            "transforms": scenario["transforms"],
+            "queries": scenario["queries"],
+            "budget_steps": scenario["budget_steps"],
+            "fault": scenario["fault"],
+            "mutation_seed": scenario["mutation_seed"],
+            "result": "fail" if failure else "ok",
+        }
+        report.records.append(record)
+        if run_log is not None:
+            run_log.event("fuzz_iteration", **record)
+        if failure is None:
+            continue
+        emit("iteration {}: FAIL ({} / {}) — shrinking...".format(
+            iteration, scenario["universe"], scenario["mode"]))
+        shrunk = shrink_scenario(scenario, run_scenario)
+        final_failure = run_scenario(shrunk) or failure
+        report.counterexample = shrunk
+        report.failure = final_failure
+        path = os.path.join(
+            config.out_dir,
+            "FUZZ_REPRO_seed{}_iter{}.json".format(config.seed, iteration))
+        save_repro(path, shrunk)
+        report.repro_path = path
+        if run_log is not None:
+            run_log.event("fuzz_counterexample",
+                          iteration=iteration, repro=path,
+                          failure=final_failure)
+        emit("counterexample written to {}".format(path))
+        emit(final_failure)
+        break
+    return report
+
+
+def render_report(report: FuzzReport) -> List[str]:
+    """Human-readable summary lines (the CLI output)."""
+    lines = ["fuzz seed {}: {} iteration(s)".format(
+        report.seed, len(report.records))]
+    by_mode: Dict[str, int] = {}
+    for record in report.records:
+        by_mode[record["mode"]] = by_mode.get(record["mode"], 0) + 1
+    if by_mode:
+        lines.append("  modes: " + ", ".join(
+            "{} x{}".format(mode, count)
+            for mode, count in sorted(by_mode.items())))
+    if report.failed:
+        lines.append("  counterexample at iteration {} ({}): see {}"
+                     .format(report.counterexample["iteration"],
+                             report.counterexample["mode"],
+                             report.repro_path))
+        lines.append("  " + (report.failure or ""))
+    else:
+        lines.append("  all iterations passed (rank-stable)")
+    return lines
+
+
+def records_ndjson(report: FuzzReport) -> str:
+    """The deterministic iteration records as NDJSON — the byte-stable
+    artifact two same-seed runs must agree on."""
+    return "\n".join(
+        json.dumps(record, sort_keys=True) for record in report.records
+    ) + "\n"

@@ -1,0 +1,248 @@
+"""Differential oracles for rank stability.
+
+The comparison granularity is the *score group*: the engine's best-first
+streams guarantee nondecreasing scores, and the repo deliberately leaves
+the order among equal-score completions unspecified (it follows
+registration/member order, which the transformations perturb on
+purpose).  Two runs agree when:
+
+* their score sequences agree group by group,
+* every *complete* group holds the same set of back-translated
+  completion texts, and
+* the *boundary* group — the one a top-``n`` cut or a tripped budget may
+  have truncated mid-group — agrees on score and size only (which tied
+  members survive the cut is exactly the unspecified tie order).
+
+Under budget truncation the two sides may stop at different points, so
+the oracle checks *prefix consistency*: every group that is complete on
+both sides must agree; the tail beyond the shorter side is not judged.
+
+The chaos oracle pins the resilience contract: with faults injected
+mid-query, a run may degrade (``QueryOutcome.degraded`` non-empty) or
+truncate — but if its completions differ from the clean run's, it must
+*say so* through one of those two channels.  A silently wrong ranking is
+the failure the whole harness exists to catch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..lang.ast import (
+    Assign,
+    Call,
+    Compare,
+    Expr,
+    FieldAccess,
+    Literal,
+    TypeLiteral,
+    Unfilled,
+    Var,
+)
+from ..lang.printer import _literal_text
+from .transforms import NameMapping
+
+
+class Mismatch(Exception):
+    """A differential oracle failure (the counterexample payload)."""
+
+
+# ----------------------------------------------------------------------
+# back-translation: transformed-universe expression -> base-universe text
+# ----------------------------------------------------------------------
+
+def to_base_source(expr: Expr, mapping: NameMapping) -> str:
+    """Render a completion from the transformed universe in base-universe
+    spelling, mirroring :func:`repro.lang.printer.to_source` shape for
+    shape (local names are shared between the two universes; type and
+    member names go through the mapping's reverse direction)."""
+    unmap_type = mapping.unmap_type
+    unmap_member = mapping.unmap_member
+
+    def render(node: Expr) -> str:
+        if isinstance(node, Var):
+            return node.name
+        if isinstance(node, TypeLiteral):
+            return unmap_type(node.typedef.full_name)
+        if isinstance(node, Literal):
+            return _literal_text(node)
+        if isinstance(node, Unfilled):
+            return "0"
+        if isinstance(node, FieldAccess):
+            return "{}.{}".format(
+                render(node.base), unmap_member(node.member.name))
+        if isinstance(node, Call):
+            method = node.method
+            if method.is_constructor:
+                args = ", ".join(render(a) for a in node.args)
+                return "new {}({})".format(
+                    unmap_type(method.declaring_type.full_name), args)
+            if method.is_static or isinstance(node.args[0], Unfilled):
+                args = ", ".join(render(a) for a in node.args)
+                return "{}.{}({})".format(
+                    unmap_type(method.declaring_type.full_name),
+                    unmap_member(method.name), args)
+            receiver = render(node.args[0])
+            args = ", ".join(render(a) for a in node.args[1:])
+            return "{}.{}({})".format(
+                receiver, unmap_member(method.name), args)
+        if isinstance(node, Assign):
+            return "{} := {}".format(render(node.lhs), render(node.rhs))
+        if isinstance(node, Compare):
+            return "{} {} {}".format(
+                render(node.lhs), node.op, render(node.rhs))
+        raise TypeError(
+            "cannot back-translate {!r}".format(type(node).__name__))
+
+    return render(expr)
+
+
+# ----------------------------------------------------------------------
+# score groups
+# ----------------------------------------------------------------------
+
+def score_groups(
+    completions: Sequence,
+    render: Optional[Callable[[Expr], str]] = None,
+) -> List[Tuple[int, List[str]]]:
+    """Group a ranked completion list by score, in stream order.
+
+    Raises :class:`Mismatch` when the scores are not nondecreasing —
+    that is a stream-invariant violation worth reporting on its own.
+    """
+    from ..lang.printer import to_source
+
+    text = render or to_source
+    groups: List[Tuple[int, List[str]]] = []
+    previous: Optional[int] = None
+    for completion in completions:
+        score = completion.score
+        if previous is not None and score < previous:
+            raise Mismatch(
+                "scores not nondecreasing: {} after {}".format(
+                    score, previous))
+        if previous == score:
+            groups[-1][1].append(text(completion.expr))
+        else:
+            groups.append((score, [text(completion.expr)]))
+        previous = score
+    return groups
+
+
+def _describe(groups: List[Tuple[int, List[str]]]) -> str:
+    return "; ".join(
+        "score {}: [{}]".format(score, ", ".join(sorted(texts)))
+        for score, texts in groups
+    )
+
+
+def compare_outcomes(
+    base_outcome,
+    transformed_outcome,
+    mapping: NameMapping,
+    n: int,
+    prefix_only: bool = False,
+) -> None:
+    """Assert rank invariance between a base and a transformed run.
+
+    ``prefix_only`` is the budget-truncation mode: the two sides may
+    have stopped at different depths, so only the groups complete on
+    both sides are compared.  Raises :class:`Mismatch` on disagreement.
+    """
+    base_groups = score_groups(base_outcome.completions)
+    trans_groups = score_groups(
+        transformed_outcome.completions,
+        render=lambda expr: to_base_source(expr, mapping),
+    )
+
+    if prefix_only:
+        # a best-first stream's groups are complete except the last one
+        # emitted before the cut; judge only the shared complete prefix
+        comparable = min(len(base_groups), len(trans_groups)) - 1
+        if comparable <= 0:
+            return
+        _compare_groups(
+            base_groups[:comparable], trans_groups[:comparable],
+            boundary=None)
+        return
+
+    if len(base_outcome.completions) != len(transformed_outcome.completions):
+        raise Mismatch(
+            "completion counts differ: base {} vs transformed {}\n"
+            "base: {}\ntransformed: {}".format(
+                len(base_outcome.completions),
+                len(transformed_outcome.completions),
+                _describe(base_groups), _describe(trans_groups)))
+    # the final group is the boundary group only when the top-n cut can
+    # have split it (list is full); an exhausted stream's last group is
+    # complete and must match exactly
+    cut = len(base_outcome.completions) == n
+    _compare_groups(base_groups, trans_groups,
+                    boundary=(len(base_groups) - 1 if cut else None))
+
+
+def _compare_groups(
+    base_groups: List[Tuple[int, List[str]]],
+    trans_groups: List[Tuple[int, List[str]]],
+    boundary: Optional[int],
+) -> None:
+    if len(base_groups) != len(trans_groups):
+        raise Mismatch(
+            "score-group counts differ\nbase: {}\ntransformed: {}".format(
+                _describe(base_groups), _describe(trans_groups)))
+    for index, ((base_score, base_texts), (trans_score, trans_texts)) in (
+            enumerate(zip(base_groups, trans_groups))):
+        if base_score != trans_score:
+            raise Mismatch(
+                "group {} score differs: base {} vs transformed {}\n"
+                "base: {}\ntransformed: {}".format(
+                    index, base_score, trans_score,
+                    _describe(base_groups), _describe(trans_groups)))
+        if len(base_texts) != len(trans_texts):
+            raise Mismatch(
+                "group {} (score {}) size differs: {} vs {}\n"
+                "base: {}\ntransformed: {}".format(
+                    index, base_score, len(base_texts), len(trans_texts),
+                    _describe(base_groups), _describe(trans_groups)))
+        if index == boundary:
+            continue  # cut group: tie order decides the survivors
+        if sorted(base_texts) != sorted(trans_texts):
+            raise Mismatch(
+                "group {} (score {}) members differ\n"
+                "base: [{}]\ntransformed: [{}]".format(
+                    index, base_score,
+                    ", ".join(sorted(base_texts)),
+                    ", ".join(sorted(trans_texts))))
+
+
+def check_chaos_outcome(clean_outcome, faulted_outcome, n: int) -> None:
+    """The chaos contract: a faulted run whose ranking differs from the
+    clean run must be *marked* — degraded features recorded or a
+    truncated status — never silently wrong.
+
+    Both runs come from the same (transformed) universe, so texts
+    compare directly (identity mapping).
+    """
+    identity = NameMapping.identity()
+    try:
+        compare_outcomes(clean_outcome, faulted_outcome, identity, n)
+    except Mismatch as difference:
+        if faulted_outcome.degraded or faulted_outcome.status.is_truncated:
+            return  # differs, and says so: the contract holds
+        raise Mismatch(
+            "silently wrong under fault injection: results differ from "
+            "the clean run but the outcome reports no degradation and no "
+            "truncation\n{}".format(difference))
+
+
+def check_mutation_outcomes(warm_outcome, cold_outcome, n: int) -> None:
+    """The clear-on-mutation contract: after an in-place ``TypeDef``
+    mutation, a warm cached engine must answer exactly like a cold
+    cache-less engine over the mutated universe."""
+    identity = NameMapping.identity()
+    try:
+        compare_outcomes(warm_outcome, cold_outcome, identity, n)
+    except Mismatch as difference:
+        raise Mismatch(
+            "warm cached engine diverged from cold engine after an "
+            "in-place mutation (stale cache?)\n{}".format(difference))

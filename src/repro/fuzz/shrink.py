@@ -1,0 +1,141 @@
+"""Counterexample shrinking and replayable repro files.
+
+A failing scenario is pure data, so shrinking is classic delta
+debugging: greedily drop transformation steps while the failure
+persists, then isolate a single failing query, then try dropping steps
+again (a shorter query list can unlock further transform drops).  The
+result is a minimal ``(transformation sequence, query)`` pair.
+
+Repro files are the same scenario dicts, written with ``sort_keys`` so
+they are byte-stable, under ``{"format": "repro-fuzz-repro"}``.  Replay
+(``repro fuzz --replay FILE``) re-runs the scenario from scratch: exit
+1 when the failure still reproduces, 0 when it no longer does.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from typing import Any, Callable, Dict, Optional
+
+REPRO_FORMAT = "repro-fuzz-repro"
+REPRO_VERSION = 1
+
+#: a scenario runner: scenario dict -> failure message or None
+Runner = Callable[[Dict[str, Any]], Optional[str]]
+
+
+def _fails(scenario: Dict[str, Any], runner: Runner) -> bool:
+    return runner(scenario) is not None
+
+
+def _drop_transforms(scenario: Dict[str, Any], runner: Runner) -> Dict[str, Any]:
+    """Greedy drop-one over the transformation plan, to a fixpoint."""
+    current = scenario
+    changed = True
+    while changed and len(current["transforms"]) > 1:
+        changed = False
+        for index in range(len(current["transforms"])):
+            candidate = copy.deepcopy(current)
+            del candidate["transforms"][index]
+            if _fails(candidate, runner):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def _isolate_query(scenario: Dict[str, Any], runner: Runner) -> Dict[str, Any]:
+    """Reduce the query list to a single failing query when one exists.
+
+    The oracles run queries in order and raise at the first mismatch, so
+    a single-query culprit usually exists; when the failure only shows
+    with the full list (e.g. a cache-interaction bug needs the priming
+    queries), the list is kept."""
+    if len(scenario["queries"]) <= 1:
+        return scenario
+    for query in scenario["queries"]:
+        candidate = copy.deepcopy(scenario)
+        candidate["queries"] = [query]
+        if _fails(candidate, runner):
+            return candidate
+    return scenario
+
+
+def shrink_scenario(scenario: Dict[str, Any], runner: Runner) -> Dict[str, Any]:
+    """Minimize a failing scenario to a minimal transformation sequence
+    plus (usually) a single query.  ``runner`` is the pure scenario
+    executor (:func:`repro.fuzz.harness.run_scenario`); the input
+    scenario is not modified.
+
+    If the scenario does not fail under ``runner`` (a flaky failure
+    would violate the harness's determinism guarantee), it is returned
+    unshrunk rather than minimized against the wrong predicate.
+    """
+    if not _fails(scenario, runner):
+        return copy.deepcopy(scenario)
+    current = _drop_transforms(copy.deepcopy(scenario), runner)
+    current = _isolate_query(current, runner)
+    current = _drop_transforms(current, runner)
+    failure = runner(current)
+    shrunk = copy.deepcopy(current)
+    shrunk["failure"] = failure
+    shrunk["shrunk"] = True
+    return shrunk
+
+
+# ----------------------------------------------------------------------
+# repro files
+# ----------------------------------------------------------------------
+
+def save_repro(path: str, scenario: Dict[str, Any]) -> None:
+    """Write a scenario as a byte-stable, replayable repro file."""
+    document = dict(scenario)
+    document["format"] = REPRO_FORMAT
+    document["version"] = REPRO_VERSION
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_repro(path: str) -> Dict[str, Any]:
+    """Load and validate a repro file written by :func:`save_repro`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("format") != REPRO_FORMAT:
+        raise ValueError(
+            "{}: not a {} file".format(path, REPRO_FORMAT))
+    if document.get("version") != REPRO_VERSION:
+        raise ValueError(
+            "{}: unsupported repro version {!r}".format(
+                path, document.get("version")))
+    for key in ("universe", "mode", "transforms", "queries", "locals", "n"):
+        if key not in document:
+            raise ValueError("{}: repro file missing {!r}".format(path, key))
+    return document
+
+
+def replay_repro(
+    path: str, write: Optional[Callable[[str], None]] = None
+) -> Optional[str]:
+    """Re-run a repro file's scenario from scratch.
+
+    Returns the failure message when the counterexample still
+    reproduces, ``None`` when the scenario now passes (the bug it
+    witnessed is fixed).
+    """
+    from .harness import run_scenario
+
+    scenario = load_repro(path)
+    emit = write or (lambda _line: None)
+    emit("replaying {}: universe {!r}, mode {!r}, {} transform step(s), "
+         "{} query(ies)".format(
+             path, scenario["universe"], scenario["mode"],
+             len(scenario["transforms"]), len(scenario["queries"])))
+    failure = run_scenario(scenario)
+    if failure is None:
+        emit("scenario passes: counterexample no longer reproduces")
+    else:
+        emit("counterexample reproduces:")
+        emit(failure)
+    return failure

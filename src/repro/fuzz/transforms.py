@@ -1,0 +1,489 @@
+"""Semantic-preserving universe transformations.
+
+Each transformation family rewrites the *serialised* form of a universe
+(the ``repro-universe`` document of :func:`repro.serialize.dump_type_system`)
+and ships a :class:`NameMapping` so completions computed against the
+transformed universe can be translated back to base-universe spelling.
+"Semantic-preserving" means: for every query, the transformed universe
+must produce the same multiset of (score, back-translated completion)
+pairs — the Figure-7 score of every candidate is untouched.
+
+That pins down what each family may do:
+
+``rename_types``
+    Fresh simple names for non-builtin types.  Type spelling feeds no
+    ranking term (``TypeSystem.join`` tie-breaks on ``full_name`` but
+    both winners cost the same), so renames are free once collisions are
+    avoided.
+``rename_members``
+    A *global bijection* over member-name strings.  The matching-name
+    term compares the final lookup names of two comparison sides for
+    string equality, so the map must preserve the equality relation:
+    same name maps to same name, distinct names stay distinct.
+    Constructors are skipped (they print as ``new Type(...)``).
+``permute_namespaces``
+    Renames namespace *segments* consistently (same segment path, same
+    new name).  The namespace term scores the length of the common
+    prefix of namespace paths, which a consistent segment renaming
+    preserves — except at the frozen ``System`` root: the builtin types
+    (``System.String``, ...) are not part of the document, so renaming
+    the leading ``System`` of framework namespaces would silently change
+    their prefix commonality with builtins.  The root segment
+    ``System`` is therefore never renamed.
+``reorder_members``
+    Shuffles each type's declared member lists.  Inherited-member
+    resolution dedups by first-seen key ((name) for lookups,
+    (name, arity) for methods), so items sharing a dedup key keep their
+    relative order — otherwise a reorder could swap which overload
+    survives, which is a *semantic* change.
+``shuffle_interfaces``
+    Permutes a type's ``interfaces`` tuple.  The supertype *graph* is
+    order-free, but the deterministic MRO walks interfaces in tuple
+    order, so the permutation is applied only when the interfaces'
+    transitive closures are pairwise disjoint (in reachable types and in
+    member dedup keys) — then no first-seen winner can change.
+``split_types``
+    Adds fresh, empty, unreferenced subclass shells.  Leaf types with no
+    members are invisible to completion (no statics, no instance
+    members, no generated constructors) and adding a leaf never changes
+    distances between existing types, so this is the no-op "type split"
+    of the abstract-type partition: every existing name maps to itself.
+
+Every family is deterministic in its integer seed; fresh names are drawn
+from the family's own ``random.Random`` stream, never from global state.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+#: builtin roots whose shared position in every MRO makes them exempt
+#: from the interface-shuffle disjointness check (see _closures)
+_ROOTS = ("System.Object", "System.ValueType", "System.Enum")
+
+#: the frozen namespace root: builtins live directly under ``System`` and
+#: are absent from the document, so the segment must keep its spelling
+_FROZEN_NAMESPACE_ROOT = "System"
+
+
+class NameMapping:
+    """Base-universe names -> transformed-universe names, invertible.
+
+    ``types`` maps full type names, ``members`` maps member-name strings
+    (a global bijection), ``namespaces`` maps dotted namespace strings.
+    Unmapped names are their own image, so the identity mapping is three
+    empty dicts.
+    """
+
+    def __init__(
+        self,
+        types: Optional[Dict[str, str]] = None,
+        members: Optional[Dict[str, str]] = None,
+        namespaces: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.types = dict(types or {})
+        self.members = dict(members or {})
+        self.namespaces = dict(namespaces or {})
+        self._rev_types = {new: old for old, new in self.types.items()}
+        self._rev_members = {new: old for old, new in self.members.items()}
+
+    # -- forward (base -> transformed) ---------------------------------
+    def map_type(self, full_name: str) -> str:
+        return self.types.get(full_name, full_name)
+
+    def map_member(self, name: str) -> str:
+        return self.members.get(name, name)
+
+    # -- backward (transformed -> base) --------------------------------
+    def unmap_type(self, full_name: str) -> str:
+        return self._rev_types.get(full_name, full_name)
+
+    def unmap_member(self, name: str) -> str:
+        return self._rev_members.get(name, name)
+
+    def compose(self, later: "NameMapping") -> "NameMapping":
+        """The mapping applying ``self`` first, then ``later``."""
+        types = {old: later.map_type(new) for old, new in self.types.items()}
+        for old, new in later.types.items():
+            if old not in self._rev_types and old not in types:
+                types[old] = new
+        members = {
+            old: later.map_member(new) for old, new in self.members.items()
+        }
+        for old, new in later.members.items():
+            if old not in self._rev_members and old not in members:
+                members[old] = new
+        namespaces = {
+            old: later.namespaces.get(new, new)
+            for old, new in self.namespaces.items()
+        }
+        for old, new in later.namespaces.items():
+            if old not in namespaces and old not in set(
+                self.namespaces.values()
+            ):
+                namespaces[old] = new
+        return NameMapping(types, members, namespaces)
+
+    @classmethod
+    def identity(cls) -> "NameMapping":
+        return cls()
+
+
+# ----------------------------------------------------------------------
+# document helpers
+# ----------------------------------------------------------------------
+
+def _entries(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return doc["types"]
+
+
+def _renameable(entry: Dict[str, Any]) -> bool:
+    """Non-builtin entries own their identity; ``members_only`` entries
+    attach members to frozen builtins."""
+    return not entry["members_only"]
+
+
+def _all_full_names(doc: Dict[str, Any]) -> Set[str]:
+    names = {entry["full_name"] for entry in _entries(doc)}
+    names.update(_ROOTS)
+    names.update({"System.String", "void"})
+    return names
+
+
+def _rewrite_doc(doc: Dict[str, Any], mapping: NameMapping) -> Dict[str, Any]:
+    """Apply a name mapping to every reference inside a document."""
+
+    def t(name: Optional[str]) -> Optional[str]:
+        return None if name is None else mapping.map_type(name)
+
+    out = copy.deepcopy(doc)
+    for entry in _entries(out):
+        if _renameable(entry):
+            entry["full_name"] = mapping.map_type(entry["full_name"])
+            entry["base"] = t(entry["base"])
+            entry["interfaces"] = [t(i) for i in entry["interfaces"]]
+        for member in entry.get("fields", []) + entry.get("properties", []):
+            member["name"] = mapping.map_member(member["name"])
+            member["type"] = t(member["type"])
+        for method in entry.get("methods", []):
+            if not method["constructor"]:
+                method["name"] = mapping.map_member(method["name"])
+            method["returns"] = (
+                method["returns"]
+                if method["returns"] == "__void__"
+                else t(method["returns"])
+            )
+            method["params"] = [
+                [pname, t(ptype)] for pname, ptype in method["params"]
+            ]
+            if method["overrides"]:
+                declaring, name, param_types, static = method["overrides"]
+                method["overrides"] = [
+                    t(declaring),
+                    mapping.map_member(name),
+                    [t(p) for p in param_types],
+                    static,
+                ]
+    return out
+
+
+def _fresh_name(base: str, rng: random.Random, used: Set[str]) -> str:
+    """A deterministic fresh identifier derived from ``base``."""
+    while True:
+        candidate = "{}X{:04d}".format(base, rng.randrange(10000))
+        if candidate not in used:
+            used.add(candidate)
+            return candidate
+
+
+# ----------------------------------------------------------------------
+# families
+# ----------------------------------------------------------------------
+
+def _rename_types(
+    doc: Dict[str, Any], rng: random.Random
+) -> Tuple[Dict[str, Any], NameMapping]:
+    used = _all_full_names(doc)
+    used_simple = {e["full_name"].rpartition(".")[2] for e in _entries(doc)}
+    types: Dict[str, str] = {}
+    for entry in _entries(doc):
+        if not _renameable(entry):
+            continue
+        full = entry["full_name"]
+        namespace, _, simple = full.rpartition(".")
+        new_simple = _fresh_name(simple, rng, used_simple)
+        new_full = "{}.{}".format(namespace, new_simple) if namespace else new_simple
+        if new_full in used:
+            continue
+        used.add(new_full)
+        types[full] = new_full
+    mapping = NameMapping(types=types)
+    return _rewrite_doc(doc, mapping), mapping
+
+
+def _rename_members(
+    doc: Dict[str, Any], rng: random.Random
+) -> Tuple[Dict[str, Any], NameMapping]:
+    # collect every member-name string (constructors excluded) and build
+    # a global bijection onto fresh names: the matching-name term only
+    # sees string (in)equality, which a bijection preserves
+    names: List[str] = []
+    seen: Set[str] = set()
+    for entry in _entries(doc):
+        for member in entry.get("fields", []) + entry.get("properties", []):
+            if member["name"] not in seen:
+                seen.add(member["name"])
+                names.append(member["name"])
+        for method in entry.get("methods", []):
+            if not method["constructor"] and method["name"] not in seen:
+                seen.add(method["name"])
+                names.append(method["name"])
+    used: Set[str] = set(seen)
+    members = {name: _fresh_name(name, rng, used) for name in names}
+    mapping = NameMapping(members=members)
+    return _rewrite_doc(doc, mapping), mapping
+
+
+def _namespace_paths(doc: Dict[str, Any]) -> List[Tuple[str, ...]]:
+    paths: Set[Tuple[str, ...]] = set()
+    for entry in _entries(doc):
+        if not _renameable(entry):
+            continue
+        namespace = entry["full_name"].rpartition(".")[0]
+        if namespace:
+            parts = tuple(namespace.split("."))
+            for depth in range(1, len(parts) + 1):
+                paths.add(parts[:depth])
+    return sorted(paths)
+
+
+def _permute_namespaces(
+    doc: Dict[str, Any], rng: random.Random
+) -> Tuple[Dict[str, Any], NameMapping]:
+    # rename each namespace-trie node (a segment path) to a fresh
+    # segment; the same path always gets the same new segment, so common
+    # prefix lengths between any two namespaces are preserved exactly.
+    # The root segment "System" is frozen: builtins (absent from the
+    # document) live under it, and their prefix commonality with
+    # framework namespaces must not move.
+    used_segments: Set[str] = set()
+    for path in _namespace_paths(doc):
+        used_segments.update(path)
+    segment_of: Dict[Tuple[str, ...], str] = {}
+    for path in _namespace_paths(doc):
+        if len(path) == 1 and path[0] == _FROZEN_NAMESPACE_ROOT:
+            segment_of[path] = path[0]
+        else:
+            segment_of[path] = _fresh_name(path[-1], rng, used_segments)
+
+    def rename_namespace(namespace: str) -> str:
+        if not namespace:
+            return namespace
+        parts = tuple(namespace.split("."))
+        return ".".join(
+            segment_of.get(parts[: depth + 1], parts[depth])
+            for depth in range(len(parts))
+        )
+
+    namespaces: Dict[str, str] = {}
+    types: Dict[str, str] = {}
+    for entry in _entries(doc):
+        if not _renameable(entry):
+            continue
+        namespace, _, simple = entry["full_name"].rpartition(".")
+        new_namespace = rename_namespace(namespace)
+        if namespace and new_namespace != namespace:
+            namespaces[namespace] = new_namespace
+            types[entry["full_name"]] = "{}.{}".format(new_namespace, simple)
+    mapping = NameMapping(types=types, namespaces=namespaces)
+    return _rewrite_doc(doc, mapping), mapping
+
+
+def _stable_shuffle(
+    items: List[Any], rng: random.Random, key: Callable[[Any], Any]
+) -> List[Any]:
+    """Shuffle ``items`` but keep the relative order of items sharing a
+    ``key`` (the inherited-member dedup key, so first-seen winners do
+    not change)."""
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    pending: Dict[Any, List[Any]] = {}
+    for item in items:
+        pending.setdefault(key(item), []).append(item)
+    result = []
+    for item in shuffled:
+        result.append(pending[key(item)].pop(0))
+    return result
+
+
+def _reorder_members(
+    doc: Dict[str, Any], rng: random.Random
+) -> Tuple[Dict[str, Any], NameMapping]:
+    out = copy.deepcopy(doc)
+    for entry in _entries(out):
+        entry["fields"] = _stable_shuffle(
+            entry.get("fields", []), rng, lambda f: f["name"])
+        entry["properties"] = _stable_shuffle(
+            entry.get("properties", []), rng, lambda p: p["name"])
+        entry["methods"] = _stable_shuffle(
+            entry.get("methods", []), rng,
+            lambda m: (m["name"], len(m["params"]), m["constructor"]))
+    return out, NameMapping.identity()
+
+
+def _closures(
+    doc: Dict[str, Any],
+) -> Tuple[Dict[str, Set[str]], Dict[str, Set[Tuple]]]:
+    """Per type: reachable supertypes and their member dedup keys,
+    following base/interface edges inside the document (the shared
+    builtin roots are excluded — their MRO position is base-block-stable
+    under an interface permutation)."""
+    by_name = {entry["full_name"]: entry for entry in _entries(doc)}
+    type_closure: Dict[str, Set[str]] = {}
+    key_closure: Dict[str, Set[Tuple]] = {}
+
+    def visit(name: str) -> Tuple[Set[str], Set[Tuple]]:
+        if name in type_closure:
+            return type_closure[name], key_closure[name]
+        types: Set[str] = set()
+        keys: Set[Tuple] = set()
+        type_closure[name] = types  # breaks cycles defensively
+        key_closure[name] = keys
+        entry = by_name.get(name)
+        if entry is None or name in _ROOTS:
+            return types, keys
+        types.add(name)
+        for member in entry.get("fields", []) + entry.get("properties", []):
+            keys.add(("lookup", member["name"]))
+        for method in entry.get("methods", []):
+            if not method["constructor"]:
+                keys.add(("method", method["name"], len(method["params"])))
+        parents = list(entry.get("interfaces", []))
+        if entry.get("base"):
+            parents.append(entry["base"])
+        for parent in parents:
+            parent_types, parent_keys = visit(parent)
+            types |= parent_types
+            keys |= parent_keys
+        return types, keys
+
+    for entry in _entries(doc):
+        visit(entry["full_name"])
+    return type_closure, key_closure
+
+
+def _roots_have_members(doc: Dict[str, Any]) -> bool:
+    for entry in _entries(doc):
+        if entry["full_name"] in _ROOTS and (
+            entry.get("fields") or entry.get("properties")
+            or entry.get("methods")
+        ):
+            return True
+    return False
+
+
+def _shuffle_interfaces(
+    doc: Dict[str, Any], rng: random.Random
+) -> Tuple[Dict[str, Any], NameMapping]:
+    out = copy.deepcopy(doc)
+    if _roots_have_members(out):
+        # members on the shared roots would make the disjointness check
+        # below unsound; no builtin universe does this, but stay safe
+        return out, NameMapping.identity()
+    type_closure, key_closure = _closures(out)
+    for entry in _entries(out):
+        interfaces = entry.get("interfaces") or []
+        if len(interfaces) < 2:
+            continue
+        safe = True
+        for i, left in enumerate(interfaces):
+            for right in interfaces[i + 1:]:
+                if type_closure.get(left, set()) & type_closure.get(
+                    right, set()
+                ) or key_closure.get(left, set()) & key_closure.get(
+                    right, set()
+                ):
+                    safe = False
+        if safe:
+            permuted = list(interfaces)
+            rng.shuffle(permuted)
+            entry["interfaces"] = permuted
+    return out, NameMapping.identity()
+
+
+def _split_types(
+    doc: Dict[str, Any], rng: random.Random
+) -> Tuple[Dict[str, Any], NameMapping]:
+    out = copy.deepcopy(doc)
+    used = _all_full_names(out)
+    candidates = [
+        entry for entry in _entries(out)
+        if _renameable(entry) and entry["kind"] == "class"
+    ]
+    if not candidates:
+        return out, NameMapping.identity()
+    count = min(len(candidates), 1 + rng.randrange(3))
+    for entry in rng.sample(candidates, count):
+        namespace, _, simple = entry["full_name"].rpartition(".")
+        shell_simple = _fresh_name(simple + "Split", rng, set())
+        shell_full = (
+            "{}.{}".format(namespace, shell_simple) if namespace
+            else shell_simple
+        )
+        if shell_full in used:
+            continue
+        used.add(shell_full)
+        out["types"].append({
+            "full_name": shell_full,
+            "members_only": False,
+            "kind": "class",
+            "base": entry["full_name"],
+            "interfaces": [],
+            "comparable": False,
+            "treat_as_primitive": False,
+            "fields": [],
+            "properties": [],
+            "methods": [],
+        })
+    return out, NameMapping.identity()
+
+
+#: family name -> transformation function, in canonical order
+FAMILIES: Dict[str, Callable[[Dict[str, Any], random.Random],
+                             Tuple[Dict[str, Any], NameMapping]]] = {
+    "rename_types": _rename_types,
+    "rename_members": _rename_members,
+    "permute_namespaces": _permute_namespaces,
+    "reorder_members": _reorder_members,
+    "shuffle_interfaces": _shuffle_interfaces,
+    "split_types": _split_types,
+}
+
+
+def transform_names() -> List[str]:
+    """The canonical family names, in application order."""
+    return list(FAMILIES)
+
+
+def apply_transforms(
+    doc: Dict[str, Any], plan: Sequence[Tuple[str, int]]
+) -> Tuple[Dict[str, Any], NameMapping]:
+    """Apply ``plan`` — ``(family, seed)`` pairs — left to right.
+
+    Returns the transformed document and the *composed* mapping from
+    base-universe names to final names.  Unknown family names raise
+    ``ValueError`` (the canonical list is :func:`transform_names`).
+    """
+    mapping = NameMapping.identity()
+    current = doc
+    for family, seed in plan:
+        if family not in FAMILIES:
+            raise ValueError(
+                "unknown transform family {!r}; known families: {}".format(
+                    family, ", ".join(FAMILIES)))
+        rng = random.Random("fuzz-transform:{}:{}".format(family, seed))
+        current, step = FAMILIES[family](current, rng)
+        mapping = mapping.compose(step)
+    return current, mapping

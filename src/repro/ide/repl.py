@@ -32,6 +32,10 @@ Commands (everything else is treated as a partial expression)::
                            clear it, or toggle it (docs/PERFORMANCE.md)
     :bench <pe>            time a query cold vs. warm against the
                            cross-query cache (5 repeats)
+    :fuzz [iters] [seed]   rank-stability fuzzing against this universe:
+                           seeded semantic-preserving transformations +
+                           differential oracles (docs/FUZZING.md);
+                           default 10 iterations, seed 0
     :types [prefix]        browse the universe's namespaces and types
     :tree <Type>           one type's hierarchy and members
     :load <file.cs>        read a C#-subset source file as the universe
@@ -99,6 +103,8 @@ def _command(state: "_ReplState", line: str, write) -> bool:
             _cache(session, args[0] if args else None, write)
         elif command == ":bench" and args:
             _bench(session, line.split(None, 1)[1], write)
+        elif command == ":fuzz" and len(args) <= 2:
+            _fuzz(session, args, write)
         elif command == ":types" and len(args) <= 1:
             from ..codemodel.explorer import namespace_tree
 
@@ -282,6 +288,36 @@ def _bench(session: CompletionSession, source: str, write,
     stats = session.workspace.cache_stats()
     if stats is not None and session.workspace.engine.config.enable_cache:
         write("cache hit rate {:.1%}".format(stats["hit_rate"]))
+
+
+#: REPL workspace names of the builtin universes -> fuzzable keys
+_FUZZ_UNIVERSES = {"paintdotnet": "paint", "geometry": "geometry",
+                   "mini-bcl": "bcl"}
+
+
+def _fuzz(session: CompletionSession, args, write) -> None:
+    from ..fuzz import FuzzConfig, run_fuzz
+    from ..fuzz.harness import render_report
+
+    try:
+        iterations = int(args[0]) if len(args) >= 1 else 10
+        seed = int(args[1]) if len(args) >= 2 else 0
+    except ValueError:
+        write("usage: :fuzz [iterations] [seed]")
+        return
+    if iterations <= 0:
+        write("usage: :fuzz [iterations] [seed] (iterations > 0)")
+        return
+    universe = _FUZZ_UNIVERSES.get(session.workspace.name)
+    config = FuzzConfig(
+        seed=seed, iterations=iterations,
+        universes=(universe,) if universe else ("paint", "geometry", "bcl"),
+    )
+    if universe is None:
+        write("(universe {!r} is not a builtin; fuzzing the builtin "
+              "universes instead)".format(session.workspace.name))
+    for line in render_report(run_fuzz(config, write=write)):
+        write(line)
 
 
 def _explain(session: CompletionSession, rank: int, write) -> None:

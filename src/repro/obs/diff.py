@@ -155,12 +155,24 @@ def diff_runs(old: RunArtifact, new: RunArtifact) -> RunDiff:
     phase taxonomy is shared)."""
     old_label, old_phases, old_total, old_queries, old_notes = _summarise(old)
     new_label, new_phases, new_total, new_queries, new_notes = _summarise(new)
-    deltas = [
-        PhaseDelta(name, round(old_phases.get(name, 0.0), 4),
-                   round(new_phases.get(name, 0.0), 4))
-        for name in sorted(set(old_phases) | set(new_phases))
-    ]
-    deltas.sort(key=lambda p: (-p.delta_ms, p.name))
+    notes = old_notes + new_notes
+    if bool(old_phases) != bool(new_phases):
+        # exactly one side has phase totals: a delta table would compare
+        # every phase against a zero baseline and attribute the entire
+        # total to whichever phase happens to be largest — say so
+        # instead, matching the bench gate's per-workload fallback
+        bare = old_label if not old_phases else new_label
+        notes.append(
+            "no phase profile on {!r}; cannot attribute the latency "
+            "delta to phases".format(bare))
+        deltas: List[PhaseDelta] = []
+    else:
+        deltas = [
+            PhaseDelta(name, round(old_phases.get(name, 0.0), 4),
+                       round(new_phases.get(name, 0.0), 4))
+            for name in sorted(set(old_phases) | set(new_phases))
+        ]
+        deltas.sort(key=lambda p: (-p.delta_ms, p.name))
     return RunDiff(
         old_label=old_label,
         new_label=new_label,
@@ -169,7 +181,7 @@ def diff_runs(old: RunArtifact, new: RunArtifact) -> RunDiff:
         new_total_ms=round(new_total, 4),
         old_queries=old_queries,
         new_queries=new_queries,
-        notes=old_notes + new_notes,
+        notes=notes,
     )
 
 

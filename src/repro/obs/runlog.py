@@ -13,7 +13,9 @@ event as the run proceeds:
   latency, steps, cache hit, and (when the query was traced) its full
   span tree embedded under ``spans``;
 * ``{"kind": "event", ...}`` — anything else worth recording (batch
-  boundaries, skipped corpus programs, ...), free-form ``data``.
+  boundaries, skipped corpus programs, ``repro fuzz``'s per-iteration
+  ``fuzz_iteration`` / ``fuzz_counterexample`` records, ...),
+  free-form ``data``.
 
 Every record is appended under one lock and serialised as exactly one
 NDJSON line, so logs written from a thread-pool-sharded

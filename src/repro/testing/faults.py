@@ -57,6 +57,10 @@ SITES = (
     "matching_name",
 )
 
+#: the sites that fire on the query path (everything except corpus
+#: construction) — what chaos-mode fuzzing schedules faults over
+QUERY_SITES = tuple(site for site in SITES if site != "corpus_load")
+
 
 class FaultError(RuntimeError):
     """Default exception an injected ``raise`` fault throws."""
@@ -77,6 +81,16 @@ class Fault:
     times: Optional[int] = 1
     error: Optional[BaseException] = None
     delay_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # a typo'd site would install a fault that can never fire and
+        # silently pass the test that installed it
+        if self.site not in SITES:
+            raise ValueError(
+                "unknown fault site {!r}; known sites: {}".format(
+                    self.site, ", ".join(SITES)
+                )
+            )
 
     def should_trigger(self, call_number: int) -> bool:
         if call_number < self.on_call:

@@ -1,0 +1,116 @@
+"""Pinned regression tests for the cache's clear-on-mutation contract.
+
+Today the ``CompletionCache`` invalidates coarsely: any ``TypeSystem``
+version bump between queries clears everything.  A future fine-grained
+invalidation PR may narrow *what* is cleared, but it must preserve the
+observable contract pinned here: a mutation landing between ``warm()``
+and a batched ``complete_many`` never lets the batch see pre-mutation
+answers.
+"""
+
+import pytest
+
+from repro.codemodel.members import Field, Method, Parameter
+from repro.engine.completer import CompletionRequest, EngineConfig
+from repro.fuzz.oracles import check_mutation_outcomes
+from repro.ide.workspace import Workspace
+from repro.lang.parser import parse
+
+
+def _requests(workspace, context, sources, n=10):
+    return [
+        CompletionRequest(pe=parse(source, context), context=context, n=n)
+        for source in sources
+    ]
+
+
+def _cached_entries(workspace):
+    stats = workspace.cache_stats()
+    return stats["streams"] + stats["root_pools"] + stats["placements"]
+
+
+@pytest.fixture
+def warm_paint():
+    workspace = Workspace.builtin("paint")
+    assert workspace.cache_enabled
+    document = workspace.ts.get("PaintDotNet.Document")
+    context = workspace.context(locals={"img": document})
+    return workspace, context, document
+
+
+QUERIES = ["img.?f", "img.?m", "?({img})"]
+
+
+class TestMutationBetweenWarmAndBatch:
+    def test_field_added_after_warm_is_visible_to_the_batch(self, warm_paint):
+        workspace, context, document = warm_paint
+        # prime: warm indexes AND populate the cross-query cache
+        workspace.complete_many(_requests(workspace, context, QUERIES))
+        assert _cached_entries(workspace) > 0
+
+        # the mutation lands between warm() and the next batch
+        workspace.engine.warm()
+        version = workspace.ts.version
+        document.add_field(Field("zzAddedBetween", workspace.ts.string_type))
+        assert workspace.ts.version > version
+
+        outcomes = workspace.complete_many(
+            _requests(workspace, context, ["img.?f"], n=50))
+        texts = {c.expr.member.name if hasattr(c.expr, "member") else ""
+                 for c in outcomes[0].completions}
+        assert "zzAddedBetween" in texts
+
+    def test_batch_after_mutation_equals_cold_engine(self, warm_paint):
+        from repro.engine.completer import CompletionEngine
+
+        workspace, context, document = warm_paint
+        workspace.complete_many(_requests(workspace, context, QUERIES))
+        workspace.engine.warm()
+        document.add_method(Method(
+            "zzMutM", return_type=workspace.ts.string_type,
+            params=[Parameter("x", workspace.ts.string_type)]))
+        document.set_member_order(fields=list(reversed(document.fields)))
+
+        warm_outcomes = workspace.complete_many(
+            _requests(workspace, context, QUERIES))
+        cold_engine = CompletionEngine(
+            workspace.ts, EngineConfig(enable_cache=False))
+        for source, warm_outcome in zip(QUERIES, warm_outcomes):
+            cold_outcome = cold_engine.complete_query(
+                parse(source, context), context, n=10)
+            check_mutation_outcomes(warm_outcome, cold_outcome, n=10)
+
+    def test_mutation_clears_cache_and_counts_invalidation(self, warm_paint):
+        workspace, context, document = warm_paint
+        workspace.complete_many(_requests(workspace, context, QUERIES))
+        assert _cached_entries(workspace) > 0
+        document.add_field(Field("zzBump", workspace.ts.string_type))
+        workspace.complete_many(_requests(workspace, context, ["img.?f"]))
+        stats = workspace.cache_stats()
+        assert stats["invalidations"] >= 1
+
+
+class TestSetMemberOrder:
+    def _two_field_type(self):
+        from repro.codemodel.types import TypeDef
+        from repro.codemodel.typesystem import TypeSystem
+
+        ts = TypeSystem()
+        typedef = ts.register(TypeDef("Bag", "Demo"))
+        typedef.add_field(Field("first", ts.string_type))
+        typedef.add_field(Field("second", ts.string_type))
+        return ts, typedef
+
+    def test_rejects_non_permutations(self):
+        ts, typedef = self._two_field_type()
+        with pytest.raises(ValueError, match="not a permutation"):
+            typedef.set_member_order(fields=typedef.fields[1:])
+        with pytest.raises(ValueError, match="not a permutation"):
+            typedef.set_member_order(fields=[typedef.fields[0]] * 2)
+
+    def test_reorder_bumps_version(self):
+        ts, typedef = self._two_field_type()
+        version = ts.version
+        typedef.set_member_order(fields=list(reversed(typedef.fields)))
+        assert ts.version > version
+        assert [f.name for f in typedef.fields] == ["second", "first"]

@@ -106,6 +106,27 @@ class TestDiffRuns:
                          bench_doc("pr", 5.0, {"dedup": 1.0}))
         assert any("no phase profile" in note for note in diff.notes)
 
+    def test_one_sided_phases_cannot_attribute(self):
+        # one side has a phase profile, the other has none: a delta table
+        # would be all zero baselines, attributing the entire total to
+        # the largest phase — say "cannot attribute" instead, matching
+        # the bench-gate fallback
+        diff = diff_runs(bench_doc("seed", 4.0),
+                         bench_doc("pr", 5.0, {"dedup": 1.0}))
+        assert diff.phases == []
+        assert diff.top_regression is None
+        assert any("cannot attribute" in note for note in diff.notes)
+
+    def test_one_sided_runlog_cannot_attribute(self):
+        # untraced run log vs. phase-profiled bench doc, both directions
+        for old, new in (
+            (run_log_records("old"), bench_doc("pr", 5.0, {"dedup": 1.0})),
+            (bench_doc("seed", 4.0, {"dedup": 1.0}), run_log_records("new")),
+        ):
+            diff = diff_runs(old, new)
+            assert diff.phases == []
+            assert any("cannot attribute" in note for note in diff.notes)
+
     def test_rejects_unknown_artifact(self):
         with pytest.raises(ValueError, match="not a run artifact"):
             diff_runs({"format": "something-else"}, bench_doc("x", 1.0))

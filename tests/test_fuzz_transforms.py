@@ -1,0 +1,110 @@
+"""Unit tests for the semantic-preserving universe transformations."""
+
+import random
+
+import pytest
+
+from repro.fuzz.transforms import (
+    FAMILIES,
+    NameMapping,
+    apply_transforms,
+    transform_names,
+)
+from repro.ide.workspace import Workspace
+from repro.serialize import dump_type_system, load_type_system
+
+
+@pytest.fixture(scope="module")
+def paint_doc():
+    return dump_type_system(Workspace.builtin("paint").ts)
+
+
+class TestNameMapping:
+    def test_roundtrip(self):
+        mapping = NameMapping(types={"A.B": "X.Y"}, members={"Foo": "Bar"})
+        assert mapping.map_type("A.B") == "X.Y"
+        assert mapping.unmap_type("X.Y") == "A.B"
+        assert mapping.map_member("Foo") == "Bar"
+        assert mapping.unmap_member("Bar") == "Foo"
+
+    def test_identity_passthrough(self):
+        identity = NameMapping.identity()
+        assert identity.map_type("Any.Thing") == "Any.Thing"
+        assert identity.unmap_member("whatever") == "whatever"
+
+    def test_compose_chains_maps(self):
+        first = NameMapping(types={"A": "B"})
+        second = NameMapping(types={"B": "C"})
+        composed = first.compose(second)
+        assert composed.map_type("A") == "C"
+        assert composed.unmap_type("C") == "A"
+
+
+class TestFamilies:
+    def test_registry_names(self):
+        assert transform_names() == list(FAMILIES)
+        assert set(transform_names()) == {
+            "rename_types", "rename_members", "permute_namespaces",
+            "reorder_members", "shuffle_interfaces", "split_types",
+        }
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_each_family_loads(self, paint_doc, family):
+        doc, mapping = apply_transforms(paint_doc, [(family, 42)])
+        ts = load_type_system(doc)
+        # every base type is reachable through the mapping
+        for entry in paint_doc["types"]:
+            if entry.get("members_only"):
+                continue
+            assert ts.try_get(mapping.map_type(entry["full_name"])) is not None
+
+    def test_deterministic(self, paint_doc):
+        plan = [("rename_types", 7), ("reorder_members", 9)]
+        doc1, map1 = apply_transforms(paint_doc, plan)
+        doc2, map2 = apply_transforms(paint_doc, plan)
+        assert doc1 == doc2
+        assert map1.types == map2.types
+        assert map1.members == map2.members
+
+    def test_unknown_family_raises(self, paint_doc):
+        with pytest.raises(ValueError, match="unknown transform"):
+            apply_transforms(paint_doc, [("not_a_family", 1)])
+
+    def test_member_rename_is_bijection(self, paint_doc):
+        _, mapping = apply_transforms(paint_doc, [("rename_members", 3)])
+        assert mapping.members
+        values = list(mapping.members.values())
+        assert len(values) == len(set(values))
+
+    def test_namespace_permutation_freezes_system_root(self, paint_doc):
+        _, mapping = apply_transforms(paint_doc, [("permute_namespaces", 5)])
+        for original, renamed in mapping.types.items():
+            if original.startswith("System."):
+                assert renamed.split(".")[0] == "System"
+
+    def test_split_types_adds_empty_shells(self, paint_doc):
+        doc, _ = apply_transforms(paint_doc, [("split_types", 11)])
+        base_names = {e["full_name"] for e in paint_doc["types"]
+                      if not e.get("members_only")}
+        added = [e for e in doc["types"]
+                 if not e.get("members_only")
+                 and e["full_name"] not in base_names]
+        assert added
+        for entry in added:
+            assert entry["fields"] == []
+            assert entry["properties"] == []
+            assert entry["methods"] == []
+            assert entry["base"] in base_names
+
+    def test_reorder_preserves_structural_fingerprint(self, paint_doc):
+        # reordering members is invisible to the order-insensitive
+        # structural digest — the transformed universe is the same
+        # structure, differently spelled out
+        doc, _ = apply_transforms(paint_doc, [("reorder_members", 13)])
+        assert (load_type_system(doc).fingerprint()
+                == load_type_system(paint_doc).fingerprint())
+
+    def test_rename_changes_structural_fingerprint(self, paint_doc):
+        doc, _ = apply_transforms(paint_doc, [("rename_types", 13)])
+        assert (load_type_system(doc).fingerprint()
+                != load_type_system(paint_doc).fingerprint())

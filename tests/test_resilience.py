@@ -595,3 +595,53 @@ class TestFaultHarness:
             return triggered
 
         assert run() == run() == [("oracle", 2), ("oracle", 3)]
+
+
+class TestFaultSiteValidation:
+    """The canonical site list is enforced everywhere a site name enters
+    the system, and chaos-mode fuzzing enumerates it programmatically."""
+
+    def test_plan_add_rejects_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan().add("not_a_site")
+
+    def test_fault_constructor_rejects_unknown_site(self):
+        # direct Fault(...) construction bypasses FaultPlan.add — the
+        # dataclass itself validates, so a typo'd site can never install
+        # a fault that silently never fires
+        with pytest.raises(ValueError, match="unknown fault site"):
+            faults.Fault("orakle")
+
+    def test_query_sites_is_sites_minus_corpus_load(self):
+        assert set(faults.QUERY_SITES) == set(faults.SITES) - {"corpus_load"}
+        assert "corpus_load" in faults.SITES
+
+    @pytest.mark.parametrize("site, query, expected", [
+        ("type_check", "?", "DynamicGeometry.Point"),
+        ("index_lookup", "?({point})", None),
+        ("namespaces", "?({point, shapeStyle})", None),
+        ("matching_name", "point.?*m >= point.?*m", None),
+    ])
+    def test_query_path_sites_actually_fire(self, site, query, expected):
+        # wiring proof: a no-op (0 ms delay) fault at each query-path
+        # site records calls while a site-exercising query runs
+        session = CompletionSession(Workspace.builtin("geometry"))
+        session.declare("point", "DynamicGeometry.Point")
+        session.declare("shapeStyle", "DynamicGeometry.ShapeStyle")
+        if expected is not None:
+            session.set_expected(expected)
+        with faults.inject(site, delay_ms=0, times=None) as plan:
+            session.complete(query)
+        assert plan.calls_to(site) > 0
+
+    def test_chaos_mode_draws_from_query_sites(self):
+        from repro.fuzz.harness import FuzzConfig, synthesize_scenario
+
+        config = FuzzConfig(seed=0, iterations=40, chaos=True)
+        sites = {
+            synthesize_scenario(config, i)["fault"]["site"]
+            for i in range(40)
+            if synthesize_scenario(config, i)["mode"] == "chaos"
+        }
+        assert sites  # chaos iterations exist
+        assert sites <= set(faults.QUERY_SITES)
