@@ -131,6 +131,29 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true",
                       help="machine-readable output")
 
+    impact = sub.add_parser(
+        "impact",
+        help="what would editing a type invalidate?",
+        description="Query the whole-universe dependency graph "
+                    "(docs/ANALYSIS.md): given one or more types, report "
+                    "the reverse-dependency closure an edit can touch — "
+                    "affected types, global root pools, indexed methods, "
+                    "and (after a battery warm-up) how much of the "
+                    "completion cache would be invalidated.  Exit 0 on "
+                    "success, 2 on usage errors.",
+    )
+    impact.add_argument("--universe", default="paint")
+    impact.add_argument("--type", action="append", default=[],
+                        dest="types", metavar="NAME", required=True,
+                        help="type to analyze (repeatable; full name, "
+                             "unique simple name, or primitive keyword)")
+    impact.add_argument("--warm", action="store_true",
+                        help="run the universe's pinned query battery "
+                             "first so the report includes live "
+                             "cache-entry counts")
+    impact.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+
     census = sub.add_parser(
         "census", help="print the corpus census for the seven projects"
     )
@@ -479,6 +502,38 @@ def _run_lint(args: argparse.Namespace, write) -> int:
     return EXIT_LINT_ERRORS if has_errors(diagnostics) else EXIT_OK
 
 
+def _run_impact(args: argparse.Namespace, write) -> int:
+    import json
+
+    workspace = _open_universe(args.universe, write)
+    if workspace is None:
+        return EXIT_USAGE
+    full_names = []
+    for name in args.types:
+        try:
+            full_names.append(workspace.resolve_type(name).full_name)
+        except ValueError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+    if args.warm:
+        from .eval.battery import battery_for
+
+        try:
+            battery = battery_for(args.universe)
+        except ValueError:
+            battery = None
+        if battery is not None:
+            session = battery.session(workspace)
+            session.complete_many(battery.queries)
+    report = workspace.impact(full_names)
+    if args.json:
+        write(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for line in report.render():
+            write(line)
+    return EXIT_OK
+
+
 def _run_stats(args: argparse.Namespace, write) -> int:
     import json
 
@@ -528,11 +583,15 @@ def _run_stats(args: argparse.Namespace, write) -> int:
         return EXIT_USAGE
     session = battery.session(workspace, n=args.n)
     session.complete_many(battery.queries)
-    write(json.dumps({
+    document = {
         "universe": workspace.name,
         "queries": battery.queries,
         "metrics": workspace.metrics(),
-    }, indent=2, sort_keys=True))
+    }
+    cache_stats = workspace.cache_stats()
+    if cache_stats is not None:
+        document["cache"] = cache_stats
+    write(json.dumps(document, indent=2, sort_keys=True))
     return EXIT_OK
 
 
@@ -796,6 +855,8 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
         return _run_fuzz(args, write)
     if args.command == "stats":
         return _run_stats(args, write)
+    if args.command == "impact":
+        return _run_impact(args, write)
     if args.command == "profile":
         return _run_profile(args, write)
     if args.command == "diff":

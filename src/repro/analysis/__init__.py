@@ -3,6 +3,15 @@ and the diagnostics passes behind ``repro lint`` (docs/ANALYSIS.md)."""
 
 from .abstract_types import AbstractTypeAnalysis
 from .codemodel_lint import lint_type_system
+from .deps import (
+    DependencyGraph,
+    ImpactReport,
+    QueryFootprint,
+    expand_mutations,
+    footprint_seeds,
+    lint_dependencies,
+    method_param_types,
+)
 from .diagnostics import (
     CODES,
     Diagnostic,
@@ -13,19 +22,27 @@ from .diagnostics import (
 )
 from .preflight import PreflightReport, preflight_query
 from .sanitize import run_sanitizer_probes
-from .scope import Context
+from .scope import Context, global_roots_of
 from .unionfind import UnionFind
 
 __all__ = [
     "AbstractTypeAnalysis",
     "CODES",
     "Context",
+    "DependencyGraph",
     "Diagnostic",
+    "ImpactReport",
     "PreflightReport",
+    "QueryFootprint",
     "Severity",
     "UnionFind",
     "diag",
+    "expand_mutations",
+    "footprint_seeds",
+    "global_roots_of",
     "has_errors",
+    "lint_dependencies",
+    "method_param_types",
     "lint_type_system",
     "preflight_query",
     "run_sanitizer_probes",

@@ -52,6 +52,15 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "RA023": (Severity.ERROR, "call query matches no method"),
     "RA024": (Severity.INFO, "ranking term cannot influence this query"),
     "RA030": (Severity.ERROR, "stream combinator violated score ordering"),
+    "RA101": (Severity.WARNING, "god type: reverse dependency closure "
+                                "covers most of the universe"),
+    "RA102": (Severity.INFO, "dependency cycle outside the subtype "
+                             "lattice"),
+    "RA103": (Severity.WARNING, "editing this type would invalidate most "
+                                "of the completion cache"),
+    "RA104": (Severity.ERROR, "type-system fingerprint drifted without "
+                              "invalidation (member lists mutated "
+                              "directly)"),
 }
 
 

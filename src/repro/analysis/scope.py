@@ -16,6 +16,28 @@ from ..codemodel.typesystem import TypeSystem
 from ..lang.ast import Call, Expr, FieldAccess, TypeLiteral, Var
 
 
+def global_roots_of(ts: TypeSystem, typedef: TypeDef) -> List[Expr]:
+    """Chain-root expressions contributed by one type: its static
+    fields/properties and zero-argument static methods (Sec. 4.2).
+
+    Shared by :meth:`Context.global_roots` (whole-universe sweep) and the
+    completion cache's fine-grained root-pool patching, which regenerates
+    just the groups of edited types.
+    """
+    roots: List[Expr] = []
+    static_fields, static_methods = ts.static_members(typedef)
+    for field in static_fields:
+        roots.append(FieldAccess(TypeLiteral(typedef), field))
+    for method in static_methods:
+        if (
+            not method.params
+            and method.return_type is not None
+            and not method.is_constructor
+        ):
+            roots.append(Call(method, ()))
+    return roots
+
+
 class Context:
     """The static scope of a query.
 
@@ -70,16 +92,7 @@ class Context:
         if self._global_roots is None:
             roots: List[Expr] = []
             for typedef in self.ts.all_types():
-                static_fields, static_methods = self.ts.static_members(typedef)
-                for field in static_fields:
-                    roots.append(FieldAccess(TypeLiteral(typedef), field))
-                for method in static_methods:
-                    if (
-                        not method.params
-                        and method.return_type is not None
-                        and not method.is_constructor
-                    ):
-                        roots.append(Call(method, ()))
+                roots.extend(global_roots_of(self.ts, typedef))
             self._global_roots = tuple(roots)
         return self._global_roots
 

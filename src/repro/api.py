@@ -7,6 +7,7 @@ re-exported by ``repro`` itself): the six task-level functions —
 * :func:`complete` / :func:`complete_many` — run queries,
 * :func:`explain` — ranking attribution for a query,
 * :func:`lint` — static diagnostics,
+* :func:`impact` — "what would editing these types invalidate?",
 * :func:`bench` — the pinned performance workload,
 * :func:`profile` — deterministic self-time profile of traced queries,
 * :func:`diff_runs` — phase-level latency attribution between two runs,
@@ -37,6 +38,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Union
 
 from .analysis.abstract_types import AbstractTypeAnalysis
+from .analysis.deps import (
+    DependencyGraph,
+    ImpactReport,
+    QueryFootprint,
+    expand_mutations,
+    footprint_seeds,
+    lint_dependencies,
+    method_param_types,
+)
 from .analysis.diagnostics import Diagnostic, Severity
 from .analysis.codemodel_lint import lint_type_system
 from .analysis.preflight import PreflightReport, preflight_query
@@ -241,6 +251,20 @@ def lint(
     return diagnostics
 
 
+def impact(
+    workspace: Workspace, *type_names: str
+) -> ImpactReport:
+    """Answer "which completion state can editing these types touch?" —
+    the reverse-dependency closure over the workspace's universe
+    (affected types, global root pools, indexed methods, and the live
+    cache's blast radius).  Accepts full names, unique simple names, or
+    primitive keywords.  See ``docs/ANALYSIS.md``."""
+    full_names = [
+        workspace.resolve_type(name).full_name for name in type_names
+    ]
+    return workspace.impact(full_names)
+
+
 def bench(label: str = "api", quick: bool = True, log=None,
           run_log: Optional[RunLog] = None) -> dict:
     """Run the pinned performance workload and return the
@@ -299,16 +323,24 @@ __all__ = [
     "diff_runs",
     "explain",
     "fuzz",
+    "impact",
     "lint",
     "open_workspace",
     "profile",
     # analysis
     "AbstractTypeAnalysis",
     "Context",
+    "DependencyGraph",
     "Diagnostic",
+    "ImpactReport",
     "PreflightReport",
+    "QueryFootprint",
     "Severity",
+    "expand_mutations",
+    "footprint_seeds",
+    "lint_dependencies",
     "lint_type_system",
+    "method_param_types",
     "preflight_query",
     "run_sanitizer_probes",
     # code model

@@ -106,7 +106,7 @@ class TypeDef:
     @base.setter
     def base(self, value: Optional["TypeDef"]) -> None:
         self._base = value
-        self._invalidate()
+        self._invalidate(structural=True)
 
     @property
     def interfaces(self) -> Tuple["TypeDef", ...]:
@@ -116,7 +116,7 @@ class TypeDef:
     @interfaces.setter
     def interfaces(self, value: Tuple["TypeDef", ...]) -> None:
         self._interfaces = tuple(value)
-        self._invalidate()
+        self._invalidate(structural=True)
 
     # ------------------------------------------------------------------
     # identity
@@ -155,10 +155,25 @@ class TypeDef:
     # ------------------------------------------------------------------
     # member management
     # ------------------------------------------------------------------
-    def _invalidate(self) -> None:
+    def _invalidate(
+        self, structural: bool = False, methods: bool = False
+    ) -> None:
+        """Report a mutation to the owning registry.
+
+        Member-level edits name this type as the mutation *origin* so the
+        completion cache and indexes can invalidate only the entries whose
+        dependency footprint touches it; structural edits (supertype-edge
+        changes) carry no origin, forcing the coarse path — they can move
+        type distances between arbitrary pairs of types.  ``methods``
+        flags edits that may have changed this type's method list — the
+        only member edits able to mint or re-rank unknown-call candidates
+        (field and property edits can only be *read*).
+        """
         self._member_cache = None
         if self._registry is not None:
-            self._registry._invalidate_caches()
+            self._registry._invalidate_caches(
+                None if structural else self,
+                methods_changed=structural or methods)
 
     def add_field(self, field: "Field") -> "Field":
         field.declaring_type = self
@@ -175,7 +190,7 @@ class TypeDef:
     def add_method(self, method: "Method") -> "Method":
         method.declaring_type = self
         self.methods.append(method)
-        self._invalidate()
+        self._invalidate(methods=True)
         return method
 
     def set_member_order(
@@ -188,9 +203,13 @@ class TypeDef:
 
         Mutating the member lists directly bypasses invalidation — the
         registry's memoised lookups and any warm completion cache would
-        serve the old declaration order.  Each replacement list must be a
-        permutation of the current one (same member objects, new order);
-        ``None`` leaves that list untouched.
+        serve the old declaration order.  Such silent drift is detected
+        after the fact by the RA104 fingerprint-drift lint
+        (:func:`repro.analysis.deps.lint_dependencies` compares
+        ``TypeSystem.fingerprint(fresh=True)`` against the digest stamped
+        at the same version).  Each replacement list must be a permutation
+        of the current one (same member objects, new order); ``None``
+        leaves that list untouched.
         """
         for label, current, replacement in (
             ("fields", self.fields, fields),
@@ -205,7 +224,9 @@ class TypeDef:
                     "of the declared {} of {}".format(
                         label, label, self.full_name))
             current[:] = replacement
-        self._invalidate()
+        # a method reorder changes declaration order, the tie-break among
+        # equal-scoring same-name candidates — flag it like an addition
+        self._invalidate(methods=methods is not None)
 
     # ------------------------------------------------------------------
     # member lookup (declared members only; inherited lookup lives in the

@@ -17,7 +17,7 @@ memoised).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from .members import Field, Method
 from .types import TypeDef, TypeKind
@@ -49,6 +49,10 @@ class TypeSystem:
     every registered type ultimately derives from.
     """
 
+    #: how many mutation-log entries are kept; ``mutations_since`` answers
+    #: ``None`` (forcing coarse invalidation) once a window is truncated
+    MUTATION_LOG_LIMIT = 256
+
     def __init__(self) -> None:
         self._types: Dict[str, TypeDef] = {}
         self._version = 0
@@ -56,6 +60,11 @@ class TypeSystem:
         self._supertype_cache: Dict[str, Tuple[TypeDef, ...]] = {}
         self._lookup_cache: Dict[str, Tuple[Field, ...]] = {}
         self._method_cache: Dict[str, Tuple[Method, ...]] = {}
+        #: (version, origin full name or None for structural,
+        #: methods_changed) per mutation
+        self._mutation_log: "deque[Tuple[int, Optional[str], bool]]" = deque(
+            maxlen=self.MUTATION_LOG_LIMIT)
+        self._fingerprint_memo: Optional[Tuple[int, str]] = None
         self._install_core()
 
     # ------------------------------------------------------------------
@@ -127,12 +136,82 @@ class TypeSystem:
         for typedef in self._types.values():
             yield from typedef.methods
 
-    def _invalidate_caches(self) -> None:
+    def _invalidate_caches(
+        self,
+        origin: Optional[TypeDef] = None,
+        methods_changed: bool = True,
+    ) -> None:
+        """Bump the version and drop memoised queries.
+
+        ``origin`` names the single mutated type for *member-level* edits
+        (adding a field/property/method, reordering members); ``None``
+        records a *structural* edit (registration, re-pointed ``base`` or
+        ``interfaces``) for which consumers must fall back to coarse
+        invalidation — structural edits move type distances globally.
+        ``methods_changed`` records whether the edit may have changed the
+        origin's *method list* (additions or reorders): only such edits
+        can mint or re-rank unknown-call candidates, so consumers that
+        track candidate sensitivity separately (the completion cache's
+        *accepting* footprints, the method index) can skip field- and
+        property-only edits.  ``True`` is the conservative default.
+        """
         self._version += 1
         self._td_cache.clear()
         self._supertype_cache.clear()
         self._lookup_cache.clear()
         self._method_cache.clear()
+        self._mutation_log.append(
+            (self._version,
+             origin.full_name if origin is not None else None,
+             methods_changed)
+        )
+
+    def _mutation_window(
+        self, version: int
+    ) -> Optional[List[Tuple[int, Optional[str], bool]]]:
+        """The log entries after ``version``, or ``None`` when the window
+        cannot be answered precisely (future version, truncated log, or a
+        structural edit inside the window)."""
+        if version > self._version:
+            return None
+        entries = [entry for entry in self._mutation_log if entry[0] > version]
+        if len(entries) != self._version - version:
+            return None  # log truncated: some mutations are unaccounted for
+        if any(name is None for _, name, _ in entries):
+            return None  # structural edit in the window
+        return entries
+
+    def mutations_since(self, version: int) -> Optional[FrozenSet[str]]:
+        """Full names of the types mutated after ``version``, or ``None``
+        when the window cannot be answered precisely.
+
+        ``None`` means a consumer holding state stamped at ``version`` must
+        invalidate coarsely: the log was truncated past the window, or some
+        edit in the window was structural (no single origin type).  An
+        empty frozenset means nothing changed (``version`` is current).
+        """
+        if version == self._version:
+            return frozenset()
+        entries = self._mutation_window(version)
+        if entries is None:
+            return None
+        return frozenset(name for _, name, _ in entries)
+
+    def method_mutations_since(self, version: int) -> Optional[FrozenSet[str]]:
+        """The subset of :meth:`mutations_since` whose edits may have
+        changed a *method list* (method additions, member reorders) — the
+        only member-level edits that can mint or re-rank unknown-call
+        candidates.  ``None`` exactly when :meth:`mutations_since` is
+        ``None``; an empty frozenset means every edit in the window was
+        field- or property-only."""
+        if version == self._version:
+            return frozenset()
+        entries = self._mutation_window(version)
+        if entries is None:
+            return None
+        return frozenset(
+            name for _, name, methods_changed in entries if methods_changed
+        )
 
     @property
     def version(self) -> int:
@@ -145,7 +224,7 @@ class TypeSystem:
         """
         return self._version
 
-    def fingerprint(self) -> str:
+    def fingerprint(self, fresh: bool = False) -> str:
         """Deterministic structural digest of the registered universe.
 
         Hashes the sorted type list with each type's kind, supertype
@@ -154,7 +233,40 @@ class TypeSystem:
         Two type systems with the same structure (however built or
         mutated into shape) share a fingerprint; fuzz repro files record
         it so a replay against a drifted universe says so explicitly.
+
+        The digest is memoised against the version counter; pass
+        ``fresh=True`` to force recomputation (how the RA104 drift check
+        catches member-list mutations that bypassed ``_invalidate()`` and
+        therefore did not move the version).
         """
+        if not fresh:
+            memo = self._fingerprint_memo
+            if memo is not None and memo[0] == self._version:
+                return memo[1]
+        digest_hex = self._compute_fingerprint()
+        self._fingerprint_memo = (self._version, digest_hex)
+        return digest_hex
+
+    def check_fingerprint_drift(self) -> Optional[Tuple[str, str]]:
+        """Detect silent structural drift: mutations that bypassed the
+        invalidation hooks (e.g. appending to ``TypeDef.fields`` directly).
+
+        Compares a fresh digest against the digest memoised at the same
+        version.  Returns ``(stamped, current)`` on drift — reported once;
+        the memo is re-stamped so repeated checks do not re-report — or
+        ``None`` when the universe is clean or no stamp exists yet.
+        """
+        memo = self._fingerprint_memo
+        if memo is None or memo[0] != self._version:
+            self.fingerprint()  # stamp the current state for later checks
+            return None
+        current = self._compute_fingerprint()
+        if current == memo[1]:
+            return None
+        self._fingerprint_memo = (self._version, current)
+        return memo[1], current
+
+    def _compute_fingerprint(self) -> str:
         import hashlib
 
         digest = hashlib.sha256()

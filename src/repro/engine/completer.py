@@ -127,6 +127,11 @@ class EngineConfig:
     #: queries (see :mod:`repro.engine.cache` and docs/PERFORMANCE.md);
     #: budgeted and oracle-backed queries bypass the cache automatically
     enable_cache: bool = True
+    #: invalidate the cache selectively on member-level TypeSystem
+    #: mutations using per-entry dependency footprints
+    #: (:mod:`repro.analysis.deps`); off = always clear coarsely on any
+    #: mutation, the pre-dependency-analysis behaviour
+    fine_invalidation: bool = True
     #: trace every query with a :class:`~repro.obs.trace.Tracer` (span
     #: timings + counters attached as ``QueryOutcome.trace``); off by
     #: default — disabled tracing costs nothing on the query path.
@@ -323,8 +328,12 @@ class CompletionEngine:
             ts, max_depth=self.config.max_chain_depth + 1
         )
         self.cache = cache or (
-            CompletionCache() if self.config.enable_cache else None
+            CompletionCache(fine=self.config.fine_invalidation)
+            if self.config.enable_cache else None
         )
+        #: lazily (re)built whole-universe dependency graph backing the
+        #: cache's footprints and the ``impact()`` surface
+        self._dep_graph = None
         #: engine-wide observability counters and histograms (always on
         #: — per-query cost is a handful of dict increments); metric
         #: names are listed in docs/OBSERVABILITY.md
@@ -338,6 +347,104 @@ class CompletionEngine:
         # leaf, far too slow to pay on every query's cache key
         self._cfg_sig: Optional[tuple] = None
         self._cfg_sig_snapshot: Optional[EngineConfig] = None
+
+    # ------------------------------------------------------------------
+    # dependency analysis plumbing
+    # ------------------------------------------------------------------
+    def dependency_graph(self):
+        """The whole-universe :class:`~repro.analysis.deps.DependencyGraph`
+        at the current type-system version, rebuilt lazily when the
+        version moves.  Backs cache footprints, ``impact()``, and the
+        RA1xx lints."""
+        from ..analysis.deps import DependencyGraph
+
+        graph = self._dep_graph
+        if graph is None or graph.built_version != self.ts.version:
+            graph = DependencyGraph(self.ts)
+            self._dep_graph = graph
+        return graph
+
+    def impact(self, type_names: Sequence[str]):
+        """What editing these types can touch
+        (:class:`~repro.analysis.deps.ImpactReport`), including how many
+        live cache entries a member-level edit would invalidate."""
+        return self.dependency_graph().impact(type_names, cache=self.cache)
+
+    def _footprint(self, pe: Expr, target: Optional[TypeDef] = None):
+        """The :class:`~repro.analysis.deps.QueryFootprint` of a
+        cacheable stream for ``pe`` — its directly-read signature types,
+        the forward closure of any suffix-hole chain seeds, and the
+        supertype closure of any unknown-call argument types — or
+        ``None`` when the search is universe-wide (hole queries)."""
+        from ..analysis.deps import QueryFootprint, footprint_seeds
+
+        parts = footprint_seeds(pe)
+        if parts is None:
+            return None
+        reads, chains, accepting = parts
+        if target is not None:
+            # the expected type only contributes conversion distances
+            # (structural, hence coarse), but keep the direct read so an
+            # edit to the target type itself refreshes the entry
+            reads = reads | {target.full_name}
+        if chains:
+            reads = reads | self.dependency_graph().footprint(chains)
+        closed_accepting = set()
+        for name in accepting:
+            typedef = self.ts.try_get(name)
+            if typedef is None:
+                closed_accepting.add(name)
+                continue
+            for parent in self.ts.supertype_closure(typedef):
+                closed_accepting.add(parent.full_name)
+        return QueryFootprint(
+            reads=frozenset(reads),
+            accepting=frozenset(closed_accepting),
+        )
+
+    def _footprint_names(self, names: Iterable[str]):
+        """Direct-reads footprint of explicit seed names, no closure —
+        placement memos score one pinned method against fixed argument
+        types (conversion distances only, structural hence coarse), so
+        they can neither gain candidates from new methods nor read
+        member lists beyond the named types."""
+        from ..analysis.deps import QueryFootprint
+
+        return QueryFootprint(reads=frozenset(names))
+
+    def _root_group_makers(self, ranker: Ranker):
+        """Builders for the grouped global-root pool: the full pool and
+        the regenerate-named-groups patcher the cache calls after a
+        fine-grained invalidation.  Root scores are context-independent
+        (one dot off a ``TypeLiteral``), so any query's ranker serves."""
+        from ..analysis.scope import global_roots_of
+
+        ts = self.ts
+
+        def make_groups():
+            groups = {}
+            for typedef in ts.all_types():
+                roots = global_roots_of(ts, typedef)
+                if roots:
+                    groups[typedef.full_name] = [
+                        (ranker.score(root), root) for root in roots
+                    ]
+            return groups
+
+        def make_missing(names):
+            regenerated = {}
+            for name in names:
+                typedef = ts.try_get(name)
+                roots = (
+                    global_roots_of(ts, typedef)
+                    if typedef is not None else []
+                )
+                regenerated[name] = [
+                    (ranker.score(root), root) for root in roots
+                ]
+            return regenerated
+
+        return make_groups, make_missing
 
     # ------------------------------------------------------------------
     # cross-query cache plumbing
@@ -444,7 +551,10 @@ class CompletionEngine:
             made.append(query)
             return query.result_stream(pe)
 
-        shared, hit = cache.stream(self.ts, key, make)
+        shared, hit = cache.stream(
+            self.ts, key, make,
+            footprint=lambda: self._footprint(pe, expected_type),
+        )
         return iter(shared), (made[0] if made else None), hit
 
     # ------------------------------------------------------------------
@@ -726,10 +836,9 @@ class CompletionEngine:
             return
         context = Context(self.ts)
         ranker = Ranker(context, self.config.ranking)
+        make_groups, make_missing = self._root_group_makers(ranker)
         cache.global_roots(
-            self.ts,
-            self.config.ranking.depth,
-            lambda: [(ranker.score(r), r) for r in context.global_roots()],
+            self.ts, self.config.ranking.depth, make_groups, make_missing
         )
 
     def complete_many(
@@ -773,8 +882,25 @@ class CompletionEngine:
 
             workers = min(parallelism, len(requests))
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(run, requests))
-        return [run(request) for request in requests]
+                outcomes = list(pool.map(run, requests))
+        else:
+            outcomes = [run(request) for request in requests]
+        self._annotate_cache_attribution()
+        return outcomes
+
+    def _annotate_cache_attribution(self) -> None:
+        """Stamp the run-log manifest with the cache's invalidation
+        attribution (coarse vs fine, entries preserved) after a batch."""
+        if self.run_log is None or self.cache is None:
+            return
+        snapshot = self.cache.snapshot()
+        self.run_log.annotate(cache={
+            key: snapshot[key] for key in (
+                "invalidations", "invalidations_coarse",
+                "invalidations_fine", "entries_preserved",
+                "entries_dropped", "hit_rate",
+            )
+        })
 
     def cache_stats(self) -> Optional[dict]:
         """Current cross-query cache counters, or ``None`` when the
@@ -966,7 +1092,10 @@ class _Query:
             self.keyword,
             self._cfg_sig,
         )
-        shared, _hit = self.cache.stream(self.ts, key, make)
+        shared, _hit = self.cache.stream(
+            self.ts, key, make,
+            footprint=lambda: self.engine._footprint(pe, target),
+        )
         return shared
 
     def _materialized(self, pe: Expr, target: Optional[TypeDef]):
@@ -1068,13 +1197,13 @@ class _Query:
             for root in self.context.global_roots():
                 items.append((self.ranker.score(root), root))
         else:
+            make_groups, make_missing = self.engine._root_group_makers(
+                self.ranker)
             items.extend(self.cache.global_roots(
                 self.ts,
                 self.config.ranking.depth,
-                lambda: [
-                    (self.ranker.score(root), root)
-                    for root in self.context.global_roots()
-                ],
+                make_groups,
+                make_missing,
             ))
         return items
 
@@ -1221,10 +1350,21 @@ class _Query:
                 else None,
                 self._cfg_sig,
             )
+            seed_names = {
+                p.type.full_name for p in method.all_params()
+            }
+            if method.declaring_type is not None:
+                seed_names.add(method.declaring_type.full_name)
+            if method.return_type is not None:
+                seed_names.add(method.return_type.full_name)
+            seed_names.update(
+                t.full_name for t in arg_types if t is not None
+            )
             found = self.placements.placement(
                 self.ts,
                 key,
                 lambda: self._placement_search(method, args, arg_types),
+                footprint=lambda: self.engine._footprint_names(seed_names),
             )
         else:
             found = self._placement_search(method, args, arg_types)

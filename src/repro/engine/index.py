@@ -33,31 +33,100 @@ class MethodIndex:
     def __init__(self, ts: TypeSystem) -> None:
         self.ts = ts
         self._by_exact_type: Dict[str, List[Method]] = {}
+        self._by_declaring: Dict[str, List[Method]] = {}
         self._all_methods: List[Method] = []
+        #: refreshes served by patching only the mutated types' regions
+        self.patches = 0
+        #: refreshes that rebuilt the whole index
+        self.rebuilds = 0
         self._build()
 
     def _build(self) -> None:
         self.built_version = self.ts.version
         for method in self.ts.all_methods():
             self._all_methods.append(method)
-            seen_types = set()
-            for param in method.all_params():
-                key = param.type.full_name
-                if key in seen_types:
-                    continue
-                seen_types.add(key)
-                self._by_exact_type.setdefault(key, []).append(method)
+            self._index_method(method)
+
+    def _index_method(self, method: Method) -> None:
+        if method.declaring_type is not None:
+            self._by_declaring.setdefault(
+                method.declaring_type.full_name, []).append(method)
+        seen_types = set()
+        for param in method.all_params():
+            key = param.type.full_name
+            if key in seen_types:
+                continue
+            seen_types.add(key)
+            self._by_exact_type.setdefault(key, []).append(method)
 
     def refresh(self) -> None:
-        """Rebuild the buckets when the type system has moved on.
+        """Reconcile the buckets when the type system has moved on.
 
         A cheap version compare on the hot path keeps the index honest
-        against types/members registered after construction.
+        against types/members registered after construction.  The index
+        depends only on method lists, so it reconciles from
+        ``TypeSystem.method_mutations_since``: a window of field- and
+        property-only edits just restamps the version, a fully
+        member-level window rewrites only the mutated types' regions,
+        and anything else (structural edit, truncated log) rebuilds the
+        whole index.
         """
-        if self.built_version != self.ts.version:
+        if self.built_version == self.ts.version:
+            return
+        mutated = self.ts.method_mutations_since(self.built_version)
+        if mutated is None:
             self._by_exact_type = {}
+            self._by_declaring = {}
             self._all_methods = []
+            self.rebuilds += 1
             self._build()
+        else:
+            if mutated:
+                self._patch(mutated)
+                self.patches += 1
+            self.built_version = self.ts.version
+
+    def _patch(self, mutated_names) -> None:
+        """Rewrite only the regions touched by the named types: drop
+        their previously-indexed methods from the parameter buckets,
+        re-add their current declarations, and restore each touched
+        bucket to whole-universe declaration order — the order a full
+        rebuild would produce, so ranking ties that fall back to bucket
+        order cannot diverge between a patched and a cold index."""
+        touched: set = set()
+        for name in mutated_names:
+            old = self._by_declaring.pop(name, [])
+            if old:
+                old_ids = {id(method) for method in old}
+                bucket_keys = set()
+                for method in old:
+                    for param in method.all_params():
+                        bucket_keys.add(param.type.full_name)
+                touched |= bucket_keys
+                for key in bucket_keys:
+                    bucket = self._by_exact_type.get(key)
+                    if bucket is None:
+                        continue
+                    kept = [m for m in bucket if id(m) not in old_ids]
+                    if kept:
+                        self._by_exact_type[key] = kept
+                    else:
+                        del self._by_exact_type[key]
+            typedef = self.ts.try_get(name)
+            if typedef is not None:
+                for method in typedef.methods:
+                    self._index_method(method)
+                    for param in method.all_params():
+                        touched.add(param.type.full_name)
+        self._all_methods = list(self.ts.all_methods())
+        position = {
+            id(method): index
+            for index, method in enumerate(self._all_methods)
+        }
+        for key in touched:
+            bucket = self._by_exact_type.get(key)
+            if bucket is not None and len(bucket) > 1:
+                bucket.sort(key=lambda m: position.get(id(m), -1))
 
     def methods_with_exact_param(self, typedef: TypeDef) -> List[Method]:
         """Methods having at least one parameter of exactly this type."""
@@ -139,12 +208,16 @@ class MethodIndex:
         if not sizes:
             return {"methods": float(len(self._all_methods)),
                     "indexed_types": 0.0, "largest_bucket": 0.0,
-                    "mean_bucket": 0.0}
+                    "mean_bucket": 0.0,
+                    "patches": float(self.patches),
+                    "rebuilds": float(self.rebuilds)}
         return {
             "methods": float(len(self._all_methods)),
             "indexed_types": float(len(sizes)),
             "largest_bucket": float(max(sizes)),
             "mean_bucket": sum(sizes) / len(sizes),
+            "patches": float(self.patches),
+            "rebuilds": float(self.rebuilds),
         }
 
 
@@ -158,16 +231,51 @@ class ReachabilityIndex:
         self.built_version = ts.version
         self._cache: Dict[Tuple[str, bool], Dict[str, int]] = {}
         self._target_cache: Dict[Tuple[str, str, bool], Optional[int]] = {}
+        #: per-walk footprint: every type whose member list fed the BFS
+        #: (the reached types plus their supertype closures — lookups and
+        #: zero-arg methods are inherited, so an edit anywhere up the
+        #: lattice of a reached type can open new steps from it)
+        self._walk_fp: Dict[Tuple[str, bool], frozenset] = {}
         #: memo hit/miss counters for ``steps_to_target`` (bench reporting)
         self.hits = 0
         self.misses = 0
+        #: refreshes that dropped only the walks a mutation could touch
+        self.patches = 0
+        #: refreshes that cleared every memoised walk
+        self.rebuilds = 0
 
     def refresh(self) -> None:
-        """Drop memoised walks when the type system has been mutated."""
-        if self.built_version != self.ts.version:
-            self.built_version = self.ts.version
+        """Drop memoised walks when the type system has been mutated.
+
+        Member-level mutation windows drop only the walks whose footprint
+        intersects the mutated types; structural edits (or a truncated
+        window) clear everything.  A walk from an untouched region is
+        unaffected by a member edit elsewhere: new steps can only appear
+        from types whose member lists fed the BFS, and those are exactly
+        the footprint.
+        """
+        if self.built_version == self.ts.version:
+            return
+        mutated = self.ts.mutations_since(self.built_version)
+        self.built_version = self.ts.version
+        if mutated is None:
             self._cache.clear()
             self._target_cache.clear()
+            self._walk_fp.clear()
+            self.rebuilds += 1
+            return
+        dropped = set()
+        for key in list(self._cache):
+            fp = self._walk_fp.get(key)
+            if fp is None or fp & mutated:
+                del self._cache[key]
+                self._walk_fp.pop(key, None)
+                dropped.add(key)
+        if dropped:
+            for tkey in list(self._target_cache):
+                if (tkey[0], tkey[2]) in dropped:
+                    del self._target_cache[tkey]
+        self.patches += 1
 
     def reachable(
         self, source: TypeDef, allow_methods: bool
@@ -191,6 +299,13 @@ class ReachabilityIndex:
                         next_frontier.append(step_type)
             frontier = next_frontier
         self._cache[key] = distances
+        footprint = set(distances)
+        for name in distances:
+            reached = self.ts.try_get(name)
+            if reached is not None:
+                for holder in self.ts.supertype_closure(reached):
+                    footprint.add(holder.full_name)
+        self._walk_fp[key] = frozenset(footprint)
         return distances
 
     def _step_types(self, typedef: TypeDef, allow_methods: bool) -> List[TypeDef]:
@@ -258,4 +373,6 @@ class ReachabilityIndex:
             "hits": float(self.hits),
             "misses": float(self.misses),
             "hit_rate": self.hits / total if total else 0.0,
+            "patches": float(self.patches),
+            "rebuilds": float(self.rebuilds),
         }

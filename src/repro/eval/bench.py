@@ -1,6 +1,6 @@
 """The ``repro bench`` harness: a pinned workload with regression gating.
 
-Runs three kinds of workloads and writes one schema-versioned
+Runs four kinds of workloads and writes one schema-versioned
 ``BENCH_<label>.json``:
 
 * **paper** — the Figure-2-style queries over each builtin universe
@@ -11,7 +11,13 @@ Runs three kinds of workloads and writes one schema-versioned
   than the universe;
 * **repeated** — the paper workload replayed against one warm engine
   vs. a cache-disabled engine, measuring the cross-query cache's
-  speedup and hit rate (docs/PERFORMANCE.md).
+  speedup and hit rate (docs/PERFORMANCE.md);
+* **mutate** — the scaling workload primed warm, then a single-type
+  member edit followed by a re-query, repeated; run once under
+  fine-grained (footprint) invalidation and once under the coarse
+  clear-on-mutation fallback, so the document carries the edit-time
+  warm-path speedup and the fraction of cache entries the fine path
+  preserved.
 
 ``compare_bench(old, new)`` gates regressions: any workload whose p95
 latency grew by more than ``threshold`` (default 20%) *and* by more
@@ -177,21 +183,28 @@ def _paper_workloads(
     return results
 
 
+def _scaling_spec(size: int):
+    """The pinned synthetic-universe spec shared by the scaling and
+    mutate workloads (same classes, same seed, same client)."""
+    from ..corpus import SynthesisSpec
+
+    return SynthesisSpec(
+        name="scale{}".format(size),
+        seed=4242,
+        namespace_root="Scale",
+        nouns=["Alpha", "Beta", "Gamma", "Delta"],
+        num_classes=size,
+        num_helper_classes=max(2, size // 5),
+        num_client_classes=1,
+    )
+
+
 def _scaling_workloads(sizes: List[int], repeats: int) -> List[Dict[str, Any]]:
-    from ..corpus import SynthesisSpec, synthesize_project
+    from ..corpus import synthesize_project
 
     results = []
     for size in sizes:
-        spec = SynthesisSpec(
-            name="scale{}".format(size),
-            seed=4242,
-            namespace_root="Scale",
-            nouns=["Alpha", "Beta", "Gamma", "Delta"],
-            num_classes=size,
-            num_helper_classes=max(2, size // 5),
-            num_client_classes=1,
-        )
-        project = synthesize_project(spec)
+        project = synthesize_project(_scaling_spec(size))
         engine = CompletionEngine(project.ts)
         context = project.impls[0].context(project.ts)
         locals_list = list(context.locals.items())[:2]
@@ -207,6 +220,107 @@ def _scaling_workloads(sizes: List[int], repeats: int) -> List[Dict[str, Any]]:
             "steps": steps,
         })
     return results
+
+
+def _mutation_target(ts, context: Context):
+    """Deterministic edit target for the mutate workload: the
+    lexicographically first type with members that is neither the query
+    context's ``this`` type nor a local's type — the "edit somewhere
+    else, keep the warm cache" case fine-grained invalidation exists
+    for."""
+    excluded = {
+        typedef.full_name for typedef in context.locals.values()
+    }
+    if context.this_type is not None:
+        excluded.add(context.this_type.full_name)
+    candidates = sorted(ts.all_types(), key=lambda t: t.full_name)
+    for typedef in candidates:
+        if typedef.full_name in excluded:
+            continue
+        if typedef.methods or typedef.fields:
+            return typedef
+    return candidates[0]
+
+
+def _mutate_workloads(
+    sizes: List[int], repeats: int
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """The mutate-then-requery battery.
+
+    Per scaling size: prime a warm engine with the scaling query, then
+    ``repeats`` times add a field to one deterministically-chosen type
+    and re-run the query warm.  Measured twice on identical fresh
+    universes — once under the default fine-grained invalidation, once
+    with ``EngineConfig(fine_invalidation=False)`` (the coarse
+    clear-on-mutation fallback) — so the speedup attributes the win to
+    footprint-based invalidation alone.  Returns the gateable
+    ``mutate/<size>`` workload entries (timings of the default = fine
+    engine) and the per-size fine-vs-coarse summary for the document's
+    ``mutate`` section.
+    """
+    from ..codemodel import Field
+    from ..corpus import synthesize_project
+
+    workloads: List[Dict[str, Any]] = []
+    summary: List[Dict[str, Any]] = []
+    for size in sizes:
+        measured: Dict[str, Dict[str, Any]] = {}
+        for mode, fine in (("fine", True), ("coarse", False)):
+            project = synthesize_project(_scaling_spec(size))
+            ts = project.ts
+            engine = CompletionEngine(
+                ts, config=EngineConfig(fine_invalidation=fine)
+            )
+            context = project.impls[0].context(ts)
+            locals_list = list(context.locals.items())[:2]
+            query = "?({{{}}})".format(
+                ", ".join(name for name, _ in locals_list)
+            )
+            _time_queries(engine, context, [query], 1)  # prime the cache
+            target = _mutation_target(ts, context)
+            timings: List[float] = []
+            steps = 0
+            for index in range(repeats):
+                target.add_field(
+                    Field("bench_probe_{}".format(index), ts.string_type)
+                )
+                run, run_steps = _time_queries(engine, context, [query], 1)
+                timings += run
+                steps += run_steps
+            stats = engine.cache_stats() or {}
+            preserved = stats.get("entries_preserved", 0)
+            dropped = stats.get("entries_dropped", 0)
+            touched = preserved + dropped
+            measured[mode] = {
+                "ordered": sorted(timings),
+                "total_ms": sum(timings),
+                "steps": steps,
+                "preserved_fraction": (
+                    preserved / touched if touched else 0.0
+                ),
+            }
+        fine = measured["fine"]
+        coarse = measured["coarse"]
+        workloads.append({
+            "name": "mutate/{}".format(size),
+            "queries": 1,
+            "repeats": repeats,
+            "p50_ms": _percentile(fine["ordered"], 0.50),
+            "p95_ms": _percentile(fine["ordered"], 0.95),
+            "steps": fine["steps"],
+        })
+        summary.append({
+            "size": size,
+            "repeats": repeats,
+            "fine_ms": fine["total_ms"],
+            "coarse_ms": coarse["total_ms"],
+            "speedup": (
+                coarse["total_ms"] / fine["total_ms"]
+                if fine["total_ms"] > 0 else 0.0
+            ),
+            "preserved_fraction": fine["preserved_fraction"],
+        })
+    return workloads, summary
 
 
 def _repeated_workload(repeats: int) -> Dict[str, Any]:
@@ -286,6 +400,10 @@ def run_bench(
     emit("scaling workloads (sizes {})...".format(sizes))
     with _phase("bench/scaling"):
         workloads += _scaling_workloads(sizes, repeats)
+    emit("mutate-then-requery workloads (sizes {})...".format(sizes))
+    with _phase("bench/mutate"):
+        mutate_workloads, mutate_summary = _mutate_workloads(sizes, repeats)
+    workloads += mutate_workloads
     emit("repeated-query workload (cache on vs. off)...")
     with _phase("bench/repeated"):
         repeated = _repeated_workload(repeats)
@@ -298,6 +416,8 @@ def run_bench(
         "seed": seed,
         "workloads": workloads,
         "repeated": repeated,
+        # additive, so VERSION stays 1: old documents simply lack it
+        "mutate": mutate_summary,
     }
 
 
@@ -441,4 +561,11 @@ def render_bench(document: Dict[str, Any]) -> List[str]:
             "{:.1f}x speedup (cache hit rate {:.1%})".format(
                 repeated["cold_ms"], repeated["warm_ms"],
                 repeated["speedup"], repeated["hit_rate"]))
+    for entry in document.get("mutate") or []:
+        lines.append(
+            "  mutate/{}: coarse {:.1f} ms vs fine {:.1f} ms -> "
+            "{:.1f}x speedup ({:.0%} of touched cache entries "
+            "preserved)".format(
+                entry["size"], entry["coarse_ms"], entry["fine_ms"],
+                entry["speedup"], entry["preserved_fraction"]))
     return lines

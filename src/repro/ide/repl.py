@@ -25,11 +25,16 @@ Commands (everything else is treated as a partial expression)::
                            'flame', print collapsed-stack lines instead
                            (docs/OBSERVABILITY.md)
     :lint [pe]             diagnostics: without arguments, lint the
-                           universe (RA0xx codes, docs/ANALYSIS.md);
-                           with a partial expression, pre-flight it
-                           (satisfiability, dead ranking terms)
-    :cache [clear|on|off]  cross-query cache: show hit/miss counters,
-                           clear it, or toggle it (docs/PERFORMANCE.md)
+                           universe (RA0xx + RA1xx codes,
+                           docs/ANALYSIS.md); with a partial
+                           expression, pre-flight it (satisfiability,
+                           dead ranking terms)
+    :impact <Type>...      what would editing these types invalidate?
+                           reverse-dependency closure, root pools, and
+                           live cache blast radius (docs/ANALYSIS.md)
+    :cache [clear|on|off]  cross-query cache: show hit/miss counters
+                           with invalidation attribution, clear it, or
+                           toggle it (docs/PERFORMANCE.md)
     :bench <pe>            time a query cold vs. warm against the
                            cross-query cache (5 repeats)
     :fuzz [iters] [seed]   rank-stability fuzzing against this universe:
@@ -99,6 +104,8 @@ def _command(state: "_ReplState", line: str, write) -> bool:
             write("Commands" + _HELP)
         elif command == ":lint":
             _lint(session, line.split(None, 1)[1] if args else None, write)
+        elif command == ":impact" and args:
+            _impact(session, args, write)
         elif command == ":cache" and len(args) <= 1:
             _cache(session, args[0] if args else None, write)
         elif command == ":bench" and args:
@@ -255,8 +262,19 @@ def _cache(session: CompletionSession, action, write) -> None:
               stats["streams"], stats["root_pools"], stats["placements"]))
     write("  hits {} / misses {}  (hit rate {:.1%})".format(
         int(stats["hits"]), int(stats["misses"]), stats["hit_rate"]))
-    write("  invalidations {}  evictions {}".format(
-        int(stats["invalidations"]), int(stats["evictions"])))
+    write("  invalidations {} ({} coarse, {} fine)  evictions {}".format(
+        int(stats["invalidations"]), int(stats["invalidations_coarse"]),
+        int(stats["invalidations_fine"]), int(stats["evictions"])))
+    if stats["invalidations_fine"]:
+        write("  fine invalidation: {} entries preserved, {} dropped".format(
+            int(stats["entries_preserved"]), int(stats["entries_dropped"])))
+
+
+def _impact(session: CompletionSession, names, write) -> None:
+    workspace = session.workspace
+    full_names = [workspace.resolve_type(name).full_name for name in names]
+    for line in workspace.impact(full_names).render():
+        write(line)
 
 
 def _bench(session: CompletionSession, source: str, write,

@@ -165,7 +165,8 @@ class Workspace:
         if enabled and self.engine.cache is None:
             from ..engine.cache import CompletionCache
 
-            self.engine.cache = CompletionCache()
+            self.engine.cache = CompletionCache(
+                fine=self.engine.config.fine_invalidation)
         if not enabled and self.engine.cache is not None:
             self.engine.cache.clear()
 
@@ -212,25 +213,41 @@ class Workspace:
         return log
 
     # ------------------------------------------------------------------
-    # diagnostics
+    # diagnostics and impact queries
     # ------------------------------------------------------------------
     def lint(self, sanitize: bool = False) -> List[Diagnostic]:
         """Static diagnostics for this workspace's universe.
 
         Runs the code-model lint (``RA00x``) against the live engine's
         method index (so index staleness is caught, not masked by a fresh
-        rebuild); with ``sanitize=True`` also runs the stream-invariant
-        probe queries (``RA030``).  See ``docs/ANALYSIS.md``.
+        rebuild), then the dependency-analysis lint (``RA10x``: god
+        types, cycles outside the subtype lattice, cache blast radius,
+        fingerprint drift) against the engine's dependency graph and
+        live cache; with ``sanitize=True`` also runs the
+        stream-invariant probe queries (``RA030``).  See
+        ``docs/ANALYSIS.md``.
         """
         from ..analysis.codemodel_lint import lint_type_system
+        from ..analysis.deps import lint_dependencies
         from ..analysis.sanitize import run_sanitizer_probes
 
         diagnostics = lint_type_system(
             self.ts, index=self.engine.index, project=self.project
         )
+        diagnostics = diagnostics + lint_dependencies(
+            self.ts, graph=self.engine.dependency_graph(),
+            cache=self.engine.cache, project=self.project,
+        )
         if sanitize:
             diagnostics = diagnostics + run_sanitizer_probes(self.engine)
         return diagnostics
+
+    def impact(self, type_names):
+        """Answer "which completion state can editing these types touch?"
+        — an :class:`~repro.analysis.deps.ImpactReport` over the engine's
+        dependency graph and live cache (``repro impact`` and the REPL's
+        ``:impact``)."""
+        return self.engine.impact(type_names)
 
     # ------------------------------------------------------------------
     # abstract types (when a corpus project backs the workspace)

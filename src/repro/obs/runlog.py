@@ -111,10 +111,13 @@ class RunLog:
         config_signature: Optional[str] = None,
         universes: Optional[Dict[str, int]] = None,
         seed: Optional[int] = None,
+        cache: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Fill manifest fields discovered only after construction (a
         corpus's universe versions exist once it is built, but the log
-        must exist first to record the build's phases)."""
+        must exist first to record the build's phases; ``cache`` is the
+        completion cache's invalidation attribution, stamped at the end
+        of each batch)."""
         with self._lock:
             manifest = self._records[0]
             if config_signature is not None:
@@ -123,6 +126,8 @@ class RunLog:
                 manifest["universes"] = dict(universes)
             if seed is not None:
                 manifest["seed"] = seed
+            if cache is not None:
+                manifest["cache"] = dict(cache)
 
     def _now_ms(self) -> float:
         return (self._clock() - self._epoch) * 1000.0

@@ -1,17 +1,26 @@
-"""Pinned regression tests for the cache's clear-on-mutation contract.
+"""Pinned regression tests for the cache's invalidation contract.
 
-Today the ``CompletionCache`` invalidates coarsely: any ``TypeSystem``
-version bump between queries clears everything.  A future fine-grained
-invalidation PR may narrow *what* is cleared, but it must preserve the
-observable contract pinned here: a mutation landing between ``warm()``
-and a batched ``complete_many`` never lets the batch see pre-mutation
-answers.
+The ``CompletionCache`` invalidates in two tiers: member-level mutation
+windows drop only the entries whose recorded
+:class:`~repro.analysis.deps.QueryFootprint` the edit intersects
+(fine-grained), while structural edits and truncated mutation logs
+clear everything (coarse).  Whichever tier fires, the observable
+contract pinned here holds: a mutation landing between ``warm()`` and a
+batched ``complete_many`` never lets the batch see pre-mutation
+answers — and a single-type member edit must *preserve* the unrelated
+entries, attributed in ``CacheStats``.
 """
+
+import random
 
 import pytest
 
 from repro.codemodel.members import Field, Method, Parameter
-from repro.engine.completer import CompletionRequest, EngineConfig
+from repro.engine.completer import (
+    CompletionEngine,
+    CompletionRequest,
+    EngineConfig,
+)
 from repro.fuzz.oracles import check_mutation_outcomes
 from repro.ide.workspace import Workspace
 from repro.lang.parser import parse
@@ -88,6 +97,152 @@ class TestMutationBetweenWarmAndBatch:
         workspace.complete_many(_requests(workspace, context, ["img.?f"]))
         stats = workspace.cache_stats()
         assert stats["invalidations"] >= 1
+
+
+class TestFineInvalidation:
+    def test_unrelated_field_edit_preserves_most_entries(self, warm_paint):
+        workspace, context, document = warm_paint
+        workspace.complete_many(_requests(workspace, context, QUERIES))
+        assert _cached_entries(workspace) > 0
+
+        unrelated = workspace.ts.get("PaintDotNet.HistoryStack")
+        unrelated.add_field(Field("zzElsewhere", workspace.ts.string_type))
+
+        workspace.complete_many(_requests(workspace, context, QUERIES))
+        stats = workspace.cache_stats()
+        assert stats["invalidations_fine"] == 1
+        assert stats["invalidations_coarse"] == 0
+        preserved = stats["entries_preserved"]
+        dropped = stats["entries_dropped"]
+        assert preserved / (preserved + dropped) >= 0.8
+
+    def test_unrelated_edit_keeps_streams_warm(self, warm_paint):
+        workspace, context, document = warm_paint
+        workspace.complete_many(_requests(workspace, context, QUERIES))
+        before = workspace.cache_stats()
+
+        unrelated = workspace.ts.get("PaintDotNet.HistoryStack")
+        unrelated.add_field(Field("zzWarm", workspace.ts.string_type))
+
+        workspace.complete_many(_requests(workspace, context, QUERIES))
+        stats = workspace.cache_stats()
+        # the replayed batch hits the preserved entries instead of
+        # recomputing them from scratch
+        assert stats["hits"] > before["hits"]
+
+    def test_structural_edit_still_clears_coarsely(self, warm_paint):
+        from repro.codemodel.types import TypeDef
+
+        workspace, context, document = warm_paint
+        workspace.complete_many(_requests(workspace, context, QUERIES))
+        workspace.ts.register(TypeDef("zzLate", "PaintDotNet"))
+        workspace.complete_many(_requests(workspace, context, ["img.?f"]))
+        stats = workspace.cache_stats()
+        assert stats["invalidations_coarse"] == 1
+        assert stats["invalidations_fine"] == 0
+
+    def test_single_type_edit_preserves_unrelated_root_pools(self, warm_paint):
+        workspace, context, document = warm_paint
+        # a bare hole populates the global root pool, grouped by
+        # declaring type
+        workspace.complete_many(_requests(workspace, context, ["?"]))
+        before = workspace.cache_stats()
+        assert before["root_pool_groups"] > 1
+
+        unrelated = workspace.ts.get("PaintDotNet.HistoryStack")
+        unrelated.add_field(Field("zzRoots", workspace.ts.string_type))
+
+        workspace.complete_many(_requests(workspace, context, ["?"]))
+        stats = workspace.cache_stats()
+        assert stats["invalidations_fine"] == 1
+        # the pool itself survived (served warm), only the edited
+        # type's group was regenerated
+        assert stats["roots_hits"] > before["roots_hits"]
+        assert stats["entries_preserved"] >= before["root_pool_groups"] - 1
+
+    def test_fine_disabled_config_restores_coarse_clearing(self):
+        workspace = Workspace.builtin(
+            "paint", config=EngineConfig(fine_invalidation=False))
+        document = workspace.ts.get("PaintDotNet.Document")
+        context = workspace.context(locals={"img": document})
+        workspace.complete_many(_requests(workspace, context, QUERIES))
+        document.add_field(Field("zzCoarse", workspace.ts.string_type))
+        workspace.complete_many(_requests(workspace, context, ["img.?f"]))
+        stats = workspace.cache_stats()
+        assert stats["invalidations_coarse"] == 1
+        assert stats["invalidations_fine"] == 0
+
+
+class TestScalingPreservation:
+    def test_single_type_edit_preserves_80_percent_on_scale90(self):
+        from repro.corpus import synthesize_project
+        from repro.eval.bench import _mutation_target, _scaling_spec
+
+        project = synthesize_project(_scaling_spec(90))
+        ts = project.ts
+        engine = CompletionEngine(ts)
+        context = project.impls[0].context(ts)
+        locals_list = list(context.locals.items())[:2]
+        query = "?({{{}}})".format(", ".join(n for n, _ in locals_list))
+        engine.complete_query(parse(query, context), context)
+
+        target = _mutation_target(ts, context)
+        target.add_field(Field("zzScale", ts.string_type))
+        engine.complete_query(parse(query, context), context)
+
+        stats = engine.cache_stats()
+        assert stats["invalidations_fine"] == 1
+        preserved = stats["entries_preserved"]
+        dropped = stats["entries_dropped"]
+        assert preserved / (preserved + dropped) >= 0.8
+
+
+class TestWarmFineMatchesColdEngine:
+    """The PR 6 mutation oracle replayed against the fine-grained cache:
+    after deterministic member edits, a warm engine (footprint-preserved
+    entries and all) must answer exactly like a cold one, across every
+    builtin universe and three seeds."""
+
+    SOURCES = ["a.?f", "a.?*m", "b.?m", "?({a, b})"]
+
+    @pytest.mark.parametrize("universe", sorted(Workspace.BUILTIN))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_warm_equals_cold_after_mutations(self, universe, seed):
+        workspace = Workspace.builtin(universe)
+        ts = workspace.ts
+        rng = random.Random(seed)
+        types = [
+            t for t in ts.all_types()
+            if not t.is_primitive
+            and (t.fields or t.properties or t.methods)
+        ]
+        first, second = rng.sample(types, 2)
+        context = workspace.context(locals={"a": first, "b": second})
+        requests = _requests(workspace, context, self.SOURCES)
+        workspace.complete_many(requests)
+
+        for index in range(3):
+            target = rng.choice(types)
+            kind = rng.randrange(3)
+            if kind == 0:
+                target.add_field(
+                    Field("zzF{}_{}".format(seed, index), ts.string_type))
+            elif kind == 1:
+                target.add_method(Method(
+                    "zzM{}_{}".format(seed, index),
+                    return_type=ts.string_type,
+                    params=[Parameter("x", rng.choice(types))]))
+            elif target.methods:
+                target.set_member_order(
+                    methods=list(reversed(target.methods)))
+
+        warm_outcomes = workspace.complete_many(
+            _requests(workspace, context, self.SOURCES))
+        cold_engine = CompletionEngine(ts, EngineConfig(enable_cache=False))
+        for source, warm_outcome in zip(self.SOURCES, warm_outcomes):
+            cold_outcome = cold_engine.complete_query(
+                parse(source, context), context, n=10)
+            check_mutation_outcomes(warm_outcome, cold_outcome, n=10)
 
 
 class TestSetMemberOrder:

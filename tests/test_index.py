@@ -133,3 +133,87 @@ class TestReachabilityIndex:
         ts, animal, dog, *_ = world
         reach = ReachabilityIndex(ts, max_depth=0)
         assert reach.steps_to_target(dog, ts.string_type, True) is None
+
+
+class TestIncrementalRefresh:
+    """Mutation windows patch the indexes instead of rebuilding them."""
+
+    def test_field_only_edit_skips_both_patch_and_rebuild(self, world):
+        from repro.codemodel.members import Field
+
+        ts, animal, dog, *_ = world
+        index = MethodIndex(ts)
+        dog.add_field(Field("zzWeight", ts.string_type))
+        index.refresh()
+        # fields never enter the method index: a field-only window is a
+        # pure restamp, not a patch
+        assert index.patches == 0
+        assert index.rebuilds == 0
+        assert index.built_version == ts.version
+
+    def test_method_edit_patches_to_cold_equivalence(self, world):
+        from repro.codemodel.members import Method, Parameter
+
+        ts, animal, dog, *_ = world
+        warm = MethodIndex(ts)
+        dog.add_method(
+            Method("zzFetch", return_type=ts.string_type,
+                   params=[Parameter("toy", ts.string_type)]))
+        warm.refresh()
+        assert warm.patches == 1
+        assert warm.rebuilds == 0
+
+        cold = MethodIndex(ts)
+        assert [id(m) for m in warm.all_methods()] == [
+            id(m) for m in cold.all_methods()]
+        assert set(warm._by_exact_type) == set(cold._by_exact_type)
+        for key, bucket in cold._by_exact_type.items():
+            assert [id(m) for m in warm._by_exact_type[key]] == [
+                id(m) for m in bucket]
+
+    def test_method_reorder_patch_restores_declaration_order(self, world):
+        ts, animal, dog, *_ = world
+        warm = MethodIndex(ts)
+        dog.set_member_order(methods=list(reversed(dog.methods)))
+        warm.refresh()
+        assert warm.patches == 1
+
+        cold = MethodIndex(ts)
+        assert [id(m) for m in warm.methods_accepting(dog)] == [
+            id(m) for m in cold.methods_accepting(dog)]
+
+    def test_structural_edit_forces_rebuild(self, world):
+        ts, animal, dog, *_ = world
+        lib = LibraryBuilder(ts)
+        index = MethodIndex(ts)
+        lib.cls("Zoo.Cat", base=animal)
+        index.refresh()
+        assert index.rebuilds == 1
+        assert index.patches == 0
+
+    def test_reachability_preserves_walks_on_unrelated_edit(self, world):
+        from repro.codemodel.members import Field
+
+        ts, animal, dog, *_ = world
+        lib = LibraryBuilder(ts)
+        island = lib.cls("Far.Island")
+        reach = ReachabilityIndex(ts)
+        reach.reachable(dog, allow_methods=False)
+        assert (dog.full_name, False) in reach._walk_fp
+
+        island.add_field(Field("zzSand", ts.string_type))
+        reach.refresh()
+        # Island is not in the Dog walk's footprint: the memo survives
+        assert (dog.full_name, False) in reach._walk_fp
+
+    def test_reachability_drops_walks_touching_the_edit(self, world):
+        from repro.codemodel.members import Field
+
+        ts, animal, dog, *_ = world
+        reach = ReachabilityIndex(ts)
+        reach.reachable(dog, allow_methods=False)
+        assert (dog.full_name, False) in reach._walk_fp
+
+        dog.add_field(Field("zzBone", ts.string_type))
+        reach.refresh()
+        assert (dog.full_name, False) not in reach._walk_fp
