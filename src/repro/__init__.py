@@ -42,15 +42,16 @@ def _api():
 
 
 def __getattr__(name):
-    if name == "fuzz":
-        # ``repro.fuzz`` is the fuzzing-harness subpackage, and once
-        # anything imports it the import system pins it as an attribute
-        # here, shadowing this hook.  Resolve it to the subpackage
-        # unconditionally so the name means the same thing regardless
-        # of import order; the facade helper stays ``repro.api.fuzz``.
+    if name in ("fuzz", "serve"):
+        # ``repro.fuzz`` / ``repro.serve`` are subpackages, and once
+        # anything imports them the import system pins them as
+        # attributes here, shadowing this hook.  Resolve both to the
+        # subpackage unconditionally so the names mean the same thing
+        # regardless of import order; the facade helpers stay
+        # ``repro.api.fuzz`` / ``repro.api.serve``.
         import importlib
 
-        return importlib.import_module(__name__ + ".fuzz")
+        return importlib.import_module(__name__ + "." + name)
     api = _api()
     if name == "__all__":
         return list(api.__all__) + ["__version__"]

@@ -13,6 +13,8 @@
     python -m repro bench --quick --compare benchmarks/baseline/BENCH_seed.json
     python -m repro fuzz --seed 7 --iterations 50 --chaos
     python -m repro fuzz --replay FUZZ_REPRO_seed7_iter3.json
+    python -m repro serve --universes paint,bcl --port 8137
+    python -m repro loadtest --universe paint --n-workers 4 --duration 5
     python -m repro profile --universe paint --flame flame.txt
     python -m repro diff BENCH_old.json BENCH_new.json --markdown regression.md
     python -m repro report -o EVAL_REPORT.md --run-log runlog.ndjson
@@ -238,6 +240,68 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--run-log", default=None, metavar="PATH",
                       help="write the structured NDJSON run log (seed "
                            "in the manifest, one event per iteration)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the completion server (multi-tenant HTTP/JSON)",
+        description="Serve named workspaces over the v1 HTTP/JSON "
+                    "protocol (docs/SERVING.md): POST /v1/complete, "
+                    "/v1/complete_many, /v1/explain; GET /v1/stats, "
+                    "/v1/healthz.  One warm engine per workspace with "
+                    "session affinity; per-request deadlines map onto "
+                    "the QueryBudget machinery and overloaded tenants "
+                    "shed with structured 429/504 errors.  Runs until "
+                    "interrupted; Ctrl-C drains in-flight requests.",
+    )
+    serve.add_argument("--universes", default="paint,geometry,bcl",
+                       metavar="KEY[,KEY...]",
+                       help="builtin universes to serve as workspaces "
+                            "(default: paint,geometry,bcl)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8137,
+                       help="listen port (default 8137; 0 = ephemeral)")
+    serve.add_argument("--default-deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="deadline applied to requests that carry "
+                            "none (default: unlimited)")
+    serve.add_argument("--run-log-dir", default=None, metavar="DIR",
+                       help="stream each tenant's NDJSON run log to "
+                            "DIR/serve_<workspace>.ndjson")
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="multi-worker load generator against a completion server",
+        description="Replay a universe's golden battery from N worker "
+                    "threads for a fixed duration and write a "
+                    "schema-versioned BENCH_serve_<label>.json (p50/p95 "
+                    "latency, throughput, shed rate) that 'repro diff' "
+                    "and 'repro bench --compare' understand.  With no "
+                    "--url an in-process server is spawned on an "
+                    "ephemeral port.  Shed requests (tiny deadlines, "
+                    "overload) are counted, not fatal.  Exit 0 on a "
+                    "completed run, 1 when every request errored, 2 on "
+                    "bad input.  See docs/SERVING.md.",
+    )
+    loadtest.add_argument("--url", default=None,
+                          help="server base URL (default: spawn an "
+                               "in-process server)")
+    loadtest.add_argument("--universe", default="paint")
+    loadtest.add_argument("--n-workers", type=int, default=4)
+    loadtest.add_argument("--duration", type=float, default=5.0,
+                          metavar="SECONDS")
+    loadtest.add_argument("--deadline-ms", type=float, default=None,
+                          metavar="MS",
+                          help="per-request deadline; queue overflow "
+                               "sheds with structured 429/504 errors")
+    loadtest.add_argument("--label", default="local")
+    loadtest.add_argument("-n", type=int, default=10,
+                          help="suggestions per query (default 10)")
+    loadtest.add_argument("-o", "--output", default=None, metavar="PATH",
+                          help="write the document here (default "
+                               "BENCH_serve_<label>.json)")
+    loadtest.add_argument("--run-log-dir", default=None, metavar="DIR",
+                          help="with a spawned server, stream its "
+                               "per-tenant run logs to DIR")
 
     stats = sub.add_parser(
         "stats",
@@ -721,6 +785,107 @@ def _run_fuzz(args: argparse.Namespace, write) -> int:
     return 1 if report.failed else EXIT_OK
 
 
+def _parse_universes(spec: str, write) -> Optional[List[str]]:
+    keys = [key.strip() for key in spec.split(",") if key.strip()]
+    if not keys:
+        write("error: --universes names no universes")
+        return None
+    for key in keys:
+        if key not in Workspace.BUILTIN:
+            write("error: unknown universe {!r}; choose one of: {}".format(
+                key, ", ".join(sorted(Workspace.BUILTIN))))
+            return None
+    return keys
+
+
+def _run_serve(args: argparse.Namespace, write) -> int:  # pragma: no cover
+    # interactive foreground loop; the start/stop machinery itself is
+    # covered through the in-process fixtures in tests/test_serve.py
+    import asyncio
+
+    from .serve import CompletionServer, EnginePool
+
+    universes = _parse_universes(args.universes, write)
+    if universes is None:
+        return EXIT_USAGE
+    if args.default_deadline_ms is not None and args.default_deadline_ms <= 0:
+        write("error: --default-deadline-ms must be positive")
+        return EXIT_USAGE
+    server = CompletionServer(
+        pool=EnginePool(universes),
+        host=args.host,
+        port=args.port,
+        default_deadline_ms=args.default_deadline_ms,
+        run_log_dir=args.run_log_dir,
+    )
+
+    async def run() -> None:
+        write("warming {} workspace(s): {}".format(
+            len(universes), ", ".join(universes)))
+        await server.start()
+        write("serving on {} (Ctrl-C to drain and stop)".format(server.url))
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        write("draining in-flight requests...")
+        asyncio.run(server.stop(drain=True))
+        write("stopped")
+    return EXIT_OK
+
+
+def _run_loadtest(args: argparse.Namespace, write) -> int:
+    from .eval.bench import save_bench
+    from .serve import render_loadgen, run_loadgen
+
+    if args.universe not in Workspace.BUILTIN:
+        write("error: unknown universe {!r}; choose one of: {}".format(
+            args.universe, ", ".join(sorted(Workspace.BUILTIN))))
+        return EXIT_USAGE
+    if args.n_workers <= 0:
+        write("error: --n-workers must be positive")
+        return EXIT_USAGE
+    if args.duration <= 0:
+        write("error: --duration must be positive")
+        return EXIT_USAGE
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        write("error: --deadline-ms must be positive")
+        return EXIT_USAGE
+    try:
+        document = run_loadgen(
+            url=args.url,
+            universe=args.universe,
+            n_workers=args.n_workers,
+            duration_s=args.duration,
+            deadline_ms=args.deadline_ms,
+            label=args.label,
+            n=args.n,
+            run_log_dir=args.run_log_dir,
+            log=write,
+        )
+    except (OSError, ValueError) as error:
+        write("error: {}".format(error))
+        return EXIT_USAGE
+    for line in render_loadgen(document):
+        write(line)
+    output = args.output or "BENCH_serve_{}.json".format(args.label)
+    try:
+        save_bench(output, document)
+    except OSError as error:
+        write("error: {}".format(error))
+        return EXIT_USAGE
+    write("wrote {}".format(output))
+    serve = document["serve"]
+    if serve["requests"] > 0 and serve["ok"] == 0 and serve["shed"] == 0:
+        write("error: every request failed; is the server healthy?")
+        return 1
+    return EXIT_OK
+
+
 def _run_profile(args: argparse.Namespace, write) -> int:
     from .obs import Profile, profile_run_log, read_run_log
 
@@ -853,6 +1018,10 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
         return _run_bench(args, write)
     if args.command == "fuzz":
         return _run_fuzz(args, write)
+    if args.command == "serve":  # pragma: no cover - foreground loop
+        return _run_serve(args, write)
+    if args.command == "loadtest":
+        return _run_loadtest(args, write)
     if args.command == "stats":
         return _run_stats(args, write)
     if args.command == "impact":

@@ -298,6 +298,51 @@ def fuzz(seed: int = 0, iterations: int = 20, chaos: bool = False,
     return run_fuzz(config, write=log, run_log=run_log)
 
 
+def serve(
+    universes=("paint", "geometry", "bcl"),
+    host: str = "127.0.0.1",
+    port: int = 0,
+    default_deadline_ms: Optional[float] = None,
+    run_log_dir: Optional[str] = None,
+):
+    """Start the completion server on a background thread and return its
+    :class:`~repro.serve.server.ServerHandle` once every workspace is
+    warm and the port is bound (``handle.url``; stop with
+    ``handle.stop()``, which drains in-flight requests).  One warm
+    engine per named workspace, per-request ``deadline_ms`` admission
+    control, per-tenant metrics and run logs — see docs/SERVING.md.
+    Imported lazily — the serving layer pulls in the corpus layer."""
+    from .serve import start_in_thread
+
+    return start_in_thread(
+        universes, host=host, port=port,
+        default_deadline_ms=default_deadline_ms, run_log_dir=run_log_dir,
+    )
+
+
+def loadtest(
+    url: Optional[str] = None,
+    universe: str = "paint",
+    n_workers: int = 4,
+    duration_s: float = 5.0,
+    deadline_ms: Optional[float] = None,
+    label: str = "api",
+    log=None,
+) -> dict:
+    """Replay the universe's golden battery from ``n_workers`` threads
+    against a live server (or, with ``url=None``, a spawned in-process
+    one) and return the ``BENCH_serve_<label>``-shaped document —
+    latency percentiles, throughput, shed rate (docs/SERVING.md).
+    Imported lazily — the load generator pulls in the serving layer."""
+    from .serve import run_loadgen
+
+    return run_loadgen(
+        url=url, universe=universe, n_workers=n_workers,
+        duration_s=duration_s, deadline_ms=deadline_ms, label=label,
+        log=log if log is not None else (lambda line: None),
+    )
+
+
 def profile(
     workspace: Workspace, sources: List[str], **scope
 ) -> Profile:
@@ -325,8 +370,10 @@ __all__ = [
     "fuzz",
     "impact",
     "lint",
+    "loadtest",
     "open_workspace",
     "profile",
+    "serve",
     # analysis
     "AbstractTypeAnalysis",
     "Context",

@@ -55,8 +55,9 @@ class QueryRecord:
     (:class:`~repro.engine.completer.QueryStatus`), how long it ran,
     and which optional ranking features failed and were neutralised.
     ``truncated`` mirrors ``status.truncation`` for display.  ``cached``
-    marks a whole-query cache replay, and ``trace`` holds the exported
-    span dicts when the session ran the query with tracing on.
+    marks a whole-query cache replay, ``steps`` the expansion-step count
+    the engine charged, and ``trace`` holds the exported span dicts when
+    the session ran the query with tracing on.
     """
 
     source: str
@@ -67,6 +68,7 @@ class QueryRecord:
     degraded: Set[str] = field(default_factory=set)
     status: Optional[QueryStatus] = None
     cached: bool = False
+    steps: int = 0
     trace: Optional[List[dict]] = None
 
 
@@ -188,6 +190,7 @@ class CompletionSession:
         record.truncated = outcome.status.truncation
         record.degraded = set(outcome.degraded)
         record.cached = outcome.cached
+        record.steps = outcome.steps
         record.trace = outcome.trace
 
     def complete(self, source: str) -> QueryRecord:

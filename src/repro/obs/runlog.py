@@ -15,7 +15,11 @@ event as the run proceeds:
 * ``{"kind": "event", ...}`` — anything else worth recording (batch
   boundaries, skipped corpus programs, ``repro fuzz``'s per-iteration
   ``fuzz_iteration`` / ``fuzz_counterexample`` records, ...),
-  free-form ``data``.
+  free-form ``data``;
+* ``{"kind": "server_request", ...}`` — one request answered (or shed)
+  by the completion server (:mod:`repro.serve`): endpoint, tenant
+  workspace, HTTP status, stable error/ok code, queue wait and total
+  latency, and the request's deadline when it carried one.
 
 Every record is appended under one lock and serialised as exactly one
 NDJSON line, so logs written from a thread-pool-sharded
@@ -91,6 +95,7 @@ class RunLog:
         self._lock = threading.Lock()
         self._clock = clock
         self._epoch = clock()
+        self._stream = None
         self.label = label
         self.run_id = "{}-{}-{}".format(label, os.getpid(),
                                         next(_run_counter))
@@ -135,6 +140,23 @@ class RunLog:
     def _append(self, record: Dict[str, Any]) -> None:
         with self._lock:
             self._records.append(record)
+            if self._stream is not None:
+                self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+                self._stream.flush()
+
+    def attach_stream(self, handle) -> None:
+        """Stream the log to an open text file as it grows: every record
+        appended so far is written immediately (manifest first), then
+        each future append lands as one flushed NDJSON line — how a
+        long-lived server keeps an on-disk log without ever calling
+        :meth:`write`.  Manifest fields back-filled by :meth:`annotate`
+        after attachment only reach the file on a later :meth:`write`;
+        the streamed manifest stays schema-valid without them."""
+        with self._lock:
+            self._stream = handle
+            for record in self._records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
 
     # ------------------------------------------------------------------
     # emission
@@ -221,6 +243,51 @@ class RunLog:
             record["error"] = error
         if spans is not None:
             record["spans"] = spans
+        self._append(record)
+
+    def server_request(
+        self,
+        endpoint: str,
+        status: int,
+        code: str,
+        elapsed_ms: float,
+        *,
+        workspace: Optional[str] = None,
+        queue_ms: Optional[float] = None,
+        deadline_ms: Optional[float] = None,
+        queries: Optional[int] = None,
+        completions: Optional[int] = None,
+        shed: bool = False,
+    ) -> None:
+        """One request the completion server answered (or shed).
+
+        ``status`` is the HTTP status sent back, ``code`` the stable
+        machine-readable outcome (``"ok"``, ``"shed"``,
+        ``"deadline_exceeded"``, ``"unknown_workspace"``, ...,
+        docs/SERVING.md); ``queue_ms`` is time spent waiting for the
+        tenant's engine, ``elapsed_ms`` the whole admission-to-response
+        latency.  ``shed`` marks requests rejected by admission control
+        without touching the engine.
+        """
+        record: Dict[str, Any] = {
+            "kind": "server_request",
+            "endpoint": endpoint,
+            "t_ms": round(self._now_ms(), 4),
+            "status": int(status),
+            "code": code,
+            "elapsed_ms": round(float(elapsed_ms), 4),
+            "shed": bool(shed),
+        }
+        if workspace is not None:
+            record["workspace"] = workspace
+        if queue_ms is not None:
+            record["queue_ms"] = round(float(queue_ms), 4)
+        if deadline_ms is not None:
+            record["deadline_ms"] = float(deadline_ms)
+        if queries is not None:
+            record["queries"] = int(queries)
+        if completions is not None:
+            record["completions"] = int(completions)
         self._append(record)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,216 @@
+"""The load generator: multi-worker replay against a live server.
+
+``run_loadgen`` fans ``n_workers`` threads out against a completion
+server — each worker owns one keep-alive connection and replays the
+universe's pinned golden battery (:mod:`repro.eval.battery`) for
+``duration_s`` seconds, every request carrying ``deadline_ms`` when one
+is configured.  With no ``url`` it spawns an in-process server first
+(the CI smoke path and the test fixture), so one call measures the
+whole stack.
+
+The result is a schema-versioned ``BENCH_serve_<label>.json`` in the
+standard bench format (``repro-bench`` v1): latency percentiles land in
+a ``serve/<universe>`` workload entry the existing ``repro diff`` /
+``compare_bench`` tooling already understands, and a ``serve`` section
+adds the service-level numbers — throughput, shed rate, per-worker
+request counts (docs/SERVING.md, docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..eval.battery import battery_for
+from ..eval.bench import VERSION, _FORMAT, _percentile
+from .client import ServeClient
+
+#: outcome categories a worker tallies per request
+_OK, _SHED, _ERROR = "ok", "shed", "error"
+
+
+class _WorkerStats:
+    """One worker's tally (touched only by its own thread)."""
+
+    __slots__ = ("latencies_ms", "ok", "shed", "errors", "steps",
+                 "completions")
+
+    def __init__(self) -> None:
+        self.latencies_ms: List[float] = []
+        self.ok = 0
+        self.shed = 0
+        self.errors = 0
+        self.steps = 0
+        self.completions = 0
+
+    @property
+    def requests(self) -> int:
+        return self.ok + self.shed + self.errors
+
+
+def _classify(status: int, body: Dict[str, Any]) -> str:
+    if status == 200:
+        return _OK
+    error = body.get("error") or {}
+    if error.get("code") in ("shed", "deadline_exceeded"):
+        return _SHED
+    return _ERROR
+
+
+def _worker(
+    url: str,
+    universe: str,
+    deadline_ms: Optional[float],
+    n: int,
+    deadline: float,
+    stats: _WorkerStats,
+) -> None:
+    battery = battery_for(universe)
+    body_base: Dict[str, Any] = {"locals": battery.locals, "n": n}
+    if battery.this_type is not None:
+        body_base["this"] = battery.this_type
+    if deadline_ms is not None:
+        body_base["deadline_ms"] = deadline_ms
+    with ServeClient(url) as client:
+        while time.monotonic() < deadline:
+            for query in battery.queries:
+                if time.monotonic() >= deadline:
+                    break
+                started = time.monotonic()
+                try:
+                    status, body = client.complete(universe, query,
+                                                   **body_base)
+                except OSError:
+                    stats.errors += 1
+                    continue
+                elapsed_ms = (time.monotonic() - started) * 1000.0
+                outcome = _classify(status, body)
+                if outcome == _OK:
+                    stats.ok += 1
+                    stats.latencies_ms.append(elapsed_ms)
+                    stats.steps += int(body.get("steps", 0))
+                    stats.completions += len(body.get("suggestions", []))
+                elif outcome == _SHED:
+                    stats.shed += 1
+                else:
+                    stats.errors += 1
+
+
+def run_loadgen(
+    url: Optional[str] = None,
+    universe: str = "paint",
+    n_workers: int = 4,
+    duration_s: float = 5.0,
+    deadline_ms: Optional[float] = None,
+    label: str = "serve",
+    n: int = 10,
+    run_log_dir: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Drive the load and return the BENCH document.
+
+    With ``url=None`` an in-process server over ``universe`` is spawned
+    on an ephemeral port (and torn down afterwards); ``run_log_dir``
+    then streams the spawned server's per-tenant run logs there.  A
+    tiny ``deadline_ms`` is a legitimate configuration: shed requests
+    are counted, not raised — the document simply reports a high
+    ``shed_rate``.
+    """
+    emit = log or (lambda _line: None)
+    battery_for(universe)  # validate the universe key up front
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+
+    handle = None
+    if url is None:
+        from .server import start_in_thread
+
+        emit("spawning in-process server over {!r}...".format(universe))
+        handle = start_in_thread((universe,), run_log_dir=run_log_dir)
+        url = handle.url
+    try:
+        emit("load: {} worker(s) x {:.1f}s against {} (deadline {})".format(
+            n_workers, duration_s, url,
+            "{:.0f} ms".format(deadline_ms) if deadline_ms else "none"))
+        per_worker = [_WorkerStats() for _ in range(n_workers)]
+        deadline = time.monotonic() + duration_s
+        started = time.monotonic()
+        threads = [
+            threading.Thread(
+                target=_worker,
+                args=(url, universe, deadline_ms, n, deadline, stats),
+                name="loadgen-{}".format(index),
+            )
+            for index, stats in enumerate(per_worker)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.monotonic() - started
+    finally:
+        if handle is not None:
+            handle.stop()
+
+    latencies = sorted(
+        value for stats in per_worker for value in stats.latencies_ms)
+    requests = sum(stats.requests for stats in per_worker)
+    ok = sum(stats.ok for stats in per_worker)
+    shed = sum(stats.shed for stats in per_worker)
+    errors = sum(stats.errors for stats in per_worker)
+    document: Dict[str, Any] = {
+        "format": _FORMAT,
+        "version": VERSION,
+        "label": "serve_{}".format(label),
+        "quick": False,
+        "seed": None,
+        "workloads": [{
+            "name": "serve/{}".format(universe),
+            "queries": ok,
+            "repeats": 1,
+            "p50_ms": _percentile(latencies, 0.50),
+            "p95_ms": _percentile(latencies, 0.95),
+            "steps": sum(stats.steps for stats in per_worker),
+        }],
+        "serve": {
+            "url": url,
+            "universe": universe,
+            "n_workers": n_workers,
+            "duration_s": duration_s,
+            "wall_s": round(wall_s, 3),
+            "deadline_ms": deadline_ms,
+            "requests": requests,
+            "ok": ok,
+            "shed": shed,
+            "errors": errors,
+            "shed_rate": (shed / requests) if requests else 0.0,
+            "throughput_rps": (requests / wall_s) if wall_s > 0 else 0.0,
+            "completions": sum(s.completions for s in per_worker),
+            "per_worker_requests": [s.requests for s in per_worker],
+        },
+    }
+    return document
+
+
+def render_loadgen(document: Dict[str, Any]) -> List[str]:
+    """Human-readable summary of one loadtest document."""
+    serve = document["serve"]
+    workload = document["workloads"][0]
+    lines = ["loadtest '{}' against {}".format(
+        document["label"], serve["url"])]
+    lines.append(
+        "  {} worker(s) x {:.1f}s on {!r}: {} requests "
+        "({:.1f} req/s)".format(
+            serve["n_workers"], serve["duration_s"], serve["universe"],
+            serve["requests"], serve["throughput_rps"]))
+    lines.append(
+        "  ok {} / shed {} / errors {}  (shed rate {:.1%})".format(
+            serve["ok"], serve["shed"], serve["errors"],
+            serve["shed_rate"]))
+    lines.append(
+        "  latency p50 {:.2f} ms, p95 {:.2f} ms ({} steps)".format(
+            workload["p50_ms"], workload["p95_ms"], workload["steps"]))
+    return lines

@@ -1,0 +1,131 @@
+"""Load-generator unit tests against an in-process server fixture.
+
+Pins the harness contract from ISSUE/ROADMAP: worker fan-out honours
+``n_workers``, the emitted document is schema-valid ``repro-bench`` v1
+that round-trips the existing ``repro diff`` tooling, and a tiny
+``deadline_ms`` produces a nonzero shed rate **without failing the
+run** — shedding is a measured outcome, not an error.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.eval.bench import load_bench, save_bench, validate_bench
+from repro.obs import diff_runs
+from repro.obs.diff import load_run_artifact, render_text
+from repro.serve import render_loadgen, run_loadgen
+
+UNIVERSE = "bcl"
+
+
+@pytest.fixture(scope="module")
+def document():
+    """One short spawned-server run shared by the shape tests."""
+    return run_loadgen(universe=UNIVERSE, n_workers=3, duration_s=0.6,
+                       label="unit")
+
+
+class TestFanOut:
+    def test_honours_n_workers(self, document):
+        serve = document["serve"]
+        assert serve["n_workers"] == 3
+        assert len(serve["per_worker_requests"]) == 3
+        assert all(count > 0 for count in serve["per_worker_requests"])
+        assert sum(serve["per_worker_requests"]) == serve["requests"]
+
+    def test_totals_are_consistent(self, document):
+        serve = document["serve"]
+        assert serve["ok"] + serve["shed"] + serve["errors"] == \
+            serve["requests"]
+        assert serve["errors"] == 0
+        assert serve["ok"] > 0
+        assert serve["throughput_rps"] > 0
+        assert serve["wall_s"] >= serve["duration_s"] * 0.9
+
+    def test_latency_percentiles_ordered(self, document):
+        workload = document["workloads"][0]
+        assert workload["name"] == "serve/{}".format(UNIVERSE)
+        assert 0 < workload["p50_ms"] <= workload["p95_ms"]
+        assert workload["queries"] == document["serve"]["ok"]
+        assert workload["steps"] >= 0
+
+
+class TestBenchContract:
+    def test_document_is_schema_valid(self, document):
+        assert validate_bench(document) is document
+
+    def test_round_trips_save_load_and_diff(self, document, tmp_path):
+        path = tmp_path / "BENCH_serve_unit.json"
+        save_bench(str(path), document)
+        loaded = load_bench(str(path))
+        assert loaded["label"] == "serve_unit"
+        artifact = load_run_artifact(str(path))
+        diff = diff_runs(artifact, artifact)
+        assert diff.old_label == diff.new_label == "serve_unit"
+        assert render_text(diff)
+
+    def test_render_is_human_readable(self, document):
+        lines = render_loadgen(document)
+        assert any("serve_unit" in line for line in lines)
+        assert any("shed rate" in line for line in lines)
+
+
+class TestDeadlineShedding:
+    def test_tiny_deadline_sheds_without_failing(self):
+        document = run_loadgen(universe=UNIVERSE, n_workers=2,
+                               duration_s=0.5, deadline_ms=0.5,
+                               label="shed")
+        serve = document["serve"]
+        assert serve["requests"] > 0
+        assert serve["shed"] > 0
+        assert serve["shed_rate"] > 0
+        assert serve["errors"] == 0, \
+            "a shed is a structured outcome, never an error"
+        validate_bench(document)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            run_loadgen(universe=UNIVERSE, n_workers=0, duration_s=0.5)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            run_loadgen(universe=UNIVERSE, n_workers=1, duration_s=0)
+
+    def test_rejects_unknown_universe(self):
+        with pytest.raises((KeyError, ValueError)):
+            run_loadgen(universe="nope", n_workers=1, duration_s=0.5)
+
+
+class TestCliSurface:
+    def _run(self, argv):
+        out = io.StringIO()
+        code = cli_main(argv, write=lambda line="": out.write(str(line) + "\n"))
+        return code, out.getvalue()
+
+    def test_loadtest_writes_valid_bench(self, tmp_path):
+        output = tmp_path / "BENCH_serve_cli.json"
+        code, text = self._run([
+            "loadtest", "--universe", UNIVERSE, "--n-workers", "2",
+            "--duration", "0.5", "--label", "cli", "-o", str(output)])
+        assert code == 0, text
+        assert "wrote {}".format(output) in text
+        document = json.loads(output.read_text())
+        validate_bench(document)
+        assert document["serve"]["n_workers"] == 2
+
+    def test_loadtest_usage_errors(self, tmp_path):
+        code, text = self._run(["loadtest", "--n-workers", "0"])
+        assert code == 2
+        assert "--n-workers" in text
+        code, text = self._run(["loadtest", "--universe", "nope"])
+        assert code == 2
+        assert "unknown universe" in text
+        code, text = self._run(["loadtest", "--duration", "0"])
+        assert code == 2
+        code, text = self._run(["loadtest", "--deadline-ms", "-1"])
+        assert code == 2

@@ -428,16 +428,17 @@ class TestFacade:
         import repro
         from repro import api
 
-        import repro.fuzz
+        import importlib
 
         for name in api.__all__:
-            if name == "fuzz":
-                # the one name that is both a facade helper and a
-                # subpackage: top-level resolves to the subpackage
-                # (import-order independent), the helper lives at
-                # ``repro.api.fuzz``
-                assert getattr(repro, name) is repro.fuzz
-                assert callable(api.fuzz)
+            if name in ("fuzz", "serve"):
+                # the names that are both facade helpers and
+                # subpackages: top-level resolves to the subpackage
+                # (import-order independent), the helpers live at
+                # ``repro.api.fuzz`` / ``repro.api.serve``
+                subpackage = importlib.import_module("repro." + name)
+                assert getattr(repro, name) is subpackage
+                assert callable(getattr(api, name))
                 continue
             assert getattr(repro, name) is getattr(api, name)
         assert set(repro.__all__) == set(api.__all__) | {"__version__"}

@@ -279,3 +279,87 @@ class TestCliSurfaces:
     def test_profile_rejects_unknown_universe(self):
         code, output = self._run(["profile", "--universe", "nope"])
         assert code == 2
+
+
+class TestServerRequestRecords:
+    """The ``server_request`` record kind added for the serving layer:
+    good records validate, streaming works, and the schema still
+    rejects genuinely bad records (the regression the ISSUE pins)."""
+
+    def _log(self):
+        return RunLog("serve-unit", config_signature=signature_hex(("s", 1)),
+                      universes={"bcl": 1})
+
+    def test_full_record_validates(self):
+        log = self._log()
+        log.server_request(
+            endpoint="/v1/complete", status=200, code="ok",
+            elapsed_ms=1.25, workspace="bcl", queue_ms=0.1,
+            deadline_ms=50.0, queries=1, completions=10, shed=False)
+        assert validate_runlog_text(log.to_ndjson()) == []
+        record = log.records()[-1]
+        assert record["kind"] == "server_request"
+        assert record["status"] == 200
+        assert record["shed"] is False
+
+    def test_minimal_record_validates(self):
+        log = self._log()
+        log.server_request(endpoint="/v1/healthz", status=405,
+                           code="method_not_allowed", elapsed_ms=0.02,
+                           shed=False)
+        assert validate_runlog_text(log.to_ndjson()) == []
+
+    def test_shed_record_validates(self):
+        log = self._log()
+        log.server_request(endpoint="/v1/complete", status=429,
+                           code="shed", elapsed_ms=0.5, workspace="bcl",
+                           deadline_ms=1.0, shed=True)
+        assert validate_runlog_text(log.to_ndjson()) == []
+        assert log.records()[-1]["shed"] is True
+
+    def _lines(self, log):
+        return log.to_ndjson().splitlines()
+
+    def test_missing_required_field_rejected(self):
+        log = self._log()
+        log.server_request(endpoint="/v1/complete", status=200, code="ok",
+                           elapsed_ms=1.0)
+        lines = self._lines(log)
+        record = json.loads(lines[-1])
+        del record["status"]
+        lines[-1] = json.dumps(record)
+        problems = validate_runlog_text("\n".join(lines) + "\n")
+        assert problems
+        assert any("status" in problem for problem in problems)
+
+    def test_unknown_extra_field_rejected(self):
+        log = self._log()
+        log.server_request(endpoint="/v1/complete", status=200, code="ok",
+                           elapsed_ms=1.0)
+        lines = self._lines(log)
+        record = json.loads(lines[-1])
+        record["smuggled"] = True
+        lines[-1] = json.dumps(record)
+        assert validate_runlog_text("\n".join(lines) + "\n")
+
+    def test_unknown_kind_still_rejected(self):
+        log = self._log()
+        lines = self._lines(log)
+        lines.append(json.dumps({"kind": "nonsense", "t_ms": 1.0}))
+        problems = validate_runlog_text("\n".join(lines) + "\n")
+        assert problems
+
+    def test_attach_stream_replays_then_follows(self):
+        log = self._log()
+        log.event("warm", tenant="bcl")
+        sink = io.StringIO()
+        log.attach_stream(sink)
+        replayed = sink.getvalue().splitlines()
+        assert len(replayed) == len(log)  # manifest + event replayed
+        assert json.loads(replayed[0])["kind"] == "run"
+        log.server_request(endpoint="/v1/complete", status=200, code="ok",
+                           elapsed_ms=0.8)
+        streamed = sink.getvalue().splitlines()
+        assert len(streamed) == len(replayed) + 1
+        assert json.loads(streamed[-1])["kind"] == "server_request"
+        assert validate_runlog_text(sink.getvalue()) == []

@@ -1,0 +1,276 @@
+"""Protocol battery for the completion service (docs/SERVING.md).
+
+Three guarantees pinned here:
+
+* **Golden round-trips** — a completion served over HTTP is
+  byte-identical (as sorted JSON) to the same query answered by the
+  in-process :func:`repro.api.complete` facade on a fresh workspace;
+* **Error shapes** — every failure is a structured body with a stable
+  ``code`` and the exit-style mapping of :data:`repro.serve.protocol
+  .ERROR_CODES` (unknown workspace, malformed bodies, parse errors,
+  sheds, deadline expiry);
+* **Lifecycle** — startup warms the pool before the port opens, and a
+  graceful shutdown drains in-flight requests instead of dropping them.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import complete, complete_many, explain, open_workspace
+from repro.eval.battery import battery_for
+from repro.serve import (
+    PROTOCOL_VERSION,
+    EnginePool,
+    ServeClient,
+    protocol,
+    start_in_thread,
+)
+
+UNIVERSE = "bcl"
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return EnginePool((UNIVERSE,))
+
+
+@pytest.fixture(scope="module")
+def handle(pool):
+    with start_in_thread(pool=pool) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(handle):
+    with ServeClient(handle.url) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def battery():
+    return battery_for(UNIVERSE)
+
+
+def suggestions_json(suggestions):
+    """The byte-identity canonical form: sorted-key JSON of the wire
+    shape, for server payloads and in-process records alike."""
+    return json.dumps(
+        [
+            s if isinstance(s, dict) else protocol.suggestion_to_dict(s)
+            for s in suggestions
+        ],
+        sort_keys=True,
+    )
+
+
+class TestGoldenRoundTrips:
+    def test_complete_matches_in_process(self, client, battery):
+        workspace = open_workspace(UNIVERSE)
+        for query in battery.queries:
+            status, body = client.complete(
+                UNIVERSE, query, locals=battery.locals)
+            assert status == 200, body
+            record = complete(workspace, query, locals=battery.locals)
+            assert suggestions_json(body["suggestions"]) == \
+                suggestions_json(record.suggestions), query
+            assert body["status"] == record.status.value
+            assert body["workspace"] == UNIVERSE
+            assert body["exit_code"] == 0
+            assert body["suggestions"], "golden queries must complete"
+
+    def test_complete_many_matches_in_process(self, client, battery):
+        status, body = client.complete_many(
+            UNIVERSE, battery.queries, locals=battery.locals)
+        assert status == 200, body
+        workspace = open_workspace(UNIVERSE)
+        records = complete_many(workspace, battery.queries,
+                                locals=battery.locals)
+        assert len(body["results"]) == len(records)
+        for served, record in zip(body["results"], records):
+            assert served["query"] == record.source
+            assert suggestions_json(served["suggestions"]) == \
+                suggestions_json(record.suggestions)
+
+    def test_explain_matches_in_process(self, client, battery):
+        query = battery.queries[-1]
+        status, body = client.explain(UNIVERSE, query,
+                                      locals=battery.locals)
+        assert status == 200, body
+        workspace = open_workspace(UNIVERSE)
+        local = explain(workspace, query, locals=battery.locals)
+        assert len(body["completions"]) == len(local)
+        for served, completion in zip(body["completions"], local):
+            expected = protocol.completion_to_dict(completion)
+            assert served["text"] == expected["text"]
+            assert served["score"] == expected["score"]
+            assert served["breakdown"]["rows"] == \
+                expected["breakdown"]["rows"]
+            total = sum(value for _, value in served["breakdown"]["rows"])
+            assert abs(total - served["score"]) < 1e-9
+
+    def test_repeat_is_cached_and_byte_identical(self, client, battery):
+        query = battery.queries[0]
+        _, first = client.complete(UNIVERSE, query, locals=battery.locals)
+        status, second = client.complete(UNIVERSE, query,
+                                         locals=battery.locals)
+        assert status == 200
+        assert second["cached"] is True, \
+            "session affinity must keep the cross-query cache warm"
+        assert suggestions_json(first["suggestions"]) == \
+            suggestions_json(second["suggestions"])
+
+
+class TestErrorShapes:
+    def _assert_error(self, status, body, code):
+        want_status, want_exit = protocol.ERROR_CODES[code]
+        assert status == want_status, body
+        assert body["error"]["code"] == code
+        assert body["error"]["exit_code"] == want_exit
+        assert body["error"]["message"]
+
+    def test_unknown_workspace(self, client):
+        status, body = client.complete("nope", "?")
+        self._assert_error(status, body, protocol.UNKNOWN_WORKSPACE)
+        assert UNIVERSE in body["error"]["message"]
+
+    def test_unknown_workspace_stats(self, client):
+        status, body = client.stats("nope")
+        self._assert_error(status, body, protocol.UNKNOWN_WORKSPACE)
+
+    def test_body_not_json(self, handle):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", handle.port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/v1/complete", body=b"{nope",
+                headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            body = json.loads(response.read().decode())
+            self._assert_error(response.status, body, protocol.BAD_REQUEST)
+        finally:
+            connection.close()
+
+    def test_body_missing_query(self, client):
+        status, body = client.request(
+            "POST", "/v1/complete", {"workspace": UNIVERSE})
+        self._assert_error(status, body, protocol.BAD_REQUEST)
+        assert "query" in body["error"]["message"]
+
+    def test_body_bad_locals(self, client):
+        status, body = client.complete(
+            UNIVERSE, "?", locals={"x": 3})
+        self._assert_error(status, body, protocol.BAD_REQUEST)
+
+    def test_unknown_local_type(self, client):
+        status, body = client.complete(
+            UNIVERSE, "?", locals={"x": "No.Such.Type"})
+        self._assert_error(status, body, protocol.BAD_REQUEST)
+
+    def test_parse_error_maps_to_422(self, client):
+        status, body = client.complete(UNIVERSE, "((")
+        assert status == protocol.http_status(protocol.PARSE_ERROR)
+        assert body["parse_error"]
+        assert body["exit_code"] == 1
+        assert body["suggestions"] == []
+
+    def test_method_and_route_errors(self, client):
+        status, body = client.request("GET", "/v1/complete")
+        self._assert_error(status, body, protocol.METHOD_NOT_ALLOWED)
+        status, body = client.request("POST", "/v1/healthz")
+        self._assert_error(status, body, protocol.METHOD_NOT_ALLOWED)
+        status, body = client.request("GET", "/v1/nope")
+        self._assert_error(status, body, protocol.NOT_FOUND)
+
+    def test_deadline_expired_in_queue(self, client, pool):
+        tenant = pool.get(UNIVERSE)
+        blocker = tenant.executor.submit(time.sleep, 0.25)
+        try:
+            status, body = client.complete(
+                UNIVERSE, "now.?m",
+                locals={"now": "System.DateTime"}, deadline_ms=1)
+        finally:
+            blocker.result()
+        self._assert_error(status, body, protocol.DEADLINE_EXCEEDED)
+
+    def test_admission_shed_when_queue_would_blow_deadline(
+        self, handle, client, pool
+    ):
+        tenant = pool.get(UNIVERSE)
+        tenant._avg_ms = 50.0  # one queued request ~50 ms
+        blocker = tenant.executor.submit(time.sleep, 0.3)
+        results = []
+
+        def occupant():
+            with ServeClient(handle.url) as other:
+                results.append(other.complete(
+                    UNIVERSE, "now.?m", locals={"now": "System.DateTime"}))
+
+        thread = threading.Thread(target=occupant)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while tenant.pending == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert tenant.pending >= 1
+            status, body = client.complete(
+                UNIVERSE, "now.?m",
+                locals={"now": "System.DateTime"}, deadline_ms=10)
+        finally:
+            blocker.result()
+            thread.join()
+        self._assert_error(status, body, protocol.SHED)
+        assert results[0][0] == 200, "the queued request still completes"
+
+
+class TestLifecycle:
+    def test_startup_warms_pool(self, client, pool):
+        status, body = client.healthz()
+        assert status == 200
+        assert body["ok"] is True
+        assert body["protocol"] == PROTOCOL_VERSION
+        assert body["workspaces"][UNIVERSE]["warmed"] is True
+        assert pool.get(UNIVERSE).warmed is True
+
+    def test_stats_carry_server_counters(self, client, battery):
+        client.complete(UNIVERSE, battery.queries[0],
+                        locals=battery.locals)
+        status, body = client.stats(UNIVERSE)
+        assert status == 200
+        counters = body["metrics"]["counters"]
+        assert counters["server_requests"] >= 1
+        assert counters["server_ok"] >= 1
+        assert body["warmed"] is True
+        assert body["run_log_records"] >= 1
+
+    def test_graceful_shutdown_drains_in_flight(self):
+        pool = EnginePool((UNIVERSE,))
+        handle = start_in_thread(pool=pool)
+        tenant = pool.get(UNIVERSE)
+        results = []
+
+        def slow_request():
+            with ServeClient(handle.url) as client:
+                results.append(client.complete(
+                    UNIVERSE, "now.?m", locals={"now": "System.DateTime"}))
+
+        blocker = tenant.executor.submit(time.sleep, 0.4)
+        worker = threading.Thread(target=slow_request)
+        worker.start()
+        deadline = time.monotonic() + 5.0
+        while tenant.pending == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert tenant.pending >= 1, "request must be in flight before stop"
+        handle.stop(drain=True)
+        worker.join(timeout=10)
+        blocker.result()
+        assert results, "drain must let the in-flight request finish"
+        status, body = results[0]
+        assert status == 200, body
+        assert body["suggestions"]
+        with pytest.raises(OSError):
+            with ServeClient(handle.url) as client:
+                client.healthz()

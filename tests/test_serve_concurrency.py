@@ -1,0 +1,170 @@
+"""Concurrency differentials for the completion service.
+
+In the style of test_concurrent_obs.py: many async clients hammer one
+tenant and the outcome must be indistinguishable from serial execution
+— same ranked results (session affinity serialises every request onto
+the tenant's one engine thread), no lost metric increments, atomic
+run-log lines that still validate against the schema, and a cache whose
+hit counters rise across requests (the warmth the affinity exists to
+preserve).
+"""
+
+import asyncio
+import json
+import random
+import threading
+
+import pytest
+
+from repro.api import complete, open_workspace
+from repro.eval.battery import battery_for
+from repro.obs import validate_runlog_text
+from repro.serve import EnginePool, ServeClient, async_request, protocol
+from repro.serve.server import start_in_thread
+
+UNIVERSE = "bcl"
+N_CLIENTS = 8
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return EnginePool((UNIVERSE,))
+
+
+@pytest.fixture(scope="module")
+def handle(pool):
+    with start_in_thread(pool=pool) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def battery():
+    return battery_for(UNIVERSE)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(battery):
+    """What a single client against a fresh engine would see, query by
+    query — the oracle every concurrent response must match."""
+    workspace = open_workspace(UNIVERSE)
+    reference = {}
+    for query in battery.queries:
+        record = complete(workspace, query, locals=battery.locals)
+        reference[query] = json.dumps(
+            [protocol.suggestion_to_dict(s) for s in record.suggestions],
+            sort_keys=True,
+        )
+    return reference
+
+
+def hammer(url, requests):
+    """Fan ``requests`` out over independent async connections; returns
+    ``(query, status, body)`` triples in completion order."""
+
+    async def one(query):
+        status, body = await async_request(
+            url, "POST", "/v1/complete",
+            {"workspace": UNIVERSE, "query": query,
+             "locals": battery_for(UNIVERSE).locals})
+        return query, status, body
+
+    async def main():
+        return await asyncio.gather(*(one(query) for query in requests))
+
+    return asyncio.run(main())
+
+
+class TestConcurrentDifferentials:
+    def test_async_clients_match_serial_execution(
+        self, handle, battery, serial_reference
+    ):
+        requests = battery.queries * REPEATS
+        random.Random(7).shuffle(requests)
+        outcomes = hammer(handle.url, requests)
+        assert len(outcomes) == len(requests)
+        for query, status, body in outcomes:
+            assert status == 200, body
+            got = json.dumps(body["suggestions"], sort_keys=True)
+            assert got == serial_reference[query], query
+
+    def test_counters_lose_no_increments(self, handle, pool, battery):
+        tenant = pool.get(UNIVERSE)
+        before = tenant.workspace.metrics()["counters"]
+        requests = battery.queries * REPEATS
+        outcomes = hammer(handle.url, requests)
+        assert all(status == 200 for _, status, _ in outcomes)
+        after = tenant.workspace.metrics()["counters"]
+        delta = len(requests)
+        assert after["server_requests"] - before.get(
+            "server_requests", 0) == delta
+        assert after["server_ok"] - before.get("server_ok", 0) == delta
+        assert after["queries"] - before.get("queries", 0) == delta
+
+    def test_parallel_threads_of_async_clients(
+        self, handle, battery, serial_reference
+    ):
+        """Even event loops racing on separate OS threads serialise
+        cleanly at the tenant."""
+        failures = []
+
+        def storm():
+            try:
+                for query, status, body in hammer(
+                    handle.url, list(battery.queries)
+                ):
+                    if status != 200:
+                        failures.append((query, status))
+                    elif json.dumps(body["suggestions"], sort_keys=True) \
+                            != serial_reference[query]:
+                        failures.append((query, "diverged"))
+            except Exception as error:  # noqa: BLE001 - report, don't hang
+                failures.append(repr(error))
+
+        threads = [threading.Thread(target=storm) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+
+    def test_run_log_lines_atomic_and_schema_valid(self, handle, pool):
+        tenant = pool.get(UNIVERSE)
+        text = tenant.run_log.to_ndjson()
+        records = []
+        for line in text.splitlines():
+            records.append(json.loads(line))  # every line parses alone
+        assert validate_runlog_text(text) == []
+        served = [r for r in records if r.get("kind") == "server_request"]
+        assert served, "the hammering above must have been logged"
+        counters = tenant.workspace.metrics()["counters"]
+        assert len(served) == counters["server_requests"], \
+            "one server_request record per counted request"
+        for record in served:
+            assert record["endpoint"] == "/v1/complete"
+            assert record["workspace"] == UNIVERSE
+            assert record["elapsed_ms"] >= record["queue_ms"] >= 0.0
+
+    def test_session_affinity_raises_cache_hit_rate(
+        self, handle, pool, battery
+    ):
+        tenant = pool.get(UNIVERSE)
+        query = "span.?m"  # unique to this test: first sight is cold
+        assert query not in battery.queries
+        before = tenant.workspace.cache_stats()
+
+        def post():
+            with ServeClient(handle.url) as client:
+                return client.complete(
+                    UNIVERSE, query, locals={"span": "System.TimeSpan"})
+
+        outcomes = [post() for _ in range(6)]
+        assert all(status == 200 for status, _ in outcomes)
+        cached_flags = [body["cached"] for _, body in outcomes]
+        assert cached_flags[0] is False
+        assert all(cached_flags[1:]), \
+            "repeat queries must replay from the warm tenant cache"
+        after = tenant.workspace.cache_stats()
+        assert after["stream_hits"] > before["stream_hits"]
+        counters = tenant.workspace.metrics()["counters"]
+        assert counters.get("queries_cached", 0) >= len(outcomes) - 1
