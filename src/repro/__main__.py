@@ -26,19 +26,22 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .errors import TRUNCATION_EXIT, exit_code_for
 from .ide.session import CompletionSession
 from .ide.workspace import Workspace
 
 #: exit codes (documented in docs/RESILIENCE.md and docs/ANALYSIS.md):
 #: 0 success, 1 parse error / error-severity lint findings, 2 usage error
 #: (bad flag values, unknown types or universes), 3 deadline truncation,
-#: 4 step-budget/cancellation truncation
+#: 4 step-budget/cancellation truncation.  The values come from the
+#: canonical error table in :mod:`repro.errors` — the same table the
+#: serving protocol maps onto HTTP statuses, so both surfaces agree.
 EXIT_OK = 0
-EXIT_PARSE_ERROR = 1
-EXIT_LINT_ERRORS = 1
-EXIT_USAGE = 2
-EXIT_TIMEOUT = 3
-EXIT_BUDGET = 4
+EXIT_PARSE_ERROR = exit_code_for("parse_error")
+EXIT_LINT_ERRORS = exit_code_for("parse_error")
+EXIT_USAGE = exit_code_for("bad_request")
+EXIT_TIMEOUT = TRUNCATION_EXIT["timeout"]
+EXIT_BUDGET = TRUNCATION_EXIT["budget"]
 
 
 def _open_universe(key: str, write):
@@ -267,6 +270,53 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--run-log-dir", default=None, metavar="DIR",
                        help="stream each tenant's NDJSON run log to "
                             "DIR/serve_<workspace>.ndjson")
+    serve.add_argument("--pack", action="append", default=None,
+                       metavar="PATH", dest="packs",
+                       help="mount a tenant from a pack artifact "
+                            "(repeatable); verified and restored without "
+                            "an index rebuild, served under its recorded "
+                            "universe name")
+
+    pack = sub.add_parser(
+        "pack",
+        help="build / inspect / verify persistent universe packs",
+        description="Persistent universe packs (docs/ARTIFACTS.md): "
+                    "versioned on-disk artifacts snapshotting a universe "
+                    "plus its derived engine state (method-index "
+                    "buckets, reachability walks, the dependency graph "
+                    "with closures and abstract-type partitions) so a "
+                    "cold process answers its first query in "
+                    "milliseconds.  Artifacts are checksum- and "
+                    "fingerprint-verified on load; a damaged pack fails "
+                    "with the stable code pack_corrupt, a mismatched one "
+                    "with pack_stale.",
+    )
+    packsub = pack.add_subparsers(dest="pack_command", required=True)
+    pack_build = packsub.add_parser(
+        "build", help="snapshot a universe source into a pack file")
+    pack_build.add_argument(
+        "source",
+        help="builtin universe key (paint, geometry, bcl) or a "
+             "repro-universe / repro-project artifact path")
+    pack_build.add_argument("-o", "--output", default=None, metavar="PATH",
+                            help="output path (default: <name>.pack)")
+    pack_inspect = packsub.add_parser(
+        "inspect", help="print a pack's header without decoding the body")
+    pack_inspect.add_argument("path")
+    pack_inspect.add_argument("--json", action="store_true",
+                              help="emit the raw header JSON")
+    pack_verify = packsub.add_parser(
+        "verify", help="full integrity check: checksum, universe decode, "
+                       "fingerprint agreement")
+    pack_verify.add_argument("path")
+    pack_verify.add_argument("--expect-fingerprint", default=None,
+                             metavar="HEX",
+                             help="additionally require this universe "
+                                  "fingerprint")
+    pack_load = packsub.add_parser(
+        "load", help="cold-load a pack into a workspace and report the "
+                     "wall-clock cost")
+    pack_load.add_argument("path")
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -811,8 +861,21 @@ def _run_serve(args: argparse.Namespace, write) -> int:  # pragma: no cover
     if args.default_deadline_ms is not None and args.default_deadline_ms <= 0:
         write("error: --default-deadline-ms must be positive")
         return EXIT_USAGE
+    pool = EnginePool(universes)
+    for pack_path in args.packs or ():
+        from .errors import PackError
+        from .pack import load_pack
+
+        try:
+            workspace = load_pack(pack_path)
+        except PackError as error:
+            write("error [{}]: {}".format(error.code, error))
+            return exit_code_for(error.code)
+        pool.add_workspace(workspace.name, workspace)
+        write("mounted pack {} as workspace {!r}".format(
+            pack_path, workspace.name))
     server = CompletionServer(
-        pool=EnginePool(universes),
+        pool=pool,
         host=args.host,
         port=args.port,
         default_deadline_ms=args.default_deadline_ms,
@@ -836,6 +899,71 @@ def _run_serve(args: argparse.Namespace, write) -> int:  # pragma: no cover
         asyncio.run(server.stop(drain=True))
         write("stopped")
     return EXIT_OK
+
+
+def _run_pack(args: argparse.Namespace, write) -> int:
+    from .errors import PackError
+
+    try:
+        if args.pack_command == "build":
+            from .api import build_pack, open_workspace
+
+            try:
+                workspace = open_workspace(args.source)
+            except ValueError as error:
+                write("error: {}".format(error))
+                return EXIT_USAGE
+            output = args.output or "{}.pack".format(workspace.name)
+            header = build_pack(workspace, output)
+            meta = header["meta"]
+            write("wrote {}: {} types, {} methods, {} walks, "
+                  "fingerprint {}".format(
+                      output, meta["types"], meta["methods"], meta["walks"],
+                      meta["fingerprint"]))
+            return EXIT_OK
+        if args.pack_command == "inspect":
+            import json as _json
+
+            from .pack import inspect_pack
+
+            header = inspect_pack(args.path)
+            if args.json:
+                write(_json.dumps(header, indent=2, sort_keys=True))
+            else:
+                meta = header.get("meta", {})
+                write("{} (format {} v{})".format(
+                    args.path, header.get("format"), header.get("version")))
+                for key in sorted(meta):
+                    write("  {}: {}".format(key, meta[key]))
+                write("  checksum: {}".format(header.get("checksum")))
+            return EXIT_OK
+        if args.pack_command == "verify":
+            from .pack import verify_pack
+
+            header = verify_pack(
+                args.path, expect_fingerprint=args.expect_fingerprint)
+            write("ok: {} verifies (fingerprint {})".format(
+                args.path, header["meta"]["fingerprint"]))
+            return EXIT_OK
+        if args.pack_command == "load":
+            import time as _time
+
+            from .pack import load_pack
+
+            start = _time.perf_counter()
+            workspace = load_pack(args.path)
+            elapsed_ms = (_time.perf_counter() - start) * 1000.0
+            write("loaded workspace {!r} in {:.1f} ms ({} types)".format(
+                workspace.name, elapsed_ms,
+                len(workspace.ts.all_types())))
+            return EXIT_OK
+    except PackError as error:
+        write("error [{}]: {}".format(error.code, error))
+        return exit_code_for(error.code)
+    except OSError as error:
+        write("error: {}".format(error))
+        return EXIT_USAGE
+    return EXIT_USAGE
 
 
 def _run_loadtest(args: argparse.Namespace, write) -> int:
@@ -1020,6 +1148,8 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
         return _run_fuzz(args, write)
     if args.command == "serve":  # pragma: no cover - foreground loop
         return _run_serve(args, write)
+    if args.command == "pack":
+        return _run_pack(args, write)
     if args.command == "loadtest":
         return _run_loadtest(args, write)
     if args.command == "stats":

@@ -421,12 +421,60 @@ class DependencyGraph:
         self._reverse_memo: Dict[str, FrozenSet[str]] = {}
         self._partition_of: Dict[str, Set[int]] = {}
         self._partition_members: Dict[int, Set[str]] = {}
+        #: pack-restored closures, still int-encoded (csv of indexes into
+        #: ``_pack_strings``); decoded into the memo on first query
+        self._packed_closures: Dict[str, str] = {}
+        self._packed_reverse: Dict[str, str] = {}
+        self._pack_strings: List[str] = []
         self._build()
         if project is not None:
             self._build_partitions(project)
         # stamp the fingerprint memo so later RA104 drift checks have a
         # baseline digest at this version
         ts.fingerprint()
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        ts: TypeSystem,
+        forward: Dict[str, Set[str]],
+        lattice: Dict[str, Set[str]],
+        packed_closures: Dict[str, str],
+        packed_reverse: Dict[str, str],
+        strings: List[str],
+        partition_members: Optional[Dict[int, Set[str]]] = None,
+    ) -> "DependencyGraph":
+        """Restore a graph from a persisted snapshot (:mod:`repro.pack`)
+        instead of re-walking every member signature.
+
+        Edges and the lattice arrive decoded (they are small and every
+        query touches them); the closure and reverse-closure memos stay
+        int-encoded — csv indexes into ``strings`` — and materialise per
+        name on first :meth:`closure` / :meth:`reverse_closure` call, so
+        restoring a large universe costs edge decoding, not
+        ``O(types * closure size)``.
+        """
+        self = cls.__new__(cls)
+        self.ts = ts
+        self.built_version = ts.version
+        self._forward = forward
+        self._reverse = {name: set() for name in forward}
+        for src, dsts in forward.items():
+            for dst in dsts:
+                self._reverse.setdefault(dst, set()).add(src)
+        self._lattice = lattice
+        self._closure_memo = {}
+        self._reverse_memo = {}
+        self._partition_of = {}
+        self._partition_members = dict(partition_members or {})
+        for root, members in self._partition_members.items():
+            for name in members:
+                self._partition_of.setdefault(name, set()).add(root)
+        self._packed_closures = packed_closures
+        self._packed_reverse = packed_reverse
+        self._pack_strings = strings
+        ts.fingerprint()
+        return self
 
     # ------------------------------------------------------------------
     # construction
@@ -490,11 +538,36 @@ class DependencyGraph:
 
     def closure(self, name: str) -> FrozenSet[str]:
         """Forward dependency closure, including ``name`` itself."""
+        if name not in self._closure_memo and self._packed_closures:
+            encoded = self._packed_closures.pop(name, None)
+            if encoded is not None:
+                return self._unpack_closure(name, encoded,
+                                            self._closure_memo)
         return self._bfs(name, self._forward, self._closure_memo)
 
     def reverse_closure(self, name: str) -> FrozenSet[str]:
         """Reverse dependency closure, including ``name`` itself."""
+        if name not in self._reverse_memo and self._packed_reverse:
+            encoded = self._packed_reverse.pop(name, None)
+            if encoded is not None:
+                return self._unpack_closure(name, encoded,
+                                            self._reverse_memo)
         return self._bfs(name, self._reverse, self._reverse_memo)
+
+    def _unpack_closure(
+        self,
+        name: str,
+        encoded: str,
+        memo: Dict[str, FrozenSet[str]],
+    ) -> FrozenSet[str]:
+        """Decode one pack-restored closure (csv of string-table
+        indexes) into the memo."""
+        strings = self._pack_strings
+        result = frozenset(
+            strings[int(tok)] for tok in encoded.split(",")
+        ) if encoded else frozenset()
+        memo[name] = result
+        return result
 
     def _bfs(
         self,

@@ -86,6 +86,9 @@ from .errors import (
     CompletionError,
     CorpusError,
     FeatureUnavailable,
+    PackCorruptError,
+    PackError,
+    PackStaleError,
     QueryCancelled,
     QueryTimeout,
     StreamInvariantViolation,
@@ -146,20 +149,144 @@ from .obs import (
 _TypeRef = Union[str, TypeDef]
 
 
+def _sniff_format(path: str) -> Optional[str]:
+    """The ``"format"`` value of a JSON artifact file, read from its
+    first few KB (works for both one-document files and the two-line
+    pack layout)."""
+    import re
+
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            head = handle.read(4096)
+    except OSError:
+        return None
+    match = re.search(r'"format"\s*:\s*"([a-z0-9_-]+)"', head)
+    return match.group(1) if match else None
+
+
 def open_workspace(
-    universe: Union[str, TypeSystem],
+    source: Union[str, TypeSystem, None] = None,
     config: Optional[EngineConfig] = None,
     cache_enabled: Optional[bool] = None,
+    *,
+    expect_fingerprint: Optional[str] = None,
+    universe: Union[str, TypeSystem, None] = None,
 ) -> Workspace:
-    """A :class:`Workspace` over a builtin universe key (``"paint"``,
-    ``"geometry"``, ``"bcl"``) or an already-built
-    :class:`TypeSystem`."""
-    if isinstance(universe, TypeSystem):
-        return Workspace(universe, config=config, cache_enabled=cache_enabled)
-    workspace = Workspace.builtin(universe, config)
-    if cache_enabled is not None:
-        workspace.cache_enabled = cache_enabled
+    """The one constructor: a :class:`Workspace` from any universe
+    source.
+
+    ``source`` may be:
+
+    * a builtin universe key — ``"paint"``, ``"geometry"``, ``"bcl"``;
+    * an already-built :class:`TypeSystem`;
+    * a path to a ``repro-universe`` document (``repro dump-universe``);
+    * a path to a ``repro-project`` document (a serialized corpus
+      project — the workspace carries the project and its analyses);
+    * a path to a ``repro-pack`` artifact (:mod:`repro.pack`), restored
+      without rebuilding indexes — the millisecond cold-start path.
+
+    ``expect_fingerprint`` pins the universe content hash: the call
+    raises :class:`~repro.errors.PackStaleError` when the opened
+    universe's :meth:`~TypeSystem.fingerprint` disagrees.  The
+    ``universe=`` keyword is the deprecated name for ``source``.
+    """
+    if universe is not None:
+        from .deprecation import warn_deprecated
+
+        warn_deprecated("open_workspace(universe=...)",
+                        "open_workspace(source)")
+        if source is None:
+            source = universe
+    if source is None:
+        raise TypeError("open_workspace() needs a source: a builtin key, "
+                        "a TypeSystem, or an artifact path")
+    if isinstance(source, TypeSystem):
+        workspace = Workspace(source, config=config,
+                              cache_enabled=cache_enabled)
+    elif source in Workspace.BUILTIN:
+        workspace = Workspace.builtin(source, config)
+        if cache_enabled is not None:
+            workspace.cache_enabled = cache_enabled
+    else:
+        import os
+
+        if not os.path.exists(source):
+            raise ValueError(
+                "unknown universe {!r}: not a builtin key ({}) and no such "
+                "file".format(source, ", ".join(sorted(Workspace.BUILTIN))))
+        kind = _sniff_format(source)
+        if kind == "repro-pack":
+            from .pack import load_pack as _load_pack
+
+            return _load_pack(source, config=config,
+                              cache_enabled=cache_enabled,
+                              expect_fingerprint=expect_fingerprint)
+        if kind == "repro-project":
+            from .serialize import open_project
+
+            workspace = Workspace.corpus_project(open_project(source), config)
+            if cache_enabled is not None:
+                workspace.cache_enabled = cache_enabled
+        elif kind == "repro-universe":
+            import json
+
+            from .serialize import load_type_system
+
+            with open(source, "r", encoding="utf-8") as handle:
+                ts = load_type_system(json.load(handle))
+            name = os.path.splitext(os.path.basename(source))[0]
+            workspace = Workspace(ts, name=name, config=config,
+                                  cache_enabled=cache_enabled)
+        else:
+            raise ValueError(
+                "{!r} is not a recognised artifact: expected a repro-pack, "
+                "repro-universe, or repro-project document".format(source))
+    if expect_fingerprint is not None:
+        actual = workspace.ts.fingerprint()
+        if actual != expect_fingerprint:
+            from .errors import PackStaleError
+
+            raise PackStaleError(
+                "universe fingerprint mismatch: caller expects {} but "
+                "{!r} hashes to {}".format(
+                    expect_fingerprint,
+                    source if isinstance(source, str) else workspace.name,
+                    actual),
+                expected=expect_fingerprint, actual=actual)
     return workspace
+
+
+def build_pack(
+    source: Union[str, TypeSystem, Workspace],
+    path: str,
+    config: Optional[EngineConfig] = None,
+) -> dict:
+    """Snapshot a universe source (anything :func:`open_workspace`
+    accepts, or an existing :class:`Workspace`) into a pack artifact at
+    ``path``; returns the pack header (format, checksum, meta).  See
+    ``docs/ARTIFACTS.md``."""
+    from .pack import build_pack as _build_pack
+
+    workspace = (source if isinstance(source, Workspace)
+                 else open_workspace(source, config=config))
+    return _build_pack(workspace, path)
+
+
+def load_pack(
+    path: str,
+    config: Optional[EngineConfig] = None,
+    cache_enabled: Optional[bool] = None,
+    expect_fingerprint: Optional[str] = None,
+) -> Workspace:
+    """Open a pack artifact as a ready :class:`Workspace` (checksum- and
+    fingerprint-verified; raises
+    :class:`~repro.errors.PackCorruptError` /
+    :class:`~repro.errors.PackStaleError`).  Equivalent to
+    :func:`open_workspace` on the path, spelled explicitly."""
+    from .pack import load_pack as _load_pack
+
+    return _load_pack(path, config=config, cache_enabled=cache_enabled,
+                      expect_fingerprint=expect_fingerprint)
 
 
 def _session(
@@ -304,6 +431,7 @@ def serve(
     port: int = 0,
     default_deadline_ms: Optional[float] = None,
     run_log_dir: Optional[str] = None,
+    packs: Optional[List[str]] = None,
 ):
     """Start the completion server on a background thread and return its
     :class:`~repro.serve.server.ServerHandle` once every workspace is
@@ -311,12 +439,27 @@ def serve(
     ``handle.stop()``, which drains in-flight requests).  One warm
     engine per named workspace, per-request ``deadline_ms`` admission
     control, per-tenant metrics and run logs — see docs/SERVING.md.
-    Imported lazily — the serving layer pulls in the corpus layer."""
+
+    ``packs`` mounts additional tenants from pack artifacts
+    (:mod:`repro.pack`): each path is verified and restored without an
+    index rebuild, served under its recorded universe name — the
+    millisecond warm-up path for large universes.  Imported lazily —
+    the serving layer pulls in the corpus layer."""
     from .serve import start_in_thread
 
+    pool = None
+    if packs:
+        from .pack import load_pack as _load_pack
+        from .serve.pool import EnginePool
+
+        pool = EnginePool(universes)
+        for pack_path in packs:
+            workspace = _load_pack(pack_path)
+            pool.add_workspace(workspace.name, workspace)
     return start_in_thread(
         universes, host=host, port=port,
         default_deadline_ms=default_deadline_ms, run_log_dir=run_log_dir,
+        pool=pool,
     )
 
 
@@ -363,6 +506,7 @@ def profile(
 __all__ = [
     # facade functions
     "bench",
+    "build_pack",
     "complete",
     "complete_many",
     "diff_runs",
@@ -370,6 +514,7 @@ __all__ = [
     "fuzz",
     "impact",
     "lint",
+    "load_pack",
     "loadtest",
     "open_workspace",
     "profile",
@@ -422,6 +567,9 @@ __all__ = [
     "CompletionError",
     "CorpusError",
     "FeatureUnavailable",
+    "PackCorruptError",
+    "PackError",
+    "PackStaleError",
     "QueryCancelled",
     "QueryTimeout",
     "StreamInvariantViolation",

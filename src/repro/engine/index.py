@@ -41,6 +41,35 @@ class MethodIndex:
         self.rebuilds = 0
         self._build()
 
+    @classmethod
+    def from_snapshot(
+        cls, ts: TypeSystem, by_exact_type: Dict[str, List[Method]]
+    ) -> "MethodIndex":
+        """Restore an index from persisted parameter buckets
+        (:mod:`repro.pack`) instead of scanning every method signature.
+
+        ``by_exact_type`` must hold each bucket in whole-universe
+        declaration order — the order :meth:`_build` produces — so
+        ranking ties that fall back to bucket order cannot diverge
+        between a restored and a cold index.  The declaring-type map and
+        the flat method list are rebuilt with one cheap pass (they are
+        pure declaration order, no signature walk).
+        """
+        self = cls.__new__(cls)
+        self.ts = ts
+        self._by_exact_type = by_exact_type
+        self._by_declaring = {}
+        self._all_methods = []
+        for method in ts.all_methods():
+            self._all_methods.append(method)
+            if method.declaring_type is not None:
+                self._by_declaring.setdefault(
+                    method.declaring_type.full_name, []).append(method)
+        self.patches = 0
+        self.rebuilds = 0
+        self.built_version = ts.version
+        return self
+
     def _build(self) -> None:
         self.built_version = self.ts.version
         for method in self.ts.all_methods():
@@ -236,6 +265,11 @@ class ReachabilityIndex:
         #: zero-arg methods are inherited, so an edit anywhere up the
         #: lattice of a reached type can open new steps from it)
         self._walk_fp: Dict[Tuple[str, bool], frozenset] = {}
+        #: pack-restored walks, still int-encoded (``(dists_csv,
+        #: fp_csv)`` per key); decoded into ``_cache`` on first access so
+        #: a pack load never pays for walks no query asks about
+        self._packed: Dict[Tuple[str, bool], Tuple[str, str]] = {}
+        self._pack_strings: List[str] = []
         #: memo hit/miss counters for ``steps_to_target`` (bench reporting)
         self.hits = 0
         self.misses = 0
@@ -243,6 +277,45 @@ class ReachabilityIndex:
         self.patches = 0
         #: refreshes that cleared every memoised walk
         self.rebuilds = 0
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        ts: TypeSystem,
+        max_depth: int,
+        packed: Dict[Tuple[str, bool], Tuple[str, str]],
+        strings: List[str],
+    ) -> "ReachabilityIndex":
+        """Restore an index from persisted walks (:mod:`repro.pack`).
+
+        ``packed`` maps ``(source_name, allow_methods)`` to the walk's
+        still-encoded ``(distances_csv, footprint_csv)`` pair —
+        comma-joined indexes into ``strings``, distances interleaved as
+        ``sid,dist,...``.  Decoding is deferred to the first
+        :meth:`reachable` call per key, which keeps pack cold starts
+        proportional to what queries touch rather than universe size.
+        """
+        self = cls(ts, max_depth=max_depth)
+        self._packed = packed
+        self._pack_strings = strings
+        return self
+
+    def _unpack_walk(
+        self, key: Tuple[str, bool], encoded: Tuple[str, str]
+    ) -> Dict[str, int]:
+        strings = self._pack_strings
+        dists_csv, fp_csv = encoded
+        distances: Dict[str, int] = {}
+        if dists_csv:
+            flat = dists_csv.split(",")
+            for index in range(0, len(flat), 2):
+                distances[strings[int(flat[index])]] = int(flat[index + 1])
+        self._cache[key] = distances
+        self._walk_fp[key] = (
+            frozenset(strings[int(x)] for x in fp_csv.split(","))
+            if fp_csv else frozenset()
+        )
+        return distances
 
     def refresh(self) -> None:
         """Drop memoised walks when the type system has been mutated.
@@ -262,6 +335,7 @@ class ReachabilityIndex:
             self._cache.clear()
             self._target_cache.clear()
             self._walk_fp.clear()
+            self._packed.clear()
             self.rebuilds += 1
             return
         dropped = set()
@@ -271,6 +345,16 @@ class ReachabilityIndex:
                 del self._cache[key]
                 self._walk_fp.pop(key, None)
                 dropped.add(key)
+        if self._packed:
+            # packed walks carry their footprint in encoded form; decode
+            # just the footprint to apply the same intersection test
+            strings = self._pack_strings
+            for key in list(self._packed):
+                fp_csv = self._packed[key][1]
+                fp_ids = fp_csv.split(",") if fp_csv else []
+                if any(strings[int(x)] in mutated for x in fp_ids):
+                    del self._packed[key]
+                    dropped.add(key)
         if dropped:
             for tkey in list(self._target_cache):
                 if (tkey[0], tkey[2]) in dropped:
@@ -287,6 +371,10 @@ class ReachabilityIndex:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        if self._packed:
+            encoded = self._packed.pop(key, None)
+            if encoded is not None:
+                return self._unpack_walk(key, encoded)
         distances: Dict[str, int] = {source.full_name: 0}
         frontier = [source]
         for depth in range(1, self.max_depth + 1):

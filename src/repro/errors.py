@@ -18,11 +18,75 @@ specific condition.  The taxonomy mirrors the resilience design in
 * :class:`CorpusError` — a corpus project failed to build or contained a
   malformed program.  ``build_all_projects`` collects these as
   diagnostics and skips the offending project rather than aborting.
+* :class:`PackError` (:class:`PackCorruptError` /
+  :class:`PackStaleError`) — a persistent universe pack
+  (:mod:`repro.pack`) failed load-time verification.  Each carries a
+  stable ``code`` registered in :data:`ERROR_TABLE`.
+
+This module also owns the **canonical error-code table**: every stable
+error code maps to exactly one ``(HTTP status, exit code)`` pair, and
+both the serving protocol (:mod:`repro.serve.protocol`) and the CLI
+(:mod:`repro.__main__`) consume it — one table, two surfaces, so a
+service client sees the same status space a CLI user does.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# the canonical error-code table
+# ----------------------------------------------------------------------
+
+#: stable code -> (HTTP status, exit-style code).  Exit codes mirror the
+#: CLI taxonomy (0 ok, 1 parse error / lint findings, 2 usage/admission,
+#: 3 deadline truncation, 4 step-budget truncation); HTTP statuses are
+#: what the serving layer answers with.  Register new codes with
+#: :func:`register_error_code` — exactly once, at definition site.
+ERROR_TABLE: Dict[str, Tuple[int, int]] = {}
+
+#: QueryStatus truncation reason -> exit-style code (a truncated query
+#: still answers 200/exit-coded with best-so-far results)
+TRUNCATION_EXIT: Dict[str, int] = {"timeout": 3, "budget": 4,
+                                   "cancelled": 4}
+
+
+def register_error_code(code: str, http_status: int, exit_code: int) -> str:
+    """Register a stable error code's status mapping (idempotent for an
+    identical mapping; conflicting re-registration is a bug)."""
+    existing = ERROR_TABLE.get(code)
+    if existing is not None and existing != (http_status, exit_code):
+        raise ValueError(
+            "error code {!r} already registered as {!r}".format(
+                code, existing))
+    ERROR_TABLE[code] = (http_status, exit_code)
+    return code
+
+
+def http_status_for(code: str) -> int:
+    """The HTTP status the serving layer answers ``code`` with."""
+    return ERROR_TABLE[code][0]
+
+
+def exit_code_for(code: str) -> int:
+    """The CLI exit code for ``code``."""
+    return ERROR_TABLE[code][1]
+
+
+# request/service codes (historically defined in repro.serve.protocol;
+# the protocol module now re-exports these)
+register_error_code("bad_request", 400, 2)
+register_error_code("unknown_workspace", 404, 2)
+register_error_code("not_found", 404, 2)
+register_error_code("method_not_allowed", 405, 2)
+register_error_code("parse_error", 422, 1)
+register_error_code("shed", 429, 2)
+register_error_code("deadline_exceeded", 504, 3)
+register_error_code("internal_error", 500, 2)
+# pack verification codes (repro.pack): a corrupted artifact is an
+# unprocessable payload; a stale one conflicts with the live universe
+PACK_CORRUPT = register_error_code("pack_corrupt", 422, 2)
+PACK_STALE = register_error_code("pack_stale", 409, 2)
 
 
 class CompletionError(Exception):
@@ -86,6 +150,50 @@ class CorpusError(CompletionError):
         super().__init__("corpus project {!r}: {}".format(project, reason))
         self.project = project
         self.reason = reason
+
+
+class PackError(CompletionError):
+    """A persistent universe pack failed load-time verification.
+
+    Every subclass carries a stable ``code`` registered in
+    :data:`ERROR_TABLE`, so the CLI and the serving layer refuse a bad
+    artifact with the same machine-readable identity
+    (``docs/ARTIFACTS.md``).
+    """
+
+    code = "pack_corrupt"
+
+    def __init__(self, message: str, path: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class PackCorruptError(PackError):
+    """The pack's bytes do not verify: truncated file, checksum
+    mismatch, malformed envelope, or an undecodable section.  The
+    artifact cannot be trusted at all."""
+
+    code = PACK_CORRUPT
+
+
+class PackStaleError(PackError):
+    """The pack verifies byte-wise but its universe fingerprint does not
+    match what the caller (or the pack's own derived state) requires —
+    the artifact describes a different universe version than the one it
+    would be serving.  Rebuild the pack."""
+
+    code = PACK_STALE
+
+    def __init__(
+        self,
+        message: str,
+        path: Optional[str] = None,
+        expected: Optional[str] = None,
+        actual: Optional[str] = None,
+    ) -> None:
+        super().__init__(message, path=path)
+        self.expected = expected
+        self.actual = actual
 
 
 class StreamInvariantViolation(CompletionError):

@@ -86,6 +86,12 @@ PAPER_WORKLOADS: List[Dict[str, Any]] = [
 SCALING_SIZES = [10, 30, 90]
 SCALING_SIZES_QUICK = [10, 30]
 
+#: synthetic-universe sizes for the cold-start battery — an order of
+#: magnitude past the scaling workload, where rebuilding derived state
+#: costs seconds and the pack-vs-rebuild ratio is meaningful
+COLDSTART_SIZES = [300, 900]
+COLDSTART_SIZES_QUICK = [100, 300]
+
 _REPEATS = 5
 _REPEATS_QUICK = 3
 
@@ -323,6 +329,119 @@ def _mutate_workloads(
     return workloads, summary
 
 
+def _rebuild_derived(doc: Dict[str, Any]):
+    """One full cold rebuild — exactly the state a pack restores: the
+    universe from its serialized document, the method-index buckets,
+    every reachability walk (both ``allow_methods`` flags, at the
+    engine's default depth), and the dependency graph with all closures.
+    Returns the warm engine."""
+    from ..serialize import load_type_system
+
+    ts = load_type_system(doc)
+    engine = CompletionEngine(ts)
+    engine.index.refresh()
+    for typedef in ts.all_types():
+        engine.reachability.reachable(typedef, False)
+        engine.reachability.reachable(typedef, True)
+    graph = engine.dependency_graph()
+    for name in list(graph._forward):
+        graph.closure(name)
+        graph.reverse_closure(name)
+    return engine
+
+
+def _coldstart_workloads(
+    sizes: List[int], repeats: int
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """The pack-load vs. rebuild battery (docs/ARTIFACTS.md).
+
+    Per size: synthesize the pinned scaling universe, build a pack into
+    a temp dir, then time (a) a full cold rebuild of every derived
+    structure from the serialized universe and (b)
+    :func:`repro.pack.load_pack`.  Rebuilds are capped at 3 repetitions
+    (they dominate wall clock at the large sizes); loads run the full
+    ``repeats``.  Also answers the scaling query on both engines and
+    records whether the top-10 matches — the gateable ``coldstart/*``
+    workload entries track the *load* latency.
+    """
+    import os
+    import tempfile
+
+    from ..corpus import synthesize_project
+    from ..lang.printer import to_source
+    from ..pack import build_pack, load_pack
+    from ..serialize import dump_type_system
+
+    workloads: List[Dict[str, Any]] = []
+    summary: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-coldstart-") as tmp:
+        for size in sizes:
+            project = synthesize_project(_scaling_spec(size))
+            workspace = Workspace(
+                project.ts, name="scale{}".format(size))
+            doc = dump_type_system(project.ts)
+            path = os.path.join(tmp, "scale{}.pack".format(size))
+            started = time.perf_counter()
+            build_pack(workspace, path)
+            build_ms = (time.perf_counter() - started) * 1000.0
+            pack_bytes = os.path.getsize(path)
+
+            rebuild_times: List[float] = []
+            rebuilt_engine = None
+            for _ in range(min(repeats, 3)):
+                started = time.perf_counter()
+                rebuilt_engine = _rebuild_derived(doc)
+                rebuild_times.append(
+                    (time.perf_counter() - started) * 1000.0)
+
+            load_times: List[float] = []
+            loaded = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                loaded = load_pack(path)
+                load_times.append((time.perf_counter() - started) * 1000.0)
+
+            context = project.impls[0].context(project.ts)
+            locals_list = list(context.locals.items())[:2]
+            query = "?({{{}}})".format(
+                ", ".join(name for name, _ in locals_list))
+
+            def _top10(engine: CompletionEngine, ts) -> List[str]:
+                scope = Context(ts, locals={
+                    name: ts.get(typedef.full_name)
+                    for name, typedef in locals_list
+                })
+                outcome = engine.complete_many([
+                    CompletionRequest(pe=parse(query, scope), context=scope)
+                ])[0]
+                return [to_source(c.expr) for c in outcome.completions[:10]]
+
+            identical = (_top10(rebuilt_engine, rebuilt_engine.ts)
+                         == _top10(loaded.engine, loaded.ts))
+
+            ordered_loads = sorted(load_times)
+            rebuild_ms = _percentile(sorted(rebuild_times), 0.50)
+            load_ms = _percentile(ordered_loads, 0.50)
+            workloads.append({
+                "name": "coldstart/{}".format(size),
+                "queries": 0,
+                "repeats": repeats,
+                "p50_ms": load_ms,
+                "p95_ms": _percentile(ordered_loads, 0.95),
+                "steps": 0,
+            })
+            summary.append({
+                "size": size,
+                "rebuild_ms": rebuild_ms,
+                "load_ms": load_ms,
+                "speedup": (rebuild_ms / load_ms) if load_ms > 0 else 0.0,
+                "pack_bytes": pack_bytes,
+                "build_ms": build_ms,
+                "identical_top10": identical,
+            })
+    return workloads, summary
+
+
 def _repeated_workload(repeats: int) -> Dict[str, Any]:
     """The paper workload replayed: warm cached engine vs. cache-disabled.
 
@@ -404,6 +523,13 @@ def run_bench(
     with _phase("bench/mutate"):
         mutate_workloads, mutate_summary = _mutate_workloads(sizes, repeats)
     workloads += mutate_workloads
+    coldstart_sizes = COLDSTART_SIZES_QUICK if quick else COLDSTART_SIZES
+    emit("cold-start workloads: pack load vs. rebuild (sizes {})...".format(
+        coldstart_sizes))
+    with _phase("bench/coldstart"):
+        coldstart_workloads, coldstart_summary = _coldstart_workloads(
+            coldstart_sizes, repeats)
+    workloads += coldstart_workloads
     emit("repeated-query workload (cache on vs. off)...")
     with _phase("bench/repeated"):
         repeated = _repeated_workload(repeats)
@@ -418,6 +544,7 @@ def run_bench(
         "repeated": repeated,
         # additive, so VERSION stays 1: old documents simply lack it
         "mutate": mutate_summary,
+        "coldstart": coldstart_summary,
     }
 
 
@@ -568,4 +695,13 @@ def render_bench(document: Dict[str, Any]) -> List[str]:
             "preserved)".format(
                 entry["size"], entry["coarse_ms"], entry["fine_ms"],
                 entry["speedup"], entry["preserved_fraction"]))
+    for entry in document.get("coldstart") or []:
+        lines.append(
+            "  coldstart/{}: rebuild {:.1f} ms vs pack load {:.1f} ms -> "
+            "{:.1f}x speedup ({} KiB pack, built in {:.0f} ms, top-10 "
+            "{})".format(
+                entry["size"], entry["rebuild_ms"], entry["load_ms"],
+                entry["speedup"], entry["pack_bytes"] // 1024,
+                entry["build_ms"],
+                "identical" if entry["identical_top10"] else "DIVERGED"))
     return lines

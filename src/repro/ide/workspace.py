@@ -8,7 +8,7 @@ indexes, and (for corpus projects) the abstract-type analysis.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..analysis.abstract_types import AbstractTypeAnalysis
 from ..analysis.diagnostics import Diagnostic
@@ -37,44 +37,52 @@ class Workspace:
         config: Optional[EngineConfig] = None,
         project: Optional[Project] = None,
         cache_enabled: Optional[bool] = None,
+        engine: Optional[CompletionEngine] = None,
     ) -> None:
         self.name = name
         self.ts = ts
-        if cache_enabled is not None:
-            from dataclasses import replace
+        if engine is not None:
+            # a pre-built engine (e.g. restored from a pack by
+            # :mod:`repro.pack`) carries its own config; ``config`` is
+            # ignored, ``cache_enabled`` still applies via the property
+            self.engine = engine
+        else:
+            if cache_enabled is not None:
+                from dataclasses import replace
 
-            config = replace(config or EngineConfig(),
-                             enable_cache=cache_enabled)
-        self.engine = CompletionEngine(ts, config)
+                config = replace(config or EngineConfig(),
+                                 enable_cache=cache_enabled)
+            self.engine = CompletionEngine(ts, config)
         self.project = project
         self._analysis: Optional[AbstractTypeAnalysis] = None
+        if engine is not None and cache_enabled is not None:
+            self.cache_enabled = cache_enabled
 
     # ------------------------------------------------------------------
     # constructors for the bundled universes
     # ------------------------------------------------------------------
     @classmethod
     def paintdotnet(cls, config: Optional[EngineConfig] = None) -> "Workspace":
-        from ..corpus.frameworks import build_paintdotnet
-
-        ts = TypeSystem()
-        build_paintdotnet(ts)
-        return cls(ts, name="paintdotnet", config=config)
+        """Deprecated: use ``Workspace.builtin("paint")`` (or
+        :func:`repro.api.open_workspace`)."""
+        warn_deprecated("Workspace.paintdotnet()",
+                        'Workspace.builtin("paint")')
+        return cls.builtin("paint", config)
 
     @classmethod
     def geometry(cls, config: Optional[EngineConfig] = None) -> "Workspace":
-        from ..corpus.frameworks import build_geometry
-
-        ts = TypeSystem()
-        build_geometry(ts)
-        return cls(ts, name="geometry", config=config)
+        """Deprecated: use ``Workspace.builtin("geometry")`` (or
+        :func:`repro.api.open_workspace`)."""
+        warn_deprecated("Workspace.geometry()",
+                        'Workspace.builtin("geometry")')
+        return cls.builtin("geometry", config)
 
     @classmethod
     def mini_bcl(cls, config: Optional[EngineConfig] = None) -> "Workspace":
-        from ..corpus.frameworks import build_system_core
-
-        ts = TypeSystem()
-        build_system_core(ts)
-        return cls(ts, name="mini-bcl", config=config)
+        """Deprecated: use ``Workspace.builtin("bcl")`` (or
+        :func:`repro.api.open_workspace`)."""
+        warn_deprecated("Workspace.mini_bcl()", 'Workspace.builtin("bcl")')
+        return cls.builtin("bcl", config)
 
     @classmethod
     def corpus_project(
@@ -83,24 +91,37 @@ class Workspace:
         return cls(project.ts, name=project.name, config=config,
                    project=project)
 
-    #: registry used by the CLI's ``--universe`` flag
+    #: registry used by the CLI's ``--universe`` flag (key -> the
+    #: historical constructor name; kept for compatibility — resolution
+    #: goes through the builder table below, not ``getattr``)
     BUILTIN: Dict[str, str] = {
         "paint": "paintdotnet",
         "geometry": "geometry",
         "bcl": "mini_bcl",
     }
 
+    #: key -> (workspace name, corpus builder name)
+    _BUILTIN_BUILDERS: Dict[str, tuple] = {
+        "paint": ("paintdotnet", "build_paintdotnet"),
+        "geometry": ("geometry", "build_geometry"),
+        "bcl": ("mini-bcl", "build_system_core"),
+    }
+
     @classmethod
     def builtin(cls, key: str, config: Optional[EngineConfig] = None) -> "Workspace":
         try:
-            factory: Callable = getattr(cls, cls.BUILTIN[key])
+            name, builder_name = cls._BUILTIN_BUILDERS[key]
         except KeyError:
             raise ValueError(
                 "unknown universe {!r}; pick one of {}".format(
                     key, ", ".join(sorted(cls.BUILTIN))
                 )
             )
-        return factory(config)
+        from ..corpus import frameworks
+
+        ts = TypeSystem()
+        getattr(frameworks, builder_name)(ts)
+        return cls(ts, name=name, config=config)
 
     # ------------------------------------------------------------------
     # type / context helpers

@@ -8,15 +8,18 @@ structured body — never a hung connection, never a bare status line:
     {"error": {"code": "shed", "message": "...", "exit_code": 2}}
 
 ``code`` values are stable (callers may switch on them), and each maps
-to one HTTP status and one exit-style code mirroring the CLI taxonomy
-in :mod:`repro.__main__` (0 ok, 1 parse error, 2 usage/admission,
-3 deadline truncation, 4 step-budget truncation) — a service client
-sees the same status space a CLI user does.  See docs/SERVING.md.
+to one HTTP status and one exit-style code through the **canonical
+error table** in :mod:`repro.errors` (0 ok, 1 parse error, 2
+usage/admission, 3 deadline truncation, 4 step-budget truncation) — the
+CLI consumes the same table, so a service client sees the same status
+space a CLI user does.  See docs/SERVING.md.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
+
+from ..errors import ERROR_TABLE, TRUNCATION_EXIT
 
 #: protocol version reported by ``/v1/healthz``; bump on breaking shape
 #: changes (additive fields don't count)
@@ -44,21 +47,14 @@ DEADLINE_EXCEEDED = "deadline_exceeded"
 #: unexpected server-side failure
 INTERNAL = "internal_error"
 
-#: code -> (http_status, exit_code); exit codes mirror repro.__main__
-ERROR_CODES: Dict[str, tuple] = {
-    BAD_REQUEST: (400, 2),
-    UNKNOWN_WORKSPACE: (404, 2),
-    NOT_FOUND: (404, 2),
-    METHOD_NOT_ALLOWED: (405, 2),
-    PARSE_ERROR: (422, 1),
-    SHED: (429, 2),
-    DEADLINE_EXCEEDED: (504, 3),
-    INTERNAL: (500, 2),
-}
+#: the canonical code -> (http_status, exit_code) table, owned by
+#: :mod:`repro.errors` (this name is the protocol's historical alias
+#: for it — same dict object, kept importable)
+ERROR_CODES: Dict[str, tuple] = ERROR_TABLE
 
 #: QueryStatus truncation reason -> exit-style code (a truncated query
 #: still answers 200 with best-so-far results, like the CLI prints them)
-_TRUNCATION_EXIT = {"timeout": 3, "budget": 4, "cancelled": 4}
+_TRUNCATION_EXIT = TRUNCATION_EXIT
 
 
 def error_body(code: str, message: str) -> Dict[str, Any]:

@@ -212,7 +212,7 @@ class TestProbesAndCatalogue:
         assert run_sanitizer_probes(geometry_engine) == []
 
     def test_workspace_lint_with_sanitize(self):
-        workspace = Workspace.geometry()
+        workspace = Workspace.builtin("geometry")
         diagnostics = workspace.lint(sanitize=True)
         assert not has_errors(diagnostics)
 

@@ -160,7 +160,7 @@ class TestEngineShortCircuit:
 
 class TestSessionAnalyze:
     def test_parse_error_becomes_ra022(self):
-        session = CompletionSession(Workspace.paintdotnet())
+        session = CompletionSession(Workspace.builtin("paint"))
         report = session.analyze("@@")
         [finding] = report.diagnostics
         assert finding.code == "RA022"
@@ -168,14 +168,14 @@ class TestSessionAnalyze:
         assert not report.unsatisfiable
 
     def test_expected_type_flows_into_analysis(self):
-        session = CompletionSession(Workspace.paintdotnet())
+        session = CompletionSession(Workspace.builtin("paint"))
         session.set_expected("void")
         report = session.analyze("?")
         assert report.unsatisfiable
         assert "RA020" in codes(report)
 
     def test_clean_query_has_no_errors(self):
-        session = CompletionSession(Workspace.paintdotnet())
+        session = CompletionSession(Workspace.builtin("paint"))
         session.declare("img", "PaintDotNet.Document")
         report = session.analyze("img.?m")
         assert not report.unsatisfiable
@@ -185,7 +185,7 @@ class TestSessionAnalyze:
 class TestReplLint:
     def run(self, lines):
         output = []
-        run_repl(Workspace.paintdotnet(), lines, output.append)
+        run_repl(Workspace.builtin("paint"), lines, output.append)
         return "\n".join(output)
 
     def test_lint_universe(self):
