@@ -13,8 +13,12 @@
     python -m repro bench --quick --compare benchmarks/baseline/BENCH_seed.json
     python -m repro fuzz --seed 7 --iterations 50 --chaos
     python -m repro fuzz --replay FUZZ_REPRO_seed7_iter3.json
-    python -m repro serve --universes paint,bcl --port 8137
+    python -m repro serve --universes paint,bcl --port 8137 \
+        --slo p95_ms=50:error_rate=0.01 --fault-plan chaos.json
     python -m repro loadtest --universe paint --n-workers 4 --duration 5
+    python -m repro stats --url http://127.0.0.1:8137 --validate
+    python -m repro stats --url http://127.0.0.1:8137 --watch 2
+    python -m repro slo serve-logs/serve_bcl.ndjson --slo p95_ms=50
     python -m repro profile --universe paint --flame flame.txt
     python -m repro diff BENCH_old.json BENCH_new.json --markdown regression.md
     python -m repro report -o EVAL_REPORT.md --run-log runlog.ndjson
@@ -276,6 +280,17 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(repeatable); verified and restored without "
                             "an index rebuild, served under its recorded "
                             "universe name")
+    serve.add_argument("--slo", default=None, metavar="SPEC",
+                       help="track service-level objectives live "
+                            "(':'-separated, e.g. "
+                            "p95_ms=50:error_rate=0.01:shed_rate=0.2); "
+                            "verdicts and burn rates appear in "
+                            "/v1/healthz and /v1/metrics")
+    serve.add_argument("--fault-plan", default=None, metavar="JSON",
+                       help="mount chaos-through-serve from a JSON chaos "
+                            "spec (a path or an inline object with seed/"
+                            "rate/sites); every admitted request draws a "
+                            "deterministic seeded fault plan")
 
     pack = sub.add_parser(
         "pack",
@@ -352,13 +367,21 @@ def _build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--run-log-dir", default=None, metavar="DIR",
                           help="with a spawned server, stream its "
                                "per-tenant run logs to DIR")
+    loadtest.add_argument("--fault-plan", default=None, metavar="JSON",
+                          help="with a spawned server, mount "
+                               "chaos-through-serve from a JSON chaos "
+                               "spec (path or inline); incompatible "
+                               "with --url")
 
     stats = sub.add_parser(
         "stats",
         help="run the pinned query battery and print engine metrics",
         description="Run the universe's pinned query battery against a "
                     "fresh engine and print the observability registry "
-                    "(counters + histograms) as JSON.  With "
+                    "(counters + histograms) as JSON.  With --url, "
+                    "instead scrape a live server's GET /v1/metrics "
+                    "(--validate checks the exposition structurally, "
+                    "--watch polls and prints a table).  With "
                     "--validate-trace, instead validate an NDJSON trace "
                     "file against the checked-in schema: exit 0 when "
                     "every record conforms, 1 otherwise.  See "
@@ -372,6 +395,50 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--validate-runlog", default=None, metavar="FILE",
                        help="validate an NDJSON run-log file against the "
                             "schema and exit (no battery run)")
+    stats.add_argument("--url", default=None,
+                       help="scrape a live server's /v1/metrics instead "
+                            "of running the battery")
+    stats.add_argument("--validate", action="store_true",
+                       help="with --url, structurally validate the "
+                            "scraped exposition (TYPE lines, cumulative "
+                            "buckets, +Inf == _count); exit 1 on any "
+                            "problem")
+    stats.add_argument("--watch", type=float, default=None, metavar="S",
+                       help="poll every S seconds and print a metrics "
+                            "table each tick (with --url: scrape; "
+                            "without: re-run the battery on one warm "
+                            "workspace)")
+    stats.add_argument("--watch-count", type=int, default=None, metavar="N",
+                       help="stop after N --watch ticks (default: until "
+                            "interrupted)")
+
+    slo = sub.add_parser(
+        "slo",
+        help="offline SLO burn-rate report over a server run log",
+        description="Replay the server_request records of a serve run "
+                    "log through the multi-window SLO burn-rate math "
+                    "(the same the live server's /v1/healthz uses) and "
+                    "print the per-window error/shed/latency burn and "
+                    "verdicts.  Exit 0 when every objective holds, 1 on "
+                    "a breach, 2 on bad input.  See "
+                    "docs/OBSERVABILITY.md.",
+    )
+    slo.add_argument("runlog", metavar="RUNLOG",
+                     help="NDJSON run log written by repro serve "
+                          "--run-log-dir (or repro loadtest)")
+    slo.add_argument("--slo", default=None, metavar="SPEC",
+                     help="objective spec, e.g. "
+                          "p95_ms=50:error_rate=0.01:shed_rate=0.2 "
+                          "(default: p95_ms=50:error_rate=0.01:"
+                          "shed_rate=0.20)")
+    slo.add_argument("--windows", default=None, metavar="S[,S...]",
+                     help="rolling window lengths in seconds (default "
+                          "60,300 plus a whole-log window; 'inf' is "
+                          "accepted)")
+    slo.add_argument("--json", action="store_true",
+                     help="emit the raw report JSON")
+    slo.add_argument("-o", "--output", default=None, metavar="PATH",
+                     help="also write the report JSON here")
 
     profile = sub.add_parser(
         "profile",
@@ -648,6 +715,55 @@ def _run_impact(args: argparse.Namespace, write) -> int:
     return EXIT_OK
 
 
+def _stats_scrape(args: argparse.Namespace, write) -> int:
+    """``repro stats --url``: scrape /v1/metrics, validate or tabulate."""
+    import time as _time
+
+    from .obs.expo import (
+        parse_exposition,
+        table_from_samples,
+        validate_exposition,
+    )
+    from .serve import ServeClient
+
+    ticks = 0
+    while True:
+        try:
+            with ServeClient(args.url) as client:
+                status, text = client.metrics()
+        except (OSError, ValueError) as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        if status != 200:
+            write("error: GET /v1/metrics answered HTTP {}".format(status))
+            return 1
+        if args.validate:
+            problems = validate_exposition(text)
+            if problems:
+                for problem in problems:
+                    write(problem)
+                return 1
+        try:
+            parsed = parse_exposition(text)
+        except ValueError as error:
+            write("error: {}".format(error))
+            return 1
+        if args.validate:
+            write("{}/v1/metrics: valid exposition ({} samples)".format(
+                args.url.rstrip("/"), len(parsed["samples"])))
+        if not args.validate or args.watch is not None:
+            write("metrics from {} ({} samples)".format(
+                args.url, len(parsed["samples"])))
+            for line in table_from_samples(parsed):
+                write(line)
+        ticks += 1
+        if args.watch is None:
+            return EXIT_OK
+        if args.watch_count is not None and ticks >= args.watch_count:
+            return EXIT_OK
+        _time.sleep(max(args.watch, 0.0))
+
+
 def _run_stats(args: argparse.Namespace, write) -> int:
     import json
 
@@ -685,6 +801,13 @@ def _run_stats(args: argparse.Namespace, write) -> int:
         write("{}: valid repro-runlog NDJSON".format(args.validate_runlog))
         return EXIT_OK
 
+    if args.url is not None:
+        return _stats_scrape(args, write)
+    if args.validate:
+        write("error: --validate needs --url (it checks a scraped "
+              "/v1/metrics exposition)")
+        return EXIT_USAGE
+
     from .eval.battery import battery_for
 
     try:
@@ -696,6 +819,23 @@ def _run_stats(args: argparse.Namespace, write) -> int:
     if workspace is None:
         return EXIT_USAGE
     session = battery.session(workspace, n=args.n)
+    if args.watch is not None:
+        import time as _time
+
+        from .obs.expo import render_metrics_table
+
+        ticks = 0
+        while True:
+            session.complete_many(battery.queries)
+            ticks += 1
+            for line in render_metrics_table(
+                workspace.metrics(),
+                title="{} after {} battery run(s)".format(
+                    workspace.name, ticks)):
+                write(line)
+            if args.watch_count is not None and ticks >= args.watch_count:
+                return EXIT_OK
+            _time.sleep(max(args.watch, 0.0))
     session.complete_many(battery.queries)
     document = {
         "universe": workspace.name,
@@ -707,6 +847,62 @@ def _run_stats(args: argparse.Namespace, write) -> int:
         document["cache"] = cache_stats
     write(json.dumps(document, indent=2, sort_keys=True))
     return EXIT_OK
+
+
+def _run_slo(args: argparse.Namespace, write) -> int:
+    import json
+
+    from .obs.runlog import read_run_log
+    from .obs.slo import (
+        DEFAULT_SLO_SPEC,
+        SLOObjectives,
+        render_slo_report,
+        slo_from_run_log,
+    )
+
+    try:
+        objectives = SLOObjectives.from_spec(args.slo or DEFAULT_SLO_SPEC)
+    except ValueError as error:
+        write("error: {}".format(error))
+        return EXIT_USAGE
+    windows = None
+    if args.windows is not None:
+        try:
+            windows = [float(part) for part in args.windows.split(",")
+                       if part.strip()]
+        except ValueError:
+            write("error: --windows must be comma-separated durations "
+                  "in seconds")
+            return EXIT_USAGE
+        if not windows or any(w <= 0 for w in windows):
+            write("error: --windows must name positive durations")
+            return EXIT_USAGE
+    try:
+        with open(args.runlog) as handle:
+            records = read_run_log(handle.read())
+    except (OSError, ValueError) as error:
+        write("error: {}".format(error))
+        return EXIT_USAGE
+    report = slo_from_run_log(records, objectives, windows=windows)
+    if not report["server_requests"]:
+        write("error: {} has no server_request records (is it a serve "
+              "run log?)".format(args.runlog))
+        return EXIT_USAGE
+    if args.json:
+        write(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for line in render_slo_report(report):
+            write(line)
+    if args.output:
+        try:
+            with open(args.output, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+        write("wrote {}".format(args.output))
+    return EXIT_OK if report["ok"] else 1
 
 
 def _run_bench(args: argparse.Namespace, write) -> int:
@@ -861,6 +1057,24 @@ def _run_serve(args: argparse.Namespace, write) -> int:  # pragma: no cover
     if args.default_deadline_ms is not None and args.default_deadline_ms <= 0:
         write("error: --default-deadline-ms must be positive")
         return EXIT_USAGE
+    slo = None
+    if args.slo is not None:
+        from .obs.slo import SLOObjectives
+
+        try:
+            slo = SLOObjectives.from_spec(args.slo)
+        except ValueError as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
+    fault_plan = None
+    if args.fault_plan is not None:
+        from .serve.chaos import ChaosSpec
+
+        try:
+            fault_plan = ChaosSpec.from_source(args.fault_plan)
+        except (OSError, ValueError) as error:
+            write("error: {}".format(error))
+            return EXIT_USAGE
     pool = EnginePool(universes)
     for pack_path in args.packs or ():
         from .errors import PackError
@@ -880,11 +1094,18 @@ def _run_serve(args: argparse.Namespace, write) -> int:  # pragma: no cover
         port=args.port,
         default_deadline_ms=args.default_deadline_ms,
         run_log_dir=args.run_log_dir,
+        slo=slo,
+        fault_plan=fault_plan,
     )
 
     async def run() -> None:
         write("warming {} workspace(s): {}".format(
             len(universes), ", ".join(universes)))
+        if slo is not None:
+            write("slo: {}".format(args.slo))
+        if fault_plan is not None:
+            write("chaos: seed={} rate={:.0%}".format(
+                fault_plan.seed, fault_plan.rate))
         await server.start()
         write("serving on {} (Ctrl-C to drain and stop)".format(server.url))
         try:
@@ -983,6 +1204,11 @@ def _run_loadtest(args: argparse.Namespace, write) -> int:
     if args.deadline_ms is not None and args.deadline_ms <= 0:
         write("error: --deadline-ms must be positive")
         return EXIT_USAGE
+    if args.fault_plan is not None and args.url is not None:
+        write("error: --fault-plan needs an in-process server; drop --url "
+              "(a remote server mounts chaos via `repro serve "
+              "--fault-plan`)")
+        return EXIT_USAGE
     try:
         document = run_loadgen(
             url=args.url,
@@ -994,6 +1220,7 @@ def _run_loadtest(args: argparse.Namespace, write) -> int:
             n=args.n,
             run_log_dir=args.run_log_dir,
             log=write,
+            fault_plan=args.fault_plan,
         )
     except (OSError, ValueError) as error:
         write("error: {}".format(error))
@@ -1154,6 +1381,8 @@ def main(argv: Optional[List[str]] = None, write=print) -> int:
         return _run_loadtest(args, write)
     if args.command == "stats":
         return _run_stats(args, write)
+    if args.command == "slo":
+        return _run_slo(args, write)
     if args.command == "impact":
         return _run_impact(args, write)
     if args.command == "profile":

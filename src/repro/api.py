@@ -432,6 +432,8 @@ def serve(
     default_deadline_ms: Optional[float] = None,
     run_log_dir: Optional[str] = None,
     packs: Optional[List[str]] = None,
+    slo: Optional[str] = None,
+    fault_plan=None,
 ):
     """Start the completion server on a background thread and return its
     :class:`~repro.serve.server.ServerHandle` once every workspace is
@@ -443,8 +445,12 @@ def serve(
     ``packs`` mounts additional tenants from pack artifacts
     (:mod:`repro.pack`): each path is verified and restored without an
     index rebuild, served under its recorded universe name — the
-    millisecond warm-up path for large universes.  Imported lazily —
-    the serving layer pulls in the corpus layer."""
+    millisecond warm-up path for large universes.  ``slo`` is an
+    objective spec (``"p95_ms=50:error_rate=0.01"``) the server tracks
+    live in ``/v1/healthz``; ``fault_plan`` (a
+    :class:`~repro.serve.chaos.ChaosSpec` source) mounts
+    chaos-through-serve.  Imported lazily — the serving layer pulls in
+    the corpus layer."""
     from .serve import start_in_thread
 
     pool = None
@@ -459,7 +465,7 @@ def serve(
     return start_in_thread(
         universes, host=host, port=port,
         default_deadline_ms=default_deadline_ms, run_log_dir=run_log_dir,
-        pool=pool,
+        pool=pool, slo=slo, fault_plan=fault_plan,
     )
 
 
@@ -471,19 +477,54 @@ def loadtest(
     deadline_ms: Optional[float] = None,
     label: str = "api",
     log=None,
+    run_log_dir: Optional[str] = None,
+    fault_plan=None,
 ) -> dict:
     """Replay the universe's golden battery from ``n_workers`` threads
     against a live server (or, with ``url=None``, a spawned in-process
     one) and return the ``BENCH_serve_<label>``-shaped document —
-    latency percentiles, throughput, shed rate (docs/SERVING.md).
-    Imported lazily — the load generator pulls in the serving layer."""
+    latency percentiles + histogram, throughput, shed rate, per-request
+    correlation ids for the slowest requests (docs/SERVING.md).  With a
+    spawned server, ``run_log_dir`` streams its run logs to disk and
+    ``fault_plan`` mounts chaos-through-serve.  Imported lazily — the
+    load generator pulls in the serving layer."""
     from .serve import run_loadgen
 
     return run_loadgen(
         url=url, universe=universe, n_workers=n_workers,
         duration_s=duration_s, deadline_ms=deadline_ms, label=label,
         log=log if log is not None else (lambda line: None),
+        run_log_dir=run_log_dir, fault_plan=fault_plan,
     )
+
+
+def slo_report(
+    source,
+    slo: Optional[str] = None,
+    windows: Optional[List[float]] = None,
+) -> dict:
+    """Offline SLO evaluation over a server run log.
+
+    ``source`` is a path to a ``serve_<name>.ndjson`` run log (or an
+    iterable of already-loaded records); ``slo`` is an objective spec
+    string (default :data:`~repro.obs.slo.DEFAULT_SLO_SPEC`).  Replays
+    every ``server_request`` record through the same burn-rate math the
+    live server uses and returns the report dict
+    (docs/OBSERVABILITY.md)."""
+    from .obs.slo import DEFAULT_SLO_SPEC, SLOObjectives, slo_from_run_log
+
+    if isinstance(source, str):
+        with open(source) as handle:
+            records = read_run_log(handle.read())
+    else:
+        records = source
+    if slo is None:
+        objectives = SLOObjectives.from_spec(DEFAULT_SLO_SPEC)
+    elif isinstance(slo, SLOObjectives):
+        objectives = slo
+    else:
+        objectives = SLOObjectives.from_spec(slo)
+    return slo_from_run_log(records, objectives, windows=windows)
 
 
 def profile(
@@ -519,6 +560,7 @@ __all__ = [
     "open_workspace",
     "profile",
     "serve",
+    "slo_report",
     # analysis
     "AbstractTypeAnalysis",
     "Context",

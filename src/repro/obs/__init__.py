@@ -20,12 +20,33 @@ Three independent pieces (see ``docs/OBSERVABILITY.md``):
   collapsed-stack flamegraph export.
 * :mod:`repro.obs.diff` — :func:`diff_runs`, phase-level latency
   attribution between two run logs or bench documents.
+* :mod:`repro.obs.expo` — Prometheus text exposition (render, parse,
+  validate) of :class:`Metrics` registries; what ``GET /v1/metrics``
+  and ``repro stats --url`` speak.
+* :mod:`repro.obs.slo` — rolling-window SLO objectives with
+  multi-window burn rates, evaluated live (``/v1/healthz``) or offline
+  over server run logs (``repro slo``).
 
 This package sits *below* the engine (the engine imports it), so it
 must not import :mod:`repro.engine` at module level.
 """
 
 from .attribution import ScoreBreakdown
+from .expo import (
+    EXPOSITION_CONTENT_TYPE,
+    LATENCY_BOUNDS_MS,
+    parse_exposition,
+    render_metrics_table,
+    render_prometheus,
+    validate_exposition,
+)
+from .slo import (
+    DEFAULT_SLO_SPEC,
+    SLOObjectives,
+    SLOTracker,
+    render_slo_report,
+    slo_from_run_log,
+)
 from .diff import (
     PhaseDelta,
     RunDiff,
@@ -62,7 +83,10 @@ from .trace import (
 
 __all__ = [
     "DEFAULT_BOUNDS",
+    "DEFAULT_SLO_SPEC",
+    "EXPOSITION_CONTENT_TYPE",
     "Histogram",
+    "LATENCY_BOUNDS_MS",
     "Metrics",
     "NULL_TRACER",
     "NullTracer",
@@ -72,6 +96,8 @@ __all__ = [
     "RUNLOG_VERSION",
     "RunDiff",
     "RunLog",
+    "SLOObjectives",
+    "SLOTracker",
     "ScoreBreakdown",
     "Span",
     "TRACE_FORMAT",
@@ -82,12 +108,18 @@ __all__ = [
     "load_runlog_schema",
     "load_schema",
     "ndjson_to_dicts",
+    "parse_exposition",
     "profile_run_log",
     "profile_traces",
     "read_run_log",
     "render_markdown",
+    "render_metrics_table",
+    "render_prometheus",
+    "render_slo_report",
     "signature_hex",
+    "slo_from_run_log",
     "trace_to_ndjson",
+    "validate_exposition",
     "validate_record",
     "validate_runlog_text",
     "validate_trace_text",

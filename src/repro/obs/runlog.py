@@ -19,7 +19,16 @@ event as the run proceeds:
 * ``{"kind": "server_request", ...}`` — one request answered (or shed)
   by the completion server (:mod:`repro.serve`): endpoint, tenant
   workspace, HTTP status, stable error/ok code, queue wait and total
-  latency, and the request's deadline when it carried one.
+  latency, the request's deadline when it carried one, and — for
+  correlated requests — the ``request_id``, the embedded engine span
+  tree (``spans``), degraded/truncated quality markers, and any
+  injected fault events that fired (chaos-through-serve).
+
+:meth:`RunLog.bind` attaches correlation fields (a ``request_id``) to
+every ``query``/``event``/``server_request`` record appended from the
+current thread for the dynamic extent of a block — how the server's
+request id reaches the *engine's* own query records without the engine
+knowing the serving layer exists.
 
 Every record is appended under one lock and serialised as exactly one
 NDJSON line, so logs written from a thread-pool-sharded
@@ -96,6 +105,7 @@ class RunLog:
         self._clock = clock
         self._epoch = clock()
         self._stream = None
+        self._bound = threading.local()
         self.label = label
         self.run_id = "{}-{}-{}".format(label, os.getpid(),
                                         next(_run_counter))
@@ -137,7 +147,31 @@ class RunLog:
     def _now_ms(self) -> float:
         return (self._clock() - self._epoch) * 1000.0
 
+    @contextmanager
+    def bind(self, **fields: Any) -> Iterator[None]:
+        """Attach correlation ``fields`` (``request_id=...``) to every
+        ``query``/``event``/``server_request`` record appended from
+        *this thread* inside the block.  ``None`` values are dropped;
+        explicit record fields win over bound ones; binds nest (inner
+        fields shadow outer ones for their extent)."""
+        previous = getattr(self._bound, "fields", None)
+        merged = dict(previous or {})
+        merged.update(
+            (key, value) for key, value in fields.items()
+            if value is not None)
+        self._bound.fields = merged or None
+        try:
+            yield
+        finally:
+            self._bound.fields = previous
+
+    _BINDABLE_KINDS = ("query", "event", "server_request")
+
     def _append(self, record: Dict[str, Any]) -> None:
+        bound = getattr(self._bound, "fields", None)
+        if bound and record.get("kind") in self._BINDABLE_KINDS:
+            for key, value in bound.items():
+                record.setdefault(key, value)
         with self._lock:
             self._records.append(record)
             if self._stream is not None:
@@ -258,6 +292,11 @@ class RunLog:
         queries: Optional[int] = None,
         completions: Optional[int] = None,
         shed: bool = False,
+        request_id: Optional[str] = None,
+        degraded: Optional[Any] = None,
+        truncated: Optional[int] = None,
+        faults: Optional[List[str]] = None,
+        spans: Optional[List[dict]] = None,
     ) -> None:
         """One request the completion server answered (or shed).
 
@@ -268,6 +307,13 @@ class RunLog:
         tenant's engine, ``elapsed_ms`` the whole admission-to-response
         latency.  ``shed`` marks requests rejected by admission control
         without touching the engine.
+
+        ``request_id`` is the correlation id echoed in the response;
+        ``degraded`` lists the ranking features the engine degraded,
+        ``truncated`` counts budget-truncated queries, ``faults`` names
+        the injected fault events that fired (``"site@call"``), and
+        ``spans`` embeds the request's merged engine span tree when the
+        client opted into tracing (docs/OBSERVABILITY.md).
         """
         record: Dict[str, Any] = {
             "kind": "server_request",
@@ -288,6 +334,16 @@ class RunLog:
             record["queries"] = int(queries)
         if completions is not None:
             record["completions"] = int(completions)
+        if request_id is not None:
+            record["request_id"] = request_id
+        if degraded:
+            record["degraded"] = sorted(degraded)
+        if truncated:
+            record["truncated"] = int(truncated)
+        if faults:
+            record["faults"] = list(faults)
+        if spans is not None:
+            record["spans"] = spans
         self._append(record)
 
     # ------------------------------------------------------------------

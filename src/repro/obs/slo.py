@@ -1,0 +1,319 @@
+"""Rolling-window SLOs for the serve path: targets, burn rates, verdicts.
+
+An *objective* names a budgeted failure mode the service must hold:
+
+* ``p95_ms`` — 95% of completed requests answer under this latency
+  (the remaining 5% is the latency error budget);
+* ``error_rate`` — the allowed fraction of requests failing
+  server-side, *including* requests degraded or truncated by injected
+  faults (chaos-through-serve burns the same budget a real dependency
+  outage would);
+* ``shed_rate`` — the allowed fraction shed by admission control
+  (429 ``shed`` / 504 ``deadline_exceeded``).
+
+A *burn rate* is observed budget consumption over allowed consumption:
+1.0 means exactly on budget, 2.0 means the budget burns twice as fast
+as it may.  Following the multi-window convention, each objective is
+evaluated over several rolling windows at once and the verdict is:
+
+* ``breach`` — burning over budget in **both** the shortest and the
+  longest window (sustained, not a blip);
+* ``at_risk`` — over budget in some window but not sustained;
+* ``ok`` — within budget everywhere.
+
+:class:`SLOTracker` is the live accumulator the server feeds per
+request (``/v1/healthz`` shows its verdicts); :func:`slo_from_run_log`
+replays ``server_request`` run-log records through the same math for
+offline reports (``repro slo <runlog>``, :func:`repro.api.slo_report`).
+See docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+#: rolling windows (seconds) a live tracker evaluates by default
+DEFAULT_WINDOWS_S: Tuple[float, ...] = (60.0, 300.0, 1800.0)
+
+#: offline evaluation adds a whole-log window on top of the rolling ones
+OFFLINE_WINDOWS_S: Tuple[float, ...] = (60.0, 300.0, math.inf)
+
+#: a ``p95_ms`` objective allows 5% of requests over the target
+LATENCY_BUDGET = 0.05
+
+#: objective spec applied when the caller names none
+DEFAULT_SLO_SPEC = "p95_ms=50:error_rate=0.01:shed_rate=0.20"
+
+_OBJECTIVE_KEYS = ("p95_ms", "error_rate", "shed_rate")
+
+
+class SLOObjectives:
+    """Configured targets; any subset of the three objectives."""
+
+    __slots__ = ("p95_ms", "error_rate", "shed_rate")
+
+    def __init__(
+        self,
+        p95_ms: Optional[float] = None,
+        error_rate: Optional[float] = None,
+        shed_rate: Optional[float] = None,
+    ) -> None:
+        if p95_ms is not None and p95_ms <= 0:
+            raise ValueError("p95_ms target must be positive")
+        for name, value in (("error_rate", error_rate),
+                            ("shed_rate", shed_rate)):
+            if value is not None and not 0 < value <= 1:
+                raise ValueError(
+                    "{} target must be in (0, 1]".format(name))
+        self.p95_ms = float(p95_ms) if p95_ms is not None else None
+        self.error_rate = float(error_rate) if error_rate is not None else None
+        self.shed_rate = float(shed_rate) if shed_rate is not None else None
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "SLOObjectives":
+        """Parse ``"p95_ms=50:error_rate=0.01:shed_rate=0.05"`` (any
+        subset, ``:``-separated) — the ``--slo`` CLI spelling."""
+        values: Dict[str, float] = {}
+        for part in filter(None, (p.strip() for p in spec.split(":"))):
+            key, eq, raw = part.partition("=")
+            key = key.strip()
+            if not eq or key not in _OBJECTIVE_KEYS:
+                raise ValueError(
+                    "bad SLO spec part {!r}; expected key=value with key "
+                    "in {}".format(part, ", ".join(_OBJECTIVE_KEYS)))
+            try:
+                values[key] = float(raw)
+            except ValueError:
+                raise ValueError(
+                    "bad SLO target {!r} for {!r}".format(raw, key))
+        if not values:
+            raise ValueError("empty SLO spec: {!r}".format(spec))
+        return cls(**values)
+
+    def __bool__(self) -> bool:
+        return any(getattr(self, key) is not None for key in _OBJECTIVE_KEYS)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {key: getattr(self, key) for key in _OBJECTIVE_KEYS
+                if getattr(self, key) is not None}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SLOObjectives({})".format(
+            ":".join("{}={}".format(k, v)
+                     for k, v in sorted(self.to_dict().items())))
+
+
+def _percentile(ordered: List[float], q: float) -> Optional[float]:
+    if not ordered:
+        return None
+    if len(ordered) == 1:
+        return ordered[0]
+    index = q * (len(ordered) - 1)
+    low = int(index)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = index - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+class SLOTracker:
+    """A thread-safe rolling record of per-request outcomes.
+
+    ``record`` is the per-request hot path (one lock, one append);
+    ``evaluate`` computes the full multi-window report.  Events older
+    than the longest *finite* window are pruned, so a live tracker's
+    memory is bounded; include ``math.inf`` in ``windows`` (the offline
+    default) to keep everything.
+    """
+
+    def __init__(
+        self,
+        objectives: SLOObjectives,
+        windows: Iterable[float] = DEFAULT_WINDOWS_S,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.objectives = objectives
+        self.windows: Tuple[float, ...] = tuple(sorted(set(windows)))
+        if not self.windows or any(w <= 0 for w in self.windows):
+            raise ValueError("windows must be positive durations")
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: (t_s, elapsed_ms, failed, shed, degraded)
+        self._events: Deque[Tuple[float, float, bool, bool, bool]] = deque()
+        self._keep_s = math.inf if any(math.isinf(w) for w in self.windows) \
+            else max(self.windows)
+
+    def record(
+        self,
+        elapsed_ms: float,
+        *,
+        error: bool = False,
+        shed: bool = False,
+        degraded: bool = False,
+        t: Optional[float] = None,
+    ) -> None:
+        """One finished request.  ``error`` is a server-side failure;
+        ``degraded`` marks a 200 answered with degraded/truncated
+        quality (injected faults, tripped budgets) — both burn the
+        error budget; ``shed`` burns the shed budget only."""
+        stamp = self._clock() if t is None else t
+        failed = bool(error or degraded)
+        with self._lock:
+            self._events.append(
+                (stamp, float(elapsed_ms), failed, bool(shed),
+                 bool(degraded)))
+            if not math.isinf(self._keep_s):
+                horizon = stamp - self._keep_s
+                while self._events and self._events[0][0] < horizon:
+                    self._events.popleft()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def evaluate(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """The multi-window burn-rate report (see module docstring)."""
+        stamp = self._clock() if now is None else now
+        with self._lock:
+            events = list(self._events)
+        configured = self.objectives.to_dict()
+        windows: List[Dict[str, Any]] = []
+        burns_by_objective: Dict[str, List[float]] = {
+            key: [] for key in configured
+        }
+        for window_s in self.windows:
+            horizon = stamp - window_s
+            inside = [e for e in events if e[0] >= horizon]
+            requests = len(inside)
+            shed = sum(1 for e in inside if e[3])
+            failed = sum(1 for e in inside if e[2])
+            degraded = sum(1 for e in inside if e[4])
+            completed = [e for e in inside if not e[3]]
+            latencies = sorted(e[1] for e in completed)
+            error_rate = failed / requests if requests else 0.0
+            shed_rate = shed / requests if requests else 0.0
+            entry: Dict[str, Any] = {
+                "window_s": None if math.isinf(window_s) else window_s,
+                "requests": requests,
+                "errors": failed,
+                "shed": shed,
+                "degraded": degraded,
+                "error_rate": round(error_rate, 6),
+                "shed_rate": round(shed_rate, 6),
+                "p95_ms": _percentile(latencies, 0.95),
+            }
+            burn: Dict[str, float] = {}
+            if "p95_ms" in configured and completed:
+                over = sum(1 for value in latencies
+                           if value > configured["p95_ms"])
+                burn["latency"] = (over / len(completed)) / LATENCY_BUDGET
+            elif "p95_ms" in configured:
+                burn["latency"] = 0.0
+            if "error_rate" in configured:
+                burn["errors"] = error_rate / configured["error_rate"]
+            if "shed_rate" in configured:
+                burn["shed"] = shed_rate / configured["shed_rate"]
+            if burn:
+                entry["burn"] = {k: round(v, 4) for k, v in burn.items()}
+            windows.append(entry)
+            for objective, key in (("p95_ms", "latency"),
+                                   ("error_rate", "errors"),
+                                   ("shed_rate", "shed")):
+                if objective in configured:
+                    burns_by_objective[objective].append(burn.get(key, 0.0))
+
+        verdicts: Dict[str, str] = {}
+        for objective, name in (("p95_ms", "latency"),
+                                ("error_rate", "errors"),
+                                ("shed_rate", "shed")):
+            if objective not in configured:
+                continue
+            burns = burns_by_objective[objective]
+            if burns and burns[0] > 1.0 and burns[-1] > 1.0:
+                verdicts[name] = "breach"
+            elif any(value > 1.0 for value in burns):
+                verdicts[name] = "at_risk"
+            else:
+                verdicts[name] = "ok"
+        return {
+            "objectives": configured,
+            "windows": windows,
+            "verdicts": verdicts,
+            "ok": all(v != "breach" for v in verdicts.values()),
+        }
+
+
+# ----------------------------------------------------------------------
+# offline evaluation over server run logs
+# ----------------------------------------------------------------------
+
+def slo_from_run_log(
+    records: Iterable[Dict[str, Any]],
+    objectives: SLOObjectives,
+    windows: Optional[Iterable[float]] = None,
+) -> Dict[str, Any]:
+    """Replay ``server_request`` run-log records through the tracker.
+
+    Failure classification mirrors the live server: ``internal_error``
+    is an error; a 200 carrying ``degraded``/``truncated`` (the chaos
+    and budget paths) burns the error budget as ``degraded``; the
+    ``shed`` flag burns the shed budget.  Evaluated at the last
+    record's timestamp, with a whole-log window on top of the rolling
+    ones unless ``windows`` overrides.
+    """
+    tracker = SLOTracker(
+        objectives, windows=windows if windows is not None
+        else OFFLINE_WINDOWS_S, clock=lambda: 0.0)
+    last_t = 0.0
+    served = 0
+    for record in records:
+        if record.get("kind") != "server_request":
+            continue
+        served += 1
+        t = float(record.get("t_ms", 0.0)) / 1000.0
+        last_t = max(last_t, t)
+        tracker.record(
+            float(record.get("elapsed_ms", 0.0)),
+            error=record.get("code") == "internal_error",
+            shed=bool(record.get("shed")),
+            degraded=bool(record.get("degraded"))
+            or bool(record.get("truncated")),
+            t=t,
+        )
+    report = tracker.evaluate(now=last_t)
+    report["server_requests"] = served
+    return report
+
+
+def render_slo_report(report: Dict[str, Any]) -> List[str]:
+    """Human-readable lines for one SLO report."""
+    objectives = report.get("objectives", {})
+    lines = ["SLO report ({})".format(
+        ":".join("{}={}".format(k, v)
+                 for k, v in sorted(objectives.items())) or "no objectives")]
+    if "server_requests" in report:
+        lines.append("  {} server_request record(s)".format(
+            report["server_requests"]))
+    for window in report.get("windows", []):
+        label = ("total" if window["window_s"] is None
+                 else "{:g}s".format(window["window_s"]))
+        burn = window.get("burn", {})
+        burn_text = " ".join(
+            "burn[{}]={:.2f}".format(key, burn[key]) for key in sorted(burn))
+        p95 = window.get("p95_ms")
+        lines.append(
+            "  {:>6}: {} req, errors {:.1%}, shed {:.1%}, degraded {}, "
+            "p95 {}{}".format(
+                label, window["requests"], window["error_rate"],
+                window["shed_rate"], window["degraded"],
+                "{:.2f} ms".format(p95) if p95 is not None else "n/a",
+                "  " + burn_text if burn_text else ""))
+    verdicts = report.get("verdicts", {})
+    for name in sorted(verdicts):
+        lines.append("  {}: {}".format(name, verdicts[name]))
+    lines.append("  overall: {}".format("ok" if report.get("ok") else
+                                        "BREACH"))
+    return lines

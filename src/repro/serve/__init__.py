@@ -13,11 +13,19 @@ plugs into (ROADMAP.md):
   (``repro serve``);
 * :mod:`repro.serve.client` — sync + async protocol clients;
 * :mod:`repro.serve.loadgen` — the multi-worker load generator
-  (``repro loadtest``) emitting ``BENCH_serve_<label>.json``.
+  (``repro loadtest``) emitting ``BENCH_serve_<label>.json``;
+* :mod:`repro.serve.chaos` — seeded per-request fault plans mounted
+  into tenant sessions (``repro serve --fault-plan``).
+
+Observability rides on every request: a correlation ``request_id``
+(client supplied or generated), opt-in span tracing embedded in the
+run log, ``GET /v1/metrics`` Prometheus exposition, and SLO burn-rate
+verdicts in ``/v1/healthz`` (see docs/OBSERVABILITY.md).
 
 See docs/SERVING.md.
 """
 
+from .chaos import ChaosSpec, ChaosStream
 from .client import ServeClient, async_request
 from .loadgen import render_loadgen, run_loadgen
 from .pool import AdmissionError, EnginePool, Tenant
@@ -26,12 +34,15 @@ from .protocol import (
     CompletionRequestBody,
     ProtocolError,
     error_body,
+    new_request_id,
     record_to_dict,
 )
 from .server import CompletionServer, ServerHandle, start_in_thread
 
 __all__ = [
     "AdmissionError",
+    "ChaosSpec",
+    "ChaosStream",
     "CompletionRequestBody",
     "CompletionServer",
     "EnginePool",
@@ -42,6 +53,7 @@ __all__ = [
     "Tenant",
     "async_request",
     "error_body",
+    "new_request_id",
     "record_to_dict",
     "render_loadgen",
     "run_loadgen",

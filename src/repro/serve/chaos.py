@@ -1,0 +1,151 @@
+"""Chaos-through-serve: seeded fault plans mounted into tenant sessions.
+
+The fuzz harness already proves the *engine* honours the chaos
+contract — injected faults surface as ``degraded``/``truncated``
+query status, never as escaped exceptions.  This module pushes the
+same contract through the HTTP boundary: ``repro serve --fault-plan
+chaos.json`` mounts a :class:`ChaosSpec` into the :class:`EnginePool`,
+and each admitted request draws a fresh seeded :class:`FaultPlan`
+from its tenant's :class:`ChaosStream` before running on the tenant
+thread (installed thread-locally, so concurrent tenants never clobber
+each other — see :func:`repro.testing.faults.install_local`).
+
+Everything is deterministic given the seed: the per-tenant stream is
+seeded ``"{seed}:{tenant}"``, and each draw consumes a fixed number of
+rng calls, so a chaos load test replays identically.  Triggered faults
+come back in the ``server_request`` run-log record (``faults`` field,
+``"site@call"`` strings) and burn the SLO error budget as degradation.
+See docs/RESILIENCE.md and docs/SERVING.md.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from ..testing.faults import FaultPlan, QUERY_SITES
+
+#: default ``times`` choices a draw picks from (``None`` = fault every
+#: call from ``on_call`` onward — the sustained-outage shape)
+DEFAULT_TIMES: Tuple[Optional[int], ...] = (1, 2, 3, None)
+
+
+class ChaosSpec:
+    """Configuration for serve-path fault injection.
+
+    ``rate`` is the fraction of admitted requests that get a fault plan
+    (1.0 = every request).  ``sites`` restricts which injection sites
+    faults are drawn from; the default is every query-path site.
+    """
+
+    __slots__ = ("seed", "rate", "sites", "max_on_call", "times")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rate: float = 1.0,
+        sites: Sequence[str] = QUERY_SITES,
+        max_on_call: int = 12,
+        times: Sequence[Optional[int]] = DEFAULT_TIMES,
+    ) -> None:
+        if not 0.0 <= float(rate) <= 1.0:
+            raise ValueError("chaos rate must be in [0, 1]")
+        sites = tuple(sites)
+        unknown = [site for site in sites if site not in QUERY_SITES]
+        if unknown:
+            raise ValueError(
+                "unknown chaos site(s) {}; query-path sites: {}".format(
+                    ", ".join(map(repr, unknown)), ", ".join(QUERY_SITES)))
+        if not sites:
+            raise ValueError("chaos spec needs at least one site")
+        if int(max_on_call) < 1:
+            raise ValueError("max_on_call must be >= 1")
+        self.seed = int(seed)
+        self.rate = float(rate)
+        self.sites = sites
+        self.max_on_call = int(max_on_call)
+        self.times = tuple(times) if times else DEFAULT_TIMES
+
+    @classmethod
+    def from_source(
+        cls, source: Union[str, Dict[str, Any], "ChaosSpec"],
+    ) -> "ChaosSpec":
+        """Build a spec from a dict, a JSON string, or a path to a JSON
+        file — the ``--fault-plan`` CLI spelling accepts the latter two."""
+        if isinstance(source, ChaosSpec):
+            return source
+        if isinstance(source, str):
+            text = source
+            if not source.lstrip().startswith("{"):
+                with open(source, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            try:
+                source = json.loads(text)
+            except ValueError:
+                raise ValueError(
+                    "fault plan must be a JSON object "
+                    "(inline or a path to one)")
+        if not isinstance(source, dict):
+            raise ValueError("fault plan must be a JSON object")
+        known = ("seed", "rate", "sites", "max_on_call", "times")
+        unknown = sorted(set(source) - set(known))
+        if unknown:
+            raise ValueError(
+                "unknown fault-plan key(s) {}; known: {}".format(
+                    ", ".join(map(repr, unknown)), ", ".join(known)))
+        kwargs: Dict[str, Any] = {}
+        for key in known:
+            if key in source:
+                kwargs[key] = source[key]
+        if "times" in kwargs:
+            kwargs["times"] = tuple(
+                None if value is None else int(value)
+                for value in kwargs["times"])
+        return cls(**kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rate": self.rate,
+            "sites": list(self.sites),
+            "max_on_call": self.max_on_call,
+            "times": list(self.times),
+        }
+
+    def stream(self, name: str) -> "ChaosStream":
+        """A deterministic per-tenant draw stream seeded off ``name``."""
+        return ChaosStream(self, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ChaosSpec(seed={}, rate={}, sites={})".format(
+            self.seed, self.rate, list(self.sites))
+
+
+class ChaosStream:
+    """A locked rng drawing one :class:`FaultPlan` per request.
+
+    Each :meth:`next_plan` call consumes exactly four rng values, so the
+    draw sequence is independent of which requests actually run faults.
+    """
+
+    def __init__(self, spec: ChaosSpec, name: str) -> None:
+        self.spec = spec
+        self.name = name
+        self._rng = random.Random("{}:{}".format(spec.seed, name))
+        self._lock = threading.Lock()
+        self.draws = 0
+
+    def next_plan(self) -> Optional[FaultPlan]:
+        """Draw the next plan; ``None`` when this request runs clean."""
+        spec = self.spec
+        with self._lock:
+            self.draws += 1
+            gate = self._rng.random()
+            site = self._rng.choice(spec.sites)
+            on_call = self._rng.randint(1, spec.max_on_call)
+            times = self._rng.choice(spec.times)
+        if gate >= spec.rate:
+            return None
+        return FaultPlan().add(site, on_call=on_call, times=times)

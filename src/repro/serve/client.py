@@ -70,11 +70,30 @@ class ServeClient:
                     raise
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def request_text(self, method: str, path: str) -> Tuple[int, str]:
+        """Like :meth:`request` but returns the raw body text — for
+        endpoints that do not speak JSON (``/v1/metrics``)."""
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path)
+                response = connection.getresponse()
+                return response.status, response.read().decode("utf-8")
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
     # ------------------------------------------------------------------
     # endpoint helpers
     # ------------------------------------------------------------------
     def healthz(self) -> Response:
         return self.request("GET", "/v1/healthz")
+
+    def metrics(self) -> Tuple[int, str]:
+        """The Prometheus exposition scrape."""
+        return self.request_text("GET", "/v1/metrics")
 
     def stats(self, workspace: Optional[str] = None) -> Response:
         path = "/v1/stats"

@@ -20,29 +20,39 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..eval.battery import battery_for
 from ..eval.bench import VERSION, _FORMAT, _percentile
+from ..obs.expo import LATENCY_BOUNDS_MS
+from ..obs.metrics import Histogram
 from .client import ServeClient
 
 #: outcome categories a worker tallies per request
 _OK, _SHED, _ERROR = "ok", "shed", "error"
 
+#: how many of the slowest requests the document names by request_id
+_SLOWEST_N = 10
+
 
 class _WorkerStats:
     """One worker's tally (touched only by its own thread)."""
 
-    __slots__ = ("latencies_ms", "ok", "shed", "errors", "steps",
-                 "completions")
+    __slots__ = ("latencies_ms", "samples", "ok", "shed", "errors",
+                 "steps", "completions", "degraded", "truncated")
 
     def __init__(self) -> None:
         self.latencies_ms: List[float] = []
+        #: (request_id, latency_ms) per ok request — the correlation
+        #: trail back into the server's run log
+        self.samples: List[Tuple[str, float]] = []
         self.ok = 0
         self.shed = 0
         self.errors = 0
         self.steps = 0
         self.completions = 0
+        self.degraded = 0
+        self.truncated = 0
 
     @property
     def requests(self) -> int:
@@ -65,6 +75,7 @@ def _worker(
     n: int,
     deadline: float,
     stats: _WorkerStats,
+    index: int,
 ) -> None:
     battery = battery_for(universe)
     body_base: Dict[str, Any] = {"locals": battery.locals, "n": n}
@@ -72,25 +83,37 @@ def _worker(
         body_base["this"] = battery.this_type
     if deadline_ms is not None:
         body_base["deadline_ms"] = deadline_ms
+    sequence = 0
     with ServeClient(url) as client:
         while time.monotonic() < deadline:
             for query in battery.queries:
                 if time.monotonic() >= deadline:
                     break
+                sequence += 1
+                request_id = "w{}-{}".format(index, sequence)
                 started = time.monotonic()
                 try:
-                    status, body = client.complete(universe, query,
-                                                   **body_base)
+                    status, body = client.complete(
+                        universe, query, request_id=request_id, **body_base)
                 except OSError:
                     stats.errors += 1
                     continue
                 elapsed_ms = (time.monotonic() - started) * 1000.0
                 outcome = _classify(status, body)
+                if outcome == _OK and body.get("request_id") != request_id:
+                    # the correlation contract broke — that is an error,
+                    # not a slow request
+                    outcome = _ERROR
                 if outcome == _OK:
                     stats.ok += 1
                     stats.latencies_ms.append(elapsed_ms)
+                    stats.samples.append((request_id, elapsed_ms))
                     stats.steps += int(body.get("steps", 0))
                     stats.completions += len(body.get("suggestions", []))
+                    if body.get("degraded"):
+                        stats.degraded += 1
+                    if body.get("truncated"):
+                        stats.truncated += 1
                 elif outcome == _SHED:
                     stats.shed += 1
                 else:
@@ -107,14 +130,17 @@ def run_loadgen(
     n: int = 10,
     run_log_dir: Optional[str] = None,
     log: Optional[Callable[[str], None]] = None,
+    fault_plan: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Drive the load and return the BENCH document.
 
     With ``url=None`` an in-process server over ``universe`` is spawned
     on an ephemeral port (and torn down afterwards); ``run_log_dir``
-    then streams the spawned server's per-tenant run logs there.  A
-    tiny ``deadline_ms`` is a legitimate configuration: shed requests
-    are counted, not raised — the document simply reports a high
+    then streams the spawned server's per-tenant run logs there, and
+    ``fault_plan`` (a :class:`~repro.serve.chaos.ChaosSpec` source)
+    mounts chaos-through-serve on the spawned server.  A tiny
+    ``deadline_ms`` is a legitimate configuration: shed requests are
+    counted, not raised — the document simply reports a high
     ``shed_rate``.
     """
     emit = log or (lambda _line: None)
@@ -123,13 +149,24 @@ def run_loadgen(
         raise ValueError("n_workers must be positive")
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
+    chaos_spec = None
+    if fault_plan is not None:
+        if url is not None:
+            raise ValueError(
+                "fault_plan only applies to a spawned in-process server; "
+                "a remote server mounts its own via --fault-plan")
+        from .chaos import ChaosSpec
+
+        chaos_spec = ChaosSpec.from_source(fault_plan)
 
     handle = None
     if url is None:
         from .server import start_in_thread
 
-        emit("spawning in-process server over {!r}...".format(universe))
-        handle = start_in_thread((universe,), run_log_dir=run_log_dir)
+        emit("spawning in-process server over {!r}{}...".format(
+            universe, " with chaos" if chaos_spec is not None else ""))
+        handle = start_in_thread((universe,), run_log_dir=run_log_dir,
+                                 fault_plan=chaos_spec)
         url = handle.url
     try:
         emit("load: {} worker(s) x {:.1f}s against {} (deadline {})".format(
@@ -141,7 +178,8 @@ def run_loadgen(
         threads = [
             threading.Thread(
                 target=_worker,
-                args=(url, universe, deadline_ms, n, deadline, stats),
+                args=(url, universe, deadline_ms, n, deadline, stats,
+                      index),
                 name="loadgen-{}".format(index),
             )
             for index, stats in enumerate(per_worker)
@@ -161,6 +199,15 @@ def run_loadgen(
     ok = sum(stats.ok for stats in per_worker)
     shed = sum(stats.shed for stats in per_worker)
     errors = sum(stats.errors for stats in per_worker)
+    histogram = Histogram(LATENCY_BOUNDS_MS)
+    for value in latencies:
+        histogram.observe(value)
+    samples = sorted(
+        (sample for stats in per_worker for sample in stats.samples),
+        key=lambda sample: sample[1], reverse=True)
+    slowest = [{"request_id": request_id,
+                "latency_ms": round(latency_ms, 3)}
+               for request_id, latency_ms in samples[:_SLOWEST_N]]
     document: Dict[str, Any] = {
         "format": _FORMAT,
         "version": VERSION,
@@ -190,8 +237,18 @@ def run_loadgen(
             "throughput_rps": (requests / wall_s) if wall_s > 0 else 0.0,
             "completions": sum(s.completions for s in per_worker),
             "per_worker_requests": [s.requests for s in per_worker],
+            "degraded": sum(s.degraded for s in per_worker),
+            "truncated": sum(s.truncated for s in per_worker),
+            "latency_histogram": {
+                "bounds": list(histogram.bounds),
+                "buckets": list(histogram.buckets),
+                "count": histogram.count,
+            },
+            "slowest_requests": slowest,
         },
     }
+    if chaos_spec is not None:
+        document["serve"]["chaos"] = chaos_spec.to_dict()
     return document
 
 
@@ -213,4 +270,16 @@ def render_loadgen(document: Dict[str, Any]) -> List[str]:
     lines.append(
         "  latency p50 {:.2f} ms, p95 {:.2f} ms ({} steps)".format(
             workload["p50_ms"], workload["p95_ms"], workload["steps"]))
+    if serve.get("degraded") or serve.get("truncated"):
+        lines.append("  degraded {} / truncated {}".format(
+            serve.get("degraded", 0), serve.get("truncated", 0)))
+    if serve.get("chaos"):
+        chaos = serve["chaos"]
+        lines.append("  chaos: seed={} rate={:.0%} over {}".format(
+            chaos["seed"], chaos["rate"], ", ".join(chaos["sites"])))
+    slowest = serve.get("slowest_requests") or []
+    if slowest:
+        lines.append("  slowest: {}".format(", ".join(
+            "{} ({:.1f} ms)".format(s["request_id"], s["latency_ms"])
+            for s in slowest[:3])))
     return lines

@@ -23,16 +23,18 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..ide.session import CompletionSession, QueryRecord
 from ..ide.workspace import Workspace
+from ..testing import faults
 from . import protocol
+from .chaos import ChaosSpec, ChaosStream
 from .protocol import CompletionRequestBody, ProtocolError
 
-#: queue-wait estimate before any request has finished (ms); pessimism
-#: here only sheds when deadlines are tiny, optimism risks 504s instead
-#: of 429s — both are structured sheds, so start mildly optimistic
+#: queue-wait estimate before any request has finished (ms) — only a
+#: fallback: :meth:`Tenant.warm` replaces it with a measured probe-query
+#: latency, so a cold guess never drives admission on a warmed server
 _INITIAL_ESTIMATE_MS = 2.0
 #: EMA weight of the latest request latency in the queue-wait estimate
 _ESTIMATE_ALPHA = 0.3
@@ -60,15 +62,51 @@ class Tenant:
         self._admission_lock = threading.Lock()
         self._pending = 0
         self._avg_ms = _INITIAL_ESTIMATE_MS
+        #: measured warmup probe latency (ms); ``None`` until warmed or
+        #: when the probe could not run
+        self.warm_probe_ms: Optional[float] = None
+        #: per-tenant chaos draw stream (chaos-through-serve); ``None``
+        #: unless the pool mounted a :class:`ChaosSpec`
+        self.chaos: Optional[ChaosStream] = None
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def warm(self) -> None:
         """Warm the engine's indexes and global root pool on the tenant
-        thread (so the warm state lives where the queries will run)."""
+        thread (so the warm state lives where the queries will run),
+        then time one representative query there to seed the admission
+        EMA with a measured latency instead of the cold-start guess."""
         self.executor.submit(self.workspace.engine.warm).result()
+        probe_ms = self.executor.submit(self._warm_probe).result()
+        if probe_ms is not None:
+            self.warm_probe_ms = probe_ms
+            with self._admission_lock:
+                self._avg_ms = probe_ms
         self.warmed = True
+
+    def _warm_probe(self) -> Optional[float]:
+        """Run one battery query (or a bare hole for custom universes)
+        on the tenant thread; returns its wall ms, ``None`` on failure
+        (the probe must never block serving)."""
+        try:
+            try:
+                from ..eval.battery import battery_for
+                battery = battery_for(self.name)
+                session = battery.session(self.workspace, n=5)
+                query = battery.queries[0]
+            except ValueError:
+                session = CompletionSession(self.workspace, n=5)
+                query = "?"
+            start = time.monotonic()
+            session.complete(query)
+            return (time.monotonic() - start) * 1000.0
+        except Exception:  # pragma: no cover - diagnostics only
+            return None
+
+    def set_chaos(self, spec: Optional[ChaosSpec]) -> None:
+        """(Un)mount serve-path fault injection for this tenant."""
+        self.chaos = spec.stream(self.name) if spec is not None else None
 
     def shutdown(self, drain: bool = True) -> None:
         """Stop the tenant thread; with ``drain`` (the default) queued
@@ -133,6 +171,8 @@ class Tenant:
         session.keyword = request.keyword
         if request.max_steps is not None:
             session.step_budget = request.max_steps
+        if request.trace:
+            session.trace = True
         return session
 
     def _run(self, request: CompletionRequestBody,
@@ -150,9 +190,19 @@ class Tenant:
         session = self._session(request)
         if request.deadline_ms is not None:
             session.timeout_ms = remaining
-        if len(request.queries) == 1:
-            return [session.complete(request.queries[0])]
-        return session.complete_many(request.queries)
+        plan = self.chaos.next_plan() if self.chaos is not None else None
+        previous = faults.install_local(plan) if plan is not None else None
+        try:
+            with self.run_log.bind(request_id=request.request_id):
+                if len(request.queries) == 1:
+                    return [session.complete(request.queries[0])]
+                return session.complete_many(request.queries)
+        finally:
+            if plan is not None:
+                faults.uninstall_local(previous)
+                request.fault_events = [
+                    "{}@{}".format(site, call)
+                    for site, call in plan.triggered]
 
     def complete(self, request: CompletionRequestBody) -> List[QueryRecord]:
         """Admit, queue, and run a request; blocks the calling thread
@@ -175,8 +225,9 @@ class Tenant:
 
         def run():
             session = self._session(request)
-            return session.explain(rank=request.rank,
-                                   source=request.queries[0])
+            with self.run_log.bind(request_id=request.request_id):
+                return session.explain(rank=request.rank,
+                                       source=request.queries[0])
 
         try:
             future = self.executor.submit(run)
@@ -200,6 +251,8 @@ class Tenant:
             "metrics": self.workspace.metrics(),
             "run_log_records": len(self.run_log),
         }
+        if self.warm_probe_ms is not None:
+            document["warm_probe_ms"] = self.warm_probe_ms
         cache = self.workspace.cache_stats()
         if cache is not None:
             document["cache"] = cache
@@ -212,6 +265,7 @@ class EnginePool:
     def __init__(self, universes: Iterable[str] = ("paint", "geometry",
                                                    "bcl")) -> None:
         self.tenants: Dict[str, Tenant] = {}
+        self.chaos_spec: Optional[ChaosSpec] = None
         for key in universes:
             self.tenants[key] = Tenant(key, Workspace.builtin(key))
 
@@ -219,8 +273,22 @@ class EnginePool:
         """Serve an already-built workspace under ``name`` (how tests
         and embedders mount custom universes)."""
         tenant = Tenant(name, workspace)
+        tenant.set_chaos(self.chaos_spec)
         self.tenants[name] = tenant
         return tenant
+
+    def set_chaos(
+        self,
+        spec: Union[ChaosSpec, Dict[str, object], str, None],
+    ) -> None:
+        """Mount (or clear, with ``None``) chaos-through-serve: every
+        tenant gets a deterministic per-tenant draw stream off the
+        spec's seed.  Accepts a :class:`ChaosSpec`, a dict, a JSON
+        string, or a path to a JSON file."""
+        self.chaos_spec = (
+            ChaosSpec.from_source(spec) if spec is not None else None)
+        for tenant in self.tenants.values():
+            tenant.set_chaos(self.chaos_spec)
 
     def get(self, name: str) -> Tenant:
         try:

@@ -17,6 +17,7 @@ space a CLI user does.  See docs/SERVING.md.
 
 from __future__ import annotations
 
+import uuid
 from typing import Any, Dict, List, Optional
 
 from ..errors import ERROR_TABLE, TRUNCATION_EXIT
@@ -55,6 +56,16 @@ ERROR_CODES: Dict[str, tuple] = ERROR_TABLE
 #: QueryStatus truncation reason -> exit-style code (a truncated query
 #: still answers 200 with best-so-far results, like the CLI prints them)
 _TRUNCATION_EXIT = TRUNCATION_EXIT
+
+
+#: clients may supply their own correlation id; cap it so a run-log
+#: record can't be ballooned by a hostile body
+MAX_REQUEST_ID_LEN = 128
+
+
+def new_request_id() -> str:
+    """A fresh server-generated correlation id (16 hex chars)."""
+    return uuid.uuid4().hex[:16]
 
 
 def error_body(code: str, message: str) -> Dict[str, Any]:
@@ -149,7 +160,8 @@ class CompletionRequestBody:
     body: the tenant workspace, the queries, and the session scope."""
 
     __slots__ = ("workspace", "queries", "locals", "this", "expected",
-                 "keyword", "n", "deadline_ms", "max_steps", "rank")
+                 "keyword", "n", "deadline_ms", "max_steps", "rank",
+                 "request_id", "trace", "fault_events")
 
     def __init__(self, body: Any, many: bool = False) -> None:
         if not isinstance(body, dict):
@@ -208,3 +220,25 @@ class CompletionRequestBody:
             raise ProtocolError(
                 BAD_REQUEST, "'rank' must be a positive integer")
         self.rank: Optional[int] = rank
+        request_id = body.get("request_id")
+        if request_id is not None and (
+            not isinstance(request_id, str) or not request_id
+            or len(request_id) > MAX_REQUEST_ID_LEN
+        ):
+            raise ProtocolError(
+                BAD_REQUEST,
+                "'request_id' must be a non-empty string of at most "
+                "{} characters".format(MAX_REQUEST_ID_LEN))
+        #: the correlation id; the server fills in a generated one when
+        #: the client did not supply its own
+        self.request_id: Optional[str] = request_id
+        trace = body.get("trace", False)
+        if not isinstance(trace, bool):
+            raise ProtocolError(BAD_REQUEST, "'trace' must be a boolean")
+        #: opt-in per-request span tracing (embedded in the run log and,
+        #: for a traced single /v1/complete, echoed in the response)
+        self.trace = trace
+        #: ``"site@call"`` strings for faults the chaos layer triggered
+        #: while this request ran; filled by the tenant, read by the
+        #: server when it writes the ``server_request`` record
+        self.fault_events: List[str] = []

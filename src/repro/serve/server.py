@@ -8,7 +8,17 @@ no third-party HTTP stack):
 * ``POST /v1/complete_many`` — a batch sharing one scope;
 * ``POST /v1/explain`` — ranking attribution;
 * ``GET /v1/stats`` — per-tenant metrics / cache / run-log counters;
-* ``GET /v1/healthz`` — liveness, protocol version, tenant warm state.
+* ``GET /v1/healthz`` — liveness, protocol version, tenant warm state,
+  SLO verdicts when objectives are configured;
+* ``GET /v1/metrics`` — every registry (server-wide HTTP + per-tenant
+  engine) in Prometheus text exposition format.
+
+Every query request carries a correlation ``request_id`` — client
+supplied or server generated — echoed in the response, bound onto the
+engine's own run-log records for the request (via
+:meth:`~repro.obs.runlog.RunLog.bind` on the tenant thread), and
+stamped on the ``server_request`` record together with the merged span
+tree when the request opted into tracing.  See docs/OBSERVABILITY.md.
 
 Engine work never runs on the event loop: each request is dispatched to
 its tenant's single worker thread (session affinity,
@@ -29,10 +39,18 @@ import json
 import os
 import threading
 import time
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs.expo import (
+    EXPOSITION_CONTENT_TYPE,
+    LATENCY_BOUNDS_MS,
+    render_prometheus,
+)
+from ..obs.metrics import Metrics
+from ..obs.slo import SLOObjectives, SLOTracker
 from . import protocol
+from .chaos import ChaosSpec
 from .pool import AdmissionError, EnginePool
 from .protocol import CompletionRequestBody, ProtocolError
 
@@ -41,6 +59,28 @@ from .protocol import CompletionRequestBody, ProtocolError
 MAX_BODY_BYTES = 1 << 20
 #: socket-level grace for reading one request's head + body
 READ_TIMEOUT_S = 30.0
+
+
+def _merge_spans(records: Iterable[Any]) -> Optional[List[dict]]:
+    """Merge per-query span trees into one request-level tree.
+
+    Each query's tracer numbers its spans from zero, so a batch's trees
+    collide; renumber every tree past the previous one's ids to keep
+    parent links intact and ids unique across the request."""
+    merged: List[dict] = []
+    offset = 0
+    for record in records:
+        spans = getattr(record, "trace", None) or []
+        top = offset - 1
+        for span in spans:
+            span = dict(span)
+            span["span"] += offset
+            if span.get("parent") is not None:
+                span["parent"] += offset
+            top = max(top, span["span"])
+            merged.append(span)
+        offset = top + 1
+    return merged or None
 
 
 class CompletionServer:
@@ -53,12 +93,22 @@ class CompletionServer:
         port: int = 0,
         default_deadline_ms: Optional[float] = None,
         run_log_dir: Optional[str] = None,
+        slo: Union[str, SLOObjectives, None] = None,
+        fault_plan: Union[ChaosSpec, Dict[str, Any], str, None] = None,
     ) -> None:
         self.pool = pool or EnginePool()
         self.host = host
         self.port = port  # 0 until start() binds an ephemeral port
         self.default_deadline_ms = default_deadline_ms
         self.run_log_dir = run_log_dir
+        #: server-wide HTTP registry (the tenants keep their own)
+        self.metrics = Metrics()
+        if isinstance(slo, str):
+            slo = SLOObjectives.from_spec(slo)
+        self.slo: Optional[SLOTracker] = (
+            SLOTracker(slo) if slo else None)
+        if fault_plan is not None:
+            self.pool.set_chaos(fault_plan)
         self.started = time.monotonic()
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[asyncio.Task] = set()
@@ -128,7 +178,16 @@ class CompletionServer:
                 if task is not None:
                     self._busy.add(task)
                 try:
+                    dispatched = time.monotonic()
                     status, payload = await self._dispatch(method, path, body)
+                    self.metrics.record(
+                        counters={"http_requests": 1,
+                                  "http_status_{}".format(status): 1},
+                        observations=[(
+                            "http_latency_ms",
+                            (time.monotonic() - dispatched) * 1000.0,
+                            LATENCY_BOUNDS_MS)],
+                    )
                     await self._write_response(writer, status, payload,
                                                keep_alive)
                 finally:
@@ -181,21 +240,27 @@ class CompletionServer:
         return method, path, body, keep_alive
 
     async def _write_response(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict,
-        keep_alive: bool,
+        self, writer: asyncio.StreamWriter, status: int,
+        payload: Union[dict, str], keep_alive: bool,
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode()
+        if isinstance(payload, str):
+            # /v1/metrics answers exposition text, everything else JSON
+            body = payload.encode("utf-8")
+            content_type = EXPOSITION_CONTENT_TYPE
+        else:
+            body = json.dumps(payload, sort_keys=True).encode()
+            content_type = "application/json"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 422: "Unprocessable Entity",
                   429: "Too Many Requests", 500: "Internal Server Error",
                   504: "Gateway Timeout"}.get(status, "OK")
         head = (
             "HTTP/1.1 {} {}\r\n"
-            "Content-Type: application/json\r\n"
+            "Content-Type: {}\r\n"
             "Content-Length: {}\r\n"
             "Connection: {}\r\n"
             "\r\n"
-        ).format(status, reason, len(body),
+        ).format(status, reason, content_type, len(body),
                  "keep-alive" if keep_alive else "close")
         writer.write(head.encode() + body)
         await writer.drain()
@@ -205,7 +270,7 @@ class CompletionServer:
     # ------------------------------------------------------------------
     async def _dispatch(
         self, method: str, target: str, body: bytes
-    ) -> Tuple[int, dict]:
+    ) -> Tuple[int, Union[dict, str]]:
         split = urlsplit(target)
         path = split.path
         if path == "/v1/healthz":
@@ -213,6 +278,11 @@ class CompletionServer:
                 return self._error(protocol.METHOD_NOT_ALLOWED,
                                    "use GET for {}".format(path))
             return 200, self._healthz()
+        if path == "/v1/metrics":
+            if method != "GET":
+                return self._error(protocol.METHOD_NOT_ALLOWED,
+                                   "use GET for {}".format(path))
+            return 200, self._metrics_text()
         if path == "/v1/stats":
             if method != "GET":
                 return self._error(protocol.METHOD_NOT_ALLOWED,
@@ -231,7 +301,7 @@ class CompletionServer:
         return payload.pop("status"), payload
 
     def _healthz(self) -> dict:
-        return {
+        document = {
             "ok": True,
             "protocol": protocol.PROTOCOL_VERSION,
             "uptime_s": round(time.monotonic() - self.started, 3),
@@ -241,6 +311,43 @@ class CompletionServer:
                 for name, tenant in sorted(self.pool.tenants.items())
             },
         }
+        if self.slo is not None:
+            report = self.slo.evaluate()
+            document["slo"] = report
+            document["ok"] = bool(report["ok"])
+        if self.pool.chaos_spec is not None:
+            document["chaos"] = self.pool.chaos_spec.to_dict()
+        return document
+
+    def _metrics_text(self) -> str:
+        """Every registry, rendered for a Prometheus scrape."""
+        sections: List[Tuple[Dict[str, str], Dict[str, Any]]] = [
+            ({}, self.metrics.to_dict())]
+        gauges: List[Tuple[str, Dict[str, str], float]] = [
+            ("server_uptime_seconds", {},
+             time.monotonic() - self.started),
+            ("server_in_flight", {}, float(self._in_flight)),
+        ]
+        for name, tenant in sorted(self.pool.tenants.items()):
+            labels = {"workspace": name}
+            sections.append((labels, tenant.workspace.metrics()))
+            gauges.append(("tenant_pending", labels, float(tenant.pending)))
+            if tenant.warm_probe_ms is not None:
+                gauges.append(
+                    ("tenant_warm_probe_ms", labels, tenant.warm_probe_ms))
+        if self.slo is not None:
+            report = self.slo.evaluate()
+            for window in report["windows"]:
+                window_label = ("inf" if window["window_s"] is None
+                                else "{:g}".format(window["window_s"]))
+                for objective, value in window.get("burn", {}).items():
+                    gauges.append((
+                        "slo_burn",
+                        {"objective": objective, "window_s": window_label},
+                        value))
+            gauges.append(
+                ("slo_ok", {}, 1.0 if report["ok"] else 0.0))
+        return render_prometheus(sections, gauges=gauges)
 
     def _stats(self, query: Dict[str, list]) -> Tuple[int, dict]:
         names = query.get("workspace")
@@ -270,17 +377,24 @@ class CompletionServer:
                 body, many=(endpoint == "complete_many"))
         except ProtocolError as error:
             return self._error(error.code, str(error))
+        if request.request_id is None:
+            request.request_id = protocol.new_request_id()
         if request.deadline_ms is None:
             request.deadline_ms = self.default_deadline_ms
         try:
             tenant = self.pool.get(request.workspace)
         except AdmissionError as error:
-            return self._error(error.code, str(error))
+            status, payload = self._error(error.code, str(error))
+            payload["request_id"] = request.request_id
+            return status, payload
 
         queued = time.monotonic()
         metrics = tenant.workspace.engine.metrics
         metrics.incr("server_requests")
         loop = asyncio.get_running_loop()
+        degraded: List[str] = []
+        truncated = 0
+        spans: Optional[List[dict]] = None
         try:
             if endpoint == "explain":
                 completions = await loop.run_in_executor(
@@ -310,6 +424,13 @@ class CompletionServer:
                     status = protocol.http_status(protocol.PARSE_ERROR)
                 query_count = len(records)
                 completion_count = sum(len(r.suggestions) for r in records)
+                degraded = sorted(
+                    set().union(*(r.degraded for r in records)))
+                truncated = sum(1 for r in records if r.truncated)
+                if request.trace:
+                    spans = _merge_spans(records)
+                    if endpoint == "complete" and spans is not None:
+                        payload["spans"] = spans
         except (AdmissionError, ProtocolError) as error:
             status, payload = self._error(error.code, str(error))
             code, query_count, completion_count = error.code, 0, 0
@@ -324,19 +445,37 @@ class CompletionServer:
             metrics.incr("server_errors")
         else:
             metrics.incr("server_ok")
+        payload["request_id"] = request.request_id
 
         now = time.monotonic()
+        elapsed_ms = (now - admitted) * 1000.0
+        shed = code in (protocol.SHED, protocol.DEADLINE_EXCEEDED)
+        metrics.observe("server_latency_ms", elapsed_ms,
+                        bounds=LATENCY_BOUNDS_MS)
+        if self.slo is not None:
+            self.slo.record(
+                elapsed_ms,
+                error=code == protocol.INTERNAL,
+                shed=shed,
+                degraded=bool(degraded or truncated
+                              or request.fault_events),
+            )
         tenant.run_log.server_request(
             endpoint="/v1/{}".format(endpoint),
             status=status,
             code=code,
-            elapsed_ms=(now - admitted) * 1000.0,
+            elapsed_ms=elapsed_ms,
             workspace=request.workspace,
             queue_ms=(queued - admitted) * 1000.0,
             deadline_ms=request.deadline_ms,
             queries=query_count,
             completions=completion_count,
-            shed=code in (protocol.SHED, protocol.DEADLINE_EXCEEDED),
+            shed=shed,
+            request_id=request.request_id,
+            degraded=degraded or None,
+            truncated=truncated or None,
+            faults=request.fault_events or None,
+            spans=spans,
         )
         return status, payload
 
@@ -386,6 +525,8 @@ def start_in_thread(
     default_deadline_ms: Optional[float] = None,
     run_log_dir: Optional[str] = None,
     pool: Optional[EnginePool] = None,
+    slo: Union[str, SLOObjectives, None] = None,
+    fault_plan: Union[ChaosSpec, Dict[str, Any], str, None] = None,
 ) -> ServerHandle:
     """Start a :class:`CompletionServer` on a daemon thread and return
     once it is warm and listening (the handle knows the bound port)."""
@@ -394,6 +535,8 @@ def start_in_thread(
         host=host, port=port,
         default_deadline_ms=default_deadline_ms,
         run_log_dir=run_log_dir,
+        slo=slo,
+        fault_plan=fault_plan,
     )
     loop = asyncio.new_event_loop()
     ready = threading.Event()

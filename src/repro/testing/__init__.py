@@ -3,21 +3,27 @@
 from .faults import (
     FaultError,
     FaultPlan,
+    QUERY_SITES,
     SITES,
     active_plan,
     fire,
     inject,
     install,
+    install_local,
     uninstall,
+    uninstall_local,
 )
 
 __all__ = [
     "FaultError",
     "FaultPlan",
+    "QUERY_SITES",
     "SITES",
     "active_plan",
     "fire",
     "inject",
     "install",
+    "install_local",
     "uninstall",
+    "uninstall_local",
 ]

@@ -87,6 +87,82 @@ class TestDeadlineShedding:
         validate_bench(document)
 
 
+class TestCorrelationAndHistogram:
+    def test_document_carries_latency_histogram(self, document):
+        serve = document["serve"]
+        histogram = serve["latency_histogram"]
+        assert histogram["count"] == serve["ok"]
+        assert sum(histogram["buckets"]) == histogram["count"]
+        assert len(histogram["buckets"]) == len(histogram["bounds"]) + 1
+
+    def test_document_names_slowest_request_ids(self, document):
+        slowest = document["serve"]["slowest_requests"]
+        assert slowest, "a run with ok requests must name its slowest"
+        assert len(slowest) <= 10
+        latencies = [entry["latency_ms"] for entry in slowest]
+        assert latencies == sorted(latencies, reverse=True)
+        for entry in slowest:
+            worker, _, sequence = entry["request_id"].partition("-")
+            assert worker.startswith("w") and int(worker[1:]) in (0, 1, 2)
+            assert int(sequence) >= 1
+
+    def test_render_names_the_slowest(self, document):
+        lines = render_loadgen(document)
+        assert any("slowest:" in line for line in lines)
+
+
+class TestChaosThroughServe:
+    @pytest.fixture(scope="class")
+    def chaos_run(self, tmp_path_factory):
+        log_dir = tmp_path_factory.mktemp("chaos-logs")
+        document = run_loadgen(
+            universe=UNIVERSE, n_workers=2, duration_s=1.0, label="chaos",
+            run_log_dir=str(log_dir),
+            fault_plan={"seed": 11, "rate": 1.0})
+        return document, log_dir
+
+    def test_faults_degrade_but_never_error(self, chaos_run):
+        document, _ = chaos_run
+        serve = document["serve"]
+        assert serve["errors"] == 0, \
+            "an injected fault must never become a protocol error"
+        assert serve["ok"] > 0
+        assert serve["degraded"] > 0, \
+            "rate=1.0 chaos must visibly degrade answers"
+        assert serve["chaos"] == {
+            "seed": 11, "rate": 1.0, "max_on_call": 12,
+            "sites": ["oracle", "index_lookup", "type_check",
+                      "namespaces", "matching_name"],
+            "times": [1, 2, 3, None],
+        }
+        validate_bench(document)
+
+    def test_chaos_run_log_validates_and_burns_slo(self, chaos_run):
+        from repro.api import slo_report
+        from repro.obs import validate_runlog_text
+
+        _, log_dir = chaos_run
+        path = log_dir / "serve_{}.ndjson".format(UNIVERSE)
+        text = path.read_text()
+        assert validate_runlog_text(text) == []
+        records = [json.loads(line) for line in text.splitlines()]
+        with_faults = [r for r in records
+                       if r.get("kind") == "server_request"
+                       and r.get("faults")]
+        assert with_faults
+        report = slo_report(str(path))
+        assert report["server_requests"] > 0
+        whole_log = report["windows"][-1]
+        assert whole_log["degraded"] > 0
+        assert whole_log["burn"]["errors"] > 0
+
+    def test_fault_plan_requires_in_process_server(self):
+        with pytest.raises(ValueError, match="in-process"):
+            run_loadgen(url="http://127.0.0.1:1", universe=UNIVERSE,
+                        n_workers=1, duration_s=0.5,
+                        fault_plan={"seed": 1})
+
+
 class TestValidation:
     def test_rejects_nonpositive_workers(self):
         with pytest.raises(ValueError):
@@ -129,3 +205,8 @@ class TestCliSurface:
         assert code == 2
         code, text = self._run(["loadtest", "--deadline-ms", "-1"])
         assert code == 2
+        code, text = self._run([
+            "loadtest", "--url", "http://127.0.0.1:1",
+            "--fault-plan", '{"seed": 1}'])
+        assert code == 2
+        assert "--fault-plan" in text

@@ -349,6 +349,48 @@ class TestServerRequestRecords:
         problems = validate_runlog_text("\n".join(lines) + "\n")
         assert problems
 
+    def test_observability_fields_validate(self):
+        log = self._log()
+        log.server_request(
+            endpoint="/v1/complete", status=200, code="ok",
+            elapsed_ms=1.25, workspace="bcl", queries=1, completions=10,
+            request_id="req-1", degraded=["oracle", "abstract_types"],
+            truncated=1, faults=["oracle@1", "oracle@2"],
+            spans=[{"kind": "span", "span": 0, "parent": None,
+                    "name": "complete", "start_ms": 0.0, "end_ms": 1.0,
+                    "duration_ms": 1.0, "counters": {}},
+                   {"kind": "span", "span": 1, "parent": 0,
+                    "name": "walk", "start_ms": 0.1, "end_ms": 0.9,
+                    "duration_ms": 0.8, "counters": {"steps": 4}}])
+        assert validate_runlog_text(log.to_ndjson()) == []
+        record = log.records()[-1]
+        assert record["request_id"] == "req-1"
+        assert record["degraded"] == ["abstract_types", "oracle"]
+        assert record["faults"] == ["oracle@1", "oracle@2"]
+        assert len(record["spans"]) == 2
+
+    def test_falsy_observability_fields_stay_off_the_record(self):
+        log = self._log()
+        log.server_request(endpoint="/v1/complete", status=200, code="ok",
+                           elapsed_ms=1.0, request_id="req-2",
+                           degraded=None, truncated=0, faults=[],
+                           spans=None)
+        record = log.records()[-1]
+        for absent in ("degraded", "truncated", "faults", "spans"):
+            assert absent not in record
+        assert validate_runlog_text(log.to_ndjson()) == []
+
+    def test_wrongly_typed_observability_fields_rejected(self):
+        log = self._log()
+        log.server_request(endpoint="/v1/complete", status=200, code="ok",
+                           elapsed_ms=1.0, request_id="req-3")
+        lines = self._lines(log)
+        record = json.loads(lines[-1])
+        record["request_id"] = 17  # schema says string
+        lines[-1] = json.dumps(record)
+        problems = validate_runlog_text("\n".join(lines) + "\n")
+        assert any("request_id" in problem for problem in problems)
+
     def test_attach_stream_replays_then_follows(self):
         log = self._log()
         log.event("warm", tenant="bcl")
@@ -363,3 +405,66 @@ class TestServerRequestRecords:
         assert len(streamed) == len(replayed) + 1
         assert json.loads(streamed[-1])["kind"] == "server_request"
         assert validate_runlog_text(sink.getvalue()) == []
+
+
+class TestBoundFields:
+    """``RunLog.bind``: correlation fields applied to records emitted
+    inside the context, thread-locally (the serve path binds the
+    request id on the tenant thread)."""
+
+    def _log(self):
+        return RunLog("bind-unit", universes={"bcl": 1})
+
+    def test_bind_stamps_query_and_event_records(self):
+        log = self._log()
+        with log.bind(request_id="req-a"):
+            log.query_event("?", status="ok")
+            log.event("batch", size=1)
+        log.query_event("?", status="ok")
+        records = log.records()[1:]
+        assert records[0]["request_id"] == "req-a"
+        assert records[1]["request_id"] == "req-a"
+        assert "request_id" not in records[2], \
+            "binding must end with the context"
+        assert validate_runlog_text(log.to_ndjson()) == []
+
+    def test_bind_never_overwrites_explicit_fields(self):
+        log = self._log()
+        with log.bind(request_id="outer"):
+            log.server_request(endpoint="/v1/complete", status=200,
+                               code="ok", elapsed_ms=1.0,
+                               request_id="explicit")
+        assert log.records()[-1]["request_id"] == "explicit"
+
+    def test_nested_bind_restores_the_outer_binding(self):
+        log = self._log()
+        with log.bind(request_id="outer"):
+            with log.bind(request_id="inner"):
+                log.query_event("?", status="ok")
+            log.query_event("?", status="ok")
+        inner, outer = log.records()[-2:]
+        assert inner["request_id"] == "inner"
+        assert outer["request_id"] == "outer"
+
+    def test_bindings_are_thread_local(self):
+        import threading
+
+        log = self._log()
+        ready = threading.Barrier(2, timeout=10)
+
+        def worker(request_id):
+            with log.bind(request_id=request_id):
+                ready.wait()  # both threads hold their binding at once
+                log.query_event("?", status="ok")
+                ready.wait()
+
+        threads = [threading.Thread(target=worker, args=("req-t{}".format(i),))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stamped = sorted(r["request_id"] for r in log.records()
+                         if r["kind"] == "query")
+        assert stamped == ["req-t0", "req-t1"], \
+            "concurrent bindings must never leak across threads"

@@ -22,10 +22,14 @@ import pytest
 
 from repro.api import complete, complete_many, explain, open_workspace
 from repro.eval.battery import battery_for
+from repro.ide.workspace import Workspace
+from repro.obs import parse_exposition, validate_exposition, \
+    validate_runlog_text
 from repro.serve import (
     PROTOCOL_VERSION,
     EnginePool,
     ServeClient,
+    Tenant,
     protocol,
     start_in_thread,
 )
@@ -274,3 +278,309 @@ class TestLifecycle:
         with pytest.raises(OSError):
             with ServeClient(handle.url) as client:
                 client.healthz()
+
+
+class TestRequestCorrelation:
+    """The end-to-end pin of the observability tentpole: a client
+    supplied request id survives HTTP -> pool -> engine, is echoed in
+    the response, lands (with the span tree) on a schema-valid
+    ``server_request`` record, and the request is reflected in a
+    scraped ``/v1/metrics`` exposition."""
+
+    def test_client_supplied_id_pins_end_to_end(
+        self, client, pool, battery
+    ):
+        request_id = "pin-e2e-000"
+        status, body = client.complete(
+            UNIVERSE, battery.queries[0], locals=battery.locals,
+            request_id=request_id, trace=True)
+        assert status == 200, body
+        assert body["request_id"] == request_id
+        spans = body["spans"]
+        assert spans, "trace=true must embed the span tree"
+        assert spans[0]["parent"] is None
+
+        tenant = pool.get(UNIVERSE)
+        text = tenant.run_log.to_ndjson()
+        assert validate_runlog_text(text) == []
+        records = [json.loads(line) for line in text.splitlines()]
+        served = [r for r in records
+                  if r.get("kind") == "server_request"
+                  and r.get("request_id") == request_id]
+        assert len(served) == 1
+        record = served[0]
+        assert record["endpoint"] == "/v1/complete"
+        assert record["code"] == "ok"
+        assert record["spans"] == spans
+        # the engine's own query records carry the bound id too
+        queries = [r for r in records
+                   if r.get("kind") == "query"
+                   and r.get("request_id") == request_id]
+        assert len(queries) == 1
+
+        scrape_status, exposition = client.metrics()
+        assert scrape_status == 200
+        assert validate_exposition(exposition) == []
+        samples = parse_exposition(exposition)["samples"]
+        key = ("repro_server_requests_total",
+               (("workspace", UNIVERSE),))
+        assert samples[key] >= 1, \
+            "the pinned request must be visible to a scraper"
+
+    def test_server_generates_id_when_client_sends_none(
+        self, client, battery
+    ):
+        status, body = client.complete(
+            UNIVERSE, battery.queries[0], locals=battery.locals)
+        assert status == 200
+        assert body["request_id"]
+        assert len(body["request_id"]) == 16
+
+    def test_distinct_requests_get_distinct_generated_ids(
+        self, client, battery
+    ):
+        ids = set()
+        for _ in range(3):
+            _, body = client.complete(
+                UNIVERSE, battery.queries[0], locals=battery.locals)
+            ids.add(body["request_id"])
+        assert len(ids) == 3
+
+    def test_batch_and_explain_echo_the_id(self, client, battery):
+        status, body = client.complete_many(
+            UNIVERSE, battery.queries[:2], locals=battery.locals,
+            request_id="pin-batch")
+        assert status == 200
+        assert body["request_id"] == "pin-batch"
+        status, body = client.explain(
+            UNIVERSE, battery.queries[-1], locals=battery.locals,
+            request_id="pin-explain")
+        assert status == 200
+        assert body["request_id"] == "pin-explain"
+
+    def test_error_responses_echo_the_id(self, client):
+        status, body = client.complete(
+            "nope", "?", request_id="pin-err")
+        assert status != 200
+        assert body["request_id"] == "pin-err"
+
+    def test_invalid_request_ids_are_bad_requests(self, client):
+        for bad in (123, "", "x" * 200):
+            status, body = client.complete(
+                UNIVERSE, "?", request_id=bad)
+            assert status == 400, bad
+            assert body["error"]["code"] == protocol.BAD_REQUEST
+
+    def test_untraced_requests_omit_spans(self, client, battery):
+        status, body = client.complete(
+            UNIVERSE, battery.queries[0], locals=battery.locals)
+        assert status == 200
+        assert "spans" not in body
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_exposition(self, client, battery):
+        client.complete(UNIVERSE, battery.queries[0],
+                        locals=battery.locals)
+        status, text = client.metrics()
+        assert status == 200
+        assert validate_exposition(text) == []
+        parsed = parse_exposition(text)
+        samples = parsed["samples"]
+        assert samples[("repro_server_uptime_seconds", ())] >= 0
+        assert ("repro_tenant_pending",
+                (("workspace", UNIVERSE),)) in samples
+        assert parsed["types"]["repro_http_requests_total"] == "counter"
+        assert parsed["types"]["repro_server_latency_ms"] == "histogram"
+
+    def test_scrape_counters_track_requests(self, client, battery):
+        _, before = client.metrics()
+        key = ("repro_server_requests_total",
+               (("workspace", UNIVERSE),))
+        start = parse_exposition(before)["samples"][key]
+        client.complete(UNIVERSE, battery.queries[0],
+                        locals=battery.locals)
+        _, after = client.metrics()
+        assert parse_exposition(after)["samples"][key] == start + 1
+
+    def test_post_is_method_not_allowed(self, client):
+        status, body = client.request("POST", "/v1/metrics")
+        assert status == 405
+        assert body["error"]["code"] == protocol.METHOD_NOT_ALLOWED
+
+
+class TestWarmProbeAdmission:
+    """Satellite: the admission EMA must start from a measured warmup
+    probe, and an idle server must never shed (the cold-start
+    regression)."""
+
+    def test_warm_seeds_estimate_from_probe(self, pool):
+        tenant = pool.get(UNIVERSE)
+        assert tenant.warm_probe_ms is not None
+        assert tenant.warm_probe_ms > 0
+        assert tenant.stats()["warm_probe_ms"] == tenant.warm_probe_ms
+
+    def test_idle_tenant_never_sheds_regardless_of_estimate(self):
+        tenant = Tenant(UNIVERSE, Workspace.builtin(UNIVERSE))
+        try:
+            tenant._avg_ms = 1e9  # even a pathological estimate
+            assert tenant.pending == 0
+            admitted = tenant.admit(deadline_ms=0.001)
+            assert admitted > 0
+            tenant._cancel()
+        finally:
+            tenant.shutdown()
+
+    def test_healthz_on_idle_server_with_tight_default_deadline(self):
+        """A freshly warmed server given a tight default deadline must
+        answer its first request instead of shedding it off the cold
+        2 ms guess times an empty queue."""
+        with start_in_thread((UNIVERSE,), default_deadline_ms=15.0) \
+                as running:
+            with ServeClient(running.url) as probe:
+                status, body = probe.complete(
+                    UNIVERSE, "now.?m", locals={"now": "System.DateTime"})
+        assert status == 200, body
+
+
+class TestSloAndChaosThroughServe:
+    """One extra server carrying both SLO objectives and a mounted
+    fault plan — the chaos contract over HTTP (kept off the shared
+    module fixture: stopping this handle kills its own pool only)."""
+
+    @pytest.fixture(scope="class")
+    def obs_handle(self):
+        with start_in_thread(
+            (UNIVERSE,),
+            slo="p95_ms=1000:error_rate=0.5:shed_rate=0.5",
+            fault_plan={"seed": 11, "rate": 1.0},
+        ) as running:
+            yield running
+
+    @pytest.fixture()
+    def obs_client(self, obs_handle):
+        with ServeClient(obs_handle.url) as running:
+            yield running
+
+    def test_healthz_carries_slo_verdicts_and_chaos(
+        self, obs_client, battery
+    ):
+        for query in battery.queries[:2]:
+            status, body = obs_client.complete(
+                UNIVERSE, query, locals=battery.locals)
+            assert status == 200, body
+        status, body = obs_client.healthz()
+        assert status == 200
+        slo = body["slo"]
+        assert set(slo["verdicts"]) == {"latency", "errors", "shed"}
+        assert body["ok"] == slo["ok"]
+        assert [w["window_s"] for w in slo["windows"]] == \
+            [60.0, 300.0, 1800.0]
+        assert body["chaos"]["seed"] == 11
+        assert body["chaos"]["rate"] == 1.0
+
+    def test_slo_burn_gauges_exposed(self, obs_client, battery):
+        obs_client.complete(UNIVERSE, battery.queries[0],
+                            locals=battery.locals)
+        status, text = obs_client.metrics()
+        assert status == 200
+        assert validate_exposition(text) == []
+        samples = parse_exposition(text)["samples"]
+        assert ("repro_slo_ok", ()) in samples
+        burn_keys = [key for key in samples if key[0] == "repro_slo_burn"]
+        assert burn_keys, "configured objectives must expose burn gauges"
+        labels = dict(burn_keys[0][1])
+        assert set(labels) == {"objective", "window_s"}
+
+    def test_chaos_degrades_but_never_breaks_protocol(
+        self, obs_handle, obs_client, battery
+    ):
+        outcomes = []
+        for _ in range(4):
+            for query in battery.queries:
+                outcomes.append(obs_client.complete(
+                    UNIVERSE, query, locals=battery.locals,
+                    request_id=None))
+        assert all(status == 200 for status, _ in outcomes), \
+            "injected faults must degrade, never 500"
+        degraded = [body for _, body in outcomes if body.get("degraded")]
+        assert degraded, "rate=1.0 chaos must visibly degrade answers"
+
+        tenant = obs_handle.server.pool.get(UNIVERSE)
+        text = tenant.run_log.to_ndjson()
+        assert validate_runlog_text(text) == []
+        records = [json.loads(line) for line in text.splitlines()]
+        with_faults = [r for r in records
+                       if r.get("kind") == "server_request"
+                       and r.get("faults")]
+        assert with_faults, "fired fault events must be logged"
+        for record in with_faults:
+            for event in record["faults"]:
+                site, _, call = event.partition("@")
+                assert site in ("oracle", "index_lookup", "type_check",
+                                "namespaces", "matching_name")
+                assert int(call) >= 1
+
+    def test_chaos_burns_the_error_budget(self, obs_handle, obs_client,
+                                          battery):
+        for query in battery.queries:
+            obs_client.complete(UNIVERSE, query, locals=battery.locals)
+        report = obs_handle.server.slo.evaluate()
+        window = report["windows"][0]
+        assert window["degraded"] > 0
+        assert window["burn"]["errors"] > 0
+
+
+class TestStatsCliScrape:
+    """``repro stats --url`` (and friends): the scrape-mode satellite."""
+
+    def _run(self, argv):
+        import io
+
+        from repro.__main__ import main as cli_main
+
+        out = io.StringIO()
+        code = cli_main(argv,
+                        write=lambda line="": out.write(str(line) + "\n"))
+        return code, out.getvalue()
+
+    def test_scrape_prints_sample_table(self, handle, client, battery):
+        client.complete(UNIVERSE, battery.queries[0],
+                        locals=battery.locals)
+        code, output = self._run(["stats", "--url", handle.url])
+        assert code == 0, output
+        assert "metrics from {}".format(handle.url) in output
+        assert "repro_server_requests_total" in output
+
+    def test_validate_round_trips_the_exposition(self, handle):
+        code, output = self._run(
+            ["stats", "--url", handle.url, "--validate"])
+        assert code == 0, output
+        assert "valid exposition" in output
+
+    def test_watch_polls_n_times(self, handle):
+        code, output = self._run(
+            ["stats", "--url", handle.url, "--watch", "0",
+             "--watch-count", "2"])
+        assert code == 0, output
+        assert output.count("metrics from") == 2
+
+    def test_unreachable_url_is_usage_error(self):
+        code, output = self._run(
+            ["stats", "--url", "http://127.0.0.1:1"])
+        assert code == 2
+        assert "error" in output
+
+    def test_validate_without_url_is_usage_error(self):
+        code, output = self._run(
+            ["stats", "--universe", UNIVERSE, "--validate"])
+        assert code == 2
+        assert "--url" in output
+
+    def test_in_process_watch_reruns_the_battery(self):
+        code, output = self._run(
+            ["stats", "--universe", UNIVERSE, "--watch", "0",
+             "--watch-count", "2"])
+        assert code == 0, output
+        assert "after 1 battery run(s)" in output
+        assert "after 2 battery run(s)" in output

@@ -168,3 +168,87 @@ class TestConcurrentDifferentials:
         assert after["stream_hits"] > before["stream_hits"]
         counters = tenant.workspace.metrics()["counters"]
         assert counters.get("queries_cached", 0) >= len(outcomes) - 1
+
+
+def hammer_traced(url, tagged_requests):
+    """Fan out (request_id, query) pairs, each opted into tracing."""
+
+    async def one(request_id, query):
+        status, body = await async_request(
+            url, "POST", "/v1/complete",
+            {"workspace": UNIVERSE, "query": query,
+             "locals": battery_for(UNIVERSE).locals,
+             "request_id": request_id, "trace": True})
+        return request_id, query, status, body
+
+    async def main():
+        return await asyncio.gather(
+            *(one(request_id, query)
+              for request_id, query in tagged_requests))
+
+    return asyncio.run(main())
+
+
+class TestConcurrentCorrelation:
+    """Request ids under concurrency: every response echoes its own id,
+    span trees never mix between interleaved requests, and the engine's
+    bound run-log records stay schema-valid."""
+
+    @pytest.fixture(scope="class")
+    def storm(self, handle, battery):
+        tagged = [
+            ("corr-{}-{}".format(repeat, i), query)
+            for repeat in range(REPEATS)
+            for i, query in enumerate(battery.queries)
+        ]
+        random.Random(11).shuffle(tagged)
+        return tagged, hammer_traced(handle.url, tagged)
+
+    def test_every_response_echoes_its_own_id(self, storm):
+        tagged, outcomes = storm
+        assert len(outcomes) == len(tagged)
+        for request_id, query, status, body in outcomes:
+            assert status == 200, body
+            assert body["request_id"] == request_id, query
+
+    def test_span_trees_never_mix_between_requests(self, pool, storm):
+        _, outcomes = storm
+        for request_id, _query, _status, body in outcomes:
+            spans = body["spans"]
+            assert spans, request_id
+            ids = {span["span"] for span in spans}
+            assert len(ids) == len(spans), "span ids unique per request"
+            roots = [s for s in spans if s["parent"] is None]
+            assert roots, "each request's tree has its own root"
+            for span in spans:
+                if span["parent"] is not None:
+                    assert span["parent"] in ids, \
+                        "a parent outside the tree means trees mixed"
+
+    def test_server_records_pair_ids_with_span_trees(self, pool, storm):
+        tagged, outcomes = storm
+        tenant = pool.get(UNIVERSE)
+        records = [json.loads(line)
+                   for line in tenant.run_log.to_ndjson().splitlines()]
+        served = {r["request_id"]: r for r in records
+                  if r.get("kind") == "server_request"
+                  and str(r.get("request_id", "")).startswith("corr-")}
+        assert len(served) == len(tagged)
+        for request_id, _query, _status, body in outcomes:
+            assert served[request_id]["spans"] == body["spans"], \
+                "the logged tree must be the one the client saw"
+
+    def test_engine_records_carry_bound_ids(self, pool, storm):
+        tagged, _ = storm
+        tenant = pool.get(UNIVERSE)
+        records = [json.loads(line)
+                   for line in tenant.run_log.to_ndjson().splitlines()]
+        bound = [r for r in records
+                 if r.get("kind") == "query"
+                 and str(r.get("request_id", "")).startswith("corr-")]
+        assert len(bound) == len(tagged), \
+            "every served query record must carry its request's id"
+
+    def test_run_log_still_schema_valid_after_storm(self, pool, storm):
+        tenant = pool.get(UNIVERSE)
+        assert validate_runlog_text(tenant.run_log.to_ndjson()) == []
